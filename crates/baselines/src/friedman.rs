@@ -1,0 +1,393 @@
+//! The persistent lock-free queue of Friedman, Herlihy, Marathe & Petrank
+//! (PPoPP '18) — strictly durably linearizable.
+//!
+//! Faithful critical-path shape: an enqueue writes the node (value + null
+//! next) and **flushes it with a fence before linking**, then flushes the
+//! predecessor's next pointer after the link CAS; a dequeue persists its
+//! claim into the dequeuer's per-thread announcement slot *before* the
+//! linearizing head CAS (so a dequeue whose value was handed out is
+//! recoverable as done), and marks the node dequeued afterwards. That is
+//! 2 flush+fence pairs per enqueue and ~2 per dequeue — the cost Montage
+//! moves off the critical path.
+//!
+//! Nodes live in NVM (Ralloc blocks) and carry a magic + enqueue sequence
+//! number; `head`/`tail` are transient. Recovery sweeps live nodes, drops
+//! those marked dequeued or claimed in an announcement slot, and rebuilds
+//! the FIFO by sequence number (standing in for the original's
+//! reachability walk, which is entangled with its ssmem allocator).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::epoch;
+use pmem::{PmemPool, POff};
+use ralloc::Ralloc;
+
+use crate::api::BenchQueue;
+
+/// Node layout:
+/// `next: u64 | vlen: u32 | magic: u32 | seq: u64 | deqed: u64 | value`.
+const NEXT_OFF: u64 = 0;
+const VLEN_OFF: u64 = 8;
+const MAGIC_OFF: u64 = 12;
+const SEQ_OFF: u64 = 16;
+const DEQED_OFF: u64 = 24;
+const DATA_OFF: u64 = 32;
+
+const NODE_MAGIC: u32 = 0xF41E_D4A9; // "friedman" node marker
+
+/// Root-area slot holding the announcement-slot block anchor.
+const ANCHOR_SLOT: usize = 9;
+
+pub struct FriedmanQueue {
+    ralloc: Arc<Ralloc>,
+    pool: PmemPool,
+    head: AtomicU64,
+    tail: AtomicU64,
+    /// Per-thread "claimed node" announcement slots (one contiguous block,
+    /// anchored persistently for recovery).
+    deq_slots: POff,
+    max_threads: usize,
+    next_seq: AtomicU64,
+}
+
+impl FriedmanQueue {
+    pub fn new(ralloc: Arc<Ralloc>, max_threads: usize) -> Self {
+        let pool = ralloc.pool().clone();
+        let sentinel = Self::make_sentinel(&ralloc, &pool);
+        let deq_slots = ralloc.alloc(8 * max_threads.max(1));
+        for t in 0..max_threads {
+            unsafe { pool.write::<u64>(deq_slots.add(8 * t as u64), &0) };
+        }
+        pool.persist_range(deq_slots, 8 * max_threads.max(1));
+        unsafe {
+            pool.write::<u64>(POff::root_slot(ANCHOR_SLOT), &deq_slots.raw());
+            pool.write::<u64>(POff::root_slot(ANCHOR_SLOT).add(8), &(max_threads as u64));
+        }
+        pool.persist_range(POff::root_slot(ANCHOR_SLOT), 16);
+        FriedmanQueue {
+            pool,
+            head: AtomicU64::new(sentinel.raw()),
+            tail: AtomicU64::new(sentinel.raw()),
+            deq_slots,
+            max_threads,
+            next_seq: AtomicU64::new(1),
+            ralloc,
+        }
+    }
+
+    fn make_sentinel(ralloc: &Ralloc, pool: &PmemPool) -> POff {
+        let sentinel = ralloc.alloc(DATA_OFF as usize);
+        unsafe {
+            pool.write::<u64>(sentinel.add(NEXT_OFF), &0);
+            pool.write::<u32>(sentinel.add(VLEN_OFF), &0);
+            pool.write::<u32>(sentinel.add(MAGIC_OFF), &NODE_MAGIC);
+            pool.write::<u64>(sentinel.add(SEQ_OFF), &0);
+            pool.write::<u64>(sentinel.add(DEQED_OFF), &1); // never a value node
+        }
+        pool.persist_range(sentinel, DATA_OFF as usize);
+        sentinel
+    }
+
+    /// Recovers the queue from a crashed pool (which must be dedicated to
+    /// one Friedman queue): sweep live nodes, drop dequeued/claimed ones,
+    /// rebuild FIFO order by sequence number.
+    pub fn recover(pool: PmemPool, max_threads: usize) -> Self {
+        let anchor = POff::root_slot(ANCHOR_SLOT);
+        let old_slots = POff::new(unsafe { pool.read::<u64>(anchor) });
+        let old_nthreads = unsafe { pool.read::<u64>(anchor.add(8)) } as usize;
+        assert!(!old_slots.is_null(), "pool holds no Friedman queue");
+        let claimed: Vec<u64> = (0..old_nthreads)
+            .map(|t| unsafe { pool.read::<u64>(old_slots.add(8 * t as u64)) })
+            .filter(|&v| v != 0)
+            .collect();
+
+        let scan = pool.clone();
+        let (ralloc, kept) = Ralloc::recover(pool, move |blk, size| {
+            size >= DATA_OFF as usize
+                && unsafe { scan.read::<u32>(blk.add(MAGIC_OFF)) } == NODE_MAGIC
+                && unsafe { scan.read::<u64>(blk.add(DEQED_OFF)) } == 0
+                && unsafe { scan.read::<u64>(blk.add(SEQ_OFF)) } != 0
+                && unsafe { scan.read::<u32>(blk.add(VLEN_OFF)) } as usize
+                    <= size - DATA_OFF as usize
+        });
+        let pool = ralloc.pool().clone();
+
+        let mut nodes: Vec<(u64, POff)> = kept
+            .into_iter()
+            .filter(|(blk, _)| !claimed.contains(&blk.raw()))
+            .map(|(blk, _)| (unsafe { pool.read::<u64>(blk.add(SEQ_OFF)) }, blk))
+            .collect();
+        // Claimed-but-kept blocks get freed (their dequeue is recovered as
+        // done, exactly the original's announcement semantics).
+        for &c in &claimed {
+            if c != 0 {
+                // May or may not still be live; if the sweep kept it, give
+                // it back.
+                if nodes.iter().all(|&(_, b)| b.raw() != c) {
+                    // Either swept away already or live-but-claimed; mark it
+                    // dequeued durably so a second crash agrees.
+                    let blk = POff::new(c);
+                    if unsafe { pool.read::<u32>(blk.add(MAGIC_OFF)) } == NODE_MAGIC {
+                        unsafe { pool.write::<u64>(blk.add(DEQED_OFF), &1) };
+                        pool.persist_range(blk.add(DEQED_OFF), 8);
+                    }
+                }
+            }
+        }
+        nodes.sort_unstable_by_key(|&(seq, _)| seq);
+
+        // Rebuild the chain behind a fresh sentinel.
+        let sentinel = Self::make_sentinel(&ralloc, &pool);
+        let mut prev = sentinel;
+        for &(_, blk) in &nodes {
+            unsafe {
+                pool.write::<u64>(prev.add(NEXT_OFF), &blk.raw());
+                pool.write::<u64>(blk.add(NEXT_OFF), &0);
+            }
+            pool.clwb_range(prev, DATA_OFF as usize);
+            prev = blk;
+        }
+        pool.sfence();
+
+        let deq_slots = ralloc.alloc(8 * max_threads.max(1));
+        for t in 0..max_threads {
+            unsafe { pool.write::<u64>(deq_slots.add(8 * t as u64), &0) };
+        }
+        pool.persist_range(deq_slots, 8 * max_threads.max(1));
+        unsafe {
+            pool.write::<u64>(POff::root_slot(ANCHOR_SLOT), &deq_slots.raw());
+            pool.write::<u64>(POff::root_slot(ANCHOR_SLOT).add(8), &(max_threads as u64));
+        }
+        pool.persist_range(POff::root_slot(ANCHOR_SLOT), 16);
+
+        let next_seq = nodes.last().map_or(1, |&(s, _)| s + 1);
+        FriedmanQueue {
+            head: AtomicU64::new(sentinel.raw()),
+            tail: AtomicU64::new(prev.raw()),
+            deq_slots,
+            max_threads,
+            next_seq: AtomicU64::new(next_seq),
+            pool,
+            ralloc,
+        }
+    }
+
+    fn next_cell(&self, node: u64) -> &AtomicU64 {
+        unsafe { self.pool.atomic_u64(POff::new(node + NEXT_OFF)) }
+    }
+
+    fn slot(&self, tid: usize) -> POff {
+        debug_assert!(tid < self.max_threads);
+        self.deq_slots.add(8 * tid as u64)
+    }
+
+    /// Number of live items (O(n) walk; for tests).
+    pub fn len(&self) -> usize {
+        let _pin = epoch::pin();
+        let mut n = 0;
+        let mut cur = self.next_cell(self.head.load(Ordering::SeqCst)).load(Ordering::SeqCst);
+        while cur != 0 {
+            n += 1;
+            cur = self.next_cell(cur).load(Ordering::SeqCst);
+        }
+        n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl BenchQueue for FriedmanQueue {
+    fn enqueue(&self, _tid: usize, value: &[u8]) {
+        let node = self.ralloc.alloc(DATA_OFF as usize + value.len());
+        let seq = self.next_seq.fetch_add(1, Ordering::AcqRel);
+        unsafe {
+            self.pool.write::<u64>(node.add(NEXT_OFF), &0);
+            self.pool.write::<u32>(node.add(VLEN_OFF), &(value.len() as u32));
+            self.pool.write::<u32>(node.add(MAGIC_OFF), &NODE_MAGIC);
+            self.pool.write::<u64>(node.add(SEQ_OFF), &seq);
+            self.pool.write::<u64>(node.add(DEQED_OFF), &0);
+        }
+        self.pool.write_bytes(node.add(DATA_OFF), value);
+        // Persist the node before it becomes reachable.
+        self.pool.persist_range(node, DATA_OFF as usize + value.len());
+
+        let _pin = epoch::pin();
+        loop {
+            let last = self.tail.load(Ordering::SeqCst);
+            self.pool.touch(); // NVM node dereference
+            let next = self.next_cell(last).load(Ordering::SeqCst);
+            if last != self.tail.load(Ordering::SeqCst) {
+                continue;
+            }
+            if next == 0 {
+                if self
+                    .next_cell(last)
+                    .compare_exchange(0, node.raw(), Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    // Persist the link that linearized us.
+                    self.pool.persist_range(POff::new(last + NEXT_OFF), 8);
+                    let _ = self.tail.compare_exchange(
+                        last,
+                        node.raw(),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    return;
+                }
+            } else {
+                // Help: persist the link, then swing the tail.
+                self.pool.persist_range(POff::new(last + NEXT_OFF), 8);
+                let _ = self
+                    .tail
+                    .compare_exchange(last, next, Ordering::SeqCst, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn dequeue(&self, tid: usize) -> bool {
+        let pin = epoch::pin();
+        loop {
+            let first = self.head.load(Ordering::SeqCst);
+            let last = self.tail.load(Ordering::SeqCst);
+            self.pool.touch(); // NVM node dereference
+            let next = self.next_cell(first).load(Ordering::SeqCst);
+            if first != self.head.load(Ordering::SeqCst) {
+                continue;
+            }
+            if next == 0 {
+                return false;
+            }
+            if first == last {
+                self.pool.persist_range(POff::new(last + NEXT_OFF), 8);
+                let _ = self
+                    .tail
+                    .compare_exchange(last, next, Ordering::SeqCst, Ordering::SeqCst);
+                continue;
+            }
+            // Announce the claim durably before the linearizing CAS: a
+            // crash after this point recovers the dequeue as done.
+            unsafe { self.pool.write::<u64>(self.slot(tid), &next) };
+            self.pool.persist_range(self.slot(tid), 8);
+            if self
+                .head
+                .compare_exchange(first, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // Mark the node dequeued (write + clwb; the line becomes
+                // durable together with this thread's next announcement
+                // fence, which also clears the claim window).
+                unsafe { self.pool.write::<u64>(POff::new(next + DEQED_OFF), &1) };
+                self.pool.clwb(POff::new(next + DEQED_OFF));
+                let r = self.ralloc.clone();
+                unsafe {
+                    pin.defer_unchecked(move || r.dealloc(POff::new(first)));
+                }
+                return true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmemConfig;
+
+    fn queue() -> FriedmanQueue {
+        let pool = PmemPool::new(PmemConfig::default());
+        FriedmanQueue::new(Ralloc::format(pool), 8)
+    }
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = queue();
+        for i in 0..50u32 {
+            q.enqueue(0, &i.to_le_bytes());
+        }
+        assert_eq!(q.len(), 50);
+        for _ in 0..50 {
+            assert!(q.dequeue(0));
+        }
+        assert!(!q.dequeue(0));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn every_operation_fences() {
+        let q = queue();
+        let pool = q.pool.clone();
+        let (_, f0, _) = pool.stats().snapshot();
+        q.enqueue(0, &[1u8; 100]);
+        let (_, f1, _) = pool.stats().snapshot();
+        assert!(f1 >= f0 + 2, "enqueue must fence at least twice (node + link)");
+        q.dequeue(0);
+        let (_, f2, _) = pool.stats().snapshot();
+        assert!(f2 >= f1 + 1, "dequeue must fence (announcement)");
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        let q = Arc::new(queue());
+        let mut handles = vec![];
+        for t in 0..4usize {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut popped = 0usize;
+                for i in 0..500u32 {
+                    q.enqueue(t, &i.to_le_bytes());
+                    if i % 2 == 0 && q.dequeue(t) {
+                        popped += 1;
+                    }
+                }
+                popped
+            }));
+        }
+        let popped: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let mut rest = 0;
+        while q.dequeue(0) {
+            rest += 1;
+        }
+        assert_eq!(popped + rest, 2000);
+    }
+
+    #[test]
+    fn recovery_restores_fifo() {
+        let pool = PmemPool::new(PmemConfig::strict_for_test(16 << 20));
+        let q = FriedmanQueue::new(Ralloc::format(pool.clone()), 4);
+        for i in 0..30u32 {
+            q.enqueue(0, &i.to_le_bytes());
+        }
+        for _ in 0..10 {
+            assert!(q.dequeue(1));
+        }
+        let crashed = pool.crash();
+        let q2 = FriedmanQueue::recover(crashed, 4);
+        // Strictly durable: exactly items 10..30 remain (every op persisted
+        // before returning), possibly minus the announced-but-uncommitted
+        // head — here none.
+        assert_eq!(q2.len(), 20);
+        for _ in 0..20 {
+            assert!(q2.dequeue(0));
+        }
+        assert!(!q2.dequeue(0));
+    }
+
+    #[test]
+    fn recovery_survives_second_crash() {
+        let pool = PmemPool::new(PmemConfig::strict_for_test(16 << 20));
+        let q = FriedmanQueue::new(Ralloc::format(pool.clone()), 4);
+        for i in 0..10u32 {
+            q.enqueue(0, &i.to_le_bytes());
+        }
+        let q2 = FriedmanQueue::recover(pool.crash(), 4);
+        assert_eq!(q2.len(), 10);
+        q2.enqueue(0, &99u32.to_le_bytes());
+        q2.dequeue(0);
+        let q3 = FriedmanQueue::recover(q2.pool.crash(), 4);
+        assert_eq!(q3.len(), 10);
+    }
+}

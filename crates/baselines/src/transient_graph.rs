@@ -1,0 +1,202 @@
+//! Transient reference graph for Fig. 11/12: the same structure as
+//! `montage_ds::MontageGraph` (per-vertex locks, adjacency maps, attribute
+//! blobs) with no persistence; attributes live in DRAM or the NVM pool
+//! per the [`Arena`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::transient::{Arena, ValRef};
+
+#[derive(Default)]
+struct Slot {
+    exists: bool,
+    attr: Option<ValRef>,
+    adj: HashMap<u64, ValRef>,
+}
+
+
+/// A transient undirected graph with fixed vertex-id capacity.
+pub struct TransientGraph {
+    arena: Arena,
+    slots: Box<[Mutex<Slot>]>,
+    vertices: AtomicUsize,
+    edges: AtomicUsize,
+}
+
+impl TransientGraph {
+    pub fn new(arena: Arena, capacity: usize) -> Self {
+        TransientGraph {
+            arena,
+            slots: (0..capacity).map(|_| Mutex::default()).collect(),
+            vertices: AtomicUsize::new(0),
+            edges: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.load(Ordering::Relaxed)
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.load(Ordering::Relaxed)
+    }
+
+    pub fn add_vertex(&self, vid: u64, attr: &[u8]) -> bool {
+        let mut slot = self.slots[vid as usize].lock();
+        if slot.exists {
+            return false;
+        }
+        slot.exists = true;
+        slot.attr = Some(self.arena.store(attr));
+        self.vertices.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    pub fn has_vertex(&self, vid: u64) -> bool {
+        self.slots[vid as usize].lock().exists
+    }
+
+    fn lock_pair(&self, a: u64, b: u64) -> (MutexGuard<'_, Slot>, MutexGuard<'_, Slot>) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let first = self.slots[lo as usize].lock();
+        let second = self.slots[hi as usize].lock();
+        if a < b {
+            (first, second)
+        } else {
+            (second, first)
+        }
+    }
+
+    pub fn add_edge(&self, src: u64, dst: u64, attr: &[u8]) -> bool {
+        if src == dst {
+            return false;
+        }
+        let (mut s, mut d) = self.lock_pair(src, dst);
+        if !s.exists || !d.exists || s.adj.contains_key(&dst) {
+            return false;
+        }
+        s.adj.insert(dst, self.arena.store(attr));
+        d.adj.insert(src, self.arena.store(&[]));
+        self.edges.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    pub fn remove_edge(&self, src: u64, dst: u64) -> bool {
+        if src == dst {
+            return false;
+        }
+        let (mut s, mut d) = self.lock_pair(src, dst);
+        let Some(v) = s.adj.remove(&dst) else {
+            return false;
+        };
+        self.arena.free(v);
+        if let Some(v) = d.adj.remove(&src) {
+            self.arena.free(v);
+        }
+        self.edges.fetch_sub(1, Ordering::Relaxed);
+        true
+    }
+
+    pub fn remove_vertex(&self, vid: u64) -> bool {
+        loop {
+            let neighbours: Vec<u64> = {
+                let slot = self.slots[vid as usize].lock();
+                if !slot.exists {
+                    return false;
+                }
+                slot.adj.keys().copied().collect()
+            };
+            let mut ids: Vec<u64> = neighbours.iter().copied().chain([vid]).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let mut guards: Vec<(u64, MutexGuard<'_, Slot>)> =
+                ids.iter().map(|&id| (id, self.slots[id as usize].lock())).collect();
+            let vidx = guards.iter().position(|(id, _)| *id == vid).unwrap();
+            if !guards[vidx].1.exists {
+                return false;
+            }
+            let current: Vec<u64> = guards[vidx].1.adj.keys().copied().collect();
+            {
+                let mut a = current.clone();
+                let mut b = neighbours.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                if a != b {
+                    continue;
+                }
+            }
+            let adj: Vec<(u64, ValRef)> = guards[vidx].1.adj.drain().collect();
+            for (nid, v) in adj {
+                self.arena.free(v);
+                let n = guards.iter_mut().find(|(id, _)| *id == nid).unwrap();
+                if let Some(v) = n.1.adj.remove(&vid) {
+                    self.arena.free(v);
+                }
+                self.edges.fetch_sub(1, Ordering::Relaxed);
+            }
+            let vslot = &mut guards[vidx].1;
+            vslot.exists = false;
+            if let Some(v) = vslot.attr.take() {
+                self.arena.free(v);
+            }
+            self.vertices.fetch_sub(1, Ordering::Relaxed);
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_semantics() {
+        let g = TransientGraph::new(Arena::Dram, 64);
+        assert!(g.add_vertex(1, b"a"));
+        assert!(g.add_vertex(2, b"b"));
+        assert!(g.add_edge(1, 2, b"e"));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.remove_vertex(1));
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_vertex(1));
+        assert!(g.has_vertex(2));
+    }
+
+    #[test]
+    fn concurrent_churn() {
+        let g = std::sync::Arc::new(TransientGraph::new(Arena::Dram, 32));
+        for v in 0..32 {
+            g.add_vertex(v, b"");
+        }
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut x = t + 1;
+                for _ in 0..2000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let a = (x >> 33) % 32;
+                    let b = (x >> 11) % 32;
+                    match x % 3 {
+                        0 => {
+                            g.add_edge(a, b, b"");
+                        }
+                        1 => {
+                            g.remove_edge(a, b);
+                        }
+                        _ => {
+                            g.remove_vertex(a);
+                            g.add_vertex(a, b"");
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

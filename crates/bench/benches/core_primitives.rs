@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the core primitives: allocator fast path,
+//! `BEGIN_OP`/`END_OP`, `PNEW`, in-place `set`, `CAS_verify`, epoch advance,
+//! and the pmem flush path. These quantify the constants behind the figure
+//! harnesses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use montage::{EpochSys, EsysConfig, VerifyCell};
+use pmem::{PmemConfig, PmemPool, POff};
+use ralloc::Ralloc;
+use std::time::Duration;
+
+fn bench_ralloc(c: &mut Criterion) {
+    let r = Ralloc::format(PmemPool::new(PmemConfig {
+        size: 256 << 20,
+        ..Default::default()
+    }));
+    c.bench_function("ralloc_alloc_dealloc_64B", |b| {
+        b.iter(|| {
+            let off = r.alloc(64);
+            r.dealloc(off);
+            off
+        })
+    });
+}
+
+fn bench_pmem(c: &mut Criterion) {
+    let pool = PmemPool::new(PmemConfig::default());
+    c.bench_function("pmem_clwb_fence_1line", |b| {
+        b.iter(|| {
+            pool.clwb(POff::new(4096));
+            pool.sfence();
+        })
+    });
+}
+
+fn bench_esys(c: &mut Criterion) {
+    let esys = EpochSys::format(
+        PmemPool::new(PmemConfig {
+            size: 512 << 20,
+            ..Default::default()
+        }),
+        EsysConfig::default(),
+    );
+    let tid = esys.register_thread();
+
+    c.bench_function("begin_end_op", |b| {
+        b.iter(|| {
+            let g = esys.begin_op(tid);
+            drop(g);
+        })
+    });
+
+    c.bench_function("pnew_pdelete_64B", |b| {
+        b.iter(|| {
+            let g = esys.begin_op(tid);
+            let h = esys.pnew(&g, 0, &[0u8; 64]);
+            esys.pdelete(&g, h).unwrap();
+        })
+    });
+
+    let g = esys.begin_op(tid);
+    let h = esys.pnew(&g, 0, &0u64);
+    drop(g);
+    c.bench_function("set_in_place_u64", |b| {
+        b.iter(|| {
+            let g = esys.begin_op(tid);
+            let _ = esys.set(&g, h, |v| *v = v.wrapping_add(1)).unwrap();
+        })
+    });
+
+    let cell = VerifyCell::new(0);
+    c.bench_function("cas_verify", |b| {
+        b.iter(|| {
+            let g = esys.begin_op(tid);
+            let cur = cell.load(&esys);
+            let _ = cell.cas_verify(&esys, &g, cur, cur + 1);
+        })
+    });
+
+    c.bench_function("advance_epoch", |b| b.iter(|| esys.advance_epoch()));
+
+    c.bench_function("sync", |b| b.iter(|| esys.sync()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    targets = bench_ralloc, bench_pmem, bench_esys
+}
+criterion_main!(benches);

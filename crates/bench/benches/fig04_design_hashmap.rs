@@ -1,0 +1,93 @@
+//! **Figure 4** — design-space exploration on the hashmap (paper: 40
+//! threads, 0:1:1 get:insert:remove).
+//!
+//! Groups: per-thread write-back buffers of 2/16/64/256 entries × epoch
+//! lengths, then Buf=64+LocalFree, DirWB, Montage(T), and Buf=64+DirFree
+//! (the last two are reference points that do not correctly implement
+//! persistence, exactly as in the paper).
+
+use std::time::Duration;
+
+use montage::{EsysConfig, FreeStrategy, PersistStrategy};
+use montage_bench::harness::{env_seconds, env_threads, run_map_bench, BenchParams};
+use montage_bench::report;
+use montage_bench::systems::montage_map_with;
+use workloads::mix::MapMix;
+
+fn point(cfg: EsysConfig, p: BenchParams) -> f64 {
+    let (map, _hold) = montage_map_with(cfg, &p);
+    run_map_bench(map.as_ref(), MapMix::WRITE_DOMINANT, p)
+}
+
+fn main() {
+    // The paper uses 40 threads; we default to the sweep's max.
+    let threads = *env_threads().iter().max().unwrap();
+    let p = BenchParams::paper_scaled(threads, 1024);
+    report::header(
+        "fig04",
+        &format!(
+            "hashmap design exploration, {} threads, 0:1:1, value 1KB, {}s/point",
+            threads,
+            env_seconds()
+        ),
+        &["config", "epoch_length", "ops_per_sec"],
+    );
+
+    let epochs = [
+        Duration::from_micros(10),
+        Duration::from_micros(100),
+        Duration::from_millis(1),
+        Duration::from_millis(10),
+        Duration::from_millis(100),
+        Duration::from_secs(1),
+    ];
+
+    for buf in [2usize, 16, 64, 256] {
+        for epoch in epochs {
+            let cfg = EsysConfig {
+                persist: PersistStrategy::Buffered(buf),
+                epoch_length: epoch,
+                ..Default::default()
+            };
+            let t = point(cfg, p);
+            report::row(&[format!("Buf={buf}"), format!("{epoch:?}"), report::raw(t)]);
+        }
+    }
+
+    // Buf=64 + worker-local reclamation.
+    for epoch in epochs {
+        let cfg = EsysConfig {
+            persist: PersistStrategy::Buffered(64),
+            free: FreeStrategy::WorkerLocal,
+            epoch_length: epoch,
+            ..Default::default()
+        };
+        let t = point(cfg, p);
+        report::row(&["Buf=64+LocalFree".into(), format!("{epoch:?}"), report::raw(t)]);
+    }
+
+    // DirWB: write back at every update.
+    let t = point(
+        EsysConfig {
+            persist: PersistStrategy::DirWB,
+            ..Default::default()
+        },
+        p,
+    );
+    report::row(&["DirWB".into(), "-".into(), report::raw(t)]);
+
+    // Montage (T): all persistence elided.
+    let t = point(EsysConfig::transient(), p);
+    report::row(&["Montage(T)".into(), "-".into(), report::raw(t)]);
+
+    // Buf=64 + direct (immediate) reclamation — reference only.
+    let t = point(
+        EsysConfig {
+            persist: PersistStrategy::Buffered(64),
+            free: FreeStrategy::Direct,
+            ..Default::default()
+        },
+        p,
+    );
+    report::row(&["Buf=64+DirFree".into(), "-".into(), report::raw(t)]);
+}

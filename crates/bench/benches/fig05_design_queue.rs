@@ -1,0 +1,77 @@
+//! **Figure 5** — design-space exploration on the 1-thread queue, same grid
+//! as Fig. 4.
+
+use std::time::Duration;
+
+use montage::{EsysConfig, FreeStrategy, PersistStrategy};
+use montage_bench::harness::{env_seconds, run_queue_bench, BenchParams};
+use montage_bench::report;
+use montage_bench::systems::montage_queue_with;
+
+fn point(cfg: EsysConfig, p: BenchParams) -> f64 {
+    let (q, _hold) = montage_queue_with(cfg, &p);
+    run_queue_bench(q.as_ref(), p)
+}
+
+fn main() {
+    let p = BenchParams::paper_scaled(1, 1024);
+    report::header(
+        "fig05",
+        &format!("queue design exploration, 1 thread, value 1KB, {}s/point", env_seconds()),
+        &["config", "epoch_length", "ops_per_sec"],
+    );
+
+    let epochs = [
+        Duration::from_micros(10),
+        Duration::from_micros(100),
+        Duration::from_millis(1),
+        Duration::from_millis(10),
+        Duration::from_millis(100),
+        Duration::from_secs(1),
+    ];
+
+    for buf in [2usize, 16, 64, 256] {
+        for epoch in epochs {
+            let cfg = EsysConfig {
+                persist: PersistStrategy::Buffered(buf),
+                epoch_length: epoch,
+                ..Default::default()
+            };
+            let t = point(cfg, p);
+            report::row(&[format!("Buf={buf}"), format!("{epoch:?}"), report::raw(t)]);
+        }
+    }
+
+    for epoch in epochs {
+        let cfg = EsysConfig {
+            persist: PersistStrategy::Buffered(64),
+            free: FreeStrategy::WorkerLocal,
+            epoch_length: epoch,
+            ..Default::default()
+        };
+        let t = point(cfg, p);
+        report::row(&["Buf=64+LocalFree".into(), format!("{epoch:?}"), report::raw(t)]);
+    }
+
+    let t = point(
+        EsysConfig {
+            persist: PersistStrategy::DirWB,
+            ..Default::default()
+        },
+        p,
+    );
+    report::row(&["DirWB".into(), "-".into(), report::raw(t)]);
+
+    let t = point(EsysConfig::transient(), p);
+    report::row(&["Montage(T)".into(), "-".into(), report::raw(t)]);
+
+    let t = point(
+        EsysConfig {
+            persist: PersistStrategy::Buffered(64),
+            free: FreeStrategy::Direct,
+            ..Default::default()
+        },
+        p,
+    );
+    report::row(&["Buf=64+DirFree".into(), "-".into(), report::raw(t)]);
+}

@@ -1,0 +1,23 @@
+//! **Figure 6** — throughput of concurrent queues (1:1 enqueue:dequeue,
+//! 1 KB values) across the thread sweep, for every system in the paper's
+//! legend.
+
+use montage_bench::harness::{env_seconds, env_threads, run_queue_bench, BenchParams};
+use montage_bench::report;
+use montage_bench::systems::{build_queue, QueueSystem};
+
+fn main() {
+    report::header(
+        "fig06",
+        &format!("queue throughput, 1:1 enq:deq, value 1KB, {}s/point", env_seconds()),
+        &["system", "threads", "ops_per_sec"],
+    );
+    for sys in QueueSystem::ALL {
+        for &threads in &env_threads() {
+            let p = BenchParams::paper_scaled(threads, 1024);
+            let (q, _hold) = build_queue(sys, &p);
+            let t = run_queue_bench(q.as_ref(), p);
+            report::row(&[sys.label().into(), threads.to_string(), report::raw(t)]);
+        }
+    }
+}

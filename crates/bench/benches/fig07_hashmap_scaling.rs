@@ -1,0 +1,28 @@
+//! **Figure 7** — throughput of concurrent hashmaps across the thread
+//! sweep: (a) write-dominant 0:1:1 and (b) read-dominant 18:1:1
+//! get:insert:remove, 1 KB values, 0.5 load factor, for every system in the
+//! paper's legend.
+
+use montage_bench::harness::{env_seconds, env_threads, run_map_bench, BenchParams};
+use montage_bench::report;
+use montage_bench::systems::{build_map, MapSystem};
+use workloads::mix::MapMix;
+
+fn main() {
+    for (panel, mix) in [("7a write-dominant 0:1:1", MapMix::WRITE_DOMINANT),
+                         ("7b read-dominant 18:1:1", MapMix::READ_DOMINANT)] {
+        report::header(
+            "fig07",
+            &format!("hashmap throughput, {panel}, value 1KB, {}s/point", env_seconds()),
+            &["system", "threads", "ops_per_sec"],
+        );
+        for sys in MapSystem::FIG7 {
+            for &threads in &env_threads() {
+                let p = BenchParams::paper_scaled(threads, 1024);
+                let (m, _hold) = build_map(sys, &p);
+                let t = run_map_bench(m.as_ref(), mix, p);
+                report::row(&[sys.label().into(), threads.to_string(), report::raw(t)]);
+            }
+        }
+    }
+}

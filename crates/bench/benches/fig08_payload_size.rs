@@ -1,0 +1,65 @@
+//! **Figure 8** — single-threaded throughput as payload size grows from
+//! 16 B to 4 KB: (a) queues, (b) hashmap with the 2:1:1 mixed workload.
+//! This is where the paper shows the SOFT-vs-Montage crossover: strict
+//! durability's cost grows with payload size while Montage's buffering
+//! absorbs it.
+
+use montage_bench::harness::{env_seconds, run_map_bench, run_queue_bench, BenchParams};
+use montage_bench::report;
+use montage_bench::systems::{build_map, build_queue, MapSystem, QueueSystem};
+use workloads::mix::MapMix;
+
+const SIZES: [usize; 5] = [16, 64, 256, 1024, 4096];
+
+fn main() {
+    report::header(
+        "fig08a",
+        &format!("single-threaded queues vs payload size, {}s/point", env_seconds()),
+        &["system", "payload_bytes", "ops_per_sec"],
+    );
+    for sys in [
+        QueueSystem::DramT,
+        QueueSystem::NvmT,
+        QueueSystem::MontageT,
+        QueueSystem::Montage,
+        QueueSystem::Friedman,
+        QueueSystem::Mod,
+        QueueSystem::ProntoSync,
+        QueueSystem::Mnemosyne,
+    ] {
+        for size in SIZES {
+            let p = BenchParams::paper_scaled(1, size);
+            let (q, _hold) = build_queue(sys, &p);
+            let t = run_queue_bench(q.as_ref(), p);
+            report::row(&[sys.label().into(), size.to_string(), report::raw(t)]);
+        }
+    }
+
+    report::header(
+        "fig08b",
+        &format!(
+            "single-threaded hashmap (2:1:1) vs payload size, {}s/point",
+            env_seconds()
+        ),
+        &["system", "payload_bytes", "ops_per_sec"],
+    );
+    for sys in [
+        MapSystem::DramT,
+        MapSystem::NvmT,
+        MapSystem::MontageT,
+        MapSystem::Montage,
+        MapSystem::Soft,
+        MapSystem::NvTraverse,
+        MapSystem::Dali,
+        MapSystem::Mod,
+        MapSystem::ProntoSync,
+        MapSystem::Mnemosyne,
+    ] {
+        for size in SIZES {
+            let p = BenchParams::paper_scaled(1, size);
+            let (m, _hold) = build_map(sys, &p);
+            let t = run_map_bench(m.as_ref(), MapMix::MIXED, p);
+            report::row(&[sys.label().into(), size.to_string(), report::raw(t)]);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! **Figure 9** — hashmap throughput (0:1:1) with a `sync` every *x*
+//! operations per thread, comparing Montage's two write-back strategies:
+//! "Montage (cb)" = 64-entry circular buffers, "Montage (dw)" = write-back
+//! at the end of each operation; NVM (T) and Montage (T) as references.
+//!
+//! The paper's shape: throughput is flat until syncs come more often than
+//! about one per 40 ops, and even with a sync after *every* operation
+//! Montage beats NVTraverse/MOD/Pronto.
+
+use montage_bench::harness::{env_seconds, env_threads, run_map_with_sync, BenchParams};
+use montage_bench::report;
+use montage_bench::systems::{build_map, MapSystem};
+use workloads::mix::MapMix;
+
+const SYNC_PERIODS: [u64; 6] = [1, 10, 100, 1_000, 10_000, 100_000];
+
+fn main() {
+    let threads = *env_threads().iter().max().unwrap();
+    report::header(
+        "fig09",
+        &format!(
+            "hashmap 0:1:1 with sync every x ops, {} threads, value 1KB, {}s/point",
+            threads,
+            env_seconds()
+        ),
+        &["system", "ops_per_sync", "ops_per_sec"],
+    );
+
+    for sys in [
+        MapSystem::NvmT,
+        MapSystem::MontageT,
+        MapSystem::Montage,    // (cb)
+        MapSystem::MontageDw,  // (dw)
+    ] {
+        let label = match sys {
+            MapSystem::Montage => "Montage (cb)",
+            MapSystem::MontageDw => "Montage (dw)",
+            s => s.label(),
+        };
+        for period in SYNC_PERIODS {
+            let p = BenchParams::paper_scaled(threads, 1024);
+            let (m, hold) = build_map(sys, &p);
+            let sync = hold.sync.clone();
+            let t = run_map_with_sync(m.as_ref(), MapMix::WRITE_DOMINANT, p, period, || {
+                if let Some(s) = &sync {
+                    s();
+                }
+            });
+            report::row(&[label.into(), period.to_string(), report::raw(t)]);
+        }
+    }
+}

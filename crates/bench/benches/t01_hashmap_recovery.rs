@@ -1,0 +1,69 @@
+//! **Sec. 6.4 recovery table** — hashmap recovery time vs data-set size and
+//! recovery-thread count. The paper initializes 2–64 M 1 KB elements
+//! (1–32 GB) and recovers with 1 or 8 threads; we sweep scaled sizes and
+//! print the same table rows (size, threads, seconds), expecting the same
+//! shape: time roughly linear in data size, with parallel speedup.
+
+use baselines::api::make_key;
+use montage::{EpochSys, EsysConfig, ThreadId};
+use montage_bench::harness::env_scale;
+use montage_bench::report;
+use montage_ds::{tags, MontageHashMap};
+use pmem::{LatencyModel, PmemConfig, PmemMode, PmemPool};
+use std::time::Instant;
+
+fn main() {
+    let scale = env_scale();
+    // Paper: 2M, 8M, 32M, 64M elements; here scaled down.
+    let sizes: Vec<u64> = [2_000_000u64, 4_000_000, 8_000_000]
+        .iter()
+        .map(|&n| ((n as f64 * scale) as u64).max(10_000))
+        .collect();
+
+    report::header(
+        "t01",
+        "hashmap recovery time, 1 KB elements",
+        &["elements", "payload_mb", "recovery_threads", "seconds"],
+    );
+
+    for &n in &sizes {
+        let pool_bytes = (128 << 20) + n as usize * 1400;
+        for k in [1usize, 8] {
+            let esys = EpochSys::format(
+                PmemPool::new(PmemConfig {
+                    size: pool_bytes,
+                    mode: PmemMode::Strict,
+                    latency: LatencyModel::OPTANE,
+                    chaos: Default::default(),
+                }),
+                EsysConfig::default(),
+            );
+            let map = MontageHashMap::<[u8; 32]>::new(esys.clone(), tags::HASHMAP, n as usize);
+            let tid = esys.register_thread();
+            let value = vec![0x5Au8; 1024];
+            for i in 0..n {
+                map.insert(ThreadId(tid.0), make_key(i), &value);
+                // Keep write-back buffers from doing all the flushing at one
+                // giant final sync.
+                if i % 100_000 == 0 {
+                    esys.advance_epoch();
+                }
+            }
+            esys.sync();
+            let crashed = esys.pool().crash();
+            drop(map);
+
+            let start = Instant::now();
+            let rec = montage::recovery::recover(crashed, EsysConfig::default(), k);
+            let m2 = MontageHashMap::<[u8; 32]>::recover(rec.esys.clone(), tags::HASHMAP, n as usize, &rec);
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(m2.len() as u64, n, "recovery lost elements");
+            report::row(&[
+                n.to_string(),
+                (n / 1024).to_string(),
+                k.to_string(),
+                format!("{secs:.3}"),
+            ]);
+        }
+    }
+}

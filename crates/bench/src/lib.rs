@@ -1,0 +1,32 @@
+//! # montage-bench — harnesses reproducing the paper's evaluation
+//!
+//! One custom-harness bench target per figure/table (see `benches/`); this
+//! library holds the shared machinery:
+//!
+//! * [`harness`] — timed multi-thread drivers for queue and map workloads,
+//!   plus env-var knobs so CI runs in seconds while full runs match the
+//!   paper's 30 s × 3-trial protocol.
+//! * [`systems`] — constructors and adapters putting **every** system
+//!   (Montage and all baselines) behind the uniform
+//!   [`baselines::BenchQueue`]/[`baselines::BenchMap`] interfaces.
+//! * [`report`] — CSV-style row printing in the shape of the paper's
+//!   figures.
+//!
+//! ## Env knobs
+//!
+//! | var | meaning | default |
+//! |-----|---------|---------|
+//! | `MONTAGE_BENCH_SECONDS` | seconds per data point | `0.25` |
+//! | `MONTAGE_BENCH_THREADS` | comma-separated thread sweep | `1,2,4` |
+//! | `MONTAGE_BENCH_SCALE`   | workload-size multiplier (keys, preload, graph) | `0.04` |
+//!
+//! The paper's full protocol corresponds to `MONTAGE_BENCH_SECONDS=30`,
+//! `MONTAGE_BENCH_THREADS=1,2,4,8,16,24,32,40,50,60,70,80,90`,
+//! `MONTAGE_BENCH_SCALE=1`.
+
+pub mod harness;
+pub mod report;
+pub mod systems;
+
+pub use harness::{env_scale, env_seconds, env_threads, run_map_bench, run_queue_bench, BenchParams};
+pub use systems::{build_map, build_queue, MapSystem, QueueSystem, SystemHold};

@@ -1,0 +1,40 @@
+//! CSV-style reporting in the shape of the paper's figures.
+
+/// Prints a figure header (once per bench target).
+pub fn header(figure: &str, title: &str, columns: &[&str]) {
+    println!("# {figure}: {title}");
+    println!("{}", columns.join(","));
+}
+
+/// Prints one data row.
+pub fn row(fields: &[String]) {
+    println!("{}", fields.join(","));
+}
+
+/// Formats throughput in ops/s with three significant digits.
+pub fn tput(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.3}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Raw ops/s for machine consumption.
+pub fn raw(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tput_scales_units() {
+        assert_eq!(tput(12_345_678.0), "12.346M");
+        assert_eq!(tput(12_345.0), "12.3K");
+        assert_eq!(tput(123.0), "123");
+    }
+}

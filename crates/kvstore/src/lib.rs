@@ -1,0 +1,383 @@
+//! # kvstore — a memcached-like key-value cache
+//!
+//! Stand-in for the protected-library memcached variant of Kjellqvist et
+//! al. used in the paper's Sec. 6.2 validation: the client links directly
+//! against the cache (no sockets), the hash index and LRU bookkeeping stay
+//! in DRAM, and item storage is pluggable:
+//!
+//! * [`KvBackend::Dram`] — fully transient ("DRAM (T)" in Fig. 10);
+//! * [`KvBackend::Nvm`] — items in the NVM pool via Ralloc, index in DRAM
+//!   ("effectively equivalent to the configuration of Montage (T)");
+//! * [`KvBackend::Montage`] — items are Montage payloads: the cache is fully
+//!   persistent and recoverable.
+//!
+//! The memcached item layout (key, flags, value) is preserved in the item
+//! bytes; LRU is per-shard with stamp-ordered eviction.
+
+pub mod protocol;
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use montage::{EpochSys, PHandle, RecoveredState, ThreadId};
+use parking_lot::Mutex;
+use pmem::POff;
+use ralloc::Ralloc;
+
+/// 32-byte padded keys, as in the paper's benchmarks.
+pub type Key = [u8; 32];
+
+/// Payload tag used for Montage-backed items.
+pub const KV_TAG: u16 = 6;
+
+/// Item storage backend.
+#[derive(Clone)]
+pub enum KvBackend {
+    Dram,
+    Nvm(Arc<Ralloc>),
+    Montage(Arc<EpochSys>),
+}
+
+enum ItemRef {
+    Dram(Box<[u8]>),
+    Nvm(POff, u32),
+    Montage(PHandle<[u8]>),
+}
+
+struct Shard {
+    map: HashMap<Key, (ItemRef, u64)>,
+    lru: BTreeMap<u64, Key>,
+    next_stamp: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_stamp: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &Key) {
+        if let Some((_, stamp)) = self.map.get(key) {
+            let old = *stamp;
+            self.lru.remove(&old);
+            let new = self.next_stamp;
+            self.next_stamp += 1;
+            self.lru.insert(new, *key);
+            self.map.get_mut(key).unwrap().1 = new;
+        }
+    }
+}
+
+/// The cache. `capacity` bounds items per shard (memcached's memory cap).
+pub struct KvStore {
+    backend: KvBackend,
+    shards: Box<[Mutex<Shard>]>,
+    capacity_per_shard: usize,
+    len: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+/// Montage item layout: key bytes then value bytes.
+const KEY_BYTES: usize = 32;
+
+impl KvStore {
+    pub fn new(backend: KvBackend, shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0);
+        KvStore {
+            backend,
+            capacity_per_shard: (capacity / shards).max(1),
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            len: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        }
+    }
+
+    /// Rebuilds a Montage-backed cache after a crash.
+    pub fn recover(esys: Arc<EpochSys>, shards: usize, capacity: usize, rec: &RecoveredState) -> Self {
+        let store = Self::new(KvBackend::Montage(esys), shards, capacity);
+        for item in rec.shards.iter().flatten().filter(|it| it.tag == KV_TAG) {
+            let key: Key = rec.with_bytes(item, |b| b[..KEY_BYTES].try_into().unwrap());
+            let mut shard = store.shards[store.index(&key)].lock();
+            let stamp = shard.next_stamp;
+            shard.next_stamp += 1;
+            shard.map.insert(key, (ItemRef::Montage(item.handle()), stamp));
+            shard.lru.insert(stamp, key);
+            store.len.fetch_add(1, Ordering::Relaxed);
+        }
+        store
+    }
+
+    /// Registers the calling worker; returns the id to pass to operations.
+    pub fn register_thread(&self) -> usize {
+        match &self.backend {
+            KvBackend::Montage(esys) => esys.register_thread().0,
+            _ => 0,
+        }
+    }
+
+    fn index(&self, key: &Key) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn make_item(&self, tid: usize, key: &Key, value: &[u8]) -> ItemRef {
+        match &self.backend {
+            KvBackend::Dram => ItemRef::Dram(value.into()),
+            KvBackend::Nvm(r) => {
+                let off = r.alloc(value.len().max(1));
+                r.pool().write_bytes(off, value);
+                ItemRef::Nvm(off, value.len() as u32)
+            }
+            KvBackend::Montage(esys) => {
+                let g = esys.begin_op(ThreadId(tid));
+                let mut bytes = Vec::with_capacity(KEY_BYTES + value.len());
+                bytes.extend_from_slice(key);
+                bytes.extend_from_slice(value);
+                ItemRef::Montage(esys.pnew_bytes(&g, KV_TAG, &bytes))
+            }
+        }
+    }
+
+    fn free_item(&self, tid: usize, item: ItemRef) {
+        match (&self.backend, item) {
+            (_, ItemRef::Dram(_)) => {}
+            (KvBackend::Nvm(r), ItemRef::Nvm(off, _)) => r.dealloc(off),
+            (KvBackend::Montage(esys), ItemRef::Montage(h)) => {
+                let g = esys.begin_op(ThreadId(tid));
+                let _ = esys.pdelete(&g, h);
+            }
+            _ => unreachable!("item/backend mismatch"),
+        }
+    }
+
+    /// memcached `get`: applies `f` to the value bytes on hit.
+    pub fn get<R>(&self, _tid: usize, key: &Key, f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        let mut shard = self.shards[self.index(key)].lock();
+        shard.touch(key);
+        let (item, _) = shard.map.get(key)?;
+        Some(match (&self.backend, item) {
+            (_, ItemRef::Dram(b)) => f(b),
+            (KvBackend::Nvm(r), ItemRef::Nvm(off, len)) => {
+                let ptr = unsafe { r.pool().at::<u8>(*off) };
+                f(unsafe { std::slice::from_raw_parts(ptr, *len as usize) })
+            }
+            (KvBackend::Montage(esys), ItemRef::Montage(h)) => {
+                esys.peek_bytes_unsafe(*h, |b| f(&b[KEY_BYTES..]))
+            }
+            _ => unreachable!("item/backend mismatch"),
+        })
+    }
+
+    /// memcached `set`: insert or overwrite.
+    pub fn set(&self, tid: usize, key: Key, value: &[u8]) {
+        let idx = self.index(&key);
+        let mut shard = self.shards[idx].lock();
+        if let Some((item, _)) = shard.map.get_mut(&key) {
+            // Update in place where the backend supports it.
+            match (&self.backend, &mut *item) {
+                (_, ItemRef::Dram(b)) if b.len() == value.len() => {
+                    b.copy_from_slice(value);
+                }
+                (_, ItemRef::Dram(b)) => *b = value.into(),
+                (KvBackend::Nvm(r), ItemRef::Nvm(off, len)) if *len as usize == value.len() => {
+                    r.pool().write_bytes(*off, value);
+                }
+                (KvBackend::Nvm(r), ItemRef::Nvm(off, len)) => {
+                    r.dealloc(*off);
+                    let noff = r.alloc(value.len().max(1));
+                    r.pool().write_bytes(noff, value);
+                    *off = noff;
+                    *len = value.len() as u32;
+                }
+                (KvBackend::Montage(esys), ItemRef::Montage(h)) => {
+                    let same_len =
+                        esys.peek_bytes_unsafe(*h, |b| b.len() == KEY_BYTES + value.len());
+                    let g = esys.begin_op(ThreadId(tid));
+                    if same_len {
+                        *h = esys
+                            .set_bytes(&g, *h, |b| b[KEY_BYTES..].copy_from_slice(value))
+                            .expect("shard lock orders epochs");
+                    } else {
+                        let mut bytes = Vec::with_capacity(KEY_BYTES + value.len());
+                        bytes.extend_from_slice(&key);
+                        bytes.extend_from_slice(value);
+                        let nh = esys.pnew_bytes(&g, KV_TAG, &bytes);
+                        let _ = esys.pdelete(&g, *h);
+                        *h = nh;
+                    }
+                }
+                _ => unreachable!("item/backend mismatch"),
+            }
+            shard.touch(&key);
+            return;
+        }
+        // Insert (with LRU eviction at capacity).
+        if shard.map.len() >= self.capacity_per_shard {
+            if let Some((&oldest, &victim)) = shard.lru.iter().next() {
+                shard.lru.remove(&oldest);
+                if let Some((item, _)) = shard.map.remove(&victim) {
+                    self.free_item(tid, item);
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let item = self.make_item(tid, &key, value);
+        let stamp = shard.next_stamp;
+        shard.next_stamp += 1;
+        shard.map.insert(key, (item, stamp));
+        shard.lru.insert(stamp, key);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// memcached `delete`.
+    pub fn delete(&self, tid: usize, key: &Key) -> bool {
+        let mut shard = self.shards[self.index(key)].lock();
+        let Some((item, stamp)) = shard.map.remove(key) else {
+            return false;
+        };
+        shard.lru.remove(&stamp);
+        drop(shard);
+        self.free_item(tid, item);
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        true
+    }
+}
+
+/// Builds the padded key for record `i` (as in the paper's workloads).
+pub fn make_key(i: u64) -> Key {
+    let mut k = [0u8; 32];
+    let s = i.to_string();
+    k[..s.len()].copy_from_slice(s.as_bytes());
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use montage::EsysConfig;
+    use pmem::{PmemConfig, PmemPool};
+
+    fn backends() -> Vec<KvBackend> {
+        let pool = PmemPool::new(PmemConfig::default());
+        let esys = EpochSys::format(
+            PmemPool::new(PmemConfig::strict_for_test(64 << 20)),
+            EsysConfig::default(),
+        );
+        vec![
+            KvBackend::Dram,
+            KvBackend::Nvm(Ralloc::format(pool)),
+            KvBackend::Montage(esys),
+        ]
+    }
+
+    #[test]
+    fn get_set_delete_all_backends() {
+        for backend in backends() {
+            let kv = KvStore::new(backend, 4, 1000);
+            let tid = kv.register_thread();
+            kv.set(tid, make_key(1), b"hello");
+            assert_eq!(kv.get(tid, &make_key(1), |v| v.to_vec()).unwrap(), b"hello");
+            kv.set(tid, make_key(1), b"world");
+            assert_eq!(kv.get(tid, &make_key(1), |v| v.to_vec()).unwrap(), b"world");
+            assert!(kv.delete(tid, &make_key(1)));
+            assert!(kv.get(tid, &make_key(1), |_| ()).is_none());
+            assert!(!kv.delete(tid, &make_key(1)));
+        }
+    }
+
+    #[test]
+    fn value_resize_works_all_backends() {
+        for backend in backends() {
+            let kv = KvStore::new(backend, 2, 100);
+            let tid = kv.register_thread();
+            kv.set(tid, make_key(9), b"short");
+            kv.set(tid, make_key(9), &vec![7u8; 500]);
+            assert_eq!(kv.get(tid, &make_key(9), |v| v.len()).unwrap(), 500);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let kv = KvStore::new(KvBackend::Dram, 1, 3);
+        let tid = 0;
+        kv.set(tid, make_key(1), b"a");
+        kv.set(tid, make_key(2), b"b");
+        kv.set(tid, make_key(3), b"c");
+        kv.get(tid, &make_key(1), |_| ()); // touch 1 → 2 is now LRU
+        kv.set(tid, make_key(4), b"d");
+        assert_eq!(kv.evictions(), 1);
+        assert!(kv.get(tid, &make_key(2), |_| ()).is_none(), "LRU victim is 2");
+        assert!(kv.get(tid, &make_key(1), |_| ()).is_some());
+    }
+
+    #[test]
+    fn montage_backend_recovers_after_crash() {
+        let esys = EpochSys::format(
+            PmemPool::new(PmemConfig::strict_for_test(64 << 20)),
+            EsysConfig::default(),
+        );
+        let kv = KvStore::new(KvBackend::Montage(esys.clone()), 4, 1000);
+        let tid = kv.register_thread();
+        for i in 0..50 {
+            kv.set(tid, make_key(i), format!("v{i}").as_bytes());
+        }
+        kv.delete(tid, &make_key(7));
+        kv.set(tid, make_key(8), b"updated");
+        esys.sync();
+        let rec = montage::recovery::recover(esys.pool().crash(), EsysConfig::default(), 2);
+        let kv2 = KvStore::recover(rec.esys.clone(), 4, 1000, &rec);
+        let tid2 = kv2.register_thread();
+        assert_eq!(kv2.len(), 49);
+        assert!(kv2.get(tid2, &make_key(7), |_| ()).is_none());
+        assert_eq!(kv2.get(tid2, &make_key(8), |v| v.to_vec()).unwrap(), b"updated");
+        assert_eq!(kv2.get(tid2, &make_key(33), |v| v.to_vec()).unwrap(), b"v33");
+    }
+
+    #[test]
+    fn concurrent_ycsb_like_traffic() {
+        let kv = Arc::new(KvStore::new(KvBackend::Dram, 8, 100_000));
+        for i in 0..1000 {
+            kv.set(0, make_key(i), &[0u8; 64]);
+        }
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let kv = kv.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut hits = 0;
+                for i in 0..5000u64 {
+                    let k = make_key((i * 7 + t * 13) % 1000);
+                    if i % 2 == 0 {
+                        if kv.get(0, &k, |_| ()).is_some() {
+                            hits += 1;
+                        }
+                    } else {
+                        kv.set(0, k, &[1u8; 64]);
+                    }
+                }
+                hits
+            }));
+        }
+        let hits: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(hits > 0);
+        assert_eq!(kv.len(), 1000);
+    }
+}

@@ -1,0 +1,392 @@
+//! The Montage hashmap (paper Fig. 2): a lock-per-bucket chained map whose
+//! buckets, chains and locks are all transient; the only persistent state is
+//! a bag of key/value payloads.
+//!
+//! Payload layout: the key bytes (fixed-size `K: Copy`) followed by the
+//! value bytes. Recovery simply re-inserts every surviving payload into a
+//! fresh transient index — under 50 lines, like the paper's.
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use montage::{EpochSys, PHandle, RecoveredState, ThreadId};
+use parking_lot::Mutex;
+
+/// One chain entry: transient key copy (fast compares without touching NVM)
+/// plus the indirection to the current payload version (paper Sec. 3.1: a
+/// single transient pointer per payload makes handle replacement trivial).
+struct Entry<K> {
+    key: K,
+    payload: PHandle<[u8]>,
+}
+
+struct Bucket<K> {
+    chain: Mutex<Vec<Entry<K>>>,
+}
+
+/// A buffered-persistent hash map with per-bucket locking.
+///
+/// `K` must be a fixed-size `Copy` type (the paper pads string keys to
+/// 32 bytes; use `[u8; 32]`). Values are byte slices of any length.
+///
+/// ```
+/// use montage::{EpochSys, EsysConfig};
+/// use montage_ds::{tags, MontageHashMap};
+/// use pmem::{PmemConfig, PmemPool};
+///
+/// let esys = EpochSys::format(
+///     PmemPool::new(PmemConfig::strict_for_test(16 << 20)),
+///     EsysConfig::default(),
+/// );
+/// let tid = esys.register_thread();
+/// let map = MontageHashMap::<u64>::new(esys.clone(), tags::HASHMAP, 64);
+/// map.put(tid, 7, b"value");
+/// assert_eq!(map.get_owned(tid, &7).unwrap(), b"value");
+/// esys.sync(); // durable
+/// ```
+pub struct MontageHashMap<K> {
+    esys: Arc<EpochSys>,
+    tag: u16,
+    buckets: Box<[Bucket<K>]>,
+    len: AtomicUsize,
+}
+
+impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
+    /// Creates a map with `nbuckets` transient buckets.
+    pub fn new(esys: Arc<EpochSys>, tag: u16, nbuckets: usize) -> Self {
+        assert!(nbuckets > 0);
+        MontageHashMap {
+            esys,
+            tag,
+            buckets: (0..nbuckets)
+                .map(|_| Bucket {
+                    chain: Mutex::new(Vec::new()),
+                })
+                .collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Rebuilds the transient index from recovered payloads, using one
+    /// rebuild thread per shard (the paper's parallel recovery).
+    pub fn recover(esys: Arc<EpochSys>, tag: u16, nbuckets: usize, rec: &RecoveredState) -> Self {
+        let map = Self::new(esys, tag, nbuckets);
+        std::thread::scope(|s| {
+            for shard in &rec.shards {
+                s.spawn(|| {
+                    for item in shard.iter().filter(|it| it.tag == tag) {
+                        let key = rec.with_bytes(item, |b| {
+                            let mut k = std::mem::MaybeUninit::<K>::uninit();
+                            unsafe {
+                                std::ptr::copy_nonoverlapping(
+                                    b.as_ptr(),
+                                    k.as_mut_ptr() as *mut u8,
+                                    std::mem::size_of::<K>(),
+                                );
+                                k.assume_init()
+                            }
+                        });
+                        let mut chain = map.buckets[map.index(&key)].chain.lock();
+                        debug_assert!(
+                            !chain.iter().any(|e| e.key == key),
+                            "duplicate key in recovered payload set"
+                        );
+                        chain.push(Entry {
+                            key,
+                            payload: item.handle(),
+                        });
+                        map.len.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        map
+    }
+
+    pub fn esys(&self) -> &Arc<EpochSys> {
+        &self.esys
+    }
+
+    #[inline]
+    fn index(&self, key: &K) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.buckets.len()
+    }
+
+    fn encode(&self, key: &K, value: &[u8]) -> Vec<u8> {
+        let ksize = std::mem::size_of::<K>();
+        let mut buf = vec![0u8; ksize + value.len()];
+        unsafe {
+            std::ptr::copy_nonoverlapping(key as *const K as *const u8, buf.as_mut_ptr(), ksize);
+        }
+        buf[ksize..].copy_from_slice(value);
+        buf
+    }
+
+    /// Inserts or updates; returns `true` if the key already existed.
+    pub fn put(&self, tid: ThreadId, key: K, value: &[u8]) -> bool {
+        let ksize = std::mem::size_of::<K>();
+        let mut chain = self.buckets[self.index(&key)].chain.lock();
+        let g = self.esys.begin_op(tid);
+        if let Some(e) = chain.iter_mut().find(|e| e.key == key) {
+            let same_len = self
+                .esys
+                .peek_bytes_unsafe(e.payload, |b| b.len() == ksize + value.len());
+            if same_len {
+                // In-place (or copy-on-write) update through Montage `set`;
+                // the returned handle replaces the indirection pointer.
+                e.payload = self
+                    .esys
+                    .set_bytes(&g, e.payload, |b| b[ksize..].copy_from_slice(value))
+                    .expect("bucket lock orders epochs");
+            } else {
+                // Size changed: new payload + anti-payload for the old one.
+                let h = self.esys.pnew_bytes(&g, self.tag, &self.encode(&key, value));
+                self.esys.pdelete(&g, e.payload).expect("bucket lock orders epochs");
+                e.payload = h;
+            }
+            true
+        } else {
+            let h = self.esys.pnew_bytes(&g, self.tag, &self.encode(&key, value));
+            chain.push(Entry { key, payload: h });
+            self.len.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Inserts only if absent; returns `false` if the key existed.
+    pub fn insert(&self, tid: ThreadId, key: K, value: &[u8]) -> bool {
+        let mut chain = self.buckets[self.index(&key)].chain.lock();
+        if chain.iter().any(|e| e.key == key) {
+            return false;
+        }
+        let g = self.esys.begin_op(tid);
+        let h = self.esys.pnew_bytes(&g, self.tag, &self.encode(&key, value));
+        chain.push(Entry { key, payload: h });
+        self.len.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Looks up `key`, applying `f` to the value bytes. Read-only: skips
+    /// `BEGIN_OP`/`END_OP` per the paper (reads are invisible to recovery)
+    /// and synchronizes only on the transient bucket lock.
+    pub fn get<R>(&self, _tid: ThreadId, key: &K, f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        let ksize = std::mem::size_of::<K>();
+        let chain = self.buckets[self.index(key)].chain.lock();
+        let e = chain.iter().find(|e| e.key == *key)?;
+        Some(self.esys.peek_bytes_unsafe(e.payload, |b| f(&b[ksize..])))
+    }
+
+    /// Owned-value lookup.
+    pub fn get_owned(&self, tid: ThreadId, key: &K) -> Option<Vec<u8>> {
+        self.get(tid, key, |b| b.to_vec())
+    }
+
+    /// Removes `key`; returns `true` if it existed.
+    pub fn remove(&self, tid: ThreadId, key: &K) -> bool {
+        let mut chain = self.buckets[self.index(key)].chain.lock();
+        let Some(pos) = chain.iter().position(|e| e.key == *key) else {
+            return false;
+        };
+        let g = self.esys.begin_op(tid);
+        let e = chain.swap_remove(pos);
+        self.esys.pdelete(&g, e.payload).expect("bucket lock orders epochs");
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        true
+    }
+
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use montage::EsysConfig;
+    use pmem::{PmemConfig, PmemPool};
+
+    type Key = [u8; 32];
+
+    fn key(i: u64) -> Key {
+        let mut k = [0u8; 32];
+        k[..8].copy_from_slice(&i.to_le_bytes());
+        k
+    }
+
+    fn sys() -> Arc<EpochSys> {
+        EpochSys::format(
+            PmemPool::new(PmemConfig::strict_for_test(64 << 20)),
+            EsysConfig::default(),
+        )
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let s = sys();
+        let m = MontageHashMap::<Key>::new(s.clone(), 1, 64);
+        let tid = s.register_thread();
+        assert!(!m.put(tid, key(1), b"one"));
+        assert_eq!(m.get_owned(tid, &key(1)).unwrap(), b"one");
+        assert!(m.put(tid, key(1), b"ONE"), "second put reports replacement");
+        assert_eq!(m.get_owned(tid, &key(1)).unwrap(), b"ONE");
+        assert!(m.remove(tid, &key(1)));
+        assert!(m.get_owned(tid, &key(1)).is_none());
+        assert!(!m.remove(tid, &key(1)));
+    }
+
+    #[test]
+    fn update_with_different_size_value() {
+        let s = sys();
+        let m = MontageHashMap::<Key>::new(s.clone(), 1, 64);
+        let tid = s.register_thread();
+        m.put(tid, key(1), b"short");
+        m.put(tid, key(1), b"a much longer value than before");
+        assert_eq!(
+            m.get_owned(tid, &key(1)).unwrap(),
+            b"a much longer value than before"
+        );
+        m.put(tid, key(1), b"s");
+        assert_eq!(m.get_owned(tid, &key(1)).unwrap(), b"s");
+    }
+
+    #[test]
+    fn insert_does_not_overwrite() {
+        let s = sys();
+        let m = MontageHashMap::<Key>::new(s.clone(), 1, 64);
+        let tid = s.register_thread();
+        assert!(m.insert(tid, key(1), b"first"));
+        assert!(!m.insert(tid, key(1), b"second"));
+        assert_eq!(m.get_owned(tid, &key(1)).unwrap(), b"first");
+    }
+
+    #[test]
+    fn len_is_consistent() {
+        let s = sys();
+        let m = MontageHashMap::<Key>::new(s.clone(), 1, 16);
+        let tid = s.register_thread();
+        for i in 0..100 {
+            m.put(tid, key(i), b"v");
+        }
+        assert_eq!(m.len(), 100);
+        for i in 0..50 {
+            m.remove(tid, &key(i));
+        }
+        assert_eq!(m.len(), 50);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers() {
+        let s = sys();
+        let m = Arc::new(MontageHashMap::<Key>::new(s.clone(), 1, 256));
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let m = m.clone();
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let tid = s.register_thread();
+                for i in 0..500 {
+                    m.put(tid, key(t * 10_000 + i), &t.to_le_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 2000);
+        let tid = s.register_thread();
+        for t in 0..4u64 {
+            for i in 0..500 {
+                assert_eq!(m.get_owned(tid, &key(t * 10_000 + i)).unwrap(), t.to_le_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_same_keys_last_writer_wins() {
+        let s = sys();
+        let m = Arc::new(MontageHashMap::<Key>::new(s.clone(), 1, 64));
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let m = m.clone();
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let tid = s.register_thread();
+                for i in 0..200 {
+                    m.put(tid, key(i % 10), &(t * 1000 + i).to_le_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 10);
+        let tid = s.register_thread();
+        for i in 0..10 {
+            assert!(m.get_owned(tid, &key(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn recovery_restores_synced_contents() {
+        let s = sys();
+        let m = MontageHashMap::<Key>::new(s.clone(), 1, 64);
+        let tid = s.register_thread();
+        for i in 0..50 {
+            m.put(tid, key(i), format!("value-{i}").as_bytes());
+        }
+        for i in 0..10 {
+            m.remove(tid, &key(i));
+        }
+        m.put(tid, key(20), b"updated");
+        s.sync();
+        let rec = montage::recovery::recover(s.pool().crash(), EsysConfig::default(), 4);
+        let m2 = MontageHashMap::<Key>::recover(rec.esys.clone(), 1, 64, &rec);
+        let tid2 = rec.esys.register_thread();
+        assert_eq!(m2.len(), 40);
+        for i in 0..10 {
+            assert!(m2.get_owned(tid2, &key(i)).is_none(), "removed key {i} came back");
+        }
+        assert_eq!(m2.get_owned(tid2, &key(20)).unwrap(), b"updated");
+        for i in 21..50 {
+            assert_eq!(m2.get_owned(tid2, &key(i)).unwrap(), format!("value-{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn unsynced_updates_roll_back_to_prior_value() {
+        let s = sys();
+        let m = MontageHashMap::<Key>::new(s.clone(), 1, 64);
+        let tid = s.register_thread();
+        m.put(tid, key(1), b"old");
+        s.sync();
+        m.put(tid, key(1), b"new"); // never synced
+        let rec = montage::recovery::recover(s.pool().crash(), EsysConfig::default(), 1);
+        let m2 = MontageHashMap::<Key>::recover(rec.esys.clone(), 1, 64, &rec);
+        let tid2 = rec.esys.register_thread();
+        assert_eq!(m2.get_owned(tid2, &key(1)).unwrap(), b"old");
+    }
+
+    #[test]
+    fn map_usable_after_recovery() {
+        let s = sys();
+        let m = MontageHashMap::<Key>::new(s.clone(), 1, 64);
+        let tid = s.register_thread();
+        m.put(tid, key(1), b"a");
+        s.sync();
+        let rec = montage::recovery::recover(s.pool().crash(), EsysConfig::default(), 1);
+        let m2 = MontageHashMap::<Key>::recover(rec.esys.clone(), 1, 64, &rec);
+        let tid2 = rec.esys.register_thread();
+        m2.put(tid2, key(2), b"b");
+        m2.put(tid2, key(1), b"a2");
+        assert_eq!(m2.get_owned(tid2, &key(1)).unwrap(), b"a2");
+        assert_eq!(m2.get_owned(tid2, &key(2)).unwrap(), b"b");
+        assert_eq!(m2.len(), 2);
+    }
+}

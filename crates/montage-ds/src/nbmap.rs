@@ -1,0 +1,428 @@
+//! A nonblocking hashmap on Montage — the paper mentions ("in work not
+//! reported here, we have developed nonblocking linked lists, queues, and
+//! maps") without details; this is the natural construction from the
+//! Sec. 3.3 recipe: each bucket is a Harris-style lock-free ordered list of
+//! **transient** nodes, and every mutating operation linearizes through a
+//! [`montage::VerifyCell::cas_verify`], so it linearizes in the same epoch
+//! that labels its payloads.
+//!
+//! * Insert: create the payload, then DCSS the new node into the list; on
+//!   epoch failure, roll back (same-epoch `PDELETE` frees the payload
+//!   immediately) and restart in the new epoch — the paper's
+//!   `OldSeeNewException` discipline, which keeps the structure lock-free
+//!   rather than wait-free.
+//! * Remove: the linearization point is a DCSS that *marks* the victim
+//!   node's next pointer; the payload's anti-payload is created in the same
+//!   operation; unlinking is physical cleanup.
+//! * Lookup: `load_verify`-style reads only (no stores unless helping an
+//!   in-flight DCSS).
+//!
+//! Transient nodes are reclaimed with crossbeam's epoch GC; persistent state
+//! and recovery are identical to [`crate::MontageHashMap`]'s.
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::epoch::{self, Guard};
+use montage::dcss::CasVerifyError;
+use montage::{EpochSys, PHandle, RecoveredState, ThreadId, VerifyCell};
+
+/// Mark bit on the *value* stored in a node's next cell (pointers are
+/// 8-aligned, so bit 0 is free even after the cell's own shift).
+const MARK: u64 = 1;
+
+struct Node<K> {
+    key: K,
+    payload: PHandle<[u8]>,
+    next: VerifyCell,
+}
+
+fn ptr_of<K>(n: *const Node<K>) -> u64 {
+    n as u64
+}
+
+unsafe fn node_ref<K>(v: u64, _g: &Guard) -> &Node<K> {
+    &*((v & !MARK) as *const Node<K>)
+}
+
+#[inline]
+fn is_marked(v: u64) -> bool {
+    v & MARK == 1
+}
+
+/// A lock-free buffered-persistent hashmap.
+pub struct MontageNbMap<K> {
+    esys: Arc<EpochSys>,
+    tag: u16,
+    /// Bucket heads (sentinel-free: head cell stores the first node or 0).
+    heads: Box<[VerifyCell]>,
+    len: AtomicUsize,
+    _k: std::marker::PhantomData<K>,
+}
+
+// SAFETY: raw node pointers are managed through crossbeam-epoch.
+unsafe impl<K: Send + Sync> Send for MontageNbMap<K> {}
+unsafe impl<K: Send + Sync> Sync for MontageNbMap<K> {}
+
+impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
+    pub fn new(esys: Arc<EpochSys>, tag: u16, nbuckets: usize) -> Self {
+        MontageNbMap {
+            esys,
+            tag,
+            heads: (0..nbuckets).map(|_| VerifyCell::new(0)).collect(),
+            len: AtomicUsize::new(0),
+            _k: std::marker::PhantomData,
+        }
+    }
+
+    /// Rebuilds from recovered payloads (single-threaded; parallelize by
+    /// sharding buckets if needed — recovery-time contention is nil).
+    pub fn recover(esys: Arc<EpochSys>, tag: u16, nbuckets: usize, rec: &RecoveredState) -> Self {
+        let map = Self::new(esys, tag, nbuckets);
+        let tid = map.esys.register_thread();
+        for item in rec.shards.iter().flatten().filter(|it| it.tag == tag) {
+            let key = rec.with_bytes(item, |b| {
+                let mut k = std::mem::MaybeUninit::<K>::uninit();
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        b.as_ptr(),
+                        k.as_mut_ptr() as *mut u8,
+                        std::mem::size_of::<K>(),
+                    );
+                    k.assume_init()
+                }
+            });
+            // Reuse the insert path but attach the existing handle.
+            map.insert_handle(tid, key, item.handle());
+        }
+        map
+    }
+
+    fn index(&self, key: &K) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.heads.len()
+    }
+
+    /// Finds (pred_cell, curr) such that `curr` is the first unmarked node
+    /// with key >= `key` (or 0). Physically unlinks marked nodes on the way
+    /// (Harris helping).
+    fn seek<'g>(
+        &'g self,
+        head: &'g VerifyCell,
+        key: &K,
+        eg: &'g Guard,
+    ) -> (&'g VerifyCell, u64) {
+        'retry: loop {
+            let mut pred_cell: &VerifyCell = head;
+            let mut curr = pred_cell.load(&self.esys);
+            loop {
+                if curr == 0 {
+                    return (pred_cell, 0);
+                }
+                debug_assert!(!is_marked(curr), "pred cell holds a marked pointer");
+                let curr_node = unsafe { node_ref::<K>(curr, eg) };
+                let succ = curr_node.next.load(&self.esys);
+                if is_marked(succ) {
+                    // Help unlink the marked node (plain CAS — cleanup is
+                    // not a linearization point).
+                    if !pred_cell.cas_plain(&self.esys, curr, succ & !MARK) {
+                        continue 'retry;
+                    }
+                    let garbage = curr;
+                    unsafe {
+                        eg.defer_unchecked(move || drop(Box::from_raw(garbage as *mut Node<K>)));
+                    }
+                    curr = succ & !MARK;
+                    continue;
+                }
+                if curr_node.key >= *key {
+                    return (pred_cell, curr);
+                }
+                pred_cell = &curr_node.next;
+                curr = succ;
+            }
+        }
+    }
+
+    /// True iff `key` is present (read-only; helps in-flight DCSS only).
+    pub fn get<R>(&self, _tid: ThreadId, key: &K, f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        let eg = epoch::pin();
+        let ksize = std::mem::size_of::<K>();
+        let head = &self.heads[self.index(key)];
+        let mut curr = head.load(&self.esys);
+        while curr != 0 {
+            let node = unsafe { node_ref::<K>(curr, &eg) };
+            let succ = node.next.load(&self.esys);
+            if node.key == *key {
+                if is_marked(succ) {
+                    return None; // logically deleted
+                }
+                return Some(self.esys.peek_bytes_unsafe(node.payload, |b| f(&b[ksize..])));
+            }
+            if node.key > *key {
+                return None;
+            }
+            curr = succ & !MARK;
+        }
+        None
+    }
+
+    /// Inserts if absent (lock-free); returns `false` if present.
+    pub fn insert(&self, tid: ThreadId, key: K, value: &[u8]) -> bool {
+        let ksize = std::mem::size_of::<K>();
+        let mut bytes = vec![0u8; ksize + value.len()];
+        unsafe {
+            std::ptr::copy_nonoverlapping(&key as *const K as *const u8, bytes.as_mut_ptr(), ksize);
+        }
+        bytes[ksize..].copy_from_slice(value);
+
+        loop {
+            let eg = epoch::pin();
+            let head = &self.heads[self.index(&key)];
+            let g = self.esys.begin_op(tid);
+            let (pred_cell, curr) = self.seek(head, &key, &eg);
+            if curr != 0 && unsafe { node_ref::<K>(curr, &eg) }.key == key {
+                return false;
+            }
+            let payload = self.esys.pnew_bytes(&g, self.tag, &bytes);
+            let node = Box::into_raw(Box::new(Node {
+                key,
+                payload,
+                next: VerifyCell::new(curr),
+            }));
+            match pred_cell.cas_verify(&self.esys, &g, curr, ptr_of(node)) {
+                Ok(()) => {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(CasVerifyError::Conflict(_)) | Err(CasVerifyError::Epoch(_)) => {
+                    // Roll back and restart (possibly in a new epoch).
+                    let _ = self.esys.pdelete(&g, payload);
+                    drop(unsafe { Box::from_raw(node) });
+                }
+            }
+        }
+    }
+
+    /// Pre-built-handle insert used by recovery (no new payload creation).
+    fn insert_handle(&self, tid: ThreadId, key: K, payload: PHandle<[u8]>) -> bool {
+        loop {
+            let eg = epoch::pin();
+            let head = &self.heads[self.index(&key)];
+            let g = self.esys.begin_op(tid);
+            let (pred_cell, curr) = self.seek(head, &key, &eg);
+            if curr != 0 && unsafe { node_ref::<K>(curr, &eg) }.key == key {
+                return false;
+            }
+            let node = Box::into_raw(Box::new(Node {
+                key,
+                payload,
+                next: VerifyCell::new(curr),
+            }));
+            match pred_cell.cas_verify(&self.esys, &g, curr, ptr_of(node)) {
+                Ok(()) => {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(_) => drop(unsafe { Box::from_raw(node) }),
+            }
+        }
+    }
+
+    /// Removes `key` (lock-free); returns `false` if absent.
+    pub fn remove(&self, tid: ThreadId, key: &K) -> bool {
+        loop {
+            let eg = epoch::pin();
+            let head = &self.heads[self.index(key)];
+            let g = self.esys.begin_op(tid);
+            let (_pred, curr) = self.seek(head, key, &eg);
+            if curr == 0 {
+                return false;
+            }
+            let node = unsafe { node_ref::<K>(curr, &eg) };
+            if node.key != *key {
+                return false;
+            }
+            let succ = node.next.load(&self.esys);
+            if is_marked(succ) {
+                continue; // another remover won; re-seek (helps unlink)
+            }
+            // Linearization point: epoch-verified marking of the node.
+            match node.next.cas_verify(&self.esys, &g, succ, succ | MARK) {
+                Ok(()) => {
+                    // Same operation: persistently delete the payload.
+                    let _ = self.esys.pdelete(&g, node.payload);
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    // Physical unlink is opportunistic; seek() helps later.
+                    drop(g);
+                    let _ = self.seek(head, key, &eg);
+                    return true;
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K> Drop for MontageNbMap<K> {
+    fn drop(&mut self) {
+        for head in self.heads.iter() {
+            let mut cur = head.load(&self.esys) & !MARK;
+            while cur != 0 {
+                let node = unsafe { Box::from_raw(cur as *mut Node<K>) };
+                cur = node.next.load(&self.esys) & !MARK;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use montage::EsysConfig;
+    use pmem::{PmemConfig, PmemPool};
+
+    fn sys() -> Arc<EpochSys> {
+        EpochSys::format(
+            PmemPool::new(PmemConfig::strict_for_test(64 << 20)),
+            EsysConfig::default(),
+        )
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let s = sys();
+        let m = MontageNbMap::<u64>::new(s.clone(), 9, 16);
+        let tid = s.register_thread();
+        assert!(m.insert(tid, 5, b"five"));
+        assert!(!m.insert(tid, 5, b"dup"));
+        assert_eq!(m.get(tid, &5, |v| v.to_vec()).unwrap(), b"five");
+        assert!(m.get(tid, &6, |_| ()).is_none());
+        assert!(m.remove(tid, &5));
+        assert!(!m.remove(tid, &5));
+        assert!(m.get(tid, &5, |_| ()).is_none());
+        assert!(m.insert(tid, 5, b"again"), "reinsert after remove");
+    }
+
+    #[test]
+    fn ordered_chains_handle_collisions() {
+        let s = sys();
+        let m = MontageNbMap::<u64>::new(s.clone(), 9, 1); // all keys collide
+        let tid = s.register_thread();
+        for k in [7u64, 3, 9, 1, 5] {
+            assert!(m.insert(tid, k, &k.to_le_bytes()));
+        }
+        for k in [1u64, 3, 5, 7, 9] {
+            assert_eq!(m.get(tid, &k, |v| v.to_vec()).unwrap(), k.to_le_bytes());
+        }
+        assert!(m.remove(tid, &5));
+        for k in [1u64, 3, 7, 9] {
+            assert!(m.get(tid, &k, |_| ()).is_some());
+        }
+        assert!(m.get(tid, &5, |_| ()).is_none());
+    }
+
+    #[test]
+    fn survives_epoch_churn() {
+        let s = sys();
+        let m = MontageNbMap::<u64>::new(s.clone(), 9, 8);
+        let tid = s.register_thread();
+        for i in 0..200u64 {
+            assert!(m.insert(tid, i, &i.to_le_bytes()));
+            if i % 13 == 0 {
+                s.advance_epoch();
+            }
+            if i % 3 == 0 {
+                assert!(m.remove(tid, &i));
+            }
+        }
+        for i in 0..200u64 {
+            assert_eq!(m.get(tid, &i, |_| ()).is_some(), i % 3 != 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let s = sys();
+        let m = Arc::new(MontageNbMap::<u64>::new(s.clone(), 9, 64));
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let m = m.clone();
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let tid = s.register_thread();
+                for i in 0..400 {
+                    assert!(m.insert(tid, t * 10_000 + i, &t.to_le_bytes()));
+                }
+            }));
+        }
+        for _ in 0..10 {
+            s.advance_epoch();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 1600);
+        let tid = s.register_thread();
+        for t in 0..4u64 {
+            for i in 0..400 {
+                assert!(m.get(tid, &(t * 10_000 + i), |_| ()).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_contended_key_exactly_one_winner() {
+        let s = sys();
+        let m = Arc::new(MontageNbMap::<u64>::new(s.clone(), 9, 4));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let m = m.clone();
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let tid = s.register_thread();
+                let mut wins = 0;
+                for k in 0..200u64 {
+                    if m.insert(tid, k, b"w") {
+                        wins += 1;
+                    }
+                }
+                wins
+            }));
+        }
+        let wins: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(wins, 200, "each key inserted exactly once across threads");
+    }
+
+    #[test]
+    fn recovery_restores_contents() {
+        let s = sys();
+        let m = MontageNbMap::<u64>::new(s.clone(), 9, 8);
+        let tid = s.register_thread();
+        for i in 0..60u64 {
+            m.insert(tid, i, &i.to_le_bytes());
+        }
+        for i in 0..20u64 {
+            m.remove(tid, &i);
+        }
+        s.sync();
+        let rec = montage::recovery::recover(s.pool().crash(), EsysConfig::default(), 2);
+        let m2 = MontageNbMap::<u64>::recover(rec.esys.clone(), 9, 8, &rec);
+        let tid2 = rec.esys.register_thread();
+        assert_eq!(m2.len(), 40);
+        for i in 0..60u64 {
+            assert_eq!(m2.get(tid2, &i, |_| ()).is_some(), i >= 20, "key {i}");
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! A lock-free LIFO stack on Montage (Treiber stack linearized with
+//! `CAS_verify`). Rounds out the item-structure family — the paper's design
+//! covers "anything that can be represented as a graph", and related work
+//! (MOD, Mahapatra et al.) benchmarks stacks; persistent state is the bag
+//! of payloads labelled with push sequence numbers, whose sorted order
+//! reconstructs bottom-to-top.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::epoch::{self, Guard};
+use montage::dcss::CasVerifyError;
+use montage::{EpochSys, PHandle, RecoveredState, ThreadId, VerifyCell};
+
+const SEQ_BYTES: usize = 8;
+
+struct Node {
+    payload: PHandle<[u8]>,
+    next: u64,
+}
+
+unsafe fn node_ref(ptr: u64, _g: &Guard) -> &Node {
+    &*(ptr as *const Node)
+}
+
+/// A buffered-persistent lock-free stack.
+pub struct MontageStack {
+    esys: Arc<EpochSys>,
+    tag: u16,
+    top: VerifyCell,
+    next_seq: AtomicU64,
+}
+
+// SAFETY: node pointers are managed through crossbeam-epoch.
+unsafe impl Send for MontageStack {}
+unsafe impl Sync for MontageStack {}
+
+impl MontageStack {
+    pub fn new(esys: Arc<EpochSys>, tag: u16) -> Self {
+        MontageStack {
+            esys,
+            tag,
+            top: VerifyCell::new(0),
+            next_seq: AtomicU64::new(1),
+        }
+    }
+
+    /// Rebuilds from recovered payloads: ascending push sequence = bottom to
+    /// top.
+    pub fn recover(esys: Arc<EpochSys>, tag: u16, rec: &RecoveredState) -> Self {
+        let mut items: Vec<(u64, PHandle<[u8]>)> = rec
+            .shards
+            .iter()
+            .flatten()
+            .filter(|it| it.tag == tag)
+            .map(|it| {
+                let seq =
+                    rec.with_bytes(it, |b| u64::from_le_bytes(b[..SEQ_BYTES].try_into().unwrap()));
+                (seq, it.handle())
+            })
+            .collect();
+        items.sort_unstable_by_key(|&(s, _)| s);
+        let s = Self::new(esys, tag);
+        let mut top = 0u64;
+        for &(_, payload) in &items {
+            top = Box::into_raw(Box::new(Node { payload, next: top })) as u64;
+        }
+        s.top.store_unsync(top);
+        s.next_seq
+            .store(items.last().map_or(1, |&(q, _)| q + 1), Ordering::Relaxed);
+        s
+    }
+
+    pub fn esys(&self) -> &Arc<EpochSys> {
+        &self.esys
+    }
+
+    /// Pushes `value` (lock-free).
+    pub fn push(&self, tid: ThreadId, value: &[u8]) {
+        loop {
+            let g = self.esys.begin_op(tid);
+            let _eg = epoch::pin();
+            let seq = self.next_seq.fetch_add(1, Ordering::AcqRel);
+            let mut buf = Vec::with_capacity(SEQ_BYTES + value.len());
+            buf.extend_from_slice(&seq.to_le_bytes());
+            buf.extend_from_slice(value);
+            let payload = self.esys.pnew_bytes(&g, self.tag, &buf);
+            let old_top = self.top.load(&self.esys);
+            let node = Box::into_raw(Box::new(Node {
+                payload,
+                next: old_top,
+            })) as u64;
+            match self.top.cas_verify(&self.esys, &g, old_top, node) {
+                Ok(()) => return,
+                Err(CasVerifyError::Conflict(_)) | Err(CasVerifyError::Epoch(_)) => {
+                    let _ = self.esys.pdelete(&g, payload);
+                    drop(unsafe { Box::from_raw(node as *mut Node) });
+                }
+            }
+        }
+    }
+
+    /// Pops the top value (lock-free).
+    pub fn pop(&self, tid: ThreadId) -> Option<Vec<u8>> {
+        loop {
+            let g = self.esys.begin_op(tid);
+            let eg = epoch::pin();
+            let top = self.top.load(&self.esys);
+            if top == 0 {
+                return None;
+            }
+            let node = unsafe { node_ref(top, &eg) };
+            let value = self
+                .esys
+                .peek_bytes_unsafe(node.payload, |b| b[SEQ_BYTES.min(b.len())..].to_vec());
+            match self.top.cas_verify(&self.esys, &g, top, node.next) {
+                Ok(()) => {
+                    let _ = self.esys.pdelete(&g, node.payload);
+                    unsafe {
+                        eg.defer_unchecked(move || drop(Box::from_raw(top as *mut Node)));
+                    }
+                    return Some(value);
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Approximate depth (racy walk; for tests).
+    pub fn len_approx(&self) -> usize {
+        let eg = epoch::pin();
+        let mut n = 0;
+        let mut cur = self.top.load(&self.esys);
+        while cur != 0 {
+            n += 1;
+            cur = unsafe { node_ref(cur, &eg) }.next;
+        }
+        n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.top.load(&self.esys) == 0
+    }
+}
+
+impl Drop for MontageStack {
+    fn drop(&mut self) {
+        let eg = epoch::pin();
+        let mut cur = self.top.load(&self.esys);
+        while cur != 0 {
+            let next = unsafe { node_ref(cur, &eg) }.next;
+            drop(unsafe { Box::from_raw(cur as *mut Node) });
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use montage::EsysConfig;
+    use pmem::{PmemConfig, PmemPool};
+
+    fn sys() -> Arc<EpochSys> {
+        EpochSys::format(
+            PmemPool::new(PmemConfig::strict_for_test(32 << 20)),
+            EsysConfig::default(),
+        )
+    }
+
+    #[test]
+    fn lifo_order() {
+        let s = sys();
+        let st = MontageStack::new(s.clone(), 12);
+        let tid = s.register_thread();
+        for i in 0..20u32 {
+            st.push(tid, &i.to_le_bytes());
+        }
+        assert_eq!(st.len_approx(), 20);
+        for i in (0..20u32).rev() {
+            assert_eq!(st.pop(tid).unwrap(), i.to_le_bytes());
+        }
+        assert!(st.pop(tid).is_none());
+        assert!(st.is_empty());
+    }
+
+    #[test]
+    fn survives_epoch_churn() {
+        let s = sys();
+        let st = MontageStack::new(s.clone(), 12);
+        let tid = s.register_thread();
+        for i in 0..100u32 {
+            st.push(tid, &i.to_le_bytes());
+            if i % 9 == 0 {
+                s.advance_epoch();
+            }
+            if i % 3 == 0 {
+                st.pop(tid);
+            }
+        }
+        let mut n = 0;
+        while st.pop(tid).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100 - 34);
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves() {
+        let s = sys();
+        let st = Arc::new(MontageStack::new(s.clone(), 12));
+        let mut handles = vec![];
+        for t in 0..4u32 {
+            let st = st.clone();
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let tid = s.register_thread();
+                let mut popped = 0usize;
+                for i in 0..400u32 {
+                    st.push(tid, &(t * 1000 + i).to_le_bytes());
+                    if i % 2 == 0 && st.pop(tid).is_some() {
+                        popped += 1;
+                    }
+                }
+                popped
+            }));
+        }
+        for _ in 0..10 {
+            s.advance_epoch();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let popped: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(popped + st.len_approx(), 1600);
+    }
+
+    #[test]
+    fn recovery_restores_lifo_order() {
+        let s = sys();
+        let st = MontageStack::new(s.clone(), 12);
+        let tid = s.register_thread();
+        for i in 0..15u32 {
+            st.push(tid, &i.to_le_bytes());
+        }
+        for _ in 0..5 {
+            st.pop(tid); // pops 14..10
+        }
+        s.sync();
+        let rec = montage::recovery::recover(s.pool().crash(), EsysConfig::default(), 1);
+        let st2 = MontageStack::recover(rec.esys.clone(), 12, &rec);
+        let tid2 = rec.esys.register_thread();
+        assert_eq!(st2.len_approx(), 10);
+        for i in (0..10u32).rev() {
+            assert_eq!(st2.pop(tid2).unwrap(), i.to_le_bytes());
+        }
+        // Push sequence continues past the recovered maximum.
+        st2.push(tid2, b"post-recovery");
+        assert_eq!(st2.pop(tid2).unwrap(), b"post-recovery");
+    }
+}

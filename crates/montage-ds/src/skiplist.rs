@@ -1,0 +1,525 @@
+//! An ordered map on Montage: a lazy skip list (Herlihy–Shavit style, with
+//! per-node locks and wait-free lookups) — one of the "various tree-based
+//! maps" the paper reports developing. The entire skip-list index (towers,
+//! locks, marks) is transient; the persistent state is the familiar bag of
+//! key/value payloads, plus ordered iteration falls out of recovery by
+//! sorting. Demonstrates that Montage's payload discipline is independent
+//! of the lookup structure's shape.
+//!
+//! Synchronization follows the lazy-list recipe: inserts lock the
+//! predecessor at every level and validate; removes mark the victim
+//! (logical delete = the linearization point, performed inside the Montage
+//! operation together with `PDELETE`) before unlinking; lookups are
+//! lock-free over the transient towers.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use montage::{EpochSys, PHandle, RecoveredState, ThreadId};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const MAX_LEVEL: usize = 16;
+
+struct Node<K> {
+    key: Option<K>, // None for the head sentinel
+    payload: parking_lot::Mutex<PHandle<[u8]>>,
+    /// next[level] — raw pointers, managed by crossbeam-epoch.
+    next: Vec<crossbeam::epoch::Atomic<Node<K>>>,
+    marked: AtomicBool,
+    fully_linked: AtomicBool,
+    lock: Mutex<()>,
+}
+
+impl<K> Node<K> {
+    fn new(key: Option<K>, payload: PHandle<[u8]>, height: usize) -> Self {
+        Node {
+            key,
+            payload: parking_lot::Mutex::new(payload),
+            next: (0..height).map(|_| crossbeam::epoch::Atomic::null()).collect(),
+            marked: AtomicBool::new(false),
+            fully_linked: AtomicBool::new(false),
+            lock: Mutex::new(()),
+        }
+    }
+
+    fn height(&self) -> usize {
+        self.next.len()
+    }
+}
+
+/// A buffered-persistent ordered map (lazy skip list).
+pub struct MontageSkipListMap<K> {
+    esys: Arc<EpochSys>,
+    tag: u16,
+    head: crossbeam::epoch::Atomic<Node<K>>,
+    len: AtomicUsize,
+}
+
+unsafe impl<K: Send + Sync> Send for MontageSkipListMap<K> {}
+unsafe impl<K: Send + Sync> Sync for MontageSkipListMap<K> {}
+
+impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
+    pub fn new(esys: Arc<EpochSys>, tag: u16) -> Self {
+        let head = crossbeam::epoch::Atomic::new(Node::new(None, PHandle::null(), MAX_LEVEL));
+        MontageSkipListMap {
+            esys,
+            tag,
+            head,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Rebuilds from recovered payloads (keys extracted from payload bytes).
+    pub fn recover(esys: Arc<EpochSys>, tag: u16, rec: &RecoveredState) -> Self {
+        let map = Self::new(esys, tag);
+        let tid = map.esys.register_thread();
+        for item in rec.shards.iter().flatten().filter(|it| it.tag == tag) {
+            let key = rec.with_bytes(item, |b| {
+                let mut k = std::mem::MaybeUninit::<K>::uninit();
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        b.as_ptr(),
+                        k.as_mut_ptr() as *mut u8,
+                        std::mem::size_of::<K>(),
+                    );
+                    k.assume_init()
+                }
+            });
+            map.insert_handle(tid, key, item.handle());
+        }
+        map
+    }
+
+    fn random_height(&self) -> usize {
+        // Geometric(1/2), capped.
+        let mut rng = SmallRng::from_entropy();
+        let mut h = 1;
+        while h < MAX_LEVEL && rng.gen::<bool>() {
+            h += 1;
+        }
+        h
+    }
+
+    /// Finds predecessors/successors at every level. Returns the level at
+    /// which an unmarked `key` node was found (or None).
+    #[allow(clippy::type_complexity, clippy::while_let_loop)]
+    fn find<'g>(
+        &self,
+        key: &K,
+        guard: &'g crossbeam::epoch::Guard,
+    ) -> (
+        Vec<crossbeam::epoch::Shared<'g, Node<K>>>,
+        Vec<crossbeam::epoch::Shared<'g, Node<K>>>,
+        Option<usize>,
+    ) {
+        let head = self.head.load(Ordering::Acquire, guard);
+        let mut preds = vec![head; MAX_LEVEL];
+        let mut succs = vec![crossbeam::epoch::Shared::null(); MAX_LEVEL];
+        let mut found = None;
+        let mut pred = head;
+        for level in (0..MAX_LEVEL).rev() {
+            let mut curr = unsafe { pred.deref() }.next[level].load(Ordering::Acquire, guard);
+            loop {
+                let Some(curr_ref) = (unsafe { curr.as_ref() }) else {
+                    break;
+                };
+                match curr_ref.key.as_ref().unwrap().cmp(key) {
+                    std::cmp::Ordering::Less => {
+                        pred = curr;
+                        curr = curr_ref.next[level].load(Ordering::Acquire, guard);
+                    }
+                    std::cmp::Ordering::Equal => {
+                        if found.is_none() && !curr_ref.marked.load(Ordering::Acquire) {
+                            found = Some(level);
+                        }
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+            preds[level] = pred;
+            succs[level] = curr;
+        }
+        (preds, succs, found)
+    }
+
+    fn encode(&self, key: &K, value: &[u8]) -> Vec<u8> {
+        let ksize = std::mem::size_of::<K>();
+        let mut buf = vec![0u8; ksize + value.len()];
+        unsafe {
+            std::ptr::copy_nonoverlapping(key as *const K as *const u8, buf.as_mut_ptr(), ksize);
+        }
+        buf[ksize..].copy_from_slice(value);
+        buf
+    }
+
+    /// Inserts if absent; returns `false` if the key exists.
+    pub fn insert(&self, tid: ThreadId, key: K, value: &[u8]) -> bool {
+        let bytes = self.encode(&key, value);
+        self.insert_with(tid, key, |esys, g, tag| esys.pnew_bytes(g, tag, &bytes))
+    }
+
+    fn insert_handle(&self, tid: ThreadId, key: K, h: PHandle<[u8]>) -> bool {
+        self.insert_with(tid, key, |_esys, _g, _tag| h)
+    }
+
+    fn insert_with(
+        &self,
+        tid: ThreadId,
+        key: K,
+        mk_payload: impl Fn(&EpochSys, &montage::OpGuard<'_>, u16) -> PHandle<[u8]>,
+    ) -> bool {
+        let height = self.random_height();
+        loop {
+            let guard = crossbeam::epoch::pin();
+            let (preds, succs, found) = self.find(&key, &guard);
+            if let Some(lf) = found {
+                let node = unsafe { succs[lf].deref() };
+                // Wait until it is fully linked or marked, then report.
+                while !node.fully_linked.load(Ordering::Acquire)
+                    && !node.marked.load(Ordering::Acquire)
+                {
+                    std::hint::spin_loop();
+                }
+                if !node.marked.load(Ordering::Acquire) {
+                    return false;
+                }
+                continue; // being removed: retry
+            }
+
+            // Lock predecessors bottom-up and validate.
+            let mut locks = Vec::with_capacity(height);
+            let mut valid = true;
+            let mut locked_ptrs: Vec<*const Node<K>> = Vec::with_capacity(height);
+            for (level, item) in preds.iter().enumerate().take(height) {
+                let pred = unsafe { item.deref() };
+                // Avoid double-locking the same predecessor node.
+                if !locked_ptrs.contains(&(pred as *const _)) {
+                    locks.push(pred.lock.lock());
+                    locked_ptrs.push(pred as *const _);
+                }
+                let succ = pred.next[level].load(Ordering::Acquire, &guard);
+                if pred.marked.load(Ordering::Acquire) || succ != succs[level] {
+                    valid = false;
+                    break;
+                }
+            }
+            if !valid {
+                drop(locks);
+                continue;
+            }
+
+            // Montage operation: create the payload, then link.
+            let g = self.esys.begin_op(tid);
+            let payload = mk_payload(&self.esys, &g, self.tag);
+            let node = crossbeam::epoch::Owned::new(Node::new(Some(key), payload, height));
+            for (level, succ) in succs.iter().enumerate().take(height) {
+                node.next[level].store(succ.with_tag(0), Ordering::Relaxed);
+            }
+            let node = node.into_shared(&guard);
+            for (level, item) in preds.iter().enumerate().take(height) {
+                unsafe { item.deref() }.next[level].store(node, Ordering::Release);
+            }
+            unsafe { node.deref() }.fully_linked.store(true, Ordering::Release);
+            self.len.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+    }
+
+    /// Lock-free lookup.
+    pub fn get<R>(&self, _tid: ThreadId, key: &K, f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        let guard = crossbeam::epoch::pin();
+        let ksize = std::mem::size_of::<K>();
+        let (_, succs, found) = self.find(key, &guard);
+        let lf = found?;
+        let node = unsafe { succs[lf].deref() };
+        if !node.fully_linked.load(Ordering::Acquire) || node.marked.load(Ordering::Acquire) {
+            return None;
+        }
+        let h = *node.payload.lock();
+        Some(self.esys.peek_bytes_unsafe(h, |b| f(&b[ksize..])))
+    }
+
+    /// Updates the value for an existing key in place (Montage `set`);
+    /// returns `false` if absent. Values must keep their size.
+    pub fn update(&self, tid: ThreadId, key: &K, value: &[u8]) -> bool {
+        let ksize = std::mem::size_of::<K>();
+        let guard = crossbeam::epoch::pin();
+        let (_, succs, found) = self.find(key, &guard);
+        let Some(lf) = found else {
+            return false;
+        };
+        let node = unsafe { succs[lf].deref() };
+        let _l = node.lock.lock();
+        if node.marked.load(Ordering::Acquire) || !node.fully_linked.load(Ordering::Acquire) {
+            return false;
+        }
+        let g = self.esys.begin_op(tid);
+        let mut h = node.payload.lock();
+        let same_len = self.esys.peek_bytes_unsafe(*h, |b| b.len() == ksize + value.len());
+        if same_len {
+            *h = self
+                .esys
+                .set_bytes(&g, *h, |b| b[ksize..].copy_from_slice(value))
+                .expect("node lock orders epochs");
+        } else {
+            let nh = self.esys.pnew_bytes(&g, self.tag, &self.encode(key, value));
+            let _ = self.esys.pdelete(&g, *h);
+            *h = nh;
+        }
+        true
+    }
+
+    /// Removes `key`; returns `false` if absent.
+    pub fn remove(&self, tid: ThreadId, key: &K) -> bool {
+        let mut victim_height = 0;
+        loop {
+            let guard = crossbeam::epoch::pin();
+            let (preds, succs, found) = self.find(key, &guard);
+            let Some(lf) = found else {
+                return false;
+            };
+            let victim_sh = succs[lf];
+            let victim = unsafe { victim_sh.deref() };
+            if victim_height == 0 {
+                if !victim.fully_linked.load(Ordering::Acquire)
+                    || victim.marked.load(Ordering::Acquire)
+                    || lf + 1 != victim.height()
+                {
+                    if victim.marked.load(Ordering::Acquire) {
+                        return false;
+                    }
+                    continue;
+                }
+                victim_height = victim.height();
+            }
+
+            // Lock the victim and mark it (logical delete + PDELETE = the
+            // failure-atomic linearization).
+            let _vl = victim.lock.lock();
+            if victim.marked.load(Ordering::Acquire) {
+                return false;
+            }
+
+            // Lock and validate predecessors.
+            let mut locks = Vec::new();
+            let mut locked_ptrs: Vec<*const Node<K>> = Vec::new();
+            let mut valid = true;
+            for (level, item) in preds.iter().enumerate().take(victim_height) {
+                let pred = unsafe { item.deref() };
+                if !locked_ptrs.contains(&(pred as *const _)) {
+                    locks.push(pred.lock.lock());
+                    locked_ptrs.push(pred as *const _);
+                }
+                let succ = pred.next[level].load(Ordering::Acquire, &guard);
+                if pred.marked.load(Ordering::Acquire) || succ != victim_sh {
+                    valid = false;
+                    break;
+                }
+            }
+            if !valid {
+                drop(locks);
+                continue;
+            }
+
+            let g = self.esys.begin_op(tid);
+            victim.marked.store(true, Ordering::Release);
+            let h = *victim.payload.lock();
+            let _ = self.esys.pdelete(&g, h);
+            for level in (0..victim_height).rev() {
+                let succ = victim.next[level].load(Ordering::Acquire, &guard);
+                unsafe { preds[level].deref() }.next[level].store(succ, Ordering::Release);
+            }
+            self.len.fetch_sub(1, Ordering::Relaxed);
+            unsafe {
+                guard.defer_destroy(victim_sh);
+            }
+            return true;
+        }
+    }
+
+    /// Ascending iteration over keys (racy snapshot; for tests/examples).
+    pub fn keys(&self) -> Vec<K> {
+        let guard = crossbeam::epoch::pin();
+        let mut out = Vec::new();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        let mut cur = unsafe { head.deref() }.next[0].load(Ordering::Acquire, &guard);
+        while let Some(node) = unsafe { cur.as_ref() } {
+            if !node.marked.load(Ordering::Acquire) {
+                out.push(*node.key.as_ref().unwrap());
+            }
+            cur = node.next[0].load(Ordering::Acquire, &guard);
+        }
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K> Drop for MontageSkipListMap<K> {
+    fn drop(&mut self) {
+        // Single-threaded teardown of the transient tower.
+        let guard = unsafe { crossbeam::epoch::unprotected() };
+        let mut cur = self.head.load(Ordering::Relaxed, guard);
+        while !cur.is_null() {
+            let next = unsafe { cur.deref() }.next[0].load(Ordering::Relaxed, guard);
+            drop(unsafe { cur.into_owned() });
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use montage::EsysConfig;
+    use pmem::{PmemConfig, PmemPool};
+
+    fn sys() -> Arc<EpochSys> {
+        EpochSys::format(
+            PmemPool::new(PmemConfig::strict_for_test(64 << 20)),
+            EsysConfig::default(),
+        )
+    }
+
+    #[test]
+    fn insert_get_remove_update() {
+        let s = sys();
+        let m = MontageSkipListMap::<u64>::new(s.clone(), 11);
+        let tid = s.register_thread();
+        assert!(m.insert(tid, 10, b"ten"));
+        assert!(!m.insert(tid, 10, b"dup"));
+        assert_eq!(m.get(tid, &10, |v| v.to_vec()).unwrap(), b"ten");
+        assert!(m.update(tid, &10, b"TEN"));
+        assert_eq!(m.get(tid, &10, |v| v.to_vec()).unwrap(), b"TEN");
+        assert!(m.update(tid, &10, b"a longer replacement value"));
+        assert_eq!(m.get(tid, &10, |v| v.to_vec()).unwrap(), b"a longer replacement value");
+        assert!(m.remove(tid, &10));
+        assert!(!m.remove(tid, &10));
+        assert!(m.get(tid, &10, |_| ()).is_none());
+        assert!(!m.update(tid, &10, b"gone"));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = sys();
+        let m = MontageSkipListMap::<u64>::new(s.clone(), 11);
+        let tid = s.register_thread();
+        for k in [50u64, 10, 90, 30, 70, 20, 80, 40, 60, 100] {
+            m.insert(tid, k, &k.to_le_bytes());
+        }
+        m.remove(tid, &50);
+        assert_eq!(m.keys(), vec![10, 20, 30, 40, 60, 70, 80, 90, 100]);
+    }
+
+    #[test]
+    fn epoch_churn_during_mutation() {
+        let s = sys();
+        let m = MontageSkipListMap::<u64>::new(s.clone(), 11);
+        let tid = s.register_thread();
+        for i in 0..300u64 {
+            m.insert(tid, i, &i.to_le_bytes());
+            if i % 11 == 0 {
+                s.advance_epoch();
+            }
+            if i % 3 == 0 {
+                m.update(tid, &i, &(i * 2).to_le_bytes());
+            }
+            if i % 5 == 0 {
+                m.remove(tid, &i);
+            }
+        }
+        for i in 0..300u64 {
+            let expect = i % 5 != 0;
+            assert_eq!(m.get(tid, &i, |_| ()).is_some(), expect, "key {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_workload() {
+        let s = sys();
+        let m = Arc::new(MontageSkipListMap::<u64>::new(s.clone(), 11));
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let m = m.clone();
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let tid = s.register_thread();
+                for i in 0..400u64 {
+                    let k = t * 100_000 + i;
+                    assert!(m.insert(tid, k, &k.to_le_bytes()));
+                    if i % 2 == 0 {
+                        assert!(m.remove(tid, &k));
+                    }
+                }
+            }));
+        }
+        for _ in 0..10 {
+            s.advance_epoch();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 4 * 200);
+        let keys = m.keys();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+        assert_eq!(keys.len(), 800);
+    }
+
+    #[test]
+    fn contended_same_keys() {
+        let s = sys();
+        let m = Arc::new(MontageSkipListMap::<u64>::new(s.clone(), 11));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let m = m.clone();
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let tid = s.register_thread();
+                let mut wins = 0;
+                for k in 0..150u64 {
+                    if m.insert(tid, k, b"x") {
+                        wins += 1;
+                    }
+                }
+                wins
+            }));
+        }
+        let wins: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(wins, 150);
+        assert_eq!(m.len(), 150);
+    }
+
+    #[test]
+    fn recovery_restores_sorted_map() {
+        let s = sys();
+        let m = MontageSkipListMap::<u64>::new(s.clone(), 11);
+        let tid = s.register_thread();
+        for i in 0..100u64 {
+            m.insert(tid, i, &i.to_le_bytes());
+        }
+        for i in (0..100u64).step_by(4) {
+            m.remove(tid, &i);
+        }
+        m.update(tid, &1, &999u64.to_le_bytes());
+        s.sync();
+        let rec = montage::recovery::recover(s.pool().crash(), EsysConfig::default(), 2);
+        let m2 = MontageSkipListMap::<u64>::recover(rec.esys.clone(), 11, &rec);
+        let tid2 = rec.esys.register_thread();
+        assert_eq!(m2.len(), 75);
+        assert_eq!(m2.get(tid2, &1, |v| v.to_vec()).unwrap(), 999u64.to_le_bytes());
+        assert!(m2.get(tid2, &4, |_| ()).is_none());
+        let keys = m2.keys();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(keys.len(), 75);
+    }
+}

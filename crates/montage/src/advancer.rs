@@ -1,0 +1,117 @@
+//! The background epoch-advancing thread (paper Sec. 5.2: "a single
+//! background thread serves to advance the epoch, … writes back any
+//! remaining items in the per-worker-thread buffers at each epoch boundary,
+//! and performs all memory reclamation").
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::esys::EpochSys;
+
+/// Handle to a running background advancer. Dropping it stops the thread.
+pub struct Advancer {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Advancer {
+    /// Starts an advancer ticking at the system's configured epoch length.
+    pub fn start(esys: Arc<EpochSys>) -> Advancer {
+        Self::start_with_period(esys, None)
+    }
+
+    /// Starts an advancer with an explicit period (overriding the config).
+    pub fn start_with_period(esys: Arc<EpochSys>, period: Option<Duration>) -> Advancer {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let period = period.unwrap_or(esys.config().epoch_length);
+        let handle = std::thread::Builder::new()
+            .name("montage-advancer".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    // Sleep in small slices so shutdown is prompt even with
+                    // second-scale epochs (Fig. 4/5 sweeps go up to 5 s).
+                    let mut remaining = period;
+                    let slice = Duration::from_millis(5);
+                    while remaining > Duration::ZERO && !stop2.load(Ordering::Relaxed) {
+                        let d = remaining.min(slice);
+                        std::thread::sleep(d);
+                        remaining = remaining.saturating_sub(d);
+                    }
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    esys.advance_epoch();
+                }
+            })
+            .expect("spawn advancer");
+        Advancer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops and joins the advancer thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Advancer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EsysConfig;
+    use pmem::{PmemConfig, PmemPool};
+
+    #[test]
+    fn advancer_ticks_the_clock() {
+        let esys = EpochSys::format(
+            PmemPool::new(PmemConfig::strict_for_test(8 << 20)),
+            EsysConfig {
+                epoch_length: Duration::from_millis(5),
+                ..Default::default()
+            },
+        );
+        let e0 = esys.curr_epoch();
+        let adv = Advancer::start(esys.clone());
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while esys.curr_epoch() < e0 + 3 {
+            assert!(std::time::Instant::now() < deadline, "advancer not ticking");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        adv.stop();
+    }
+
+    #[test]
+    fn drop_stops_the_thread() {
+        let esys = EpochSys::format(
+            PmemPool::new(PmemConfig::strict_for_test(8 << 20)),
+            EsysConfig {
+                epoch_length: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        {
+            let _adv = Advancer::start(esys.clone());
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let e = esys.curr_epoch();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(esys.curr_epoch(), e, "clock must stop after drop");
+    }
+}

@@ -1,0 +1,262 @@
+//! Per-thread `to_persist` and `to_free` containers for the four most recent
+//! epochs, indexed by `epoch % 4` (paper Fig. 3).
+//!
+//! `to_persist` is the per-thread **circular write-back buffer** of Sec. 5.2:
+//! a bounded ring of payload extents; pushing into a full ring writes the
+//! oldest entry back incrementally ("when these buffers overflow, the oldest
+//! entries are written back incrementally"). The background advancer drains
+//! whatever remains at the epoch boundary.
+//!
+//! Each thread's containers sit behind a single small mutex: the owner takes
+//! it briefly on every `set`/`PNEW`, the advancer at epoch boundaries, and a
+//! `sync` caller when helping. The paper's implementation uses bespoke
+//! lock-free rings; a per-thread uncontended mutex has the same scaling
+//! behaviour at our thread counts and keeps draining trivially race-free.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+use pmem::{PmemPool, POff};
+
+use crate::payload::Header;
+
+/// A payload extent to write back: block offset + total length (header+data).
+pub type PersistEntry = (POff, u32);
+
+/// One epoch bucket of the circular write-back buffer.
+#[derive(Debug, Default)]
+struct PersistBucket {
+    /// Which epoch this bucket currently holds entries for.
+    epoch: u64,
+    ring: VecDeque<PersistEntry>,
+}
+
+/// One epoch bucket of retired payloads awaiting reclamation.
+#[derive(Debug, Default)]
+struct FreeBucket {
+    epoch: u64,
+    blocks: Vec<POff>,
+}
+
+/// All buffered state of one thread.
+#[derive(Debug, Default)]
+pub struct ThreadBuffers {
+    persist: [PersistBucket; 4],
+    free: [FreeBucket; 4],
+}
+
+/// Per-thread buffer sets for every registered thread.
+pub struct Buffers {
+    threads: Box<[Mutex<ThreadBuffers>]>,
+    capacity: usize,
+}
+
+impl Buffers {
+    pub fn new(max_threads: usize, capacity: usize) -> Self {
+        Buffers {
+            threads: (0..max_threads).map(|_| Mutex::default()).collect(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Ring capacity per bucket.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records that the payload at `blk` (of `len` bytes including header)
+    /// was created or modified in `epoch` by thread `tid`. If the ring is
+    /// full, the oldest entry is written back (no fence) before inserting.
+    ///
+    /// Returns the minimum epoch for which this thread still holds
+    /// unpersisted entries (for the mindicator).
+    pub fn push_persist(&self, pool: &PmemPool, tid: usize, epoch: u64, blk: POff, len: u32) -> u64 {
+        let mut t = self.threads[tid].lock();
+        let cap = self.capacity;
+        let b = &mut t.persist[(epoch % 4) as usize];
+        debug_assert!(
+            b.ring.is_empty() || b.epoch == epoch,
+            "persist bucket reused before being drained (epoch {} vs {})",
+            b.epoch,
+            epoch
+        );
+        b.epoch = epoch;
+        if b.ring.len() >= cap {
+            let (o, l) = b.ring.pop_front().unwrap();
+            pool.clwb_range(o, l as usize);
+        }
+        b.ring.push_back((blk, len));
+        min_pending_epoch(&t)
+    }
+
+    /// Writes back (without fencing) all of thread `tid`'s entries for
+    /// `epoch`. Returns the thread's new minimum pending epoch.
+    pub fn drain_persist(&self, pool: &PmemPool, tid: usize, epoch: u64) -> u64 {
+        let mut t = self.threads[tid].lock();
+        let b = &mut t.persist[(epoch % 4) as usize];
+        if b.epoch == epoch {
+            for &(o, l) in &b.ring {
+                pool.clwb_range(o, l as usize);
+            }
+            b.ring.clear();
+        }
+        min_pending_epoch(&t)
+    }
+
+    /// Writes back all of `tid`'s entries for every epoch `<= epoch`.
+    pub fn drain_persist_upto(&self, pool: &PmemPool, tid: usize, epoch: u64) -> u64 {
+        let mut t = self.threads[tid].lock();
+        for b in t.persist.iter_mut() {
+            if b.epoch <= epoch && !b.ring.is_empty() {
+                for &(o, l) in &b.ring {
+                    pool.clwb_range(o, l as usize);
+                }
+                b.ring.clear();
+            }
+        }
+        min_pending_epoch(&t)
+    }
+
+    /// Schedules block `blk` (retired in `epoch`) for reclamation two epochs
+    /// later.
+    pub fn push_free(&self, tid: usize, epoch: u64, blk: POff) {
+        let mut t = self.threads[tid].lock();
+        let b = &mut t.free[(epoch % 4) as usize];
+        debug_assert!(
+            b.blocks.is_empty() || b.epoch == epoch,
+            "free bucket reused before being drained"
+        );
+        b.epoch = epoch;
+        b.blocks.push(blk);
+    }
+
+    /// Reclaims thread `tid`'s retirements for `epoch`: tombstones each
+    /// block header (scheduling the line for write-back, so the sweep can
+    /// never resurrect it) and returns the blocks for deallocation. The
+    /// caller fences and deallocates.
+    pub fn take_free(&self, pool: &PmemPool, tid: usize, epoch: u64) -> Vec<POff> {
+        let mut t = self.threads[tid].lock();
+        let b = &mut t.free[(epoch % 4) as usize];
+        if b.epoch != epoch || b.blocks.is_empty() {
+            return Vec::new();
+        }
+        let blocks = std::mem::take(&mut b.blocks);
+        for &blk in &blocks {
+            Header::tombstone(pool, blk);
+            pool.clwb(blk);
+        }
+        blocks
+    }
+
+    /// Like [`Buffers::take_free`] but for all epochs `<= epoch` (worker-
+    /// local reclamation in `BEGIN_OP`).
+    pub fn take_free_upto(&self, pool: &PmemPool, tid: usize, epoch: u64) -> Vec<POff> {
+        let mut t = self.threads[tid].lock();
+        let mut out = Vec::new();
+        for b in t.free.iter_mut() {
+            if b.epoch <= epoch && !b.blocks.is_empty() {
+                for blk in b.blocks.drain(..) {
+                    Header::tombstone(pool, blk);
+                    pool.clwb(blk);
+                    out.push(blk);
+                }
+            }
+        }
+        out
+    }
+
+    /// Minimum epoch with unpersisted entries across **this thread's**
+    /// buckets ([`u64::MAX`] if none) — used to seed the mindicator.
+    pub fn min_pending(&self, tid: usize) -> u64 {
+        min_pending_epoch(&self.threads[tid].lock())
+    }
+}
+
+fn min_pending_epoch(t: &ThreadBuffers) -> u64 {
+    t.persist
+        .iter()
+        .filter(|b| !b.ring.is_empty())
+        .map(|b| b.epoch)
+        .min()
+        .unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmemConfig;
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PmemConfig::default())
+    }
+
+    #[test]
+    fn push_then_drain_flushes_everything() {
+        let p = pool();
+        let b = Buffers::new(2, 8);
+        for i in 0..5u64 {
+            b.push_persist(&p, 0, 10, POff::new(4096 + i * 128), 64);
+        }
+        let before = p.stats().snapshot().0;
+        b.drain_persist(&p, 0, 10);
+        let after = p.stats().snapshot().0;
+        assert_eq!(after - before, 5, "five single-line payloads flushed");
+        assert_eq!(b.min_pending(0), u64::MAX);
+    }
+
+    #[test]
+    fn overflow_writes_back_oldest_incrementally() {
+        let p = pool();
+        let b = Buffers::new(1, 2);
+        b.push_persist(&p, 0, 4, POff::new(4096), 64);
+        b.push_persist(&p, 0, 4, POff::new(8192), 64);
+        assert_eq!(p.stats().snapshot().0, 0, "no flush below capacity");
+        b.push_persist(&p, 0, 4, POff::new(12288), 64);
+        assert_eq!(p.stats().snapshot().0, 1, "overflow flushes the oldest entry");
+    }
+
+    #[test]
+    fn min_pending_tracks_oldest_epoch() {
+        let p = pool();
+        let b = Buffers::new(1, 8);
+        assert_eq!(b.min_pending(0), u64::MAX);
+        b.push_persist(&p, 0, 9, POff::new(4096), 64);
+        b.push_persist(&p, 0, 10, POff::new(8192), 64);
+        assert_eq!(b.min_pending(0), 9);
+        b.drain_persist(&p, 0, 9);
+        assert_eq!(b.min_pending(0), 10);
+    }
+
+    #[test]
+    fn drain_upto_spans_buckets() {
+        let p = pool();
+        let b = Buffers::new(1, 8);
+        b.push_persist(&p, 0, 9, POff::new(4096), 64);
+        b.push_persist(&p, 0, 10, POff::new(8192), 64);
+        let min = b.drain_persist_upto(&p, 0, 10);
+        assert_eq!(min, u64::MAX);
+    }
+
+    #[test]
+    fn take_free_tombstones_blocks() {
+        let p = pool();
+        let b = Buffers::new(1, 8);
+        let blk = POff::new(4096);
+        Header::write_new(&p, blk, crate::payload::PayloadKind::Alloc, 0, 7, 1, 8);
+        b.push_free(0, 7, blk);
+        assert!(b.take_free(&p, 0, 6).is_empty(), "wrong epoch yields nothing");
+        let freed = b.take_free(&p, 0, 7);
+        assert_eq!(freed, vec![blk]);
+        assert_eq!(Header::magic(&p, blk), crate::payload::MAGIC_TOMBSTONE);
+        assert!(b.take_free(&p, 0, 7).is_empty(), "drained bucket is empty");
+    }
+
+    #[test]
+    fn buckets_are_per_thread() {
+        let p = pool();
+        let b = Buffers::new(2, 8);
+        b.push_persist(&p, 0, 4, POff::new(4096), 64);
+        assert_eq!(b.min_pending(1), u64::MAX);
+        assert_eq!(b.min_pending(0), 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types surfaced to data-structure code.
+
+use std::fmt;
+
+/// The paper's `OldSeeNewException`: an operation running in epoch *e*
+/// touched a payload created in some epoch *e′ > e*.
+///
+/// Montage raises this to help structures keep their linearization order
+/// consistent with epoch order (paper Sec. 3.2, property 3). Lock-based
+/// structures never see it; nonblocking operations respond by rolling back
+/// and restarting in the newer epoch, which preserves lock freedom (the
+/// epoch must have advanced for the exception to arise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OldSeeNewException {
+    /// The epoch the running operation registered in.
+    pub op_epoch: u64,
+    /// The (newer) epoch found on the payload.
+    pub payload_epoch: u64,
+}
+
+impl fmt::Display for OldSeeNewException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "old-see-new: operation in epoch {} read payload from epoch {}",
+            self.op_epoch, self.payload_epoch
+        )
+    }
+}
+
+impl std::error::Error for OldSeeNewException {}
+
+/// Returned by `CHECK_EPOCH` (and `CAS_verify`) when the global epoch clock
+/// no longer matches the operation's registered epoch; the operation must
+/// restart to linearize within a single epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochChanged {
+    pub op_epoch: u64,
+    pub current_epoch: u64,
+}
+
+impl fmt::Display for EpochChanged {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epoch changed: operation registered in {}, clock now at {}",
+            self.op_epoch, self.current_epoch
+        )
+    }
+}
+
+impl std::error::Error for EpochChanged {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = OldSeeNewException { op_epoch: 5, payload_epoch: 7 };
+        assert!(e.to_string().contains("epoch 5"));
+        assert!(e.to_string().contains("epoch 7"));
+        let c = EpochChanged { op_epoch: 5, current_epoch: 6 };
+        assert!(c.to_string().contains('6'));
+    }
+}

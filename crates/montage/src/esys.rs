@@ -1,0 +1,941 @@
+//! `EpochSys`: the Montage epoch system (paper Fig. 3 and Sec. 5).
+//!
+//! Responsibilities, mirroring the paper:
+//!
+//! 1. every payload created or modified by an operation is labelled with the
+//!    operation's epoch (`PNEW` / `set`);
+//! 2. all payloads of epoch *e* persist together when the clock ticks from
+//!    *e+1* to *e+2* (`advance_epoch`), and recovery discards epochs *e* and
+//!    *e−1* after a crash in *e*;
+//! 3. operations linearize in the epoch in which they created payloads —
+//!    supported by `CHECK_EPOCH`, the `OldSeeNewException`, and the
+//!    [`crate::dcss`] primitives.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use pmem::{PmemPool, POff};
+use ralloc::Ralloc;
+
+use crate::buffers::Buffers;
+use crate::config::{EsysConfig, FreeStrategy, PersistStrategy};
+use crate::errors::{EpochChanged, OldSeeNewException};
+use crate::mindicator::Mindicator;
+use crate::payload::{Header, PHandle, PayloadKind, HDR_SIZE};
+use crate::tracker::{Tracker, IDLE};
+
+/// Root-area slot holding the Montage format magic.
+pub(crate) const MAGIC_SLOT: usize = 0;
+/// Root-area slot holding the persistent epoch clock.
+pub(crate) const CLOCK_SLOT: usize = 1;
+/// Root-area slot applications may use for their own persistent root.
+pub const APP_ROOT_SLOT: usize = 2;
+
+const MONTAGE_MAGIC: u64 = 0x4D4F_4E54_4147_4531; // "MONTAGE1"
+
+/// Epochs start here so that epoch values 0..FIRST_EPOCH never appear on
+/// payloads (zeroed memory is unambiguously dead) and `e - 2` never
+/// underflows in recovery.
+pub const FIRST_EPOCH: u64 = 4;
+
+/// uid space is handed to threads in blocks of this size.
+const UID_BLOCK: u64 = 1 << 20;
+
+/// A registered thread's identity within an [`EpochSys`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadId(pub usize);
+
+struct PerThreadUid {
+    next: AtomicU64,
+    limit: AtomicU64,
+}
+
+/// Operation counters (transient, relaxed).
+#[derive(Debug, Default)]
+pub struct EsysStats {
+    pub pnews: AtomicU64,
+    pub sets_in_place: AtomicU64,
+    pub sets_copied: AtomicU64,
+    pub pdeletes: AtomicU64,
+    pub advances: AtomicU64,
+    pub syncs: AtomicU64,
+}
+
+/// The epoch system. Shared via `Arc`; one instance manages all Montage
+/// structures living in one pool.
+pub struct EpochSys {
+    pool: PmemPool,
+    ralloc: Arc<Ralloc>,
+    cfg: EsysConfig,
+    tracker: Tracker,
+    buffers: Buffers,
+    mind: Mindicator,
+    advance_lock: Mutex<()>,
+    /// Highest epoch some in-flight `sync` wants persisted (0 = none); a
+    /// hint that makes workers help with write-back in `BEGIN_OP`.
+    sync_requested: AtomicU64,
+    next_tid: AtomicUsize,
+    uid_block: AtomicU64,
+    uids: Box<[CachePadded<PerThreadUid>]>,
+    last_epoch: Box<[CachePadded<AtomicU64>]>,
+    stats: EsysStats,
+}
+
+impl EpochSys {
+    /// Formats a fresh pool: ralloc heap + Montage clock.
+    pub fn format(pool: PmemPool, cfg: EsysConfig) -> Arc<EpochSys> {
+        let ralloc = Ralloc::format(pool.clone());
+        unsafe {
+            pool.write(POff::root_slot(CLOCK_SLOT), &FIRST_EPOCH);
+            pool.write(POff::root_slot(MAGIC_SLOT), &MONTAGE_MAGIC);
+        }
+        pool.clwb(POff::root_slot(CLOCK_SLOT));
+        pool.clwb(POff::root_slot(MAGIC_SLOT));
+        pool.sfence();
+        Arc::new(Self::from_parts(pool, ralloc, cfg, 1))
+    }
+
+    pub(crate) fn from_parts(
+        pool: PmemPool,
+        ralloc: Arc<Ralloc>,
+        cfg: EsysConfig,
+        uid_base: u64,
+    ) -> EpochSys {
+        let cap = match cfg.persist {
+            PersistStrategy::Buffered(n) => n,
+            _ => 1,
+        };
+        EpochSys {
+            tracker: Tracker::new(cfg.max_threads),
+            buffers: Buffers::new(cfg.max_threads, cap),
+            mind: Mindicator::new(cfg.max_threads),
+            advance_lock: Mutex::new(()),
+            sync_requested: AtomicU64::new(0),
+            next_tid: AtomicUsize::new(0),
+            uid_block: AtomicU64::new(uid_base),
+            uids: (0..cfg.max_threads)
+                .map(|_| {
+                    CachePadded::new(PerThreadUid {
+                        next: AtomicU64::new(0),
+                        limit: AtomicU64::new(0),
+                    })
+                })
+                .collect(),
+            last_epoch: (0..cfg.max_threads)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            stats: EsysStats::default(),
+            pool,
+            ralloc,
+            cfg,
+        }
+    }
+
+    /// Checks a pool for the Montage format magic.
+    pub fn is_formatted(pool: &PmemPool) -> bool {
+        unsafe { pool.read::<u64>(POff::root_slot(MAGIC_SLOT)) == MONTAGE_MAGIC }
+    }
+
+    pub fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    pub fn allocator(&self) -> &Arc<Ralloc> {
+        &self.ralloc
+    }
+
+    pub fn config(&self) -> &EsysConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> &EsysStats {
+        &self.stats
+    }
+
+    /// The application's persistent root slot (a cache line at a well-known
+    /// offset, for storing e.g. a structure's metadata block offset).
+    pub fn app_root(&self) -> POff {
+        POff::root_slot(APP_ROOT_SLOT)
+    }
+
+    fn clock(&self) -> &AtomicU64 {
+        unsafe { self.pool.atomic_u64(POff::root_slot(CLOCK_SLOT)) }
+    }
+
+    /// Current epoch (transient read of the persistent clock).
+    #[inline]
+    pub fn curr_epoch(&self) -> u64 {
+        self.clock().load(Ordering::Acquire)
+    }
+
+    /// Registers the calling thread, returning its id. Panics when
+    /// `max_threads` is exceeded.
+    pub fn register_thread(&self) -> ThreadId {
+        let tid = self.next_tid.fetch_add(1, Ordering::AcqRel);
+        assert!(
+            tid < self.cfg.max_threads,
+            "more than max_threads={} threads registered",
+            self.cfg.max_threads
+        );
+        ThreadId(tid)
+    }
+
+    fn registered(&self) -> usize {
+        self.next_tid.load(Ordering::Acquire).min(self.cfg.max_threads)
+    }
+
+    // ---- BEGIN_OP / END_OP --------------------------------------------------
+
+    /// `BEGIN_OP`: announces an operation in the current epoch and returns an
+    /// RAII guard whose drop is `END_OP` (the paper's `BEGIN_OP_AUTOEND`).
+    ///
+    /// Lock freedom: the announce/validate loop only retries when the epoch
+    /// clock advanced, which implies system-wide progress (paper Thm. 4.4).
+    pub fn begin_op(&self, tid: ThreadId) -> OpGuard<'_> {
+        debug_assert_eq!(self.tracker.load(tid.0), IDLE, "nested operations are not allowed");
+        let epoch = loop {
+            let e = self.clock().load(Ordering::SeqCst);
+            self.tracker.register(tid.0, e);
+            if self.clock().load(Ordering::SeqCst) == e {
+                break e;
+            }
+        };
+
+        // Help any waiting sync persist our older buffered payloads
+        // ("at the beginning of each operation, a worker also helps to
+        // persist its payloads from the previous epoch if they are needed by
+        // any active sync").
+        if matches!(self.cfg.persist, PersistStrategy::Buffered(_)) {
+            let want = self.sync_requested.load(Ordering::Relaxed);
+            if want != 0 && self.buffers.min_pending(tid.0) < epoch {
+                let min = self.buffers.drain_persist_upto(&self.pool, tid.0, epoch - 1);
+                self.mind.publish(tid.0, min);
+            }
+        }
+
+        // Worker-local reclamation (the "+LocalFree" configuration).
+        if self.cfg.free == FreeStrategy::WorkerLocal {
+            let last = self.last_epoch[tid.0].swap(epoch, Ordering::Relaxed);
+            if epoch > last {
+                let blocks = self.buffers.take_free_upto(&self.pool, tid.0, epoch - 2);
+                if !blocks.is_empty() {
+                    self.pool.sfence();
+                    for b in blocks {
+                        self.ralloc.dealloc(b);
+                    }
+                }
+            }
+        }
+
+        OpGuard { esys: self, tid, epoch }
+    }
+
+    fn end_op(&self, tid: ThreadId) {
+        if self.cfg.persist == PersistStrategy::DirWB {
+            self.pool.sfence();
+        }
+        self.tracker.unregister(tid.0);
+    }
+
+    /// `CHECK_EPOCH`: fails if the clock moved past the operation's epoch.
+    #[inline]
+    pub fn check_epoch(&self, g: &OpGuard<'_>) -> Result<(), EpochChanged> {
+        let cur = self.clock().load(Ordering::SeqCst);
+        if cur == g.epoch {
+            Ok(())
+        } else {
+            Err(EpochChanged { op_epoch: g.epoch, current_epoch: cur })
+        }
+    }
+
+    // ---- uid allocation ------------------------------------------------------
+
+    fn next_uid(&self, tid: usize) -> u64 {
+        let slot = &self.uids[tid];
+        let next = slot.next.load(Ordering::Relaxed);
+        if next < slot.limit.load(Ordering::Relaxed) {
+            slot.next.store(next + 1, Ordering::Relaxed);
+            next
+        } else {
+            let base = self.uid_block.fetch_add(UID_BLOCK, Ordering::Relaxed);
+            slot.next.store(base + 1, Ordering::Relaxed);
+            slot.limit.store(base + UID_BLOCK, Ordering::Relaxed);
+            base
+        }
+    }
+
+    // ---- payload operations ---------------------------------------------------
+
+    fn osn_check(&self, g: &OpGuard<'_>, blk: POff) -> Result<(), OldSeeNewException> {
+        self.pool.touch(); // NVM payload dereference
+        let pe = Header::epoch(&self.pool, blk);
+        if pe > g.epoch {
+            Err(OldSeeNewException { op_epoch: g.epoch, payload_epoch: pe })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn record_persist(&self, tid: usize, epoch: u64, blk: POff, len: u32) {
+        match self.cfg.persist {
+            PersistStrategy::Buffered(_) => {
+                let min = self.buffers.push_persist(&self.pool, tid, epoch, blk, len);
+                self.mind.publish(tid, min);
+            }
+            PersistStrategy::DirWB => self.pool.clwb_range(blk, len as usize),
+            PersistStrategy::None => {}
+        }
+    }
+
+    /// `PNEW`: creates a payload holding `val`, labelled with the operation's
+    /// epoch and the given user type tag (used to route payloads to the
+    /// right structure during recovery).
+    pub fn pnew<T: Copy>(&self, g: &OpGuard<'_>, tag: u16, val: &T) -> PHandle<T> {
+        let size = std::mem::size_of::<T>();
+        debug_assert!(std::mem::align_of::<T>() <= 16, "payload alignment > 16 unsupported");
+        let blk = self.alloc_payload(g, tag, PayloadKind::Alloc, size as u32, self.next_uid(g.tid.0));
+        unsafe { self.pool.write(Header::data(blk), val) };
+        self.record_persist(g.tid.0, g.epoch, blk, (HDR_SIZE + size) as u32);
+        self.stats.pnews.fetch_add(1, Ordering::Relaxed);
+        PHandle::from_raw(blk)
+    }
+
+    /// `PNEW` for runtime-sized byte payloads.
+    pub fn pnew_bytes(&self, g: &OpGuard<'_>, tag: u16, bytes: &[u8]) -> PHandle<[u8]> {
+        let blk = self.alloc_payload(
+            g,
+            tag,
+            PayloadKind::Alloc,
+            bytes.len() as u32,
+            self.next_uid(g.tid.0),
+        );
+        self.pool.write_bytes(Header::data(blk), bytes);
+        self.record_persist(g.tid.0, g.epoch, blk, (HDR_SIZE + bytes.len()) as u32);
+        self.stats.pnews.fetch_add(1, Ordering::Relaxed);
+        PHandle::from_raw(blk)
+    }
+
+    fn alloc_payload(&self, g: &OpGuard<'_>, tag: u16, kind: PayloadKind, size: u32, uid: u64) -> POff {
+        let blk = self.ralloc.alloc(HDR_SIZE + size as usize);
+        Header::write_new(&self.pool, blk, kind, tag, g.epoch, uid, size);
+        blk
+    }
+
+    /// `get`: reads the payload by value (old-see-new alert enabled).
+    pub fn read<T: Copy>(&self, g: &OpGuard<'_>, h: PHandle<T>) -> Result<T, OldSeeNewException> {
+        self.osn_check(g, h.blk)?;
+        Ok(unsafe { self.pool.read(Header::data(h.blk)) })
+    }
+
+    /// `get_unsafe`: reads without the old-see-new alert.
+    pub fn read_unsafe<T: Copy>(&self, h: PHandle<T>) -> T {
+        self.pool.touch(); // NVM payload dereference
+        unsafe { self.pool.read(Header::data(h.blk)) }
+    }
+
+    /// Borrowing read: runs `f` on a reference into the payload. Safe under
+    /// the paper's well-formedness constraint 2 (payload accesses are
+    /// race-free because synchronization happens on transient state).
+    pub fn peek<T: Copy, R>(
+        &self,
+        g: &OpGuard<'_>,
+        h: PHandle<T>,
+        f: impl FnOnce(&T) -> R,
+    ) -> Result<R, OldSeeNewException> {
+        self.osn_check(g, h.blk)?;
+        Ok(f(unsafe { &*self.pool.at::<T>(Header::data(h.blk)) }))
+    }
+
+    /// Borrowing read of a byte payload.
+    pub fn peek_bytes<R>(
+        &self,
+        g: &OpGuard<'_>,
+        h: PHandle<[u8]>,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, OldSeeNewException> {
+        self.osn_check(g, h.blk)?;
+        let size = Header::size(&self.pool, h.blk) as usize;
+        let ptr = unsafe { self.pool.at::<u8>(Header::data(h.blk)) };
+        Ok(f(unsafe { std::slice::from_raw_parts(ptr, size) }))
+    }
+
+    /// Byte-payload read without the old-see-new alert.
+    pub fn peek_bytes_unsafe<R>(&self, h: PHandle<[u8]>, f: impl FnOnce(&[u8]) -> R) -> R {
+        self.pool.touch(); // NVM payload dereference
+        let size = Header::size(&self.pool, h.blk) as usize;
+        let ptr = unsafe { self.pool.at::<u8>(Header::data(h.blk)) };
+        f(unsafe { std::slice::from_raw_parts(ptr, size) })
+    }
+
+    /// `set`: applies `f` to the payload. In place when the payload already
+    /// carries the operation's epoch; otherwise Montage clones it into the
+    /// current epoch (`UPDATE` payload, same uid) and retires the old
+    /// version. **The caller must replace every stored handle with the
+    /// returned one** (paper constraint 4).
+    #[must_use = "set may return a new handle that must replace the old one"]
+    pub fn set<T: Copy>(
+        &self,
+        g: &OpGuard<'_>,
+        h: PHandle<T>,
+        f: impl FnOnce(&mut T),
+    ) -> Result<PHandle<T>, OldSeeNewException> {
+        self.set_raw(g, h.blk, |pool, data| {
+            f(unsafe { &mut *pool.at::<T>(data) })
+        })
+        .map(PHandle::from_raw)
+    }
+
+    /// `set` for byte payloads.
+    #[must_use = "set may return a new handle that must replace the old one"]
+    pub fn set_bytes(
+        &self,
+        g: &OpGuard<'_>,
+        h: PHandle<[u8]>,
+        f: impl FnOnce(&mut [u8]),
+    ) -> Result<PHandle<[u8]>, OldSeeNewException> {
+        let size = Header::size(&self.pool, h.blk) as usize;
+        self.set_raw(g, h.blk, |pool, data| {
+            let ptr = unsafe { pool.at::<u8>(data) };
+            f(unsafe { std::slice::from_raw_parts_mut(ptr, size) })
+        })
+        .map(PHandle::from_raw)
+    }
+
+    fn set_raw(
+        &self,
+        g: &OpGuard<'_>,
+        blk: POff,
+        apply: impl FnOnce(&PmemPool, POff),
+    ) -> Result<POff, OldSeeNewException> {
+        self.osn_check(g, blk)?;
+        let pe = Header::epoch(&self.pool, blk);
+        let size = Header::size(&self.pool, blk);
+        let total = HDR_SIZE as u32 + size;
+        if pe == g.epoch || self.cfg.persist == PersistStrategy::None {
+            // Hot payload (or Montage(T), where epochs never move): update in
+            // place.
+            apply(&self.pool, Header::data(blk));
+            self.record_persist(g.tid.0, g.epoch, blk, total);
+            self.stats.sets_in_place.fetch_add(1, Ordering::Relaxed);
+            Ok(blk)
+        } else {
+            // Copy-on-write into the current epoch.
+            let nblk = self.ralloc.alloc(total as usize);
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    self.pool.at::<u8>(blk) as *const u8,
+                    self.pool.at::<u8>(nblk),
+                    total as usize,
+                );
+            }
+            Header::write_new(
+                &self.pool,
+                nblk,
+                PayloadKind::Update,
+                Header::tag(&self.pool, blk),
+                g.epoch,
+                Header::uid(&self.pool, blk),
+                size,
+            );
+            apply(&self.pool, Header::data(nblk));
+            self.record_persist(g.tid.0, g.epoch, nblk, total);
+            self.retire(g, blk, g.epoch);
+            self.stats.sets_copied.fetch_add(1, Ordering::Relaxed);
+            Ok(nblk)
+        }
+    }
+
+    /// `PDELETE`: logically deletes a payload. The block is reclaimed only
+    /// after the deletion is two epochs old; an **anti-payload** sharing the
+    /// target's uid records the deletion for recovery in the meantime
+    /// (paper Sec. 3.2 and Fig. 3 lines 48–60).
+    pub fn pdelete<T: ?Sized>(&self, g: &OpGuard<'_>, h: PHandle<T>) -> Result<(), OldSeeNewException> {
+        self.pdelete_raw(g, h.blk)
+    }
+
+    fn pdelete_raw(&self, g: &OpGuard<'_>, blk: POff) -> Result<(), OldSeeNewException> {
+        self.osn_check(g, blk)?;
+        self.stats.pdeletes.fetch_add(1, Ordering::Relaxed);
+
+        if self.cfg.free == FreeStrategy::Direct {
+            // Ablation mode: immediate reclamation, no anti-payload (the
+            // paper's "+DirFree" — explicitly not crash-consistent).
+            Header::tombstone(&self.pool, blk);
+            self.ralloc.dealloc(blk);
+            return Ok(());
+        }
+
+        let pe = Header::epoch(&self.pool, blk);
+        if pe == g.epoch {
+            match Header::kind(&self.pool, blk).expect("pdelete of non-payload") {
+                PayloadKind::Alloc => {
+                    // Created this epoch: discard outright. The payload may
+                    // already have been written back by an overflowing
+                    // buffer, so the tombstoned header must reach the
+                    // boundary flush too — otherwise a crash *after* this
+                    // epoch persists would resurrect it.
+                    Header::tombstone(&self.pool, blk);
+                    self.record_persist(g.tid.0, g.epoch, blk, HDR_SIZE as u32);
+                    self.ralloc.dealloc(blk);
+                }
+                PayloadKind::Update => {
+                    // A same-epoch copy of an older version: turn it into the
+                    // anti-payload for its uid in place, and re-queue the
+                    // header in case the original write-back entry already
+                    // drained with the old kind. Reclamation happens one
+                    // epoch after a normal retirement so the deletion record
+                    // outlives the data it cancels.
+                    Header::set_kind(&self.pool, blk, PayloadKind::Delete);
+                    self.record_persist(g.tid.0, g.epoch, blk, HDR_SIZE as u32);
+                    self.buffers.push_free(g.tid.0, g.epoch + 1, blk);
+                }
+                PayloadKind::Delete => unreachable!("double pdelete of an anti-payload"),
+            }
+        } else {
+            // Old payload: allocate an anti-payload with the same uid.
+            let anti = self.alloc_payload(
+                g,
+                Header::tag(&self.pool, blk),
+                PayloadKind::Delete,
+                0,
+                Header::uid(&self.pool, blk),
+            );
+            self.record_persist(g.tid.0, g.epoch, anti, HDR_SIZE as u32);
+            self.buffers.push_free(g.tid.0, g.epoch + 1, anti);
+            self.retire(g, blk, g.epoch);
+        }
+        Ok(())
+    }
+
+    /// Schedules `blk` for reclamation two epochs after `epoch`.
+    fn retire(&self, g: &OpGuard<'_>, blk: POff, epoch: u64) {
+        if self.cfg.free == FreeStrategy::Direct || self.cfg.persist == PersistStrategy::None {
+            Header::tombstone(&self.pool, blk);
+            self.ralloc.dealloc(blk);
+        } else {
+            self.buffers.push_free(g.tid.0, epoch, blk);
+        }
+    }
+
+    // ---- epoch advance and sync ------------------------------------------------
+
+    /// Advances the epoch clock by one (paper Fig. 3 `advance_epoch` plus the
+    /// reclamation schedule of Sec. 3.2): waits until epoch *e−1* is
+    /// quiescent, writes back its payloads, reclaims retirements of *e−2*
+    /// (which includes anti-payloads created in *e−3*), fences, then bumps
+    /// and persists the clock.
+    pub fn advance_epoch(&self) {
+        if self.cfg.persist == PersistStrategy::None {
+            return; // Montage(T): no epochs, no persistence
+        }
+        let _g = self.advance_lock.lock();
+        let e = self.clock().load(Ordering::Acquire);
+        self.tracker.wait_all(e - 1);
+
+        let n = self.registered();
+        // Write back all payloads of epoch e-1 (skip wholesale when the
+        // mindicator proves nothing that old is pending).
+        if self.mind.min() < e {
+            for t in 0..n {
+                let min = self.buffers.drain_persist(&self.pool, t, e - 1);
+                self.mind.publish(t, min);
+            }
+        }
+
+        // Reclaim retirements of epoch e-2 (tombstones join this boundary's
+        // flush batch; deallocation happens after the fence).
+        let mut reclaimed = Vec::new();
+        if self.cfg.free == FreeStrategy::Background {
+            for t in 0..n {
+                reclaimed.extend(self.buffers.take_free(&self.pool, t, e - 2));
+            }
+        }
+
+        self.pool.sfence();
+
+        // Now everything labelled <= e-1 is durable: publish epoch e+1.
+        self.clock().store(e + 1, Ordering::SeqCst);
+        self.pool.clwb(POff::root_slot(CLOCK_SLOT));
+        self.pool.sfence();
+
+        for blk in reclaimed {
+            self.ralloc.dealloc(blk);
+        }
+        self.stats.advances.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `sync`: returns once every operation that completed before the call
+    /// is durable — "request and wait for two-epoch advance". The caller
+    /// helps perform the write-backs itself (it drives `advance_epoch`), so
+    /// sync latency does not depend on the background advancer's period.
+    ///
+    /// Must be called **outside** any operation (as with `fsync`, you sync
+    /// after the operation returns); calling it inside an op would deadlock
+    /// on the op's own epoch.
+    pub fn sync(&self) {
+        if self.cfg.persist == PersistStrategy::None {
+            return;
+        }
+        self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        let target = self.clock().load(Ordering::SeqCst);
+        self.sync_requested.fetch_max(target, Ordering::Relaxed);
+        while self.clock().load(Ordering::Acquire) < target + 2 {
+            self.advance_epoch();
+        }
+        // Clear the helping hint if we were the outermost sync.
+        let _ = self.sync_requested.compare_exchange(
+            target,
+            0,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// RAII operation scope: created by [`EpochSys::begin_op`]; drop is `END_OP`.
+pub struct OpGuard<'a> {
+    esys: &'a EpochSys,
+    tid: ThreadId,
+    epoch: u64,
+}
+
+impl OpGuard<'_> {
+    /// The epoch this operation is registered in.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The registered thread id.
+    #[inline]
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+}
+
+impl Drop for OpGuard<'_> {
+    fn drop(&mut self) {
+        self.esys.end_op(self.tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmemConfig;
+
+    fn sys(cfg: EsysConfig) -> Arc<EpochSys> {
+        EpochSys::format(PmemPool::new(PmemConfig::strict_for_test(32 << 20)), cfg)
+    }
+
+    #[test]
+    fn format_starts_at_first_epoch() {
+        let s = sys(EsysConfig::default());
+        assert_eq!(s.curr_epoch(), FIRST_EPOCH);
+        assert!(EpochSys::is_formatted(s.pool()));
+    }
+
+    #[test]
+    fn pnew_read_roundtrip() {
+        let s = sys(EsysConfig::default());
+        let tid = s.register_thread();
+        let g = s.begin_op(tid);
+        let h = s.pnew(&g, 3, &0x1234_5678u64);
+        assert_eq!(s.read(&g, h).unwrap(), 0x1234_5678);
+        assert_eq!(s.read_unsafe(h), 0x1234_5678);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let s = sys(EsysConfig::default());
+        let tid = s.register_thread();
+        let g = s.begin_op(tid);
+        let h = s.pnew_bytes(&g, 1, b"hello montage");
+        s.peek_bytes(&g, h, |b| assert_eq!(b, b"hello montage")).unwrap();
+    }
+
+    #[test]
+    fn set_in_same_epoch_is_in_place() {
+        let s = sys(EsysConfig::default());
+        let tid = s.register_thread();
+        let g = s.begin_op(tid);
+        let h = s.pnew(&g, 0, &1u64);
+        let h2 = s.set(&g, h, |v| *v = 2).unwrap();
+        assert_eq!(h, h2, "same epoch: no copy");
+        assert_eq!(s.read(&g, h2).unwrap(), 2);
+        assert_eq!(s.stats().sets_in_place.load(Ordering::Relaxed), 1);
+        assert_eq!(s.stats().sets_copied.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn set_across_epochs_copies_and_keeps_uid() {
+        let s = sys(EsysConfig::default());
+        let tid = s.register_thread();
+        let h = {
+            let g = s.begin_op(tid);
+            s.pnew(&g, 0, &1u64)
+        };
+        let uid_before = Header::uid(s.pool(), h.raw());
+        s.advance_epoch();
+        let g = s.begin_op(tid);
+        let h2 = s.set(&g, h, |v| *v = 9).unwrap();
+        assert_ne!(h, h2, "different epoch: copy-on-write");
+        assert_eq!(Header::uid(s.pool(), h2.raw()), uid_before);
+        assert_eq!(Header::kind(s.pool(), h2.raw()), Some(PayloadKind::Update));
+        assert_eq!(s.read(&g, h2).unwrap(), 9);
+        assert_eq!(s.read_unsafe::<u64>(PHandle::from_raw(h.raw())), 1, "old version untouched");
+    }
+
+    #[test]
+    fn epoch_advance_moves_clock_and_persists() {
+        let s = sys(EsysConfig::default());
+        let tid = s.register_thread();
+        {
+            let g = s.begin_op(tid);
+            let _ = s.pnew(&g, 0, &7u64);
+        }
+        let e0 = s.curr_epoch();
+        s.advance_epoch();
+        s.advance_epoch();
+        assert_eq!(s.curr_epoch(), e0 + 2);
+        // After two advances, the payload's write-back has been issued.
+        assert!(s.pool().stats().snapshot().0 > 0);
+    }
+
+    #[test]
+    fn sync_advances_clock_two_epochs() {
+        let s = sys(EsysConfig::default());
+        let e0 = s.curr_epoch();
+        s.sync();
+        assert!(s.curr_epoch() >= e0 + 2);
+    }
+
+    #[test]
+    fn check_epoch_detects_advance() {
+        let s = sys(EsysConfig::default());
+        let tid = s.register_thread();
+        let g = s.begin_op(tid);
+        assert!(s.check_epoch(&g).is_ok());
+        // Advance concurrently (the guard is in epoch e; advance waits only
+        // for e-1, so this cannot deadlock).
+        s.advance_epoch();
+        assert!(s.check_epoch(&g).is_err());
+    }
+
+    #[test]
+    fn old_see_new_raised() {
+        let s = sys(EsysConfig::default());
+        let t0 = s.register_thread();
+        let t1 = s.register_thread();
+        // Op A registers in epoch e.
+        let ga = s.begin_op(t0);
+        // Clock moves to e+1; op B creates a payload there.
+        s.advance_epoch();
+        let gb = s.begin_op(t1);
+        let h = s.pnew(&gb, 0, &1u64);
+        drop(gb);
+        // A (still in epoch e) now sees a payload from e+1.
+        let err = s.read(&ga, h).unwrap_err();
+        assert_eq!(err.op_epoch + 1, err.payload_epoch);
+        assert_eq!(s.read_unsafe(h), 1, "get_unsafe bypasses the alert");
+    }
+
+    #[test]
+    fn pdelete_same_epoch_alloc_reclaims_immediately() {
+        let s = sys(EsysConfig::default());
+        let tid = s.register_thread();
+        let g = s.begin_op(tid);
+        let h = s.pnew(&g, 0, &1u64);
+        let deallocs_before = s.allocator().stats().deallocs.load(Ordering::Relaxed);
+        s.pdelete(&g, h).unwrap();
+        assert_eq!(
+            s.allocator().stats().deallocs.load(Ordering::Relaxed),
+            deallocs_before + 1
+        );
+    }
+
+    #[test]
+    fn pdelete_old_payload_creates_anti_payload() {
+        let s = sys(EsysConfig::default());
+        let tid = s.register_thread();
+        let h = {
+            let g = s.begin_op(tid);
+            s.pnew(&g, 0, &1u64)
+        };
+        s.advance_epoch();
+        let pnews = s.stats().pnews.load(Ordering::Relaxed);
+        {
+            let g = s.begin_op(tid);
+            s.pdelete(&g, h).unwrap();
+        }
+        // No new pnew counted, but an extra allocation happened (the anti).
+        assert_eq!(s.stats().pnews.load(Ordering::Relaxed), pnews);
+        assert!(s.allocator().stats().allocs.load(Ordering::Relaxed) >= 2);
+        // The original payload is still readable until reclamation.
+        assert_eq!(s.read_unsafe::<u64>(h), 1);
+    }
+
+    #[test]
+    fn reclamation_happens_two_epochs_later() {
+        let s = sys(EsysConfig::default());
+        let tid = s.register_thread();
+        let h = {
+            let g = s.begin_op(tid);
+            s.pnew(&g, 0, &1u64)
+        };
+        s.advance_epoch();
+        let e_del = {
+            let g = s.begin_op(tid);
+            s.pdelete(&g, h).unwrap();
+            g.epoch()
+        };
+        let d0 = s.allocator().stats().deallocs.load(Ordering::Relaxed);
+        // Advance until the end of epoch e_del+2, when the retirement of
+        // e_del is reclaimed.
+        while s.curr_epoch() <= e_del + 2 {
+            s.advance_epoch();
+        }
+        let d1 = s.allocator().stats().deallocs.load(Ordering::Relaxed);
+        assert!(d1 > d0, "payload reclaimed at the two-epoch boundary");
+        assert_eq!(
+            Header::magic(s.pool(), h.raw()),
+            crate::payload::MAGIC_TOMBSTONE,
+            "reclaimed block is tombstoned"
+        );
+    }
+
+    #[test]
+    fn transient_mode_never_flushes() {
+        let s = sys(EsysConfig::transient());
+        let tid = s.register_thread();
+        {
+            let g = s.begin_op(tid);
+            let h = s.pnew(&g, 0, &1u64);
+            let h = s.set(&g, h, |v| *v = 2).unwrap();
+            s.pdelete(&g, h).unwrap();
+        }
+        s.advance_epoch();
+        s.sync();
+        let (clwbs, fences, _) = s.pool().stats().snapshot();
+        // Formatting issued a handful; ops must add none beyond ralloc's
+        // superblock carve (1 flush-pair).
+        assert!(clwbs <= 6, "transient mode flushed {clwbs} lines");
+        assert!(fences <= 4);
+    }
+
+    #[test]
+    fn dirwb_flushes_eagerly() {
+        let s = sys(EsysConfig {
+            persist: PersistStrategy::DirWB,
+            ..Default::default()
+        });
+        let tid = s.register_thread();
+        let before = s.pool().stats().snapshot().0;
+        {
+            let g = s.begin_op(tid);
+            let _ = s.pnew(&g, 0, &[0u8; 256]);
+        }
+        let after = s.pool().stats().snapshot().0;
+        assert!(after > before, "DirWB writes back at the operation");
+    }
+
+    #[test]
+    fn buffered_defers_flushes_until_boundary() {
+        let s = sys(EsysConfig::buffered(64));
+        let tid = s.register_thread();
+        {
+            // Warm-up: carve the size class's superblock (which flushes its
+            // descriptor once) so the measurement below sees payloads only.
+            let g = s.begin_op(tid);
+            let _ = s.pnew(&g, 0, &0u64);
+        }
+        let base = s.pool().stats().snapshot().0;
+        {
+            let g = s.begin_op(tid);
+            for i in 0..10u64 {
+                let _ = s.pnew(&g, 0, &i);
+            }
+        }
+        assert_eq!(s.pool().stats().snapshot().0, base, "no flush before boundary");
+        s.advance_epoch();
+        s.advance_epoch();
+        assert!(s.pool().stats().snapshot().0 > base);
+    }
+
+    #[test]
+    fn buffer_overflow_writes_back_incrementally() {
+        let s = sys(EsysConfig::buffered(2));
+        let tid = s.register_thread();
+        let base = s.pool().stats().snapshot().0;
+        {
+            let g = s.begin_op(tid);
+            for i in 0..5u64 {
+                let _ = s.pnew(&g, 0, &i);
+            }
+        }
+        assert!(
+            s.pool().stats().snapshot().0 > base,
+            "overflowing a 2-entry buffer must write back incrementally"
+        );
+    }
+
+    #[test]
+    fn uid_uniqueness_across_threads() {
+        let s = sys(EsysConfig::default());
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let tid = s.register_thread();
+                let mut uids = vec![];
+                for i in 0..500u64 {
+                    let g = s.begin_op(tid);
+                    let h = s.pnew(&g, 0, &i);
+                    uids.push(Header::uid(s.pool(), h.raw()));
+                }
+                uids
+            }));
+        }
+        let mut all = std::collections::HashSet::new();
+        for h in handles {
+            for uid in h.join().unwrap() {
+                assert!(all.insert(uid), "duplicate uid");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_ops_and_advances() {
+        let s = sys(EsysConfig::default());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = vec![];
+        for _ in 0..3 {
+            let s = s.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                let tid = s.register_thread();
+                let mut h = None;
+                while !stop.load(Ordering::Relaxed) {
+                    let g = s.begin_op(tid);
+                    match h.take() {
+                        None => h = Some(s.pnew(&g, 0, &1u64)),
+                        Some(old) => match s.set(&g, old, |v| *v += 1) {
+                            Ok(nh) => h = Some(nh),
+                            Err(_) => h = Some(old),
+                        },
+                    }
+                }
+            }));
+        }
+        for _ in 0..50 {
+            s.advance_epoch();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Payload blocks: the only data Montage keeps in NVM.
+//!
+//! Every payload starts with a fixed header recording the epoch in which it
+//! was created or last modified, whether it is a fresh allocation (`ALLOC`),
+//! a copy-on-write replacement (`UPDATE`), or an anti-payload (`DELETE`), and
+//! a `uid` shared between a logical object's versions and its anti-payload so
+//! recovery can cancel them (paper Sec. 5).
+
+use pmem::{PmemPool, POff};
+
+/// Byte size of the payload header. User data follows immediately.
+pub const HDR_SIZE: usize = 32;
+
+/// Header magic for a live payload block.
+pub const MAGIC_LIVE: u32 = 0x4D54_4147; // "MTAG"
+
+/// Header magic written when a block is reclaimed, so the post-crash sweep
+/// can never resurrect freed memory (see DESIGN.md, reclamation soundness).
+pub const MAGIC_TOMBSTONE: u32 = 0xDEAD_D00D;
+
+/// Payload kind, as in the paper's `enum type = {ALLOC, UPDATE, DELETE}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PayloadKind {
+    /// Created by `PNEW`.
+    Alloc = 1,
+    /// A copy-on-write replacement created by `set`.
+    Update = 2,
+    /// An anti-payload created by `PDELETE`.
+    Delete = 3,
+}
+
+impl PayloadKind {
+    pub fn from_u8(v: u8) -> Option<PayloadKind> {
+        match v {
+            1 => Some(PayloadKind::Alloc),
+            2 => Some(PayloadKind::Update),
+            3 => Some(PayloadKind::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// Raw header accessors over a block at offset `blk` (the block base).
+///
+/// Layout (32 bytes, all little-endian):
+/// ```text
+/// 0  magic: u32
+/// 4  kind:  u8   |  pad: u8 | type_tag: u16
+/// 8  epoch: u64
+/// 16 uid:   u64
+/// 24 size:  u32 (user bytes)  | pad: u32
+/// ```
+pub struct Header;
+
+impl Header {
+    #[inline]
+    pub fn write_new(
+        pool: &PmemPool,
+        blk: POff,
+        kind: PayloadKind,
+        tag: u16,
+        epoch: u64,
+        uid: u64,
+        size: u32,
+    ) {
+        unsafe {
+            pool.write::<u32>(blk, &MAGIC_LIVE);
+            pool.write::<u8>(blk.add(4), &(kind as u8));
+            pool.write::<u8>(blk.add(5), &0u8);
+            pool.write::<u16>(blk.add(6), &tag);
+            pool.write::<u64>(blk.add(8), &epoch);
+            pool.write::<u64>(blk.add(16), &uid);
+            pool.write::<u32>(blk.add(24), &size);
+            pool.write::<u32>(blk.add(28), &0u32);
+        }
+    }
+
+    #[inline]
+    pub fn magic(pool: &PmemPool, blk: POff) -> u32 {
+        unsafe { pool.read(blk) }
+    }
+
+    #[inline]
+    pub fn kind(pool: &PmemPool, blk: POff) -> Option<PayloadKind> {
+        PayloadKind::from_u8(unsafe { pool.read::<u8>(blk.add(4)) })
+    }
+
+    #[inline]
+    pub fn set_kind(pool: &PmemPool, blk: POff, kind: PayloadKind) {
+        unsafe { pool.write::<u8>(blk.add(4), &(kind as u8)) }
+    }
+
+    #[inline]
+    pub fn tag(pool: &PmemPool, blk: POff) -> u16 {
+        unsafe { pool.read(blk.add(6)) }
+    }
+
+    #[inline]
+    pub fn epoch(pool: &PmemPool, blk: POff) -> u64 {
+        unsafe { pool.read(blk.add(8)) }
+    }
+
+    #[inline]
+    pub fn uid(pool: &PmemPool, blk: POff) -> u64 {
+        unsafe { pool.read(blk.add(16)) }
+    }
+
+    #[inline]
+    pub fn size(pool: &PmemPool, blk: POff) -> u32 {
+        unsafe { pool.read(blk.add(24)) }
+    }
+
+    /// Marks a block as reclaimed. The caller schedules the header line for
+    /// write-back with the surrounding epoch boundary's flush batch.
+    #[inline]
+    pub fn tombstone(pool: &PmemPool, blk: POff) {
+        unsafe { pool.write::<u32>(blk, &MAGIC_TOMBSTONE) }
+    }
+
+    /// Offset of the user bytes.
+    #[inline]
+    pub fn data(blk: POff) -> POff {
+        blk.add(HDR_SIZE as u64)
+    }
+}
+
+/// A typed handle to a payload block. `Copy`; the `T` is only a phantom —
+/// all access is via [`crate::EpochSys`] so epoch labelling stays correct.
+pub struct PHandle<T: ?Sized> {
+    pub(crate) blk: POff,
+    _m: std::marker::PhantomData<*const T>,
+}
+
+// SAFETY: a handle is just an offset; all access goes through the pool.
+unsafe impl<T: ?Sized> Send for PHandle<T> {}
+unsafe impl<T: ?Sized> Sync for PHandle<T> {}
+
+impl<T: ?Sized> PHandle<T> {
+    /// Wraps a raw block offset (e.g. one returned by recovery).
+    #[inline]
+    pub fn from_raw(blk: POff) -> Self {
+        PHandle {
+            blk,
+            _m: std::marker::PhantomData,
+        }
+    }
+
+    /// The block's base offset (header included).
+    #[inline]
+    pub fn raw(&self) -> POff {
+        self.blk
+    }
+
+    /// The persistent-null handle.
+    #[inline]
+    pub fn null() -> Self {
+        Self::from_raw(POff::NULL)
+    }
+
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        self.blk.is_null()
+    }
+}
+
+impl<T: ?Sized> Clone for PHandle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: ?Sized> Copy for PHandle<T> {}
+
+impl<T: ?Sized> PartialEq for PHandle<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.blk == other.blk
+    }
+}
+impl<T: ?Sized> Eq for PHandle<T> {}
+
+impl<T: ?Sized> std::fmt::Debug for PHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PHandle({:?})", self.blk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmemConfig;
+
+    #[test]
+    fn header_roundtrip() {
+        let pool = PmemPool::new(PmemConfig::default());
+        let blk = POff::new(8192);
+        Header::write_new(&pool, blk, PayloadKind::Update, 99, 12, 345, 1024);
+        assert_eq!(Header::magic(&pool, blk), MAGIC_LIVE);
+        assert_eq!(Header::kind(&pool, blk), Some(PayloadKind::Update));
+        assert_eq!(Header::tag(&pool, blk), 99);
+        assert_eq!(Header::epoch(&pool, blk), 12);
+        assert_eq!(Header::uid(&pool, blk), 345);
+        assert_eq!(Header::size(&pool, blk), 1024);
+        assert_eq!(Header::data(blk).raw(), blk.raw() + 32);
+    }
+
+    #[test]
+    fn tombstone_invalidates() {
+        let pool = PmemPool::new(PmemConfig::default());
+        let blk = POff::new(8192);
+        Header::write_new(&pool, blk, PayloadKind::Alloc, 0, 5, 1, 8);
+        Header::tombstone(&pool, blk);
+        assert_eq!(Header::magic(&pool, blk), MAGIC_TOMBSTONE);
+        // Other fields are untouched; only the magic decides liveness.
+        assert_eq!(Header::epoch(&pool, blk), 5);
+    }
+
+    #[test]
+    fn kind_parsing_rejects_garbage() {
+        assert_eq!(PayloadKind::from_u8(0), None);
+        assert_eq!(PayloadKind::from_u8(4), None);
+        assert_eq!(PayloadKind::from_u8(2), Some(PayloadKind::Update));
+    }
+
+    #[test]
+    fn handles_are_value_types() {
+        let a: PHandle<u64> = PHandle::from_raw(POff::new(64));
+        let b = a;
+        assert_eq!(a, b);
+        assert!(!a.is_null());
+        assert!(PHandle::<u64>::null().is_null());
+    }
+}

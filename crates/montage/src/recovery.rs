@@ -1,0 +1,422 @@
+//! Post-crash recovery: sweep, anti-payload cancellation, and handoff of the
+//! surviving payload set to data-structure rebuild routines.
+//!
+//! If the crash occurred in epoch *e* (durable clock = *e*), recovery keeps
+//! exactly the payloads labelled with epochs `FIRST_EPOCH ..= e-2` (paper
+//! Sec. 3.2 property 2), then cancels uid groups containing an anti-payload
+//! and keeps only the newest surviving version of each uid. Everything else
+//! returns to the allocator's free lists, durably tombstoned so a later
+//! crash cannot resurrect it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pmem::{PmemPool, POff};
+use ralloc::Ralloc;
+
+use crate::config::EsysConfig;
+use crate::esys::{EpochSys, CLOCK_SLOT, FIRST_EPOCH};
+use crate::payload::{Header, PayloadKind, PHandle, MAGIC_LIVE};
+
+/// One surviving payload, as handed to structure rebuild code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveredItem {
+    /// Block offset (header included); convert with [`RecoveredItem::handle`].
+    pub blk: POff,
+    /// The structure-routing tag passed to `PNEW`.
+    pub tag: u16,
+    pub uid: u64,
+    pub epoch: u64,
+    /// User-data size in bytes.
+    pub size: u32,
+}
+
+impl RecoveredItem {
+    /// A typed handle to this payload (caller asserts the type via the tag).
+    pub fn handle<T: ?Sized>(&self) -> PHandle<T> {
+        PHandle::from_raw(self.blk)
+    }
+}
+
+/// The outcome of recovery: a fresh epoch system over the surviving heap and
+/// the survivors, sharded for parallel rebuild.
+pub struct RecoveredState {
+    pub esys: Arc<EpochSys>,
+    /// `k` disjoint shards of surviving payloads (the paper's "k separate
+    /// iterators, to be used by k separate application threads").
+    pub shards: Vec<Vec<RecoveredItem>>,
+}
+
+impl RecoveredState {
+    /// Reads a survivor's user data by value.
+    pub fn read<T: Copy>(&self, item: &RecoveredItem) -> T {
+        debug_assert_eq!(std::mem::size_of::<T>() as u32, item.size);
+        unsafe { self.esys.pool().read(Header::data(item.blk)) }
+    }
+
+    /// Runs `f` on a survivor's raw bytes.
+    pub fn with_bytes<R>(&self, item: &RecoveredItem, f: impl FnOnce(&[u8]) -> R) -> R {
+        let ptr = unsafe { self.esys.pool().at::<u8>(Header::data(item.blk)) };
+        f(unsafe { std::slice::from_raw_parts(ptr, item.size as usize) })
+    }
+
+    /// Total number of survivors across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Recovers Montage state from a crashed pool using `k` sweep threads.
+///
+/// Panics if the pool was never formatted by [`EpochSys::format`].
+pub fn recover(pool: PmemPool, cfg: EsysConfig, k: usize) -> RecoveredState {
+    assert!(EpochSys::is_formatted(&pool), "pool is not a Montage pool");
+    let durable_epoch = unsafe { pool.read::<u64>(POff::root_slot(CLOCK_SLOT)) };
+    assert!(durable_epoch >= FIRST_EPOCH, "corrupt epoch clock");
+    let cutoff = durable_epoch - 2;
+
+    // Phase 1: allocator sweep — keep blocks whose contents are a live
+    // payload from a fully persisted epoch.
+    let sweep_pool = pool.clone();
+    let (ralloc, shards) = Ralloc::recover_parallel(pool.clone(), k, move |blk, _size| {
+        Header::magic(&sweep_pool, blk) == MAGIC_LIVE
+            && Header::kind(&sweep_pool, blk).is_some()
+            && (FIRST_EPOCH..=cutoff).contains(&Header::epoch(&sweep_pool, blk))
+    });
+
+    // Phase 2: uid cancellation. Group by uid; a DELETE anti-payload kills
+    // its whole group; otherwise keep the newest version. Parallel over k
+    // workers: uid-hash partitioning makes groups worker-local.
+    let (survivors, discards, max_uid) = cancel_parallel(&pool, &shards, k);
+
+    // Durably tombstone and free the losers so no future crash resurrects
+    // them (one batched flush + fence).
+    for &blk in &discards {
+        Header::tombstone(&pool, blk);
+        pool.clwb(blk);
+    }
+    if !discards.is_empty() {
+        pool.sfence();
+    }
+    for blk in &discards {
+        ralloc.dealloc(*blk);
+    }
+
+    // Phase 3: restart the clock two epochs past the crash point so every
+    // survivor is strictly older than any new work, and persist it.
+    let new_epoch = durable_epoch + 2;
+    unsafe { pool.write(POff::root_slot(CLOCK_SLOT), &new_epoch) };
+    pool.persist_range(POff::root_slot(CLOCK_SLOT), 8);
+
+    let esys = Arc::new(EpochSys::from_parts(pool, ralloc, cfg, max_uid + 1));
+
+    // Re-shard survivors round-robin for parallel rebuild.
+    let mut out: Vec<Vec<RecoveredItem>> = (0..k.max(1)).map(|_| Vec::new()).collect();
+    for (i, item) in survivors.into_iter().enumerate() {
+        out[i % k.max(1)].push(item);
+    }
+    RecoveredState { esys, shards: out }
+}
+
+/// Parallel cancellation: each sweep shard is partitioned by uid hash so
+/// that every uid group lands entirely within one of the `k` reducers, then
+/// the reducers run [`cancel`] independently.
+fn cancel_parallel(
+    pool: &PmemPool,
+    shards: &[ralloc::SweepShard],
+    k: usize,
+) -> (Vec<RecoveredItem>, Vec<POff>, u64) {
+    let k = k.max(1);
+    if k == 1 {
+        return cancel(pool, shards.iter().flat_map(|s| s.kept.iter().copied()));
+    }
+    // Map: partition each shard's blocks by uid hash.
+    let partitioned: Vec<Vec<Vec<(POff, usize)>>> = std::thread::scope(|sc| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                sc.spawn(move || {
+                    let mut parts: Vec<Vec<(POff, usize)>> = (0..k).map(|_| Vec::new()).collect();
+                    for &(blk, size) in &shard.kept {
+                        let uid = Header::uid(pool, blk);
+                        parts[(uid % k as u64) as usize].push((blk, size));
+                    }
+                    parts
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Reduce: one worker per uid partition.
+    let results: Vec<(Vec<RecoveredItem>, Vec<POff>, u64)> = std::thread::scope(|sc| {
+        let handles: Vec<_> = (0..k)
+            .map(|part| {
+                let partitioned = &partitioned;
+                sc.spawn(move || {
+                    cancel(
+                        pool,
+                        partitioned
+                            .iter()
+                            .flat_map(|shard_parts| shard_parts[part].iter().copied()),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut survivors = Vec::new();
+    let mut discards = Vec::new();
+    let mut max_uid = 0;
+    for (s, d, m) in results {
+        survivors.extend(s);
+        discards.extend(d);
+        max_uid = max_uid.max(m);
+    }
+    (survivors, discards, max_uid)
+}
+
+/// Returns (survivors, blocks to discard, max uid seen).
+fn cancel(
+    pool: &PmemPool,
+    blocks: impl Iterator<Item = (POff, usize)>,
+) -> (Vec<RecoveredItem>, Vec<POff>, u64) {
+    struct Group {
+        best: Option<(u64 /*epoch*/, POff)>,
+        deleted: bool,
+        losers: Vec<POff>,
+    }
+    let mut groups: HashMap<u64, Group> = HashMap::new();
+    let mut max_uid = 0u64;
+
+    for (blk, _size) in blocks {
+        let uid = Header::uid(pool, blk);
+        let epoch = Header::epoch(pool, blk);
+        let kind = Header::kind(pool, blk).expect("sweep admitted a non-payload");
+        max_uid = max_uid.max(uid);
+        let g = groups.entry(uid).or_insert(Group {
+            best: None,
+            deleted: false,
+            losers: Vec::new(),
+        });
+        match kind {
+            PayloadKind::Delete => {
+                g.deleted = true;
+                g.losers.push(blk);
+            }
+            PayloadKind::Alloc | PayloadKind::Update => match g.best {
+                None => g.best = Some((epoch, blk)),
+                Some((be, bb)) => {
+                    if epoch > be {
+                        g.losers.push(bb);
+                        g.best = Some((epoch, blk));
+                    } else {
+                        g.losers.push(blk);
+                    }
+                }
+            },
+        }
+    }
+
+    let mut survivors = Vec::new();
+    let mut discards = Vec::new();
+    for (_uid, g) in groups {
+        discards.extend(g.losers);
+        match g.best {
+            Some((_, blk)) if !g.deleted => survivors.push(RecoveredItem {
+                blk,
+                tag: Header::tag(pool, blk),
+                uid: Header::uid(pool, blk),
+                epoch: Header::epoch(pool, blk),
+                size: Header::size(pool, blk),
+            }),
+            Some((_, blk)) => discards.push(blk),
+            None => {}
+        }
+    }
+    (survivors, discards, max_uid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmemConfig;
+
+    fn strict_sys() -> Arc<EpochSys> {
+        EpochSys::format(
+            PmemPool::new(PmemConfig::strict_for_test(32 << 20)),
+            EsysConfig::default(),
+        )
+    }
+
+    /// Drives enough epoch advances that everything through the current
+    /// epoch is durable.
+    fn settle(s: &EpochSys) {
+        s.sync();
+    }
+
+    #[test]
+    fn payload_synced_before_crash_survives() {
+        let s = strict_sys();
+        let tid = s.register_thread();
+        {
+            let g = s.begin_op(tid);
+            let _ = s.pnew(&g, 42, &777u64);
+        }
+        settle(&s);
+        let crashed = s.pool().crash();
+        let rec = recover(crashed, EsysConfig::default(), 1);
+        assert_eq!(rec.len(), 1);
+        let item = rec.shards[0][0];
+        assert_eq!(item.tag, 42);
+        assert_eq!(rec.read::<u64>(&item), 777);
+    }
+
+    #[test]
+    fn unsynced_payload_is_lost() {
+        let s = strict_sys();
+        let tid = s.register_thread();
+        {
+            let g = s.begin_op(tid);
+            let _ = s.pnew(&g, 42, &777u64);
+        }
+        // No sync, no epoch advance: buffered work must be lost.
+        let crashed = s.pool().crash();
+        let rec = recover(crashed, EsysConfig::default(), 1);
+        assert_eq!(rec.len(), 0, "buffered-durable semantics: recent work lost");
+    }
+
+    #[test]
+    fn deleted_payload_is_cancelled_by_anti_payload() {
+        let s = strict_sys();
+        let tid = s.register_thread();
+        let h = {
+            let g = s.begin_op(tid);
+            s.pnew(&g, 1, &1u64)
+        };
+        settle(&s);
+        {
+            let g = s.begin_op(tid);
+            s.pdelete(&g, h).unwrap();
+        }
+        settle(&s); // delete persisted; reclamation may or may not have run
+        let crashed = s.pool().crash();
+        let rec = recover(crashed, EsysConfig::default(), 1);
+        assert_eq!(rec.len(), 0, "anti-payload must cancel the payload");
+    }
+
+    #[test]
+    fn update_keeps_only_newest_version() {
+        let s = strict_sys();
+        let tid = s.register_thread();
+        let h = {
+            let g = s.begin_op(tid);
+            s.pnew(&g, 1, &10u64)
+        };
+        settle(&s);
+        {
+            let g = s.begin_op(tid);
+            let _ = s.set(&g, h, |v| *v = 20).unwrap();
+        }
+        settle(&s);
+        let crashed = s.pool().crash();
+        let rec = recover(crashed, EsysConfig::default(), 1);
+        assert_eq!(rec.len(), 1, "one logical object, one survivor");
+        assert_eq!(rec.read::<u64>(&rec.shards[0][0]), 20);
+    }
+
+    #[test]
+    fn crash_between_versions_recovers_old_value() {
+        let s = strict_sys();
+        let tid = s.register_thread();
+        let h = {
+            let g = s.begin_op(tid);
+            s.pnew(&g, 1, &10u64)
+        };
+        settle(&s);
+        {
+            let g = s.begin_op(tid);
+            let _ = s.set(&g, h, |v| *v = 20).unwrap();
+        }
+        // Crash before the update persists: consistent prefix = old value.
+        let crashed = s.pool().crash();
+        let rec = recover(crashed, EsysConfig::default(), 1);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.read::<u64>(&rec.shards[0][0]), 10);
+    }
+
+    #[test]
+    fn recovery_clock_jumps_two_epochs() {
+        let s = strict_sys();
+        settle(&s);
+        let e = s.curr_epoch();
+        let crashed = s.pool().crash();
+        let rec = recover(crashed, EsysConfig::default(), 1);
+        assert_eq!(rec.esys.curr_epoch(), e + 2);
+    }
+
+    #[test]
+    fn recovered_system_is_usable_and_recrashable() {
+        let s = strict_sys();
+        let tid = s.register_thread();
+        {
+            let g = s.begin_op(tid);
+            let _ = s.pnew(&g, 7, &1u64);
+        }
+        settle(&s);
+        let rec = recover(s.pool().crash(), EsysConfig::default(), 1);
+        let s2 = rec.esys.clone();
+        let tid2 = s2.register_thread();
+        {
+            let g = s2.begin_op(tid2);
+            let _ = s2.pnew(&g, 7, &2u64);
+        }
+        s2.sync();
+        let rec2 = recover(s2.pool().crash(), EsysConfig::default(), 1);
+        let mut vals: Vec<u64> = rec2.shards[0].iter().map(|i| rec2.read::<u64>(i)).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![1, 2], "survivors from both generations");
+    }
+
+    #[test]
+    fn parallel_recovery_shards_are_disjoint_and_complete() {
+        let s = strict_sys();
+        let tid = s.register_thread();
+        for i in 0..200u64 {
+            let g = s.begin_op(tid);
+            let _ = s.pnew(&g, 3, &i);
+        }
+        settle(&s);
+        let rec = recover(s.pool().crash(), EsysConfig::default(), 4);
+        assert_eq!(rec.shards.len(), 4);
+        let mut vals: Vec<u64> = rec
+            .shards
+            .iter()
+            .flatten()
+            .map(|i| rec.read::<u64>(i))
+            .collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn new_uids_do_not_collide_with_recovered() {
+        let s = strict_sys();
+        let tid = s.register_thread();
+        let h = {
+            let g = s.begin_op(tid);
+            s.pnew(&g, 1, &5u64)
+        };
+        let old_uid = Header::uid(s.pool(), h.raw());
+        settle(&s);
+        let rec = recover(s.pool().crash(), EsysConfig::default(), 1);
+        let s2 = rec.esys.clone();
+        let tid2 = s2.register_thread();
+        let g = s2.begin_op(tid2);
+        let h2 = s2.pnew(&g, 1, &6u64);
+        assert_ne!(Header::uid(s2.pool(), h2.raw()), old_uid);
+    }
+}

@@ -1,0 +1,112 @@
+//! The operation tracker: per-thread announcement of the epoch in which a
+//! thread's operation is active (paper Fig. 3, `Tracker operation_tracker`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// Slot value meaning "no active operation".
+pub const IDLE: u64 = u64::MAX;
+
+/// Per-thread active-epoch slots.
+pub struct Tracker {
+    slots: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl Tracker {
+    pub fn new(max_threads: usize) -> Self {
+        Tracker {
+            slots: (0..max_threads)
+                .map(|_| CachePadded::new(AtomicU64::new(IDLE)))
+                .collect(),
+        }
+    }
+
+    /// Announces that thread `tid` is running an operation in `epoch`.
+    /// SeqCst so the subsequent clock re-read in `BEGIN_OP` cannot be
+    /// reordered before the announcement (a StoreLoad edge).
+    #[inline]
+    pub fn register(&self, tid: usize, epoch: u64) {
+        self.slots[tid].store(epoch, Ordering::SeqCst);
+    }
+
+    /// Clears thread `tid`'s announcement.
+    #[inline]
+    pub fn unregister(&self, tid: usize) {
+        self.slots[tid].store(IDLE, Ordering::Release);
+    }
+
+    /// Epoch thread `tid` is registered in, or [`IDLE`].
+    #[inline]
+    pub fn load(&self, tid: usize) -> u64 {
+        self.slots[tid].load(Ordering::Acquire)
+    }
+
+    /// Blocks until no thread is registered in any epoch `<= epoch`
+    /// (the advance step `operation_tracker.wait_all(curr_epoch - 1)`).
+    ///
+    /// A stalled thread can delay this arbitrarily — that is the paper's
+    /// documented liveness caveat: Montage is lock-free during crash-free
+    /// operation, but a preempted thread stalls the *persistence frontier*.
+    pub fn wait_all(&self, epoch: u64) {
+        for slot in self.slots.iter() {
+            let mut spins = 0u32;
+            while slot.load(Ordering::Acquire) <= epoch {
+                spins += 1;
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// True iff some thread is currently registered in `epoch`.
+    pub fn any_active_in(&self, epoch: u64) -> bool {
+        self.slots
+            .iter()
+            .any(|s| s.load(Ordering::Acquire) == epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn register_unregister_roundtrip() {
+        let t = Tracker::new(4);
+        assert_eq!(t.load(2), IDLE);
+        t.register(2, 7);
+        assert_eq!(t.load(2), 7);
+        assert!(t.any_active_in(7));
+        t.unregister(2);
+        assert_eq!(t.load(2), IDLE);
+        assert!(!t.any_active_in(7));
+    }
+
+    #[test]
+    fn wait_all_returns_when_no_old_ops() {
+        let t = Tracker::new(4);
+        t.register(0, 10);
+        t.wait_all(9); // nothing ≤ 9 → returns immediately
+    }
+
+    #[test]
+    fn wait_all_blocks_until_old_op_ends() {
+        let t = Arc::new(Tracker::new(2));
+        t.register(0, 5);
+        let t2 = t.clone();
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            t2.unregister(0);
+        });
+        let start = std::time::Instant::now();
+        t.wait_all(5);
+        assert!(start.elapsed() >= Duration::from_millis(20), "must wait for the op");
+        releaser.join().unwrap();
+    }
+}

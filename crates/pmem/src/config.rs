@@ -1,0 +1,160 @@
+//! Pool configuration: size, crash-semantics mode, latency model, chaos.
+
+/// Crash-semantics fidelity of the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PmemMode {
+    /// Keep a durable shadow image: data survives [`crate::PmemPool::crash`]
+    /// only if it was `clwb`'d and a subsequent `sfence` was issued by the
+    /// same thread. Used by all crash-consistency tests.
+    Strict,
+    /// No shadow image; `clwb`/`sfence` only charge latency and update the
+    /// statistics counters. Used by throughput benchmarks, where the cost of
+    /// persistence instructions (not crash recovery) is the object of study.
+    Fast,
+}
+
+/// Latency charged to persistence instructions, in nanoseconds.
+///
+/// Defaults approximate published Optane DC measurements (Izraelevitz et al.,
+/// "Basic Performance Measurements of the Intel Optane DC Persistent Memory
+/// Module"): a `CLWB` costs little to *issue* but the fence that drains it
+/// pays the media write. We charge a small issue cost per flush plus a drain
+/// cost per outstanding line at the fence, which reproduces the key behaviour
+/// Montage exploits: batching flushes and moving the fence off the critical
+/// path is much cheaper than flush+fence per operation.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyModel {
+    /// Cost to issue one `clwb` (ns).
+    pub clwb_issue_ns: u64,
+    /// Cost per pending line drained by an `sfence` (ns).
+    pub fence_per_line_ns: u64,
+    /// Fixed cost of an `sfence` (ns), even with nothing pending.
+    pub fence_base_ns: u64,
+    /// Extra write cost per cache line written to NVM media, charged at
+    /// drain time in addition to `fence_per_line_ns` (models Optane's
+    /// ~3x-DRAM write latency / limited write bandwidth).
+    pub media_write_ns: u64,
+    /// Cost of a dependent read that misses CPU caches into NVM media
+    /// (Optane reads are ~2-4x DRAM latency). Charged by
+    /// [`crate::PmemPool::touch`], which pointer-chasing structures call
+    /// once per node dereference.
+    pub media_read_ns: u64,
+}
+
+impl LatencyModel {
+    /// Latency model used for transient-DRAM baselines: everything free.
+    pub const DRAM: LatencyModel = LatencyModel {
+        clwb_issue_ns: 0,
+        fence_per_line_ns: 0,
+        fence_base_ns: 0,
+        media_write_ns: 0,
+        media_read_ns: 0,
+    };
+
+    /// Optane-like defaults.
+    pub const OPTANE: LatencyModel = LatencyModel {
+        clwb_issue_ns: 20,
+        fence_per_line_ns: 60,
+        fence_base_ns: 30,
+        media_write_ns: 100,
+        media_read_ns: 150,
+    };
+
+    /// Zero-cost model (functional testing only).
+    pub const ZERO: LatencyModel = LatencyModel {
+        clwb_issue_ns: 0,
+        fence_per_line_ns: 0,
+        fence_base_ns: 0,
+        media_write_ns: 0,
+        media_read_ns: 0,
+    };
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::OPTANE
+    }
+}
+
+/// Optional adversarial behaviour for crash testing.
+///
+/// Real CPU caches may evict (and therefore persist) *any* dirty line at any
+/// time, so recovery code must tolerate data reaching NVM that was never
+/// explicitly flushed. With `spontaneous_evict_permille > 0`, a [`crate::PmemPool::crash`]
+/// in `Strict` mode additionally persists a random subset of lines from the
+/// working image before discarding it, modelling arbitrary evictions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosConfig {
+    /// Per-line probability (in 1/1000) that an unflushed line is persisted
+    /// anyway at crash time.
+    pub spontaneous_evict_permille: u16,
+    /// RNG seed for eviction choices (deterministic replay).
+    pub seed: u64,
+}
+
+/// Full pool configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PmemConfig {
+    /// Pool size in bytes (includes the root area).
+    pub size: usize,
+    /// Crash-semantics mode.
+    pub mode: PmemMode,
+    /// Latency model for persistence instructions.
+    pub latency: LatencyModel,
+    /// Adversarial eviction model (Strict mode only).
+    pub chaos: ChaosConfig,
+}
+
+impl Default for PmemConfig {
+    fn default() -> Self {
+        PmemConfig {
+            size: 64 << 20,
+            mode: PmemMode::Fast,
+            latency: LatencyModel::ZERO,
+            chaos: ChaosConfig::default(),
+        }
+    }
+}
+
+impl PmemConfig {
+    /// Strict-mode config with zero latency — the standard test configuration.
+    pub fn strict_for_test(size: usize) -> Self {
+        PmemConfig {
+            size,
+            mode: PmemMode::Strict,
+            latency: LatencyModel::ZERO,
+            chaos: ChaosConfig::default(),
+        }
+    }
+
+    /// Fast-mode config with the Optane latency model — the standard
+    /// benchmark configuration.
+    pub fn bench_nvm(size: usize) -> Self {
+        PmemConfig {
+            size,
+            mode: PmemMode::Fast,
+            latency: LatencyModel::OPTANE,
+            chaos: ChaosConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_fast_and_free() {
+        let c = PmemConfig::default();
+        assert_eq!(c.mode, PmemMode::Fast);
+        assert_eq!(c.latency.clwb_issue_ns, 0);
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(PmemConfig::strict_for_test(1024).mode, PmemMode::Strict);
+        let b = PmemConfig::bench_nvm(1024);
+        assert_eq!(b.mode, PmemMode::Fast);
+        assert!(b.latency.media_write_ns > 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Offset-based addressing for the persistent region.
+
+use std::fmt;
+
+/// Cache-line size assumed by the simulator (x86-64).
+pub const CACHE_LINE: usize = 64;
+
+/// Size of the reserved root area at the start of every pool.
+///
+/// Subsystems (allocator metadata, the Montage epoch clock, application roots)
+/// store their persistent anchors here at well-known offsets so they can be
+/// found again after a crash, playing the role of `pmemobj`-style root
+/// objects.
+///
+/// Slot conventions in this workspace (one cache line each): 0 = Montage
+/// format magic, 1 = Montage epoch clock, 2 = Montage application root,
+/// 9 = Friedman-queue anchor, 10 = Pronto log/checkpoint anchor (baselines
+/// assume a dedicated pool, so their slots may alias each other but never
+/// Montage's).
+pub const ROOT_AREA_SIZE: usize = 4096;
+
+/// Number of 64-byte root slots in the root area.
+pub const ROOT_SLOTS: usize = ROOT_AREA_SIZE / CACHE_LINE;
+
+/// A persistent offset: the address of a byte *within* a [`crate::PmemPool`].
+///
+/// All pointers stored in persistent memory must be `POff`s (never virtual
+/// addresses): after a crash the pool may be mapped at a different base, but
+/// offsets remain meaningful. `POff(0)` is reserved as the persistent null.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct POff(u64);
+
+impl POff {
+    /// The persistent null pointer.
+    pub const NULL: POff = POff(0);
+
+    /// Creates an offset. Offset 0 is the null sentinel; constructing it via
+    /// `new` is allowed but compares equal to [`POff::NULL`].
+    #[inline]
+    pub const fn new(off: u64) -> Self {
+        POff(off)
+    }
+
+    /// Raw offset value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True iff this is the persistent null.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Offset `bytes` past `self`.
+    #[inline]
+    pub const fn add(self, bytes: u64) -> Self {
+        POff(self.0 + bytes)
+    }
+
+    /// Root-slot `i`'s offset (each slot is one cache line).
+    #[inline]
+    pub const fn root_slot(i: usize) -> Self {
+        assert!(i < ROOT_SLOTS);
+        POff((i * CACHE_LINE) as u64)
+    }
+}
+
+impl fmt::Debug for POff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "POff(NULL)")
+        } else {
+            write!(f, "POff({:#x})", self.0)
+        }
+    }
+}
+
+/// Index of the cache line containing offset `off`.
+#[inline]
+pub fn line_of(off: u64) -> u64 {
+    off / CACHE_LINE as u64
+}
+
+/// Number of cache lines spanned by `[off, off + len)`.
+#[inline]
+pub fn lines_spanned(off: u64, len: usize) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let first = line_of(off);
+    let last = line_of(off + len as u64 - 1);
+    last - first + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_zero() {
+        assert!(POff::NULL.is_null());
+        assert!(POff::new(0).is_null());
+        assert!(!POff::new(64).is_null());
+    }
+
+    #[test]
+    fn add_advances() {
+        let p = POff::new(128);
+        assert_eq!(p.add(64).raw(), 192);
+    }
+
+    #[test]
+    fn root_slots_are_line_aligned() {
+        for i in 0..ROOT_SLOTS {
+            assert_eq!(POff::root_slot(i).raw() % CACHE_LINE as u64, 0);
+        }
+    }
+
+    #[test]
+    fn lines_spanned_boundaries() {
+        assert_eq!(lines_spanned(0, 0), 0);
+        assert_eq!(lines_spanned(0, 1), 1);
+        assert_eq!(lines_spanned(0, 64), 1);
+        assert_eq!(lines_spanned(0, 65), 2);
+        assert_eq!(lines_spanned(63, 2), 2);
+        assert_eq!(lines_spanned(64, 64), 1);
+        assert_eq!(lines_spanned(60, 8), 2);
+    }
+
+    #[test]
+    fn line_of_maps_within_line() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 1);
+    }
+}

@@ -1,0 +1,610 @@
+//! The pool: working image, durable image, flush/fence, crash.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{PmemConfig, PmemMode};
+use crate::layout::{line_of, lines_spanned, POff, CACHE_LINE};
+use crate::stats::PmemStats;
+
+/// Unique id per pool instance, used to key thread-local write-back queues.
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Fast-mode per-thread count of unfenced `clwb`s per pool, so a fence
+    /// is charged per line it actually drains (matching hardware, where the
+    /// flush itself is asynchronous and the fence pays the wait).
+    static PENDING_COUNT: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn count_add(id: u64, n: u64) {
+    PENDING_COUNT.with(|c| {
+        let mut c = c.borrow_mut();
+        if let Some(e) = c.iter_mut().find(|(i, _)| *i == id) {
+            e.1 += n;
+        } else {
+            c.push((id, n));
+        }
+    });
+}
+
+fn count_take(id: u64) -> u64 {
+    PENDING_COUNT.with(|c| {
+        let mut c = c.borrow_mut();
+        match c.iter_mut().find(|(i, _)| *i == id) {
+            Some(e) => std::mem::take(&mut e.1),
+            None => 0,
+        }
+    })
+}
+
+struct Working {
+    ptr: *mut u8,
+    layout: Layout,
+}
+
+impl Drop for Working {
+    fn drop(&mut self) {
+        unsafe { dealloc(self.ptr, self.layout) };
+    }
+}
+
+// SAFETY: the working image models shared physical memory; concurrent access
+// discipline is the responsibility of the code running on top of it (exactly
+// as with real DAX-mapped NVM). The pointer itself is never reallocated.
+unsafe impl Send for Working {}
+unsafe impl Sync for Working {}
+
+struct Inner {
+    id: u64,
+    config: PmemConfig,
+    stats: PmemStats,
+    working: Working,
+    /// Durable shadow image, present only in [`PmemMode::Strict`].
+    durable: Option<Mutex<Box<[u8]>>>,
+    /// Strict mode: lines `clwb`'d but not yet made durable by a fence.
+    ///
+    /// This set is **pool-global**, not per-thread: `CLWB` initiates an
+    /// asynchronous write-back that completes regardless of who fences, and
+    /// Montage's epoch protocol depends on exactly that — workers issue
+    /// incremental write-backs and the background advancer's fence at the
+    /// epoch boundary "waits for the writes-back to complete" (paper
+    /// Sec. 3.2). A fence therefore drains every pending line. Lines that
+    /// are *never* followed by any fence before a crash are still lost,
+    /// which is the pessimistic direction tests need.
+    pending: Mutex<Vec<u64>>,
+}
+
+/// A simulated persistent-memory pool. Cheap to clone (it is an `Arc`).
+///
+/// See the [crate docs](crate) for the semantics. All accessor methods take
+/// offsets ([`POff`]); raw-pointer access is available via [`PmemPool::at`]
+/// for code that needs atomics or in-place structs, with the same aliasing
+/// obligations as real shared memory.
+#[derive(Clone)]
+pub struct PmemPool {
+    inner: Arc<Inner>,
+}
+
+impl PmemPool {
+    /// Allocates a fresh, zero-filled pool.
+    pub fn new(config: PmemConfig) -> Self {
+        assert!(config.size >= crate::ROOT_AREA_SIZE, "pool too small");
+        assert_eq!(config.size % CACHE_LINE, 0, "pool size must be line-aligned");
+        let layout = Layout::from_size_align(config.size, 4096).expect("pool layout");
+        let ptr = unsafe { alloc_zeroed(layout) };
+        assert!(!ptr.is_null(), "pool allocation failed");
+        let durable = match config.mode {
+            PmemMode::Strict => Some(Mutex::new(vec![0u8; config.size].into_boxed_slice())),
+            PmemMode::Fast => None,
+        };
+        PmemPool {
+            inner: Arc::new(Inner {
+                id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+                config,
+                stats: PmemStats::default(),
+                working: Working { ptr, layout },
+                durable,
+                pending: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Pool size in bytes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.inner.config.size
+    }
+
+    /// The pool's configuration.
+    #[inline]
+    pub fn config(&self) -> &PmemConfig {
+        &self.inner.config
+    }
+
+    /// Persistence statistics.
+    #[inline]
+    pub fn stats(&self) -> &PmemStats {
+        &self.inner.stats
+    }
+
+    #[inline]
+    fn check(&self, off: POff, len: usize) {
+        debug_assert!(
+            (off.raw() as usize)
+                .checked_add(len)
+                .is_some_and(|end| end <= self.inner.config.size),
+            "pmem access out of bounds: off={off:?} len={len}"
+        );
+    }
+
+    /// Raw pointer to offset `off`, viewed as `T`.
+    ///
+    /// # Safety
+    /// The caller must respect `T`'s alignment at `off`, stay in bounds, and
+    /// coordinate concurrent access exactly as it would for shared memory.
+    #[inline]
+    pub unsafe fn at<T>(&self, off: POff) -> *mut T {
+        self.check(off, std::mem::size_of::<T>());
+        self.inner.working.ptr.add(off.raw() as usize).cast::<T>()
+    }
+
+    /// Reads a `Copy` value at `off`.
+    ///
+    /// # Safety
+    /// As for [`PmemPool::at`]; additionally the bytes must be a valid `T`.
+    #[inline]
+    pub unsafe fn read<T: Copy>(&self, off: POff) -> T {
+        self.at::<T>(off).read()
+    }
+
+    /// Writes a `Copy` value at `off` (store only; not persistent until
+    /// flushed and fenced).
+    ///
+    /// # Safety
+    /// As for [`PmemPool::at`].
+    #[inline]
+    pub unsafe fn write<T: Copy>(&self, off: POff, val: &T) {
+        self.at::<T>(off).write(*val);
+    }
+
+    /// Copies `src` into the pool at `off`.
+    pub fn write_bytes(&self, off: POff, src: &[u8]) {
+        self.check(off, src.len());
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr(),
+                self.inner.working.ptr.add(off.raw() as usize),
+                src.len(),
+            );
+        }
+    }
+
+    /// Copies `dst.len()` bytes out of the pool at `off`.
+    pub fn read_bytes(&self, off: POff, dst: &mut [u8]) {
+        self.check(off, dst.len());
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.inner.working.ptr.add(off.raw() as usize),
+                dst.as_mut_ptr(),
+                dst.len(),
+            );
+        }
+    }
+
+    /// An atomic `u64` view of the 8 bytes at `off` (must be 8-aligned).
+    ///
+    /// # Safety
+    /// `off` must be 8-byte aligned and in bounds; all accesses to those
+    /// bytes must go through atomics while this view is in use.
+    #[inline]
+    pub unsafe fn atomic_u64(&self, off: POff) -> &AtomicU64 {
+        debug_assert_eq!(off.raw() % 8, 0, "atomic_u64 requires 8-byte alignment");
+        &*(self.at::<u64>(off) as *const AtomicU64)
+    }
+
+    /// Models a dependent load that misses the CPU caches into NVM media.
+    /// Pointer-chasing structures call this once per node dereference; it
+    /// charges `media_read_ns` (a latency, not a bandwidth, cost).
+    #[inline]
+    pub fn touch(&self) {
+        spin_ns(self.inner.config.latency.media_read_ns);
+    }
+
+    // ---- persistence primitives -------------------------------------------
+
+    /// `CLWB`: schedule write-back of the cache line containing `off`.
+    /// Durability is guaranteed only after a subsequent [`PmemPool::sfence`]
+    /// from the same thread.
+    #[inline]
+    pub fn clwb(&self, off: POff) {
+        self.check(off, 1);
+        self.inner.stats.on_clwb();
+        spin_ns(self.inner.config.latency.clwb_issue_ns);
+        if self.inner.durable.is_some() {
+            self.inner.pending.lock().push(line_of(off.raw()));
+        } else {
+            count_add(self.inner.id, 1);
+        }
+    }
+
+    /// `CLWB` every cache line in `[off, off+len)`. The issue latency for
+    /// the whole range is charged in one spin (per-line spins would be
+    /// dominated by timer overhead at nanosecond scales).
+    pub fn clwb_range(&self, off: POff, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.check(off, len);
+        let n = lines_spanned(off.raw(), len);
+        let first = line_of(off.raw());
+        if self.inner.durable.is_some() {
+            let mut p = self.inner.pending.lock();
+            for i in 0..n {
+                p.push(first + i);
+            }
+        } else {
+            count_add(self.inner.id, n);
+        }
+        for _ in 0..n {
+            self.inner.stats.on_clwb();
+        }
+        spin_ns(self.inner.config.latency.clwb_issue_ns * n);
+    }
+
+    /// `SFENCE`: drain this thread's pending write-backs to durable media.
+    pub fn sfence(&self) {
+        let lat = &self.inner.config.latency;
+        let drained = if let Some(durable) = &self.inner.durable {
+            let lines = std::mem::take(&mut *self.inner.pending.lock());
+            let mut dur = durable.lock();
+            for &line in &lines {
+                self.drain_line(&mut dur, line);
+            }
+            lines.len() as u64
+        } else {
+            // Fast mode: drain the per-thread pending count.
+            count_take(self.inner.id)
+        };
+        self.inner.stats.on_sfence(drained);
+        spin_ns(lat.fence_base_ns + drained * (lat.fence_per_line_ns + lat.media_write_ns));
+    }
+
+    /// Convenience: `clwb_range` + `sfence`.
+    pub fn persist_range(&self, off: POff, len: usize) {
+        self.clwb_range(off, len);
+        self.sfence();
+    }
+
+    fn drain_line(&self, durable: &mut [u8], line: u64) {
+        let start = (line as usize) * CACHE_LINE;
+        let end = (start + CACHE_LINE).min(self.inner.config.size);
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.inner.working.ptr.add(start),
+                durable.as_mut_ptr().add(start),
+                end - start,
+            );
+        }
+    }
+
+    // ---- crash simulation --------------------------------------------------
+
+    /// Simulates a whole-machine power failure and restart.
+    ///
+    /// Returns a new pool whose contents are exactly the durable image: only
+    /// data that was `clwb`'d and fenced (plus chaos-mode spontaneous
+    /// evictions) survives. Panics in [`PmemMode::Fast`], which has no
+    /// durable image.
+    ///
+    /// All other threads must have stopped using the old pool; lingering
+    /// writes after the crash point would be lost on real hardware too, but
+    /// here they would race with the image copy.
+    pub fn crash(&self) -> PmemPool {
+        let durable = self
+            .inner
+            .durable
+            .as_ref()
+            .expect("crash() requires PmemMode::Strict");
+        self.inner.stats.on_crash();
+
+        let mut dur = durable.lock();
+        // Chaos: arbitrary cache evictions may have persisted unflushed lines.
+        let chaos = self.inner.config.chaos;
+        if chaos.spontaneous_evict_permille > 0 {
+            let crashes = self.inner.stats.crashes.load(Ordering::Relaxed);
+            let mut rng = SmallRng::seed_from_u64(chaos.seed ^ crashes.wrapping_mul(0x9E3779B97F4A7C15));
+            let nlines = self.inner.config.size / CACHE_LINE;
+            for line in 0..nlines as u64 {
+                if rng.gen_range(0..1000) < chaos.spontaneous_evict_permille as u32 {
+                    self.drain_line(&mut dur, line);
+                }
+            }
+        }
+
+        let new = PmemPool::new(self.inner.config);
+        new.write_bytes(POff::new(0), &dur);
+        {
+            let new_durable = new.inner.durable.as_ref().unwrap();
+            new_durable.lock().copy_from_slice(&dur);
+        }
+        // Pending-but-unfenced flushes die with the machine.
+        self.inner.pending.lock().clear();
+        new
+    }
+
+    // ---- cross-process persistence ------------------------------------------
+
+    /// Writes the **durable image** to a file, making persistence survive
+    /// process exit (standing in for the file that a DAX mapping would be
+    /// backed by). Strict mode only. Format: `"PMEMSNAP"` magic, size, image.
+    pub fn save_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        let durable = self
+            .inner
+            .durable
+            .as_ref()
+            .expect("save_to_file requires PmemMode::Strict");
+        let dur = durable.lock();
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(b"PMEMSNAP")?;
+        f.write_all(&(self.inner.config.size as u64).to_le_bytes())?;
+        f.write_all(&dur)?;
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Loads a pool from a [`PmemPool::save_to_file`] snapshot. The restored
+    /// pool starts from the snapshot in both images (as if freshly rebooted
+    /// from that persistent state).
+    pub fn load_from_file(path: &std::path::Path, config: PmemConfig) -> std::io::Result<PmemPool> {
+        use std::io::Read;
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut magic = [0u8; 8];
+        f.read_exact(&mut magic)?;
+        if &magic != b"PMEMSNAP" {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "not a pmem snapshot",
+            ));
+        }
+        let mut szb = [0u8; 8];
+        f.read_exact(&mut szb)?;
+        let size = u64::from_le_bytes(szb) as usize;
+        if size != config.size {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("snapshot is {size} B but config.size is {} B", config.size),
+            ));
+        }
+        let mut image = vec![0u8; size];
+        f.read_exact(&mut image)?;
+        let pool = PmemPool::new(config);
+        pool.write_bytes(POff::new(0), &image);
+        if let Some(durable) = &pool.inner.durable {
+            durable.lock().copy_from_slice(&image);
+        }
+        Ok(pool)
+    }
+}
+
+/// Busy-wait for approximately `ns` nanoseconds (0 = free).
+#[inline]
+fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChaosConfig;
+
+    fn strict_pool() -> PmemPool {
+        PmemPool::new(PmemConfig::strict_for_test(1 << 20))
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let p = strict_pool();
+        let off = POff::new(8192);
+        unsafe { p.write(off, &0xDEADBEEFu64) };
+        assert_eq!(unsafe { p.read::<u64>(off) }, 0xDEADBEEF);
+    }
+
+    #[test]
+    fn unflushed_data_lost_on_crash() {
+        let p = strict_pool();
+        let off = POff::new(4096);
+        unsafe { p.write(off, &42u64) };
+        let p2 = p.crash();
+        assert_eq!(unsafe { p2.read::<u64>(off) }, 0, "unflushed line must not survive");
+    }
+
+    #[test]
+    fn flushed_but_unfenced_data_lost_on_crash() {
+        let p = strict_pool();
+        let off = POff::new(4096);
+        unsafe { p.write(off, &42u64) };
+        p.clwb(off);
+        // No sfence.
+        let p2 = p.crash();
+        assert_eq!(unsafe { p2.read::<u64>(off) }, 0, "clwb without fence is not durable");
+    }
+
+    #[test]
+    fn flushed_and_fenced_data_survives() {
+        let p = strict_pool();
+        let off = POff::new(4096);
+        unsafe { p.write(off, &42u64) };
+        p.persist_range(off, 8);
+        let p2 = p.crash();
+        assert_eq!(unsafe { p2.read::<u64>(off) }, 42);
+    }
+
+    #[test]
+    fn flush_granularity_is_whole_lines() {
+        let p = strict_pool();
+        let a = POff::new(4096); // same line
+        let b = POff::new(4096 + 32);
+        unsafe {
+            p.write(a, &1u64);
+            p.write(b, &2u64);
+        }
+        p.persist_range(a, 8); // flushing a's line also captures b
+        let p2 = p.crash();
+        assert_eq!(unsafe { p2.read::<u64>(a) }, 1);
+        assert_eq!(unsafe { p2.read::<u64>(b) }, 2);
+    }
+
+    #[test]
+    fn fence_captures_value_at_fence_time() {
+        let p = strict_pool();
+        let off = POff::new(4096);
+        unsafe { p.write(off, &1u64) };
+        p.clwb(off);
+        unsafe { p.write(off, &2u64) }; // re-dirty before the fence
+        p.sfence();
+        let p2 = p.crash();
+        assert_eq!(unsafe { p2.read::<u64>(off) }, 2);
+    }
+
+    #[test]
+    fn crash_preserves_durable_across_two_crashes() {
+        let p = strict_pool();
+        let off = POff::new(4096);
+        unsafe { p.write(off, &7u64) };
+        p.persist_range(off, 8);
+        let p2 = p.crash();
+        let p3 = p2.crash();
+        assert_eq!(unsafe { p3.read::<u64>(off) }, 7);
+    }
+
+    #[test]
+    fn any_threads_fence_drains_pending_clwbs() {
+        // CLWB write-backs are asynchronous: a later fence from *any* thread
+        // covers them (the epoch advancer's boundary fence relies on this).
+        let p = strict_pool();
+        let off = POff::new(4096);
+        unsafe { p.write(off, &9u64) };
+        p.clwb(off);
+        let p_clone = p.clone();
+        std::thread::spawn(move || p_clone.sfence()).join().unwrap();
+        let p2 = p.crash();
+        assert_eq!(unsafe { p2.read::<u64>(off) }, 9);
+    }
+
+    #[test]
+    fn clwb_never_fenced_is_lost() {
+        let p = strict_pool();
+        let off = POff::new(4096);
+        unsafe { p.write(off, &9u64) };
+        std::thread::scope(|s| {
+            let p = p.clone();
+            s.spawn(move || p.clwb(off)); // flushing thread exits, no fence anywhere
+        });
+        let p2 = p.crash();
+        assert_eq!(unsafe { p2.read::<u64>(off) }, 0);
+    }
+
+    #[test]
+    fn stats_count_flushes_and_fences() {
+        let p = strict_pool();
+        let off = POff::new(4096);
+        unsafe { p.write(off, &1u64) };
+        p.clwb_range(off, 200); // 4 lines
+        p.sfence();
+        let (clwbs, fences, drained) = p.stats().snapshot();
+        assert_eq!(clwbs, 4);
+        assert_eq!(fences, 1);
+        assert_eq!(drained, 4);
+    }
+
+    #[test]
+    fn chaos_mode_may_persist_unflushed_lines() {
+        let p = PmemPool::new(PmemConfig {
+            size: 1 << 20,
+            mode: PmemMode::Strict,
+            latency: crate::LatencyModel::ZERO,
+            chaos: ChaosConfig {
+                spontaneous_evict_permille: 1000, // evict everything
+                seed: 1,
+            },
+        });
+        let off = POff::new(4096);
+        unsafe { p.write(off, &5u64) };
+        let p2 = p.crash();
+        assert_eq!(unsafe { p2.read::<u64>(off) }, 5, "100% eviction persists all lines");
+    }
+
+    #[test]
+    fn fast_mode_counts_but_does_not_shadow() {
+        let p = PmemPool::new(PmemConfig::default());
+        let off = POff::new(4096);
+        unsafe { p.write(off, &1u64) };
+        p.persist_range(off, 8);
+        assert_eq!(p.stats().snapshot().0, 1);
+    }
+
+    #[test]
+    fn atomic_view_is_shared_with_plain_writes() {
+        let p = strict_pool();
+        let off = POff::new(4096);
+        let a = unsafe { p.atomic_u64(off) };
+        a.store(11, Ordering::SeqCst);
+        assert_eq!(unsafe { p.read::<u64>(off) }, 11);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_across_processes() {
+        let dir = std::env::temp_dir().join(format!("pmem-snap-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("pool.img");
+
+        let p = strict_pool();
+        let off = POff::new(4096);
+        unsafe { p.write(off, &0xC0FFEEu64) };
+        p.persist_range(off, 8);
+        unsafe { p.write(off.add(8), &1u64) }; // never persisted
+        p.save_to_file(&path).unwrap();
+
+        let p2 = PmemPool::load_from_file(&path, PmemConfig::strict_for_test(1 << 20)).unwrap();
+        assert_eq!(unsafe { p2.read::<u64>(off) }, 0xC0FFEE);
+        assert_eq!(unsafe { p2.read::<u64>(off.add(8)) }, 0, "snapshot holds durable image only");
+        // And the restored pool has normal crash semantics.
+        unsafe { p2.write(off, &7u64) };
+        let p3 = p2.crash();
+        assert_eq!(unsafe { p3.read::<u64>(off) }, 0xC0FFEE);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_geometry() {
+        let dir = std::env::temp_dir().join(format!("pmem-snap2-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("pool.img");
+        strict_pool().save_to_file(&path).unwrap();
+        assert!(PmemPool::load_from_file(&path, PmemConfig::strict_for_test(2 << 20)).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fresh_pool_is_zeroed() {
+        let p = strict_pool();
+        let mut buf = [1u8; 256];
+        p.read_bytes(POff::new(12345 & !63), &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,185 @@
+//! Transient allocator state: superblock bookkeeping and the lock-free
+//! partial-superblock stacks. Everything here lives in DRAM and is rebuilt
+//! after a crash; none of it is ever flushed.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// Sentinel for "no slot" in intra-superblock free lists.
+pub const NO_SLOT: u32 = u32::MAX;
+
+/// Sentinel for "no superblock" in the partial stacks.
+pub const NO_SB: u32 = u32::MAX;
+
+/// Transient per-superblock state.
+///
+/// Ownership discipline (LRMalloc-style): a superblock's *local* free list
+/// (`free_head`, `bump`) is only manipulated by the single thread that popped
+/// the superblock off its class's partial stack; remote frees from other
+/// threads go through the `remote_*` fields, which are lock-free.
+#[derive(Debug)]
+pub struct SbState {
+    /// Head of the local free list (slot index), owner-only.
+    pub free_head: AtomicU32,
+    /// Next never-yet-allocated slot, owner-only.
+    pub bump: AtomicU32,
+    /// Blocks available locally (free list + bump region), owner-only.
+    pub local_free: AtomicU32,
+    /// Lock-free remote free list head, packed `(tag:32 | slot:32)`.
+    pub remote_head: AtomicU64,
+    /// Whether the superblock is currently linked into a partial stack (or
+    /// owned for refill). Guards against double-push.
+    pub in_stack: AtomicBool,
+    /// Next superblock in the partial stack (transient link).
+    pub stack_link: AtomicU32,
+}
+
+impl SbState {
+    pub fn new() -> Self {
+        SbState {
+            free_head: AtomicU32::new(NO_SLOT),
+            bump: AtomicU32::new(0),
+            local_free: AtomicU32::new(0),
+            remote_head: AtomicU64::new(pack(0, NO_SLOT)),
+            in_stack: AtomicBool::new(false),
+            stack_link: AtomicU32::new(NO_SB),
+        }
+    }
+}
+
+impl Default for SbState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+pub fn pack(tag: u32, idx: u32) -> u64 {
+    ((tag as u64) << 32) | idx as u64
+}
+
+#[inline]
+pub fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// A tagged Treiber stack of superblock ids, links held in `SbState::stack_link`.
+#[derive(Debug)]
+pub struct SbStack {
+    head: AtomicU64,
+}
+
+impl SbStack {
+    pub fn new() -> Self {
+        SbStack {
+            head: AtomicU64::new(pack(0, NO_SB)),
+        }
+    }
+
+    /// Pushes superblock `sb` (caller must have claimed `in_stack`).
+    pub fn push(&self, sb: u32, states: &[SbState]) {
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack(head);
+            states[sb as usize].stack_link.store(top, Ordering::Relaxed);
+            match self.head.compare_exchange_weak(
+                head,
+                pack(tag.wrapping_add(1), sb),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Pops a superblock id, or `None` if empty. The popped superblock's
+    /// `in_stack` flag remains set; the caller clears it when releasing
+    /// ownership (or keeps it set while re-pushing).
+    pub fn pop(&self, states: &[SbState]) -> Option<u32> {
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack(head);
+            if top == NO_SB {
+                return None;
+            }
+            let next = states[top as usize].stack_link.load(Ordering::Relaxed);
+            match self.head.compare_exchange_weak(
+                head,
+                pack(tag.wrapping_add(1), next),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(top),
+                Err(h) => head = h,
+            }
+        }
+    }
+}
+
+impl Default for SbStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let v = pack(7, 42);
+        assert_eq!(unpack(v), (7, 42));
+        assert_eq!(unpack(pack(u32::MAX, NO_SB)), (u32::MAX, NO_SB));
+    }
+
+    #[test]
+    fn stack_lifo_order() {
+        let states: Vec<SbState> = (0..4).map(|_| SbState::new()).collect();
+        let s = SbStack::new();
+        s.push(0, &states);
+        s.push(1, &states);
+        s.push(2, &states);
+        assert_eq!(s.pop(&states), Some(2));
+        assert_eq!(s.pop(&states), Some(1));
+        assert_eq!(s.pop(&states), Some(0));
+        assert_eq!(s.pop(&states), None);
+    }
+
+    #[test]
+    fn stack_concurrent_push_pop_conserves_elements() {
+        const N: usize = 64;
+        let states: Arc<Vec<SbState>> = Arc::new((0..N).map(|_| SbState::new()).collect());
+        let stack = Arc::new(SbStack::new());
+        for i in 0..N as u32 {
+            stack.push(i, &states);
+        }
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let stack = stack.clone();
+            let states = states.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut popped = vec![];
+                for _ in 0..200 {
+                    if let Some(sb) = stack.pop(&states) {
+                        popped.push(sb);
+                        stack.push(sb, &states);
+                    }
+                }
+                popped.len()
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All N elements must still be present exactly once.
+        let mut seen = vec![false; N];
+        while let Some(sb) = stack.pop(&states) {
+            assert!(!seen[sb as usize], "duplicate element {sb}");
+            seen[sb as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "lost elements");
+    }
+}

@@ -1,0 +1,187 @@
+//! Synthetic power-law graph generator — the SNAP Orkut substitute for the
+//! recovery experiment (paper Fig. 12).
+//!
+//! The paper loads Orkut (∼3 M vertices, 117 M edges) from partitioned files
+//! in "a custom binary format that eliminates the need for string
+//! manipulation", then compares parallel construction against Montage
+//! recovery. Any fixed large power-law graph exercises the same code paths,
+//! so we generate one deterministically (preferential attachment à la
+//! Barabási–Albert) at a configurable scale, partition it, and provide the
+//! same binary encode/decode round-trip the loader would perform.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphGenConfig {
+    pub vertices: u64,
+    /// Edges attached per new vertex (Orkut's average degree is ~76;
+    /// the default keeps container-scale runs snappy).
+    pub edges_per_vertex: u32,
+    pub seed: u64,
+    /// Number of partitions ("files").
+    pub partitions: usize,
+}
+
+impl Default for GraphGenConfig {
+    fn default() -> Self {
+        GraphGenConfig {
+            vertices: 100_000,
+            edges_per_vertex: 16,
+            seed: 0x0050_4B47, // "ORKG"-ish: fixed default seed
+            partitions: 8,
+        }
+    }
+}
+
+/// A generated dataset: vertices `0..vertices` and a partitioned edge list.
+pub struct GraphDataset {
+    pub vertices: u64,
+    pub partitions: Vec<Vec<(u32, u32)>>,
+}
+
+impl GraphDataset {
+    /// Generates the dataset (deterministic for a given config).
+    pub fn generate(cfg: GraphGenConfig) -> GraphDataset {
+        assert!(cfg.vertices >= 2 && cfg.partitions >= 1);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut partitions: Vec<Vec<(u32, u32)>> = vec![Vec::new(); cfg.partitions];
+        // Preferential attachment via the "repeated endpoints" trick: sample
+        // targets from a growing endpoint pool, so attachment probability is
+        // proportional to degree.
+        let mut endpoint_pool: Vec<u32> = vec![0, 1];
+        partitions[0].push((0, 1));
+        let mut edge_count: u64 = 1;
+        for v in 2..cfg.vertices {
+            let m = cfg.edges_per_vertex.min(v as u32);
+            // Small sorted vec keeps insertion deterministic (a HashSet's
+            // iteration order would vary run to run).
+            let mut targets: Vec<u32> = Vec::with_capacity(m as usize);
+            while targets.len() < m as usize {
+                // Mix preferential attachment with uniform choice for a
+                // heavier tail (as in real social graphs).
+                let t = if rng.gen_bool(0.9) {
+                    endpoint_pool[rng.gen_range(0..endpoint_pool.len())]
+                } else {
+                    rng.gen_range(0..v) as u32
+                };
+                if t != v as u32 && !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            for t in targets {
+                let p = (edge_count % cfg.partitions as u64) as usize;
+                partitions[p].push((v as u32, t));
+                endpoint_pool.push(v as u32);
+                endpoint_pool.push(t);
+                edge_count += 1;
+            }
+        }
+        GraphDataset {
+            vertices: cfg.vertices,
+            partitions,
+        }
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// Encodes one partition in the compact binary format (8 bytes/edge).
+    pub fn encode_partition(&self, p: usize) -> Vec<u8> {
+        let part = &self.partitions[p];
+        let mut out = Vec::with_capacity(8 + part.len() * 8);
+        out.extend_from_slice(&(part.len() as u64).to_le_bytes());
+        for &(a, b) in part {
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a partition encoded by [`GraphDataset::encode_partition`].
+    pub fn decode_partition(bytes: &[u8]) -> Vec<(u32, u32)> {
+        let n = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let at = 8 + i * 8;
+            out.push((
+                u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()),
+                u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap()),
+            ));
+        }
+        out
+    }
+
+    /// Degree histogram (for verifying the power-law shape).
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.vertices as usize];
+        for part in &self.partitions {
+            for &(a, b) in part {
+                deg[a as usize] += 1;
+                deg[b as usize] += 1;
+            }
+        }
+        deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GraphDataset {
+        GraphDataset::generate(GraphGenConfig {
+            vertices: 2000,
+            edges_per_vertex: 8,
+            seed: 42,
+            partitions: 4,
+        })
+    }
+
+    #[test]
+    fn edge_count_matches_config_scale() {
+        let g = small();
+        // ≈ (V-2) * m edges plus the seed edge.
+        assert!(g.edge_count() as u64 >= (g.vertices - 2) * 8 / 2);
+        assert!(g.edge_count() as u64 <= g.vertices * 8);
+    }
+
+    #[test]
+    fn no_self_loops_and_ids_in_range() {
+        let g = small();
+        for part in &g.partitions {
+            for &(a, b) in part {
+                assert_ne!(a, b);
+                assert!((a as u64) < g.vertices && (b as u64) < g.vertices);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = small();
+        let mut deg = g.degrees();
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        let max = deg[0] as f64;
+        let median = deg[deg.len() / 2] as f64;
+        assert!(max / median > 5.0, "expected heavy tail: max={max}, median={median}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.partitions, b.partitions);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = small();
+        for p in 0..g.partitions.len() {
+            let enc = g.encode_partition(p);
+            assert_eq!(GraphDataset::decode_partition(&enc), g.partitions[p]);
+        }
+    }
+}

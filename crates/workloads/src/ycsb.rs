@@ -1,0 +1,74 @@
+//! YCSB-A (Cooper et al.): 50% reads / 50% updates over a Zipfian-popular
+//! record set — the workload of the paper's memcached experiment (Fig. 10:
+//! "1 M records, 2.5 M read and 2.5 M update operations, evenly distributed
+//! across threads").
+
+use crate::zipfian::{KeyDist, KeySampler};
+use rand::Rng;
+
+/// One YCSB-A operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum YcsbOp {
+    Read(u64),
+    Update(u64),
+}
+
+/// Per-thread YCSB-A stream.
+pub struct YcsbAWorkload {
+    sampler: KeySampler,
+    remaining: u64,
+}
+
+impl YcsbAWorkload {
+    pub const RECORDS: u64 = 1_000_000;
+    pub const OPS: u64 = 5_000_000;
+
+    /// `ops` operations for one thread over `records` keys.
+    pub fn new(records: u64, ops: u64, seed: u64) -> Self {
+        YcsbAWorkload {
+            sampler: KeySampler::new(KeyDist::Zipfian, records, seed),
+            remaining: ops,
+        }
+    }
+}
+
+impl Iterator for YcsbAWorkload {
+    type Item = YcsbOp;
+
+    fn next(&mut self) -> Option<YcsbOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let read: bool = self.sampler.rng().gen();
+        let key = self.sampler.next_key();
+        Some(if read { YcsbOp::Read(key) } else { YcsbOp::Update(key) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_roughly_half_reads() {
+        let w = YcsbAWorkload::new(1000, 100_000, 1);
+        let reads = w.filter(|op| matches!(op, YcsbOp::Read(_))).count();
+        assert!((40_000..60_000).contains(&reads), "reads = {reads}");
+    }
+
+    #[test]
+    fn produces_exactly_n_ops() {
+        assert_eq!(YcsbAWorkload::new(10, 1234, 1).count(), 1234);
+    }
+
+    #[test]
+    fn keys_in_record_range() {
+        for op in YcsbAWorkload::new(50, 10_000, 2) {
+            let k = match op {
+                YcsbOp::Read(k) | YcsbOp::Update(k) => k,
+            };
+            assert!((1..=50).contains(&k));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # montage-suite — facade crate
+//!
+//! Re-exports the whole Montage reproduction stack so examples and
+//! integration tests can use a single dependency. See the individual crates
+//! for documentation:
+//!
+//! * [`pmem`] — simulated persistent memory (Optane substitute)
+//! * [`ralloc`] — persistent allocator
+//! * [`montage`] — the buffered-persistence epoch system (the paper's core)
+//! * [`montage_ds`] — hashmap / queue / graph built on Montage
+//! * [`baselines`] — competitor systems from the paper's evaluation
+//! * [`kvstore`] — memcached-like store for the Sec. 6.2 validation
+//! * [`workloads`] — YCSB and graph workload generators
+
+pub use baselines;
+pub use kvstore;
+pub use montage;
+pub use montage_ds;
+pub use pmem;
+pub use ralloc;
+pub use workloads;

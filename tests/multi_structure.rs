@@ -1,0 +1,146 @@
+//! Several Montage structures sharing one pool/epoch system, recovered
+//! together from a single crash — the "manages persistent payload blocks on
+//! behalf of one or more concurrent data structures" claim.
+
+use montage::{EpochSys, EsysConfig};
+use montage_ds::{
+    tags, MontageGraph, MontageHashMap, MontageNbMap, MontageNbQueue, MontageQueue,
+    MontageSkipListMap, MontageStack,
+};
+use pmem::{PmemConfig, PmemPool};
+
+type Key = [u8; 32];
+
+fn key(i: u64) -> Key {
+    let mut k = [0u8; 32];
+    k[..8].copy_from_slice(&i.to_le_bytes());
+    k
+}
+
+#[test]
+fn four_structures_one_pool() {
+    let esys = EpochSys::format(
+        PmemPool::new(PmemConfig::strict_for_test(128 << 20)),
+        EsysConfig::default(),
+    );
+    let tid = esys.register_thread();
+
+    let map = MontageHashMap::<Key>::new(esys.clone(), tags::HASHMAP, 64);
+    let queue = MontageQueue::new(esys.clone(), tags::QUEUE);
+    let nbq = MontageNbQueue::new(esys.clone(), tags::NBQUEUE);
+    let graph = MontageGraph::new(esys.clone(), tags::GRAPH_VERTEX, tags::GRAPH_EDGE, 128);
+
+    for i in 0..30 {
+        map.put(tid, key(i), format!("m{i}").as_bytes());
+        queue.enqueue(tid, format!("q{i}").as_bytes());
+        nbq.enqueue(tid, format!("n{i}").as_bytes());
+    }
+    for v in 0..20 {
+        graph.add_vertex(tid, v, b"v");
+    }
+    for v in 1..20 {
+        graph.add_edge(tid, 0, v, b"e");
+    }
+    // Mutations across all structures.
+    map.remove(tid, &key(7));
+    queue.dequeue(tid);
+    nbq.dequeue(tid);
+    graph.remove_edge(tid, 0, 5);
+    esys.sync();
+
+    let rec = montage::recovery::recover(esys.pool().crash(), EsysConfig::default(), 3);
+    let map2 = MontageHashMap::<Key>::recover(rec.esys.clone(), tags::HASHMAP, 64, &rec);
+    let queue2 = MontageQueue::recover(rec.esys.clone(), tags::QUEUE, &rec);
+    let nbq2 = MontageNbQueue::recover(rec.esys.clone(), tags::NBQUEUE, &rec);
+    let graph2 = MontageGraph::recover(rec.esys.clone(), tags::GRAPH_VERTEX, tags::GRAPH_EDGE, 128, &rec);
+
+    assert_eq!(map2.len(), 29);
+    assert_eq!(queue2.len(), 29);
+    assert_eq!(queue2.seq_bounds(), (1, 30));
+    assert_eq!(graph2.vertex_count(), 20);
+    assert_eq!(graph2.edge_count(), 18);
+    graph2.check_invariants();
+
+    let tid2 = rec.esys.register_thread();
+    assert!(map2.get_owned(tid2, &key(7)).is_none());
+    assert_eq!(map2.get_owned(tid2, &key(8)).unwrap(), b"m8");
+    assert_eq!(queue2.dequeue(tid2).unwrap(), b"q1");
+    assert_eq!(nbq2.dequeue(tid2).unwrap(), b"n1");
+
+    // All structures remain fully usable post-recovery.
+    map2.put(tid2, key(100), b"new");
+    queue2.enqueue(tid2, b"new");
+    nbq2.enqueue(tid2, b"new");
+    assert!(graph2.add_vertex(tid2, 99, b"new"));
+    assert!(graph2.add_edge(tid2, 0, 99, b"new"));
+    graph2.check_invariants();
+}
+
+#[test]
+fn nonblocking_and_ordered_structures_share_a_pool() {
+    let esys = EpochSys::format(
+        PmemPool::new(PmemConfig::strict_for_test(128 << 20)),
+        EsysConfig::default(),
+    );
+    let tid = esys.register_thread();
+
+    let nbmap = MontageNbMap::<u64>::new(esys.clone(), tags::NBMAP, 32);
+    let skiplist = MontageSkipListMap::<u64>::new(esys.clone(), tags::SKIPLIST);
+    let stack = MontageStack::new(esys.clone(), tags::STACK);
+
+    for i in 0..40u64 {
+        assert!(nbmap.insert(tid, i, &i.to_le_bytes()));
+        assert!(skiplist.insert(tid, i * 2, &i.to_le_bytes()));
+        stack.push(tid, &i.to_le_bytes());
+        if i % 7 == 0 {
+            esys.advance_epoch();
+        }
+    }
+    nbmap.remove(tid, &5);
+    skiplist.remove(tid, &10);
+    stack.pop(tid);
+    esys.sync();
+
+    let rec = montage::recovery::recover(esys.pool().crash(), EsysConfig::default(), 3);
+    let nbmap2 = MontageNbMap::<u64>::recover(rec.esys.clone(), tags::NBMAP, 32, &rec);
+    let skiplist2 = MontageSkipListMap::<u64>::recover(rec.esys.clone(), tags::SKIPLIST, &rec);
+    let stack2 = MontageStack::recover(rec.esys.clone(), tags::STACK, &rec);
+
+    assert_eq!(nbmap2.len(), 39);
+    assert_eq!(skiplist2.len(), 39);
+    assert_eq!(stack2.len_approx(), 39);
+
+    let tid2 = rec.esys.register_thread();
+    assert!(nbmap2.get(tid2, &5, |_| ()).is_none());
+    assert!(skiplist2.get(tid2, &10, |_| ()).is_none());
+    assert_eq!(stack2.pop(tid2).unwrap(), 38u64.to_le_bytes());
+    let keys = skiplist2.keys();
+    assert!(keys.windows(2).all(|w| w[0] < w[1]), "skip list stays sorted");
+}
+
+#[test]
+fn tags_isolate_structures() {
+    // Two maps with different tags in one pool must not see each other's
+    // payloads after recovery.
+    let esys = EpochSys::format(
+        PmemPool::new(PmemConfig::strict_for_test(64 << 20)),
+        EsysConfig::default(),
+    );
+    let tid = esys.register_thread();
+    let a = MontageHashMap::<Key>::new(esys.clone(), 100, 16);
+    let b = MontageHashMap::<Key>::new(esys.clone(), 101, 16);
+    a.put(tid, key(1), b"from-a");
+    b.put(tid, key(1), b"from-b");
+    b.put(tid, key(2), b"only-b");
+    esys.sync();
+
+    let rec = montage::recovery::recover(esys.pool().crash(), EsysConfig::default(), 1);
+    let a2 = MontageHashMap::<Key>::recover(rec.esys.clone(), 100, 16, &rec);
+    let b2 = MontageHashMap::<Key>::recover(rec.esys.clone(), 101, 16, &rec);
+    let tid2 = rec.esys.register_thread();
+    assert_eq!(a2.len(), 1);
+    assert_eq!(b2.len(), 2);
+    assert_eq!(a2.get_owned(tid2, &key(1)).unwrap(), b"from-a");
+    assert_eq!(b2.get_owned(tid2, &key(1)).unwrap(), b"from-b");
+    assert!(a2.get_owned(tid2, &key(2)).is_none());
+}
