@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use pmem::{PmemPool, POff};
+use pmem::{POff, PmemPool};
 use ralloc::Ralloc;
 
 use crate::api::{BenchMap, Key32};
@@ -106,7 +106,8 @@ impl DaliHashMap {
             self.pool.write::<u64>(rec.add(NEXT_OFF), &b.head.raw());
             self.pool.write::<u64>(rec.add(ERA_OFF), &era);
             self.pool.write::<u32>(rec.add(OP_OFF), &op);
-            self.pool.write::<u32>(rec.add(VLEN_OFF), &(value.len() as u32));
+            self.pool
+                .write::<u32>(rec.add(VLEN_OFF), &(value.len() as u32));
         }
         self.pool.write_bytes(rec.add(KEY_OFF), key);
         self.pool.write_bytes(rec.add(DATA_OFF), value);
@@ -262,7 +263,10 @@ mod tests {
             m.insert(0, make_key(i), &[1u8; 128]);
         }
         let after = m.pool.stats().snapshot();
-        assert!(after.1 - before.1 <= 2, "buffered durability: no per-op fence");
+        assert!(
+            after.1 - before.1 <= 2,
+            "buffered durability: no per-op fence"
+        );
     }
 
     #[test]
@@ -289,7 +293,10 @@ mod tests {
         // Deallocs must keep pace with the version churn (chains stay short).
         let allocs = m.ralloc.stats().allocs.load(Ordering::Relaxed) - allocs0;
         let deallocs = m.ralloc.stats().deallocs.load(Ordering::Relaxed);
-        assert!(deallocs * 2 >= allocs, "GC lagging: {allocs} allocs, {deallocs} deallocs");
+        assert!(
+            deallocs * 2 >= allocs,
+            "GC lagging: {allocs} allocs, {deallocs} deallocs"
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::epoch;
-use pmem::{PmemPool, POff};
+use pmem::{POff, PmemPool};
 use ralloc::Ralloc;
 
 use crate::api::BenchQueue;
@@ -186,7 +186,9 @@ impl FriedmanQueue {
     pub fn len(&self) -> usize {
         let _pin = epoch::pin();
         let mut n = 0;
-        let mut cur = self.next_cell(self.head.load(Ordering::SeqCst)).load(Ordering::SeqCst);
+        let mut cur = self
+            .next_cell(self.head.load(Ordering::SeqCst))
+            .load(Ordering::SeqCst);
         while cur != 0 {
             n += 1;
             cur = self.next_cell(cur).load(Ordering::SeqCst);
@@ -205,14 +207,16 @@ impl BenchQueue for FriedmanQueue {
         let seq = self.next_seq.fetch_add(1, Ordering::AcqRel);
         unsafe {
             self.pool.write::<u64>(node.add(NEXT_OFF), &0);
-            self.pool.write::<u32>(node.add(VLEN_OFF), &(value.len() as u32));
+            self.pool
+                .write::<u32>(node.add(VLEN_OFF), &(value.len() as u32));
             self.pool.write::<u32>(node.add(MAGIC_OFF), &NODE_MAGIC);
             self.pool.write::<u64>(node.add(SEQ_OFF), &seq);
             self.pool.write::<u64>(node.add(DEQED_OFF), &0);
         }
         self.pool.write_bytes(node.add(DATA_OFF), value);
         // Persist the node before it becomes reachable.
-        self.pool.persist_range(node, DATA_OFF as usize + value.len());
+        self.pool
+            .persist_range(node, DATA_OFF as usize + value.len());
 
         let _pin = epoch::pin();
         loop {
@@ -323,10 +327,13 @@ mod tests {
         let (_, f0, _) = pool.stats().snapshot();
         q.enqueue(0, &[1u8; 100]);
         let (_, f1, _) = pool.stats().snapshot();
-        assert!(f1 >= f0 + 2, "enqueue must fence at least twice (node + link)");
+        assert!(
+            f1 >= f0 + 2,
+            "enqueue must fence at least twice (node + link)"
+        );
         q.dequeue(0);
         let (_, f2, _) = pool.stats().snapshot();
-        assert!(f2 >= f1 + 1, "dequeue must fence (announcement)");
+        assert!(f2 > f1, "dequeue must fence (announcement)");
     }
 
     #[test]

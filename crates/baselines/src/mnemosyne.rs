@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use pmem::{PmemPool, POff};
+use pmem::{POff, PmemPool};
 use ralloc::Ralloc;
 
 use crate::api::{BenchMap, BenchQueue, Key32};
@@ -179,7 +179,10 @@ impl BenchQueue for MnemosyneQueue {
         node_img[DATA_OFF as usize..].copy_from_slice(value);
         txn.write(node, &node_img);
         if st.1.is_null() {
-            txn.write(self.root, &[node.raw().to_le_bytes(), node.raw().to_le_bytes()].concat());
+            txn.write(
+                self.root,
+                &[node.raw().to_le_bytes(), node.raw().to_le_bytes()].concat(),
+            );
         } else {
             txn.write(st.1.add(NEXT_OFF), &node.raw().to_le_bytes());
             txn.write(self.root.add(8), &node.raw().to_le_bytes());

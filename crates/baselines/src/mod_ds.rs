@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use pmem::{PmemPool, POff};
+use pmem::{POff, PmemPool};
 use ralloc::Ralloc;
 
 use crate::api::{BenchMap, BenchQueue, Key32};
@@ -225,7 +225,10 @@ impl BenchMap for ModHashMap {
         match self.copy_prefix(head, target) {
             None => self.commit(*cell, suffix),
             Some((new_head, tail_copy)) => {
-                unsafe { self.pool.write::<u64>(tail_copy.add(NEXT_OFF), &suffix.raw()) };
+                unsafe {
+                    self.pool
+                        .write::<u64>(tail_copy.add(NEXT_OFF), &suffix.raw())
+                };
                 self.pool.clwb_range(tail_copy, DATA_OFF as usize);
                 self.commit(*cell, new_head);
             }
@@ -316,7 +319,13 @@ impl BenchQueue for ModQueue {
     fn enqueue(&self, _tid: usize, value: &[u8]) {
         let root = self.root.lock();
         let (front, back) = self.lists(*root);
-        let node = new_node(&self.ralloc, &self.pool, back, &[0u8; 32], ValueSrc::Bytes(value));
+        let node = new_node(
+            &self.ralloc,
+            &self.pool,
+            back,
+            &[0u8; 32],
+            ValueSrc::Bytes(value),
+        );
         self.commit(*root, front, node);
     }
 
@@ -413,6 +422,9 @@ mod tests {
         let s = q.ralloc.stats();
         let allocs = s.allocs.load(Ordering::Relaxed);
         let deallocs = s.deallocs.load(Ordering::Relaxed);
-        assert!(allocs - deallocs < 50, "leak: {allocs} allocs vs {deallocs} deallocs");
+        assert!(
+            allocs - deallocs < 50,
+            "leak: {allocs} allocs vs {deallocs} deallocs"
+        );
     }
 }

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use pmem::{PmemPool, POff};
+use pmem::{POff, PmemPool};
 use ralloc::Ralloc;
 
 use crate::api::{BenchMap, Key32};
@@ -105,12 +105,14 @@ impl BenchMap for NvTraverseHashMap {
         let node = self.ralloc.alloc(DATA_OFF as usize + value.len());
         unsafe {
             self.pool.write::<u64>(node.add(NEXT_OFF), &0);
-            self.pool.write::<u32>(node.add(VLEN_OFF), &(value.len() as u32));
+            self.pool
+                .write::<u32>(node.add(VLEN_OFF), &(value.len() as u32));
         }
         self.pool.write_bytes(node.add(KEY_OFF), &key);
         self.pool.write_bytes(node.add(DATA_OFF), value);
         // Persist the node, then link and persist the link (+ zone).
-        self.pool.persist_range(node, DATA_OFF as usize + value.len());
+        self.pool
+            .persist_range(node, DATA_OFF as usize + value.len());
         if pred.is_null() {
             *head = node;
         } else {

@@ -31,7 +31,7 @@ use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
-use pmem::{PmemPool, POff};
+use pmem::{POff, PmemPool};
 use ralloc::Ralloc;
 
 use crate::api::{BenchMap, BenchQueue, Key32};
@@ -376,7 +376,8 @@ impl ProntoQueue {
         let (table, nthreads, ckpt, ckpt_len, ckpt_seq) = read_anchor(&pool);
         assert!(!table.is_null(), "pool holds no Pronto queue");
         let keep = keep_set(&pool, table, nthreads, ckpt, ckpt_len);
-        let (ralloc, _kept) = Ralloc::recover(pool.clone(), move |blk, _| keep.contains(&blk.raw()));
+        let (ralloc, _kept) =
+            Ralloc::recover(pool.clone(), move |blk, _| keep.contains(&blk.raw()));
 
         let mut items = VecDeque::new();
         if !ckpt.is_null() && ckpt_len >= 8 {
@@ -423,7 +424,8 @@ impl BenchQueue for ProntoQueue {
     fn enqueue(&self, tid: usize, value: &[u8]) {
         {
             let mut inner = self.inner.lock();
-            self.log.append(tid, &encode_entry(OP_ENQ, None, Some(value)));
+            self.log
+                .append(tid, &encode_entry(OP_ENQ, None, Some(value)));
             inner.push_back(value.into());
         }
         self.log.wait_durable(tid);
@@ -492,7 +494,8 @@ impl ProntoMap {
         let (table, nthreads, ckpt, ckpt_len, ckpt_seq) = read_anchor(&pool);
         assert!(!table.is_null(), "pool holds no Pronto map");
         let keep = keep_set(&pool, table, nthreads, ckpt, ckpt_len);
-        let (ralloc, _kept) = Ralloc::recover(pool.clone(), move |blk, _| keep.contains(&blk.raw()));
+        let (ralloc, _kept) =
+            Ralloc::recover(pool.clone(), move |blk, _| keep.contains(&blk.raw()));
 
         let log = OpLog::new(&ralloc, mode, max_threads);
         let map = ProntoMap {
@@ -565,7 +568,10 @@ impl ProntoMap {
 impl BenchMap for ProntoMap {
     fn get(&self, _tid: usize, key: &Key32) -> bool {
         // Reads are not logged (no state change).
-        self.buckets[self.index(key)].lock().iter().any(|e| e.0 == *key)
+        self.buckets[self.index(key)]
+            .lock()
+            .iter()
+            .any(|e| e.0 == *key)
     }
 
     fn insert(&self, tid: usize, key: Key32, value: &[u8]) -> bool {
@@ -574,7 +580,8 @@ impl BenchMap for ProntoMap {
             if chain.iter().any(|e| e.0 == key) {
                 false
             } else {
-                self.log.append(tid, &encode_entry(OP_INS, Some(&key), Some(value)));
+                self.log
+                    .append(tid, &encode_entry(OP_INS, Some(&key), Some(value)));
                 chain.push((key, value.into()));
                 true
             }

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use pmem::{PmemPool, POff};
+use pmem::{POff, PmemPool};
 use ralloc::Ralloc;
 
 use crate::api::{BenchMap, Key32};
@@ -113,11 +113,13 @@ impl BenchMap for SoftHashMap {
         let pnode = self.ralloc.alloc(DATA_OFF as usize + value.len());
         unsafe {
             self.pool.write::<u64>(pnode.add(VALID_OFF), &0);
-            self.pool.write::<u32>(pnode.add(VLEN_OFF), &(value.len() as u32));
+            self.pool
+                .write::<u32>(pnode.add(VLEN_OFF), &(value.len() as u32));
         }
         self.pool.write_bytes(pnode.add(KEY_OFF), &key);
         self.pool.write_bytes(pnode.add(DATA_OFF), value);
-        self.pool.persist_range(pnode, DATA_OFF as usize + value.len());
+        self.pool
+            .persist_range(pnode, DATA_OFF as usize + value.len());
         unsafe { self.pool.write::<u64>(pnode.add(VALID_OFF), &1) };
         self.pool.persist_range(pnode.add(VALID_OFF), 8);
 
@@ -162,7 +164,10 @@ mod tests {
     fn set_semantics() {
         let m = map();
         assert!(m.insert(0, make_key(1), b"x"));
-        assert!(!m.insert(0, make_key(1), b"y"), "no atomic update: duplicate insert fails");
+        assert!(
+            !m.insert(0, make_key(1), b"y"),
+            "no atomic update: duplicate insert fails"
+        );
         assert!(m.get(0, &make_key(1)));
         assert!(m.remove(0, &make_key(1)));
         assert!(!m.get(0, &make_key(1)));
@@ -178,7 +183,11 @@ mod tests {
         for i in 0..100 {
             assert!(m.get(0, &make_key(i)));
         }
-        assert_eq!(m.pool.stats().snapshot(), before, "lookups must be DRAM-only");
+        assert_eq!(
+            m.pool.stats().snapshot(),
+            before,
+            "lookups must be DRAM-only"
+        );
     }
 
     #[test]

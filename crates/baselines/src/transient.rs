@@ -236,7 +236,11 @@ mod tests {
         }
         let after = pool.stats().snapshot();
         // Only superblock carving may fence; per-op persistence must be zero.
-        assert!(after.0 - base.0 <= 8, "NVM(T) issued {} clwbs", after.0 - base.0);
+        assert!(
+            after.0 - base.0 <= 8,
+            "NVM(T) issued {} clwbs",
+            after.0 - base.0
+        );
     }
 
     #[test]

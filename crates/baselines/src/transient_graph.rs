@@ -17,7 +17,6 @@ struct Slot {
     adj: HashMap<u64, ValRef>,
 }
 
-
 /// A transient undirected graph with fixed vertex-id capacity.
 pub struct TransientGraph {
     arena: Arena,
@@ -112,8 +111,10 @@ impl TransientGraph {
             let mut ids: Vec<u64> = neighbours.iter().copied().chain([vid]).collect();
             ids.sort_unstable();
             ids.dedup();
-            let mut guards: Vec<(u64, MutexGuard<'_, Slot>)> =
-                ids.iter().map(|&id| (id, self.slots[id as usize].lock())).collect();
+            let mut guards: Vec<(u64, MutexGuard<'_, Slot>)> = ids
+                .iter()
+                .map(|&id| (id, self.slots[id as usize].lock()))
+                .collect();
             let vidx = guards.iter().position(|(id, _)| *id == vid).unwrap();
             if !guards[vidx].1.exists {
                 return false;

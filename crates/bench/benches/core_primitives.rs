@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use montage::{EpochSys, EsysConfig, VerifyCell};
-use pmem::{PmemConfig, PmemPool, POff};
+use pmem::{POff, PmemConfig, PmemPool};
 use ralloc::Ralloc;
 use std::time::Duration;
 
@@ -82,12 +82,66 @@ fn bench_esys(c: &mut Criterion) {
     c.bench_function("sync", |b| b.iter(|| esys.sync()));
 }
 
+fn bench_coalescing(c: &mut Criterion) {
+    use std::sync::atomic::Ordering;
+
+    let esys = EpochSys::format(
+        PmemPool::new(PmemConfig {
+            size: 512 << 20,
+            ..Default::default()
+        }),
+        EsysConfig::buffered(64),
+    );
+    let tid = esys.register_thread();
+    let h = {
+        let g = esys.begin_op(tid);
+        esys.pnew(&g, 0, &0u64)
+    };
+
+    // Timed: repeated in-place sets of one hot payload inside an op. After
+    // the first set of the epoch, every push hits the coalescing table and
+    // skips the ring entirely.
+    c.bench_function("set_hot_payload_coalesced_u64", |b| {
+        let g = esys.begin_op(tid);
+        let mut hh = h;
+        b.iter(|| {
+            hh = esys.set(&g, hh, |v| *v = v.wrapping_add(1)).unwrap();
+        });
+    });
+
+    // Counted (not timed): 8 sets of one payload per epoch, 100 epochs.
+    // `flushes_coalesced` is exact, so `clwbs + saved` is precisely what the
+    // uncoalesced implementation would have issued.
+    let stats0 = esys.pool().stats().snapshot();
+    let saved0 = esys.stats().flushes_coalesced.load(Ordering::Relaxed);
+    let mut hh = h;
+    for _ in 0..100 {
+        {
+            let g = esys.begin_op(tid);
+            for _ in 0..8 {
+                hh = esys.set(&g, hh, |v| *v = v.wrapping_add(1)).unwrap();
+            }
+        }
+        esys.advance_epoch();
+    }
+    esys.sync();
+    let stats1 = esys.pool().stats().snapshot();
+    let saved = esys.stats().flushes_coalesced.load(Ordering::Relaxed) - saved0;
+    let clwbs = stats1.0 - stats0.0;
+    println!(
+        "flush_coalescing_8x_sets_100_epochs      clwbs: {clwbs} \
+         (uncoalesced: {}, saved: {saved}, fences: {})",
+        clwbs + saved,
+        stats1.1 - stats0.1
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(500));
-    targets = bench_ralloc, bench_pmem, bench_esys
+    targets = bench_ralloc, bench_pmem, bench_esys, bench_coalescing
 }
 criterion_main!(benches);

@@ -63,7 +63,11 @@ fn main() {
             ..Default::default()
         };
         let t = point(cfg, p);
-        report::row(&["Buf=64+LocalFree".into(), format!("{epoch:?}"), report::raw(t)]);
+        report::row(&[
+            "Buf=64+LocalFree".into(),
+            format!("{epoch:?}"),
+            report::raw(t),
+        ]);
     }
 
     // DirWB: write back at every update.

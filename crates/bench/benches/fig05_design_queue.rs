@@ -17,7 +17,10 @@ fn main() {
     let p = BenchParams::paper_scaled(1, 1024);
     report::header(
         "fig05",
-        &format!("queue design exploration, 1 thread, value 1KB, {}s/point", env_seconds()),
+        &format!(
+            "queue design exploration, 1 thread, value 1KB, {}s/point",
+            env_seconds()
+        ),
         &["config", "epoch_length", "ops_per_sec"],
     );
 
@@ -50,7 +53,11 @@ fn main() {
             ..Default::default()
         };
         let t = point(cfg, p);
-        report::row(&["Buf=64+LocalFree".into(), format!("{epoch:?}"), report::raw(t)]);
+        report::row(&[
+            "Buf=64+LocalFree".into(),
+            format!("{epoch:?}"),
+            report::raw(t),
+        ]);
     }
 
     let t = point(

@@ -9,7 +9,10 @@ use montage_bench::systems::{build_queue, QueueSystem};
 fn main() {
     report::header(
         "fig06",
-        &format!("queue throughput, 1:1 enq:deq, value 1KB, {}s/point", env_seconds()),
+        &format!(
+            "queue throughput, 1:1 enq:deq, value 1KB, {}s/point",
+            env_seconds()
+        ),
         &["system", "threads", "ops_per_sec"],
     );
     for sys in QueueSystem::ALL {

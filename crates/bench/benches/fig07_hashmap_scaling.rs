@@ -9,11 +9,16 @@ use montage_bench::systems::{build_map, MapSystem};
 use workloads::mix::MapMix;
 
 fn main() {
-    for (panel, mix) in [("7a write-dominant 0:1:1", MapMix::WRITE_DOMINANT),
-                         ("7b read-dominant 18:1:1", MapMix::READ_DOMINANT)] {
+    for (panel, mix) in [
+        ("7a write-dominant 0:1:1", MapMix::WRITE_DOMINANT),
+        ("7b read-dominant 18:1:1", MapMix::READ_DOMINANT),
+    ] {
         report::header(
             "fig07",
-            &format!("hashmap throughput, {panel}, value 1KB, {}s/point", env_seconds()),
+            &format!(
+                "hashmap throughput, {panel}, value 1KB, {}s/point",
+                env_seconds()
+            ),
             &["system", "threads", "ops_per_sec"],
         );
         for sys in MapSystem::FIG7 {

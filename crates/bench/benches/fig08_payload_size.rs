@@ -14,7 +14,10 @@ const SIZES: [usize; 5] = [16, 64, 256, 1024, 4096];
 fn main() {
     report::header(
         "fig08a",
-        &format!("single-threaded queues vs payload size, {}s/point", env_seconds()),
+        &format!(
+            "single-threaded queues vs payload size, {}s/point",
+            env_seconds()
+        ),
         &["system", "payload_bytes", "ops_per_sec"],
     );
     for sys in [

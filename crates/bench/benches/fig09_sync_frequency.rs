@@ -29,8 +29,8 @@ fn main() {
     for sys in [
         MapSystem::NvmT,
         MapSystem::MontageT,
-        MapSystem::Montage,    // (cb)
-        MapSystem::MontageDw,  // (dw)
+        MapSystem::Montage,   // (cb)
+        MapSystem::MontageDw, // (dw)
     ] {
         let label = match sys {
             MapSystem::Montage => "Montage (cb)",

@@ -151,7 +151,12 @@ fn main() {
                 let g = TransientGraph::new(Arena::Dram, capacity as usize);
                 preload(&g, capacity, &mut SmallRng::seed_from_u64(1));
                 let t = run(&g, threads, capacity, ratio, dur);
-                report::row(&["DRAM (T)".into(), ratio.to_string(), threads.to_string(), report::raw(t)]);
+                report::row(&[
+                    "DRAM (T)".into(),
+                    ratio.to_string(),
+                    threads.to_string(),
+                    report::raw(t),
+                ]);
             }
             // Montage (T) and Montage
             for (label, cfg, advance) in [
@@ -174,10 +179,20 @@ fn main() {
                     esys.register_thread();
                 }
                 let _adv = advance.then(|| Advancer::start(esys.clone()));
-                let g = MontageGraph::new(esys, tags::GRAPH_VERTEX, tags::GRAPH_EDGE, capacity as usize);
+                let g = MontageGraph::new(
+                    esys,
+                    tags::GRAPH_VERTEX,
+                    tags::GRAPH_EDGE,
+                    capacity as usize,
+                );
                 preload(&g, capacity, &mut SmallRng::seed_from_u64(1));
                 let t = run(&g, threads, capacity, ratio, dur);
-                report::row(&[label.into(), ratio.to_string(), threads.to_string(), report::raw(t)]);
+                report::row(&[
+                    label.into(),
+                    ratio.to_string(),
+                    threads.to_string(),
+                    report::raw(t),
+                ]);
             }
         }
     }

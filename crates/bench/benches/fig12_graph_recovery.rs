@@ -61,10 +61,19 @@ fn construct_transient(ds: &GraphDataset, arena: Arena, threads: usize) -> f64 {
 }
 
 fn montage_graph(esys: Arc<EpochSys>, ds: &GraphDataset) -> MontageGraph {
-    MontageGraph::new(esys, tags::GRAPH_VERTEX, tags::GRAPH_EDGE, ds.vertices as usize)
+    MontageGraph::new(
+        esys,
+        tags::GRAPH_VERTEX,
+        tags::GRAPH_EDGE,
+        ds.vertices as usize,
+    )
 }
 
-fn construct_montage(ds: &GraphDataset, esys: Arc<EpochSys>, threads: usize) -> (MontageGraph, f64) {
+fn construct_montage(
+    ds: &GraphDataset,
+    esys: Arc<EpochSys>,
+    threads: usize,
+) -> (MontageGraph, f64) {
     for _ in 0..threads.max(ds.partitions.len()) {
         esys.register_thread();
     }
@@ -122,7 +131,11 @@ fn main() {
 
     for &threads in &env_threads() {
         let t_dram = construct_transient(&ds, Arena::Dram, threads);
-        report::row(&["DRAM (T) construct".into(), threads.to_string(), format!("{t_dram:.3}")]);
+        report::row(&[
+            "DRAM (T) construct".into(),
+            threads.to_string(),
+            format!("{t_dram:.3}"),
+        ]);
 
         let r = Ralloc::format(PmemPool::new(PmemConfig {
             size: pool_bytes,
@@ -131,7 +144,11 @@ fn main() {
             chaos: Default::default(),
         }));
         let t_nvm = construct_transient(&ds, Arena::Nvm(r), threads);
-        report::row(&["Montage (T) construct".into(), threads.to_string(), format!("{t_nvm:.3}")]);
+        report::row(&[
+            "Montage (T) construct".into(),
+            threads.to_string(),
+            format!("{t_nvm:.3}"),
+        ]);
 
         // Montage construction, then sync + crash + recovery timing.
         let esys = EpochSys::format(
@@ -143,7 +160,11 @@ fn main() {
         );
         let adv = Advancer::start(esys.clone());
         let (g, t_montage) = construct_montage(&ds, esys.clone(), threads);
-        report::row(&["Montage construct".into(), threads.to_string(), format!("{t_montage:.3}")]);
+        report::row(&[
+            "Montage construct".into(),
+            threads.to_string(),
+            format!("{t_montage:.3}"),
+        ]);
 
         esys.sync();
         drop(adv);
@@ -160,7 +181,15 @@ fn main() {
             &rec,
         );
         let t_rec = start.elapsed().as_secs_f64();
-        report::row(&["Montage recover".into(), threads.to_string(), format!("{t_rec:.3}")]);
-        assert_eq!(g2.vertex_count() as u64, ds.vertices, "recovery lost vertices");
+        report::row(&[
+            "Montage recover".into(),
+            threads.to_string(),
+            format!("{t_rec:.3}"),
+        ]);
+        assert_eq!(
+            g2.vertex_count() as u64,
+            ds.vertices,
+            "recovery lost vertices"
+        );
     }
 }

@@ -55,7 +55,12 @@ fn main() {
 
             let start = Instant::now();
             let rec = montage::recovery::recover(crashed, EsysConfig::default(), k);
-            let m2 = MontageHashMap::<[u8; 32]>::recover(rec.esys.clone(), tags::HASHMAP, n as usize, &rec);
+            let m2 = MontageHashMap::<[u8; 32]>::recover(
+                rec.esys.clone(),
+                tags::HASHMAP,
+                n as usize,
+                &rec,
+            );
             let secs = start.elapsed().as_secs_f64();
             assert_eq!(m2.len() as u64, n, "recovery lost elements");
             report::row(&[

@@ -138,8 +138,7 @@ pub fn run_map_with_sync(
             let sync = &sync;
             s.spawn(move || {
                 let value = value_of(p.value_size, t as u64);
-                let mut gen =
-                    MapOpGen::new(mix, KeyDist::Uniform, p.key_range, 0xBEEF + t as u64);
+                let mut gen = MapOpGen::new(mix, KeyDist::Uniform, p.key_range, 0xBEEF + t as u64);
                 let mut ops = 0u64;
                 barrier.wait();
                 while !stop.load(Ordering::Relaxed) {

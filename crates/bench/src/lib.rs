@@ -28,5 +28,7 @@ pub mod harness;
 pub mod report;
 pub mod systems;
 
-pub use harness::{env_scale, env_seconds, env_threads, run_map_bench, run_queue_bench, BenchParams};
+pub use harness::{
+    env_scale, env_seconds, env_threads, run_map_bench, run_queue_bench, BenchParams,
+};
 pub use systems::{build_map, build_queue, MapSystem, QueueSystem, SystemHold};

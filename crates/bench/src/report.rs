@@ -27,6 +27,38 @@ pub fn raw(v: f64) -> String {
     format!("{v:.0}")
 }
 
+/// Persistence cost of a measured interval, normalised per operation —
+/// the quantity Montage's write-back buffering is designed to shrink.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PersistCost {
+    pub flushes_per_op: f64,
+    pub fences_per_op: f64,
+}
+
+impl PersistCost {
+    /// From two `PmemStats::snapshot()` tuples `(clwbs, sfences, lines)`
+    /// bracketing `ops` operations.
+    pub fn from_snapshots(
+        before: (u64, u64, u64),
+        after: (u64, u64, u64),
+        ops: u64,
+    ) -> PersistCost {
+        let ops = ops.max(1) as f64;
+        PersistCost {
+            flushes_per_op: after.0.saturating_sub(before.0) as f64 / ops,
+            fences_per_op: after.1.saturating_sub(before.1) as f64 / ops,
+        }
+    }
+
+    /// Two CSV fields: flushes/op, fences/op.
+    pub fn fields(&self) -> [String; 2] {
+        [
+            format!("{:.3}", self.flushes_per_op),
+            format!("{:.3}", self.fences_per_op),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -36,5 +68,19 @@ mod tests {
         assert_eq!(tput(12_345_678.0), "12.346M");
         assert_eq!(tput(12_345.0), "12.3K");
         assert_eq!(tput(123.0), "123");
+    }
+
+    #[test]
+    fn persist_cost_normalises_per_op() {
+        let c = PersistCost::from_snapshots((100, 10, 100), (1100, 30, 1100), 500);
+        assert_eq!(c.flushes_per_op, 2.0);
+        assert_eq!(c.fences_per_op, 0.04);
+        assert_eq!(c.fields(), ["2.000".to_string(), "0.040".to_string()]);
+    }
+
+    #[test]
+    fn persist_cost_survives_zero_ops() {
+        let c = PersistCost::from_snapshots((0, 0, 0), (5, 1, 5), 0);
+        assert_eq!(c.flushes_per_op, 5.0);
     }
 }

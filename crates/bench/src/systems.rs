@@ -162,19 +162,31 @@ pub fn build_queue(sys: QueueSystem, p: &BenchParams) -> (Arc<dyn BenchQueue>, S
         ),
         QueueSystem::NvmT => {
             let r = Ralloc::format(nvm_pool(bytes));
-            (Arc::new(TransientQueue::new(Arena::Nvm(r))), SystemHold::default())
+            (
+                Arc::new(TransientQueue::new(Arena::Nvm(r))),
+                SystemHold::default(),
+            )
         }
         QueueSystem::MontageT => {
             let (esys, hold) = montage_sys(p, EsysConfig::transient(), bytes);
-            (Arc::new(MontageQueueAdapter(MontageQueue::new(esys, tags::QUEUE))), hold)
+            (
+                Arc::new(MontageQueueAdapter(MontageQueue::new(esys, tags::QUEUE))),
+                hold,
+            )
         }
         QueueSystem::Montage => {
             let (esys, hold) = montage_sys(p, EsysConfig::default(), bytes);
-            (Arc::new(MontageQueueAdapter(MontageQueue::new(esys, tags::QUEUE))), hold)
+            (
+                Arc::new(MontageQueueAdapter(MontageQueue::new(esys, tags::QUEUE))),
+                hold,
+            )
         }
         QueueSystem::Friedman => {
             let r = Ralloc::format(nvm_pool(bytes));
-            (Arc::new(FriedmanQueue::new(r, p.threads.max(1))), SystemHold::default())
+            (
+                Arc::new(FriedmanQueue::new(r, p.threads.max(1))),
+                SystemHold::default(),
+            )
         }
         QueueSystem::Mod => {
             let r = Ralloc::format(nvm_pool(bytes));
@@ -292,14 +304,22 @@ pub fn build_map(sys: MapSystem, p: &BenchParams) -> (Arc<dyn BenchMap>, SystemH
         MapSystem::MontageT => {
             let (esys, hold) = montage_sys(p, EsysConfig::transient(), bytes);
             (
-                Arc::new(MontageMapAdapter(MontageHashMap::new(esys, tags::HASHMAP, nbuckets))),
+                Arc::new(MontageMapAdapter(MontageHashMap::new(
+                    esys,
+                    tags::HASHMAP,
+                    nbuckets,
+                ))),
                 hold,
             )
         }
         MapSystem::Montage => {
             let (esys, hold) = montage_sys(p, EsysConfig::default(), bytes);
             (
-                Arc::new(MontageMapAdapter(MontageHashMap::new(esys, tags::HASHMAP, nbuckets))),
+                Arc::new(MontageMapAdapter(MontageHashMap::new(
+                    esys,
+                    tags::HASHMAP,
+                    nbuckets,
+                ))),
                 hold,
             )
         }
@@ -310,7 +330,11 @@ pub fn build_map(sys: MapSystem, p: &BenchParams) -> (Arc<dyn BenchMap>, SystemH
             };
             let (esys, hold) = montage_sys(p, cfg, bytes);
             (
-                Arc::new(MontageMapAdapter(MontageHashMap::new(esys, tags::HASHMAP, nbuckets))),
+                Arc::new(MontageMapAdapter(MontageHashMap::new(
+                    esys,
+                    tags::HASHMAP,
+                    nbuckets,
+                ))),
                 hold,
             )
         }
@@ -323,7 +347,10 @@ pub fn build_map(sys: MapSystem, p: &BenchParams) -> (Arc<dyn BenchMap>, SystemH
         }
         MapSystem::Soft => {
             let r = Ralloc::format(nvm_pool(bytes));
-            (Arc::new(SoftHashMap::new(r, nbuckets)), SystemHold::default())
+            (
+                Arc::new(SoftHashMap::new(r, nbuckets)),
+                SystemHold::default(),
+            )
         }
         MapSystem::NvTraverse => {
             let r = Ralloc::format(nvm_pool(bytes));
@@ -334,26 +361,42 @@ pub fn build_map(sys: MapSystem, p: &BenchParams) -> (Arc<dyn BenchMap>, SystemH
         }
         MapSystem::Mod => {
             let r = Ralloc::format(nvm_pool(bytes));
-            (Arc::new(ModHashMap::new(r, nbuckets)), SystemHold::default())
+            (
+                Arc::new(ModHashMap::new(r, nbuckets)),
+                SystemHold::default(),
+            )
         }
         MapSystem::ProntoFull => {
             let r = Ralloc::format(nvm_pool(bytes));
             (
-                Arc::new(ProntoMap::new(&r, ProntoMode::Full, p.threads.max(1), nbuckets)),
+                Arc::new(ProntoMap::new(
+                    &r,
+                    ProntoMode::Full,
+                    p.threads.max(1),
+                    nbuckets,
+                )),
                 SystemHold::default(),
             )
         }
         MapSystem::ProntoSync => {
             let r = Ralloc::format(nvm_pool(bytes));
             (
-                Arc::new(ProntoMap::new(&r, ProntoMode::Sync, p.threads.max(1), nbuckets)),
+                Arc::new(ProntoMap::new(
+                    &r,
+                    ProntoMode::Sync,
+                    p.threads.max(1),
+                    nbuckets,
+                )),
                 SystemHold::default(),
             )
         }
         MapSystem::Mnemosyne => {
             let r = Ralloc::format(nvm_pool(bytes));
             let sys = Mnemosyne::new(r, p.threads.max(1));
-            (Arc::new(MnemosyneMap::new(sys, nbuckets)), SystemHold::default())
+            (
+                Arc::new(MnemosyneMap::new(sys, nbuckets)),
+                SystemHold::default(),
+            )
         }
     }
 }

@@ -98,14 +98,21 @@ impl KvStore {
     }
 
     /// Rebuilds a Montage-backed cache after a crash.
-    pub fn recover(esys: Arc<EpochSys>, shards: usize, capacity: usize, rec: &RecoveredState) -> Self {
+    pub fn recover(
+        esys: Arc<EpochSys>,
+        shards: usize,
+        capacity: usize,
+        rec: &RecoveredState,
+    ) -> Self {
         let store = Self::new(KvBackend::Montage(esys), shards, capacity);
         for item in rec.shards.iter().flatten().filter(|it| it.tag == KV_TAG) {
             let key: Key = rec.with_bytes(item, |b| b[..KEY_BYTES].try_into().unwrap());
             let mut shard = store.shards[store.index(&key)].lock();
             let stamp = shard.next_stamp;
             shard.next_stamp += 1;
-            shard.map.insert(key, (ItemRef::Montage(item.handle()), stamp));
+            shard
+                .map
+                .insert(key, (ItemRef::Montage(item.handle()), stamp));
             shard.lru.insert(stamp, key);
             store.len.fetch_add(1, Ordering::Relaxed);
         }
@@ -325,7 +332,10 @@ mod tests {
         kv.get(tid, &make_key(1), |_| ()); // touch 1 → 2 is now LRU
         kv.set(tid, make_key(4), b"d");
         assert_eq!(kv.evictions(), 1);
-        assert!(kv.get(tid, &make_key(2), |_| ()).is_none(), "LRU victim is 2");
+        assert!(
+            kv.get(tid, &make_key(2), |_| ()).is_none(),
+            "LRU victim is 2"
+        );
         assert!(kv.get(tid, &make_key(1), |_| ()).is_some());
     }
 
@@ -348,8 +358,14 @@ mod tests {
         let tid2 = kv2.register_thread();
         assert_eq!(kv2.len(), 49);
         assert!(kv2.get(tid2, &make_key(7), |_| ()).is_none());
-        assert_eq!(kv2.get(tid2, &make_key(8), |v| v.to_vec()).unwrap(), b"updated");
-        assert_eq!(kv2.get(tid2, &make_key(33), |v| v.to_vec()).unwrap(), b"v33");
+        assert_eq!(
+            kv2.get(tid2, &make_key(8), |v| v.to_vec()).unwrap(),
+            b"updated"
+        );
+        assert_eq!(
+            kv2.get(tid2, &make_key(33), |v| v.to_vec()).unwrap(),
+            b"v33"
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ fn now_ms() -> u64 {
 }
 
 fn make_item(flags: u32, exptime_s: u64, data: &[u8]) -> Vec<u8> {
-    let expires_at = if exptime_s == 0 { 0 } else { now_ms() + exptime_s * 1000 };
+    let expires_at = if exptime_s == 0 {
+        0
+    } else {
+        now_ms() + exptime_s * 1000
+    };
     let mut v = Vec::with_capacity(META + data.len());
     v.extend_from_slice(&flags.to_le_bytes());
     v.extend_from_slice(&expires_at.to_le_bytes());
@@ -131,7 +135,8 @@ impl Session {
             "replace" if !exists => return "NOT_STORED".into(),
             _ => {}
         }
-        self.store.set(self.tid, key, &make_item(flags, exptime, data));
+        self.store
+            .set(self.tid, key, &make_item(flags, exptime, data));
         "STORED".into()
     }
 
@@ -159,7 +164,8 @@ impl Session {
         };
         match self.fetch(&key) {
             Some((flags, data)) => {
-                self.store.set(self.tid, key, &make_item(flags, exptime, &data));
+                self.store
+                    .set(self.tid, key, &make_item(flags, exptime, &data));
                 "TOUCHED".into()
             }
             None => "NOT_FOUND".into(),
@@ -215,8 +221,14 @@ mod tests {
         s.execute("set k 0 0 1", b"x");
         assert_eq!(s.execute("delete k", b""), "DELETED");
         assert_eq!(s.execute("bogus", b""), "ERROR");
-        assert_eq!(s.execute("set k 0 0 99", b"short"), "CLIENT_ERROR bad data chunk");
-        assert_eq!(s.execute("set k nope 0 1", b"x"), "CLIENT_ERROR bad command line format");
+        assert_eq!(
+            s.execute("set k 0 0 99", b"short"),
+            "CLIENT_ERROR bad data chunk"
+        );
+        assert_eq!(
+            s.execute("set k nope 0 1", b"x"),
+            "CLIENT_ERROR bad command line format"
+        );
     }
 
     #[test]

@@ -82,9 +82,8 @@ impl MontageGraph {
             for shard in &rec.shards {
                 s.spawn(|| {
                     for item in shard.iter().filter(|it| it.tag == vtag) {
-                        let vid = rec.with_bytes(item, |b| {
-                            u64::from_le_bytes(b[..8].try_into().unwrap())
-                        });
+                        let vid = rec
+                            .with_bytes(item, |b| u64::from_le_bytes(b[..8].try_into().unwrap()));
                         let mut slot = g.slots[vid as usize].lock();
                         slot.payload = item.handle();
                         slot.exists = true;
@@ -117,9 +116,11 @@ impl MontageGraph {
                             };
                             let both = a.exists && b.as_ref().map_or(a.exists, |s| s.exists);
                             if both {
-                                a.adj.insert(if lo == src { dst } else { src }, item.handle());
+                                a.adj
+                                    .insert(if lo == src { dst } else { src }, item.handle());
                                 if let Some(bs) = b.as_mut() {
-                                    bs.adj.insert(if hi == src { dst } else { src }, item.handle());
+                                    bs.adj
+                                        .insert(if hi == src { dst } else { src }, item.handle());
                                 }
                                 g.edges.fetch_add(1, Ordering::Relaxed);
                             } else {
@@ -182,7 +183,9 @@ impl MontageGraph {
             return false;
         }
         let g = self.esys.begin_op(tid);
-        slot.payload = self.esys.pnew_bytes(&g, self.vtag, &Self::encode_vertex(vid, attr));
+        slot.payload = self
+            .esys
+            .pnew_bytes(&g, self.vtag, &Self::encode_vertex(vid, attr));
         slot.exists = true;
         self.vertices.fetch_add(1, Ordering::Relaxed);
         true
@@ -200,7 +203,12 @@ impl MontageGraph {
 
     /// Neighbour ids of `vid`.
     pub fn neighbors(&self, vid: u64) -> Vec<u64> {
-        self.slots[vid as usize].lock().adj.keys().copied().collect()
+        self.slots[vid as usize]
+            .lock()
+            .adj
+            .keys()
+            .copied()
+            .collect()
     }
 
     fn lock_pair(&self, a: u64, b: u64) -> (MutexGuard<'_, Slot>, Option<MutexGuard<'_, Slot>>) {
@@ -229,7 +237,9 @@ impl MontageGraph {
             return false;
         }
         let g = self.esys.begin_op(tid);
-        let h = self.esys.pnew_bytes(&g, self.etag, &Self::encode_edge(src, dst, attr));
+        let h = self
+            .esys
+            .pnew_bytes(&g, self.etag, &Self::encode_edge(src, dst, attr));
         s_src.adj.insert(dst, h);
         s_dst.adj.insert(src, h);
         self.edges.fetch_add(1, Ordering::Relaxed);
@@ -302,11 +312,7 @@ impl MontageGraph {
             let g = self.esys.begin_op(tid);
             let vpayload = guards[vslot_idx].1.payload;
             self.esys.pdelete(&g, vpayload).expect("locks order epochs");
-            let adj: Vec<(u64, PHandle<[u8]>)> = guards[vslot_idx]
-                .1
-                .adj
-                .drain()
-                .collect();
+            let adj: Vec<(u64, PHandle<[u8]>)> = guards[vslot_idx].1.adj.drain().collect();
             for (nid, h) in adj {
                 self.esys.pdelete(&g, h).expect("locks order epochs");
                 let n = guards.iter_mut().find(|(id, _)| *id == nid).unwrap();
@@ -381,7 +387,10 @@ mod tests {
         assert!(!g.add_edge(tid, 1, 3, b""), "missing endpoint");
         assert!(g.add_edge(tid, 1, 2, b"e"));
         assert!(!g.add_edge(tid, 1, 2, b"dup"));
-        assert!(!g.add_edge(tid, 2, 1, b"dup-rev"), "undirected: reverse is a dup");
+        assert!(
+            !g.add_edge(tid, 2, 1, b"dup-rev"),
+            "undirected: reverse is a dup"
+        );
         assert!(g.has_edge(1, 2) && g.has_edge(2, 1));
         assert_eq!(g.edge_count(), 1);
         assert!(g.remove_edge(tid, 2, 1));
@@ -435,7 +444,9 @@ mod tests {
                 let tid = s.register_thread();
                 let mut x = t * 2654435761 + 1;
                 for _ in 0..1500 {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let a = (x >> 33) % 64;
                     let b = (x >> 13) % 64;
                     match x % 3 {

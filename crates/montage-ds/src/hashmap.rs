@@ -143,13 +143,19 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
                     .expect("bucket lock orders epochs");
             } else {
                 // Size changed: new payload + anti-payload for the old one.
-                let h = self.esys.pnew_bytes(&g, self.tag, &self.encode(&key, value));
-                self.esys.pdelete(&g, e.payload).expect("bucket lock orders epochs");
+                let h = self
+                    .esys
+                    .pnew_bytes(&g, self.tag, &self.encode(&key, value));
+                self.esys
+                    .pdelete(&g, e.payload)
+                    .expect("bucket lock orders epochs");
                 e.payload = h;
             }
             true
         } else {
-            let h = self.esys.pnew_bytes(&g, self.tag, &self.encode(&key, value));
+            let h = self
+                .esys
+                .pnew_bytes(&g, self.tag, &self.encode(&key, value));
             chain.push(Entry { key, payload: h });
             self.len.fetch_add(1, Ordering::Relaxed);
             false
@@ -163,7 +169,9 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
             return false;
         }
         let g = self.esys.begin_op(tid);
-        let h = self.esys.pnew_bytes(&g, self.tag, &self.encode(&key, value));
+        let h = self
+            .esys
+            .pnew_bytes(&g, self.tag, &self.encode(&key, value));
         chain.push(Entry { key, payload: h });
         self.len.fetch_add(1, Ordering::Relaxed);
         true
@@ -192,7 +200,9 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
         };
         let g = self.esys.begin_op(tid);
         let e = chain.swap_remove(pos);
-        self.esys.pdelete(&g, e.payload).expect("bucket lock orders epochs");
+        self.esys
+            .pdelete(&g, e.payload)
+            .expect("bucket lock orders epochs");
         self.len.fetch_sub(1, Ordering::Relaxed);
         true
     }
@@ -303,7 +313,10 @@ mod tests {
         let tid = s.register_thread();
         for t in 0..4u64 {
             for i in 0..500 {
-                assert_eq!(m.get_owned(tid, &key(t * 10_000 + i)).unwrap(), t.to_le_bytes());
+                assert_eq!(
+                    m.get_owned(tid, &key(t * 10_000 + i)).unwrap(),
+                    t.to_le_bytes()
+                );
             }
         }
     }
@@ -351,11 +364,17 @@ mod tests {
         let tid2 = rec.esys.register_thread();
         assert_eq!(m2.len(), 40);
         for i in 0..10 {
-            assert!(m2.get_owned(tid2, &key(i)).is_none(), "removed key {i} came back");
+            assert!(
+                m2.get_owned(tid2, &key(i)).is_none(),
+                "removed key {i} came back"
+            );
         }
         assert_eq!(m2.get_owned(tid2, &key(20)).unwrap(), b"updated");
         for i in 21..50 {
-            assert_eq!(m2.get_owned(tid2, &key(i)).unwrap(), format!("value-{i}").as_bytes());
+            assert_eq!(
+                m2.get_owned(tid2, &key(i)).unwrap(),
+                format!("value-{i}").as_bytes()
+            );
         }
     }
 

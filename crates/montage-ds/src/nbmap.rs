@@ -108,12 +108,7 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
     /// Finds (pred_cell, curr) such that `curr` is the first unmarked node
     /// with key >= `key` (or 0). Physically unlinks marked nodes on the way
     /// (Harris helping).
-    fn seek<'g>(
-        &'g self,
-        head: &'g VerifyCell,
-        key: &K,
-        eg: &'g Guard,
-    ) -> (&'g VerifyCell, u64) {
+    fn seek<'g>(&'g self, head: &'g VerifyCell, key: &K, eg: &'g Guard) -> (&'g VerifyCell, u64) {
         'retry: loop {
             let mut pred_cell: &VerifyCell = head;
             let mut curr = pred_cell.load(&self.esys);
@@ -159,7 +154,10 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
                 if is_marked(succ) {
                     return None; // logically deleted
                 }
-                return Some(self.esys.peek_bytes_unsafe(node.payload, |b| f(&b[ksize..])));
+                return Some(
+                    self.esys
+                        .peek_bytes_unsafe(node.payload, |b| f(&b[ksize..])),
+                );
             }
             if node.key > *key {
                 return None;

@@ -58,8 +58,9 @@ impl MontageNbQueue {
             .flatten()
             .filter(|it| it.tag == tag)
             .map(|it| {
-                let seq =
-                    rec.with_bytes(it, |b| u64::from_le_bytes(b[..SEQ_BYTES].try_into().unwrap()));
+                let seq = rec.with_bytes(it, |b| {
+                    u64::from_le_bytes(b[..SEQ_BYTES].try_into().unwrap())
+                });
                 (seq, it.handle())
             })
             .collect();
@@ -286,14 +287,18 @@ mod tests {
             s.advance_epoch();
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
-        let mut all: Vec<u32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let tid = s.register_thread();
         while let Some(v) = q.dequeue(tid) {
             all.push(u32::from_le_bytes(v.try_into().unwrap()));
         }
         all.sort_unstable();
-        let mut expect: Vec<u32> =
-            (0..2).flat_map(|t| (0..PER).map(move |i| t * 100_000 + i)).collect();
+        let mut expect: Vec<u32> = (0..2)
+            .flat_map(|t| (0..PER).map(move |i| t * 100_000 + i))
+            .collect();
         expect.sort_unstable();
         assert_eq!(all, expect);
     }

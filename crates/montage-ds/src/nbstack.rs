@@ -54,8 +54,9 @@ impl MontageStack {
             .flatten()
             .filter(|it| it.tag == tag)
             .map(|it| {
-                let seq =
-                    rec.with_bytes(it, |b| u64::from_le_bytes(b[..SEQ_BYTES].try_into().unwrap()));
+                let seq = rec.with_bytes(it, |b| {
+                    u64::from_le_bytes(b[..SEQ_BYTES].try_into().unwrap())
+                });
                 (seq, it.handle())
             })
             .collect();

@@ -70,7 +70,9 @@ impl MontageQueue {
             .flatten()
             .filter(|it| it.tag == tag)
             .map(|it| {
-                let seq = rec.with_bytes(it, |b| u64::from_le_bytes(b[..SEQ_BYTES].try_into().unwrap()));
+                let seq = rec.with_bytes(it, |b| {
+                    u64::from_le_bytes(b[..SEQ_BYTES].try_into().unwrap())
+                });
                 (seq, it.handle())
             })
             .collect();
@@ -211,13 +213,18 @@ mod tests {
                 popped
             }));
         }
-        let mut seen: Vec<u32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut seen: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let tid = s.register_thread();
         while let Some(v) = q.dequeue(tid) {
             seen.push(u32::from_le_bytes(v.try_into().unwrap()));
         }
         seen.sort_unstable();
-        let mut expect: Vec<u32> = (0..4).flat_map(|t| (0..500).map(move |i| t * 1000 + i)).collect();
+        let mut expect: Vec<u32> = (0..4)
+            .flat_map(|t| (0..500).map(move |i| t * 1000 + i))
+            .collect();
         expect.sort_unstable();
         assert_eq!(seen, expect);
     }
@@ -262,7 +269,10 @@ mod tests {
         // (possibly empty) contiguous extension — never a gap.
         let (head, next) = q2.seq_bounds();
         assert_eq!(head, 0);
-        assert!((10..=20).contains(&next), "prefix property violated: next={next}");
+        assert!(
+            (10..=20).contains(&next),
+            "prefix property violated: next={next}"
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl<K> Node<K> {
         Node {
             key,
             payload: parking_lot::Mutex::new(payload),
-            next: (0..height).map(|_| crossbeam::epoch::Atomic::null()).collect(),
+            next: (0..height)
+                .map(|_| crossbeam::epoch::Atomic::null())
+                .collect(),
             marked: AtomicBool::new(false),
             fully_linked: AtomicBool::new(false),
             lock: Mutex::new(()),
@@ -222,7 +224,9 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
             for (level, item) in preds.iter().enumerate().take(height) {
                 unsafe { item.deref() }.next[level].store(node, Ordering::Release);
             }
-            unsafe { node.deref() }.fully_linked.store(true, Ordering::Release);
+            unsafe { node.deref() }
+                .fully_linked
+                .store(true, Ordering::Release);
             self.len.fetch_add(1, Ordering::Relaxed);
             return true;
         }
@@ -258,7 +262,9 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
         }
         let g = self.esys.begin_op(tid);
         let mut h = node.payload.lock();
-        let same_len = self.esys.peek_bytes_unsafe(*h, |b| b.len() == ksize + value.len());
+        let same_len = self
+            .esys
+            .peek_bytes_unsafe(*h, |b| b.len() == ksize + value.len());
         if same_len {
             *h = self
                 .esys
@@ -401,7 +407,10 @@ mod tests {
         assert!(m.update(tid, &10, b"TEN"));
         assert_eq!(m.get(tid, &10, |v| v.to_vec()).unwrap(), b"TEN");
         assert!(m.update(tid, &10, b"a longer replacement value"));
-        assert_eq!(m.get(tid, &10, |v| v.to_vec()).unwrap(), b"a longer replacement value");
+        assert_eq!(
+            m.get(tid, &10, |v| v.to_vec()).unwrap(),
+            b"a longer replacement value"
+        );
         assert!(m.remove(tid, &10));
         assert!(!m.remove(tid, &10));
         assert!(m.get(tid, &10, |_| ()).is_none());
@@ -471,7 +480,10 @@ mod tests {
         }
         assert_eq!(m.len(), 4 * 200);
         let keys = m.keys();
-        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "sorted, no duplicates"
+        );
         assert_eq!(keys.len(), 800);
     }
 
@@ -516,7 +528,10 @@ mod tests {
         let m2 = MontageSkipListMap::<u64>::recover(rec.esys.clone(), 11, &rec);
         let tid2 = rec.esys.register_thread();
         assert_eq!(m2.len(), 75);
-        assert_eq!(m2.get(tid2, &1, |v| v.to_vec()).unwrap(), 999u64.to_le_bytes());
+        assert_eq!(
+            m2.get(tid2, &1, |v| v.to_vec()).unwrap(),
+            999u64.to_le_bytes()
+        );
         assert!(m2.get(tid2, &4, |_| ()).is_none());
         let keys = m2.keys();
         assert!(keys.windows(2).all(|w| w[0] < w[1]));

@@ -1,61 +1,245 @@
 //! Per-thread `to_persist` and `to_free` containers for the four most recent
 //! epochs, indexed by `epoch % 4` (paper Fig. 3).
 //!
-//! `to_persist` is the per-thread **circular write-back buffer** of Sec. 5.2:
-//! a bounded ring of payload extents; pushing into a full ring writes the
-//! oldest entry back incrementally ("when these buffers overflow, the oldest
-//! entries are written back incrementally"). The background advancer drains
-//! whatever remains at the epoch boundary.
+//! `to_persist` is the per-thread **circular write-back buffer** of Sec. 5.2,
+//! implemented — as in the paper — as a bespoke lock-free ring: a fixed-
+//! capacity array of slots with a sequence-number protocol (single owner
+//! producer, stealing consumers). The owner pushes without any lock or heap
+//! allocation; the background advancer and helping `sync` callers steal
+//! entries at epoch boundaries by CASing the ring head. Pushing into a full
+//! ring writes the oldest entry back incrementally ("when these buffers
+//! overflow, the oldest entries are written back incrementally").
 //!
-//! Each thread's containers sit behind a single small mutex: the owner takes
-//! it briefly on every `set`/`PNEW`, the advancer at epoch boundaries, and a
-//! `sync` caller when helping. The paper's implementation uses bespoke
-//! lock-free rings; a per-thread uncontended mutex has the same scaling
-//! behaviour at our thread counts and keeps draining trivially race-free.
+//! ## Steal protocol
+//!
+//! Each slot carries a sequence number. For ring capacity `C` and a
+//! monotonically increasing global index `i`:
+//!
+//! * a slot at position `i % C` is free for the owner's push `i` when its
+//!   sequence equals `i`; the owner writes the entry and publishes it by
+//!   storing sequence `i + 1` (Release), then advances `tail`;
+//! * a consumer at head `h` may take the slot once its sequence is `h + 1`;
+//!   it claims the entry by CASing `head` from `h` to `h + 1` and then frees
+//!   the slot by storing sequence `h + C`.
+//!
+//! Entries are therefore consumed exactly once even with multiple concurrent
+//! drainers, and the owner never blocks on a lock (at worst it spins through
+//! the tiny window between a consumer's claim-CAS and its slot release).
+//!
+//! ## Epoch discipline (why concurrent push/drain is safe)
+//!
+//! A bucket only ever holds entries of a single epoch `E` at a time. Owners
+//! push into bucket `E % 4` only while registered in epoch `E`; drainers only
+//! drain epochs that are quiescent (`advance_epoch` waits on the tracker
+//! before draining `e − 1`; `BEGIN_OP` helping drains the owner's *own* older
+//! buckets). Bucket reuse at `E + 4` happens only after the drain of `E`
+//! completed, ordered by the epoch clock (SeqCst store in `advance_epoch`,
+//! SeqCst load in `BEGIN_OP`). Crash consistency rests on one rule: **an
+//! entry leaves a ring only after its `clwb` is issued** — by the very thread
+//! that removed it, before the boundary fence it precedes.
+//!
+//! ## Flush coalescing
+//!
+//! N in-place `set`s of one hot payload within an epoch used to enqueue N
+//! identical extents, issuing N redundant `clwb`s at the boundary. A small
+//! per-thread, epoch-tagged dedup table now recognises a push whose cache-
+//! line extent is already covered by a resident ring entry of the same epoch
+//! and skips it. Entries need no eager clearing: an epoch mismatch
+//! invalidates them implicitly. The one place an explicit invalidation is
+//! required is the overflow pop — it removes a *same-epoch* entry from the
+//! ring, so any table entry anchored at that extent must die with it,
+//! otherwise a later covered push would be skipped with no resident entry
+//! left to flush it at the boundary.
 
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
+use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
-use pmem::{PmemPool, POff};
+use pmem::{line_of, POff, PmemPool};
 
 use crate::payload::Header;
 
 /// A payload extent to write back: block offset + total length (header+data).
 pub type PersistEntry = (POff, u32);
 
-/// One epoch bucket of the circular write-back buffer.
-#[derive(Debug, Default)]
-struct PersistBucket {
-    /// Which epoch this bucket currently holds entries for.
-    epoch: u64,
-    ring: VecDeque<PersistEntry>,
+/// Number of direct-mapped coalescing-table slots per thread (power of two).
+const DEDUP_SLOTS: usize = 128;
+
+/// Epoch value that never matches a real epoch (real epochs start at
+/// [`crate::FIRST_EPOCH`]); used for invalidated dedup entries.
+const DEDUP_DEAD: u64 = 0;
+
+/// One slot of a lock-free ring.
+struct Slot {
+    seq: AtomicUsize,
+    off: AtomicU64,
+    len: AtomicU32,
 }
 
-/// One epoch bucket of retired payloads awaiting reclamation.
-#[derive(Debug, Default)]
+/// Fixed-capacity single-producer / multi-consumer ring of `(off, len)`
+/// pairs. See the module docs for the sequence protocol.
+struct Ring {
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            slots: (0..capacity)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    off: AtomicU64::new(0),
+                    len: AtomicU32::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        // tail is read first: seeing head ≥ tail with a stale tail can only
+        // under-report emptiness transiently, never invent entries.
+        let t = self.tail.load(Ordering::Acquire);
+        self.head.load(Ordering::Acquire) >= t
+    }
+
+    /// Owner-only push. Returns `Err(())` when the ring is full.
+    fn push(&self, off: u64, len: u32) -> Result<(), ()> {
+        let cap = self.capacity();
+        let t = self.tail.load(Ordering::Relaxed);
+        if t - self.head.load(Ordering::Acquire) >= cap {
+            return Err(());
+        }
+        let slot = &self.slots[t % cap];
+        // head has passed t - cap, so the previous occupant's consumer has
+        // claimed the slot; wait out its claim→release window (a few
+        // instructions) before reusing it.
+        while slot.seq.load(Ordering::Acquire) != t {
+            std::hint::spin_loop();
+        }
+        slot.off.store(off, Ordering::Relaxed);
+        slot.len.store(len, Ordering::Relaxed);
+        slot.seq.store(t + 1, Ordering::Release);
+        self.tail.store(t + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Multi-consumer pop (steal). Returns `None` when the ring is empty.
+    fn pop(&self) -> Option<(u64, u32)> {
+        loop {
+            let h = self.head.load(Ordering::Acquire);
+            let t = self.tail.load(Ordering::Acquire);
+            if h >= t {
+                return None;
+            }
+            let slot = &self.slots[h % self.capacity()];
+            if slot.seq.load(Ordering::Acquire) != h + 1 {
+                // A racing consumer already claimed index h; re-read head.
+                continue;
+            }
+            let off = slot.off.load(Ordering::Relaxed);
+            let len = slot.len.load(Ordering::Relaxed);
+            if self
+                .head
+                .compare_exchange(h, h + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                // Winning the CAS proves nobody consumed index h before us,
+                // so (off, len) read above belong to index h.
+                slot.seq.store(h + self.capacity(), Ordering::Release);
+                return Some((off, len));
+            }
+        }
+    }
+}
+
+/// One direct-mapped coalescing-table entry: "a resident ring entry of
+/// `epoch` covers cache lines `[first, last]`". Owner-only access; atomics
+/// are used purely so the table can live behind `&self`.
+struct DedupEntry {
+    epoch: AtomicU64,
+    first: AtomicU64,
+    last: AtomicU64,
+}
+
+/// One epoch bucket of the circular write-back buffer.
+struct PersistBucket {
+    /// Which epoch this bucket currently holds entries for.
+    epoch: AtomicU64,
+    ring: Ring,
+}
+
+/// One epoch bucket of retired payloads awaiting reclamation. The ring is
+/// the steady-state path; `spill` absorbs overflow (heap allocation only in
+/// pathological epochs with more retirements than ring capacity).
 struct FreeBucket {
-    epoch: u64,
-    blocks: Vec<POff>,
+    epoch: AtomicU64,
+    ring: Ring,
+    spill: Mutex<Vec<u64>>,
 }
 
 /// All buffered state of one thread.
-#[derive(Debug, Default)]
-pub struct ThreadBuffers {
+struct ThreadState {
     persist: [PersistBucket; 4],
     free: [FreeBucket; 4],
+    dedup: Box<[DedupEntry]>,
+    /// Line flushes avoided by coalescing (owner-written, exact).
+    coalesced: AtomicU64,
+}
+
+impl ThreadState {
+    fn new(capacity: usize) -> ThreadState {
+        ThreadState {
+            persist: std::array::from_fn(|_| PersistBucket {
+                epoch: AtomicU64::new(0),
+                ring: Ring::new(capacity),
+            }),
+            free: std::array::from_fn(|_| FreeBucket {
+                epoch: AtomicU64::new(0),
+                ring: Ring::new(capacity),
+                spill: Mutex::new(Vec::new()),
+            }),
+            dedup: (0..DEDUP_SLOTS)
+                .map(|_| DedupEntry {
+                    epoch: AtomicU64::new(DEDUP_DEAD),
+                    first: AtomicU64::new(0),
+                    last: AtomicU64::new(0),
+                })
+                .collect(),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn dedup_at(&self, first_line: u64) -> &DedupEntry {
+        let idx = (first_line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57) as usize;
+        &self.dedup[idx & (DEDUP_SLOTS - 1)]
+    }
 }
 
 /// Per-thread buffer sets for every registered thread.
 pub struct Buffers {
-    threads: Box<[Mutex<ThreadBuffers>]>,
+    threads: Box<[CachePadded<ThreadState>]>,
     capacity: usize,
 }
 
 impl Buffers {
     pub fn new(max_threads: usize, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         Buffers {
-            threads: (0..max_threads).map(|_| Mutex::default()).collect(),
-            capacity: capacity.max(1),
+            threads: (0..max_threads)
+                .map(|_| CachePadded::new(ThreadState::new(capacity)))
+                .collect(),
+            capacity,
         }
     }
 
@@ -65,69 +249,112 @@ impl Buffers {
     }
 
     /// Records that the payload at `blk` (of `len` bytes including header)
-    /// was created or modified in `epoch` by thread `tid`. If the ring is
-    /// full, the oldest entry is written back (no fence) before inserting.
+    /// was created or modified in `epoch` by thread `tid`. Owner-only; never
+    /// locks or allocates. If the push's cache-line extent is already covered
+    /// by a same-epoch ring entry it is coalesced away entirely; if the ring
+    /// is full, the oldest entry is written back (no fence) before inserting.
     ///
     /// Returns the minimum epoch for which this thread still holds
     /// unpersisted entries (for the mindicator).
-    pub fn push_persist(&self, pool: &PmemPool, tid: usize, epoch: u64, blk: POff, len: u32) -> u64 {
-        let mut t = self.threads[tid].lock();
-        let cap = self.capacity;
-        let b = &mut t.persist[(epoch % 4) as usize];
+    pub fn push_persist(
+        &self,
+        pool: &PmemPool,
+        tid: usize,
+        epoch: u64,
+        blk: POff,
+        len: u32,
+    ) -> u64 {
+        let st = &self.threads[tid];
+        let first = line_of(blk.raw());
+        let last = line_of(blk.raw() + u64::from(len.max(1)) - 1);
+
+        // Coalescing: a same-epoch resident entry already covers this extent,
+        // so its boundary clwb_range subsumes ours.
+        let d = st.dedup_at(first);
+        if d.epoch.load(Ordering::Relaxed) == epoch
+            && d.first.load(Ordering::Relaxed) == first
+            && d.last.load(Ordering::Relaxed) >= last
+        {
+            st.coalesced.fetch_add(last - first + 1, Ordering::Relaxed);
+            return self.min_pending(tid);
+        }
+
+        let b = &st.persist[(epoch % 4) as usize];
         debug_assert!(
-            b.ring.is_empty() || b.epoch == epoch,
+            b.ring.is_empty() || b.epoch.load(Ordering::Relaxed) == epoch,
             "persist bucket reused before being drained (epoch {} vs {})",
-            b.epoch,
+            b.epoch.load(Ordering::Relaxed),
             epoch
         );
-        b.epoch = epoch;
-        if b.ring.len() >= cap {
-            let (o, l) = b.ring.pop_front().unwrap();
-            pool.clwb_range(o, l as usize);
+        b.epoch.store(epoch, Ordering::Release);
+        while b.ring.push(blk.raw(), len).is_err() {
+            // Full: write back the oldest entry incrementally. The popped
+            // entry leaves this same-epoch bucket, so kill any coalescing
+            // promise anchored at its extent (see module docs).
+            if let Some((o, l)) = b.ring.pop() {
+                pool.clwb_range(POff::new(o), l as usize);
+                let od = st.dedup_at(line_of(o));
+                if od.epoch.load(Ordering::Relaxed) == epoch
+                    && od.first.load(Ordering::Relaxed) == line_of(o)
+                {
+                    od.epoch.store(DEDUP_DEAD, Ordering::Relaxed);
+                }
+            }
         }
-        b.ring.push_back((blk, len));
-        min_pending_epoch(&t)
+        d.first.store(first, Ordering::Relaxed);
+        d.last.store(last, Ordering::Relaxed);
+        d.epoch.store(epoch, Ordering::Relaxed);
+        self.min_pending(tid)
+    }
+
+    /// Line flushes thread `tid` has avoided through coalescing so far
+    /// (monotonic; exact when read by the owner).
+    pub fn coalesced_lines(&self, tid: usize) -> u64 {
+        self.threads[tid].coalesced.load(Ordering::Relaxed)
     }
 
     /// Writes back (without fencing) all of thread `tid`'s entries for
-    /// `epoch`. Returns the thread's new minimum pending epoch.
+    /// `epoch`. Safe to call concurrently with other drainers and — for
+    /// epochs the owner can no longer push into — with the owner. Returns
+    /// the thread's new minimum pending epoch.
     pub fn drain_persist(&self, pool: &PmemPool, tid: usize, epoch: u64) -> u64 {
-        let mut t = self.threads[tid].lock();
-        let b = &mut t.persist[(epoch % 4) as usize];
-        if b.epoch == epoch {
-            for &(o, l) in &b.ring {
-                pool.clwb_range(o, l as usize);
+        let st = &self.threads[tid];
+        let b = &st.persist[(epoch % 4) as usize];
+        if !b.ring.is_empty() && b.epoch.load(Ordering::Acquire) == epoch {
+            while let Some((o, l)) = b.ring.pop() {
+                pool.clwb_range(POff::new(o), l as usize);
             }
-            b.ring.clear();
         }
-        min_pending_epoch(&t)
+        self.min_pending(tid)
     }
 
     /// Writes back all of `tid`'s entries for every epoch `<= epoch`.
     pub fn drain_persist_upto(&self, pool: &PmemPool, tid: usize, epoch: u64) -> u64 {
-        let mut t = self.threads[tid].lock();
-        for b in t.persist.iter_mut() {
-            if b.epoch <= epoch && !b.ring.is_empty() {
-                for &(o, l) in &b.ring {
-                    pool.clwb_range(o, l as usize);
+        let st = &self.threads[tid];
+        for b in st.persist.iter() {
+            if !b.ring.is_empty() && b.epoch.load(Ordering::Acquire) <= epoch {
+                while let Some((o, l)) = b.ring.pop() {
+                    pool.clwb_range(POff::new(o), l as usize);
                 }
-                b.ring.clear();
             }
         }
-        min_pending_epoch(&t)
+        self.min_pending(tid)
     }
 
     /// Schedules block `blk` (retired in `epoch`) for reclamation two epochs
-    /// later.
+    /// later. Owner-only; allocation-free until the ring overflows.
     pub fn push_free(&self, tid: usize, epoch: u64, blk: POff) {
-        let mut t = self.threads[tid].lock();
-        let b = &mut t.free[(epoch % 4) as usize];
+        let st = &self.threads[tid];
+        let b = &st.free[(epoch % 4) as usize];
         debug_assert!(
-            b.blocks.is_empty() || b.epoch == epoch,
+            (b.ring.is_empty() && b.spill.lock().is_empty())
+                || b.epoch.load(Ordering::Relaxed) == epoch,
             "free bucket reused before being drained"
         );
-        b.epoch = epoch;
-        b.blocks.push(blk);
+        b.epoch.store(epoch, Ordering::Release);
+        if b.ring.push(blk.raw(), 0).is_err() {
+            b.spill.lock().push(blk.raw());
+        }
     }
 
     /// Reclaims thread `tid`'s retirements for `epoch`: tombstones each
@@ -135,12 +362,36 @@ impl Buffers {
     /// never resurrect it) and returns the blocks for deallocation. The
     /// caller fences and deallocates.
     pub fn take_free(&self, pool: &PmemPool, tid: usize, epoch: u64) -> Vec<POff> {
-        let mut t = self.threads[tid].lock();
-        let b = &mut t.free[(epoch % 4) as usize];
-        if b.epoch != epoch || b.blocks.is_empty() {
+        let st = &self.threads[tid];
+        let b = &st.free[(epoch % 4) as usize];
+        if b.epoch.load(Ordering::Acquire) != epoch {
             return Vec::new();
         }
-        let blocks = std::mem::take(&mut b.blocks);
+        Self::drain_free_bucket(pool, b)
+    }
+
+    /// Like [`Buffers::take_free`] but for all epochs `<= epoch` (worker-
+    /// local reclamation in `BEGIN_OP`).
+    pub fn take_free_upto(&self, pool: &PmemPool, tid: usize, epoch: u64) -> Vec<POff> {
+        let st = &self.threads[tid];
+        let mut out = Vec::new();
+        for b in st.free.iter() {
+            if b.epoch.load(Ordering::Acquire) <= epoch {
+                out.extend(Self::drain_free_bucket(pool, b));
+            }
+        }
+        out
+    }
+
+    fn drain_free_bucket(pool: &PmemPool, b: &FreeBucket) -> Vec<POff> {
+        let mut blocks = Vec::new();
+        while let Some((o, _)) = b.ring.pop() {
+            blocks.push(POff::new(o));
+        }
+        {
+            let mut spill = b.spill.lock();
+            blocks.extend(spill.drain(..).map(POff::new));
+        }
         for &blk in &blocks {
             Header::tombstone(pool, blk);
             pool.clwb(blk);
@@ -148,37 +399,19 @@ impl Buffers {
         blocks
     }
 
-    /// Like [`Buffers::take_free`] but for all epochs `<= epoch` (worker-
-    /// local reclamation in `BEGIN_OP`).
-    pub fn take_free_upto(&self, pool: &PmemPool, tid: usize, epoch: u64) -> Vec<POff> {
-        let mut t = self.threads[tid].lock();
-        let mut out = Vec::new();
-        for b in t.free.iter_mut() {
-            if b.epoch <= epoch && !b.blocks.is_empty() {
-                for blk in b.blocks.drain(..) {
-                    Header::tombstone(pool, blk);
-                    pool.clwb(blk);
-                    out.push(blk);
-                }
-            }
-        }
-        out
-    }
-
     /// Minimum epoch with unpersisted entries across **this thread's**
-    /// buckets ([`u64::MAX`] if none) — used to seed the mindicator.
+    /// buckets ([`u64::MAX`] if none). Lock-free exact scan: 4 buckets × a
+    /// handful of atomic loads — cheap enough to be the authoritative gate
+    /// in `advance_epoch` (the mindicator remains a monotone hint).
     pub fn min_pending(&self, tid: usize) -> u64 {
-        min_pending_epoch(&self.threads[tid].lock())
+        self.threads[tid]
+            .persist
+            .iter()
+            .filter(|b| !b.ring.is_empty())
+            .map(|b| b.epoch.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(u64::MAX)
     }
-}
-
-fn min_pending_epoch(t: &ThreadBuffers) -> u64 {
-    t.persist
-        .iter()
-        .filter(|b| !b.ring.is_empty())
-        .map(|b| b.epoch)
-        .min()
-        .unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -212,7 +445,11 @@ mod tests {
         b.push_persist(&p, 0, 4, POff::new(8192), 64);
         assert_eq!(p.stats().snapshot().0, 0, "no flush below capacity");
         b.push_persist(&p, 0, 4, POff::new(12288), 64);
-        assert_eq!(p.stats().snapshot().0, 1, "overflow flushes the oldest entry");
+        assert_eq!(
+            p.stats().snapshot().0,
+            1,
+            "overflow flushes the oldest entry"
+        );
     }
 
     #[test]
@@ -244,7 +481,10 @@ mod tests {
         let blk = POff::new(4096);
         Header::write_new(&p, blk, crate::payload::PayloadKind::Alloc, 0, 7, 1, 8);
         b.push_free(0, 7, blk);
-        assert!(b.take_free(&p, 0, 6).is_empty(), "wrong epoch yields nothing");
+        assert!(
+            b.take_free(&p, 0, 6).is_empty(),
+            "wrong epoch yields nothing"
+        );
         let freed = b.take_free(&p, 0, 7);
         assert_eq!(freed, vec![blk]);
         assert_eq!(Header::magic(&p, blk), crate::payload::MAGIC_TOMBSTONE);
@@ -258,5 +498,179 @@ mod tests {
         b.push_persist(&p, 0, 4, POff::new(4096), 64);
         assert_eq!(b.min_pending(1), u64::MAX);
         assert_eq!(b.min_pending(0), 4);
+    }
+
+    #[test]
+    fn repeated_same_extent_pushes_coalesce_to_one_flush() {
+        let p = pool();
+        let b = Buffers::new(1, 8);
+        for _ in 0..6 {
+            b.push_persist(&p, 0, 4, POff::new(4096), 64);
+        }
+        assert_eq!(b.coalesced_lines(0), 5, "five of six pushes coalesced");
+        let before = p.stats().snapshot().0;
+        b.drain_persist(&p, 0, 4);
+        assert_eq!(
+            p.stats().snapshot().0 - before,
+            1,
+            "one clwb covers all six"
+        );
+    }
+
+    #[test]
+    fn smaller_covered_extent_coalesces_larger_does_not() {
+        let p = pool();
+        let b = Buffers::new(1, 8);
+        // 3-line entry, then a 1-line re-push of its first line: covered.
+        b.push_persist(&p, 0, 4, POff::new(4096), 192);
+        b.push_persist(&p, 0, 4, POff::new(4096), 8);
+        assert_eq!(b.coalesced_lines(0), 1);
+        // Growing the extent is NOT covered and must enqueue.
+        b.push_persist(&p, 0, 4, POff::new(4096), 256);
+        assert_eq!(b.coalesced_lines(0), 1);
+        let before = p.stats().snapshot().0;
+        b.drain_persist(&p, 0, 4);
+        // Entry 1 (3 lines) + entry 3 (4 lines).
+        assert_eq!(p.stats().snapshot().0 - before, 7);
+    }
+
+    #[test]
+    fn coalescing_is_epoch_scoped() {
+        let p = pool();
+        let b = Buffers::new(1, 8);
+        b.push_persist(&p, 0, 4, POff::new(4096), 64);
+        b.drain_persist(&p, 0, 4);
+        // Same extent, next epoch: the old ring entry is gone, so this push
+        // must enqueue again (the table entry's epoch tag misses).
+        b.push_persist(&p, 0, 5, POff::new(4096), 64);
+        assert_eq!(b.coalesced_lines(0), 0);
+        let before = p.stats().snapshot().0;
+        b.drain_persist(&p, 0, 5);
+        assert_eq!(p.stats().snapshot().0 - before, 1);
+    }
+
+    #[test]
+    fn overflow_pop_invalidates_coalescing_entry() {
+        let p = pool();
+        let b = Buffers::new(1, 2);
+        let hot = POff::new(4096);
+        b.push_persist(&p, 0, 4, hot, 64);
+        b.push_persist(&p, 0, 4, POff::new(8192), 64);
+        // Overflow pops `hot` (the oldest) and writes it back early...
+        b.push_persist(&p, 0, 4, POff::new(12288), 64);
+        assert_eq!(p.stats().snapshot().0, 1);
+        // ...so a new same-epoch push of `hot` must NOT coalesce against the
+        // now-dead entry: it must re-enter the ring to reach the boundary.
+        b.push_persist(&p, 0, 4, hot, 64);
+        assert_eq!(
+            b.coalesced_lines(0),
+            0,
+            "stale table entry must not coalesce"
+        );
+        // That re-push overflows again, writing back 8192's entry.
+        assert_eq!(p.stats().snapshot().0, 2);
+        let before = p.stats().snapshot().0;
+        b.drain_persist(&p, 0, 4);
+        assert_eq!(
+            p.stats().snapshot().0 - before,
+            2,
+            "12288 and the re-pushed hot line"
+        );
+    }
+
+    #[test]
+    fn steady_state_push_does_not_allocate_or_lock() {
+        // Indirect check: a full epoch of pushes + drain round-trips with the
+        // ring staying within its fixed capacity (overflow pops included).
+        let p = pool();
+        let b = Buffers::new(1, 4);
+        for round in 0..100u64 {
+            let e = 4 + round;
+            for i in 0..16u64 {
+                b.push_persist(&p, 0, e, POff::new(4096 + i * 64), 64);
+            }
+            b.drain_persist(&p, 0, e);
+            assert_eq!(b.min_pending(0), u64::MAX);
+        }
+        // 16 distinct lines per round: 12 overflow + 4 drained = 16 clwbs.
+        assert_eq!(p.stats().snapshot().0, 1600);
+    }
+
+    #[test]
+    fn concurrent_drainers_consume_each_entry_exactly_once() {
+        use std::sync::atomic::AtomicU64 as A64;
+        use std::sync::Arc;
+
+        let p = pool();
+        let b = Arc::new(Buffers::new(1, 256));
+        const ROUNDS: u64 = 60;
+        const PER_ROUND: u64 = 200;
+        // The owner fills epoch e and publishes the round; two stealing
+        // drainers race to drain every completed epoch, like the advancer
+        // and a helping sync caller would.
+        let done_round = Arc::new(A64::new(0));
+        std::thread::scope(|s| {
+            {
+                let b = b.clone();
+                let p = p.clone();
+                let done_round = done_round.clone();
+                s.spawn(move || {
+                    for r in 0..ROUNDS {
+                        let e = 4 + r;
+                        // The epoch clock only reaches e after e-4 was
+                        // drained (by the advance that moved it to e-2), so
+                        // an owner can never push into a bucket that still
+                        // holds entries; model that constraint here.
+                        while b.min_pending(0) <= e - 4 {
+                            std::hint::spin_loop();
+                        }
+                        for i in 0..PER_ROUND {
+                            // Distinct lines, so every entry should clwb once.
+                            b.push_persist(&p, 0, e, POff::new((1 + r * PER_ROUND + i) * 64), 64);
+                        }
+                        done_round.store(r + 1, std::sync::atomic::Ordering::Release);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let b = b.clone();
+                let p = p.clone();
+                let done_round = done_round.clone();
+                s.spawn(move || loop {
+                    let done = done_round.load(std::sync::atomic::Ordering::Acquire);
+                    // Drain only completed (quiescent) epochs, as the epoch
+                    // protocol guarantees.
+                    for r in 0..done {
+                        b.drain_persist(&p, 0, 4 + r);
+                    }
+                    if done == ROUNDS {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                });
+            }
+        });
+        b.drain_persist_upto(&p, 0, u64::MAX - 1);
+        assert_eq!(b.min_pending(0), u64::MAX);
+        // Exactly-once: ROUNDS × PER_ROUND distinct lines, one clwb each —
+        // nothing lost, nothing double-flushed. (Ring capacity 256 > 200
+        // per epoch means no overflow write-backs muddy the count.)
+        assert_eq!(p.stats().snapshot().0, ROUNDS * PER_ROUND);
+    }
+
+    #[test]
+    fn free_ring_spills_over_capacity_without_loss() {
+        let p = pool();
+        let b = Buffers::new(1, 2);
+        let mut blks = Vec::new();
+        for i in 0..10u64 {
+            let blk = POff::new(4096 + i * 128);
+            Header::write_new(&p, blk, crate::payload::PayloadKind::Alloc, 0, 7, i, 8);
+            b.push_free(0, 7, blk);
+            blks.push(blk);
+        }
+        let mut freed = b.take_free(&p, 0, 7);
+        freed.sort();
+        assert_eq!(freed, blks, "ring + spill return every block");
     }
 }

@@ -93,7 +93,10 @@ fn mark(idx: usize, seq: u64) -> u64 {
 
 #[inline]
 fn unmark(word: u64) -> (usize, u64) {
-    (((word >> 1) & ((1 << IDX_BITS) - 1)) as usize, word >> (IDX_BITS + 1))
+    (
+        ((word >> 1) & ((1 << IDX_BITS) - 1)) as usize,
+        word >> (IDX_BITS + 1),
+    )
 }
 
 #[inline]
@@ -212,7 +215,11 @@ impl VerifyCell {
         let outcome = d.decision.load(Ordering::SeqCst) & 0b11;
 
         // Detach the descriptor.
-        let final_word = if outcome == SUCCEEDED { new << 1 } else { old << 1 };
+        let final_word = if outcome == SUCCEEDED {
+            new << 1
+        } else {
+            old << 1
+        };
         let _ = self
             .0
             .compare_exchange(marked, final_word, Ordering::SeqCst, Ordering::SeqCst);
@@ -251,7 +258,11 @@ impl VerifyCell {
         if decision >> 2 != seq {
             return; // recycled since
         }
-        let final_word = if decision & 0b11 == SUCCEEDED { new } else { old };
+        let final_word = if decision & 0b11 == SUCCEEDED {
+            new
+        } else {
+            old
+        };
         let _ = self
             .0
             .compare_exchange(word, final_word, Ordering::SeqCst, Ordering::SeqCst);
@@ -344,9 +355,8 @@ mod tests {
                 while done < PER {
                     let g = s.begin_op(tid);
                     let cur = cell.load(&s);
-                    match cell.cas_verify(&s, &g, cur, cur + 1) {
-                        Ok(()) => done += 1,
-                        Err(_) => {}
+                    if cell.cas_verify(&s, &g, cur, cur + 1).is_ok() {
+                        done += 1;
                     }
                 }
             }));

@@ -57,10 +57,16 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = OldSeeNewException { op_epoch: 5, payload_epoch: 7 };
+        let e = OldSeeNewException {
+            op_epoch: 5,
+            payload_epoch: 7,
+        };
         assert!(e.to_string().contains("epoch 5"));
         assert!(e.to_string().contains("epoch 7"));
-        let c = EpochChanged { op_epoch: 5, current_epoch: 6 };
+        let c = EpochChanged {
+            op_epoch: 5,
+            current_epoch: 6,
+        };
         assert!(c.to_string().contains('6'));
     }
 }

@@ -10,6 +10,17 @@
 //! requirement (unlike the approximate tree): `min()` must never report a
 //! value **larger** than a concurrently-published slot that was set before
 //! the scan began — the flat scan with acquire loads provides this.
+//!
+//! **Owner-only publish discipline.** Since the write-back buffers became
+//! lock-free rings, only a slot's owning thread publishes to it (after each
+//! `push_persist`). Drainers — the background advancer, helping `sync`
+//! callers — never publish: with two writers per slot, a drainer's "raised"
+//! publish could overwrite an owner's concurrent lower publish and make
+//! `min()` report too-high, skipping a needed boundary write-back. Under
+//! owner-only publishing a slot can only be *stale-low* (entries drained but
+//! the slot still naming their epoch), which is conservative: the advancer
+//! treats the mindicator as a monotone hint and confirms against the exact
+//! per-thread ring scan (`Buffers::min_pending`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -6,7 +6,7 @@
 //! a `uid` shared between a logical object's versions and its anti-payload so
 //! recovery can cancel them (paper Sec. 5).
 
-use pmem::{PmemPool, POff};
+use pmem::{POff, PmemPool};
 
 /// Byte size of the payload header. User data follows immediately.
 pub const HDR_SIZE: usize = 32;

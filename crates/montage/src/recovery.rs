@@ -11,12 +11,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use pmem::{PmemPool, POff};
+use pmem::{POff, PmemPool};
 use ralloc::Ralloc;
 
 use crate::config::EsysConfig;
 use crate::esys::{EpochSys, CLOCK_SLOT, FIRST_EPOCH};
-use crate::payload::{Header, PayloadKind, PHandle, MAGIC_LIVE};
+use crate::payload::{Header, PHandle, PayloadKind, MAGIC_LIVE};
 
 /// One surviving payload, as handed to structure rebuild code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -106,7 +106,10 @@ mod tests {
         });
         let start = std::time::Instant::now();
         t.wait_all(5);
-        assert!(start.elapsed() >= Duration::from_millis(20), "must wait for the op");
+        assert!(
+            start.elapsed() >= Duration::from_millis(20),
+            "must wait for the op"
+        );
         releaser.join().unwrap();
     }
 }

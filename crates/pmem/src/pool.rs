@@ -2,6 +2,7 @@
 
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::cell::RefCell;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -20,26 +21,29 @@ static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
 thread_local! {
     /// Fast-mode per-thread count of unfenced `clwb`s per pool, so a fence
     /// is charged per line it actually drains (matching hardware, where the
-    /// flush itself is asynchronous and the fence pays the wait).
-    static PENDING_COUNT: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+    /// flush itself is asynchronous and the fence pays the wait). Pool ids
+    /// are handed out sequentially from 1, so the vector is indexed by id
+    /// directly — the count bump on every buffered `clwb` is O(1) instead of
+    /// a linear scan over every pool the thread has touched.
+    static PENDING_COUNT: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
 
 fn count_add(id: u64, n: u64) {
     PENDING_COUNT.with(|c| {
         let mut c = c.borrow_mut();
-        if let Some(e) = c.iter_mut().find(|(i, _)| *i == id) {
-            e.1 += n;
-        } else {
-            c.push((id, n));
+        let idx = id as usize;
+        if c.len() <= idx {
+            c.resize(idx + 1, 0);
         }
+        c[idx] += n;
     });
 }
 
 fn count_take(id: u64) -> u64 {
     PENDING_COUNT.with(|c| {
         let mut c = c.borrow_mut();
-        match c.iter_mut().find(|(i, _)| *i == id) {
-            Some(e) => std::mem::take(&mut e.1),
+        match c.get_mut(id as usize) {
+            Some(e) => std::mem::take(e),
             None => 0,
         }
     })
@@ -79,7 +83,11 @@ struct Inner {
     /// Sec. 3.2). A fence therefore drains every pending line. Lines that
     /// are *never* followed by any fence before a crash are still lost,
     /// which is the pessimistic direction tests need.
-    pending: Mutex<Vec<u64>>,
+    ///
+    /// Kept as a set: re-`clwb`ing a dirty line before the next fence is
+    /// idempotent on hardware, so duplicates would only inflate the fence's
+    /// drain work (`lines_drained` counts unique lines made durable).
+    pending: Mutex<HashSet<u64>>,
 }
 
 /// A simulated persistent-memory pool. Cheap to clone (it is an `Arc`).
@@ -97,7 +105,11 @@ impl PmemPool {
     /// Allocates a fresh, zero-filled pool.
     pub fn new(config: PmemConfig) -> Self {
         assert!(config.size >= crate::ROOT_AREA_SIZE, "pool too small");
-        assert_eq!(config.size % CACHE_LINE, 0, "pool size must be line-aligned");
+        assert_eq!(
+            config.size % CACHE_LINE,
+            0,
+            "pool size must be line-aligned"
+        );
         let layout = Layout::from_size_align(config.size, 4096).expect("pool layout");
         let ptr = unsafe { alloc_zeroed(layout) };
         assert!(!ptr.is_null(), "pool allocation failed");
@@ -112,7 +124,7 @@ impl PmemPool {
                 stats: PmemStats::default(),
                 working: Working { ptr, layout },
                 durable,
-                pending: Mutex::new(Vec::new()),
+                pending: Mutex::new(HashSet::new()),
             }),
         }
     }
@@ -229,7 +241,7 @@ impl PmemPool {
         self.inner.stats.on_clwb();
         spin_ns(self.inner.config.latency.clwb_issue_ns);
         if self.inner.durable.is_some() {
-            self.inner.pending.lock().push(line_of(off.raw()));
+            self.inner.pending.lock().insert(line_of(off.raw()));
         } else {
             count_add(self.inner.id, 1);
         }
@@ -248,7 +260,7 @@ impl PmemPool {
         if self.inner.durable.is_some() {
             let mut p = self.inner.pending.lock();
             for i in 0..n {
-                p.push(first + i);
+                p.insert(first + i);
             }
         } else {
             count_add(self.inner.id, n);
@@ -320,7 +332,8 @@ impl PmemPool {
         let chaos = self.inner.config.chaos;
         if chaos.spontaneous_evict_permille > 0 {
             let crashes = self.inner.stats.crashes.load(Ordering::Relaxed);
-            let mut rng = SmallRng::seed_from_u64(chaos.seed ^ crashes.wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng =
+                SmallRng::seed_from_u64(chaos.seed ^ crashes.wrapping_mul(0x9E3779B97F4A7C15));
             let nlines = self.inner.config.size / CACHE_LINE;
             for line in 0..nlines as u64 {
                 if rng.gen_range(0..1000) < chaos.spontaneous_evict_permille as u32 {
@@ -430,7 +443,11 @@ mod tests {
         let off = POff::new(4096);
         unsafe { p.write(off, &42u64) };
         let p2 = p.crash();
-        assert_eq!(unsafe { p2.read::<u64>(off) }, 0, "unflushed line must not survive");
+        assert_eq!(
+            unsafe { p2.read::<u64>(off) },
+            0,
+            "unflushed line must not survive"
+        );
     }
 
     #[test]
@@ -441,7 +458,11 @@ mod tests {
         p.clwb(off);
         // No sfence.
         let p2 = p.crash();
-        assert_eq!(unsafe { p2.read::<u64>(off) }, 0, "clwb without fence is not durable");
+        assert_eq!(
+            unsafe { p2.read::<u64>(off) },
+            0,
+            "clwb without fence is not durable"
+        );
     }
 
     #[test]
@@ -520,6 +541,22 @@ mod tests {
     }
 
     #[test]
+    fn repeated_clwbs_of_one_line_drain_once() {
+        let p = strict_pool();
+        let off = POff::new(4096);
+        unsafe { p.write(off, &3u64) };
+        for _ in 0..5 {
+            p.clwb(off);
+        }
+        p.sfence();
+        let (clwbs, _, drained) = p.stats().snapshot();
+        assert_eq!(clwbs, 5, "every issued clwb is counted");
+        assert_eq!(drained, 1, "the fence drains the dirty line once");
+        let p2 = p.crash();
+        assert_eq!(unsafe { p2.read::<u64>(off) }, 3);
+    }
+
+    #[test]
     fn stats_count_flushes_and_fences() {
         let p = strict_pool();
         let off = POff::new(4096);
@@ -546,7 +583,11 @@ mod tests {
         let off = POff::new(4096);
         unsafe { p.write(off, &5u64) };
         let p2 = p.crash();
-        assert_eq!(unsafe { p2.read::<u64>(off) }, 5, "100% eviction persists all lines");
+        assert_eq!(
+            unsafe { p2.read::<u64>(off) },
+            5,
+            "100% eviction persists all lines"
+        );
     }
 
     #[test]
@@ -582,7 +623,11 @@ mod tests {
 
         let p2 = PmemPool::load_from_file(&path, PmemConfig::strict_for_test(1 << 20)).unwrap();
         assert_eq!(unsafe { p2.read::<u64>(off) }, 0xC0FFEE);
-        assert_eq!(unsafe { p2.read::<u64>(off.add(8)) }, 0, "snapshot holds durable image only");
+        assert_eq!(
+            unsafe { p2.read::<u64>(off.add(8)) },
+            0,
+            "snapshot holds durable image only"
+        );
         // And the restored pool has normal crash semantics.
         unsafe { p2.write(off, &7u64) };
         let p3 = p2.crash();

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pmem::{PmemPool, POff, CACHE_LINE, ROOT_AREA_SIZE};
+use pmem::{POff, PmemPool, CACHE_LINE, ROOT_AREA_SIZE};
 
 use crate::cache::{batch_for_class, cap_for_class, with_cache};
 use crate::size_class::{blocks_per_sb, class_for_size, class_size, NUM_CLASSES, SB_SIZE};
@@ -464,14 +464,22 @@ mod tests {
             r.alloc(64);
         }
         let carved_after = r.stats().sbs_carved.load(Ordering::Relaxed);
-        assert_eq!(carved_before, carved_after, "reuse should not carve new superblocks");
+        assert_eq!(
+            carved_before, carved_after,
+            "reuse should not carve new superblocks"
+        );
     }
 
     #[test]
     fn blocks_do_not_overlap_within_class_mix() {
         let r = Ralloc::format(small_pool());
         let mut ranges: Vec<(u64, u64)> = vec![];
-        for (i, size) in [24usize, 100, 1000, 4000].iter().cycle().take(400).enumerate() {
+        for (i, size) in [24usize, 100, 1000, 4000]
+            .iter()
+            .cycle()
+            .take(400)
+            .enumerate()
+        {
             let off = r.alloc(*size);
             let len = r.usable_size(off) as u64;
             for &(s, e) in &ranges {
@@ -495,7 +503,10 @@ mod tests {
             r.dealloc(offs.remove(0));
         }
         let after = r.pool.stats().snapshot();
-        assert_eq!(before, after, "steady-state alloc/free must not flush or fence");
+        assert_eq!(
+            before, after,
+            "steady-state alloc/free must not flush or fence"
+        );
     }
 
     #[test]
@@ -548,7 +559,10 @@ mod tests {
         // No two live blocks may share a slot.
         let mut seen = HashSet::new();
         for off in all {
-            assert!(seen.insert(off.raw()), "duplicate live block across threads");
+            assert!(
+                seen.insert(off.raw()),
+                "duplicate live block across threads"
+            );
         }
     }
 

@@ -36,11 +36,11 @@
 //! r.dealloc(blk);
 //! ```
 
-mod size_class;
-mod state;
 mod alloc;
 mod cache;
 mod recovery;
+mod size_class;
+mod state;
 
 pub use alloc::{Ralloc, RallocStats};
 pub use recovery::SweepShard;

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use pmem::{PmemPool, POff};
+use pmem::{POff, PmemPool};
 
 use crate::alloc::Ralloc;
 use crate::size_class::blocks_per_sb;
@@ -37,7 +37,11 @@ impl Ralloc {
     /// Parallel variant of [`Ralloc::recover`]: superblocks are distributed
     /// round-robin over `k` worker threads (the paper's "k separate
     /// iterators, to be used by k separate application threads").
-    pub fn recover_parallel<F>(pool: PmemPool, k: usize, filter: F) -> (Arc<Ralloc>, Vec<SweepShard>)
+    pub fn recover_parallel<F>(
+        pool: PmemPool,
+        k: usize,
+        filter: F,
+    ) -> (Arc<Ralloc>, Vec<SweepShard>)
     where
         F: Fn(POff, usize) -> bool + Sync,
     {
@@ -131,8 +135,8 @@ mod tests {
             }
         }
         let crashed = pool.crash();
-        let (_r2, kept) = Ralloc::recover(crashed.clone(), |off, _| {
-            unsafe { crashed.read::<u64>(off) == LIVE_MAGIC }
+        let (_r2, kept) = Ralloc::recover(crashed.clone(), |off, _| unsafe {
+            crashed.read::<u64>(off) == LIVE_MAGIC
         });
         let kept_set: HashSet<u64> = kept.iter().map(|(o, _)| o.raw()).collect();
         assert_eq!(kept_set, live);
@@ -145,8 +149,9 @@ mod tests {
         let off = r.alloc(64);
         mark_live(&pool, off, 1);
         let crashed = pool.crash();
-        let (r2, kept) =
-            Ralloc::recover(crashed.clone(), |o, _| unsafe { crashed.read::<u64>(o) == LIVE_MAGIC });
+        let (r2, kept) = Ralloc::recover(crashed.clone(), |o, _| unsafe {
+            crashed.read::<u64>(o) == LIVE_MAGIC
+        });
         assert_eq!(kept.len(), 1);
         for _ in 0..10_000 {
             assert_ne!(r2.alloc(64).raw(), off.raw(), "live block re-allocated");
@@ -160,7 +165,10 @@ mod tests {
         for _ in 0..100 {
             r.alloc(64); // never marked live → garbage after crash
         }
-        let carved = r.stats().sbs_carved.load(std::sync::atomic::Ordering::Relaxed);
+        let carved = r
+            .stats()
+            .sbs_carved
+            .load(std::sync::atomic::Ordering::Relaxed);
         let crashed = pool.crash();
         let (r2, kept) = Ralloc::recover(crashed, |_, _| false);
         assert!(kept.is_empty());
@@ -168,7 +176,10 @@ mod tests {
             r2.alloc(64);
         }
         assert!(
-            r2.stats().sbs_carved.load(std::sync::atomic::Ordering::Relaxed) <= carved.max(1),
+            r2.stats()
+                .sbs_carved
+                .load(std::sync::atomic::Ordering::Relaxed)
+                <= carved.max(1),
             "recovered free slots should be reused before carving"
         );
     }
@@ -187,8 +198,8 @@ mod tests {
             }
         }
         let crashed = pool.crash();
-        let (_r2, shards) = Ralloc::recover_parallel(crashed.clone(), 4, |off, _| {
-            unsafe { crashed.read::<u64>(off) == LIVE_MAGIC }
+        let (_r2, shards) = Ralloc::recover_parallel(crashed.clone(), 4, |off, _| unsafe {
+            crashed.read::<u64>(off) == LIVE_MAGIC
         });
         let mut kept = HashSet::new();
         for shard in &shards {
@@ -206,8 +217,9 @@ mod tests {
         let off = r.alloc(1000); // class 1024
         mark_live(&pool, off, 9);
         let crashed = pool.crash();
-        let (_r2, kept) =
-            Ralloc::recover(crashed.clone(), |o, _| unsafe { crashed.read::<u64>(o) == LIVE_MAGIC });
+        let (_r2, kept) = Ralloc::recover(crashed.clone(), |o, _| unsafe {
+            crashed.read::<u64>(o) == LIVE_MAGIC
+        });
         assert_eq!(kept, vec![(off, 1024)]);
     }
 }

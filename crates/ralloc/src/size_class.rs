@@ -21,7 +21,10 @@ pub const MAX_ALLOC: usize = CLASSES[NUM_CLASSES - 1];
 /// below it; see DESIGN.md).
 #[inline]
 pub fn class_for_size(size: usize) -> usize {
-    assert!(size <= MAX_ALLOC, "allocation of {size} B exceeds MAX_ALLOC ({MAX_ALLOC} B)");
+    assert!(
+        size <= MAX_ALLOC,
+        "allocation of {size} B exceeds MAX_ALLOC ({MAX_ALLOC} B)"
+    );
     // Classes are few; a linear scan of a 23-entry const table beats a
     // branchy formula and is trivially correct.
     CLASSES.iter().position(|&c| c >= size).unwrap()
@@ -71,11 +74,11 @@ mod tests {
 
     #[test]
     fn every_class_fills_a_superblock() {
-        for c in 0..NUM_CLASSES {
+        for (c, &class) in CLASSES.iter().enumerate() {
             assert!(blocks_per_sb(c) >= 4, "class {c} too coarse");
             // Slack at the end of a superblock (for non-power-of-two classes)
             // must stay under one block.
-            assert!(SB_SIZE - blocks_per_sb(c) as usize * CLASSES[c] < CLASSES[c]);
+            assert!(SB_SIZE - blocks_per_sb(c) as usize * class < class);
         }
     }
 }

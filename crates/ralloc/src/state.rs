@@ -175,7 +175,7 @@ mod tests {
             h.join().unwrap();
         }
         // All N elements must still be present exactly once.
-        let mut seen = vec![false; N];
+        let mut seen = [false; N];
         while let Some(sb) = stack.pop(&states) {
             assert!(!seen[sb as usize], "duplicate element {sb}");
             seen[sb as usize] = true;

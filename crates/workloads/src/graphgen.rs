@@ -166,7 +166,10 @@ mod tests {
         deg.sort_unstable_by(|a, b| b.cmp(a));
         let max = deg[0] as f64;
         let median = deg[deg.len() / 2] as f64;
-        assert!(max / median > 5.0, "expected heavy tail: max={max}, median={median}");
+        assert!(
+            max / median > 5.0,
+            "expected heavy tail: max={max}, median={median}"
+        );
     }
 
     #[test]

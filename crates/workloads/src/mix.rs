@@ -38,13 +38,29 @@ pub struct MapMix {
 }
 
 impl MapMix {
-    pub const WRITE_DOMINANT: MapMix = MapMix { get: 0, insert: 1, remove: 1 };
-    pub const READ_DOMINANT: MapMix = MapMix { get: 18, insert: 1, remove: 1 };
-    pub const MIXED: MapMix = MapMix { get: 2, insert: 1, remove: 1 };
+    pub const WRITE_DOMINANT: MapMix = MapMix {
+        get: 0,
+        insert: 1,
+        remove: 1,
+    };
+    pub const READ_DOMINANT: MapMix = MapMix {
+        get: 18,
+        insert: 1,
+        remove: 1,
+    };
+    pub const MIXED: MapMix = MapMix {
+        get: 2,
+        insert: 1,
+        remove: 1,
+    };
 
     pub fn new(get: u32, insert: u32, remove: u32) -> Self {
         assert!(get + insert + remove > 0);
-        MapMix { get, insert, remove }
+        MapMix {
+            get,
+            insert,
+            remove,
+        }
     }
 
     fn total(&self) -> u32 {
@@ -95,7 +111,11 @@ impl QueueOpGen {
     }
 
     pub fn next(&mut self) -> QueueOp {
-        let op = if self.next_enq { QueueOp::Enqueue } else { QueueOp::Dequeue };
+        let op = if self.next_enq {
+            QueueOp::Enqueue
+        } else {
+            QueueOp::Dequeue
+        };
         self.next_enq = !self.next_enq;
         op
     }

@@ -42,7 +42,11 @@ impl Iterator for YcsbAWorkload {
         self.remaining -= 1;
         let read: bool = self.sampler.rng().gen();
         let key = self.sampler.next_key();
-        Some(if read { YcsbOp::Read(key) } else { YcsbOp::Update(key) })
+        Some(if read {
+            YcsbOp::Read(key)
+        } else {
+            YcsbOp::Update(key)
+        })
     }
 }
 

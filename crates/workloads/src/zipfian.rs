@@ -135,7 +135,10 @@ mod tests {
             counts[z.sample(&mut rng) as usize] += 1;
         }
         assert!(counts[0] > counts[100] * 5, "rank 0 must dominate rank 100");
-        assert!(counts[0] as f64 > 100_000.0 * 0.05, "hot key ≥ 5% of traffic");
+        assert!(
+            counts[0] as f64 > 100_000.0 * 0.05,
+            "hot key ≥ 5% of traffic"
+        );
     }
 
     #[test]

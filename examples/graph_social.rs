@@ -21,7 +21,11 @@ fn main() {
         seed: 99,
         partitions: 4,
     });
-    println!("dataset: {} vertices, {} edges", ds.vertices, ds.edge_count());
+    println!(
+        "dataset: {} vertices, {} edges",
+        ds.vertices,
+        ds.edge_count()
+    );
 
     let pool = PmemPool::new(PmemConfig {
         size: 512 << 20,

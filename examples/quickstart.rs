@@ -62,7 +62,10 @@ fn main() {
         b"likes rust",
         "un-synced update rolled back"
     );
-    assert!(map.get_owned(tid, &key("bob")).is_some(), "un-synced remove rolled back");
+    assert!(
+        map.get_owned(tid, &key("bob")).is_some(),
+        "un-synced remove rolled back"
+    );
     println!("recovered {} entries:", map.len());
     for name in ["alice", "bob", "carol"] {
         let v = map.get_owned(tid, &key(name)).unwrap();

@@ -1,0 +1,235 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the builder + `bench_function` + `criterion_group!` /
+//! `criterion_main!` surface this workspace's benches use. Measurement is a
+//! straightforward warm-up followed by timed batches with a median-of-samples
+//! report — no statistical regression analysis, plotting, or persistence.
+//! Good enough to compare flush/fence counts and relative hot-path costs.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-value helper (re-export of `std::hint::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: Mode::WarmUp {
+                until: Instant::now() + self.warm_up_time,
+                iters_per_call: 1,
+            },
+        };
+        f(&mut b);
+
+        // Size batches so each sample runs long enough to time reliably.
+        let iters_per_call = match b.mode {
+            Mode::WarmUp { iters_per_call, .. } => iters_per_call.max(1),
+            _ => 1,
+        };
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                mode: Mode::Measure {
+                    iters: iters_per_call,
+                    elapsed: Duration::ZERO,
+                },
+            };
+            let deadline = Instant::now() + budget_per_sample;
+            let mut total = Duration::ZERO;
+            let mut iters: u64 = 0;
+            loop {
+                f(&mut b);
+                if let Mode::Measure { elapsed, .. } = &mut b.mode {
+                    total += *elapsed;
+                    *elapsed = Duration::ZERO;
+                }
+                iters += iters_per_call;
+                if Instant::now() >= deadline {
+                    break;
+                }
+            }
+            samples.push(total.as_nanos() as f64 / iters.max(1) as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+enum Mode {
+    /// Calibration pass: run and grow the batch size until calls are timeable.
+    WarmUp { until: Instant, iters_per_call: u64 },
+    /// Timed pass: run `iters` iterations, accumulate into `elapsed`.
+    Measure { iters: u64, elapsed: Duration },
+}
+
+/// Per-benchmark iteration driver (subset of `criterion::Bencher`).
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match &mut self.mode {
+            Mode::WarmUp {
+                until,
+                iters_per_call,
+            } => {
+                let deadline = *until;
+                loop {
+                    let t0 = Instant::now();
+                    for _ in 0..*iters_per_call {
+                        std_black_box(routine());
+                    }
+                    let dt = t0.elapsed();
+                    // Grow the batch until one call takes ≥ ~50 µs.
+                    if dt < Duration::from_micros(50) && *iters_per_call < 1 << 20 {
+                        *iters_per_call *= 2;
+                    }
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+            Mode::Measure { iters, elapsed } => {
+                let n = *iters;
+                let t0 = Instant::now();
+                for _ in 0..n {
+                    std_black_box(routine());
+                }
+                *elapsed += t0.elapsed();
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group (subset of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (subset of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        quick().bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("t", |b| b.iter(|| 1u32 + 1));
+        }
+        criterion_group! {
+            name = g;
+            config = quick();
+            targets = target
+        }
+        g();
+    }
+}

@@ -5,7 +5,7 @@
 
 use std::collections::HashMap;
 
-use montage::{EpochSys, EsysConfig, ThreadId};
+use montage::{EpochSys, EsysConfig};
 use montage_ds::{tags, MontageHashMap, MontageQueue};
 use pmem::{ChaosConfig, LatencyModel, PmemConfig, PmemMode, PmemPool};
 use rand::rngs::SmallRng;
@@ -83,7 +83,7 @@ fn map_recovers_a_consistent_prefix() {
         };
         match op {
             Op::Put(k, v) => {
-                map.put(tid, key(k), &vec![v; 16]);
+                map.put(tid, key(k), &[v; 16]);
             }
             Op::Remove(k) => {
                 map.remove(tid, &key(k));
@@ -276,18 +276,20 @@ fn multiple_crash_generations() {
     map.put(tid, key(0), &0u64.to_le_bytes());
     esys.sync();
     let mut esys = esys;
-    let mut expected = 1u64;
     for generation in 1..=5u64 {
+        let expected = generation;
         let rec = montage::recovery::recover(esys.pool().crash(), EsysConfig::default(), 1);
         let map = MontageHashMap::<Key>::recover(rec.esys.clone(), tags::HASHMAP, 64, &rec);
         assert_eq!(map.len() as u64, expected, "generation {generation}");
         for g in 0..expected {
-            assert_eq!(map.get_owned(rec.esys.register_thread(), &key(g)).unwrap(), g.to_le_bytes());
+            assert_eq!(
+                map.get_owned(rec.esys.register_thread(), &key(g)).unwrap(),
+                g.to_le_bytes()
+            );
         }
         let tid = rec.esys.register_thread();
         map.put(tid, key(generation), &generation.to_le_bytes());
         rec.esys.sync();
-        expected += 1;
         esys = rec.esys;
     }
 }

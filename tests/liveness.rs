@@ -55,7 +55,11 @@ fn stalled_op_blocks_advance_but_not_other_ops() {
         let _ = s.set(&g, h, |v| *v = 2).unwrap();
         ops_done.fetch_add(1, Ordering::SeqCst);
     }
-    assert_eq!(ops_done.load(Ordering::SeqCst), 1, "ops proceed during the stall");
+    assert_eq!(
+        ops_done.load(Ordering::SeqCst),
+        1,
+        "ops proceed during the stall"
+    );
 
     // Release the straggler; the frontier moves again.
     drop(stalled_guard);

@@ -52,7 +52,13 @@ fn four_structures_one_pool() {
     let map2 = MontageHashMap::<Key>::recover(rec.esys.clone(), tags::HASHMAP, 64, &rec);
     let queue2 = MontageQueue::recover(rec.esys.clone(), tags::QUEUE, &rec);
     let nbq2 = MontageNbQueue::recover(rec.esys.clone(), tags::NBQUEUE, &rec);
-    let graph2 = MontageGraph::recover(rec.esys.clone(), tags::GRAPH_VERTEX, tags::GRAPH_EDGE, 128, &rec);
+    let graph2 = MontageGraph::recover(
+        rec.esys.clone(),
+        tags::GRAPH_VERTEX,
+        tags::GRAPH_EDGE,
+        128,
+        &rec,
+    );
 
     assert_eq!(map2.len(), 29);
     assert_eq!(queue2.len(), 29);
@@ -115,7 +121,10 @@ fn nonblocking_and_ordered_structures_share_a_pool() {
     assert!(skiplist2.get(tid2, &10, |_| ()).is_none());
     assert_eq!(stack2.pop(tid2).unwrap(), 38u64.to_le_bytes());
     let keys = skiplist2.keys();
-    assert!(keys.windows(2).all(|w| w[0] < w[1]), "skip list stays sorted");
+    assert!(
+        keys.windows(2).all(|w| w[0] < w[1]),
+        "skip list stays sorted"
+    );
 }
 
 #[test]
