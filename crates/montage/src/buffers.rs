@@ -20,11 +20,14 @@
 //!   storing sequence `i + 1` (Release), then advances `tail`;
 //! * a consumer at head `h` may take the slot once its sequence is `h + 1`;
 //!   it claims the entry by CASing `head` from `h` to `h + 1` and then frees
-//!   the slot by storing sequence `h + C`.
+//!   the slot by CASing sequence `h + 1` to `h + C`.
 //!
 //! Entries are therefore consumed exactly once even with multiple concurrent
-//! drainers, and the owner never blocks on a lock (at worst it spins through
-//! the tiny window between a consumer's claim-CAS and its slot release).
+//! drainers, and the owner never blocks: if a push finds its slot claimed by
+//! a preempted consumer (head has passed the previous occupant, but the
+//! release CAS is still pending), the owner completes the release itself —
+//! both release CASes target the same value, so the loser's failure is
+//! benign and the slot is free either way.
 //!
 //! ## Epoch discipline (why concurrent push/drain is safe)
 //!
@@ -34,9 +37,31 @@
 //! before draining `e − 1`; `BEGIN_OP` helping drains the owner's *own* older
 //! buckets). Bucket reuse at `E + 4` happens only after the drain of `E`
 //! completed, ordered by the epoch clock (SeqCst store in `advance_epoch`,
-//! SeqCst load in `BEGIN_OP`). Crash consistency rests on one rule: **an
-//! entry leaves a ring only after its `clwb` is issued** — by the very thread
-//! that removed it, before the boundary fence it precedes.
+//! SeqCst load in `BEGIN_OP`).
+//!
+//! ## Crash consistency: the drain rendezvous
+//!
+//! Crash consistency rests on one rule: **every entry popped from a ring has
+//! its `clwb` issued before the epoch-boundary fence that declares its epoch
+//! durable**. A pop makes the entry invisible *before* the popper issues the
+//! `clwb`, so ring emptiness alone must not be taken as "all written back":
+//! a drainer preempted between its claim-CAS and its `clwb` would otherwise
+//! let `advance_epoch` see empty rings, fence, and publish the advanced
+//! clock while lines are still unflushed. Two mechanisms close that window:
+//!
+//! * every drain pass ([`Buffers::drain_persist`] /
+//!   [`Buffers::drain_persist_upto`]) advertises itself in a per-thread
+//!   `drainers` counter from before its first pop until after its last
+//!   `clwb`; `advance_epoch` calls [`Buffers::wait_drainers`] after its ring
+//!   scan and **before** the boundary fence, so a stalled drainer's pending
+//!   write-backs are always waited out (the counter decrement is `Release`,
+//!   the wait's load `Acquire`, ordering the `clwb` side effects before the
+//!   fence);
+//! * the overflow pop in [`Buffers::push_persist`] needs no counter: the
+//!   owner performs it while registered in the entry's (current) epoch, and
+//!   the boundary that will declare that epoch durable first waits for the
+//!   owner to unregister (tracker quiescence), which orders the inline
+//!   `clwb` before that fence.
 //!
 //! ## Flush coalescing
 //!
@@ -120,11 +145,29 @@ impl Ring {
             return Err(());
         }
         let slot = &self.slots[t % cap];
-        // head has passed t - cap, so the previous occupant's consumer has
-        // claimed the slot; wait out its claim→release window (a few
-        // instructions) before reusing it.
-        while slot.seq.load(Ordering::Acquire) != t {
-            std::hint::spin_loop();
+        // head has passed index t - cap, so the previous occupant's consumer
+        // won its claim-CAS; if that consumer was preempted before its
+        // release, complete the release on its behalf instead of waiting —
+        // the push must not block on another thread's progress. Both release
+        // CASes write the same value (t = (t - cap) + cap), so whichever
+        // side loses simply finds the slot already free.
+        loop {
+            let s = slot.seq.load(Ordering::Acquire);
+            if s == t {
+                break;
+            }
+            debug_assert!(
+                t + 1 >= cap && s == t + 1 - cap,
+                "slot seq {s} is neither free ({t}) nor claimed ({})",
+                t.wrapping_add(1).wrapping_sub(cap)
+            );
+            if slot
+                .seq
+                .compare_exchange(s, t, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
         }
         slot.off.store(off, Ordering::Relaxed);
         slot.len.store(len, Ordering::Relaxed);
@@ -154,8 +197,15 @@ impl Ring {
                 .is_ok()
             {
                 // Winning the CAS proves nobody consumed index h before us,
-                // so (off, len) read above belong to index h.
-                slot.seq.store(h + self.capacity(), Ordering::Release);
+                // so (off, len) read above belong to index h. The release is
+                // a CAS because the owner may have completed it for us (see
+                // push); a failure means the slot was already recycled.
+                let _ = slot.seq.compare_exchange(
+                    h + 1,
+                    h + self.capacity(),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
                 return Some((off, len));
             }
         }
@@ -194,6 +244,10 @@ struct ThreadState {
     dedup: Box<[DedupEntry]>,
     /// Line flushes avoided by coalescing (owner-written, exact).
     coalesced: AtomicU64,
+    /// Drain passes currently between their first pop and their last issued
+    /// `clwb`. The epoch advancer spins this to zero before its boundary
+    /// fence (see the module docs on the drain rendezvous).
+    drainers: AtomicUsize,
 }
 
 impl ThreadState {
@@ -216,6 +270,7 @@ impl ThreadState {
                 })
                 .collect(),
             coalesced: AtomicU64::new(0),
+            drainers: AtomicUsize::new(0),
         }
     }
 
@@ -321,9 +376,14 @@ impl Buffers {
         let st = &self.threads[tid];
         let b = &st.persist[(epoch % 4) as usize];
         if !b.ring.is_empty() && b.epoch.load(Ordering::Acquire) == epoch {
+            // Advertise the pass before the first pop: a pop makes an entry
+            // invisible before its clwb is issued, and the advancer must be
+            // able to wait out that window (module docs, drain rendezvous).
+            st.drainers.fetch_add(1, Ordering::SeqCst);
             while let Some((o, l)) = b.ring.pop() {
                 pool.clwb_range(POff::new(o), l as usize);
             }
+            st.drainers.fetch_sub(1, Ordering::Release);
         }
         self.min_pending(tid)
     }
@@ -331,6 +391,7 @@ impl Buffers {
     /// Writes back all of `tid`'s entries for every epoch `<= epoch`.
     pub fn drain_persist_upto(&self, pool: &PmemPool, tid: usize, epoch: u64) -> u64 {
         let st = &self.threads[tid];
+        st.drainers.fetch_add(1, Ordering::SeqCst);
         for b in st.persist.iter() {
             if !b.ring.is_empty() && b.epoch.load(Ordering::Acquire) <= epoch {
                 while let Some((o, l)) = b.ring.pop() {
@@ -338,7 +399,29 @@ impl Buffers {
                 }
             }
         }
+        st.drainers.fetch_sub(1, Ordering::Release);
         self.min_pending(tid)
+    }
+
+    /// Waits until no drain pass over thread `tid`'s persist rings is
+    /// between a pop and its corresponding `clwb`. Called by the epoch
+    /// advancer after its ring scan and **before** the boundary fence:
+    /// together with the `Release` decrement in the drain methods this
+    /// guarantees that once the fence runs, every popped entry's write-back
+    /// has been issued — ring emptiness alone does not (module docs).
+    pub fn wait_drainers(&self, tid: usize) {
+        let mut tries = 0u32;
+        while self.threads[tid].drainers.load(Ordering::Acquire) != 0 {
+            // The window is a handful of instructions, so spin briefly; but
+            // if the drainer was preempted mid-pass, yield the core to it
+            // instead of burning the rest of our quantum.
+            tries += 1;
+            if tries < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
     }
 
     /// Schedules block `blk` (retired in `epoch`) for reclamation two epochs
@@ -622,7 +705,7 @@ mod tests {
                         // an owner can never push into a bucket that still
                         // holds entries; model that constraint here.
                         while b.min_pending(0) <= e - 4 {
-                            std::hint::spin_loop();
+                            std::thread::yield_now();
                         }
                         for i in 0..PER_ROUND {
                             // Distinct lines, so every entry should clwb once.
@@ -646,7 +729,7 @@ mod tests {
                     if done == ROUNDS {
                         break;
                     }
-                    std::hint::spin_loop();
+                    std::thread::yield_now();
                 });
             }
         });
@@ -656,6 +739,138 @@ mod tests {
         // nothing lost, nothing double-flushed. (Ring capacity 256 > 200
         // per epoch means no overflow write-backs muddy the count.)
         assert_eq!(p.stats().snapshot().0, ROUNDS * PER_ROUND);
+    }
+
+    #[test]
+    fn ring_owner_push_completes_preempted_consumer_release() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        // Tiny ring, so the producer constantly reuses slots whose previous
+        // consumer is still inside its claim→release window: the push's
+        // help-release path runs hot, and the producer must never block on a
+        // preempted consumer (it completes the release itself).
+        let r = Arc::new(Ring::new(2));
+        const N: u64 = 10_000;
+        let stop = Arc::new(AtomicBool::new(false));
+        // Wait loops yield rather than spin: on a single-core runner a
+        // spinning waiter burns its whole quantum while the thread it waits
+        // on is descheduled, turning the test pathological.
+        std::thread::scope(|s| {
+            let mut consumers = Vec::new();
+            for _ in 0..2 {
+                let r = r.clone();
+                let stop = stop.clone();
+                consumers.push(s.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match r.pop() {
+                            Some((o, _)) => got.push(o),
+                            None if stop.load(Ordering::Acquire) => break,
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    got
+                }));
+            }
+            {
+                let r = r.clone();
+                let stop = stop.clone();
+                s.spawn(move || {
+                    for i in 1..=N {
+                        while r.push(i, 0).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                    stop.store(true, Ordering::Release);
+                });
+            }
+            let mut all: Vec<u64> = consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                (1..=N).collect::<Vec<_>>(),
+                "every push popped exactly once, none lost or duplicated"
+            );
+        });
+    }
+
+    #[test]
+    fn fence_point_sees_all_popped_entries_flushed() {
+        use std::sync::atomic::{AtomicBool, AtomicU64 as A64};
+        use std::sync::Arc;
+
+        // Models the advance_epoch boundary: once the rings scan empty AND
+        // wait_drainers has returned, every pushed entry's clwb must already
+        // be issued. A drainer stalled between its pop and its clwb makes
+        // the rings look empty early; without the rendezvous the boundary
+        // fence would declare those lines durable while still unflushed.
+        let p = pool();
+        let b = Arc::new(Buffers::new(1, 256));
+        const ROUNDS: u64 = 30;
+        const PER_ROUND: u64 = 200;
+        let done = Arc::new(A64::new(0)); // rounds fully pushed
+        let go = Arc::new(A64::new(0)); // rounds the checker has verified
+        let stop = Arc::new(AtomicBool::new(false));
+        // Wait loops yield rather than spin (single-core runners).
+        std::thread::scope(|s| {
+            {
+                // Owner: pushes one epoch's worth of distinct lines per
+                // round, gated on the checker's verdict for the previous one.
+                let (b, p) = (b.clone(), p.clone());
+                let (done, go) = (done.clone(), go.clone());
+                s.spawn(move || {
+                    for r in 0..ROUNDS {
+                        while go.load(Ordering::Acquire) < r {
+                            std::thread::yield_now();
+                        }
+                        for i in 0..PER_ROUND {
+                            b.push_persist(
+                                &p,
+                                0,
+                                4 + r,
+                                POff::new((1 + r * PER_ROUND + i) * 64),
+                                64,
+                            );
+                        }
+                        done.store(r + 1, Ordering::Release);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                // Racing drainers (the BEGIN_OP helpers of the real system).
+                let (b, p) = (b.clone(), p.clone());
+                let (done, stop) = (done.clone(), stop.clone());
+                s.spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let d = done.load(Ordering::Acquire);
+                        for r in 0..d {
+                            b.drain_persist(&p, 0, 4 + r);
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            // Checker: plays the advancer's boundary sequence per round.
+            for r in 0..ROUNDS {
+                while done.load(Ordering::Acquire) < r + 1 {
+                    std::thread::yield_now();
+                }
+                b.drain_persist_upto(&p, 0, 4 + r);
+                while b.min_pending(0) != u64::MAX {
+                    std::thread::yield_now();
+                }
+                b.wait_drainers(0);
+                // Fence point: empty rings + no in-flight drain pass ⇒ every
+                // line pushed so far had its clwb issued, exactly once.
+                assert_eq!(p.stats().snapshot().0, (r + 1) * PER_ROUND);
+                go.store(r + 1, Ordering::Release);
+            }
+            stop.store(true, Ordering::Release);
+        });
     }
 
     #[test]

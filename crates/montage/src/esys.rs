@@ -611,6 +611,16 @@ impl EpochSys {
             }
         }
 
+        // Rendezvous with in-flight drainers before fencing: a BEGIN_OP
+        // helper (esys `begin_op`) drains outside the advance lock, and its
+        // pops make entries invisible *before* their clwbs are issued — so
+        // the empty rings observed above do not yet prove the write-backs
+        // happened. Waiting the per-thread drainer counters to zero does
+        // (see the drain-rendezvous section of the buffers module docs).
+        for t in 0..n {
+            self.buffers.wait_drainers(t);
+        }
+
         self.pool.sfence();
 
         // Now everything labelled <= e-1 is durable: publish epoch e+1.

@@ -2,7 +2,7 @@
 
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -21,32 +21,21 @@ static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
 thread_local! {
     /// Fast-mode per-thread count of unfenced `clwb`s per pool, so a fence
     /// is charged per line it actually drains (matching hardware, where the
-    /// flush itself is asynchronous and the fence pays the wait). Pool ids
-    /// are handed out sequentially from 1, so the vector is indexed by id
-    /// directly — the count bump on every buffered `clwb` is O(1) instead of
-    /// a linear scan over every pool the thread has touched.
-    static PENDING_COUNT: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// flush itself is asynchronous and the fence pays the wait). Keyed by
+    /// pool id: the count bump on every buffered `clwb` is O(1), and a fence
+    /// *removes* the pool's entry, so the map only ever holds pools with
+    /// write-backs currently outstanding — it does not grow with the number
+    /// of pools a process creates over its lifetime (bench loops allocate
+    /// thousands).
+    static PENDING_COUNT: RefCell<HashMap<u64, u64>> = RefCell::new(HashMap::new());
 }
 
 fn count_add(id: u64, n: u64) {
-    PENDING_COUNT.with(|c| {
-        let mut c = c.borrow_mut();
-        let idx = id as usize;
-        if c.len() <= idx {
-            c.resize(idx + 1, 0);
-        }
-        c[idx] += n;
-    });
+    PENDING_COUNT.with(|c| *c.borrow_mut().entry(id).or_insert(0) += n);
 }
 
 fn count_take(id: u64) -> u64 {
-    PENDING_COUNT.with(|c| {
-        let mut c = c.borrow_mut();
-        match c.get_mut(id as usize) {
-            Some(e) => std::mem::take(e),
-            None => 0,
-        }
-    })
+    PENDING_COUNT.with(|c| c.borrow_mut().remove(&id).unwrap_or(0))
 }
 
 struct Working {
