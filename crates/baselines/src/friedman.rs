@@ -324,15 +324,15 @@ mod tests {
     fn every_operation_fences() {
         let q = queue();
         let pool = q.pool.clone();
-        let (_, f0, _) = pool.stats().snapshot();
+        let f0 = pool.stats().snapshot().sfences;
         q.enqueue(0, &[1u8; 100]);
-        let (_, f1, _) = pool.stats().snapshot();
+        let f1 = pool.stats().snapshot().sfences;
         assert!(
             f1 >= f0 + 2,
             "enqueue must fence at least twice (node + link)"
         );
         q.dequeue(0);
-        let (_, f2, _) = pool.stats().snapshot();
+        let f2 = pool.stats().snapshot().sfences;
         assert!(f2 > f1, "dequeue must fence (announcement)");
     }
 

@@ -342,11 +342,11 @@ mod tests {
     fn txn_logs_then_applies() {
         let s = sys();
         let dst = s.alloc(64);
-        let (_, f0, _) = s.pool().stats().snapshot();
+        let f0 = s.pool().stats().snapshot().sfences;
         let mut t = s.begin(0);
         t.write(dst, &[9u8; 64]);
         t.commit();
-        let (_, f1, _) = s.pool().stats().snapshot();
+        let f1 = s.pool().stats().snapshot().sfences;
         assert_eq!(f1 - f0, 2, "log fence + apply fence");
         let mut out = [0u8; 64];
         s.pool().read_bytes(dst, &mut out);
@@ -392,9 +392,9 @@ mod tests {
     fn large_value_doubles_write_traffic() {
         let s = sys();
         let m = MnemosyneMap::new(s.clone(), 16);
-        let (c0, _, _) = s.pool().stats().snapshot();
+        let c0 = s.pool().stats().snapshot().clwbs;
         m.insert(0, make_key(1), &vec![1u8; 1024]);
-        let (c1, _, _) = s.pool().stats().snapshot();
+        let c1 = s.pool().stats().snapshot().clwbs;
         // ~1 KB logged + ~1 KB applied ⇒ ≥ 32 lines flushed.
         assert!(c1 - c0 >= 32, "expected ≥32 clwbs, saw {}", c1 - c0);
     }

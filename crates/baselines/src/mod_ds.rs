@@ -387,9 +387,9 @@ mod tests {
     #[test]
     fn every_update_commits_durably() {
         let m = ModHashMap::new(setup(), 16);
-        let (_, f0, _) = m.pool.stats().snapshot();
+        let f0 = m.pool.stats().snapshot().sfences;
         m.insert(0, make_key(1), &[0u8; 64]);
-        let (_, f1, _) = m.pool.stats().snapshot();
+        let f1 = m.pool.stats().snapshot().sfences;
         assert!(f1 >= f0 + 2, "shadow fence + commit fence");
     }
 

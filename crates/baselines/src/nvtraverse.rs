@@ -184,9 +184,9 @@ mod tests {
     fn even_reads_fence() {
         let m = map();
         m.insert(0, make_key(1), b"v");
-        let (_, f0, _) = m.pool.stats().snapshot();
+        let f0 = m.pool.stats().snapshot().sfences;
         m.get(0, &make_key(1));
-        let (_, f1, _) = m.pool.stats().snapshot();
+        let f1 = m.pool.stats().snapshot().sfences;
         assert!(f1 > f0, "NVTraverse reads flush+fence the critical zone");
     }
 }

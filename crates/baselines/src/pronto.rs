@@ -625,11 +625,11 @@ mod tests {
     fn sync_queue_fifo_and_fences_per_op() {
         let r = setup();
         let q = ProntoQueue::new(&r, Mode::Sync, 4);
-        let (_, f0, _) = r.pool().stats().snapshot();
+        let f0 = r.pool().stats().snapshot().sfences;
         for i in 0..10u32 {
             q.enqueue(0, &i.to_le_bytes());
         }
-        let (_, f1, _) = r.pool().stats().snapshot();
+        let f1 = r.pool().stats().snapshot().sfences;
         assert!(f1 >= f0 + 10, "at least one fence per logged op");
         for _ in 0..10 {
             assert!(q.dequeue(0));
@@ -647,7 +647,7 @@ mod tests {
         for _ in 0..100 {
             assert!(q.dequeue(0));
         }
-        let (_, fences, _) = r.pool().stats().snapshot();
+        let fences = r.pool().stats().snapshot().sfences;
         assert!(fences > 0);
     }
 
@@ -669,9 +669,9 @@ mod tests {
         let r = setup();
         let m = ProntoMap::new(&r, Mode::Sync, 4, 16);
         let big = vec![7u8; 1024];
-        let (c0, _, _) = r.pool().stats().snapshot();
+        let c0 = r.pool().stats().snapshot().clwbs;
         m.insert(0, make_key(1), &big);
-        let (c1, _, _) = r.pool().stats().snapshot();
+        let c1 = r.pool().stats().snapshot().clwbs;
         assert!(c1 - c0 >= 16, "expected ≥16 clwbs, saw {}", c1 - c0);
     }
 

@@ -229,9 +229,9 @@ mod tests {
     #[test]
     fn insert_fences_twice() {
         let m = map();
-        let (_, f0, _) = m.pool.stats().snapshot();
+        let f0 = m.pool.stats().snapshot().sfences;
         m.insert(0, make_key(7), &[0u8; 64]);
-        let (_, f1, _) = m.pool.stats().snapshot();
+        let f1 = m.pool.stats().snapshot().sfences;
         assert!(f1 >= f0 + 2, "two-phase validity needs two fences");
     }
 }

@@ -237,9 +237,9 @@ mod tests {
         let after = pool.stats().snapshot();
         // Only superblock carving may fence; per-op persistence must be zero.
         assert!(
-            after.0 - base.0 <= 8,
+            after.clwbs - base.clwbs <= 8,
             "NVM(T) issued {} clwbs",
-            after.0 - base.0
+            after.clwbs - base.clwbs
         );
     }
 

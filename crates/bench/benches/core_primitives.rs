@@ -127,12 +127,12 @@ fn bench_coalescing(c: &mut Criterion) {
     esys.sync();
     let stats1 = esys.pool().stats().snapshot();
     let saved = esys.stats().flushes_coalesced.load(Ordering::Relaxed) - saved0;
-    let clwbs = stats1.0 - stats0.0;
+    let clwbs = stats1.clwbs - stats0.clwbs;
     println!(
         "flush_coalescing_8x_sets_100_epochs      clwbs: {clwbs} \
          (uncoalesced: {}, saved: {saved}, fences: {})",
         clwbs + saved,
-        stats1.1 - stats0.1
+        stats1.sfences - stats0.sfences
     );
 }
 

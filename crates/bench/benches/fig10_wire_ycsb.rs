@@ -1,0 +1,198 @@
+//! **Figure 10 (wire edition)** — YCSB-A and YCSB-B driven over loopback TCP
+//! through `kvserver`, for items in DRAM, in NVM, and fully persistent under
+//! Montage. Where `fig10_memcached_ycsb` measures the cache library
+//! in-process, this measures the whole serving stack: framing, session
+//! leases, socket round-trips. Reports throughput, client-observed latency
+//! percentiles, and the PersistCost (flushes / fences per op) that Montage's
+//! buffering is designed to shrink.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use kvserver::{KvServer, ServerConfig, WireClient};
+use kvstore::{KvBackend, KvStore};
+use montage::{Advancer, EpochSys, EsysConfig};
+use montage_bench::harness::{env_scale, env_threads};
+use montage_bench::report::{self, PersistCost};
+use pmem::{LatencyModel, PmemConfig, PmemMode, PmemPool};
+use ralloc::Ralloc;
+use workloads::ycsb::{YcsbOp, YcsbWorkload};
+
+fn nvm_pool(bytes: usize) -> PmemPool {
+    PmemPool::new(PmemConfig {
+        size: bytes,
+        mode: PmemMode::Fast,
+        latency: LatencyModel::OPTANE,
+        chaos: Default::default(),
+    })
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    // A socket round-trip per op is ~10x the cost of a library call; run a
+    // tenth of the in-process op count for comparable wall time.
+    let scale = env_scale() / 10.0;
+    let records = ((YcsbWorkload::RECORDS as f64 * scale) as u64).max(1_000);
+    let total_ops = ((YcsbWorkload::OPS as f64 * scale) as u64).max(5_000);
+    // ASCII payload: the text protocol transcodes non-UTF-8 value bytes, and
+    // a transcoded reply would make the read path measure extra bytes.
+    let value = vec![b'a'; 256];
+    report::header(
+        "fig10-wire",
+        &format!("kvserver YCSB over loopback, {records} records, {total_ops} ops, value 256B"),
+        &[
+            "workload",
+            "backend",
+            "threads",
+            "ops_per_sec",
+            "p50_us",
+            "p99_us",
+            "flushes_per_op",
+            "fences_per_op",
+        ],
+    );
+
+    for &threads in &env_threads() {
+        let pool_bytes = (64 << 20) + records as usize * 1024 * 2;
+
+        for (wl_name, read_permille) in [("YCSB-A", 500u32), ("YCSB-B", 950u32)] {
+            for backend_name in ["DRAM (T)", "NVM (T)", "Montage"] {
+                // `pool` is the persistence domain whose flush/fence counters
+                // we charge to the workload (None for DRAM).
+                let (kv, pool, _hold): (Arc<KvStore>, Option<PmemPool>, Option<Advancer>) =
+                    match backend_name {
+                        "DRAM (T)" => (
+                            Arc::new(KvStore::new(KvBackend::Dram, 64, usize::MAX / 2)),
+                            None,
+                            None,
+                        ),
+                        "NVM (T)" => {
+                            let r = Ralloc::format(nvm_pool(pool_bytes));
+                            let pool = r.pool().clone();
+                            (
+                                Arc::new(KvStore::new(KvBackend::Nvm(r), 64, usize::MAX / 2)),
+                                Some(pool),
+                                None,
+                            )
+                        }
+                        _ => {
+                            let esys = EpochSys::format(
+                                nvm_pool(pool_bytes),
+                                EsysConfig {
+                                    // ids for the preload session + each
+                                    // client connection + headroom for churn.
+                                    max_threads: threads + 4,
+                                    ..Default::default()
+                                },
+                            );
+                            let pool = esys.pool().clone();
+                            let adv = Advancer::start(esys.clone());
+                            (
+                                Arc::new(KvStore::new(
+                                    KvBackend::Montage(esys),
+                                    64,
+                                    usize::MAX / 2,
+                                )),
+                                Some(pool),
+                                Some(adv),
+                            )
+                        }
+                    };
+
+                let handle = KvServer::start(
+                    ServerConfig {
+                        max_sessions: threads + 2,
+                        ..Default::default()
+                    },
+                    kv,
+                )
+                .expect("bind loopback");
+                let addr = handle.addr();
+
+                // Preload over the wire, outside the timed section.
+                {
+                    let mut c = WireClient::connect(addr).expect("connect");
+                    for i in 1..=records {
+                        c.set_noreply(&format!("k{i}"), 0, &value).expect("preload");
+                    }
+                    // A replied command flushes the noreply stream.
+                    let _ = c.get("k1").expect("preload barrier");
+                    c.quit().expect("quit");
+                }
+
+                let before = pool
+                    .as_ref()
+                    .map(|p| p.stats().snapshot())
+                    .unwrap_or_default();
+                let per_thread = total_ops / threads as u64;
+                let barrier = Barrier::new(threads + 1);
+                let lat_all = parking_lot::Mutex::new(Vec::<u64>::new());
+                let start_cell = parking_lot::Mutex::new(None::<Instant>);
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let barrier = &barrier;
+                        let value = &value;
+                        let lat_all = &lat_all;
+                        s.spawn(move || {
+                            let mut c = WireClient::connect(addr).expect("connect");
+                            let work = YcsbWorkload::with_mix(
+                                records,
+                                per_thread,
+                                0xA11CE + t as u64,
+                                read_permille,
+                            );
+                            let mut lat = Vec::with_capacity(per_thread as usize);
+                            barrier.wait();
+                            for op in work {
+                                let t0 = Instant::now();
+                                match op {
+                                    YcsbOp::Read(k) => {
+                                        c.get(&format!("k{k}")).expect("get");
+                                    }
+                                    YcsbOp::Update(k) => {
+                                        c.set(&format!("k{k}"), 0, value).expect("set");
+                                    }
+                                }
+                                lat.push(t0.elapsed().as_micros() as u64);
+                            }
+                            lat_all.lock().append(&mut lat);
+                            c.quit().expect("quit");
+                        });
+                    }
+                    barrier.wait();
+                    *start_cell.lock() = Some(Instant::now());
+                });
+                let elapsed = start_cell.lock().unwrap().elapsed();
+                let after = pool
+                    .as_ref()
+                    .map(|p| p.stats().snapshot())
+                    .unwrap_or_default();
+
+                let ops = per_thread * threads as u64;
+                let tput = ops as f64 / elapsed.as_secs_f64();
+                let mut lats = std::mem::take(&mut *lat_all.lock());
+                lats.sort_unstable();
+                let cost = PersistCost::from_snapshots(before, after, ops);
+                let [flushes, fences] = cost.fields();
+                report::row(&[
+                    wl_name.into(),
+                    backend_name.into(),
+                    threads.to_string(),
+                    report::raw(tput),
+                    percentile(&lats, 0.50).to_string(),
+                    percentile(&lats, 0.99).to_string(),
+                    flushes,
+                    fences,
+                ]);
+                handle.shutdown();
+            }
+        }
+    }
+}

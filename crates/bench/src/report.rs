@@ -36,17 +36,16 @@ pub struct PersistCost {
 }
 
 impl PersistCost {
-    /// From two `PmemStats::snapshot()` tuples `(clwbs, sfences, lines)`
-    /// bracketing `ops` operations.
+    /// From two [`pmem::StatsSnapshot`]s bracketing `ops` operations.
     pub fn from_snapshots(
-        before: (u64, u64, u64),
-        after: (u64, u64, u64),
+        before: pmem::StatsSnapshot,
+        after: pmem::StatsSnapshot,
         ops: u64,
     ) -> PersistCost {
         let ops = ops.max(1) as f64;
         PersistCost {
-            flushes_per_op: after.0.saturating_sub(before.0) as f64 / ops,
-            fences_per_op: after.1.saturating_sub(before.1) as f64 / ops,
+            flushes_per_op: after.clwbs.saturating_sub(before.clwbs) as f64 / ops,
+            fences_per_op: after.sfences.saturating_sub(before.sfences) as f64 / ops,
         }
     }
 
@@ -70,9 +69,18 @@ mod tests {
         assert_eq!(tput(123.0), "123");
     }
 
+    fn snap(clwbs: u64, sfences: u64, lines_drained: u64) -> pmem::StatsSnapshot {
+        pmem::StatsSnapshot {
+            clwbs,
+            sfences,
+            lines_drained,
+            crashes: 0,
+        }
+    }
+
     #[test]
     fn persist_cost_normalises_per_op() {
-        let c = PersistCost::from_snapshots((100, 10, 100), (1100, 30, 1100), 500);
+        let c = PersistCost::from_snapshots(snap(100, 10, 100), snap(1100, 30, 1100), 500);
         assert_eq!(c.flushes_per_op, 2.0);
         assert_eq!(c.fences_per_op, 0.04);
         assert_eq!(c.fields(), ["2.000".to_string(), "0.040".to_string()]);
@@ -80,7 +88,7 @@ mod tests {
 
     #[test]
     fn persist_cost_survives_zero_ops() {
-        let c = PersistCost::from_snapshots((0, 0, 0), (5, 1, 5), 0);
+        let c = PersistCost::from_snapshots(snap(0, 0, 0), snap(5, 1, 5), 0);
         assert_eq!(c.flushes_per_op, 5.0);
     }
 }

@@ -1,0 +1,116 @@
+//! Closed-loop memcached text-protocol client over a blocking socket.
+//!
+//! Used by the wire tests and the Fig. 10 wire benchmark; issues one request
+//! and waits for its reply (except `*_noreply`, which streams).
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+pub struct WireClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn bad_reply(context: &str, got: &str) -> std::io::Error {
+    std::io::Error::new(
+        ErrorKind::InvalidData,
+        format!("{context}: unexpected reply {got:?}"),
+    )
+}
+
+impl WireClient {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(WireClient {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends raw bytes verbatim — the escape hatch the framing tests use to
+    /// split requests at hostile offsets.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(bytes)
+    }
+
+    /// Reads one CRLF-terminated reply line (terminator stripped).
+    pub fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ErrorKind::UnexpectedEof.into());
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// `set` and wait for the one-line reply (`STORED`, an error, …).
+    pub fn set(&mut self, key: &str, flags: u32, value: &[u8]) -> std::io::Result<String> {
+        self.send_raw(format!("set {key} {flags} 0 {}\r\n", value.len()).as_bytes())?;
+        self.send_raw(value)?;
+        self.send_raw(b"\r\n")?;
+        self.read_line()
+    }
+
+    /// Fire-and-forget `set`: no reply is read (none is sent).
+    pub fn set_noreply(&mut self, key: &str, flags: u32, value: &[u8]) -> std::io::Result<()> {
+        self.send_raw(format!("set {key} {flags} 0 {} noreply\r\n", value.len()).as_bytes())?;
+        self.send_raw(value)?;
+        self.send_raw(b"\r\n")
+    }
+
+    /// `get`, returning `(flags, value)` for a hit and `None` for a miss.
+    pub fn get(&mut self, key: &str) -> std::io::Result<Option<(u32, Vec<u8>)>> {
+        self.send_raw(format!("get {key}\r\n").as_bytes())?;
+        let head = self.read_line()?;
+        if head == "END" {
+            return Ok(None);
+        }
+        let mut parts = head.split_whitespace();
+        let (Some("VALUE"), Some(_k), Some(flags), Some(len)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(bad_reply("get", &head));
+        };
+        let flags: u32 = flags.parse().map_err(|_| bad_reply("get flags", &head))?;
+        let len: usize = len.parse().map_err(|_| bad_reply("get len", &head))?;
+        let mut data = vec![0u8; len + 2]; // value + CRLF
+        self.reader.read_exact(&mut data)?;
+        data.truncate(len);
+        let tail = self.read_line()?;
+        if tail != "END" {
+            return Err(bad_reply("get tail", &tail));
+        }
+        Ok(Some((flags, data)))
+    }
+
+    /// `delete`, returning the reply line (`DELETED` / `NOT_FOUND`).
+    pub fn delete(&mut self, key: &str) -> std::io::Result<String> {
+        self.send_raw(format!("delete {key}\r\n").as_bytes())?;
+        self.read_line()
+    }
+
+    /// Epoch-sync barrier: when this returns `Ok`, every mutation this
+    /// server acked before the call is persistent.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.send_raw(b"sync\r\n")?;
+        let line = self.read_line()?;
+        if line == "SYNCED" {
+            Ok(())
+        } else {
+            Err(bad_reply("sync", &line))
+        }
+    }
+
+    /// Polite hang-up.
+    pub fn quit(mut self) -> std::io::Result<()> {
+        self.send_raw(b"quit\r\n")
+    }
+}

@@ -1,0 +1,38 @@
+//! # kvserver — a networked persistent KV front-end over Montage
+//!
+//! The paper validates Montage by porting a protected-library Memcached and
+//! driving it with YCSB (Sec. 6.2 / Fig. 10); [`kvstore`] reproduces that
+//! cache as an in-process library. This crate puts a socket in front of it:
+//! a TCP server speaking the memcached **text protocol** (`std::net` +
+//! threads, no async runtime) that delegates command execution to
+//! [`kvstore::protocol::Session`], plus a closed-loop wire client used by
+//! tests and benches.
+//!
+//! Three things distinguish a server from a library and shape this crate:
+//!
+//! * **Session registry** ([`registry`]) — Montage hands out `ThreadId`s
+//!   from a fixed `max_threads` table. Connections churn, so the registry
+//!   leases ids per connection and returns them on disconnect; an
+//!   over-capacity connect is answered with `SERVER_ERROR` instead of a
+//!   panic.
+//! * **Request framing** ([`frame`]) — pipelined commands, command lines and
+//!   data blocks split across packets, bare-`\n` line endings, length
+//!   mismatches, and oversized values (discarded in a streaming fashion, so
+//!   a hostile length field cannot balloon memory) are all handled before a
+//!   command reaches the session.
+//! * **The durability boundary** ([`server`]) — a reply must not promise
+//!   more durability than the epoch system has provided. Ordinary replies
+//!   promise buffered durability only (a crash may lose the last two
+//!   epochs); the `sync` admin command replies `SYNCED` only after
+//!   `EpochSys::sync` returns, and the sync-every-N-ops mode (mirroring
+//!   Fig. 9) inserts that same barrier every N mutations.
+
+pub mod client;
+pub mod frame;
+pub mod registry;
+pub mod server;
+
+pub use client::WireClient;
+pub use frame::{Request, RequestReader};
+pub use registry::{SessionLease, SessionRegistry};
+pub use server::{KvServer, ServerConfig, ServerHandle};

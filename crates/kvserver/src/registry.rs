@@ -1,0 +1,139 @@
+//! Session registry: leases Montage thread ids to connections.
+//!
+//! Montage sizes its per-thread state (write-back buffers, epoch tracker
+//! slots) to a fixed `max_threads` at pool creation. A server accepts and
+//! drops connections indefinitely, so it cannot burn one id per connection
+//! lifetime — it leases an id when a connection arrives and returns it to
+//! the epoch system's free list on disconnect. The registry also enforces
+//! its own session cap so an over-capacity connect is refused with a
+//! protocol error instead of exhausting the id table (or panicking, as
+//! `EpochSys::register_thread` would).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use kvstore::KvStore;
+
+/// Hands out per-connection [`SessionLease`]s, bounded by `max_sessions`.
+pub struct SessionRegistry {
+    store: Arc<KvStore>,
+    max_sessions: usize,
+    active: AtomicUsize,
+}
+
+impl SessionRegistry {
+    pub fn new(store: Arc<KvStore>, max_sessions: usize) -> Arc<Self> {
+        Arc::new(SessionRegistry {
+            store,
+            max_sessions,
+            active: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of live leases.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
+    /// Leases a thread id for one connection, or `None` when the server is
+    /// at capacity (either the session cap or the epoch system's id table).
+    pub fn lease(self: &Arc<Self>) -> Option<SessionLease> {
+        // Reserve a session slot first; only then touch the id table, so a
+        // refused connect leaves the epoch system untouched.
+        let mut cur = self.active.load(Ordering::Acquire);
+        loop {
+            if cur >= self.max_sessions {
+                return None;
+            }
+            match self.active.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        match self.store.try_register_thread() {
+            Some(tid) => Some(SessionLease {
+                registry: Arc::clone(self),
+                tid,
+            }),
+            None => {
+                self.active.fetch_sub(1, Ordering::AcqRel);
+                None
+            }
+        }
+    }
+}
+
+/// A leased thread id; returned to the registry (and the epoch system's
+/// free list) on drop, so disconnect-heavy workloads never leak ids.
+pub struct SessionLease {
+    registry: Arc<SessionRegistry>,
+    tid: usize,
+}
+
+impl SessionLease {
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+}
+
+impl Drop for SessionLease {
+    fn drop(&mut self) {
+        self.registry.store.unregister_thread(self.tid);
+        self.registry.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvstore::{KvBackend, KvStore};
+
+    fn dram_store() -> Arc<KvStore> {
+        Arc::new(KvStore::new(KvBackend::Dram, 4, 1024))
+    }
+
+    #[test]
+    fn cap_is_enforced_and_slots_recycle() {
+        let reg = SessionRegistry::new(dram_store(), 2);
+        let a = reg.lease().expect("first lease");
+        let _b = reg.lease().expect("second lease");
+        assert!(reg.lease().is_none(), "third lease must be refused");
+        assert_eq!(reg.active(), 2);
+        drop(a);
+        assert_eq!(reg.active(), 1);
+        let _c = reg.lease().expect("slot freed by drop");
+    }
+
+    #[test]
+    fn montage_ids_are_returned_on_drop() {
+        let pool = pmem::PmemPool::new(pmem::PmemConfig::strict_for_test(1 << 20));
+        let esys = montage::EpochSys::format(
+            pool,
+            montage::EsysConfig {
+                max_threads: 2,
+                ..Default::default()
+            },
+        );
+        let store = Arc::new(KvStore::new(KvBackend::Montage(esys), 4, 1024));
+        // Session cap above the id-table size: the id table is the binding
+        // constraint, and churn must still never exhaust it.
+        let reg = SessionRegistry::new(store, 8);
+        for _ in 0..100 {
+            let a = reg.lease().expect("lease a");
+            let b = reg.lease().expect("lease b");
+            assert!(reg.lease().is_none(), "id table exhausted, must refuse");
+            drop(a);
+            drop(b);
+        }
+        assert_eq!(reg.active(), 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! The TCP server: accept loop, per-connection workers, and the durability
+//! boundary between socket replies and the epoch system.
+//!
+//! ## Where durability lives on the reply path
+//!
+//! Montage is *buffered* durable: an acked mutation may sit in an epoch that
+//! a crash erases (the last two epochs are always at risk). The server keeps
+//! that contract visible in the protocol:
+//!
+//! * ordinary replies (`STORED`, `DELETED`, …) promise buffered durability
+//!   only — they are written as soon as the session executes the command;
+//! * the `sync` admin command replies `SYNCED` only **after**
+//!   [`montage::EpochSys::sync`] has returned, i.e. after every mutation
+//!   acked before it has reached the persistence domain;
+//! * with [`ServerConfig::sync_every`] = N, the worker inserts that same
+//!   barrier before the reply of every Nth mutation (the paper's Fig. 9
+//!   "sync per K ops" sweep, moved to the server edge);
+//! * [`ServerHandle::shutdown`] ends with a final sync, so a clean shutdown
+//!   loses nothing; [`ServerHandle::crash`] deliberately skips it.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use kvstore::protocol::Session;
+use kvstore::KvStore;
+
+use crate::frame::{Request, RequestReader};
+use crate::registry::SessionRegistry;
+
+/// How often a blocked read wakes up to check the shutdown flag and the
+/// idle deadline.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Connection cap; the N+1th concurrent connect is answered with
+    /// `SERVER_ERROR` and closed.
+    pub max_sessions: usize,
+    /// Values above this are refused with `SERVER_ERROR object too large`.
+    pub max_value_bytes: usize,
+    /// Idle connections are dropped after this long without a byte.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// `Some(n)`: run a full epoch sync before the reply of every nth
+    /// mutation, server-wide (Fig. 9's periodic-sync mode).
+    pub sync_every: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_sessions: 64,
+            max_value_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            sync_every: None,
+        }
+    }
+}
+
+struct Shared {
+    registry: Arc<SessionRegistry>,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    /// Socket clones of live connections, keyed by connection id, so
+    /// `crash()` can sever them mid-request.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Mutations since start, for the sync-every-N barrier (server-wide,
+    /// like a log sequence number).
+    mutations: AtomicU64,
+}
+
+pub struct KvServer;
+
+impl KvServer {
+    /// Binds, spawns the accept loop, and returns a handle. Serving happens
+    /// on background threads; the caller keeps the handle to stop it.
+    pub fn start(cfg: ServerConfig, store: Arc<KvStore>) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry: SessionRegistry::new(store, cfg.max_sessions),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            mutations: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept,
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_id: u64 = 0;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let id = next_id;
+                next_id += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().unwrap().insert(id, clone);
+                }
+                let conn_shared = Arc::clone(&shared);
+                workers.push(std::thread::spawn(move || {
+                    serve_connection(stream, &conn_shared);
+                    conn_shared.conns.lock().unwrap().remove(&id);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+                // Opportunistically reap finished workers so a long-lived
+                // server doesn't accumulate join handles under churn.
+                workers.retain(|h| !h.is_finished());
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
+/// One connection: lease a thread id, frame requests, execute, reply.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let Some(lease) = shared.registry.lease() else {
+        let _ = stream.write_all(b"SERVER_ERROR too many connections\r\n");
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+
+    let store = Arc::clone(shared.registry.store());
+    let esys = store.esys().cloned();
+    let session = Session::with_tid(store, lease.tid());
+    let mut reader = RequestReader::new(shared.cfg.max_value_bytes);
+    let mut buf = [0u8; 4096];
+    let mut last_activity = Instant::now();
+
+    'conn: loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break, // peer closed
+            Ok(n) => {
+                last_activity = Instant::now();
+                reader.feed(&buf[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if last_activity.elapsed() > shared.cfg.read_timeout {
+                    break;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+
+        // Batch replies for everything framed so far: one write per read
+        // keeps pipelined clients fast.
+        let mut reply = Vec::new();
+        while let Some(req) = reader.next_request() {
+            match req {
+                Request::Cmd {
+                    line,
+                    data,
+                    noreply,
+                } => {
+                    let cmd = line.split_whitespace().next().unwrap_or("");
+                    if cmd == "quit" {
+                        let _ = stream.write_all(&reply);
+                        break 'conn;
+                    }
+                    if cmd == "sync" {
+                        // Reply only after the epoch system reports every
+                        // previously-acked mutation persistent.
+                        if let Some(esys) = &esys {
+                            esys.sync();
+                        }
+                        if !noreply {
+                            reply.extend_from_slice(b"SYNCED\r\n");
+                        }
+                        continue;
+                    }
+                    let is_mutation = matches!(cmd, "set" | "add" | "replace" | "delete" | "touch");
+                    let out = session.execute(&line, &data);
+                    if is_mutation {
+                        if let Some(n) = shared.cfg.sync_every {
+                            let seq = shared.mutations.fetch_add(1, Ordering::AcqRel) + 1;
+                            if seq.is_multiple_of(n) {
+                                if let Some(esys) = &esys {
+                                    esys.sync();
+                                }
+                            }
+                        }
+                    }
+                    if !noreply {
+                        reply.extend_from_slice(out.as_bytes());
+                        reply.extend_from_slice(b"\r\n");
+                    }
+                }
+                Request::BadDataChunk => {
+                    reply.extend_from_slice(b"CLIENT_ERROR bad data chunk\r\n");
+                }
+                Request::TooLarge => {
+                    reply.extend_from_slice(b"SERVER_ERROR object too large for cache\r\n");
+                }
+                Request::LineTooLong => {
+                    reply.extend_from_slice(b"CLIENT_ERROR line too long\r\n");
+                    let _ = stream.write_all(&reply);
+                    break 'conn;
+                }
+            }
+        }
+        if !reply.is_empty() && stream.write_all(&reply).is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    drop(lease); // returns the thread id for the next connection
+}
+
+/// Owner handle for a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live connection count.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.registry.active()
+    }
+
+    /// Graceful stop: refuse new connections, let workers finish their
+    /// in-flight request batch and exit, then run a final epoch sync so
+    /// every acked mutation is persistent.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let _ = self.accept.join(); // joins workers too
+        if let Some(esys) = self.shared.registry.store().esys() {
+            esys.sync();
+        }
+    }
+
+    /// Simulated server crash: sever every connection mid-stream and stop
+    /// all threads **without** the final sync, leaving the pool exactly as
+    /// buffered durability left it. Pair with [`pmem::PmemPool::crash`] and
+    /// [`montage::recovery::recover`] to exercise crash-restart.
+    pub fn crash(self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for (_, conn) in self.shared.conns.lock().unwrap().drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let _ = self.accept.join();
+    }
+}

@@ -1,0 +1,347 @@
+//! End-to-end wire tests: real sockets, real threads, real crash-restart.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use kvserver::{KvServer, ServerConfig, WireClient};
+use kvstore::{KvBackend, KvStore};
+use montage::{EpochSys, EsysConfig};
+use pmem::{PmemConfig, PmemPool};
+
+fn dram_server(cfg: ServerConfig) -> kvserver::ServerHandle {
+    let store = Arc::new(KvStore::new(KvBackend::Dram, 8, 100_000));
+    KvServer::start(cfg, store).expect("bind")
+}
+
+fn montage_store(max_threads: usize) -> (Arc<EpochSys>, Arc<KvStore>) {
+    let esys = EpochSys::format(
+        PmemPool::new(PmemConfig::strict_for_test(64 << 20)),
+        EsysConfig {
+            max_threads,
+            ..Default::default()
+        },
+    );
+    let store = Arc::new(KvStore::new(KvBackend::Montage(esys.clone()), 8, 100_000));
+    (esys, store)
+}
+
+#[test]
+fn roundtrip_pipelining_and_noreply() {
+    let h = dram_server(ServerConfig::default());
+    let mut c = WireClient::connect(h.addr()).unwrap();
+
+    assert_eq!(c.set("greeting", 42, b"hello").unwrap(), "STORED");
+    assert_eq!(c.get("greeting").unwrap(), Some((42, b"hello".to_vec())));
+    assert_eq!(c.delete("greeting").unwrap(), "DELETED");
+    assert_eq!(c.get("greeting").unwrap(), None);
+
+    // Several commands in one packet come back in order, one write.
+    c.send_raw(b"set a 0 0 1\r\nA\r\nset b 0 0 1\r\nB\r\nget a\r\nbogus\r\n")
+        .unwrap();
+    assert_eq!(c.read_line().unwrap(), "STORED");
+    assert_eq!(c.read_line().unwrap(), "STORED");
+    assert_eq!(c.read_line().unwrap(), "VALUE a 0 1");
+    assert_eq!(c.read_line().unwrap(), "A");
+    assert_eq!(c.read_line().unwrap(), "END");
+    assert_eq!(c.read_line().unwrap(), "ERROR");
+
+    // noreply sets produce no replies; the following get proves they ran.
+    c.set_noreply("quiet", 0, b"q1").unwrap();
+    c.set_noreply("quiet", 0, b"q2").unwrap();
+    assert_eq!(c.get("quiet").unwrap(), Some((0, b"q2".to_vec())));
+
+    c.quit().unwrap();
+    h.shutdown();
+}
+
+#[test]
+fn framing_survives_hostile_packetisation() {
+    let h = dram_server(ServerConfig::default());
+    let mut c = WireClient::connect(h.addr()).unwrap();
+    let pause = Duration::from_millis(60); // > one server poll interval
+
+    // Command line split mid-token, data block split mid-value, CRLF split
+    // between CR and LF — each flushed as its own packet.
+    for chunk in [
+        &b"set spl"[..],
+        b"it 7 0 5\r\nhe",
+        b"llo\r",
+        b"\nget split\r\n",
+    ] {
+        c.send_raw(chunk).unwrap();
+        std::thread::sleep(pause);
+    }
+    assert_eq!(c.read_line().unwrap(), "STORED");
+    assert_eq!(c.read_line().unwrap(), "VALUE split 7 5");
+    assert_eq!(c.read_line().unwrap(), "hello");
+    assert_eq!(c.read_line().unwrap(), "END");
+
+    // Bare-\n endings (printf | nc without \r).
+    c.send_raw(b"set bare 0 0 2\nok\nget bare\n").unwrap();
+    assert_eq!(c.read_line().unwrap(), "STORED");
+    assert_eq!(c.read_line().unwrap(), "VALUE bare 0 2");
+    assert_eq!(c.read_line().unwrap(), "ok");
+    assert_eq!(c.read_line().unwrap(), "END");
+
+    // Data longer than announced: error reply, then resync on next command.
+    c.send_raw(b"set bad 0 0 2\r\nabcdef\r\nget bare\r\n")
+        .unwrap();
+    assert_eq!(c.read_line().unwrap(), "CLIENT_ERROR bad data chunk");
+    assert_eq!(c.read_line().unwrap(), "VALUE bare 0 2");
+    assert_eq!(c.read_line().unwrap(), "ok");
+    assert_eq!(c.read_line().unwrap(), "END");
+
+    // Unknown command.
+    c.send_raw(b"frobnicate now\r\n").unwrap();
+    assert_eq!(c.read_line().unwrap(), "ERROR");
+
+    c.quit().unwrap();
+    h.shutdown();
+}
+
+#[test]
+fn oversized_value_is_refused_without_buffering() {
+    let h = dram_server(ServerConfig {
+        max_value_bytes: 1024,
+        ..Default::default()
+    });
+    let mut c = WireClient::connect(h.addr()).unwrap();
+    let r = c.set("big", 0, &vec![b'x'; 10_000]).unwrap();
+    assert_eq!(r, "SERVER_ERROR object too large for cache");
+    // The connection stays usable afterwards.
+    assert_eq!(c.set("small", 0, b"fits").unwrap(), "STORED");
+    assert_eq!(c.get("big").unwrap(), None);
+    c.quit().unwrap();
+    h.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped() {
+    let h = dram_server(ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        ..Default::default()
+    });
+    let mut c = WireClient::connect(h.addr()).unwrap();
+    assert_eq!(c.set("k", 0, b"v").unwrap(), "STORED");
+    std::thread::sleep(Duration::from_millis(600));
+    // Server hung up; the next read sees EOF (or a reset).
+    assert!(c.read_line().is_err(), "idle connection should be closed");
+    h.shutdown();
+}
+
+#[test]
+fn churn_beyond_max_threads_reuses_ids() {
+    // Only 2 Montage thread ids exist; 40 sequential connections must all
+    // succeed because disconnects return ids to the pool.
+    let (_esys, store) = montage_store(2);
+    let h = KvServer::start(ServerConfig::default(), store).expect("bind");
+    for i in 0..40 {
+        let mut c = WireClient::connect(h.addr()).unwrap();
+        assert_eq!(
+            c.set("churn", 0, format!("v{i}").as_bytes()).unwrap(),
+            "STORED"
+        );
+        let (_, v) = c.get("churn").unwrap().expect("hit");
+        assert_eq!(v, format!("v{i}").as_bytes());
+        c.quit().unwrap();
+        // Give the server a beat to retire the worker and free the id.
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(h.active_sessions(), 0);
+    h.shutdown();
+}
+
+#[test]
+fn over_capacity_connect_is_refused_then_recovers() {
+    let (_esys, store) = montage_store(2);
+    let h = KvServer::start(
+        ServerConfig {
+            max_sessions: 2,
+            ..Default::default()
+        },
+        store,
+    )
+    .expect("bind");
+
+    let mut a = WireClient::connect(h.addr()).unwrap();
+    let mut b = WireClient::connect(h.addr()).unwrap();
+    assert_eq!(a.set("ka", 0, b"1").unwrap(), "STORED");
+    assert_eq!(b.set("kb", 0, b"2").unwrap(), "STORED");
+
+    // Third concurrent connection: polite refusal, no panic, no leaked id.
+    let mut c = WireClient::connect(h.addr()).unwrap();
+    assert_eq!(c.read_line().unwrap(), "SERVER_ERROR too many connections");
+
+    // Freeing one slot lets a new connection in.
+    a.quit().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut d = loop {
+        std::thread::sleep(Duration::from_millis(20));
+        let mut d = WireClient::connect(h.addr()).unwrap();
+        match d.set("kd", 0, b"4") {
+            Ok(r) if r == "STORED" => break d,
+            _ if std::time::Instant::now() < deadline => continue,
+            other => panic!("slot never freed: {other:?}"),
+        }
+    };
+    assert_eq!(d.get("kd").unwrap(), Some((0, b"4".to_vec())));
+    h.shutdown();
+}
+
+#[test]
+fn sync_every_n_advances_epochs() {
+    let (esys, store) = montage_store(4);
+    let h = KvServer::start(
+        ServerConfig {
+            sync_every: Some(4),
+            ..Default::default()
+        },
+        store,
+    )
+    .expect("bind");
+    let before = esys.curr_epoch();
+    let mut c = WireClient::connect(h.addr()).unwrap();
+    for i in 0..8 {
+        assert_eq!(c.set("k", 0, format!("v{i}").as_bytes()).unwrap(), "STORED");
+    }
+    // 8 mutations at N=4 → at least two syncs → the clock moved ≥ 4 ticks.
+    let after = esys.curr_epoch();
+    assert!(after >= before + 4, "epoch {before} -> {after}");
+    c.quit().unwrap();
+    h.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_persists_acked_writes() {
+    let (esys, store) = montage_store(4);
+    let h = KvServer::start(ServerConfig::default(), store).expect("bind");
+    let mut c = WireClient::connect(h.addr()).unwrap();
+    assert_eq!(c.set("durable", 9, b"kept").unwrap(), "STORED");
+    drop(c);
+    h.shutdown(); // ends with a full epoch sync
+
+    let rec = montage::recovery::recover(esys.pool().crash(), EsysConfig::default(), 2);
+    let kv2 = Arc::new(KvStore::recover(rec.esys.clone(), 8, 100_000, &rec));
+    let h2 = KvServer::start(ServerConfig::default(), kv2).expect("bind");
+    let mut c2 = WireClient::connect(h2.addr()).unwrap();
+    assert_eq!(c2.get("durable").unwrap(), Some((9, b"kept".to_vec())));
+    h2.shutdown();
+}
+
+/// The headline test: concurrent clients stream writes with periodic
+/// explicit syncs, the server crashes mid-flight, and the recovered store
+/// must hold a **consistent prefix** — for each client, a value no older
+/// than its last synced write, never torn, never phantom.
+#[test]
+fn crash_restart_recovers_consistent_prefix() {
+    const WRITERS: usize = 3;
+    const SYNC_EVERY: u64 = 8;
+
+    let (esys, store) = montage_store(WRITERS + 2);
+    let h = KvServer::start(ServerConfig::default(), store).expect("bind");
+    let addr = h.addr();
+
+    fn checksum(t: usize, c: u64) -> u64 {
+        (t as u64).wrapping_mul(1_000_003) ^ c.wrapping_mul(17)
+    }
+
+    let last_synced: Arc<Vec<AtomicU64>> =
+        Arc::new((0..WRITERS).map(|_| AtomicU64::new(0)).collect());
+    let last_acked: Arc<Vec<AtomicU64>> =
+        Arc::new((0..WRITERS).map(|_| AtomicU64::new(0)).collect());
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let synced = Arc::clone(&last_synced);
+            let acked = Arc::clone(&last_acked);
+            std::thread::spawn(move || {
+                let mut c = match WireClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                let key = format!("writer{t}");
+                for i in 1u64.. {
+                    let val = format!("t{t}:c{i}:{}", checksum(t, i));
+                    match c.set(&key, 0, val.as_bytes()) {
+                        Ok(r) if r == "STORED" => acked[t].store(i, Ordering::Release),
+                        _ => return, // server crashed under us
+                    }
+                    if i % SYNC_EVERY == 0 {
+                        if c.sync().is_err() {
+                            return;
+                        }
+                        synced[t].store(i, Ordering::Release);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Crash only after every writer has at least one synced write, so the
+    // "nothing synced may be lost" assertion has teeth.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while last_synced.iter().any(|s| s.load(Ordering::Acquire) == 0) {
+        assert!(std::time::Instant::now() < deadline, "writers never synced");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(100)); // let more writes pile up
+    h.crash(); // sever connections, no final sync
+    for w in writers {
+        w.join().unwrap();
+    }
+
+    // Restart on the durable image.
+    let rec = montage::recovery::recover(esys.pool().crash(), EsysConfig::default(), 2);
+    let kv2 = Arc::new(KvStore::recover(rec.esys.clone(), 8, 100_000, &rec));
+    let recovered_len = kv2.len();
+    let h2 = KvServer::start(ServerConfig::default(), kv2).expect("bind");
+    let mut c2 = WireClient::connect(h2.addr()).unwrap();
+
+    let mut found = 0;
+    for t in 0..WRITERS {
+        let synced = last_synced[t].load(Ordering::Acquire);
+        let acked = last_acked[t].load(Ordering::Acquire);
+        match c2.get(&format!("writer{t}")).unwrap() {
+            Some((_, raw)) => {
+                found += 1;
+                // Not torn: the value must parse and checksum exactly.
+                let s = String::from_utf8(raw).expect("torn value: not utf8");
+                let mut parts = s.split(':');
+                let tt: usize = parts
+                    .next()
+                    .unwrap()
+                    .strip_prefix('t')
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                let cc: u64 = parts
+                    .next()
+                    .unwrap()
+                    .strip_prefix('c')
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                let sum: u64 = parts.next().unwrap().parse().unwrap();
+                assert_eq!(tt, t, "value landed under the wrong key");
+                assert_eq!(sum, checksum(t, cc), "torn value: checksum mismatch");
+                // Consistent prefix: at least the last synced write, at most
+                // one past the last acked (a set may have been in flight).
+                assert!(
+                    cc >= synced,
+                    "writer {t}: synced c{synced} lost, recovered c{cc}"
+                );
+                assert!(
+                    cc <= acked + 1,
+                    "writer {t}: phantom future write c{cc} (acked c{acked})"
+                );
+            }
+            None => {
+                assert_eq!(synced, 0, "writer {t}: synced write vanished entirely");
+            }
+        }
+    }
+    // No phantom keys: the store holds exactly the writers' keys we found.
+    assert_eq!(recovered_len, found, "phantom items survived the crash");
+    h2.shutdown();
+}

@@ -127,6 +127,34 @@ impl KvStore {
         }
     }
 
+    /// Fallible worker registration for connection-oriented front-ends:
+    /// `None` means the Montage thread table is fully leased (the caller
+    /// should reject the session rather than panic). Transient backends have
+    /// no per-thread state, so registration always succeeds with id 0.
+    pub fn try_register_thread(&self) -> Option<usize> {
+        match &self.backend {
+            KvBackend::Montage(esys) => esys.try_register_thread().map(|t| t.0),
+            _ => Some(0),
+        }
+    }
+
+    /// Returns a worker id leased via [`KvStore::try_register_thread`] (or
+    /// [`KvStore::register_thread`]) so a later session can reuse it.
+    pub fn unregister_thread(&self, tid: usize) {
+        if let KvBackend::Montage(esys) = &self.backend {
+            esys.unregister_thread(ThreadId(tid));
+        }
+    }
+
+    /// The epoch system backing a [`KvBackend::Montage`] store, if any —
+    /// where a serving layer reaches `sync()` for client-visible durability.
+    pub fn esys(&self) -> Option<&Arc<EpochSys>> {
+        match &self.backend {
+            KvBackend::Montage(esys) => Some(esys),
+            _ => None,
+        }
+    }
+
     fn index(&self, key: &Key) -> usize {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);

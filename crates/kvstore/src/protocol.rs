@@ -18,25 +18,36 @@ use crate::{Key, KvStore};
 
 const META: usize = 12; // flags u32 + expires_at_ms u64
 
+/// Source of "now" (ms since the Unix epoch) for item expiry. Injectable so
+/// expiry is deterministic under test; the default is the wall clock.
+pub trait Clock: Send + Sync {
+    fn now_ms(&self) -> u64;
+}
+
+/// The wall clock.
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_millis() as u64
+    }
+}
+
 /// One client session (carries the worker's thread id).
 pub struct Session {
     store: Arc<KvStore>,
     tid: usize,
+    clock: Arc<dyn Clock>,
 }
 
-/// Milliseconds since the epoch (0 = never expires).
-fn now_ms() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .unwrap_or_default()
-        .as_millis() as u64
-}
-
-fn make_item(flags: u32, exptime_s: u64, data: &[u8]) -> Vec<u8> {
+fn make_item(flags: u32, exptime_s: u64, data: &[u8], now_ms: u64) -> Vec<u8> {
     let expires_at = if exptime_s == 0 {
         0
     } else {
-        now_ms() + exptime_s * 1000
+        now_ms + exptime_s * 1000
     };
     let mut v = Vec::with_capacity(META + data.len());
     v.extend_from_slice(&flags.to_le_bytes());
@@ -64,7 +75,29 @@ fn key_of(s: &str) -> Result<Key, String> {
 impl Session {
     pub fn new(store: Arc<KvStore>) -> Self {
         let tid = store.register_thread();
-        Session { store, tid }
+        Session::with_tid(store, tid)
+    }
+
+    /// Wraps an already-leased worker id (the server's session registry
+    /// leases ids per connection and returns them on disconnect; the
+    /// session does not own the id).
+    pub fn with_tid(store: Arc<KvStore>, tid: usize) -> Self {
+        Session {
+            store,
+            tid,
+            clock: Arc::new(SystemClock),
+        }
+    }
+
+    /// Replaces the expiry clock (deterministic tests).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The worker id this session operates as.
+    pub fn tid(&self) -> usize {
+        self.tid
     }
 
     /// Executes one command line. Storage commands (`set`/`add`/`replace`)
@@ -90,7 +123,7 @@ impl Session {
     fn fetch(&self, key: &Key) -> Option<(u32, Vec<u8>)> {
         let item = self.store.get(self.tid, key, parse_item)?;
         let (flags, expires_at, data) = item;
-        if expires_at != 0 && expires_at <= now_ms() {
+        if expires_at != 0 && expires_at <= self.clock.now_ms() {
             self.store.delete(self.tid, key);
             return None;
         }
@@ -102,8 +135,12 @@ impl Session {
         for karg in args {
             let Ok(key) = key_of(karg) else { continue };
             if let Some((flags, data)) = self.fetch(&key) {
-                out.push_str(&format!("VALUE {karg} {flags} {}\r\n", data.len()));
-                out.push_str(&String::from_utf8_lossy(&data));
+                // Replies travel as UTF-8; announce the length of the bytes
+                // actually emitted so non-UTF-8 values (lossily transcoded)
+                // cannot desync a wire client's framing.
+                let text = String::from_utf8_lossy(&data);
+                out.push_str(&format!("VALUE {karg} {flags} {}\r\n", text.len()));
+                out.push_str(&text);
                 out.push_str("\r\n");
             }
         }
@@ -135,8 +172,11 @@ impl Session {
             "replace" if !exists => return "NOT_STORED".into(),
             _ => {}
         }
-        self.store
-            .set(self.tid, key, &make_item(flags, exptime, data));
+        self.store.set(
+            self.tid,
+            key,
+            &make_item(flags, exptime, data, self.clock.now_ms()),
+        );
         "STORED".into()
     }
 
@@ -164,8 +204,11 @@ impl Session {
         };
         match self.fetch(&key) {
             Some((flags, data)) => {
-                self.store
-                    .set(self.tid, key, &make_item(flags, exptime, &data));
+                self.store.set(
+                    self.tid,
+                    key,
+                    &make_item(flags, exptime, &data, self.clock.now_ms()),
+                );
                 "TOUCHED".into()
             }
             None => "NOT_FOUND".into(),
@@ -191,6 +234,20 @@ mod tests {
         let r = s.execute("get greeting", b"");
         assert!(r.starts_with("VALUE greeting 42 5\r\nhello\r\n"), "{r}");
         assert!(r.ends_with("END"));
+    }
+
+    #[test]
+    fn non_utf8_value_announces_emitted_length() {
+        let s = session(KvBackend::Dram);
+        // 0xAB is invalid UTF-8: each byte becomes U+FFFD (3 bytes) in the
+        // reply. The VALUE header must count the emitted bytes, or a wire
+        // client reading exactly <len> bytes desyncs.
+        assert_eq!(s.execute("set bin 0 0 2", &[0xAB, 0xAB]), "STORED");
+        let r = s.execute("get bin", b"");
+        let header_end = r.find("\r\n").unwrap();
+        let announced: usize = r[..header_end].rsplit(' ').next().unwrap().parse().unwrap();
+        let body = &r[header_end + 2..r.len() - "\r\nEND".len()];
+        assert_eq!(announced, body.len(), "{r:?}");
     }
 
     #[test]
@@ -248,6 +305,38 @@ mod tests {
         s.execute("set fresh 0 0 4", b"data");
         assert!(s.execute("get fresh", b"").contains("data"));
         assert_eq!(s.execute("touch fresh 100", b""), "TOUCHED");
+    }
+
+    #[test]
+    fn injected_clock_makes_expiry_deterministic() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        struct MockClock(AtomicU64);
+        impl Clock for MockClock {
+            fn now_ms(&self) -> u64 {
+                self.0.load(Ordering::Relaxed)
+            }
+        }
+
+        let clock = Arc::new(MockClock(AtomicU64::new(1_000_000)));
+        let s = session(KvBackend::Dram).with_clock(clock.clone());
+        assert_eq!(s.execute("set k 0 10 1", b"x"), "STORED");
+        // 9.999s later: still live.
+        clock.0.store(1_000_000 + 9_999, Ordering::Relaxed);
+        assert!(s.execute("get k", b"").contains("VALUE k"));
+        // touch extends the deadline from *now*.
+        assert_eq!(s.execute("touch k 10", b""), "TOUCHED");
+        clock.0.store(1_000_000 + 19_998, Ordering::Relaxed);
+        assert!(s.execute("get k", b"").contains("VALUE k"));
+        // One ms past the touched deadline: lazily expired everywhere.
+        clock.0.store(1_000_000 + 19_999, Ordering::Relaxed);
+        assert_eq!(s.execute("get k", b""), "END");
+        assert_eq!(s.execute("touch k 10", b""), "NOT_FOUND");
+        assert_eq!(s.execute("delete k", b""), "NOT_FOUND", "lazy delete ran");
+        // exptime 0 never expires.
+        s.execute("set forever 0 0 1", b"y");
+        clock.0.store(u64::MAX / 2, Ordering::Relaxed);
+        assert!(s.execute("get forever", b"").contains("VALUE forever"));
     }
 
     #[test]

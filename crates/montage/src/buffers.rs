@@ -513,9 +513,9 @@ mod tests {
         for i in 0..5u64 {
             b.push_persist(&p, 0, 10, POff::new(4096 + i * 128), 64);
         }
-        let before = p.stats().snapshot().0;
+        let before = p.stats().snapshot().clwbs;
         b.drain_persist(&p, 0, 10);
-        let after = p.stats().snapshot().0;
+        let after = p.stats().snapshot().clwbs;
         assert_eq!(after - before, 5, "five single-line payloads flushed");
         assert_eq!(b.min_pending(0), u64::MAX);
     }
@@ -526,10 +526,10 @@ mod tests {
         let b = Buffers::new(1, 2);
         b.push_persist(&p, 0, 4, POff::new(4096), 64);
         b.push_persist(&p, 0, 4, POff::new(8192), 64);
-        assert_eq!(p.stats().snapshot().0, 0, "no flush below capacity");
+        assert_eq!(p.stats().snapshot().clwbs, 0, "no flush below capacity");
         b.push_persist(&p, 0, 4, POff::new(12288), 64);
         assert_eq!(
-            p.stats().snapshot().0,
+            p.stats().snapshot().clwbs,
             1,
             "overflow flushes the oldest entry"
         );
@@ -591,10 +591,10 @@ mod tests {
             b.push_persist(&p, 0, 4, POff::new(4096), 64);
         }
         assert_eq!(b.coalesced_lines(0), 5, "five of six pushes coalesced");
-        let before = p.stats().snapshot().0;
+        let before = p.stats().snapshot().clwbs;
         b.drain_persist(&p, 0, 4);
         assert_eq!(
-            p.stats().snapshot().0 - before,
+            p.stats().snapshot().clwbs - before,
             1,
             "one clwb covers all six"
         );
@@ -611,10 +611,10 @@ mod tests {
         // Growing the extent is NOT covered and must enqueue.
         b.push_persist(&p, 0, 4, POff::new(4096), 256);
         assert_eq!(b.coalesced_lines(0), 1);
-        let before = p.stats().snapshot().0;
+        let before = p.stats().snapshot().clwbs;
         b.drain_persist(&p, 0, 4);
         // Entry 1 (3 lines) + entry 3 (4 lines).
-        assert_eq!(p.stats().snapshot().0 - before, 7);
+        assert_eq!(p.stats().snapshot().clwbs - before, 7);
     }
 
     #[test]
@@ -627,9 +627,9 @@ mod tests {
         // must enqueue again (the table entry's epoch tag misses).
         b.push_persist(&p, 0, 5, POff::new(4096), 64);
         assert_eq!(b.coalesced_lines(0), 0);
-        let before = p.stats().snapshot().0;
+        let before = p.stats().snapshot().clwbs;
         b.drain_persist(&p, 0, 5);
-        assert_eq!(p.stats().snapshot().0 - before, 1);
+        assert_eq!(p.stats().snapshot().clwbs - before, 1);
     }
 
     #[test]
@@ -641,7 +641,7 @@ mod tests {
         b.push_persist(&p, 0, 4, POff::new(8192), 64);
         // Overflow pops `hot` (the oldest) and writes it back early...
         b.push_persist(&p, 0, 4, POff::new(12288), 64);
-        assert_eq!(p.stats().snapshot().0, 1);
+        assert_eq!(p.stats().snapshot().clwbs, 1);
         // ...so a new same-epoch push of `hot` must NOT coalesce against the
         // now-dead entry: it must re-enter the ring to reach the boundary.
         b.push_persist(&p, 0, 4, hot, 64);
@@ -651,11 +651,11 @@ mod tests {
             "stale table entry must not coalesce"
         );
         // That re-push overflows again, writing back 8192's entry.
-        assert_eq!(p.stats().snapshot().0, 2);
-        let before = p.stats().snapshot().0;
+        assert_eq!(p.stats().snapshot().clwbs, 2);
+        let before = p.stats().snapshot().clwbs;
         b.drain_persist(&p, 0, 4);
         assert_eq!(
-            p.stats().snapshot().0 - before,
+            p.stats().snapshot().clwbs - before,
             2,
             "12288 and the re-pushed hot line"
         );
@@ -676,7 +676,7 @@ mod tests {
             assert_eq!(b.min_pending(0), u64::MAX);
         }
         // 16 distinct lines per round: 12 overflow + 4 drained = 16 clwbs.
-        assert_eq!(p.stats().snapshot().0, 1600);
+        assert_eq!(p.stats().snapshot().clwbs, 1600);
     }
 
     #[test]
@@ -738,7 +738,7 @@ mod tests {
         // Exactly-once: ROUNDS × PER_ROUND distinct lines, one clwb each —
         // nothing lost, nothing double-flushed. (Ring capacity 256 > 200
         // per epoch means no overflow write-backs muddy the count.)
-        assert_eq!(p.stats().snapshot().0, ROUNDS * PER_ROUND);
+        assert_eq!(p.stats().snapshot().clwbs, ROUNDS * PER_ROUND);
     }
 
     #[test]
@@ -866,7 +866,7 @@ mod tests {
                 b.wait_drainers(0);
                 // Fence point: empty rings + no in-flight drain pass ⇒ every
                 // line pushed so far had its clwb issued, exactly once.
-                assert_eq!(p.stats().snapshot().0, (r + 1) * PER_ROUND);
+                assert_eq!(p.stats().snapshot().clwbs, (r + 1) * PER_ROUND);
                 go.store(r + 1, Ordering::Release);
             }
             stop.store(true, Ordering::Release);

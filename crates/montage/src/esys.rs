@@ -83,6 +83,10 @@ pub struct EpochSys {
     /// hint that makes workers help with write-back in `BEGIN_OP`.
     sync_requested: AtomicU64,
     next_tid: AtomicUsize,
+    /// Thread ids handed back via [`EpochSys::unregister_thread`], available
+    /// for reuse. Lets connection-oriented front-ends lease ids per session
+    /// without exhausting the `max_threads` table under churn.
+    free_tids: Mutex<Vec<usize>>,
     uid_block: AtomicU64,
     uids: Box<[CachePadded<PerThreadUid>]>,
     last_epoch: Box<[CachePadded<AtomicU64>]>,
@@ -120,6 +124,7 @@ impl EpochSys {
             advance_lock: Mutex::new(()),
             sync_requested: AtomicU64::new(0),
             next_tid: AtomicUsize::new(0),
+            free_tids: Mutex::new(Vec::new()),
             uid_block: AtomicU64::new(uid_base),
             uids: (0..cfg.max_threads)
                 .map(|_| {
@@ -179,13 +184,56 @@ impl EpochSys {
     /// Registers the calling thread, returning its id. Panics when
     /// `max_threads` is exceeded.
     pub fn register_thread(&self) -> ThreadId {
-        let tid = self.next_tid.fetch_add(1, Ordering::AcqRel);
-        assert!(
-            tid < self.cfg.max_threads,
-            "more than max_threads={} threads registered",
-            self.cfg.max_threads
+        self.try_register_thread().unwrap_or_else(|| {
+            panic!(
+                "more than max_threads={} threads registered",
+                self.cfg.max_threads
+            )
+        })
+    }
+
+    /// Like [`EpochSys::register_thread`] but returns `None` instead of
+    /// panicking when all `max_threads` ids are currently leased. Ids handed
+    /// back via [`EpochSys::unregister_thread`] are reused.
+    pub fn try_register_thread(&self) -> Option<ThreadId> {
+        if let Some(tid) = self.free_tids.lock().pop() {
+            return Some(ThreadId(tid));
+        }
+        // CAS loop (rather than fetch_add) so repeated over-capacity attempts
+        // never push next_tid past max_threads: the counter stays an exact
+        // high-water mark and `registered()` an exact drain bound.
+        let mut cur = self.next_tid.load(Ordering::Acquire);
+        loop {
+            if cur >= self.cfg.max_threads {
+                return None;
+            }
+            match self.next_tid.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(ThreadId(cur)),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Returns a leased id to the free pool. The caller must have finished
+    /// every operation on `tid` (no live [`OpGuard`]); buffered write-backs
+    /// the thread left behind are still drained by the epoch advancer, so an
+    /// id can be re-leased immediately without losing durability of its past
+    /// work.
+    pub fn unregister_thread(&self, tid: ThreadId) {
+        debug_assert!(tid.0 < self.cfg.max_threads, "unregister of bogus tid");
+        debug_assert_eq!(
+            self.tracker.load(tid.0),
+            IDLE,
+            "unregister_thread with an operation in flight"
         );
-        ThreadId(tid)
+        let mut free = self.free_tids.lock();
+        debug_assert!(!free.contains(&tid.0), "double unregister of {tid:?}");
+        free.push(tid.0);
     }
 
     fn registered(&self) -> usize {
@@ -771,7 +819,7 @@ mod tests {
         s.advance_epoch();
         assert_eq!(s.curr_epoch(), e0 + 2);
         // After two advances, the payload's write-back has been issued.
-        assert!(s.pool().stats().snapshot().0 > 0);
+        assert!(s.pool().stats().snapshot().clwbs > 0);
     }
 
     #[test]
@@ -888,7 +936,9 @@ mod tests {
         }
         s.advance_epoch();
         s.sync();
-        let (clwbs, fences, _) = s.pool().stats().snapshot();
+        let snap = s.pool().stats().snapshot();
+        let clwbs = snap.clwbs;
+        let fences = snap.sfences;
         // Formatting issued a handful; ops must add none beyond ralloc's
         // superblock carve (1 flush-pair).
         assert!(clwbs <= 6, "transient mode flushed {clwbs} lines");
@@ -902,12 +952,12 @@ mod tests {
             ..Default::default()
         });
         let tid = s.register_thread();
-        let before = s.pool().stats().snapshot().0;
+        let before = s.pool().stats().snapshot().clwbs;
         {
             let g = s.begin_op(tid);
             let _ = s.pnew(&g, 0, &[0u8; 256]);
         }
-        let after = s.pool().stats().snapshot().0;
+        let after = s.pool().stats().snapshot().clwbs;
         assert!(after > before, "DirWB writes back at the operation");
     }
 
@@ -921,7 +971,7 @@ mod tests {
             let g = s.begin_op(tid);
             let _ = s.pnew(&g, 0, &0u64);
         }
-        let base = s.pool().stats().snapshot().0;
+        let base = s.pool().stats().snapshot().clwbs;
         {
             let g = s.begin_op(tid);
             for i in 0..10u64 {
@@ -929,13 +979,13 @@ mod tests {
             }
         }
         assert_eq!(
-            s.pool().stats().snapshot().0,
+            s.pool().stats().snapshot().clwbs,
             base,
             "no flush before boundary"
         );
         s.advance_epoch();
         s.advance_epoch();
-        assert!(s.pool().stats().snapshot().0 > base);
+        assert!(s.pool().stats().snapshot().clwbs > base);
     }
 
     #[test]
@@ -950,7 +1000,7 @@ mod tests {
         }
         s.advance_epoch();
         s.advance_epoch();
-        let base = s.pool().stats().snapshot().0;
+        let base = s.pool().stats().snapshot().clwbs;
         let blk = {
             let g = s.begin_op(tid);
             let mut h = s.pnew(&g, 0, &0u64);
@@ -966,7 +1016,7 @@ mod tests {
         // The nine same-extent writes (PNEW + 8 in-place sets) boil down to
         // ONE buffered entry; the only other flushes are the two boundary
         // clock-line write-backs.
-        assert_eq!(s.pool().stats().snapshot().0 - base, payload_lines + 2);
+        assert_eq!(s.pool().stats().snapshot().clwbs - base, payload_lines + 2);
         assert_eq!(
             s.stats().flushes_coalesced.load(Ordering::Relaxed),
             8 * payload_lines,
@@ -978,7 +1028,7 @@ mod tests {
     fn buffer_overflow_writes_back_incrementally() {
         let s = sys(EsysConfig::buffered(2));
         let tid = s.register_thread();
-        let base = s.pool().stats().snapshot().0;
+        let base = s.pool().stats().snapshot().clwbs;
         {
             let g = s.begin_op(tid);
             for i in 0..5u64 {
@@ -986,7 +1036,7 @@ mod tests {
             }
         }
         assert!(
-            s.pool().stats().snapshot().0 > base,
+            s.pool().stats().snapshot().clwbs > base,
             "overflowing a 2-entry buffer must write back incrementally"
         );
     }
@@ -1014,6 +1064,78 @@ mod tests {
                 assert!(all.insert(uid), "duplicate uid");
             }
         }
+    }
+
+    #[test]
+    fn thread_ids_are_reusable_after_unregister() {
+        let s = sys(EsysConfig {
+            max_threads: 4,
+            ..Default::default()
+        });
+        // Lease every id, return them all, and lease again: no panic, and
+        // the full set is reissued.
+        let first: Vec<ThreadId> = (0..4).map(|_| s.register_thread()).collect();
+        assert!(s.try_register_thread().is_none(), "table exhausted");
+        for &tid in &first {
+            s.unregister_thread(tid);
+        }
+        let mut again: Vec<usize> = (0..4).map(|_| s.register_thread().0).collect();
+        again.sort_unstable();
+        assert_eq!(again, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reused_tid_still_persists_prior_work() {
+        let s = sys(EsysConfig::default());
+        // Session 1 leases an id, buffers a payload, disconnects without any
+        // sync of its own.
+        let t = s.register_thread();
+        let h = {
+            let g = s.begin_op(t);
+            s.pnew(&g, 9, &41u64)
+        };
+        s.unregister_thread(t);
+        // Session 2 reuses the id; a later sync must still cover session 1's
+        // buffered write-back.
+        let t2 = s.register_thread();
+        assert_eq!(t2, t, "freed id is reused");
+        {
+            let g = s.begin_op(t2);
+            let _ = s.set(&g, h, |v| *v += 1).unwrap();
+        }
+        s.sync();
+        let rec = crate::recovery::recover(s.pool().crash(), EsysConfig::default(), 1);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.read::<u64>(&rec.shards[0][0]), 42);
+    }
+
+    #[test]
+    fn concurrent_lease_churn_never_duplicates_ids() {
+        let s = sys(EsysConfig {
+            max_threads: 8,
+            ..Default::default()
+        });
+        let held = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        std::thread::scope(|sc| {
+            for _ in 0..4 {
+                let s = s.clone();
+                let held = held.clone();
+                sc.spawn(move || {
+                    for _ in 0..200 {
+                        let Some(tid) = s.try_register_thread() else {
+                            continue;
+                        };
+                        assert!(held.lock().insert(tid.0), "id {tid:?} double-leased");
+                        {
+                            let g = s.begin_op(tid);
+                            let _ = s.pnew(&g, 0, &1u64);
+                        }
+                        assert!(held.lock().remove(&tid.0));
+                        s.unregister_thread(tid);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -50,4 +50,4 @@ mod stats;
 pub use config::{ChaosConfig, LatencyModel, PmemConfig, PmemMode};
 pub use layout::{line_of, lines_spanned, POff, CACHE_LINE, ROOT_AREA_SIZE, ROOT_SLOTS};
 pub use pool::PmemPool;
-pub use stats::PmemStats;
+pub use stats::{PmemStats, StatsSnapshot};

@@ -538,7 +538,9 @@ mod tests {
             p.clwb(off);
         }
         p.sfence();
-        let (clwbs, _, drained) = p.stats().snapshot();
+        let snap = p.stats().snapshot();
+        let clwbs = snap.clwbs;
+        let drained = snap.lines_drained;
         assert_eq!(clwbs, 5, "every issued clwb is counted");
         assert_eq!(drained, 1, "the fence drains the dirty line once");
         let p2 = p.crash();
@@ -552,7 +554,10 @@ mod tests {
         unsafe { p.write(off, &1u64) };
         p.clwb_range(off, 200); // 4 lines
         p.sfence();
-        let (clwbs, fences, drained) = p.stats().snapshot();
+        let snap = p.stats().snapshot();
+        let clwbs = snap.clwbs;
+        let fences = snap.sfences;
+        let drained = snap.lines_drained;
         assert_eq!(clwbs, 4);
         assert_eq!(fences, 1);
         assert_eq!(drained, 4);
@@ -585,7 +590,7 @@ mod tests {
         let off = POff::new(4096);
         unsafe { p.write(off, &1u64) };
         p.persist_range(off, 8);
-        assert_eq!(p.stats().snapshot().0, 1);
+        assert_eq!(p.stats().snapshot().clwbs, 1);
     }
 
     #[test]

@@ -33,14 +33,25 @@ impl PmemStats {
         self.crashes.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot of (clwbs, sfences, lines_drained).
-    pub fn snapshot(&self) -> (u64, u64, u64) {
-        (
-            self.clwbs.load(Ordering::Relaxed),
-            self.sfences.load(Ordering::Relaxed),
-            self.lines_drained.load(Ordering::Relaxed),
-        )
+    /// A labelled point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            clwbs: self.clwbs.load(Ordering::Relaxed),
+            sfences: self.sfences.load(Ordering::Relaxed),
+            lines_drained: self.lines_drained.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+        }
     }
+}
+
+/// A point-in-time copy of [`PmemStats`], with every counter named (the
+/// former positional `(u64, u64, u64)` tuple silently omitted `crashes`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub clwbs: u64,
+    pub sfences: u64,
+    pub lines_drained: u64,
+    pub crashes: u64,
 }
 
 #[cfg(test)]
@@ -53,6 +64,15 @@ mod tests {
         s.on_clwb();
         s.on_clwb();
         s.on_sfence(5);
-        assert_eq!(s.snapshot(), (2, 1, 5));
+        s.on_crash();
+        assert_eq!(
+            s.snapshot(),
+            StatsSnapshot {
+                clwbs: 2,
+                sfences: 1,
+                lines_drained: 5,
+                crashes: 1,
+            }
+        );
     }
 }

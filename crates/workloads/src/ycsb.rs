@@ -1,38 +1,53 @@
-//! YCSB-A (Cooper et al.): 50% reads / 50% updates over a Zipfian-popular
-//! record set — the workload of the paper's memcached experiment (Fig. 10:
-//! "1 M records, 2.5 M read and 2.5 M update operations, evenly distributed
-//! across threads").
+//! YCSB core workloads (Cooper et al.) over a Zipfian-popular record set:
+//! **A** (50% reads / 50% updates) is the workload of the paper's memcached
+//! experiment (Fig. 10: "1 M records, 2.5 M read and 2.5 M update
+//! operations, evenly distributed across threads"); **B** (95% reads / 5%
+//! updates) is the read-mostly companion the wire benchmarks also report.
 
 use crate::zipfian::{KeyDist, KeySampler};
 use rand::Rng;
 
-/// One YCSB-A operation.
+/// One YCSB operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum YcsbOp {
     Read(u64),
     Update(u64),
 }
 
-/// Per-thread YCSB-A stream.
-pub struct YcsbAWorkload {
+/// Per-thread YCSB read/update stream with a configurable read fraction.
+pub struct YcsbWorkload {
     sampler: KeySampler,
     remaining: u64,
+    read_permille: u32,
 }
 
-impl YcsbAWorkload {
+impl YcsbWorkload {
     pub const RECORDS: u64 = 1_000_000;
     pub const OPS: u64 = 5_000_000;
 
-    /// `ops` operations for one thread over `records` keys.
-    pub fn new(records: u64, ops: u64, seed: u64) -> Self {
-        YcsbAWorkload {
+    /// `ops` operations for one thread over `records` keys, reading with
+    /// probability `read_permille`/1000.
+    pub fn with_mix(records: u64, ops: u64, seed: u64, read_permille: u32) -> Self {
+        assert!(read_permille <= 1000);
+        YcsbWorkload {
             sampler: KeySampler::new(KeyDist::Zipfian, records, seed),
             remaining: ops,
+            read_permille,
         }
+    }
+
+    /// YCSB-A: 50% reads / 50% updates.
+    pub fn a(records: u64, ops: u64, seed: u64) -> Self {
+        Self::with_mix(records, ops, seed, 500)
+    }
+
+    /// YCSB-B: 95% reads / 5% updates.
+    pub fn b(records: u64, ops: u64, seed: u64) -> Self {
+        Self::with_mix(records, ops, seed, 950)
     }
 }
 
-impl Iterator for YcsbAWorkload {
+impl Iterator for YcsbWorkload {
     type Item = YcsbOp;
 
     fn next(&mut self) -> Option<YcsbOp> {
@@ -40,13 +55,29 @@ impl Iterator for YcsbAWorkload {
             return None;
         }
         self.remaining -= 1;
-        let read: bool = self.sampler.rng().gen();
+        let read = self.sampler.rng().gen_range(0..1000u32) < self.read_permille;
         let key = self.sampler.next_key();
         Some(if read {
             YcsbOp::Read(key)
         } else {
             YcsbOp::Update(key)
         })
+    }
+}
+
+/// Per-thread YCSB-A stream (the Fig. 10 workload).
+pub struct YcsbAWorkload;
+
+impl YcsbAWorkload {
+    pub const RECORDS: u64 = YcsbWorkload::RECORDS;
+    pub const OPS: u64 = YcsbWorkload::OPS;
+
+    /// `ops` operations for one thread over `records` keys.
+    // Compat constructor for pre-YcsbWorkload callers; deliberately returns
+    // the generalised type.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(records: u64, ops: u64, seed: u64) -> YcsbWorkload {
+        YcsbWorkload::a(records, ops, seed)
     }
 }
 
@@ -74,5 +105,13 @@ mod tests {
             };
             assert!((1..=50).contains(&k));
         }
+    }
+
+    #[test]
+    fn ycsb_b_is_read_mostly() {
+        let reads = YcsbWorkload::b(1000, 100_000, 3)
+            .filter(|op| matches!(op, YcsbOp::Read(_)))
+            .count();
+        assert!((93_000..97_000).contains(&reads), "reads = {reads}");
     }
 }

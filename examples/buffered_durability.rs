@@ -50,7 +50,7 @@ fn main() {
     }
     esys.sync(); // one sync at the end
     let buffered = start.elapsed();
-    let buffered_fences = esys.pool().stats().snapshot().1;
+    let buffered_fences = esys.pool().stats().snapshot().sfences;
 
     let (esys, q, tid) = fresh();
     let start = Instant::now();
@@ -59,7 +59,7 @@ fn main() {
         esys.sync(); // strict durable linearizability, one sync per op
     }
     let strict = start.elapsed();
-    let strict_fences = esys.pool().stats().snapshot().1;
+    let strict_fences = esys.pool().stats().snapshot().sfences;
 
     println!(
         "{N} enqueues: buffered {:?} / {} fences vs sync-per-op {:?} / {} fences",

@@ -10,9 +10,11 @@
 //! * [`montage_ds`] — hashmap / queue / graph built on Montage
 //! * [`baselines`] — competitor systems from the paper's evaluation
 //! * [`kvstore`] — memcached-like store for the Sec. 6.2 validation
+//! * [`kvserver`] — networked memcached-text-protocol front-end over it
 //! * [`workloads`] — YCSB and graph workload generators
 
 pub use baselines;
+pub use kvserver;
 pub use kvstore;
 pub use montage;
 pub use montage_ds;
