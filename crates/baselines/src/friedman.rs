@@ -93,10 +93,23 @@ impl FriedmanQueue {
     /// one Friedman queue): sweep live nodes, drop dequeued/claimed ones,
     /// rebuild FIFO order by sequence number.
     pub fn recover(pool: PmemPool, max_threads: usize) -> Self {
+        Self::try_recover(pool, max_threads).expect("pool holds no Friedman queue")
+    }
+
+    /// Panic-free [`FriedmanQueue::recover`]: returns `None` when the
+    /// durable image never finished formatting (allocator metadata or the
+    /// queue anchor missing) — a crash-sweep point inside `new` lands here,
+    /// and the caller treats it as an empty pre-history image.
+    pub fn try_recover(pool: PmemPool, max_threads: usize) -> Option<Self> {
+        if !Ralloc::is_formatted(&pool) {
+            return None;
+        }
         let anchor = POff::root_slot(ANCHOR_SLOT);
         let old_slots = POff::new(unsafe { pool.read::<u64>(anchor) });
         let old_nthreads = unsafe { pool.read::<u64>(anchor.add(8)) } as usize;
-        assert!(!old_slots.is_null(), "pool holds no Friedman queue");
+        if old_slots.is_null() || old_nthreads == 0 {
+            return None;
+        }
         let claimed: Vec<u64> = (0..old_nthreads)
             .map(|t| unsafe { pool.read::<u64>(old_slots.add(8 * t as u64)) })
             .filter(|&v| v != 0)
@@ -162,7 +175,7 @@ impl FriedmanQueue {
         pool.persist_range(POff::root_slot(ANCHOR_SLOT), 16);
 
         let next_seq = nodes.last().map_or(1, |&(s, _)| s + 1);
-        FriedmanQueue {
+        Some(FriedmanQueue {
             head: AtomicU64::new(sentinel.raw()),
             tail: AtomicU64::new(prev.raw()),
             deq_slots,
@@ -170,7 +183,7 @@ impl FriedmanQueue {
             next_seq: AtomicU64::new(next_seq),
             pool,
             ralloc,
-        }
+        })
     }
 
     fn next_cell(&self, node: u64) -> &AtomicU64 {

@@ -55,6 +55,16 @@ impl SoftHashMap {
     /// is a member; rebuild the volatile copy from them. Requires the pool
     /// to be dedicated to this map (as SOFT's own allocator assumes).
     pub fn recover(pool: PmemPool, nbuckets: usize) -> Self {
+        Self::try_recover(pool, nbuckets).expect("pool holds no SOFT map")
+    }
+
+    /// Panic-free [`SoftHashMap::recover`]: `None` when the allocator
+    /// metadata never became durable (a crash mid-format), so sweep
+    /// harnesses can treat the image as empty pre-history.
+    pub fn try_recover(pool: PmemPool, nbuckets: usize) -> Option<Self> {
+        if !Ralloc::is_formatted(&pool) {
+            return None;
+        }
         let scan = pool.clone();
         let (ralloc, kept) = Ralloc::recover(pool, move |blk, size| {
             size >= DATA_OFF as usize
@@ -77,7 +87,7 @@ impl SoftHashMap {
             });
             map.len.fetch_add(1, Ordering::Relaxed);
         }
-        map
+        Some(map)
     }
 
     fn index(&self, key: &Key32) -> usize {

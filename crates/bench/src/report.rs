@@ -74,7 +74,7 @@ mod tests {
             clwbs,
             sfences,
             lines_drained,
-            crashes: 0,
+            ..Default::default()
         }
     }
 

@@ -21,10 +21,13 @@
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use kvstore::protocol::Session;
 use kvstore::KvStore;
@@ -52,6 +55,10 @@ pub struct ServerConfig {
     /// `Some(n)`: run a full epoch sync before the reply of every nth
     /// mutation, server-wide (Fig. 9's periodic-sync mode).
     pub sync_every: Option<u64>,
+    /// Test-only fault injection: panic inside the command handler whenever
+    /// this command name arrives. Exercises the server's panic isolation —
+    /// one poisoned request must not take down other connections.
+    pub panic_on_cmd: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +70,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             sync_every: None,
+            panic_on_cmd: None,
         }
     }
 }
@@ -114,12 +122,17 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 let id = next_id;
                 next_id += 1;
                 if let Ok(clone) = stream.try_clone() {
-                    shared.conns.lock().unwrap().insert(id, clone);
+                    shared.conns.lock().insert(id, clone);
                 }
                 let conn_shared = Arc::clone(&shared);
                 workers.push(std::thread::spawn(move || {
-                    serve_connection(stream, &conn_shared);
-                    conn_shared.conns.lock().unwrap().remove(&id);
+                    // A panicking handler must only cost its own connection:
+                    // contain the unwind so the bookkeeping below always runs
+                    // and the accept loop's join never propagates a panic.
+                    let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        serve_connection(stream, &conn_shared);
+                    }));
+                    conn_shared.conns.lock().remove(&id);
                 }));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -189,6 +202,24 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                         let _ = stream.write_all(&reply);
                         break 'conn;
                     }
+                    if cmd == "stats" {
+                        if !noreply {
+                            reply.extend_from_slice(stats_reply(shared).as_bytes());
+                        }
+                        continue;
+                    }
+                    // Once a fault plan has tripped, the pool can never make
+                    // anything durable again. Degrade: refuse every command
+                    // with an explicit error instead of panicking (or worse,
+                    // acking writes a real machine would have lost).
+                    if let Some(f) = shared.registry.store().fault() {
+                        if !noreply {
+                            reply.extend_from_slice(
+                                format!("SERVER_ERROR persistent pool crashed: {f}\r\n").as_bytes(),
+                            );
+                        }
+                        continue;
+                    }
                     if cmd == "sync" {
                         // Reply only after the epoch system reports every
                         // previously-acked mutation persistent.
@@ -201,7 +232,23 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                         continue;
                     }
                     let is_mutation = matches!(cmd, "set" | "add" | "replace" | "delete" | "touch");
-                    let out = session.execute(&line, &data);
+                    let out = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        if shared.cfg.panic_on_cmd.as_deref() == Some(cmd) {
+                            panic!("injected handler panic on '{cmd}'");
+                        }
+                        session.execute(&line, &data)
+                    })) {
+                        Ok(out) => out,
+                        Err(_) => {
+                            // The handler died mid-command; its state may be
+                            // inconsistent, so answer, then drop only this
+                            // connection. The unwind stops here — other
+                            // sessions never notice.
+                            reply.extend_from_slice(b"SERVER_ERROR internal error\r\n");
+                            let _ = stream.write_all(&reply);
+                            break 'conn;
+                        }
+                    };
                     if is_mutation {
                         if let Some(n) = shared.cfg.sync_every {
                             let seq = shared.mutations.fetch_add(1, Ordering::AcqRel) + 1;
@@ -236,6 +283,38 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     }
     let _ = stream.shutdown(Shutdown::Both);
     drop(lease); // returns the thread id for the next connection
+}
+
+/// The `stats` admin command, memcached-style: `STAT <name> <value>` lines
+/// then `END`. Alongside cache occupancy it surfaces the pool's persistence
+/// and fault-injection counters, so operators (and crash-sweep tests) can
+/// observe injected crashes, torn lines, and quarantined payloads over the
+/// wire.
+fn stats_reply(shared: &Shared) -> String {
+    let store = shared.registry.store();
+    let mut out = String::new();
+    let mut stat = |name: &str, value: u64| {
+        out.push_str(&format!("STAT {name} {value}\r\n"));
+    };
+    stat("curr_items", store.len() as u64);
+    stat("evictions", store.evictions() as u64);
+    stat("curr_connections", shared.registry.active() as u64);
+    stat("total_mutations", shared.mutations.load(Ordering::Acquire));
+    if let Some(snap) = store.pool_stats() {
+        stat("pmem_clwbs", snap.clwbs);
+        stat("pmem_sfences", snap.sfences);
+        stat("pmem_lines_drained", snap.lines_drained);
+        stat("pmem_crashes", snap.crashes);
+        stat("pmem_injected_crashes", snap.injected_crashes);
+        stat("pmem_torn_lines", snap.torn_lines);
+        stat("pmem_quarantined_payloads", snap.quarantined_payloads);
+    }
+    if let Some(esys) = store.esys() {
+        stat("montage_epoch", esys.curr_epoch());
+    }
+    stat("pool_faulted", u64::from(store.fault().is_some()));
+    out.push_str("END\r\n");
+    out
 }
 
 /// Owner handle for a running server.
@@ -273,7 +352,7 @@ impl ServerHandle {
     /// [`montage::recovery::recover`] to exercise crash-restart.
     pub fn crash(self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        for (_, conn) in self.shared.conns.lock().unwrap().drain() {
+        for (_, conn) in self.shared.conns.lock().drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
         let _ = self.accept.join();

@@ -229,6 +229,104 @@ fn graceful_shutdown_persists_acked_writes() {
     h2.shutdown();
 }
 
+/// Reads one `stats` reply off the wire into (name, value) pairs.
+fn read_stats(c: &mut WireClient) -> std::collections::HashMap<String, u64> {
+    c.send_raw(b"stats\r\n").unwrap();
+    let mut stats = std::collections::HashMap::new();
+    loop {
+        let line = c.read_line().unwrap();
+        if line == "END" {
+            return stats;
+        }
+        let mut parts = line.split_whitespace();
+        assert_eq!(parts.next(), Some("STAT"), "bad stats line: {line}");
+        let name = parts.next().expect("stat name").to_string();
+        let value: u64 = parts.next().expect("stat value").parse().unwrap();
+        stats.insert(name, value);
+    }
+}
+
+#[test]
+fn panicking_handler_costs_only_its_own_connection() {
+    let h = dram_server(ServerConfig {
+        panic_on_cmd: Some("boom".into()),
+        ..Default::default()
+    });
+    let mut a = WireClient::connect(h.addr()).unwrap();
+    let mut b = WireClient::connect(h.addr()).unwrap();
+    assert_eq!(a.set("ka", 0, b"1").unwrap(), "STORED");
+    assert_eq!(b.set("kb", 0, b"2").unwrap(), "STORED");
+
+    // Connection `a` trips the injected panic: it gets an error reply and
+    // is dropped, nothing more.
+    a.send_raw(b"boom\r\n").unwrap();
+    assert_eq!(a.read_line().unwrap(), "SERVER_ERROR internal error");
+    assert!(a.read_line().is_err(), "poisoned connection must be closed");
+
+    // Concurrent and future connections are unaffected.
+    assert_eq!(b.get("ka").unwrap(), Some((0, b"1".to_vec())));
+    assert_eq!(b.set("kb", 0, b"3").unwrap(), "STORED");
+    let mut c = WireClient::connect(h.addr()).unwrap();
+    assert_eq!(c.get("kb").unwrap(), Some((0, b"3".to_vec())));
+    c.quit().unwrap();
+    b.quit().unwrap();
+    h.shutdown();
+}
+
+#[test]
+fn stats_reports_persistence_counters() {
+    let (_esys, store) = montage_store(4);
+    let h = KvServer::start(ServerConfig::default(), store).expect("bind");
+    let mut c = WireClient::connect(h.addr()).unwrap();
+    assert_eq!(c.set("k", 0, b"v").unwrap(), "STORED");
+    c.sync().unwrap();
+    let stats = read_stats(&mut c);
+    assert_eq!(stats["curr_items"], 1);
+    assert_eq!(stats["curr_connections"], 1);
+    assert!(stats["pmem_clwbs"] > 0, "sync must have flushed lines");
+    assert!(stats["pmem_sfences"] > 0);
+    assert_eq!(stats["pmem_injected_crashes"], 0);
+    assert_eq!(stats["pmem_torn_lines"], 0);
+    assert_eq!(stats["pmem_quarantined_payloads"], 0);
+    assert_eq!(stats["pool_faulted"], 0);
+    assert!(stats.contains_key("montage_epoch"));
+    c.quit().unwrap();
+    h.shutdown();
+}
+
+#[test]
+fn faulted_pool_degrades_to_errors_not_panics() {
+    // Arm a fault plan that trips almost immediately; traffic after the
+    // injected crash must be refused with a protocol error while the
+    // server itself stays up and `stats` keeps answering.
+    let mut cfg = PmemConfig::strict_for_test(64 << 20);
+    cfg.chaos.crash_at_event = Some(1);
+    let esys = EpochSys::format(PmemPool::new(cfg), EsysConfig::default());
+    let store = Arc::new(KvStore::new(KvBackend::Montage(esys), 8, 100_000));
+    let h = KvServer::start(ServerConfig::default(), store).expect("bind");
+
+    let mut c = WireClient::connect(h.addr()).unwrap();
+    let reply = c.set("k", 0, b"v").unwrap();
+    assert!(
+        reply.starts_with("SERVER_ERROR persistent pool crashed"),
+        "expected degraded refusal, got {reply:?}"
+    );
+    // The server is still alive: stats works on the same connection and
+    // reports the injected crash.
+    let stats = read_stats(&mut c);
+    assert_eq!(stats["pmem_injected_crashes"], 1);
+    assert_eq!(stats["pool_faulted"], 1);
+    // And new connections are still accepted (and refused politely too).
+    let mut d = WireClient::connect(h.addr()).unwrap();
+    assert!(d
+        .set("k2", 0, b"v2")
+        .unwrap()
+        .starts_with("SERVER_ERROR persistent pool crashed"));
+    d.quit().unwrap();
+    c.quit().unwrap();
+    h.shutdown();
+}
+
 /// The headline test: concurrent clients stream writes with periodic
 /// explicit syncs, the server crashes mid-flight, and the recovered store
 /// must hold a **consistent prefix** — for each client, a value no older

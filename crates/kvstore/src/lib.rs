@@ -155,6 +155,27 @@ impl KvStore {
         }
     }
 
+    /// Reports an injected crash on the backing pool, if any — serving
+    /// layers use this to refuse mutations instead of panicking once a
+    /// fault plan has tripped. Transient backends never fault.
+    pub fn fault(&self) -> Option<pmem::PmemFault> {
+        match &self.backend {
+            KvBackend::Montage(esys) => esys.fault(),
+            KvBackend::Nvm(r) => r.pool().fault(),
+            KvBackend::Dram => None,
+        }
+    }
+
+    /// Persistence counters of the backing pool (`None` for DRAM stores) —
+    /// the server's `stats` command reports these over the wire.
+    pub fn pool_stats(&self) -> Option<pmem::StatsSnapshot> {
+        match &self.backend {
+            KvBackend::Montage(esys) => Some(esys.pool().stats().snapshot()),
+            KvBackend::Nvm(r) => Some(r.pool().stats().snapshot()),
+            KvBackend::Dram => None,
+        }
+    }
+
     fn index(&self, key: &Key) -> usize {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use montage::{EpochSys, PHandle, RecoveredState, ThreadId};
 use parking_lot::Mutex;
+use pmem::PmemFault;
 
 /// One chain entry: transient key copy (fast compares without touching NVM)
 /// plus the indirection to the current payload version (paper Sec. 3.1: a
@@ -160,6 +161,24 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
             self.len.fetch_add(1, Ordering::Relaxed);
             false
         }
+    }
+
+    /// Checked [`MontageHashMap::put`] for fault-injection runs: refuses to
+    /// start on a crashed pool and reports a fault plan tripping
+    /// mid-operation, so sweep workloads unwind instead of panicking.
+    pub fn try_put(&self, tid: ThreadId, key: K, value: &[u8]) -> Result<bool, PmemFault> {
+        self.esys.pool().check_fault()?;
+        let existed = self.put(tid, key, value);
+        self.esys.pool().check_fault()?;
+        Ok(existed)
+    }
+
+    /// Checked [`MontageHashMap::remove`]; see [`MontageHashMap::try_put`].
+    pub fn try_remove(&self, tid: ThreadId, key: &K) -> Result<bool, PmemFault> {
+        self.esys.pool().check_fault()?;
+        let existed = self.remove(tid, key);
+        self.esys.pool().check_fault()?;
+        Ok(existed)
     }
 
     /// Inserts only if absent; returns `false` if the key existed.

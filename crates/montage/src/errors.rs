@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use pmem::POff;
+
 /// The paper's `OldSeeNewException`: an operation running in epoch *e*
 /// touched a payload created in some epoch *e′ > e*.
 ///
@@ -50,6 +52,59 @@ impl fmt::Display for EpochChanged {
 }
 
 impl std::error::Error for EpochChanged {}
+
+/// What [`crate::recovery::try_recover`] found wrong with a crashed pool.
+///
+/// The first two variants are *fatal*: without a formatted pool or a sane
+/// epoch clock there is no frontier to recover to, so `try_recover` returns
+/// them as errors. The last two describe a single damaged block; recovery
+/// degrades gracefully by *quarantining* that block (recorded in the
+/// [`crate::recovery::RecoveryReport`] with one of these as the reason)
+/// and carries on — one corrupt payload no longer loses the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The pool carries no Montage magic (never formatted, or the crash hit
+    /// before `format`'s single fence made the root area durable).
+    UnformattedPool,
+    /// The durable epoch clock is below the first valid epoch.
+    CorruptClock {
+        /// The clock value found in the root area.
+        found: u64,
+    },
+    /// A live-magic block whose header fails validation (checksum mismatch,
+    /// invalid kind, or an epoch outside the pool's durable history) —
+    /// typically a torn header line.
+    CorruptHeader { blk: POff },
+    /// A live-magic block whose recorded size does not fit in its allocator
+    /// block, so its data bytes cannot all be real.
+    TruncatedPayload {
+        blk: POff,
+        /// The size the header claims.
+        size: u32,
+        /// The bytes actually available in the block (header included).
+        usable: u32,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::UnformattedPool => write!(f, "pool is not a Montage pool"),
+            RecoveryError::CorruptClock { found } => {
+                write!(f, "corrupt epoch clock: found {found}")
+            }
+            RecoveryError::CorruptHeader { blk } => {
+                write!(f, "corrupt payload header at {blk:?}")
+            }
+            RecoveryError::TruncatedPayload { blk, size, usable } => write!(
+                f,
+                "truncated payload at {blk:?}: claims {size} B, block holds {usable} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
 
 #[cfg(test)]
 mod tests {

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
-use pmem::{POff, PmemPool};
+use pmem::{POff, PmemFault, PmemPool};
 use ralloc::Ralloc;
 
 use crate::buffers::Buffers;
@@ -296,6 +296,20 @@ impl EpochSys {
             tid,
             epoch,
         }
+    }
+
+    /// Checked [`EpochSys::begin_op`]: refuses to start an operation on a
+    /// pool whose fault plan has tripped, so cooperative workers unwind
+    /// instead of doing doomed (never-durable) work.
+    pub fn try_begin_op(&self, tid: ThreadId) -> Result<OpGuard<'_>, PmemFault> {
+        self.pool.check_fault()?;
+        Ok(self.begin_op(tid))
+    }
+
+    /// The pool's pending fault, if its fault plan has tripped.
+    #[inline]
+    pub fn fault(&self) -> Option<PmemFault> {
+        self.pool.fault()
     }
 
     fn end_op(&self, tid: ThreadId) {
@@ -691,19 +705,40 @@ impl EpochSys {
     /// after the operation returns); calling it inside an op would deadlock
     /// on the op's own epoch.
     pub fn sync(&self) {
+        // On a poisoned pool "persistent" is unachievable; degrading to a
+        // no-op (rather than panicking or spinning) matches what the caller
+        // can still do about it: nothing. Checked callers use `try_sync`.
+        let _ = self.try_sync();
+    }
+
+    /// Checked [`EpochSys::sync`]: reports [`PmemFault::Crashed`] instead of
+    /// returning success when the pool's fault plan trips, since a crashed
+    /// pool can never make the remaining buffered work durable. The fault is
+    /// re-checked every advance so a plan tripping *mid-sync* also unwinds.
+    pub fn try_sync(&self) -> Result<(), PmemFault> {
         if self.cfg.persist == PersistStrategy::None {
-            return;
+            return Ok(());
         }
         self.stats.syncs.fetch_add(1, Ordering::Relaxed);
         let target = self.clock().load(Ordering::SeqCst);
         self.sync_requested.fetch_max(target, Ordering::Relaxed);
         while self.clock().load(Ordering::Acquire) < target + 2 {
+            if let Err(f) = self.pool.check_fault() {
+                let _ = self.sync_requested.compare_exchange(
+                    target,
+                    0,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                return Err(f);
+            }
             self.advance_epoch();
         }
         // Clear the helping hint if we were the outermost sync.
         let _ =
             self.sync_requested
                 .compare_exchange(target, 0, Ordering::Relaxed, Ordering::Relaxed);
+        Ok(())
     }
 }
 

@@ -63,8 +63,10 @@ pub mod verify1;
 pub use advancer::Advancer;
 pub use config::{EsysConfig, FreeStrategy, PersistStrategy};
 pub use dcss::VerifyCell;
-pub use errors::{EpochChanged, OldSeeNewException};
+pub use errors::{EpochChanged, OldSeeNewException, RecoveryError};
 pub use esys::{EpochSys, OpGuard, ThreadId};
 pub use payload::{PHandle, PayloadKind, HDR_SIZE};
-pub use recovery::{RecoveredItem, RecoveredState};
+pub use recovery::{
+    try_recover, QuarantinedPayload, RecoveredItem, RecoveredState, RecoveryReport,
+};
 pub use verify1::{Cas1Error, CountedCell};

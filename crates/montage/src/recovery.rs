@@ -7,16 +7,26 @@
 //! and keeps only the newest surviving version of each uid. Everything else
 //! returns to the allocator's free lists, durably tombstoned so a later
 //! crash cannot resurrect it.
+//!
+//! Recovery is **panic-free**: [`try_recover`] returns a typed
+//! [`RecoveryError`] for fatal problems (no format magic, corrupt clock) and
+//! *quarantines* individual blocks that fail header validation — a torn or
+//! corrupted payload costs exactly that payload, never the heap. The
+//! [`RecoveryReport`] attached to the result accounts for every block the
+//! sweep saw.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 use pmem::{POff, PmemPool};
 use ralloc::Ralloc;
 
 use crate::config::EsysConfig;
+use crate::errors::RecoveryError;
 use crate::esys::{EpochSys, CLOCK_SLOT, FIRST_EPOCH};
-use crate::payload::{Header, PHandle, PayloadKind, MAGIC_LIVE};
+use crate::payload::{Header, PHandle, PayloadKind, HDR_SIZE, MAGIC_LIVE};
 
 /// One surviving payload, as handed to structure rebuild code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +48,30 @@ impl RecoveredItem {
     }
 }
 
+/// A block recovery refused to trust, with the validation failure that
+/// condemned it. The block is durably tombstoned and returned to the free
+/// lists; its (suspect) contents are not handed to rebuild code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinedPayload {
+    pub blk: POff,
+    pub reason: RecoveryError,
+}
+
+/// Block-level accounting for one recovery pass.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Live payloads handed to rebuild code.
+    pub survivors: usize,
+    /// Valid payloads discarded by uid cancellation (anti-payloads, stale
+    /// versions, and groups killed by a DELETE).
+    pub cancelled: usize,
+    /// Valid payloads from epochs newer than the recovery cutoff — the
+    /// normal buffered-durability loss window (at most two epochs).
+    pub discarded_recent: usize,
+    /// Blocks that failed header validation and were quarantined.
+    pub quarantined: Vec<QuarantinedPayload>,
+}
+
 /// The outcome of recovery: a fresh epoch system over the surviving heap and
 /// the survivors, sharded for parallel rebuild.
 pub struct RecoveredState {
@@ -45,6 +79,9 @@ pub struct RecoveredState {
     /// `k` disjoint shards of surviving payloads (the paper's "k separate
     /// iterators, to be used by k separate application threads").
     pub shards: Vec<Vec<RecoveredItem>>,
+    /// What the sweep saw: survivors, cancellations, frontier loss, and
+    /// quarantined corruption.
+    pub report: RecoveryReport,
 }
 
 impl RecoveredState {
@@ -72,34 +109,86 @@ impl RecoveredState {
 
 /// Recovers Montage state from a crashed pool using `k` sweep threads.
 ///
-/// Panics if the pool was never formatted by [`EpochSys::format`].
+/// Panics if the pool was never formatted by [`EpochSys::format`] or the
+/// clock is corrupt; library code should prefer [`try_recover`].
 pub fn recover(pool: PmemPool, cfg: EsysConfig, k: usize) -> RecoveredState {
-    assert!(EpochSys::is_formatted(&pool), "pool is not a Montage pool");
+    match try_recover(pool, cfg, k) {
+        Ok(state) => state,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Panic-free [`recover`]: fatal problems (nothing to recover *to*) come
+/// back as [`RecoveryError`]; per-block corruption is quarantined into the
+/// result's [`RecoveryReport`] and recovery carries on.
+pub fn try_recover(
+    pool: PmemPool,
+    cfg: EsysConfig,
+    k: usize,
+) -> Result<RecoveredState, RecoveryError> {
+    if !EpochSys::is_formatted(&pool) || !Ralloc::is_formatted(&pool) {
+        return Err(RecoveryError::UnformattedPool);
+    }
     let durable_epoch = unsafe { pool.read::<u64>(POff::root_slot(CLOCK_SLOT)) };
-    assert!(durable_epoch >= FIRST_EPOCH, "corrupt epoch clock");
+    if durable_epoch < FIRST_EPOCH {
+        return Err(RecoveryError::CorruptClock {
+            found: durable_epoch,
+        });
+    }
     let cutoff = durable_epoch - 2;
 
     // Phase 1: allocator sweep — keep blocks whose contents are a live
-    // payload from a fully persisted epoch.
+    // payload from a fully persisted epoch. Blocks with live magic but an
+    // invalid header (failed checksum, bad kind, an epoch the pool never
+    // durably reached, or a size overflowing the block) are quarantined:
+    // recorded, refused, and freed below like any other loser.
+    let quarantined: Mutex<Vec<QuarantinedPayload>> = Mutex::new(Vec::new());
+    let discarded_recent = AtomicUsize::new(0);
     let sweep_pool = pool.clone();
-    let (ralloc, shards) = Ralloc::recover_parallel(pool.clone(), k, move |blk, _size| {
-        Header::magic(&sweep_pool, blk) == MAGIC_LIVE
-            && Header::kind(&sweep_pool, blk).is_some()
-            && (FIRST_EPOCH..=cutoff).contains(&Header::epoch(&sweep_pool, blk))
-    });
+    let (ralloc, shards) = {
+        let quarantined = &quarantined;
+        let discarded_recent = &discarded_recent;
+        Ralloc::recover_parallel(pool.clone(), k, move |blk, usable| {
+            if Header::magic(&sweep_pool, blk) != MAGIC_LIVE {
+                return false; // free slot or tombstone: not a payload
+            }
+            let reason = validate_header(&sweep_pool, blk, usable, durable_epoch);
+            if let Some(reason) = reason {
+                quarantined
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(QuarantinedPayload { blk, reason });
+                return false;
+            }
+            let epoch = Header::epoch(&sweep_pool, blk);
+            if epoch > cutoff {
+                // Valid, but from the at-risk window buffered durability
+                // gives up on: normal frontier loss, not corruption.
+                discarded_recent.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            true
+        })
+    };
+    let quarantined = quarantined.into_inner().unwrap_or_else(|p| p.into_inner());
 
     // Phase 2: uid cancellation. Group by uid; a DELETE anti-payload kills
     // its whole group; otherwise keep the newest version. Parallel over k
     // workers: uid-hash partitioning makes groups worker-local.
     let (survivors, discards, max_uid) = cancel_parallel(&pool, &shards, k);
 
-    // Durably tombstone and free the losers so no future crash resurrects
-    // them (one batched flush + fence).
+    // Durably tombstone and free the losers — and overwrite the quarantined
+    // headers too, so their live-looking magic can never be swept up again
+    // after a second crash (one batched flush + fence).
     for &blk in &discards {
         Header::tombstone(&pool, blk);
         pool.clwb(blk);
     }
-    if !discards.is_empty() {
+    for q in &quarantined {
+        Header::tombstone(&pool, q.blk);
+        pool.clwb(q.blk);
+    }
+    if !discards.is_empty() || !quarantined.is_empty() {
         pool.sfence();
     }
     for blk in &discards {
@@ -112,6 +201,14 @@ pub fn recover(pool: PmemPool, cfg: EsysConfig, k: usize) -> RecoveredState {
     unsafe { pool.write(POff::root_slot(CLOCK_SLOT), &new_epoch) };
     pool.persist_range(POff::root_slot(CLOCK_SLOT), 8);
 
+    pool.stats().on_quarantine(quarantined.len() as u64);
+    let report = RecoveryReport {
+        survivors: survivors.len(),
+        cancelled: discards.len(),
+        discarded_recent: discarded_recent.into_inner(),
+        quarantined,
+    };
+
     let esys = Arc::new(EpochSys::from_parts(pool, ralloc, cfg, max_uid + 1));
 
     // Re-shard survivors round-robin for parallel rebuild.
@@ -119,7 +216,44 @@ pub fn recover(pool: PmemPool, cfg: EsysConfig, k: usize) -> RecoveredState {
     for (i, item) in survivors.into_iter().enumerate() {
         out[i % k.max(1)].push(item);
     }
-    RecoveredState { esys, shards: out }
+    Ok(RecoveredState {
+        esys,
+        shards: out,
+        report,
+    })
+}
+
+/// Why a live-magic block cannot be trusted, or `None` if the header is
+/// intact. Validation order matters only for which reason gets reported:
+/// the checksum subsumes almost everything, so field checks run first to
+/// give the more specific diagnosis.
+fn validate_header(
+    pool: &PmemPool,
+    blk: POff,
+    usable: usize,
+    durable_epoch: u64,
+) -> Option<RecoveryError> {
+    if Header::kind(pool, blk).is_none() {
+        return Some(RecoveryError::CorruptHeader { blk });
+    }
+    let epoch = Header::epoch(pool, blk);
+    if epoch < FIRST_EPOCH || epoch > durable_epoch {
+        // No running execution can have labelled a payload past the durable
+        // clock: such an epoch is a phantom from a torn header.
+        return Some(RecoveryError::CorruptHeader { blk });
+    }
+    let size = Header::size(pool, blk);
+    if size as usize + HDR_SIZE > usable {
+        return Some(RecoveryError::TruncatedPayload {
+            blk,
+            size,
+            usable: usable as u32,
+        });
+    }
+    if !Header::checksum_ok(pool, blk) {
+        return Some(RecoveryError::CorruptHeader { blk });
+    }
+    None
 }
 
 /// Parallel cancellation: each sweep shard is partitioned by uid hash so
@@ -191,11 +325,18 @@ fn cancel(
     }
     let mut groups: HashMap<u64, Group> = HashMap::new();
     let mut max_uid = 0u64;
+    let mut discards = Vec::new();
 
     for (blk, _size) in blocks {
         let uid = Header::uid(pool, blk);
         let epoch = Header::epoch(pool, blk);
-        let kind = Header::kind(pool, blk).expect("sweep admitted a non-payload");
+        let Some(kind) = Header::kind(pool, blk) else {
+            // The sweep filter validates kinds, so this is unreachable in
+            // practice — but recovery must not panic on a block it can
+            // simply refuse. Discarding routes it to the tombstone batch.
+            discards.push(blk);
+            continue;
+        };
         max_uid = max_uid.max(uid);
         let g = groups.entry(uid).or_insert(Group {
             best: None,
@@ -222,7 +363,6 @@ fn cancel(
     }
 
     let mut survivors = Vec::new();
-    let mut discards = Vec::new();
     for (_uid, g) in groups {
         discards.extend(g.losers);
         match g.best {

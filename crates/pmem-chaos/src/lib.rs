@@ -1,0 +1,307 @@
+//! # pmem-chaos — exhaustive crash-point sweep testing
+//!
+//! The pool's fault plan ([`pmem::ChaosConfig::crash_at_event`]) can freeze
+//! the durable image at any single persistence event. This crate turns that
+//! into a *sweep*: run a workload once to count its persistence events, then
+//! run it again with a crash injected at every event boundary (or a seeded
+//! sample of them, for long workloads), recover each durable image, and
+//! check a caller-supplied invariant.
+//!
+//! The point of sweeping *every* event is that crash-consistency bugs live
+//! at specific instruction boundaries — between a payload flush and its
+//! fence, between the epoch-clock store and the boundary drain. A test that
+//! crashes at one hand-picked moment misses them; a sweep cannot.
+//!
+//! ```
+//! use pmem::{PmemConfig, PmemPool, POff};
+//! use pmem_chaos::{crash_sweep, SweepConfig};
+//!
+//! const OFF: POff = POff::new(4096);
+//! let report = crash_sweep(
+//!     &SweepConfig::default(),
+//!     PmemConfig::strict_for_test(1 << 20),
+//!     |pool| {
+//!         // Workload: must tolerate the pool crashing under it (use the
+//!         // checked try_* operations and unwind-free error paths).
+//!         let _ = pool.try_write_bytes(OFF, b"hello");
+//!         let _ = pool.try_persist_range(OFF, 5);
+//!     },
+//!     |durable, _crash_at| {
+//!         // Invariant over the recovered durable image: the value is
+//!         // either fully there or absent — never torn.
+//!         let mut buf = [0u8; 5];
+//!         durable.read_bytes(OFF, &mut buf);
+//!         match &buf {
+//!             b"hello" | [0, 0, 0, 0, 0] => Ok(()),
+//!             other => Err(format!("torn write survived: {other:?}")),
+//!         }
+//!     },
+//! );
+//! report.assert_ok();
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use pmem::{PmemConfig, PmemPool};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How a sweep chooses its crash points.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Workloads with at most this many persistence events are swept
+    /// exhaustively: one run per event boundary, `0..=total`.
+    pub exhaustive_limit: u64,
+    /// Above the limit, this many interior points are sampled (the
+    /// boundaries 0 and `total` are always included).
+    pub samples: usize,
+    /// Seed for the sampling RNG — same seed, same points, so CI failures
+    /// replay locally.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            exhaustive_limit: 512,
+            samples: 48,
+            seed: 0x5EED_CA5E,
+        }
+    }
+}
+
+/// One crash point whose recovered image violated the invariant (or whose
+/// workload panicked instead of degrading).
+#[derive(Clone, Debug)]
+pub struct SweepFailure {
+    /// The armed `crash_at_event`.
+    pub crash_at: u64,
+    pub message: String,
+}
+
+/// Outcome of a [`crash_sweep`].
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Persistence events the unfaulted workload performs.
+    pub total_events: u64,
+    /// Every crash point that was actually swept, in order.
+    pub crash_points: Vec<u64>,
+    pub failures: Vec<SweepFailure>,
+}
+
+impl SweepReport {
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Panics with every failing crash point if the sweep found violations.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.is_ok(),
+            "crash sweep failed at {}/{} points (of {} events):\n{}",
+            self.failures.len(),
+            self.crash_points.len(),
+            self.total_events,
+            self.failures
+                .iter()
+                .map(|f| format!("  crash_at={}: {}", f.crash_at, f.message))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// Runs `workload` on a fresh pool with the event counter armed but no
+/// crash point (`Some(u64::MAX)`), returning how many persistence events it
+/// performs. This is the sweep's counting pass; it is also useful on its
+/// own for asserting a workload is "big enough" for a meaningful sweep.
+pub fn count_events(mut base: PmemConfig, workload: impl FnOnce(&PmemPool)) -> u64 {
+    base.chaos.crash_at_event = Some(u64::MAX);
+    let pool = PmemPool::new(base);
+    workload(&pool);
+    pool.persistence_events()
+}
+
+/// The crash points a sweep of `total_events` visits under `cfg`:
+/// exhaustive `0..=total` below the limit, otherwise both boundaries plus
+/// `cfg.samples` seeded interior points (sorted, deduplicated).
+pub fn crash_points(total_events: u64, cfg: &SweepConfig) -> Vec<u64> {
+    if total_events <= cfg.exhaustive_limit {
+        return (0..=total_events).collect();
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut points = vec![0, total_events];
+    for _ in 0..cfg.samples {
+        points.push(rng.gen_range(1..total_events));
+    }
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+/// Sweeps `workload` over crash points.
+///
+/// For each point `n`, a fresh pool is built from `base` with
+/// `crash_at_event = Some(n)`, the workload runs on it (the fault plan
+/// trips partway through; checked operations start failing), the pool is
+/// crashed to its durable-image-as-of-event-`n`, and `verify` is called on
+/// that image. `verify` returns `Err(reason)` to report an invariant
+/// violation; a panic inside `workload` or `verify` is likewise captured as
+/// a failure (crash-time degradation must be unwind-free).
+///
+/// Everything is deterministic: two runs with the same config, workload,
+/// and seed sweep the same points in the same order.
+pub fn crash_sweep(
+    cfg: &SweepConfig,
+    base: PmemConfig,
+    mut workload: impl FnMut(&PmemPool),
+    mut verify: impl FnMut(PmemPool, u64) -> Result<(), String>,
+) -> SweepReport {
+    let total_events = count_events(base, &mut workload);
+    let points = crash_points(total_events, cfg);
+    let mut failures = Vec::new();
+    for &crash_at in &points {
+        let mut armed = base;
+        armed.chaos.crash_at_event = Some(crash_at);
+        let pool = PmemPool::new(armed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            workload(&pool);
+            verify(pool.crash(), crash_at)
+        }));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(message)) => failures.push(SweepFailure { crash_at, message }),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                failures.push(SweepFailure {
+                    crash_at,
+                    message: format!("panicked instead of degrading: {msg}"),
+                });
+            }
+        }
+    }
+    SweepReport {
+        total_events,
+        crash_points: points,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::POff;
+
+    const OFF: POff = POff::new(4096);
+
+    /// Workload: write a value, flush it, fence. 3 lines written +
+    /// 1 flush-range (3 lines) + 1 fence.
+    fn workload(pool: &PmemPool) {
+        let _ = pool.try_write_bytes(OFF, &[7u8; 128]);
+        let _ = pool.try_persist_range(OFF, 128);
+    }
+
+    #[test]
+    fn counting_pass_is_stable() {
+        let base = PmemConfig::strict_for_test(1 << 20);
+        let a = count_events(base, workload);
+        let b = count_events(base, workload);
+        assert_eq!(a, b);
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn exhaustive_points_cover_every_boundary() {
+        let pts = crash_points(10, &SweepConfig::default());
+        assert_eq!(pts, (0..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampled_points_are_deterministic_and_bounded() {
+        let cfg = SweepConfig {
+            exhaustive_limit: 100,
+            samples: 16,
+            seed: 42,
+        };
+        let a = crash_points(10_000, &cfg);
+        let b = crash_points(10_000, &cfg);
+        assert_eq!(a, b, "same seed must sample the same points");
+        assert!(a.len() <= 18);
+        assert_eq!(*a.first().unwrap(), 0);
+        assert_eq!(*a.last().unwrap(), 10_000);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
+    }
+
+    #[test]
+    fn sweep_passes_for_an_atomic_write() {
+        let report = crash_sweep(
+            &SweepConfig::default(),
+            PmemConfig::strict_for_test(1 << 20),
+            workload,
+            |durable, _| {
+                let mut buf = [0u8; 128];
+                durable.read_bytes(OFF, &mut buf);
+                // Each 64-byte line is all-or-nothing without tearing, but
+                // the three lines need not persist together; crash points
+                // inside the flush make any per-line subset legal.
+                for line in buf.chunks(64) {
+                    if !(line.iter().all(|&b| b == 7) || line.iter().all(|&b| b == 0)) {
+                        return Err(format!("torn line: {line:?}"));
+                    }
+                }
+                Ok(())
+            },
+        );
+        assert_eq!(
+            report.crash_points.len() as u64,
+            report.total_events + 1,
+            "small workload must sweep exhaustively"
+        );
+        report.assert_ok();
+    }
+
+    #[test]
+    fn sweep_catches_a_broken_invariant() {
+        // Deliberately wrong invariant: demands the value always be fully
+        // durable, which early crash points violate.
+        let report = crash_sweep(
+            &SweepConfig::default(),
+            PmemConfig::strict_for_test(1 << 20),
+            workload,
+            |durable, _| {
+                let mut buf = [0u8; 128];
+                durable.read_bytes(OFF, &mut buf);
+                if buf.iter().all(|&b| b == 7) {
+                    Ok(())
+                } else {
+                    Err("value not durable".into())
+                }
+            },
+        );
+        assert!(!report.is_ok(), "crash at event 0 must fail this invariant");
+        assert!(report.failures.iter().any(|f| f.crash_at == 0));
+    }
+
+    #[test]
+    fn workload_panics_are_reported_not_propagated() {
+        let cfg = SweepConfig::default();
+        let report = crash_sweep(
+            &cfg,
+            PmemConfig::strict_for_test(1 << 20),
+            |pool| {
+                pool.try_write_bytes(OFF, &[1u8; 8])
+                    .expect("workload that refuses to degrade");
+                let _ = pool.try_persist_range(OFF, 8);
+            },
+            |_, _| Ok(()),
+        );
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.message.contains("panicked instead of degrading")));
+    }
+}

@@ -88,8 +88,22 @@ pub struct ChaosConfig {
     /// Per-line probability (in 1/1000) that an unflushed line is persisted
     /// anyway at crash time.
     pub spontaneous_evict_permille: u16,
-    /// RNG seed for eviction choices (deterministic replay).
+    /// Per-line probability (in 1/1000) that a **pending** line (`clwb`'d
+    /// but not yet fenced) is *torn* at crash time: only a prefix of the
+    /// line, at 8-byte ECC-word granularity, reaches durable media. Models
+    /// a power cut catching a write-back part-way through a line.
+    pub torn_line_permille: u16,
+    /// RNG seed for eviction and tearing choices (deterministic replay).
     pub seed: u64,
+    /// Fault plan: `Some(n)` arms the persistence-event counter and poisons
+    /// the pool once `n` events (stores, per-line flushes, fences) have
+    /// taken effect. After that, flushes and fences are dropped — the
+    /// durable image is frozen exactly as of event `n` — and the checked
+    /// `try_*` pool operations return [`crate::PmemFault::Crashed`].
+    /// `Some(u64::MAX)` counts events without ever crashing (used by sweep
+    /// harnesses for their counting pass). Event accounting is skipped
+    /// entirely when `None`, keeping the hot path free of the counter.
+    pub crash_at_event: Option<u64>,
 }
 
 /// Full pool configuration.

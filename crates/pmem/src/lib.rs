@@ -43,11 +43,13 @@
 //! ```
 
 mod config;
+mod fault;
 mod layout;
 mod pool;
 mod stats;
 
 pub use config::{ChaosConfig, LatencyModel, PmemConfig, PmemMode};
+pub use fault::PmemFault;
 pub use layout::{line_of, lines_spanned, POff, CACHE_LINE, ROOT_AREA_SIZE, ROOT_SLOTS};
 pub use pool::PmemPool;
 pub use stats::{PmemStats, StatsSnapshot};

@@ -3,7 +3,7 @@
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -12,6 +12,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{PmemConfig, PmemMode};
+use crate::fault::PmemFault;
 use crate::layout::{line_of, lines_spanned, POff, CACHE_LINE};
 use crate::stats::PmemStats;
 
@@ -77,6 +78,14 @@ struct Inner {
     /// idempotent on hardware, so duplicates would only inflate the fence's
     /// drain work (`lines_drained` counts unique lines made durable).
     pending: Mutex<HashSet<u64>>,
+    /// Running persistence-event count. Only advanced while the fault plan
+    /// ([`crate::ChaosConfig::crash_at_event`]) is armed; see
+    /// [`PmemPool::persistence_events`].
+    events: AtomicU64,
+    /// Set once the event count reaches the fault plan's crash point. From
+    /// then on flushes and fences are dropped (the durable image is frozen)
+    /// and the checked operations report [`PmemFault::Crashed`].
+    poisoned: AtomicBool,
 }
 
 /// A simulated persistent-memory pool. Cheap to clone (it is an `Arc`).
@@ -114,6 +123,8 @@ impl PmemPool {
                 working: Working { ptr, layout },
                 durable,
                 pending: Mutex::new(HashSet::new()),
+                events: AtomicU64::new(0),
+                poisoned: AtomicBool::new(false),
             }),
         }
     }
@@ -134,6 +145,75 @@ impl PmemPool {
     #[inline]
     pub fn stats(&self) -> &PmemStats {
         &self.inner.stats
+    }
+
+    // ---- fault plan ---------------------------------------------------------
+
+    /// Charges `n` persistence events against the fault plan and returns how
+    /// many of them take effect. With no plan armed, accounting is skipped
+    /// and all `n` take effect. Once the running count reaches the plan's
+    /// crash point the pool is poisoned and every later event is dropped —
+    /// a partial charge models a crash landing *inside* a multi-line flush.
+    #[inline]
+    fn charge_events(&self, n: u64) -> u64 {
+        let Some(plan) = self.inner.config.chaos.crash_at_event else {
+            return n;
+        };
+        if n == 0 {
+            return 0;
+        }
+        let before = self.inner.events.fetch_add(n, Ordering::Relaxed);
+        if before.saturating_add(n) >= plan
+            && self
+                .inner
+                .poisoned
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            self.inner.stats.on_injected_crash();
+        }
+        if before >= plan {
+            0
+        } else {
+            (plan - before).min(n)
+        }
+    }
+
+    /// Persistence events charged so far. Counting happens only while a
+    /// fault plan is armed (`chaos.crash_at_event` is `Some`); a sweep
+    /// harness's counting pass arms `Some(u64::MAX)` to count without ever
+    /// crashing.
+    #[inline]
+    pub fn persistence_events(&self) -> u64 {
+        self.inner.events.load(Ordering::Relaxed)
+    }
+
+    /// Whether the fault plan has tripped.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.poisoned.load(Ordering::Acquire)
+    }
+
+    /// The pending fault, if the fault plan has tripped.
+    #[inline]
+    pub fn fault(&self) -> Option<PmemFault> {
+        if self.is_poisoned() {
+            Some(PmemFault::Crashed {
+                at_event: self.inner.config.chaos.crash_at_event.unwrap_or(0),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// `Err` once the fault plan has tripped; for cooperative early exits in
+    /// code that wants to stop doing doomed work.
+    #[inline]
+    pub fn check_fault(&self) -> Result<(), PmemFault> {
+        match self.fault() {
+            Some(f) => Err(f),
+            None => Ok(()),
+        }
     }
 
     #[inline]
@@ -169,15 +249,25 @@ impl PmemPool {
     /// Writes a `Copy` value at `off` (store only; not persistent until
     /// flushed and fenced).
     ///
+    /// The store always reaches the *working* image, even on a poisoned
+    /// pool: a real crash discards the caches (our working image) anyway,
+    /// so letting the doomed execution keep storing is indistinguishable
+    /// from the recovered pool's point of view, and it keeps in-memory
+    /// structures coherent for threads that have not yet observed the
+    /// fault. What a poisoned pool cuts off is *durability* (flush/fence).
+    ///
     /// # Safety
     /// As for [`PmemPool::at`].
     #[inline]
     pub unsafe fn write<T: Copy>(&self, off: POff, val: &T) {
+        self.charge_events(1);
         self.at::<T>(off).write(*val);
     }
 
-    /// Copies `src` into the pool at `off`.
+    /// Copies `src` into the pool at `off`. Like [`PmemPool::write`], the
+    /// store lands in the working image even on a poisoned pool.
     pub fn write_bytes(&self, off: POff, src: &[u8]) {
+        self.charge_events(1);
         self.check(off, src.len());
         unsafe {
             std::ptr::copy_nonoverlapping(
@@ -229,6 +319,9 @@ impl PmemPool {
         self.check(off, 1);
         self.inner.stats.on_clwb();
         spin_ns(self.inner.config.latency.clwb_issue_ns);
+        if self.charge_events(1) == 0 {
+            return; // cut off by the fault plan: the write-back never starts
+        }
         if self.inner.durable.is_some() {
             self.inner.pending.lock().insert(line_of(off.raw()));
         } else {
@@ -246,13 +339,16 @@ impl PmemPool {
         self.check(off, len);
         let n = lines_spanned(off.raw(), len);
         let first = line_of(off.raw());
+        // One event per line, so a crash point can land *inside* the range:
+        // the first `eff` lines get their write-back, the rest never start.
+        let eff = self.charge_events(n);
         if self.inner.durable.is_some() {
             let mut p = self.inner.pending.lock();
-            for i in 0..n {
+            for i in 0..eff {
                 p.insert(first + i);
             }
         } else {
-            count_add(self.inner.id, n);
+            count_add(self.inner.id, eff);
         }
         for _ in 0..n {
             self.inner.stats.on_clwb();
@@ -263,6 +359,12 @@ impl PmemPool {
     /// `SFENCE`: drain this thread's pending write-backs to durable media.
     pub fn sfence(&self) {
         let lat = &self.inner.config.latency;
+        // A fence is a single event: either the whole drain happens before
+        // the crash point or none of it does (pending lines die unfenced).
+        if self.charge_events(1) == 0 {
+            self.inner.stats.on_sfence(0);
+            return;
+        }
         let drained = if let Some(durable) = &self.inner.durable {
             let lines = std::mem::take(&mut *self.inner.pending.lock());
             let mut dur = durable.lock();
@@ -284,9 +386,59 @@ impl PmemPool {
         self.sfence();
     }
 
+    // ---- checked variants ---------------------------------------------------
+    //
+    // Same effects as the plain primitives, but they report
+    // [`PmemFault::Crashed`] once the fault plan has tripped — including when
+    // the call itself is what trips it — so cooperative code can unwind
+    // instead of continuing a doomed execution. On an unpoisoned pool they
+    // are exactly the plain primitives.
+
+    /// Checked [`PmemPool::clwb`].
+    pub fn try_clwb(&self, off: POff) -> Result<(), PmemFault> {
+        self.check_fault()?;
+        self.clwb(off);
+        self.check_fault()
+    }
+
+    /// Checked [`PmemPool::clwb_range`].
+    pub fn try_clwb_range(&self, off: POff, len: usize) -> Result<(), PmemFault> {
+        self.check_fault()?;
+        self.clwb_range(off, len);
+        self.check_fault()
+    }
+
+    /// Checked [`PmemPool::sfence`].
+    pub fn try_sfence(&self) -> Result<(), PmemFault> {
+        self.check_fault()?;
+        self.sfence();
+        self.check_fault()
+    }
+
+    /// Checked [`PmemPool::persist_range`].
+    pub fn try_persist_range(&self, off: POff, len: usize) -> Result<(), PmemFault> {
+        self.check_fault()?;
+        self.persist_range(off, len);
+        self.check_fault()
+    }
+
+    /// Checked [`PmemPool::write_bytes`].
+    pub fn try_write_bytes(&self, off: POff, src: &[u8]) -> Result<(), PmemFault> {
+        self.check_fault()?;
+        self.write_bytes(off, src);
+        self.check_fault()
+    }
+
     fn drain_line(&self, durable: &mut [u8], line: u64) {
+        self.drain_line_prefix(durable, line, CACHE_LINE);
+    }
+
+    /// Copies the first `bytes` bytes of `line` from the working image to
+    /// the durable image (whole line for a normal drain, a prefix for a
+    /// torn write-back).
+    fn drain_line_prefix(&self, durable: &mut [u8], line: u64, bytes: usize) {
         let start = (line as usize) * CACHE_LINE;
-        let end = (start + CACHE_LINE).min(self.inner.config.size);
+        let end = (start + bytes.min(CACHE_LINE)).min(self.inner.config.size);
         unsafe {
             std::ptr::copy_nonoverlapping(
                 self.inner.working.ptr.add(start),
@@ -317,8 +469,27 @@ impl PmemPool {
         self.inner.stats.on_crash();
 
         let mut dur = durable.lock();
-        // Chaos: arbitrary cache evictions may have persisted unflushed lines.
         let chaos = self.inner.config.chaos;
+        // Chaos: the power cut may catch in-flight write-backs part-way
+        // through a line. Each pending (clwb'd, unfenced) line may persist
+        // only a prefix of itself, at 8-byte ECC-word granularity.
+        if chaos.torn_line_permille > 0 {
+            let crashes = self.inner.stats.crashes.load(Ordering::Relaxed);
+            let mut rng =
+                SmallRng::seed_from_u64(chaos.seed ^ crashes.wrapping_mul(0xA24BAED4963EE407));
+            // HashSet iteration order is not deterministic; sort so the same
+            // seed always tears the same lines the same way.
+            let mut lines: Vec<u64> = self.inner.pending.lock().iter().copied().collect();
+            lines.sort_unstable();
+            for line in lines {
+                if rng.gen_range(0..1000) < chaos.torn_line_permille as u32 {
+                    let words = rng.gen_range(1u64..8); // strict prefix
+                    self.drain_line_prefix(&mut dur, line, words as usize * 8);
+                    self.inner.stats.on_torn_line();
+                }
+            }
+        }
+        // Chaos: arbitrary cache evictions may have persisted unflushed lines.
         if chaos.spontaneous_evict_permille > 0 {
             let crashes = self.inner.stats.crashes.load(Ordering::Relaxed);
             let mut rng =
@@ -331,7 +502,12 @@ impl PmemPool {
             }
         }
 
-        let new = PmemPool::new(self.inner.config);
+        // The restarted machine gets a disarmed fault plan: the plan applied
+        // to the execution that just died, not to recovery code running
+        // after the reboot (which would otherwise re-poison at event N).
+        let mut cfg = self.inner.config;
+        cfg.chaos.crash_at_event = None;
+        let new = PmemPool::new(cfg);
         new.write_bytes(POff::new(0), &dur);
         {
             let new_durable = new.inner.durable.as_ref().unwrap();
@@ -572,6 +748,7 @@ mod tests {
             chaos: ChaosConfig {
                 spontaneous_evict_permille: 1000, // evict everything
                 seed: 1,
+                ..Default::default()
             },
         });
         let off = POff::new(4096);
@@ -645,5 +822,170 @@ mod tests {
         let mut buf = [1u8; 256];
         p.read_bytes(POff::new(12345 & !63), &mut buf);
         assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    // ---- fault plan ---------------------------------------------------------
+
+    fn faulted_pool(crash_at: u64) -> PmemPool {
+        let mut cfg = PmemConfig::strict_for_test(1 << 20);
+        cfg.chaos.crash_at_event = Some(crash_at);
+        PmemPool::new(cfg)
+    }
+
+    #[test]
+    fn event_counting_is_free_until_armed() {
+        let p = strict_pool();
+        unsafe { p.write(POff::new(4096), &1u64) };
+        p.persist_range(POff::new(4096), 8);
+        assert_eq!(p.persistence_events(), 0, "no plan, no accounting");
+        assert!(p.fault().is_none());
+    }
+
+    #[test]
+    fn counting_pass_counts_without_crashing() {
+        let p = faulted_pool(u64::MAX);
+        let off = POff::new(4096);
+        unsafe { p.write(off, &1u64) }; // 1 event
+        p.clwb_range(off, 200); // 4 lines = 4 events
+        p.sfence(); // 1 event
+        assert_eq!(p.persistence_events(), 6);
+        assert!(!p.is_poisoned());
+        let p2 = p.crash();
+        assert_eq!(unsafe { p2.read::<u64>(off) }, 1);
+    }
+
+    #[test]
+    fn poisoned_pool_freezes_durable_image() {
+        // Plan: write(1) + clwb(1) + sfence(1) = 3 events make `a` durable;
+        // everything after event 3 must be dropped.
+        let p = faulted_pool(3);
+        let a = POff::new(4096);
+        let b = POff::new(8192);
+        unsafe { p.write(a, &7u64) };
+        p.clwb(a);
+        p.sfence();
+        assert!(p.is_poisoned(), "plan trips exactly at event N");
+        assert_eq!(p.fault(), Some(PmemFault::Crashed { at_event: 3 }));
+        unsafe { p.write(b, &9u64) };
+        p.persist_range(b, 8); // dropped: pool already crashed
+        let p2 = p.crash();
+        assert_eq!(unsafe { p2.read::<u64>(a) }, 7, "events 1..=3 took effect");
+        assert_eq!(unsafe { p2.read::<u64>(b) }, 0, "post-crash events dropped");
+        assert!(p2.fault().is_none(), "restarted pool has a clean plan");
+        assert_eq!(p2.stats().snapshot().injected_crashes, 0);
+    }
+
+    #[test]
+    fn crash_point_can_land_inside_a_range_flush() {
+        // write a (1) + write b (1) = 2 events; plan 3 lets exactly one of
+        // the four clwb_range lines start its write-back.
+        let p = faulted_pool(3);
+        let a = POff::new(4096);
+        let b = POff::new(4096 + 64);
+        unsafe {
+            p.write(a, &1u64);
+            p.write(b, &2u64);
+        }
+        p.clwb_range(a, 256); // 4 lines, only the first survives the plan
+        p.sfence(); // dropped (pool poisoned)
+        let p2 = p.crash();
+        assert_eq!(
+            unsafe { p2.read::<u64>(a) },
+            0,
+            "line flushed, never fenced"
+        );
+        assert_eq!(unsafe { p2.read::<u64>(b) }, 0);
+    }
+
+    #[test]
+    fn dropped_fence_leaves_lines_pending_not_durable() {
+        let p = faulted_pool(2); // write + clwb allowed, fence dropped
+        let a = POff::new(4096);
+        unsafe { p.write(a, &5u64) };
+        p.clwb(a);
+        p.sfence();
+        assert!(p.is_poisoned());
+        let p2 = p.crash();
+        assert_eq!(unsafe { p2.read::<u64>(a) }, 0);
+    }
+
+    #[test]
+    fn checked_ops_report_the_fault() {
+        let p = faulted_pool(1);
+        let a = POff::new(4096);
+        assert!(p.try_write_bytes(a, &[1, 2, 3]).is_err(), "trips the plan");
+        assert_eq!(
+            p.try_clwb(a),
+            Err(PmemFault::Crashed { at_event: 1 }),
+            "already poisoned"
+        );
+        assert!(p.try_sfence().is_err());
+        assert!(p.try_persist_range(a, 8).is_err());
+        // The store itself still landed in the working image (caches).
+        assert_eq!(unsafe { p.read::<u8>(a) }, 1);
+    }
+
+    #[test]
+    fn torn_line_persists_a_prefix_only() {
+        let mut cfg = PmemConfig::strict_for_test(1 << 20);
+        cfg.chaos.torn_line_permille = 1000; // tear every pending line
+        cfg.chaos.seed = 42;
+        let p = PmemPool::new(cfg);
+        let off = POff::new(4096); // line-aligned
+        let full = [0xABu8; 64];
+        p.write_bytes(off, &full);
+        p.clwb(off);
+        // No fence: the line is pending at crash time, so it tears.
+        let p2 = p.crash();
+        let mut got = [0u8; 64];
+        p2.read_bytes(off, &mut got);
+        let persisted = got.iter().take_while(|&&b| b == 0xAB).count();
+        assert!(
+            (8..64).contains(&persisted),
+            "a torn line persists a strict, non-empty prefix (got {persisted} bytes)"
+        );
+        assert_eq!(persisted % 8, 0, "tears happen at ECC-word granularity");
+        assert!(got[persisted..].iter().all(|&b| b == 0), "suffix lost");
+        assert_eq!(p.stats().snapshot().torn_lines, 1);
+    }
+
+    #[test]
+    fn fenced_lines_do_not_tear() {
+        let mut cfg = PmemConfig::strict_for_test(1 << 20);
+        cfg.chaos.torn_line_permille = 1000;
+        let p = PmemPool::new(cfg);
+        let off = POff::new(4096);
+        p.write_bytes(off, &[0xCDu8; 64]);
+        p.persist_range(off, 64); // fence drains it: no longer pending
+        let p2 = p.crash();
+        let mut got = [0u8; 64];
+        p2.read_bytes(off, &mut got);
+        assert!(got.iter().all(|&b| b == 0xCD), "fenced data is whole");
+        assert_eq!(p.stats().snapshot().torn_lines, 0);
+    }
+
+    #[test]
+    fn sweep_points_are_deterministic() {
+        // Identical plans + identical single-threaded workloads must leave
+        // identical durable images.
+        let run = |crash_at: u64| -> Vec<u8> {
+            let p = faulted_pool(crash_at);
+            for i in 0..8u64 {
+                let off = POff::new(4096 + i * 64);
+                unsafe { p.write(off, &(i + 1)) };
+                p.clwb(off);
+                if i % 3 == 2 {
+                    p.sfence();
+                }
+            }
+            p.sfence();
+            let crashed = p.crash();
+            let mut img = vec![0u8; 4096];
+            crashed.read_bytes(POff::new(4096), &mut img);
+            img
+        };
+        for point in [0, 1, 5, 9, 13, 20] {
+            assert_eq!(run(point), run(point), "crash point {point} not replayable");
+        }
     }
 }

@@ -17,6 +17,15 @@ pub struct PmemStats {
     pub lines_drained: AtomicU64,
     /// Number of simulated crashes.
     pub crashes: AtomicU64,
+    /// Crashes injected by a fault plan tripping (as opposed to explicit
+    /// [`crate::PmemPool::crash`] calls, which `crashes` counts).
+    pub injected_crashes: AtomicU64,
+    /// Pending lines torn (partially persisted) at crash time by
+    /// [`crate::ChaosConfig::torn_line_permille`].
+    pub torn_lines: AtomicU64,
+    /// Payloads quarantined by recovery code running on top of the pool
+    /// (reported via [`PmemStats::on_quarantine`]).
+    pub quarantined_payloads: AtomicU64,
 }
 
 impl PmemStats {
@@ -33,6 +42,22 @@ impl PmemStats {
         self.crashes.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_injected_crash(&self) {
+        self.injected_crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_torn_line(&self) {
+        self.torn_lines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` payloads quarantined by a recovery pass. Public because
+    /// the quarantining happens in the layers above the pool (Montage
+    /// recovery), but the counter lives here so every consumer of pool
+    /// statistics — benches, the kv server's `stats` command — sees it.
+    pub fn on_quarantine(&self, n: u64) {
+        self.quarantined_payloads.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A labelled point-in-time copy of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -40,6 +65,9 @@ impl PmemStats {
             sfences: self.sfences.load(Ordering::Relaxed),
             lines_drained: self.lines_drained.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
+            injected_crashes: self.injected_crashes.load(Ordering::Relaxed),
+            torn_lines: self.torn_lines.load(Ordering::Relaxed),
+            quarantined_payloads: self.quarantined_payloads.load(Ordering::Relaxed),
         }
     }
 }
@@ -52,6 +80,9 @@ pub struct StatsSnapshot {
     pub sfences: u64,
     pub lines_drained: u64,
     pub crashes: u64,
+    pub injected_crashes: u64,
+    pub torn_lines: u64,
+    pub quarantined_payloads: u64,
 }
 
 #[cfg(test)]
@@ -65,6 +96,9 @@ mod tests {
         s.on_clwb();
         s.on_sfence(5);
         s.on_crash();
+        s.on_injected_crash();
+        s.on_torn_line();
+        s.on_quarantine(3);
         assert_eq!(
             s.snapshot(),
             StatsSnapshot {
@@ -72,6 +106,9 @@ mod tests {
                 sfences: 1,
                 lines_drained: 5,
                 crashes: 1,
+                injected_crashes: 1,
+                torn_lines: 1,
+                quarantined_payloads: 3,
             }
         );
     }

@@ -79,6 +79,16 @@ impl Ralloc {
         Arc::new(Self::build(pool, sb_count, heap_base))
     }
 
+    /// Whether `pool` carries a ralloc format header. Recovery code checks
+    /// this before [`Ralloc::open_unswept`] (which panics on garbage) so an
+    /// unformatted or early-crash pool degrades to an error, not an abort.
+    pub fn is_formatted(pool: &PmemPool) -> bool {
+        let meta = Meta {
+            base: ROOT_AREA_SIZE as u64,
+        };
+        unsafe { pool.read::<u64>(meta.magic()) == MAGIC }
+    }
+
     /// Opens a previously formatted pool **without** sweeping (blocks are
     /// considered unreachable until [`Ralloc::recover`] is used instead).
     /// Exposed for tests; Montage always goes through `recover`.
@@ -177,14 +187,20 @@ impl Ralloc {
     /// contents are whatever the line last held (callers write their own
     /// headers) — exactly like `malloc`.
     pub fn alloc(&self, size: usize) -> POff {
+        self.try_alloc(size).expect("pool out of memory")
+    }
+
+    /// Like [`Ralloc::alloc`], but returns `None` instead of panicking when
+    /// the heap has no block to give (every superblock carved and full).
+    pub fn try_alloc(&self, size: usize) -> Option<POff> {
         let c = class_for_size(size);
         self.stats.allocs.fetch_add(1, Ordering::Relaxed);
         with_cache(self.instance, |cache| {
             if let Some(off) = cache.bins[c].pop() {
-                return off;
+                return Some(off);
             }
             self.refill(c, &mut cache.bins[c]);
-            cache.bins[c].pop().expect("refill produced no blocks")
+            cache.bins[c].pop()
         })
     }
 

@@ -57,10 +57,15 @@ impl Ralloc {
     where
         F: Fn(POff, usize) -> bool + Sync,
     {
+        // A descriptor outside the class range is corrupt (e.g. a torn
+        // metadata line); treat the superblock as uncarved rather than
+        // indexing the class table with garbage. Its blocks are unreachable
+        // until the next format — degraded, but no panic and no phantoms.
         let carved: Vec<(u32, usize)> = (0..self.sb_count)
             .filter_map(|sb| {
                 let d = unsafe { self.pool.read::<u32>(self.meta_desc(sb)) };
-                (d != 0).then(|| (sb, (d - 1) as usize))
+                (d != 0 && ((d - 1) as usize) < crate::size_class::NUM_CLASSES)
+                    .then(|| (sb, (d - 1) as usize))
             })
             .collect();
 

@@ -236,6 +236,7 @@ fn chaos_evictions_do_not_break_recovery() {
             chaos: ChaosConfig {
                 spontaneous_evict_permille: permille,
                 seed: permille as u64,
+                ..ChaosConfig::default()
             },
         });
         let s = EpochSys::format(pool, EsysConfig::default());

@@ -1,0 +1,343 @@
+//! The acceptance tests for deterministic crash-point fault injection:
+//!
+//! 1. An exhaustive crash sweep over a mixed Montage hashmap + queue
+//!    workload (several hundred persistence events): at *every* event
+//!    boundary, recovery must yield exactly the abstract state after some
+//!    prefix of the operation history — buffered durable linearizability,
+//!    checked at machine granularity rather than at hand-picked moments.
+//! 2. A deliberately corrupted pool: `montage::try_recover` must quarantine
+//!    the corrupt payload into the `RecoveryReport` and carry on, never
+//!    panic — and the quarantined block must stay dead across a second
+//!    crash.
+//! 3. A torn pending header (the `torn_line_permille` chaos knob): the
+//!    header checksum must catch the tear and recovery must quarantine it.
+//! 4. Property-based: random op sequences × sampled crash points.
+
+use std::collections::{HashMap, VecDeque};
+
+use montage::payload::MAGIC_LIVE;
+use montage::{EpochSys, EsysConfig, RecoveryError};
+use montage_ds::{MontageHashMap, MontageQueue};
+use pmem::{PmemConfig, PmemPool};
+use pmem_chaos::{crash_sweep, SweepConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+type Key = [u8; 32];
+
+const QTAG: u16 = 2;
+const MTAG: u16 = 3;
+const NBUCKETS: usize = 8;
+const KEY_SPACE: u64 = 8;
+
+fn key(i: u64) -> Key {
+    let mut k = [0u8; 32];
+    k[..8].copy_from_slice(&i.to_le_bytes());
+    k
+}
+
+fn small_esys_cfg() -> EsysConfig {
+    EsysConfig {
+        max_threads: 2,
+        ..Default::default()
+    }
+}
+
+/// One step of the mixed workload. `Sync` is a durability barrier, not a
+/// state change, so the model ignores it.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Enq(u64),
+    Deq,
+    Put(u64, u64),
+    Remove(u64),
+    Sync,
+}
+
+fn mixed_script(seed: u64, len: usize) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|i| match rng.gen_range(0u64..10) {
+            0..=2 => Op::Enq(i as u64),
+            3 => Op::Deq,
+            4..=6 => Op::Put(rng.gen_range(0..KEY_SPACE), i as u64),
+            7 => Op::Remove(rng.gen_range(0..KEY_SPACE)),
+            _ => Op::Sync,
+        })
+        .collect()
+}
+
+/// Runs the script on a fresh Montage system over `pool`, using the checked
+/// operations so a tripping fault plan degrades instead of panicking.
+fn run_mixed(pool: &PmemPool, script: &[Op]) {
+    let esys = EpochSys::format(pool.clone(), small_esys_cfg());
+    let tid = esys.register_thread();
+    let q = MontageQueue::new(esys.clone(), QTAG);
+    let m = MontageHashMap::<Key>::new(esys.clone(), MTAG, NBUCKETS);
+    for op in script {
+        match *op {
+            Op::Enq(v) => {
+                let _ = q.try_enqueue(tid, &v.to_le_bytes());
+            }
+            Op::Deq => {
+                let _ = q.try_dequeue(tid);
+            }
+            Op::Put(k, v) => {
+                let _ = m.try_put(tid, key(k), &v.to_le_bytes());
+            }
+            Op::Remove(k) => {
+                let _ = m.try_remove(tid, &key(k));
+            }
+            Op::Sync => {
+                let _ = esys.try_sync();
+            }
+        }
+    }
+}
+
+/// Abstract state of the pair of structures.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Model {
+    queue: VecDeque<Vec<u8>>,
+    map: HashMap<u64, Vec<u8>>,
+}
+
+impl Model {
+    fn apply(&mut self, op: Op) {
+        match op {
+            Op::Enq(v) => self.queue.push_back(v.to_le_bytes().to_vec()),
+            Op::Deq => {
+                self.queue.pop_front();
+            }
+            Op::Put(k, v) => {
+                self.map.insert(k, v.to_le_bytes().to_vec());
+            }
+            Op::Remove(k) => {
+                self.map.remove(&k);
+            }
+            Op::Sync => {}
+        }
+    }
+}
+
+/// Recovers both structures from `durable` and checks the state equals the
+/// model after **some** prefix of `script`. `Err(reason)` otherwise.
+fn verify_mixed_prefix(durable: PmemPool, crash_at: u64, script: &[Op]) -> Result<(), String> {
+    let rec = match montage::try_recover(durable, small_esys_cfg(), 1) {
+        // A crash before the pool header became durable recovers to the
+        // empty pre-history state — the trivial prefix.
+        Err(RecoveryError::UnformattedPool) => return Ok(()),
+        Err(e) => return Err(format!("crash_at={crash_at}: recovery failed: {e}")),
+        Ok(rec) => rec,
+    };
+    if !rec.report.quarantined.is_empty() {
+        return Err(format!(
+            "crash_at={crash_at}: clean crash quarantined payloads: {:?}",
+            rec.report.quarantined
+        ));
+    }
+    let q = MontageQueue::recover(rec.esys.clone(), QTAG, &rec);
+    let m = MontageHashMap::<Key>::recover(rec.esys.clone(), MTAG, NBUCKETS, &rec);
+    let tid = rec.esys.register_thread();
+
+    let mut recovered = Model::default();
+    while let Some(v) = q.dequeue(tid) {
+        recovered.queue.push_back(v);
+    }
+    for k in 0..KEY_SPACE {
+        if let Some(v) = m.get_owned(tid, &key(k)) {
+            recovered.map.insert(k, v);
+        }
+    }
+
+    // Compare against every prefix of the history.
+    let mut model = Model::default();
+    if recovered == model {
+        return Ok(());
+    }
+    for (i, &op) in script.iter().enumerate() {
+        model.apply(op);
+        if recovered == model {
+            return Ok(());
+        }
+        let _ = i;
+    }
+    Err(format!(
+        "crash_at={crash_at}: recovered state matches no prefix of the history: {recovered:?}"
+    ))
+}
+
+/// Acceptance criterion: an exhaustive sweep over a ≥200-persistence-event
+/// mixed workload passes the consistent-prefix check at every crash point.
+#[test]
+fn montage_mixed_workload_is_prefix_consistent_at_every_crash_point() {
+    let script = mixed_script(0xC0FFEE, 56);
+    let cfg = SweepConfig {
+        exhaustive_limit: 4096, // force exhaustiveness even if the workload grows
+        samples: 64,
+        seed: 0xD15EA5E,
+    };
+    let report = crash_sweep(
+        &cfg,
+        PmemConfig::strict_for_test(8 << 20),
+        |pool| run_mixed(pool, &script),
+        |durable, crash_at| verify_mixed_prefix(durable, crash_at, &script),
+    );
+    assert!(
+        report.total_events >= 200,
+        "workload too small for a meaningful sweep: {} events",
+        report.total_events
+    );
+    assert_eq!(
+        report.crash_points.len() as u64,
+        report.total_events + 1,
+        "sweep must be exhaustive"
+    );
+    report.assert_ok();
+}
+
+/// Builds a synced pool holding `n` queue payloads and returns it crashed
+/// (durable image only) along with the payload block offsets.
+fn synced_payload_pool(n: u64, chaos_torn: bool, seed: u64) -> (PmemPool, Vec<pmem::POff>) {
+    let mut cfg = PmemConfig::strict_for_test(8 << 20);
+    if chaos_torn {
+        cfg.chaos.torn_line_permille = 1000;
+        cfg.chaos.seed = seed;
+    }
+    let pool = PmemPool::new(cfg);
+    let esys = EpochSys::format(pool.clone(), small_esys_cfg());
+    let tid = esys.register_thread();
+    let mut blks = Vec::new();
+    for i in 0..n {
+        let g = esys.begin_op(tid);
+        let h = esys.pnew_bytes(&g, QTAG, &i.to_le_bytes());
+        blks.push(h.raw());
+        drop(g);
+    }
+    esys.sync();
+    (pool, blks)
+}
+
+/// Acceptance criterion: `try_recover` on a deliberately corrupted pool
+/// returns a `RecoveryReport` with the corrupt payload quarantined instead
+/// of panicking — and the quarantined block stays dead after another crash.
+#[test]
+fn corrupted_header_is_quarantined_not_fatal() {
+    let (pool, blks) = synced_payload_pool(6, false, 0);
+    let victim = blks[2];
+    // Corrupt the victim's header *durably*: invalid kind byte, which also
+    // invalidates the header checksum.
+    unsafe { pool.write::<u8>(victim.add(4), &0xFF) };
+    pool.persist_range(victim, 8);
+
+    let rec = montage::try_recover(pool.crash(), small_esys_cfg(), 1)
+        .expect("recovery must degrade, not fail");
+    assert_eq!(
+        rec.report.quarantined.len(),
+        1,
+        "exactly the corrupted payload is quarantined: {:?}",
+        rec.report.quarantined
+    );
+    assert_eq!(rec.report.quarantined[0].blk, victim);
+    assert!(matches!(
+        rec.report.quarantined[0].reason,
+        RecoveryError::CorruptHeader { .. }
+    ));
+    assert_eq!(rec.report.survivors, 5, "the other payloads survive");
+    assert_eq!(
+        rec.esys.pool().stats().snapshot().quarantined_payloads,
+        1,
+        "quarantine is visible in the pool statistics"
+    );
+
+    // Crash again without touching anything: the tombstoned block must not
+    // resurrect, and nothing else gets quarantined.
+    let rec2 = montage::try_recover(rec.esys.pool().crash(), small_esys_cfg(), 1)
+        .expect("second recovery");
+    assert_eq!(rec2.report.survivors, 5);
+    assert!(rec2.report.quarantined.is_empty());
+}
+
+/// A payload whose epoch field claims to be old enough to survive, but whose
+/// header line was still pending (clwb'd, unfenced) when the power died and
+/// got *torn* by `torn_line_permille`: the checksum catches the mixed-word
+/// header and recovery quarantines it rather than resurrecting it.
+#[test]
+fn torn_pending_header_is_quarantined() {
+    let mut quarantined_seen = 0;
+    for seed in 0..8u64 {
+        let (pool, blks) = synced_payload_pool(4, true, seed);
+        let victim = blks[1];
+        // Rewrite the victim's header in the working image with *different*
+        // field values (new tag, new uid, garbage checksum) but a
+        // still-plausible epoch, then clwb WITHOUT a fence: the line is
+        // pending at crash time, so the chaos config tears it — a strict
+        // 1..=7-word prefix of the new line lands on the old durable words.
+        unsafe {
+            pool.write::<u32>(victim, &MAGIC_LIVE);
+            pool.write::<u8>(victim.add(4), &1u8); // kind: Alloc
+            pool.write::<u16>(victim.add(6), &0x7777u16); // different tag
+            pool.write::<u64>(victim.add(8), &2u64); // plausible old epoch
+            pool.write::<u64>(victim.add(16), &0xABCD_EF01u64); // different uid
+            pool.write::<u32>(victim.add(24), &8u32);
+            pool.write::<u32>(victim.add(28), &0xBAD_C0DE_u32); // bogus checksum
+        }
+        pool.clwb(victim);
+
+        let rec = montage::try_recover(pool.crash(), small_esys_cfg(), 1)
+            .expect("torn header must degrade recovery, not kill it");
+        assert!(
+            pool.stats().snapshot().torn_lines >= 1,
+            "seed {seed}: the pending header line must have been torn"
+        );
+        // Whatever prefix the tear kept, the mixed header can never checksum
+        // clean (old suffix with new prefix, or the bogus checksum itself):
+        // the victim must be quarantined, never a survivor.
+        let resurrected = rec
+            .shards
+            .iter()
+            .flatten()
+            .any(|it| it.blk == victim && it.tag == 0x7777);
+        assert!(!resurrected, "seed {seed}: torn header resurrected");
+        if rec.report.quarantined.iter().any(|qp| qp.blk == victim) {
+            quarantined_seen += 1;
+        }
+    }
+    assert!(
+        quarantined_seen > 0,
+        "no seed produced a quarantined torn header"
+    );
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u8>().prop_map(|v| Op::Enq(v as u64)),
+        2 => Just(Op::Deq),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k as u64 % KEY_SPACE, v as u64)),
+        1 => any::<u8>().prop_map(|k| Op::Remove(k as u64 % KEY_SPACE)),
+        1 => Just(Op::Sync),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    /// Random op sequences × sampled crash points: every combination must
+    /// recover to a consistent prefix. Bounded (6 sequences × ~18 points)
+    /// to stay inside a CI budget; the exhaustive test above covers depth.
+    #[test]
+    fn random_histories_are_prefix_consistent_at_sampled_crash_points(
+        ops in proptest::collection::vec(op_strategy(), 10..40),
+        seed in any::<u64>(),
+    ) {
+        let cfg = SweepConfig { exhaustive_limit: 0, samples: 16, seed };
+        let report = crash_sweep(
+            &cfg,
+            PmemConfig::strict_for_test(8 << 20),
+            |pool| run_mixed(pool, &ops),
+            |durable, crash_at| verify_mixed_prefix(durable, crash_at, &ops),
+        );
+        prop_assert!(report.is_ok(), "{:?}", report.failures);
+    }
+}
