@@ -38,6 +38,13 @@ impl WireClient {
         self.writer.write_all(bytes)
     }
 
+    /// Reads whatever reply bytes are available into `buf`, returning the
+    /// count (0 = peer closed). Load generators use this to drain pipelined
+    /// replies in bulk instead of line-by-line.
+    pub fn read_some(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.reader.read(buf)
+    }
+
     /// Reads one CRLF-terminated reply line (terminator stripped).
     pub fn read_line(&mut self) -> std::io::Result<String> {
         let mut line = String::new();

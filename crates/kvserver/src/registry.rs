@@ -1,28 +1,33 @@
 //! Session registry: leases Montage thread ids to connections.
 //!
 //! Montage sizes its per-thread state (write-back buffers, epoch tracker
-//! slots) to a fixed `max_threads` at pool creation. A server accepts and
-//! drops connections indefinitely, so it cannot burn one id per connection
-//! lifetime — it leases an id when a connection arrives and returns it to
-//! the epoch system's free list on disconnect. The registry also enforces
-//! its own session cap so an over-capacity connect is refused with a
-//! protocol error instead of exhausting the id table (or panicking, as
-//! `EpochSys::register_thread` would).
+//! slots) to a fixed `max_threads` at pool creation — per shard. A server
+//! accepts and drops connections indefinitely, so it cannot burn one id per
+//! connection lifetime; and on a sharded store it cannot even afford one id
+//! per shard per connection up front (N shards would exhaust the tables N
+//! times sooner). So leasing is two-level and lazy: the registry enforces
+//! its own `max_sessions` cap at connect (an over-capacity connect is
+//! refused with a protocol error), and the connection's [`StoreLease`]
+//! registers on a shard's epoch system only when an operation first routes
+//! there. Every leased id returns to its shard's free list on disconnect;
+//! if a shard's table is momentarily exhausted, operations routed there get
+//! `SERVER_ERROR out of worker ids` until a peer disconnects — the
+//! connection itself survives.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use kvstore::KvStore;
+use kvstore::{KvStore, ShardedKvStore, StoreLease};
 
 /// Hands out per-connection [`SessionLease`]s, bounded by `max_sessions`.
 pub struct SessionRegistry {
-    store: Arc<KvStore>,
+    store: Arc<ShardedKvStore>,
     max_sessions: usize,
     active: AtomicUsize,
 }
 
 impl SessionRegistry {
-    pub fn new(store: Arc<KvStore>, max_sessions: usize) -> Arc<Self> {
+    pub fn new(store: Arc<ShardedKvStore>, max_sessions: usize) -> Arc<Self> {
         Arc::new(SessionRegistry {
             store,
             max_sessions,
@@ -30,20 +35,24 @@ impl SessionRegistry {
         })
     }
 
+    /// Registry over a single-pool store (the unsharded server surface).
+    pub fn single(store: Arc<KvStore>, max_sessions: usize) -> Arc<Self> {
+        Self::new(ShardedKvStore::single(store), max_sessions)
+    }
+
     /// Number of live leases.
     pub fn active(&self) -> usize {
         self.active.load(Ordering::Acquire)
     }
 
-    pub fn store(&self) -> &Arc<KvStore> {
+    pub fn store(&self) -> &Arc<ShardedKvStore> {
         &self.store
     }
 
-    /// Leases a thread id for one connection, or `None` when the server is
-    /// at capacity (either the session cap or the epoch system's id table).
+    /// Leases a session slot for one connection, or `None` when the server
+    /// is at its session cap. Worker ids are *not* acquired here — the
+    /// returned lease picks them up shard-by-shard as operations route.
     pub fn lease(self: &Arc<Self>) -> Option<SessionLease> {
-        // Reserve a session slot first; only then touch the id table, so a
-        // refused connect leaves the epoch system untouched.
         let mut cur = self.active.load(Ordering::Acquire);
         loop {
             if cur >= self.max_sessions {
@@ -59,35 +68,31 @@ impl SessionRegistry {
                 Err(seen) => cur = seen,
             }
         }
-        match self.store.try_register_thread() {
-            Some(tid) => Some(SessionLease {
-                registry: Arc::clone(self),
-                tid,
-            }),
-            None => {
-                self.active.fetch_sub(1, Ordering::AcqRel);
-                None
-            }
-        }
+        Some(SessionLease {
+            registry: Arc::clone(self),
+            lease: Arc::new(self.store.lease()),
+        })
     }
 }
 
-/// A leased thread id; returned to the registry (and the epoch system's
-/// free list) on drop, so disconnect-heavy workloads never leak ids.
+/// A leased session slot plus its lazily-filled per-shard worker ids; both
+/// are returned on drop, so disconnect-heavy workloads never leak either.
 pub struct SessionLease {
     registry: Arc<SessionRegistry>,
-    tid: usize,
+    lease: Arc<StoreLease>,
 }
 
 impl SessionLease {
-    pub fn tid(&self) -> usize {
-        self.tid
+    /// The per-shard worker-id lease, shared with the connection's session.
+    pub fn store_lease(&self) -> &Arc<StoreLease> {
+        &self.lease
     }
 }
 
 impl Drop for SessionLease {
     fn drop(&mut self) {
-        self.registry.store.unregister_thread(self.tid);
+        // The StoreLease itself unregisters ids when its last Arc drops
+        // (the session holds the other clone, dropped alongside this).
         self.registry.active.fetch_sub(1, Ordering::AcqRel);
     }
 }
@@ -95,7 +100,7 @@ impl Drop for SessionLease {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kvstore::{KvBackend, KvStore};
+    use kvstore::{make_key, KvBackend, KvStore};
 
     fn dram_store() -> Arc<KvStore> {
         Arc::new(KvStore::new(KvBackend::Dram, 4, 1024))
@@ -103,7 +108,7 @@ mod tests {
 
     #[test]
     fn cap_is_enforced_and_slots_recycle() {
-        let reg = SessionRegistry::new(dram_store(), 2);
+        let reg = SessionRegistry::single(dram_store(), 2);
         let a = reg.lease().expect("first lease");
         let _b = reg.lease().expect("second lease");
         assert!(reg.lease().is_none(), "third lease must be refused");
@@ -114,7 +119,7 @@ mod tests {
     }
 
     #[test]
-    fn montage_ids_are_returned_on_drop() {
+    fn montage_ids_are_leased_lazily_and_returned_on_drop() {
         let pool = pmem::PmemPool::new(pmem::PmemConfig::strict_for_test(1 << 20));
         let esys = montage::EpochSys::format(
             pool,
@@ -123,16 +128,31 @@ mod tests {
                 ..Default::default()
             },
         );
-        let store = Arc::new(KvStore::new(KvBackend::Montage(esys), 4, 1024));
-        // Session cap above the id-table size: the id table is the binding
-        // constraint, and churn must still never exhaust it.
-        let reg = SessionRegistry::new(store, 8);
+        let store =
+            ShardedKvStore::single(Arc::new(KvStore::new(KvBackend::Montage(esys), 4, 1024)));
+        // Session cap above the id-table size: connects beyond the table
+        // are *accepted*; the table binds at first operation, and churn
+        // must still never exhaust it.
+        let reg = SessionRegistry::new(store.clone(), 8);
+        let key = make_key(1);
         for _ in 0..100 {
             let a = reg.lease().expect("lease a");
             let b = reg.lease().expect("lease b");
-            assert!(reg.lease().is_none(), "id table exhausted, must refuse");
+            let c = reg.lease().expect("connects are cheap now");
+            store.set(a.store_lease(), key, b"1").expect("a gets an id");
+            store.set(b.store_lease(), key, b"2").expect("b gets an id");
+            // Both ids are held; the third session's first op is refused.
+            assert!(
+                store.set(c.store_lease(), key, b"3").is_err(),
+                "id table exhausted, op must be refused"
+            );
             drop(a);
+            // a's id returned: c can now operate.
+            store
+                .set(c.store_lease(), key, b"3")
+                .expect("freed id reused");
             drop(b);
+            drop(c);
         }
         assert_eq!(reg.active(), 0);
     }

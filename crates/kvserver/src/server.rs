@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use kvstore::protocol::Session;
-use kvstore::KvStore;
+use kvstore::{KvStore, ShardedKvStore};
 
 use crate::frame::{Request, RequestReader};
 use crate::registry::SessionRegistry;
@@ -93,6 +93,17 @@ impl KvServer {
     /// Binds, spawns the accept loop, and returns a handle. Serving happens
     /// on background threads; the caller keeps the handle to stop it.
     pub fn start(cfg: ServerConfig, store: Arc<KvStore>) -> std::io::Result<ServerHandle> {
+        Self::start_sharded(cfg, ShardedKvStore::single(store))
+    }
+
+    /// [`KvServer::start`] over a sharded store. Connections route each key
+    /// to its owning shard and lease per-shard worker ids lazily; `sync`,
+    /// `stats`, and shutdown fan out across every shard, and a faulted
+    /// shard degrades only the keys it owns.
+    pub fn start_sharded(
+        cfg: ServerConfig,
+        store: Arc<ShardedKvStore>,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -161,8 +172,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
 
     let store = Arc::clone(shared.registry.store());
-    let esys = store.esys().cloned();
-    let session = Session::with_tid(store, lease.tid());
+    let session = Session::sharded(Arc::clone(&store), Arc::clone(lease.store_lease()));
     let mut reader = RequestReader::new(shared.cfg.max_value_bytes);
     let mut buf = [0u8; 4096];
     let mut last_activity = Instant::now();
@@ -208,26 +218,17 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                         }
                         continue;
                     }
-                    // Once a fault plan has tripped, the pool can never make
-                    // anything durable again. Degrade: refuse every command
-                    // with an explicit error instead of panicking (or worse,
-                    // acking writes a real machine would have lost).
-                    if let Some(f) = shared.registry.store().fault() {
-                        if !noreply {
-                            reply.extend_from_slice(
-                                format!("SERVER_ERROR persistent pool crashed: {f}\r\n").as_bytes(),
-                            );
-                        }
-                        continue;
-                    }
                     if cmd == "sync" {
-                        // Reply only after the epoch system reports every
-                        // previously-acked mutation persistent.
-                        if let Some(esys) = &esys {
-                            esys.sync();
-                        }
+                        // Reply only after every shard's epoch system reports
+                        // all previously-acked mutations persistent. A
+                        // faulted shard can never make that promise again, so
+                        // the barrier reports it; healthy shards still sync.
+                        let out = match store.sync() {
+                            Ok(()) => "SYNCED\r\n".into(),
+                            Err(e) => format!("SERVER_ERROR {e}\r\n"),
+                        };
                         if !noreply {
-                            reply.extend_from_slice(b"SYNCED\r\n");
+                            reply.extend_from_slice(out.as_bytes());
                         }
                         continue;
                     }
@@ -253,9 +254,18 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                         if let Some(n) = shared.cfg.sync_every {
                             let seq = shared.mutations.fetch_add(1, Ordering::AcqRel) + 1;
                             if seq.is_multiple_of(n) {
-                                if let Some(esys) = &esys {
-                                    esys.sync();
-                                }
+                                // The periodic barrier syncs only the shard
+                                // this mutation routed to — barriers on shard
+                                // A must never wait out shard B's epochs;
+                                // that independence is the scaling lever.
+                                let shard = line
+                                    .split_whitespace()
+                                    .nth(1)
+                                    .and_then(|k| store.shard_of_bytes(k.as_bytes()));
+                                let _ = match shard {
+                                    Some(i) => store.sync_shard(i),
+                                    None => store.sync(),
+                                };
                             }
                         }
                     }
@@ -300,7 +310,10 @@ fn stats_reply(shared: &Shared) -> String {
     stat("evictions", store.evictions() as u64);
     stat("curr_connections", shared.registry.active() as u64);
     stat("total_mutations", shared.mutations.load(Ordering::Acquire));
-    if let Some(snap) = store.pool_stats() {
+    stat("shards", store.n_shards() as u64);
+    // Store-wide aggregates keep the single-pool stat names so existing
+    // consumers (dashboards, the degradation tests) read merged counters.
+    if let Some(snap) = store.pool_stats_merged() {
         stat("pmem_clwbs", snap.clwbs);
         stat("pmem_sfences", snap.sfences);
         stat("pmem_lines_drained", snap.lines_drained);
@@ -309,10 +322,36 @@ fn stats_reply(shared: &Shared) -> String {
         stat("pmem_torn_lines", snap.torn_lines);
         stat("pmem_quarantined_payloads", snap.quarantined_payloads);
     }
-    if let Some(esys) = store.esys() {
-        stat("montage_epoch", esys.curr_epoch());
+    if let Some(e) = store.epochs()[0] {
+        stat("montage_epoch", e);
     }
-    stat("pool_faulted", u64::from(store.fault().is_some()));
+    stat("pool_faulted", u64::from(store.fault_any().is_some()));
+    // Per-shard breakdown: quarantine and fault containment are per-shard
+    // facts, and operators need to see *which* shard is degraded.
+    if store.n_shards() > 1 {
+        let epochs = store.epochs();
+        for (i, snap) in store.pool_stats_per_shard().into_iter().enumerate() {
+            if let Some(snap) = snap {
+                stat(&format!("shard{i}_pmem_clwbs"), snap.clwbs);
+                stat(&format!("shard{i}_pmem_sfences"), snap.sfences);
+                stat(
+                    &format!("shard{i}_pmem_injected_crashes"),
+                    snap.injected_crashes,
+                );
+                stat(
+                    &format!("shard{i}_pmem_quarantined_payloads"),
+                    snap.quarantined_payloads,
+                );
+            }
+            if let Some(e) = epochs[i] {
+                stat(&format!("shard{i}_montage_epoch"), e);
+            }
+            stat(
+                &format!("shard{i}_pool_faulted"),
+                u64::from(store.shard_fault(i).is_some()),
+            );
+        }
+    }
     out.push_str("END\r\n");
     out
 }
@@ -341,9 +380,9 @@ impl ServerHandle {
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::Release);
         let _ = self.accept.join(); // joins workers too
-        if let Some(esys) = self.shared.registry.store().esys() {
-            esys.sync();
-        }
+                                    // Final barrier across every shard; a faulted shard cannot sync and
+                                    // is skipped (its loss is already the fault plan's fact on disk).
+        let _ = self.shared.registry.store().sync();
     }
 
     /// Simulated server crash: sever every connection mid-stream and stop

@@ -15,6 +15,11 @@
 //! bytes; LRU is per-shard with stamp-ordered eviction.
 
 pub mod protocol;
+pub mod router;
+pub mod sharded;
+
+pub use router::ShardRouter;
+pub use sharded::{ShardRecovery, ShardedKvStore, StoreError, StoreLease, StoreRecoveryReport};
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
@@ -232,12 +237,14 @@ impl KvStore {
         Some(match (&self.backend, item) {
             (_, ItemRef::Dram(b)) => f(b),
             (KvBackend::Nvm(r), ItemRef::Nvm(off, len)) => {
+                r.pool().media_read(*len as usize);
                 let ptr = unsafe { r.pool().at::<u8>(*off) };
                 f(unsafe { std::slice::from_raw_parts(ptr, *len as usize) })
             }
-            (KvBackend::Montage(esys), ItemRef::Montage(h)) => {
-                esys.peek_bytes_unsafe(*h, |b| f(&b[KEY_BYTES..]))
-            }
+            (KvBackend::Montage(esys), ItemRef::Montage(h)) => esys.peek_bytes_unsafe(*h, |b| {
+                esys.pool().media_read(b.len());
+                f(&b[KEY_BYTES..])
+            }),
             _ => unreachable!("item/backend mismatch"),
         })
     }

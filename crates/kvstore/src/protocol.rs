@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use crate::{Key, KvStore};
+use crate::{Key, KvStore, ShardedKvStore, StoreError, StoreLease};
 
 const META: usize = 12; // flags u32 + expires_at_ms u64
 
@@ -36,10 +36,12 @@ impl Clock for SystemClock {
     }
 }
 
-/// One client session (carries the worker's thread id).
+/// One client session. Commands route through a [`ShardedKvStore`] (a
+/// plain [`KvStore`] is wrapped as its 1-shard case), with worker ids
+/// leased lazily per shard through the session's [`StoreLease`].
 pub struct Session {
-    store: Arc<KvStore>,
-    tid: usize,
+    store: Arc<ShardedKvStore>,
+    lease: Arc<StoreLease>,
     clock: Arc<dyn Clock>,
 }
 
@@ -74,17 +76,26 @@ fn key_of(s: &str) -> Result<Key, String> {
 
 impl Session {
     pub fn new(store: Arc<KvStore>) -> Self {
-        let tid = store.register_thread();
-        Session::with_tid(store, tid)
+        let store = ShardedKvStore::single(store);
+        let lease = Arc::new(store.lease());
+        Session::sharded(store, lease)
     }
 
     /// Wraps an already-leased worker id (the server's session registry
     /// leases ids per connection and returns them on disconnect; the
     /// session does not own the id).
     pub fn with_tid(store: Arc<KvStore>, tid: usize) -> Self {
+        let store = ShardedKvStore::single(store);
+        let lease = Arc::new(store.lease_prefilled(vec![Some(tid)]));
+        Session::sharded(store, lease)
+    }
+
+    /// A session over a sharded store with a caller-managed lease (the
+    /// server's registry shares one lease per connection).
+    pub fn sharded(store: Arc<ShardedKvStore>, lease: Arc<StoreLease>) -> Self {
         Session {
             store,
-            tid,
+            lease,
             clock: Arc::new(SystemClock),
         }
     }
@@ -93,11 +104,6 @@ impl Session {
     pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
         self.clock = clock;
         self
-    }
-
-    /// The worker id this session operates as.
-    pub fn tid(&self) -> usize {
-        self.tid
     }
 
     /// Executes one command line. Storage commands (`set`/`add`/`replace`)
@@ -121,10 +127,12 @@ impl Session {
     /// Fetches live (unexpired) item data + flags, lazily deleting expired
     /// items like memcached does.
     fn fetch(&self, key: &Key) -> Option<(u32, Vec<u8>)> {
-        let item = self.store.get(self.tid, key, parse_item)?;
+        let item = self.store.get(key, parse_item)?;
         let (flags, expires_at, data) = item;
         if expires_at != 0 && expires_at <= self.clock.now_ms() {
-            self.store.delete(self.tid, key);
+            // Best-effort: on a faulted or id-starved shard the expired item
+            // stays resident but is still filtered out of every reply.
+            let _ = self.store.delete(&self.lease, key);
             return None;
         }
         Some((flags, data))
@@ -172,12 +180,14 @@ impl Session {
             "replace" if !exists => return "NOT_STORED".into(),
             _ => {}
         }
-        self.store.set(
-            self.tid,
+        match self.store.set(
+            &self.lease,
             key,
             &make_item(flags, exptime, data, self.clock.now_ms()),
-        );
-        "STORED".into()
+        ) {
+            Ok(()) => "STORED".into(),
+            Err(e) => server_error(&e),
+        }
     }
 
     fn do_delete(&self, args: &[&str]) -> String {
@@ -185,8 +195,11 @@ impl Session {
             return "CLIENT_ERROR bad command line format".into();
         };
         match key_of(karg) {
-            Ok(key) if self.store.delete(self.tid, &key) => "DELETED".into(),
-            Ok(_) => "NOT_FOUND".into(),
+            Ok(key) => match self.store.delete(&self.lease, &key) {
+                Ok(true) => "DELETED".into(),
+                Ok(false) => "NOT_FOUND".into(),
+                Err(e) => server_error(&e),
+            },
             Err(e) => e,
         }
     }
@@ -203,17 +216,24 @@ impl Session {
             return "CLIENT_ERROR bad command line format".into();
         };
         match self.fetch(&key) {
-            Some((flags, data)) => {
-                self.store.set(
-                    self.tid,
-                    key,
-                    &make_item(flags, exptime, &data, self.clock.now_ms()),
-                );
-                "TOUCHED".into()
-            }
+            Some((flags, data)) => match self.store.set(
+                &self.lease,
+                key,
+                &make_item(flags, exptime, &data, self.clock.now_ms()),
+            ) {
+                Ok(()) => "TOUCHED".into(),
+                Err(e) => server_error(&e),
+            },
             None => "NOT_FOUND".into(),
         }
     }
+}
+
+/// Maps a refused mutation to its wire reply. The `persistent pool crashed`
+/// prefix is load-bearing: clients (and the degradation wire tests) match
+/// on it to distinguish a frozen pool from a transient error.
+fn server_error(e: &StoreError) -> String {
+    format!("SERVER_ERROR {e}")
 }
 
 #[cfg(test)]
@@ -298,7 +318,7 @@ mod tests {
         v.extend_from_slice(&1u64.to_le_bytes()); // expired long ago
         v.extend_from_slice(b"stale");
         let key = key_of("old").unwrap();
-        s.store.set(s.tid, key, &v);
+        s.store.set(&s.lease, key, &v).unwrap();
         assert_eq!(s.execute("get old", b""), "END");
         assert_eq!(s.execute("touch old 100", b""), "NOT_FOUND");
         // And a never-expiring item stays.
@@ -355,5 +375,28 @@ mod tests {
         let r = s2.execute("get persisted", b"");
         assert!(r.contains("VALUE persisted 3 9"), "{r}");
         assert!(r.contains("important"));
+    }
+
+    #[test]
+    fn sharded_session_spans_shards() {
+        let store = crate::ShardedKvStore::format(
+            4,
+            PmemConfig::strict_for_test(8 << 20),
+            EsysConfig::default(),
+            4,
+            10_000,
+        );
+        let lease = Arc::new(store.lease());
+        let s = Session::sharded(store.clone(), lease);
+        for i in 0..50 {
+            assert_eq!(s.execute(&format!("set k{i} 0 0 2"), b"vv"), "STORED");
+        }
+        for i in 0..50 {
+            let r = s.execute(&format!("get k{i}"), b"");
+            assert!(r.contains(&format!("VALUE k{i} 0 2")), "{r}");
+        }
+        assert!(store.len() == 50);
+        let touched = s.lease.held().iter().filter(|t| t.is_some()).count();
+        assert!(touched >= 2, "50 keys should lease ids on several shards");
     }
 }

@@ -1,0 +1,647 @@
+//! Sharded multi-pool store: N independent [`KvStore`]s, each over its own
+//! pmem pool, ralloc arena, and epoch system, behind a deterministic
+//! key→shard router.
+//!
+//! Montage's buffered durable linearizability is a per-structure guarantee:
+//! nothing in the paper's model requires two unrelated structures to share
+//! an epoch clock. Sharding exploits that — each shard advances, syncs,
+//! recovers, and *crashes* independently. A fault that poisons one shard's
+//! pool degrades that shard's keys to errors while the others keep serving,
+//! and recovery runs one thread per shard with the per-shard
+//! [`montage::RecoveryReport`]s merged into a single store-level report.
+
+use std::sync::Arc;
+
+use montage::{EpochSys, EsysConfig, RecoveryError};
+use parking_lot::Mutex;
+use pmem::{PmemConfig, PmemFault, PmemPool, StatsSnapshot};
+
+use crate::router::ShardRouter;
+use crate::{Key, KvBackend, KvStore};
+
+/// Why a sharded-store mutation was refused. `Display` output is what the
+/// wire protocol sends after `SERVER_ERROR `.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The routed shard's pool has a tripped fault plan: its durable image
+    /// is frozen, so accepting the mutation would lie about durability.
+    Faulted { shard: usize, fault: PmemFault },
+    /// The routed shard's epoch-system thread table is fully leased.
+    OutOfThreadIds { shard: usize },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Faulted { shard, fault } => {
+                write!(f, "persistent pool crashed: {fault} (shard {shard})")
+            }
+            StoreError::OutOfThreadIds { shard } => {
+                write!(f, "out of worker ids (shard {shard})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Per-shard outcome of a parallel recovery.
+#[derive(Clone, Debug)]
+pub struct ShardRecovery {
+    pub shard: usize,
+    /// Payloads rebuilt into the shard's index.
+    pub survivors: usize,
+    /// Payloads discarded by uid cancellation.
+    pub cancelled: usize,
+    /// Payloads from past the recovery cutoff (the buffered loss window).
+    pub discarded_recent: usize,
+    /// Corrupt payloads quarantined by this shard's sweep.
+    pub quarantined: usize,
+    /// A fatal error means the shard's image was unrecoverable; the shard
+    /// came back formatted-empty and every payload it held is lost.
+    pub fatal: Option<RecoveryError>,
+}
+
+/// Merged accounting for a whole-store parallel recovery.
+#[derive(Clone, Debug, Default)]
+pub struct StoreRecoveryReport {
+    pub shards: Vec<ShardRecovery>,
+}
+
+impl StoreRecoveryReport {
+    pub fn survivors(&self) -> usize {
+        self.shards.iter().map(|s| s.survivors).sum()
+    }
+
+    pub fn quarantined(&self) -> usize {
+        self.shards.iter().map(|s| s.quarantined).sum()
+    }
+
+    pub fn fatal_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.fatal.is_some()).count()
+    }
+
+    /// No quarantines and no fatal shards — every shard recovered cleanly
+    /// (modulo the normal buffered loss window).
+    pub fn is_clean(&self) -> bool {
+        self.quarantined() == 0 && self.fatal_shards() == 0
+    }
+}
+
+/// N independent single-pool stores behind a stable router.
+pub struct ShardedKvStore {
+    shards: Box<[Arc<KvStore>]>,
+    router: ShardRouter,
+}
+
+impl ShardedKvStore {
+    /// Fronts existing per-shard stores. Shard order is identity: keys
+    /// route by [`ShardRouter`] over `shards.len()`.
+    pub fn from_shards(shards: Vec<Arc<KvStore>>) -> Arc<Self> {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let router = ShardRouter::new(shards.len());
+        Arc::new(ShardedKvStore {
+            shards: shards.into(),
+            router,
+        })
+    }
+
+    /// Wraps a single store — the degenerate 1-shard case the unsharded
+    /// server and protocol paths run on.
+    pub fn single(store: Arc<KvStore>) -> Arc<Self> {
+        Self::from_shards(vec![store])
+    }
+
+    /// Formats `n_shards` fresh Montage shards, each on its own pool built
+    /// from `pool_cfg`. `capacity` is the whole store's item cap, split
+    /// evenly; `stripes` is each shard's internal lock striping.
+    pub fn format(
+        n_shards: usize,
+        pool_cfg: PmemConfig,
+        esys_cfg: EsysConfig,
+        stripes: usize,
+        capacity: usize,
+    ) -> Arc<Self> {
+        let pools = (0..n_shards).map(|_| PmemPool::new(pool_cfg)).collect();
+        Self::format_pools(pools, esys_cfg, stripes, capacity)
+    }
+
+    /// [`ShardedKvStore::format`] over caller-built pools — chaos harnesses
+    /// arm individual shards' fault plans before handing the pools over.
+    pub fn format_pools(
+        pools: Vec<PmemPool>,
+        esys_cfg: EsysConfig,
+        stripes: usize,
+        capacity: usize,
+    ) -> Arc<Self> {
+        assert!(!pools.is_empty(), "need at least one shard");
+        let cap_per_shard = (capacity / pools.len()).max(1);
+        Self::from_shards(
+            pools
+                .into_iter()
+                .map(|pool| {
+                    let esys = EpochSys::format(pool, esys_cfg);
+                    Arc::new(KvStore::new(
+                        KvBackend::Montage(esys),
+                        stripes,
+                        cap_per_shard,
+                    ))
+                })
+                .collect(),
+        )
+    }
+
+    /// Parallel recovery: one thread per shard runs [`montage::try_recover`]
+    /// and rebuilds that shard's index. A shard whose image is fatally
+    /// unrecoverable (unformatted pool, corrupt clock) comes back
+    /// formatted-empty on a fresh pool, with the error recorded in the
+    /// merged report — one poisoned shard must not take the store down.
+    pub fn recover(
+        pools: Vec<PmemPool>,
+        esys_cfg: EsysConfig,
+        stripes: usize,
+        capacity: usize,
+        sweep_threads: usize,
+    ) -> (Arc<Self>, StoreRecoveryReport) {
+        assert!(!pools.is_empty(), "need at least one shard");
+        let cap_per_shard = (capacity / pools.len()).max(1);
+        let mut slots: Vec<Option<(Arc<KvStore>, ShardRecovery)>> =
+            (0..pools.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pools
+                .into_iter()
+                .enumerate()
+                .map(|(shard, pool)| {
+                    scope.spawn(move || {
+                        // A fresh pool for the fatal path must not inherit a
+                        // tripped fault plan, or it would re-poison itself.
+                        let mut fresh_cfg = *pool.config();
+                        fresh_cfg.chaos = Default::default();
+                        match montage::try_recover(pool, esys_cfg, sweep_threads) {
+                            Ok(rec) => {
+                                let store = KvStore::recover(
+                                    rec.esys.clone(),
+                                    stripes,
+                                    cap_per_shard,
+                                    &rec,
+                                );
+                                let r = &rec.report;
+                                (
+                                    Arc::new(store),
+                                    ShardRecovery {
+                                        shard,
+                                        survivors: r.survivors,
+                                        cancelled: r.cancelled,
+                                        discarded_recent: r.discarded_recent,
+                                        quarantined: r.quarantined.len(),
+                                        fatal: None,
+                                    },
+                                )
+                            }
+                            Err(e) => {
+                                let esys = EpochSys::format(PmemPool::new(fresh_cfg), esys_cfg);
+                                let store =
+                                    KvStore::new(KvBackend::Montage(esys), stripes, cap_per_shard);
+                                (
+                                    Arc::new(store),
+                                    ShardRecovery {
+                                        shard,
+                                        survivors: 0,
+                                        cancelled: 0,
+                                        discarded_recent: 0,
+                                        quarantined: 0,
+                                        fatal: Some(e),
+                                    },
+                                )
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for (slot, handle) in slots.iter_mut().zip(handles) {
+                *slot = Some(handle.join().expect("shard recovery thread panicked"));
+            }
+        });
+        let mut shards = Vec::with_capacity(slots.len());
+        let mut report = StoreRecoveryReport::default();
+        for slot in slots {
+            let (store, rec) = slot.unwrap();
+            shards.push(store);
+            report.shards.push(rec);
+        }
+        (Self::from_shards(shards), report)
+    }
+
+    // ---- topology -----------------------------------------------------------
+
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn shard(&self, i: usize) -> &Arc<KvStore> {
+        &self.shards[i]
+    }
+
+    pub fn shards(&self) -> &[Arc<KvStore>] {
+        &self.shards
+    }
+
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The shard that owns `key`.
+    pub fn shard_of(&self, key: &Key) -> usize {
+        self.router.route(key)
+    }
+
+    /// [`ShardedKvStore::shard_of`] for an unpadded protocol key (the
+    /// server's periodic-sync path routes from the raw command line).
+    /// `None` for keys the protocol would reject.
+    pub fn shard_of_bytes(&self, key: &[u8]) -> Option<usize> {
+        if key.is_empty() || key.len() > 32 {
+            return None;
+        }
+        let mut k: Key = [0u8; 32];
+        k[..key.len()].copy_from_slice(key);
+        Some(self.shard_of(&k))
+    }
+
+    /// Leases worker ids lazily: the returned handle registers on a shard's
+    /// epoch system the first time an operation routes there, and returns
+    /// every leased id when dropped.
+    pub fn lease(self: &Arc<Self>) -> StoreLease {
+        StoreLease {
+            tids: (0..self.shards.len()).map(|_| Mutex::new(None)).collect(),
+            store: self.clone(),
+            owned: true,
+        }
+    }
+
+    /// Wraps worker ids the caller already owns (one per shard, `None` for
+    /// not-yet-leased). The handle will not unregister them on drop.
+    pub fn lease_prefilled(self: &Arc<Self>, tids: Vec<Option<usize>>) -> StoreLease {
+        assert_eq!(tids.len(), self.shards.len());
+        StoreLease {
+            tids: tids.into_iter().map(Mutex::new).collect(),
+            store: self.clone(),
+            owned: false,
+        }
+    }
+
+    // ---- operations ---------------------------------------------------------
+
+    /// `get` routes to the owning shard. Reads need no worker id and are
+    /// served even on a faulted shard — they reflect transient state and
+    /// promise nothing about durability.
+    pub fn get<R>(&self, key: &Key, f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        self.shards[self.shard_of(key)].get(0, key, f)
+    }
+
+    /// `set` routes to the owning shard, refusing mutations on a faulted
+    /// one (its durable image is frozen; accepting would lie).
+    pub fn set(&self, lease: &StoreLease, key: Key, value: &[u8]) -> Result<(), StoreError> {
+        let shard = self.shard_of(&key);
+        self.check_shard(shard)?;
+        let tid = lease.tid(shard)?;
+        self.shards[shard].set(tid, key, value);
+        Ok(())
+    }
+
+    /// `delete` routes to the owning shard; same fault policy as `set`.
+    pub fn delete(&self, lease: &StoreLease, key: &Key) -> Result<bool, StoreError> {
+        let shard = self.shard_of(key);
+        self.check_shard(shard)?;
+        let tid = lease.tid(shard)?;
+        Ok(self.shards[shard].delete(tid, key))
+    }
+
+    fn check_shard(&self, shard: usize) -> Result<(), StoreError> {
+        match self.shards[shard].fault() {
+            Some(fault) => Err(StoreError::Faulted { shard, fault }),
+            None => Ok(()),
+        }
+    }
+
+    /// The first faulted shard, if any.
+    pub fn fault_any(&self) -> Option<(usize, PmemFault)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| s.fault().map(|f| (i, f)))
+    }
+
+    /// Per-shard fault state.
+    pub fn shard_fault(&self, shard: usize) -> Option<PmemFault> {
+        self.shards[shard].fault()
+    }
+
+    /// Syncs every shard's epoch system in parallel (a store-wide durability
+    /// barrier). Faulted shards report errors; healthy shards still sync.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        let mut first_err = None;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.shards.len())
+                .map(|i| scope.spawn(move || self.sync_shard(i)))
+                .collect();
+            for h in handles {
+                if let Err(e) = h.join().expect("shard sync panicked") {
+                    first_err.get_or_insert(e);
+                }
+            }
+        });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Syncs one shard — the periodic durability barrier on the mutation
+    /// path syncs only the shard the mutation routed to, which is what lets
+    /// shards scale: barriers on shard A never wait out shard B's epochs.
+    pub fn sync_shard(&self, shard: usize) -> Result<(), StoreError> {
+        match self.shards[shard].esys() {
+            Some(esys) => esys
+                .try_sync()
+                .map_err(|fault| StoreError::Faulted { shard, fault }),
+            None => Ok(()),
+        }
+    }
+
+    /// Freezes and returns every shard's durable image (simulated
+    /// whole-machine crash). Panics on non-Montage shards.
+    pub fn crash_pools(&self) -> Vec<PmemPool> {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.esys()
+                    .expect("crash_pools needs Montage shards")
+                    .pool()
+                    .crash()
+            })
+            .collect()
+    }
+
+    // ---- accounting ---------------------------------------------------------
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn evictions(&self) -> usize {
+        self.shards.iter().map(|s| s.evictions()).sum()
+    }
+
+    /// Per-shard pool counters (`None` for transient shards).
+    pub fn pool_stats_per_shard(&self) -> Vec<Option<StatsSnapshot>> {
+        self.shards.iter().map(|s| s.pool_stats()).collect()
+    }
+
+    /// Pool counters summed across shards (`None` if no shard has a pool).
+    pub fn pool_stats_merged(&self) -> Option<StatsSnapshot> {
+        let snaps: Vec<StatsSnapshot> = self.shards.iter().filter_map(|s| s.pool_stats()).collect();
+        if snaps.is_empty() {
+            None
+        } else {
+            Some(snaps.into_iter().sum())
+        }
+    }
+
+    /// Per-shard epoch-clock values (`None` for transient shards).
+    pub fn epochs(&self) -> Vec<Option<u64>> {
+        self.shards
+            .iter()
+            .map(|s| s.esys().map(|e| e.curr_epoch()))
+            .collect()
+    }
+}
+
+/// Lazily-leased per-shard worker ids for one client session.
+///
+/// A connection touching only shard 2 holds exactly one id, on shard 2 —
+/// with eager leasing a store of N shards would burn N table slots per
+/// connection and the thread tables would exhaust N times sooner.
+pub struct StoreLease {
+    store: Arc<ShardedKvStore>,
+    tids: Box<[Mutex<Option<usize>>]>,
+    /// Leases made through [`ShardedKvStore::lease`] are returned on drop;
+    /// prefilled wrappers borrow ids the caller owns.
+    owned: bool,
+}
+
+impl StoreLease {
+    /// The worker id for `shard`, registering on first touch.
+    pub fn tid(&self, shard: usize) -> Result<usize, StoreError> {
+        let mut slot = self.tids[shard].lock();
+        if let Some(t) = *slot {
+            return Ok(t);
+        }
+        match self.store.shard(shard).try_register_thread() {
+            Some(t) => {
+                *slot = Some(t);
+                Ok(t)
+            }
+            None => Err(StoreError::OutOfThreadIds { shard }),
+        }
+    }
+
+    /// Ids currently held, in shard order.
+    pub fn held(&self) -> Vec<Option<usize>> {
+        self.tids.iter().map(|m| *m.lock()).collect()
+    }
+}
+
+impl Drop for StoreLease {
+    fn drop(&mut self) {
+        if !self.owned {
+            return;
+        }
+        for (shard, slot) in self.tids.iter().enumerate() {
+            if let Some(tid) = slot.lock().take() {
+                self.store.shard(shard).unregister_thread(tid);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::make_key;
+
+    fn small_store(n: usize) -> Arc<ShardedKvStore> {
+        ShardedKvStore::format(
+            n,
+            PmemConfig::strict_for_test(8 << 20),
+            EsysConfig::default(),
+            4,
+            10_000,
+        )
+    }
+
+    #[test]
+    fn set_get_delete_round_trip_across_shards() {
+        let store = small_store(4);
+        let lease = store.lease();
+        for i in 0..200 {
+            store
+                .set(&lease, make_key(i), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        assert_eq!(store.len(), 200);
+        for i in 0..200 {
+            assert_eq!(
+                store.get(&make_key(i), |v| v.to_vec()).unwrap(),
+                format!("v{i}").as_bytes()
+            );
+        }
+        assert!(store.delete(&lease, &make_key(7)).unwrap());
+        assert!(store.get(&make_key(7), |_| ()).is_none());
+        assert_eq!(store.len(), 199);
+    }
+
+    #[test]
+    fn lease_is_lazy_and_returns_ids_on_drop() {
+        let store = small_store(4);
+        let lease = store.lease();
+        assert!(lease.held().iter().all(Option::is_none), "no ids yet");
+        // Touch keys until at least two shards have been visited.
+        for i in 0..20 {
+            store.set(&lease, make_key(i), b"x").unwrap();
+        }
+        let held: Vec<usize> = lease.held().iter().filter_map(|t| *t).collect();
+        assert!(held.len() >= 2, "20 keys should span several shards");
+        drop(lease);
+        // Every id came back: a fresh lease can re-register everywhere even
+        // on a store formatted with a tiny thread table.
+        let store2 = ShardedKvStore::format(
+            2,
+            PmemConfig::strict_for_test(8 << 20),
+            EsysConfig {
+                max_threads: 1,
+                ..Default::default()
+            },
+            2,
+            1000,
+        );
+        for round in 0..3 {
+            let lease = store2.lease();
+            for i in 0..8 {
+                store2
+                    .set(&lease, make_key(i), b"y")
+                    .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_store_recovers_all_shards_in_parallel() {
+        let store = small_store(4);
+        let lease = store.lease();
+        for i in 0..300 {
+            store
+                .set(&lease, make_key(i), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        store.delete(&lease, &make_key(5)).unwrap();
+        store.sync().unwrap();
+        let pools = store.crash_pools();
+        let (store2, report) = ShardedKvStore::recover(pools, EsysConfig::default(), 4, 10_000, 2);
+        assert_eq!(report.shards.len(), 4);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.survivors(), 299);
+        assert_eq!(store2.len(), 299);
+        assert!(store2.get(&make_key(5), |_| ()).is_none());
+        for i in 200..300 {
+            assert_eq!(
+                store2.get(&make_key(i), |v| v.to_vec()).unwrap(),
+                format!("v{i}").as_bytes(),
+                "key {i} lost"
+            );
+        }
+    }
+
+    #[test]
+    fn unformatted_shard_comes_back_empty_not_fatal_to_the_store() {
+        let store = small_store(3);
+        let lease = store.lease();
+        for i in 0..100 {
+            store.set(&lease, make_key(i), b"z").unwrap();
+        }
+        store.sync().unwrap();
+        let mut pools = store.crash_pools();
+        // Replace shard 1's image with a never-formatted pool.
+        pools[1] = PmemPool::new(PmemConfig::strict_for_test(8 << 20));
+        let (store2, report) = ShardedKvStore::recover(pools, EsysConfig::default(), 4, 10_000, 2);
+        assert_eq!(report.fatal_shards(), 1);
+        assert!(matches!(
+            report.shards[1].fatal,
+            Some(RecoveryError::UnformattedPool)
+        ));
+        // Shards 0 and 2 kept everything they owned.
+        let router = ShardRouter::new(3);
+        let expected: usize = (0..100)
+            .filter(|&i| router.route(&make_key(i)) != 1)
+            .count();
+        assert_eq!(store2.len(), expected);
+        // And the store still serves writes, including to the reborn shard.
+        let lease2 = store2.lease();
+        for i in 0..100 {
+            store2.set(&lease2, make_key(i), b"w").unwrap();
+        }
+        assert_eq!(store2.len(), 100);
+    }
+
+    #[test]
+    fn faulted_shard_refuses_mutations_while_others_serve() {
+        // Arm shard 0 to trip almost immediately; leave the rest healthy.
+        let healthy = PmemConfig::strict_for_test(8 << 20);
+        let mut armed = healthy;
+        armed.chaos.crash_at_event = Some(30);
+        let pools = vec![
+            PmemPool::new(armed),
+            PmemPool::new(healthy),
+            PmemPool::new(healthy),
+        ];
+        let store = ShardedKvStore::format_pools(pools, EsysConfig::default(), 4, 10_000);
+        let lease = store.lease();
+        let router = ShardRouter::new(3);
+        // Hammer shard 0 with checked ops until its plan trips.
+        let mut shard0_key = None;
+        for i in 0..10_000 {
+            let k = make_key(i);
+            if router.route(&k) == 0 {
+                shard0_key = Some(k);
+                if store.set(&lease, k, &[7u8; 64]).is_err() {
+                    break;
+                }
+                let _ = store.sync_shard(0);
+            }
+            if store.shard_fault(0).is_some() {
+                break;
+            }
+        }
+        let (shard, _) = store.fault_any().expect("shard 0 must trip");
+        assert_eq!(shard, 0);
+        assert!(matches!(
+            store.set(&lease, shard0_key.unwrap(), b"nope"),
+            Err(StoreError::Faulted { shard: 0, .. })
+        ));
+        assert!(
+            store.sync().is_err(),
+            "store-wide barrier reports the fault"
+        );
+        // Healthy shards still take writes and sync.
+        let k1 = (0..10_000)
+            .map(make_key)
+            .find(|k| router.route(k) == 1)
+            .unwrap();
+        store.set(&lease, k1, b"alive").unwrap();
+        store.sync_shard(1).unwrap();
+        assert_eq!(store.get(&k1, |v| v.to_vec()).unwrap(), b"alive");
+    }
+}

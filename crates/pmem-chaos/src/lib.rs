@@ -191,6 +191,88 @@ pub fn crash_sweep(
     }
 }
 
+/// Counting pass for a multi-pool (sharded) workload: builds `n_shards`
+/// fresh pools from `base`, arms only `victim`'s event counter, runs the
+/// workload once, and returns how many persistence events the victim shard
+/// performs. Non-victim pools are left unarmed — a sharded sweep injects a
+/// crash into exactly one shard's durable image per run.
+pub fn shard_count_events(
+    mut base: PmemConfig,
+    n_shards: usize,
+    victim: usize,
+    workload: impl FnOnce(&[PmemPool]),
+) -> u64 {
+    assert!(victim < n_shards, "victim shard out of range");
+    base.chaos.crash_at_event = None;
+    let pools: Vec<PmemPool> = (0..n_shards)
+        .map(|i| {
+            let mut cfg = base;
+            if i == victim {
+                cfg.chaos.crash_at_event = Some(u64::MAX);
+            }
+            PmemPool::new(cfg)
+        })
+        .collect();
+    workload(&pools);
+    pools[victim].persistence_events()
+}
+
+/// Sweeps a multi-pool workload over the *victim* shard's crash points.
+///
+/// Per point `n`, `n_shards` fresh pools are built from `base`; the victim's
+/// fault plan is armed with `crash_at_event = Some(n)` and the others run
+/// unfaulted. The workload drives all pools (and must degrade, not panic,
+/// once the victim trips); then every pool is crashed and `verify` receives
+/// all durable images, victim's frozen at event `n`, in shard order. The
+/// invariant a sharded store wants here: the victim recovers a consistent
+/// prefix while the other shards lose nothing past their last fence —
+/// crash containment, the property a single-pool sweep cannot express.
+pub fn shard_crash_sweep(
+    cfg: &SweepConfig,
+    base: PmemConfig,
+    n_shards: usize,
+    victim: usize,
+    mut workload: impl FnMut(&[PmemPool]),
+    mut verify: impl FnMut(Vec<PmemPool>, u64) -> Result<(), String>,
+) -> SweepReport {
+    let total_events = shard_count_events(base, n_shards, victim, &mut workload);
+    let points = crash_points(total_events, cfg);
+    let mut failures = Vec::new();
+    for &crash_at in &points {
+        let pools: Vec<PmemPool> = (0..n_shards)
+            .map(|i| {
+                let mut armed = base;
+                armed.chaos.crash_at_event = (i == victim).then_some(crash_at);
+                PmemPool::new(armed)
+            })
+            .collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            workload(&pools);
+            verify(pools.iter().map(|p| p.crash()).collect(), crash_at)
+        }));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(message)) => failures.push(SweepFailure { crash_at, message }),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                failures.push(SweepFailure {
+                    crash_at,
+                    message: format!("panicked instead of degrading: {msg}"),
+                });
+            }
+        }
+    }
+    SweepReport {
+        total_events,
+        crash_points: points,
+        failures,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,5 +385,53 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.message.contains("panicked instead of degrading")));
+    }
+
+    /// Multi-pool workload: the same atomic write on every shard. Only the
+    /// victim's image may come back partial; the others must be complete.
+    fn shard_workload(pools: &[PmemPool]) {
+        for pool in pools {
+            let _ = pool.try_write_bytes(OFF, &[7u8; 64]);
+            let _ = pool.try_persist_range(OFF, 64);
+        }
+    }
+
+    #[test]
+    fn shard_counting_pass_counts_only_the_victim() {
+        let base = PmemConfig::strict_for_test(1 << 20);
+        let single = count_events(base, |p| shard_workload(std::slice::from_ref(p)));
+        for victim in 0..3 {
+            let n = shard_count_events(base, 3, victim, shard_workload);
+            assert_eq!(n, single, "each shard sees the same per-shard events");
+        }
+    }
+
+    #[test]
+    fn shard_sweep_contains_the_crash_to_the_victim() {
+        let report = shard_crash_sweep(
+            &SweepConfig::default(),
+            PmemConfig::strict_for_test(1 << 20),
+            3,
+            1,
+            shard_workload,
+            |durables, _| {
+                for (i, durable) in durables.iter().enumerate() {
+                    let mut buf = [0u8; 64];
+                    durable.read_bytes(OFF, &mut buf);
+                    let full = buf.iter().all(|&b| b == 7);
+                    let empty = buf.iter().all(|&b| b == 0);
+                    if i == 1 {
+                        if !(full || empty) {
+                            return Err(format!("victim line torn: {buf:?}"));
+                        }
+                    } else if !full {
+                        return Err(format!("non-victim shard {i} lost its write"));
+                    }
+                }
+                Ok(())
+            },
+        );
+        assert!(report.total_events > 0);
+        report.assert_ok();
     }
 }

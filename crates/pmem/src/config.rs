@@ -22,6 +22,18 @@ pub enum PmemMode {
 /// cost per outstanding line at the fence, which reproduces the key behaviour
 /// Montage exploits: batching flushes and moving the fence off the critical
 /// path is much cheaper than flush+fence per operation.
+///
+/// Two kinds of cost are charged differently. Issue costs (`clwb_issue_ns`,
+/// `fence_base_ns`, `media_read_ns`) are CPU time: the calling thread
+/// busy-waits, exactly as the instruction would occupy its core. Drain costs
+/// (`fence_per_line_ns` + `media_write_ns` per outstanding line) are *device*
+/// time: the fence reserves that much time on the pool's serial drain queue
+/// and sleeps until the reservation completes. On hardware an `SFENCE` stalls
+/// only its thread while the DIMM's write-pending queue drains — other
+/// threads keep running, and distinct DIMMs drain in parallel. Consequently
+/// concurrent fences on one pool serialize behind its queue (shared write
+/// bandwidth), while fences on different pools — e.g. the shards of a
+/// multi-pool store — overlap fully.
 #[derive(Clone, Copy, Debug)]
 pub struct LatencyModel {
     /// Cost to issue one `clwb` (ns).
@@ -39,6 +51,13 @@ pub struct LatencyModel {
     /// [`crate::PmemPool::touch`], which pointer-chasing structures call
     /// once per node dereference.
     pub media_read_ns: u64,
+    /// Device occupancy per 64-byte line of *bulk* payload reads, charged
+    /// on the pool's drain queue by [`crate::PmemPool::media_read`]. Models
+    /// a single DIMM's finite read bandwidth; bulk reads and fence drains
+    /// contend for the same device, as they do on Optane hardware. Distinct
+    /// from `media_read_ns`, the per-miss *latency* of a dependent pointer
+    /// chase (a CPU stall, not queue occupancy).
+    pub media_read_line_ns: u64,
 }
 
 impl LatencyModel {
@@ -49,6 +68,7 @@ impl LatencyModel {
         fence_base_ns: 0,
         media_write_ns: 0,
         media_read_ns: 0,
+        media_read_line_ns: 0,
     };
 
     /// Optane-like defaults.
@@ -58,6 +78,8 @@ impl LatencyModel {
         fence_base_ns: 30,
         media_write_ns: 100,
         media_read_ns: 150,
+        // ~2.5 GB/s of single-DIMM read bandwidth.
+        media_read_line_ns: 25,
     };
 
     /// Zero-cost model (functional testing only).
@@ -67,6 +89,7 @@ impl LatencyModel {
         fence_base_ns: 0,
         media_write_ns: 0,
         media_read_ns: 0,
+        media_read_line_ns: 0,
     };
 }
 

@@ -86,6 +86,19 @@ struct Inner {
     /// then on flushes and fences are dropped (the durable image is frozen)
     /// and the checked operations report [`PmemFault::Crashed`].
     poisoned: AtomicBool,
+    /// Timebase for the simulated device drain queue below.
+    origin: Instant,
+    /// Nanosecond (since `origin`) at which this pool's simulated NVM
+    /// device finishes draining everything queued so far. Each fence
+    /// *reserves* its drain time here and then blocks — sleeping, not
+    /// spinning — until the reservation completes. On hardware an `SFENCE`
+    /// stalls only the calling thread while the DIMM's write-pending queue
+    /// drains; other threads keep executing, and independent DIMMs drain in
+    /// parallel. Modeling the drain as per-pool serial *device* time (rather
+    /// than a CPU busy-wait) reproduces both properties: concurrent fences
+    /// on one pool queue behind each other, while fences on different pools
+    /// overlap freely.
+    device_busy: AtomicU64,
 }
 
 /// A simulated persistent-memory pool. Cheap to clone (it is an `Arc`).
@@ -125,6 +138,8 @@ impl PmemPool {
                 pending: Mutex::new(HashSet::new()),
                 events: AtomicU64::new(0),
                 poisoned: AtomicBool::new(false),
+                origin: Instant::now(),
+                device_busy: AtomicU64::new(0),
             }),
         }
     }
@@ -133,6 +148,13 @@ impl PmemPool {
     #[inline]
     pub fn size(&self) -> usize {
         self.inner.config.size
+    }
+
+    /// Process-unique pool id. Multi-pool front-ends (the sharded kv store)
+    /// use this to tell shards' pools apart in reports and stats keys.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.inner.id
     }
 
     /// The pool's configuration.
@@ -309,6 +331,19 @@ impl PmemPool {
         spin_ns(self.inner.config.latency.media_read_ns);
     }
 
+    /// Models a bulk payload read of `len` bytes from NVM media: reserves
+    /// `media_read_line_ns` per cache line on the pool's device queue, so
+    /// large reads contend with fence drains for the DIMM's bandwidth.
+    /// Free when the latency model's `media_read_line_ns` is zero.
+    #[inline]
+    pub fn media_read(&self, len: usize) {
+        let per_line = self.inner.config.latency.media_read_line_ns;
+        if per_line == 0 || len == 0 {
+            return;
+        }
+        self.wait_device(per_line * lines_spanned(0, len));
+    }
+
     // ---- persistence primitives -------------------------------------------
 
     /// `CLWB`: schedule write-back of the cache line containing `off`.
@@ -377,7 +412,47 @@ impl PmemPool {
             count_take(self.inner.id)
         };
         self.inner.stats.on_sfence(drained);
-        spin_ns(lat.fence_base_ns + drained * (lat.fence_per_line_ns + lat.media_write_ns));
+        // The fence instruction itself is CPU time for the calling thread;
+        // the media drain is *device* time on this pool's write queue.
+        spin_ns(lat.fence_base_ns);
+        let media_ns = drained * (lat.fence_per_line_ns + lat.media_write_ns);
+        if media_ns > 0 {
+            self.wait_device(media_ns);
+        }
+    }
+
+    /// Reserves `media_ns` of drain time on this pool's simulated NVM device
+    /// and blocks until the reservation completes. The wait sleeps when the
+    /// deadline is far enough out to make a syscall worthwhile and spins the
+    /// final stretch for accuracy, so other threads — including fences on
+    /// *other* pools — keep the CPU while this pool's queue drains. See the
+    /// `device_busy` field docs for why this is a queue and not a spin.
+    fn wait_device(&self, media_ns: u64) {
+        let now = self.inner.origin.elapsed().as_nanos() as u64;
+        let done = self
+            .inner
+            .device_busy
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |busy| {
+                Some(busy.max(now) + media_ns)
+            })
+            .expect("device reservation always succeeds")
+            .max(now)
+            + media_ns;
+        loop {
+            let now = self.inner.origin.elapsed().as_nanos() as u64;
+            if now >= done {
+                return;
+            }
+            // Sleep when the remainder is worth a syscall; a slight oversleep
+            // only makes the modeled device marginally slower, while a spin
+            // tail would burn CPU other threads could use.
+            let remaining = done - now;
+            if remaining > 3_000 {
+                std::thread::sleep(std::time::Duration::from_nanos(remaining));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
     }
 
     /// Convenience: `clwb_range` + `sfence`.

@@ -85,6 +85,30 @@ pub struct StatsSnapshot {
     pub quarantined_payloads: u64,
 }
 
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn add(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            clwbs: self.clwbs + rhs.clwbs,
+            sfences: self.sfences + rhs.sfences,
+            lines_drained: self.lines_drained + rhs.lines_drained,
+            crashes: self.crashes + rhs.crashes,
+            injected_crashes: self.injected_crashes + rhs.injected_crashes,
+            torn_lines: self.torn_lines + rhs.torn_lines,
+            quarantined_payloads: self.quarantined_payloads + rhs.quarantined_payloads,
+        }
+    }
+}
+
+impl std::iter::Sum for StatsSnapshot {
+    /// Merges per-pool snapshots into fleet-wide counters — the sharded
+    /// store's `stats` fan-out aggregates one snapshot per shard pool.
+    fn sum<I: Iterator<Item = StatsSnapshot>>(iter: I) -> StatsSnapshot {
+        iter.fold(StatsSnapshot::default(), |a, b| a + b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,8 @@
 //! * [`kvserver`] — networked memcached-text-protocol front-end over it
 //! * [`workloads`] — YCSB and graph workload generators
 
+pub mod history;
+
 pub use baselines;
 pub use kvserver;
 pub use kvstore;

@@ -341,3 +341,202 @@ proptest! {
         prop_assert!(report.is_ok(), "{:?}", report.failures);
     }
 }
+
+// ---- shard-aware sweep over the multi-pool store ----------------------------
+
+/// One step of the sharded-store workload. Syncs are per-shard (the server's
+/// periodic barrier works the same way), so a crash can land between them.
+#[derive(Clone, Copy, Debug)]
+enum SOp {
+    Set(u64, u64),
+    Del(u64),
+    SyncAll,
+}
+
+const S_SHARDS: usize = 4;
+const S_VICTIM: usize = 1;
+const S_KEYS: u64 = 24;
+const S_STRIPES: usize = 4;
+const S_CAP: usize = 1024;
+
+fn sharded_script(seed: u64, len: usize) -> Vec<SOp> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|i| match rng.gen_range(0u64..10) {
+            0..=5 => SOp::Set(rng.gen_range(0..S_KEYS), i as u64 + 1),
+            6..=7 => SOp::Del(rng.gen_range(0..S_KEYS)),
+            _ => SOp::SyncAll,
+        })
+        .collect()
+}
+
+/// Runs the script over a 4-shard store built on the caller's (chaos-armed)
+/// pools. Ops on the victim degrade to errors once its plan trips; at the
+/// end every *healthy* shard is synced so it is entitled to lose nothing.
+fn run_sharded(pools: &[pmem::PmemPool], script: &[SOp]) {
+    use kvstore::ShardedKvStore;
+    let store = ShardedKvStore::format_pools(pools.to_vec(), small_esys_cfg(), S_STRIPES, S_CAP);
+    let lease = store.lease();
+    for op in script {
+        match *op {
+            SOp::Set(k, v) => {
+                let _ = store.set(&lease, kvstore::make_key(k), &v.to_le_bytes());
+            }
+            SOp::Del(k) => {
+                let _ = store.delete(&lease, &kvstore::make_key(k));
+            }
+            SOp::SyncAll => {
+                for s in 0..S_SHARDS {
+                    let _ = store.sync_shard(s);
+                }
+            }
+        }
+    }
+    for s in 0..S_SHARDS {
+        if s != S_VICTIM {
+            store
+                .sync_shard(s)
+                .expect("non-victim shards must stay healthy through the sweep");
+        }
+    }
+}
+
+/// Recovers the 4 crashed pools as one store and checks the contract:
+/// the victim holds the state after some prefix of *its* routed-op
+/// subsequence; every other shard holds exactly its final state.
+fn verify_sharded_prefix(
+    pools: Vec<pmem::PmemPool>,
+    crash_at: u64,
+    script: &[SOp],
+) -> Result<(), String> {
+    use kvstore::ShardedKvStore;
+    use std::collections::HashMap;
+
+    let (store, report) =
+        ShardedKvStore::recover(pools, small_esys_cfg(), S_STRIPES, S_CAP, S_SHARDS);
+    for sr in &report.shards {
+        if let Some(err) = &sr.fatal {
+            // Only the victim may come back fatal, and only because the
+            // crash predates its pool header (formatted-fresh ⇒ empty,
+            // which the trivial prefix below accepts).
+            if sr.shard != S_VICTIM || !matches!(err, RecoveryError::UnformattedPool) {
+                return Err(format!(
+                    "crash_at={crash_at}: shard {} fatal: {err}",
+                    sr.shard
+                ));
+            }
+        }
+        if sr.quarantined != 0 {
+            return Err(format!(
+                "crash_at={crash_at}: clean crash quarantined payloads on shard {}",
+                sr.shard
+            ));
+        }
+    }
+
+    // Read back everything, bucketed by owning shard.
+    let mut recovered: Vec<HashMap<u64, u64>> = vec![HashMap::new(); S_SHARDS];
+    for k in 0..S_KEYS {
+        let key = kvstore::make_key(k);
+        if let Some(v) = store.get(&key, |b| {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&b[..8]);
+            u64::from_le_bytes(w)
+        }) {
+            recovered[store.shard_of(&key)].insert(k, v);
+        }
+    }
+
+    // Replay the script: full model per shard, plus the victim's routed
+    // subsequence for the prefix check.
+    let router = kvstore::ShardRouter::new(S_SHARDS);
+    let mut full: Vec<HashMap<u64, u64>> = vec![HashMap::new(); S_SHARDS];
+    let mut victim_ops = Vec::new();
+    for op in script {
+        if let SOp::Set(k, _) | SOp::Del(k) = op {
+            let s = router.route(&kvstore::make_key(*k));
+            if s == S_VICTIM {
+                victim_ops.push(*op);
+            }
+            match *op {
+                SOp::Set(k, v) => {
+                    full[s].insert(k, v);
+                }
+                SOp::Del(k) => {
+                    full[s].remove(&k);
+                }
+                SOp::SyncAll => unreachable!(),
+            }
+        }
+    }
+
+    for s in 0..S_SHARDS {
+        if s == S_VICTIM {
+            continue;
+        }
+        if recovered[s] != full[s] {
+            return Err(format!(
+                "crash_at={crash_at}: healthy shard {s} lost data: \
+                 recovered {:?} != expected {:?}",
+                recovered[s], full[s]
+            ));
+        }
+    }
+
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    if recovered[S_VICTIM] == model {
+        return Ok(());
+    }
+    for op in &victim_ops {
+        match *op {
+            SOp::Set(k, v) => {
+                model.insert(k, v);
+            }
+            SOp::Del(k) => {
+                model.remove(&k);
+            }
+            SOp::SyncAll => unreachable!(),
+        }
+        if recovered[S_VICTIM] == model {
+            return Ok(());
+        }
+    }
+    Err(format!(
+        "crash_at={crash_at}: victim shard matches no prefix of its {} routed ops: {:?}",
+        victim_ops.len(),
+        recovered[S_VICTIM]
+    ))
+}
+
+/// Acceptance criterion: an exhaustive crash sweep over a 4-shard store,
+/// crashing shard 1 at every one of its persistence events, always recovers
+/// a consistent prefix on the victim while the untouched shards lose
+/// nothing past their final sync.
+#[test]
+fn sharded_store_crash_is_contained_to_the_victim_shard() {
+    let script = sharded_script(0x5AA4D, 48);
+    let cfg = SweepConfig {
+        exhaustive_limit: 4096,
+        samples: 64,
+        seed: 0xD15EA5E,
+    };
+    let report = pmem_chaos::shard_crash_sweep(
+        &cfg,
+        PmemConfig::strict_for_test(4 << 20),
+        S_SHARDS,
+        S_VICTIM,
+        |pools| run_sharded(pools, &script),
+        |pools, crash_at| verify_sharded_prefix(pools, crash_at, &script),
+    );
+    assert!(
+        report.total_events >= 64,
+        "victim shard saw too few events for a meaningful sweep: {}",
+        report.total_events
+    );
+    assert_eq!(
+        report.crash_points.len() as u64,
+        report.total_events + 1,
+        "shard sweep must be exhaustive"
+    );
+    report.assert_ok();
+}

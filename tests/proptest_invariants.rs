@@ -264,3 +264,128 @@ proptest! {
         }
     }
 }
+
+// ---- key→shard router properties --------------------------------------------
+
+use kvstore::{make_key, ShardRouter, ShardedKvStore};
+use workloads::Zipfian;
+
+proptest! {
+    /// Routing is a pure function of (key, shard count): two independently
+    /// constructed routers — e.g. before and after a server restart — agree
+    /// on every key, and always stay in range.
+    #[test]
+    fn router_assignment_is_stable_across_restarts(
+        keys in proptest::collection::vec(any::<u64>(), 1..64),
+        n_shards in 1usize..16,
+    ) {
+        let before = ShardRouter::new(n_shards);
+        let after = ShardRouter::new(n_shards);
+        for k in keys {
+            let key = make_key(k);
+            let s = before.route(&key);
+            prop_assert!(s < n_shards);
+            prop_assert_eq!(s, after.route(&key), "restart changed the route");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
+
+    /// Shard load stays within 2× of ideal under a Zipfian key-popularity
+    /// skew (YCSB's default, θ = 0.99): the hottest key carries ~13% of all
+    /// ops, so per-*key* balance is impossible — but hashing must keep any
+    /// single shard from absorbing the skew twice over.
+    #[test]
+    fn router_spreads_zipfian_load_within_2x_of_ideal(seed in any::<u64>()) {
+        const N_SHARDS: usize = 4;
+        const SAMPLES: usize = 8_000;
+        let router = ShardRouter::new(N_SHARDS);
+        let zipf = Zipfian::new(1024, 0.99);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut per_shard = [0usize; N_SHARDS];
+        for _ in 0..SAMPLES {
+            let k = zipf.sample_scrambled(&mut rng);
+            per_shard[router.route(&make_key(k))] += 1;
+        }
+        let ideal = SAMPLES / N_SHARDS;
+        for (s, &load) in per_shard.iter().enumerate() {
+            prop_assert!(
+                load <= 2 * ideal,
+                "shard {} holds {} of {} ops (ideal {}): skew concentrated",
+                s, load, SAMPLES, ideal
+            );
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum StoreOp {
+    Set(u8, u8),
+    Del(u8),
+}
+
+fn store_op_strategy() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| StoreOp::Set(k % 48, v)),
+        1 => any::<u8>().prop_map(|k| StoreOp::Del(k % 48)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 5, .. ProptestConfig::default() })]
+
+    /// Routing/recovery round trip: the same op sequence applied to a
+    /// 4-shard store and to the single-pool store, both synced, crashed and
+    /// recovered, yields the same observable map — sharding changes *where*
+    /// bytes live, never *what* the store contains.
+    #[test]
+    fn sharded_and_single_pool_stores_agree_after_recovery(
+        ops in proptest::collection::vec(store_op_strategy(), 10..48),
+    ) {
+        let esys_cfg = EsysConfig::default();
+        let mk = |n: usize| ShardedKvStore::format(
+            n,
+            PmemConfig::strict_for_test(4 << 20),
+            esys_cfg,
+            4,
+            1024,
+        );
+        let mut recovered = Vec::new();
+        for n_shards in [4usize, 1] {
+            let store = mk(n_shards);
+            let lease = store.lease();
+            for op in &ops {
+                match *op {
+                    StoreOp::Set(k, v) => {
+                        store.set(&lease, make_key(k as u64), &[v]).unwrap();
+                    }
+                    StoreOp::Del(k) => {
+                        store.delete(&lease, &make_key(k as u64)).unwrap();
+                    }
+                }
+            }
+            store.sync().unwrap();
+            let (store2, report) = ShardedKvStore::recover(
+                store.crash_pools(),
+                esys_cfg,
+                4,
+                1024,
+                n_shards,
+            );
+            prop_assert!(report.is_clean(), "{report:?}");
+            recovered.push(store2);
+        }
+        let (sharded, single) = (&recovered[0], &recovered[1]);
+        prop_assert_eq!(sharded.len(), single.len());
+        for k in 0..48u64 {
+            let key = make_key(k);
+            prop_assert_eq!(
+                sharded.get(&key, |b| b.to_vec()),
+                single.get(&key, |b| b.to_vec()),
+                "key {} diverged between sharded and single-pool recovery", k
+            );
+        }
+    }
+}
