@@ -43,6 +43,9 @@ struct Bucket {
     head: POff,
     /// Era in which this bucket was last modified (for the dirty set).
     dirty_since: u64,
+    /// Already-durable records whose link word was patched in place by GC
+    /// since the last era flush; only that word needs write-back.
+    patched: Vec<POff>,
 }
 
 pub struct DaliHashMap {
@@ -65,6 +68,7 @@ impl DaliHashMap {
                     Mutex::new(Bucket {
                         head: POff::NULL,
                         dirty_since: 0,
+                        patched: Vec::new(),
                     })
                 })
                 .collect(),
@@ -91,9 +95,12 @@ impl DaliHashMap {
         while !rec.is_null() {
             self.pool.touch(); // NVM chain hop
             if self.read_key(rec) == *key {
+                // SAFETY: `rec` is a live chain record under the bucket lock;
+                // header offsets are inside its allocation.
                 let op = unsafe { self.pool.read::<u32>(rec.add(OP_OFF)) };
                 return Some((rec, op));
             }
+            // SAFETY: same live-record argument as above.
             rec = POff::new(unsafe { self.pool.read::<u64>(rec.add(NEXT_OFF)) });
         }
         None
@@ -102,6 +109,8 @@ impl DaliHashMap {
     fn prepend(&self, b: &mut Bucket, idx: usize, op: u32, key: &Key32, value: &[u8]) {
         let era = self.era.load(Ordering::Acquire);
         let rec = self.ralloc.alloc(DATA_OFF as usize + value.len());
+        // SAFETY: header fields fit in the fresh record, which stays private
+        // to this bucket-lock holder until `b.head = rec` below.
         unsafe {
             self.pool.write::<u64>(rec.add(NEXT_OFF), &b.head.raw());
             self.pool.write::<u64>(rec.add(ERA_OFF), &era);
@@ -119,19 +128,34 @@ impl DaliHashMap {
         }
         // Lazy GC: unlink stale records for the same key that are at least
         // two eras old (already superseded in every recoverable state).
-        self.gc_key(rec, key, era);
+        self.gc_key(b, key, era);
     }
 
-    fn gc_key(&self, newest: POff, key: &Key32, era: u64) {
-        let mut prev = newest;
-        let mut cur = POff::new(unsafe { self.pool.read::<u64>(newest.add(NEXT_OFF)) });
+    fn gc_key(&self, b: &mut Bucket, key: &Key32, era: u64) {
+        // SAFETY: (chain walk) all records are reached from the locked
+        // bucket's head, so reads and the unlink write below cannot race.
+        let mut prev = b.head;
+        let mut cur = POff::new(unsafe { self.pool.read::<u64>(prev.add(NEXT_OFF)) });
         while !cur.is_null() {
             self.pool.touch(); // NVM chain hop
+                               // SAFETY: see the chain-walk note above.
             let next = POff::new(unsafe { self.pool.read::<u64>(cur.add(NEXT_OFF)) });
             if self.read_key(cur) == *key {
+                // SAFETY: see the chain-walk note above.
                 let rec_era = unsafe { self.pool.read::<u64>(cur.add(ERA_OFF)) };
                 if rec_era + 2 <= era {
+                    // SAFETY: see the chain-walk note above.
                     unsafe { self.pool.write::<u64>(prev.add(NEXT_OFF), &next.raw()) };
+                    // An already-durable record was mutated in place: queue
+                    // its link word for the next era write-back. Records
+                    // stamped with the current era are written back in full
+                    // anyway.
+                    // SAFETY: see the chain-walk note above.
+                    let prev_era = unsafe { self.pool.read::<u64>(prev.add(ERA_OFF)) };
+                    if prev_era < era && !b.patched.contains(&prev) {
+                        b.patched.push(prev);
+                    }
+                    b.patched.retain(|&p| p != cur);
                     self.ralloc.dealloc(cur);
                     cur = next;
                     continue;
@@ -149,13 +173,28 @@ impl DaliHashMap {
     pub fn flush_era(&self) {
         let dirty: Vec<u32> = std::mem::take(&mut *self.dirty.lock());
         for idx in dirty {
-            let b = self.buckets[idx as usize].lock();
-            // Write back the chain (records newer than the last flushed era).
+            let mut b = self.buckets[idx as usize].lock();
+            // Write back only the records prepended since this bucket got
+            // dirty (their era stamp says so); everything older became
+            // durable at the era flush that covered it and must not be
+            // written back again.
+            let since = b.dirty_since;
             let mut rec = b.head;
+            // SAFETY: (all reads below) records hang off the locked bucket's
+            // head, so header reads are in-bounds and race-free.
             while !rec.is_null() {
-                let vlen = unsafe { self.pool.read::<u32>(rec.add(VLEN_OFF)) } as usize;
-                self.pool.clwb_range(rec, DATA_OFF as usize + vlen);
+                let rec_era = unsafe { self.pool.read::<u64>(rec.add(ERA_OFF)) };
+                if rec_era >= since {
+                    // SAFETY: see above.
+                    let vlen = unsafe { self.pool.read::<u32>(rec.add(VLEN_OFF)) } as usize;
+                    self.pool.clwb_range(rec, DATA_OFF as usize + vlen);
+                }
+                // SAFETY: see above.
                 rec = POff::new(unsafe { self.pool.read::<u64>(rec.add(NEXT_OFF)) });
+            }
+            // GC patched these durable records' link words in place.
+            for rec in std::mem::take(&mut b.patched) {
+                self.pool.clwb_range(rec.add(NEXT_OFF), 8);
             }
         }
         self.pool.sfence();

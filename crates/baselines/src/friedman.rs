@@ -57,9 +57,13 @@ impl FriedmanQueue {
         let sentinel = Self::make_sentinel(&ralloc, &pool);
         let deq_slots = ralloc.alloc(8 * max_threads.max(1));
         for t in 0..max_threads {
+            // SAFETY: slot t lies inside the 8*max_threads block just
+            // allocated; u64 stores are plain data and nothing aliases it yet.
             unsafe { pool.write::<u64>(deq_slots.add(8 * t as u64), &0) };
         }
         pool.persist_range(deq_slots, 8 * max_threads.max(1));
+        // SAFETY: the root-area anchor slot is reserved for this queue; both
+        // words are in bounds and no other thread is running yet.
         unsafe {
             pool.write::<u64>(POff::root_slot(ANCHOR_SLOT), &deq_slots.raw());
             pool.write::<u64>(POff::root_slot(ANCHOR_SLOT).add(8), &(max_threads as u64));
@@ -78,6 +82,8 @@ impl FriedmanQueue {
 
     fn make_sentinel(ralloc: &Ralloc, pool: &PmemPool) -> POff {
         let sentinel = ralloc.alloc(DATA_OFF as usize);
+        // SAFETY: all header offsets fit in the DATA_OFF-byte block just
+        // allocated; the sentinel is private until published via head/tail.
         unsafe {
             pool.write::<u64>(sentinel.add(NEXT_OFF), &0);
             pool.write::<u32>(sentinel.add(VLEN_OFF), &0);
@@ -105,18 +111,23 @@ impl FriedmanQueue {
             return None;
         }
         let anchor = POff::root_slot(ANCHOR_SLOT);
+        // SAFETY: the anchor slot is in the root area; u64 reads of
+        // possibly-garbage bytes are fine (validated below).
         let old_slots = POff::new(unsafe { pool.read::<u64>(anchor) });
         let old_nthreads = unsafe { pool.read::<u64>(anchor.add(8)) } as usize;
         if old_slots.is_null() || old_nthreads == 0 {
             return None;
         }
         let claimed: Vec<u64> = (0..old_nthreads)
+            // SAFETY: the anchor recorded a block of old_nthreads u64 slots;
+            // recovery is single-threaded, so plain reads cannot race.
             .map(|t| unsafe { pool.read::<u64>(old_slots.add(8 * t as u64)) })
             .filter(|&v| v != 0)
             .collect();
 
         let scan = pool.clone();
         let (ralloc, kept) = Ralloc::recover(pool, move |blk, size| {
+            // SAFETY: the `size >= DATA_OFF` guard keeps every header read in bounds.
             size >= DATA_OFF as usize
                 && unsafe { scan.read::<u32>(blk.add(MAGIC_OFF)) } == NODE_MAGIC
                 && unsafe { scan.read::<u64>(blk.add(DEQED_OFF)) } == 0
@@ -129,6 +140,8 @@ impl FriedmanQueue {
         let mut nodes: Vec<(u64, POff)> = kept
             .into_iter()
             .filter(|(blk, _)| !claimed.contains(&blk.raw()))
+            // SAFETY: the sweep closure above admitted only blocks with a
+            // full, magic-tagged header, so SEQ_OFF is in bounds.
             .map(|(blk, _)| (unsafe { pool.read::<u64>(blk.add(SEQ_OFF)) }, blk))
             .collect();
         // Claimed-but-kept blocks get freed (their dequeue is recovered as
@@ -141,6 +154,10 @@ impl FriedmanQueue {
                     // Either swept away already or live-but-claimed; mark it
                     // dequeued durably so a second crash agrees.
                     let blk = POff::new(c);
+                    // SAFETY: the announcement slot held a block address this
+                    // queue allocated; the magic check guards against a slot
+                    // that was claimed and then swept. Recovery is
+                    // single-threaded, so the read and write cannot race.
                     if unsafe { pool.read::<u32>(blk.add(MAGIC_OFF)) } == NODE_MAGIC {
                         unsafe { pool.write::<u64>(blk.add(DEQED_OFF), &1) };
                         pool.persist_range(blk.add(DEQED_OFF), 8);
@@ -154,6 +171,8 @@ impl FriedmanQueue {
         let sentinel = Self::make_sentinel(&ralloc, &pool);
         let mut prev = sentinel;
         for &(_, blk) in &nodes {
+            // SAFETY: `prev` and `blk` are swept nodes (or the fresh
+            // sentinel) with valid headers; recovery is single-threaded.
             unsafe {
                 pool.write::<u64>(prev.add(NEXT_OFF), &blk.raw());
                 pool.write::<u64>(blk.add(NEXT_OFF), &0);
@@ -165,9 +184,13 @@ impl FriedmanQueue {
 
         let deq_slots = ralloc.alloc(8 * max_threads.max(1));
         for t in 0..max_threads {
+            // SAFETY: slot t lies inside the 8*max_threads block just
+            // allocated; u64 stores are plain data and nothing aliases it yet.
             unsafe { pool.write::<u64>(deq_slots.add(8 * t as u64), &0) };
         }
         pool.persist_range(deq_slots, 8 * max_threads.max(1));
+        // SAFETY: the root-area anchor slot is reserved for this queue; both
+        // words are in bounds and no other thread is running yet.
         unsafe {
             pool.write::<u64>(POff::root_slot(ANCHOR_SLOT), &deq_slots.raw());
             pool.write::<u64>(POff::root_slot(ANCHOR_SLOT).add(8), &(max_threads as u64));
@@ -187,6 +210,8 @@ impl FriedmanQueue {
     }
 
     fn next_cell(&self, node: u64) -> &AtomicU64 {
+        // SAFETY: `node` is a live queue node (reached from head/tail under
+        // an epoch pin), and NEXT_OFF is its 8-aligned first word.
         unsafe { self.pool.atomic_u64(POff::new(node + NEXT_OFF)) }
     }
 
@@ -218,6 +243,8 @@ impl BenchQueue for FriedmanQueue {
     fn enqueue(&self, _tid: usize, value: &[u8]) {
         let node = self.ralloc.alloc(DATA_OFF as usize + value.len());
         let seq = self.next_seq.fetch_add(1, Ordering::AcqRel);
+        // SAFETY: the header offsets fit in the freshly allocated block,
+        // which no other thread can reach until the link CAS below.
         unsafe {
             self.pool.write::<u64>(node.add(NEXT_OFF), &0);
             self.pool
@@ -240,6 +267,10 @@ impl BenchQueue for FriedmanQueue {
                 continue;
             }
             if next == 0 {
+                // The link store goes through an untracked atomic; declare it
+                // to the sanitizer *before* the CAS so a helping thread's
+                // persist of this line never races a stale shadow state.
+                self.pool.san_mark_dirty(POff::new(last + NEXT_OFF), 8);
                 if self
                     .next_cell(last)
                     .compare_exchange(0, node.raw(), Ordering::SeqCst, Ordering::SeqCst)
@@ -287,6 +318,8 @@ impl BenchQueue for FriedmanQueue {
             }
             // Announce the claim durably before the linearizing CAS: a
             // crash after this point recovers the dequeue as done.
+            // SAFETY: slot(tid) asserts tid < max_threads, so the write lands
+            // in this thread's own announcement word — no aliasing.
             unsafe { self.pool.write::<u64>(self.slot(tid), &next) };
             self.pool.persist_range(self.slot(tid), 8);
             if self
@@ -297,9 +330,14 @@ impl BenchQueue for FriedmanQueue {
                 // Mark the node dequeued (write + clwb; the line becomes
                 // durable together with this thread's next announcement
                 // fence, which also clears the claim window).
+                // SAFETY: winning the head CAS makes this thread the sole
+                // owner of `next`'s dequeued flag; the offset is in bounds.
                 unsafe { self.pool.write::<u64>(POff::new(next + DEQED_OFF), &1) };
                 self.pool.clwb(POff::new(next + DEQED_OFF));
                 let r = self.ralloc.clone();
+                // SAFETY: `first` was unlinked by the CAS; the deferred
+                // dealloc runs only after every current epoch pin drops, and
+                // the captured Arc<Ralloc> keeps the allocator alive.
                 unsafe {
                     pin.defer_unchecked(move || r.dealloc(POff::new(first)));
                 }

@@ -72,6 +72,8 @@ impl Txn<'_> {
                     let mut word = [0u8; 8];
                     let s = &w.bytes[i * 8..(i * 8 + 8).min(w.bytes.len())];
                     word[..s.len()].copy_from_slice(s);
+                    // SAFETY: the wrap check above keeps every entry inside
+                    // LOG_REGION, and the log lock serializes appenders.
                     unsafe {
                         pool.write::<u64>(at, &(w.dst.raw() + 8 * i as u64));
                         pool.write::<u64>(at.add(8), &u64::from_le_bytes(word));
@@ -82,6 +84,8 @@ impl Txn<'_> {
             // Flush the log extent, then the commit record, with a fence.
             pool.clwb_range(log.base.add(first), (pos - first) as usize);
             let commit_at = log.base.add(pos);
+            // SAFETY: `commit_at` sits right after the entries, still inside
+            // LOG_REGION per the wrap check; the log lock is held.
             unsafe { pool.write::<u64>(commit_at, &u64::MAX) };
             pool.clwb(commit_at);
             pool.sfence();
@@ -200,6 +204,8 @@ impl BenchQueue for MnemosyneQueue {
             return false;
         }
         let head = st.0;
+        // SAFETY: `head` is a live node under the queue lock; the NEXT word
+        // is in bounds and any bit pattern is a valid u64.
         let next = POff::new(unsafe { self.sys.pool.read::<u64>(head.add(NEXT_OFF)) });
         let mut txn = self.sys.begin(tid);
         txn.write(self.root, &next.raw().to_le_bytes());
@@ -245,6 +251,8 @@ impl MnemosyneMap {
     }
 
     fn next_of(&self, node: POff) -> POff {
+        // SAFETY: `node` is a live chain node reached under the bucket lock;
+        // the NEXT word is in bounds and any bit pattern is a valid u64.
         POff::new(unsafe { self.sys.pool.read::<u64>(node.add(NEXT_OFF)) })
     }
 

@@ -57,6 +57,8 @@ impl NvTraverseHashMap {
     }
 
     fn next_of(&self, node: POff) -> POff {
+        // SAFETY: `node` is a live chain node reached under the bucket lock;
+        // the NEXT word is in bounds and any bit pattern is a valid u64.
         POff::new(unsafe { self.pool.read::<u64>(node.add(NEXT_OFF)) })
     }
 
@@ -103,6 +105,8 @@ impl BenchMap for NvTraverseHashMap {
             return false;
         }
         let node = self.ralloc.alloc(DATA_OFF as usize + value.len());
+        // SAFETY: `node` is a fresh allocation sized for the header plus
+        // value, owned exclusively by this thread until linked.
         unsafe {
             self.pool.write::<u64>(node.add(NEXT_OFF), &0);
             self.pool
@@ -116,6 +120,8 @@ impl BenchMap for NvTraverseHashMap {
         if pred.is_null() {
             *head = node;
         } else {
+            // SAFETY: `pred` is a live chain node and this bucket's lock is
+            // held, so no competing writer touches its NEXT word.
             unsafe { self.pool.write::<u64>(pred.add(NEXT_OFF), &node.raw()) };
         }
         self.persist_zone(pred, node);
@@ -133,6 +139,7 @@ impl BenchMap for NvTraverseHashMap {
         if pred.is_null() {
             *head = next;
         } else {
+            // SAFETY: see the link write in `insert` — bucket lock held.
             unsafe { self.pool.write::<u64>(pred.add(NEXT_OFF), &next.raw()) };
         }
         self.persist_zone(pred, curr);

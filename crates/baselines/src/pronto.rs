@@ -76,6 +76,8 @@ impl OpLog {
         let regions: Vec<POff> = (0..nthreads).map(|_| ralloc.alloc(LOG_REGION)).collect();
         let table = ralloc.alloc(8 * nthreads);
         for (t, r) in regions.iter().enumerate() {
+            // SAFETY: region and table slots were just allocated with room for
+            // these words; no other thread references them yet.
             unsafe {
                 pool.write::<u64>(*r, &0); // zero terminator
                 pool.write::<u64>(table.add(8 * t as u64), &r.raw());
@@ -149,11 +151,15 @@ impl OpLog {
             }
             let off = region.add(*pos);
             let seq = self.seq.fetch_add(1, Ordering::AcqRel);
+            // SAFETY: the wrap check above keeps entry + terminator inside this
+            // thread's LOG_REGION block, and the position lock gives this
+            // thread exclusive access to that region.
             unsafe {
                 pool_write_entry(&self.pool, off, seq, entry);
             }
             *pos += total;
             // Terminator for the replay parser.
+            // SAFETY: see above — in-region, owned under the position lock.
             unsafe { self.pool.write::<u64>(region.add(*pos), &0) };
             (off, total as usize)
         };
@@ -193,6 +199,7 @@ impl OpLog {
         for t in 0..self.nthreads {
             let mut pos = self.positions[t].lock();
             *pos = 0;
+            // SAFETY: holding the position lock, writing the region's first word.
             unsafe { self.pool.write::<u64>(self.region(t), &0) };
             self.pool.clwb(self.region(t));
         }
@@ -215,13 +222,18 @@ impl OpLog {
     ) {
         let mut entries: Vec<(u64, Vec<u8>)> = Vec::new();
         for t in 0..nthreads {
+            // SAFETY: the anchored table holds nthreads region offsets;
+            // replay runs single-threaded after a crash.
             let region = POff::new(unsafe { pool.read::<u64>(table.add(8 * t as u64)) });
             let mut pos = 0u64;
             loop {
+                // SAFETY: `pos` stays below LOG_REGION (checked after each
+                // entry), so header reads are inside the region block.
                 let len = unsafe { pool.read::<u64>(region.add(pos)) };
                 if len == 0 || pos + ENTRY_HDR + len + 8 > LOG_REGION as u64 {
                     break;
                 }
+                // SAFETY: see above.
                 let seq = unsafe { pool.read::<u64>(region.add(pos + 8)) };
                 let mut bytes = vec![0u8; len as usize];
                 pool.read_bytes(region.add(pos + ENTRY_HDR), &mut bytes);
@@ -238,6 +250,10 @@ impl OpLog {
     }
 }
 
+/// # Safety
+///
+/// `off .. off + ENTRY_HDR + entry.len()` must lie inside a log region the
+/// caller owns exclusively (it holds that region's position lock).
 unsafe fn pool_write_entry(pool: &PmemPool, off: POff, seq: u64, entry: &[u8]) {
     pool.write::<u64>(off, &(entry.len() as u64));
     pool.write::<u64>(off.add(8), &seq);
@@ -279,6 +295,8 @@ fn write_checkpoint(ralloc: &Ralloc, log: &OpLog, blob: &[u8]) {
     pool.clwb_range(ckpt, blob.len());
     pool.sfence();
     let anchor = POff::root_slot(ANCHOR_SLOT);
+    // SAFETY: the 40-byte anchor record fits in the reserved root slot, and
+    // checkpointing quiesces all other writers.
     unsafe {
         pool.write::<u64>(anchor, &log.table.raw());
         pool.write::<u64>(anchor.add(8), &(log.nthreads as u64));
@@ -302,6 +320,8 @@ fn keep_set(
     let mut keep = std::collections::HashSet::new();
     keep.insert(table.raw());
     for t in 0..nthreads {
+        // SAFETY: the anchored table holds nthreads in-bounds offsets;
+        // recovery is single-threaded.
         keep.insert(unsafe { pool.read::<u64>(table.add(8 * t as u64)) });
     }
     if !ckpt.is_null() {
@@ -312,6 +332,8 @@ fn keep_set(
 
 fn read_anchor(pool: &PmemPool) -> (POff, usize, POff, usize, u64) {
     let anchor = POff::root_slot(ANCHOR_SLOT);
+    // SAFETY: reads of the reserved root-slot record; any bit pattern is a
+    // valid u64 and gets validated by the callers.
     unsafe {
         (
             POff::new(pool.read::<u64>(anchor)),
@@ -328,6 +350,8 @@ fn read_anchor(pool: &PmemPool) -> (POff, usize, POff, usize, u64) {
 fn anchor_fresh(ralloc: &Ralloc, log: &OpLog) {
     let pool = ralloc.pool();
     let anchor = POff::root_slot(ANCHOR_SLOT);
+    // SAFETY: the 40-byte anchor record fits in the reserved root slot; the
+    // log was just created, so nothing else writes it.
     unsafe {
         pool.write::<u64>(anchor, &log.table.raw());
         pool.write::<u64>(anchor.add(8), &(log.nthreads as u64));

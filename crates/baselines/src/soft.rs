@@ -66,9 +66,13 @@ impl SoftHashMap {
             return None;
         }
         let scan = pool.clone();
+        // SAFETY: (both reads) the `size >= DATA_OFF` guard keeps the
+        // header words inside the swept block, and any bit pattern is a
+        // valid u64/u32; the vlen check rejects torn lengths.
         let (ralloc, kept) = Ralloc::recover(pool, move |blk, size| {
             size >= DATA_OFF as usize
                 && unsafe { scan.read::<u64>(blk.add(VALID_OFF)) } == 1
+                // SAFETY: see above.
                 && unsafe { scan.read::<u32>(blk.add(VLEN_OFF)) } as usize
                     <= size - DATA_OFF as usize
         });
@@ -76,6 +80,8 @@ impl SoftHashMap {
         for (pnode, _size) in kept {
             let mut key = [0u8; 32];
             map.pool.read_bytes(pnode.add(KEY_OFF), &mut key);
+            // SAFETY: the sweep filter above validated this node's header,
+            // and recovery is single-threaded.
             let vlen = unsafe { map.pool.read::<u32>(pnode.add(VLEN_OFF)) } as usize;
             let mut value = vec![0u8; vlen];
             map.pool.read_bytes(pnode.add(DATA_OFF), &mut value);
@@ -121,6 +127,8 @@ impl BenchMap for SoftHashMap {
         }
         // Persistent part: PNode with two-phase validity.
         let pnode = self.ralloc.alloc(DATA_OFF as usize + value.len());
+        // SAFETY: `pnode` is a fresh allocation sized for the header plus
+        // value, owned exclusively by this thread until the chain push.
         unsafe {
             self.pool.write::<u64>(pnode.add(VALID_OFF), &0);
             self.pool
@@ -130,6 +138,7 @@ impl BenchMap for SoftHashMap {
         self.pool.write_bytes(pnode.add(DATA_OFF), value);
         self.pool
             .persist_range(pnode, DATA_OFF as usize + value.len());
+        // SAFETY: see the header-write comment above.
         unsafe { self.pool.write::<u64>(pnode.add(VALID_OFF), &1) };
         self.pool.persist_range(pnode.add(VALID_OFF), 8);
 
@@ -150,6 +159,8 @@ impl BenchMap for SoftHashMap {
         let e = chain.swap_remove(pos);
         drop(chain);
         // Persist the deletion marker, then reclaim.
+        // SAFETY: the entry was removed from the chain under the bucket
+        // lock, so this thread is the only writer of its PNode header.
         unsafe { self.pool.write::<u64>(e.pnode.add(VALID_OFF), &2) };
         self.pool.persist_range(e.pnode.add(VALID_OFF), 8);
         self.ralloc.dealloc(e.pnode);

@@ -52,6 +52,9 @@ impl Arena {
                     Arena::Dram => unreachable!("NVM value in DRAM arena"),
                 };
                 r.pool().touch(); // NVM value dereference
+                                  // SAFETY: (both lines) the ValRef was produced by this
+                                  // arena's own append, so `off..off+len` is in bounds and the
+                                  // bytes are initialized.
                 let ptr = unsafe { r.pool().at::<u8>(*off) };
                 f(unsafe { std::slice::from_raw_parts(ptr, *len as usize) })
             }

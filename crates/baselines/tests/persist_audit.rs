@@ -1,0 +1,131 @@
+//! Flush audit: runs each baseline under the persistency sanitizer and
+//! asserts its hot paths issue **no redundant `clwb`s** (a flush of a line
+//! that holds no unflushed store — the dominant persistence cost knob).
+//!
+//! Requires `--features baselines/persist-san`. Counts are filtered to call
+//! sites inside the structure under audit so allocator-internal flushes do
+//! not pollute the numbers. Before/after counts for the redundancies this
+//! audit originally caught are recorded in EXPERIMENTS.md.
+
+#![cfg(feature = "persist-san")]
+
+use std::sync::Arc;
+
+use baselines::api::{make_key, BenchMap, BenchQueue};
+use baselines::dali::DaliHashMap;
+use baselines::friedman::FriedmanQueue;
+use baselines::mod_ds::{ModHashMap, ModQueue};
+use baselines::soft::SoftHashMap;
+use pmem::{PmemConfig, PmemPool, SanClass};
+use ralloc::Ralloc;
+
+fn pool() -> PmemPool {
+    PmemPool::new(PmemConfig::default())
+}
+
+/// Redundant-clwb occurrences attributed to call sites in `file`, plus a
+/// human-readable dump of them (test output doubles as the audit report).
+fn redundant_in(pool: &PmemPool, file: &str) -> u64 {
+    let report = pool.san_report();
+    assert!(
+        report.correctness_clean(),
+        "audit hit a correctness violation"
+    );
+    let mut total = 0;
+    for (site, n) in &report.redundant_by_site {
+        if site.file.contains(file) {
+            eprintln!("[persist-audit] {site}: {n} redundant clwb(s)");
+            total += n;
+        }
+    }
+    eprintln!(
+        "[persist-audit] {file}: {total} redundant clwb(s) in-structure, \
+         {} pool-wide",
+        report.count(SanClass::RedundantClwb)
+    );
+    total
+}
+
+#[test]
+fn friedman_queue_issues_no_redundant_flushes() {
+    let p = pool();
+    let q = FriedmanQueue::new(Ralloc::format(p.clone()), 4);
+    p.san_reset_counts();
+    for i in 0..200u32 {
+        q.enqueue(0, &i.to_le_bytes());
+        if i % 2 == 0 {
+            assert!(q.dequeue(0));
+        }
+    }
+    while q.dequeue(0) {}
+    assert_eq!(redundant_in(&p, "friedman.rs"), 0);
+}
+
+#[test]
+fn soft_map_issues_no_redundant_flushes() {
+    let p = pool();
+    let m = SoftHashMap::new(Ralloc::format(p.clone()), 64);
+    p.san_reset_counts();
+    for i in 0..200 {
+        m.insert(0, make_key(i), &[i as u8; 96]);
+    }
+    for i in 0..100 {
+        m.remove(0, &make_key(i));
+    }
+    assert_eq!(redundant_in(&p, "soft.rs"), 0);
+}
+
+#[test]
+fn dali_era_flush_writes_back_only_new_records() {
+    let p = pool();
+    let m = DaliHashMap::new(Ralloc::format(p.clone()), 8);
+    // Long-lived records spread over few buckets: every era flush re-walks
+    // chains that are mostly already durable.
+    for i in 0..128 {
+        m.insert(0, make_key(i), &[1u8; 64]);
+    }
+    m.flush_era();
+    p.san_reset_counts();
+    for round in 0..8u64 {
+        // A handful of updates per era; the other ~120 records are durable
+        // and must not be written back again.
+        for i in 0..8 {
+            m.remove(0, &make_key(i));
+            m.insert(0, make_key(i), &[round as u8; 64]);
+        }
+        m.flush_era();
+    }
+    assert_eq!(redundant_in(&p, "dali.rs"), 0);
+}
+
+#[test]
+fn mod_map_path_copy_flushes_each_line_once() {
+    let p = pool();
+    let m = ModHashMap::new(Ralloc::format(p.clone()), 1);
+    // One bucket → long chain → removals path-copy a deep prefix whose
+    // patched links must not re-flush the node bodies.
+    for i in 0..32 {
+        m.insert(0, make_key(i), &[2u8; 48]);
+    }
+    p.san_reset_counts();
+    for i in (0..32).rev().step_by(2) {
+        assert!(m.remove(0, &make_key(i)));
+    }
+    assert_eq!(redundant_in(&p, "mod_ds.rs"), 0);
+}
+
+#[test]
+fn mod_queue_reversal_flushes_each_line_once() {
+    let p = pool();
+    let q = ModQueue::new(Ralloc::format(p.clone()));
+    p.san_reset_counts();
+    for round in 0..4u32 {
+        for i in 0..16 {
+            q.enqueue(0, &[(round * 16 + i) as u8; 40]);
+        }
+        for _ in 0..16 {
+            assert!(q.dequeue(0));
+        }
+    }
+    assert_eq!(redundant_in(&p, "mod_ds.rs"), 0);
+}

@@ -157,6 +157,8 @@ fn stats_reports_per_shard_quarantine_counters() {
     drop(g);
     esys.sync();
     let pool = esys.pool();
+    // SAFETY: in-bounds header byte of the payload created just above; the
+    // test is single-threaded at this point.
     unsafe { pool.write::<u8>(victim_blk.add(4), &0xFF) };
     pool.persist_range(victim_blk, 8);
 

@@ -238,6 +238,9 @@ impl KvStore {
             (_, ItemRef::Dram(b)) => f(b),
             (KvBackend::Nvm(r), ItemRef::Nvm(off, len)) => {
                 r.pool().media_read(*len as usize);
+                // SAFETY: (both lines) the ItemRef was produced by this
+                // arena's own append, so `off..off+len` is in bounds and the
+                // bytes are initialized.
                 let ptr = unsafe { r.pool().at::<u8>(*off) };
                 f(unsafe { std::slice::from_raw_parts(ptr, *len as usize) })
             }

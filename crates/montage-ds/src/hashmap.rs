@@ -79,6 +79,9 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
                     for item in shard.iter().filter(|it| it.tag == tag) {
                         let key = rec.with_bytes(item, |b| {
                             let mut k = std::mem::MaybeUninit::<K>::uninit();
+                            // SAFETY: the payload starts with a valid K, and
+                            // `b` covers at least size_of::<K>() bytes.
+                            // lint: allow(raw-write): copies pool bytes into a transient stack value, not into the pool
                             unsafe {
                                 std::ptr::copy_nonoverlapping(
                                     b.as_ptr(),
@@ -119,6 +122,8 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
     fn encode(&self, key: &K, value: &[u8]) -> Vec<u8> {
         let ksize = std::mem::size_of::<K>();
         let mut buf = vec![0u8; ksize + value.len()];
+        // SAFETY: `buf` holds `ksize` bytes and K is plain data.
+        // lint: allow(raw-write): serializes the key into a transient Vec; the pool copy goes through pnew_bytes
         unsafe {
             std::ptr::copy_nonoverlapping(key as *const K as *const u8, buf.as_mut_ptr(), ksize);
         }

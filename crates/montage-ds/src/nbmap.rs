@@ -42,6 +42,10 @@ fn ptr_of<K>(n: *const Node<K>) -> u64 {
     n as u64
 }
 
+/// # Safety
+///
+/// `v` must hold a pointer obtained from `ptr_of` on a node that has not yet
+/// been reclaimed; the guard witnesses an epoch pin that delays reclamation.
 unsafe fn node_ref<K>(v: u64, _g: &Guard) -> &Node<K> {
     &*((v & !MARK) as *const Node<K>)
 }
@@ -84,7 +88,11 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
         for item in rec.shards.iter().flatten().filter(|it| it.tag == tag) {
             let key = rec.with_bytes(item, |b| {
                 let mut k = std::mem::MaybeUninit::<K>::uninit();
+                // SAFETY: `insert` laid the key image out as the first
+                // size_of::<K>() payload bytes, so this round-trips a value
+                // that was valid when written.
                 unsafe {
+                    // lint: allow(raw-write): copies pool bytes into a transient stack value, not into the pool
                     std::ptr::copy_nonoverlapping(
                         b.as_ptr(),
                         k.as_mut_ptr() as *mut u8,
@@ -117,6 +125,7 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
                     return (pred_cell, 0);
                 }
                 debug_assert!(!is_marked(curr), "pred cell holds a marked pointer");
+                // SAFETY: `curr` came from a live cell under the epoch pin.
                 let curr_node = unsafe { node_ref::<K>(curr, eg) };
                 let succ = curr_node.next.load(&self.esys);
                 if is_marked(succ) {
@@ -126,6 +135,9 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
                         continue 'retry;
                     }
                     let garbage = curr;
+                    // SAFETY: the CAS above unlinked `garbage`, and marked
+                    // nodes are never re-linked, so this Box::from_raw runs
+                    // exactly once, after all current pins drop.
                     unsafe {
                         eg.defer_unchecked(move || drop(Box::from_raw(garbage as *mut Node<K>)));
                     }
@@ -148,6 +160,7 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
         let head = &self.heads[self.index(key)];
         let mut curr = head.load(&self.esys);
         while curr != 0 {
+            // SAFETY: `curr` came from a live cell under the epoch pin.
             let node = unsafe { node_ref::<K>(curr, &eg) };
             let succ = node.next.load(&self.esys);
             if node.key == *key {
@@ -171,7 +184,10 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
     pub fn insert(&self, tid: ThreadId, key: K, value: &[u8]) -> bool {
         let ksize = std::mem::size_of::<K>();
         let mut bytes = vec![0u8; ksize + value.len()];
+        // SAFETY: `bytes` holds at least `ksize` bytes, and `key` is a live
+        // borrow, so reading K's bytes into the Vec is in bounds.
         unsafe {
+            // lint: allow(raw-write): serializes the key into a transient Vec; the pool copy goes through pnew_bytes
             std::ptr::copy_nonoverlapping(&key as *const K as *const u8, bytes.as_mut_ptr(), ksize);
         }
         bytes[ksize..].copy_from_slice(value);
@@ -181,6 +197,7 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
             let head = &self.heads[self.index(&key)];
             let g = self.esys.begin_op(tid);
             let (pred_cell, curr) = self.seek(head, &key, &eg);
+            // SAFETY: `curr` came from `seek` under the epoch pin.
             if curr != 0 && unsafe { node_ref::<K>(curr, &eg) }.key == key {
                 return false;
             }
@@ -198,6 +215,8 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
                 Err(CasVerifyError::Conflict(_)) | Err(CasVerifyError::Epoch(_)) => {
                     // Roll back and restart (possibly in a new epoch).
                     let _ = self.esys.pdelete(&g, payload);
+                    // SAFETY: the CAS failed, so `node` was never published;
+                    // this thread still owns the allocation.
                     drop(unsafe { Box::from_raw(node) });
                 }
             }
@@ -211,6 +230,7 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
             let head = &self.heads[self.index(&key)];
             let g = self.esys.begin_op(tid);
             let (pred_cell, curr) = self.seek(head, &key, &eg);
+            // SAFETY: `curr` came from `seek` under the epoch pin.
             if curr != 0 && unsafe { node_ref::<K>(curr, &eg) }.key == key {
                 return false;
             }
@@ -224,6 +244,7 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
                     self.len.fetch_add(1, Ordering::Relaxed);
                     return true;
                 }
+                // SAFETY: the CAS failed, so `node` was never published.
                 Err(_) => drop(unsafe { Box::from_raw(node) }),
             }
         }
@@ -239,6 +260,7 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
             if curr == 0 {
                 return false;
             }
+            // SAFETY: `curr` came from `seek` under the epoch pin.
             let node = unsafe { node_ref::<K>(curr, &eg) };
             if node.key != *key {
                 return false;
@@ -277,6 +299,8 @@ impl<K> Drop for MontageNbMap<K> {
         for head in self.heads.iter() {
             let mut cur = head.load(&self.esys) & !MARK;
             while cur != 0 {
+                // SAFETY: `&mut self` proves no concurrent access; each node
+                // is reachable from exactly one cell, so it is freed once.
                 let node = unsafe { Box::from_raw(cur as *mut Node<K>) };
                 cur = node.next.load(&self.esys) & !MARK;
             }

@@ -41,6 +41,9 @@ fn node_ptr(n: *const Node) -> u64 {
     n as u64
 }
 
+/// # Safety
+/// `ptr` must hold a pointer obtained from `node_ptr` on a node that has not
+/// yet been reclaimed; the guard pins the epoch for the reference's lifetime.
 unsafe fn node_ref(ptr: u64, _g: &Guard) -> &Node {
     &*(ptr as *const Node)
 }
@@ -89,6 +92,8 @@ impl MontageNbQueue {
                 seq,
                 next: VerifyCell::new(0),
             }));
+            // SAFETY: single-threaded construction; every pointer in the
+            // chain was just produced by Box::into_raw above.
             unsafe { (*tail).next.store_unsync(node_ptr(n)) };
             tail = n;
         }
@@ -106,6 +111,7 @@ impl MontageNbQueue {
             let g = self.esys.begin_op(tid);
             let eg = epoch::pin();
             let tail_ptr = self.tail.load(&self.esys);
+            // SAFETY: loaded from the live queue under the pinned guard.
             let tail = unsafe { node_ref(tail_ptr, &eg) };
             let next = tail.next.load(&self.esys);
             if next != 0 {
@@ -132,6 +138,8 @@ impl MontageNbQueue {
                     // Roll back: the payload was created this epoch and never
                     // linked, so PDELETE discards it immediately.
                     let _ = self.esys.pdelete(&g, payload);
+                    // SAFETY: the CAS failed, so `node` was never published;
+                    // this thread still owns it exclusively.
                     drop(unsafe { Box::from_raw(node) });
                 }
             }
@@ -144,6 +152,7 @@ impl MontageNbQueue {
             let g = self.esys.begin_op(tid);
             let eg = epoch::pin();
             let head_ptr = self.head.load(&self.esys);
+            // SAFETY: loaded from the live queue under the pinned guard.
             let head = unsafe { node_ref(head_ptr, &eg) };
             let next = head.next.load(&self.esys);
             if next == 0 {
@@ -154,6 +163,8 @@ impl MontageNbQueue {
                 self.tail.cas_plain(&self.esys, tail_ptr, next);
                 continue;
             }
+            // SAFETY: `next` was read under the pinned guard, so the node
+            // cannot be reclaimed before `eg` drops.
             let next_node = unsafe { node_ref(next, &eg) };
             // Copy the value out before linearizing; if our CAS loses, the
             // copy is discarded (the bytes may then be a competitor's
@@ -164,6 +175,9 @@ impl MontageNbQueue {
             match self.head.cas_verify(&self.esys, &g, head_ptr, next) {
                 Ok(()) => {
                     let _ = self.esys.pdelete(&g, next_node.payload);
+                    // SAFETY: the CAS unlinked the old dummy, so no new
+                    // reader can reach it; the deferred drop runs after every
+                    // pinned guard that might still hold it has unpinned.
                     unsafe {
                         eg.defer_unchecked(move || drop(Box::from_raw(head_ptr as *mut Node)));
                     }
@@ -180,6 +194,7 @@ impl MontageNbQueue {
         let mut n = 0;
         let mut cur = self.head.load(&self.esys);
         loop {
+            // SAFETY: walked from head under the pinned guard.
             let node = unsafe { node_ref(cur, &eg) };
             let next = node.next.load(&self.esys);
             if next == 0 {
@@ -197,7 +212,10 @@ impl Drop for MontageNbQueue {
         let eg = epoch::pin();
         let mut cur = self.head.load(&self.esys);
         while cur != 0 {
+            // SAFETY: `&mut self` in Drop means no other thread holds the
+            // queue; every chained node is exclusively ours to read and free.
             let next = unsafe { node_ref(cur, &eg) }.next.load(&self.esys);
+            // SAFETY: see above.
             drop(unsafe { Box::from_raw(cur as *mut Node) });
             cur = next;
         }

@@ -19,6 +19,9 @@ struct Node {
     next: u64,
 }
 
+/// # Safety
+/// `ptr` must hold a pointer to a live `Node` that has not yet been
+/// reclaimed; the guard pins the epoch for the reference's lifetime.
 unsafe fn node_ref(ptr: u64, _g: &Guard) -> &Node {
     &*(ptr as *const Node)
 }
@@ -95,6 +98,8 @@ impl MontageStack {
                 Ok(()) => return,
                 Err(CasVerifyError::Conflict(_)) | Err(CasVerifyError::Epoch(_)) => {
                     let _ = self.esys.pdelete(&g, payload);
+                    // SAFETY: the CAS failed, so `node` was never published;
+                    // this thread still owns it exclusively.
                     drop(unsafe { Box::from_raw(node as *mut Node) });
                 }
             }
@@ -110,6 +115,7 @@ impl MontageStack {
             if top == 0 {
                 return None;
             }
+            // SAFETY: loaded from the live stack under the pinned guard.
             let node = unsafe { node_ref(top, &eg) };
             let value = self
                 .esys
@@ -117,6 +123,9 @@ impl MontageStack {
             match self.top.cas_verify(&self.esys, &g, top, node.next) {
                 Ok(()) => {
                     let _ = self.esys.pdelete(&g, node.payload);
+                    // SAFETY: the CAS unlinked `top`, so no new reader can
+                    // reach it; the deferred drop runs after every pinned
+                    // guard that might still hold it has unpinned.
                     unsafe {
                         eg.defer_unchecked(move || drop(Box::from_raw(top as *mut Node)));
                     }
@@ -134,6 +143,7 @@ impl MontageStack {
         let mut cur = self.top.load(&self.esys);
         while cur != 0 {
             n += 1;
+            // SAFETY: walked from top under the pinned guard.
             cur = unsafe { node_ref(cur, &eg) }.next;
         }
         n
@@ -149,7 +159,10 @@ impl Drop for MontageStack {
         let eg = epoch::pin();
         let mut cur = self.top.load(&self.esys);
         while cur != 0 {
+            // SAFETY: `&mut self` in Drop means no other thread holds the
+            // stack; every chained node is exclusively ours to read and free.
             let next = unsafe { node_ref(cur, &eg) }.next;
+            // SAFETY: see above.
             drop(unsafe { Box::from_raw(cur as *mut Node) });
             cur = next;
         }

@@ -59,6 +59,9 @@ pub struct MontageSkipListMap<K> {
     len: AtomicUsize,
 }
 
+// SAFETY: the tower is only touched under crossbeam-epoch guards and all
+// interior mutability goes through atomics or per-node locks, so with
+// `K: Send + Sync` the map as a whole is safe to share across threads.
 unsafe impl<K: Send + Sync> Send for MontageSkipListMap<K> {}
 unsafe impl<K: Send + Sync> Sync for MontageSkipListMap<K> {}
 
@@ -80,7 +83,11 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
         for item in rec.shards.iter().flatten().filter(|it| it.tag == tag) {
             let key = rec.with_bytes(item, |b| {
                 let mut k = std::mem::MaybeUninit::<K>::uninit();
+                // SAFETY: `encode` laid the key image out as the first
+                // size_of::<K>() payload bytes, so this round-trips a value
+                // that was valid when written.
                 unsafe {
+                    // lint: allow(raw-write): copies pool bytes into a transient stack value, not into the pool
                     std::ptr::copy_nonoverlapping(
                         b.as_ptr(),
                         k.as_mut_ptr() as *mut u8,
@@ -122,6 +129,9 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
         let mut found = None;
         let mut pred = head;
         for level in (0..MAX_LEVEL).rev() {
+            // SAFETY: every node reachable from `head` is retired only via
+            // `defer_destroy` under this same epoch `guard`, so the Shared
+            // pointers we traverse stay valid for the whole call.
             let mut curr = unsafe { pred.deref() }.next[level].load(Ordering::Acquire, guard);
             loop {
                 let Some(curr_ref) = (unsafe { curr.as_ref() }) else {
@@ -150,7 +160,10 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
     fn encode(&self, key: &K, value: &[u8]) -> Vec<u8> {
         let ksize = std::mem::size_of::<K>();
         let mut buf = vec![0u8; ksize + value.len()];
+        // SAFETY: `buf` holds at least `ksize` bytes and `key` is a live
+        // borrow, so reading K's bytes into the Vec is in bounds.
         unsafe {
+            // lint: allow(raw-write): serializes the key into a transient Vec; the pool copy goes through pnew_bytes
             std::ptr::copy_nonoverlapping(key as *const K as *const u8, buf.as_mut_ptr(), ksize);
         }
         buf[ksize..].copy_from_slice(value);
@@ -178,6 +191,7 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
             let guard = crossbeam::epoch::pin();
             let (preds, succs, found) = self.find(&key, &guard);
             if let Some(lf) = found {
+                // SAFETY: `found` nodes are protected by the pinned `guard`.
                 let node = unsafe { succs[lf].deref() };
                 // Wait until it is fully linked or marked, then report.
                 while !node.fully_linked.load(Ordering::Acquire)
@@ -196,6 +210,7 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
             let mut valid = true;
             let mut locked_ptrs: Vec<*const Node<K>> = Vec::with_capacity(height);
             for (level, item) in preds.iter().enumerate().take(height) {
+                // SAFETY: predecessors from `find` are guard-protected.
                 let pred = unsafe { item.deref() };
                 // Avoid double-locking the same predecessor node.
                 if !locked_ptrs.contains(&(pred as *const _)) {
@@ -222,8 +237,11 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
             }
             let node = node.into_shared(&guard);
             for (level, item) in preds.iter().enumerate().take(height) {
+                // SAFETY: predecessors are guard-protected and locked above.
                 unsafe { item.deref() }.next[level].store(node, Ordering::Release);
             }
+            // SAFETY: `node` was allocated above and is still alive; it can
+            // only be retired after `fully_linked` lets removers see it.
             unsafe { node.deref() }
                 .fully_linked
                 .store(true, Ordering::Release);
@@ -238,6 +256,7 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
         let ksize = std::mem::size_of::<K>();
         let (_, succs, found) = self.find(key, &guard);
         let lf = found?;
+        // SAFETY: the pinned `guard` keeps the found node alive.
         let node = unsafe { succs[lf].deref() };
         if !node.fully_linked.load(Ordering::Acquire) || node.marked.load(Ordering::Acquire) {
             return None;
@@ -255,6 +274,7 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
         let Some(lf) = found else {
             return false;
         };
+        // SAFETY: the pinned `guard` keeps the found node alive.
         let node = unsafe { succs[lf].deref() };
         let _l = node.lock.lock();
         if node.marked.load(Ordering::Acquire) || !node.fully_linked.load(Ordering::Acquire) {
@@ -288,6 +308,8 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
                 return false;
             };
             let victim_sh = succs[lf];
+            // SAFETY: the pinned `guard` keeps the victim alive until the
+            // deferred destruction below runs.
             let victim = unsafe { victim_sh.deref() };
             if victim_height == 0 {
                 if !victim.fully_linked.load(Ordering::Acquire)
@@ -314,6 +336,7 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
             let mut locked_ptrs: Vec<*const Node<K>> = Vec::new();
             let mut valid = true;
             for (level, item) in preds.iter().enumerate().take(victim_height) {
+                // SAFETY: predecessors from `find` are guard-protected.
                 let pred = unsafe { item.deref() };
                 if !locked_ptrs.contains(&(pred as *const _)) {
                     locks.push(pred.lock.lock());
@@ -336,9 +359,13 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
             let _ = self.esys.pdelete(&g, h);
             for level in (0..victim_height).rev() {
                 let succ = victim.next[level].load(Ordering::Acquire, &guard);
+                // SAFETY: predecessors are guard-protected and locked above.
                 unsafe { preds[level].deref() }.next[level].store(succ, Ordering::Release);
             }
             self.len.fetch_sub(1, Ordering::Relaxed);
+            // SAFETY: the victim is marked and unlinked from every level under
+            // the locks, so no new references form; destruction is deferred
+            // past all current guards.
             unsafe {
                 guard.defer_destroy(victim_sh);
             }
@@ -351,6 +378,7 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
         let guard = crossbeam::epoch::pin();
         let mut out = Vec::new();
         let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: head and every reachable node are guard-protected.
         let mut cur = unsafe { head.deref() }.next[0].load(Ordering::Acquire, &guard);
         while let Some(node) = unsafe { cur.as_ref() } {
             if !node.marked.load(Ordering::Acquire) {
@@ -372,10 +400,13 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
 
 impl<K> Drop for MontageSkipListMap<K> {
     fn drop(&mut self) {
-        // Single-threaded teardown of the transient tower.
+        // SAFETY: `&mut self` proves no other thread holds a guard into this
+        // map, so the unprotected guard, the derefs, and reclaiming each node
+        // exactly once via `into_owned` are all sound.
         let guard = unsafe { crossbeam::epoch::unprotected() };
         let mut cur = self.head.load(Ordering::Relaxed, guard);
         while !cur.is_null() {
+            // SAFETY: see above — exclusive access during drop.
             let next = unsafe { cur.deref() }.next[0].load(Ordering::Relaxed, guard);
             drop(unsafe { cur.into_owned() });
             cur = next;

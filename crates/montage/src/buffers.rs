@@ -347,6 +347,7 @@ impl Buffers {
             // entry leaves this same-epoch bucket, so kill any coalescing
             // promise anchored at its extent (see module docs).
             if let Some((o, l)) = b.ring.pop() {
+                // lint: allow(flush-no-fence): drains only write back; the epoch-boundary sfence in advance_epoch makes them durable
                 pool.clwb_range(POff::new(o), l as usize);
                 let od = st.dedup_at(line_of(o));
                 if od.epoch.load(Ordering::Relaxed) == epoch
@@ -381,6 +382,7 @@ impl Buffers {
             // able to wait out that window (module docs, drain rendezvous).
             st.drainers.fetch_add(1, Ordering::SeqCst);
             while let Some((o, l)) = b.ring.pop() {
+                // lint: allow(flush-no-fence): drains only write back; the epoch-boundary sfence in advance_epoch makes them durable
                 pool.clwb_range(POff::new(o), l as usize);
             }
             st.drainers.fetch_sub(1, Ordering::Release);
@@ -395,6 +397,7 @@ impl Buffers {
         for b in st.persist.iter() {
             if !b.ring.is_empty() && b.epoch.load(Ordering::Acquire) <= epoch {
                 while let Some((o, l)) = b.ring.pop() {
+                    // lint: allow(flush-no-fence): drains only write back; the epoch-boundary sfence in advance_epoch makes them durable
                     pool.clwb_range(POff::new(o), l as usize);
                 }
             }
@@ -477,6 +480,7 @@ impl Buffers {
         }
         for &blk in &blocks {
             Header::tombstone(pool, blk);
+            // lint: allow(flush-no-fence): tombstone write-backs ride the epoch-boundary sfence, like the persist drains
             pool.clwb(blk);
         }
         blocks

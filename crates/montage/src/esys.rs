@@ -97,6 +97,8 @@ impl EpochSys {
     /// Formats a fresh pool: ralloc heap + Montage clock.
     pub fn format(pool: PmemPool, cfg: EsysConfig) -> Arc<EpochSys> {
         let ralloc = Ralloc::format(pool.clone());
+        // SAFETY: the root slots are reserved in-bounds words, and no other
+        // thread touches the pool while it is being formatted.
         unsafe {
             pool.write(POff::root_slot(CLOCK_SLOT), &FIRST_EPOCH);
             pool.write(POff::root_slot(MAGIC_SLOT), &MONTAGE_MAGIC);
@@ -146,6 +148,8 @@ impl EpochSys {
 
     /// Checks a pool for the Montage format magic.
     pub fn is_formatted(pool: &PmemPool) -> bool {
+        // SAFETY: the magic slot is a reserved in-bounds word; reading
+        // arbitrary bytes as u64 is fine.
         unsafe { pool.read::<u64>(POff::root_slot(MAGIC_SLOT)) == MONTAGE_MAGIC }
     }
 
@@ -172,6 +176,8 @@ impl EpochSys {
     }
 
     fn clock(&self) -> &AtomicU64 {
+        // SAFETY: the clock slot is a reserved, 8-aligned root word accessed
+        // only through this atomic view after format.
         unsafe { self.pool.atomic_u64(POff::root_slot(CLOCK_SLOT)) }
     }
 
@@ -378,6 +384,7 @@ impl EpochSys {
                 }
                 self.mind.publish(tid, min);
             }
+            // lint: allow(flush-no-fence): DirWB defers the fence to the epoch boundary, like the buffered path
             PersistStrategy::DirWB => self.pool.clwb_range(blk, len as usize),
             PersistStrategy::None => {}
         }
@@ -399,6 +406,8 @@ impl EpochSys {
             size as u32,
             self.next_uid(g.tid.0),
         );
+        // SAFETY: `blk` was sized HDR_SIZE + size above and is still
+        // thread-private; T: Copy rules out drop obligations.
         unsafe { self.pool.write(Header::data(blk), val) };
         self.record_persist(g.tid.0, g.epoch, blk, (HDR_SIZE + size) as u32);
         self.stats.pnews.fetch_add(1, Ordering::Relaxed);
@@ -436,12 +445,17 @@ impl EpochSys {
     /// `get`: reads the payload by value (old-see-new alert enabled).
     pub fn read<T: Copy>(&self, g: &OpGuard<'_>, h: PHandle<T>) -> Result<T, OldSeeNewException> {
         self.osn_check(g, h.blk)?;
+        // SAFETY: a live PHandle<T> points at a payload of size_of::<T>()
+        // bytes written by pnew/set; payload reads are race-free per the
+        // paper's well-formedness constraint 2.
         Ok(unsafe { self.pool.read(Header::data(h.blk)) })
     }
 
     /// `get_unsafe`: reads without the old-see-new alert.
     pub fn read_unsafe<T: Copy>(&self, h: PHandle<T>) -> T {
         self.pool.touch(); // NVM payload dereference
+                           // SAFETY: same payload-validity argument as `read`; the caller opts
+                           // out of the old-see-new alert, not of memory safety.
         unsafe { self.pool.read(Header::data(h.blk)) }
     }
 
@@ -455,6 +469,8 @@ impl EpochSys {
         f: impl FnOnce(&T) -> R,
     ) -> Result<R, OldSeeNewException> {
         self.osn_check(g, h.blk)?;
+        // SAFETY: the payload holds a valid T (see `read`), and the borrow
+        // ends when `f` returns, before any epoch can retire the block.
         Ok(f(unsafe { &*self.pool.at::<T>(Header::data(h.blk)) }))
     }
 
@@ -467,6 +483,8 @@ impl EpochSys {
     ) -> Result<R, OldSeeNewException> {
         self.osn_check(g, h.blk)?;
         let size = Header::size(&self.pool, h.blk) as usize;
+        // SAFETY: the header records the payload's byte length, so the slice
+        // covers exactly the initialized data area; the borrow ends with `f`.
         let ptr = unsafe { self.pool.at::<u8>(Header::data(h.blk)) };
         Ok(f(unsafe { std::slice::from_raw_parts(ptr, size) }))
     }
@@ -475,6 +493,7 @@ impl EpochSys {
     pub fn peek_bytes_unsafe<R>(&self, h: PHandle<[u8]>, f: impl FnOnce(&[u8]) -> R) -> R {
         self.pool.touch(); // NVM payload dereference
         let size = Header::size(&self.pool, h.blk) as usize;
+        // SAFETY: same slice-validity argument as `peek_bytes`.
         let ptr = unsafe { self.pool.at::<u8>(Header::data(h.blk)) };
         f(unsafe { std::slice::from_raw_parts(ptr, size) })
     }
@@ -492,6 +511,9 @@ impl EpochSys {
         f: impl FnOnce(&mut T),
     ) -> Result<PHandle<T>, OldSeeNewException> {
         self.set_raw(g, h.blk, |pool, data| {
+            // SAFETY: `data` points at a valid T (see `read`); set_raw runs
+            // under the operation guard, and constraint 2 makes payload
+            // access exclusive, so the &mut cannot alias.
             f(unsafe { &mut *pool.at::<T>(data) })
         })
         .map(PHandle::from_raw)
@@ -507,6 +529,8 @@ impl EpochSys {
     ) -> Result<PHandle<[u8]>, OldSeeNewException> {
         let size = Header::size(&self.pool, h.blk) as usize;
         self.set_raw(g, h.blk, |pool, data| {
+            // SAFETY: `size` comes from the payload header, and exclusive
+            // payload access (constraint 2) makes the &mut slice unique.
             let ptr = unsafe { pool.at::<u8>(data) };
             f(unsafe { std::slice::from_raw_parts_mut(ptr, size) })
         })
@@ -527,19 +551,27 @@ impl EpochSys {
             // Hot payload (or Montage(T), where epochs never move): update in
             // place.
             apply(&self.pool, Header::data(blk));
+            // `apply` stores through a raw pointer the sanitizer cannot see;
+            // declare the whole data extent dirty before queueing its flush.
+            self.pool.san_mark_dirty(Header::data(blk), size as usize);
             self.record_persist(g.tid.0, g.epoch, blk, total);
             self.stats.sets_in_place.fetch_add(1, Ordering::Relaxed);
             Ok(blk)
         } else {
             // Copy-on-write into the current epoch.
             let nblk = self.ralloc.alloc(total as usize);
+            // SAFETY: `blk` is a live payload of `total` bytes and `nblk` a
+            // distinct fresh block of the same size — no overlap.
             unsafe {
+                // lint: allow(raw-write): the clone is declared via san_mark_dirty below and persisted by record_persist
                 std::ptr::copy_nonoverlapping(
                     self.pool.at::<u8>(blk) as *const u8,
                     self.pool.at::<u8>(nblk),
                     total as usize,
                 );
             }
+            // The pool-to-pool copy is invisible to the sanitizer.
+            self.pool.san_mark_dirty(nblk, total as usize);
             Header::write_new(
                 &self.pool,
                 nblk,
@@ -684,9 +716,16 @@ impl EpochSys {
         }
 
         self.pool.sfence();
+        // This fence is the boundary that declares epoch e-1 durable; under
+        // `persist-san`, assert that no tracked store from before the
+        // previous boundary is still unflushed (no-op otherwise).
+        self.pool.san_epoch_boundary();
 
         // Now everything labelled <= e-1 is durable: publish epoch e+1.
         self.clock().store(e + 1, Ordering::SeqCst);
+        // The clock store is an atomic the sanitizer cannot see.
+        self.pool
+            .san_mark_dirty(POff::root_slot(CLOCK_SLOT), std::mem::size_of::<u64>());
         self.pool.clwb(POff::root_slot(CLOCK_SLOT));
         self.pool.sfence();
 

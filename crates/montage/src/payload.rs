@@ -96,6 +96,8 @@ impl Header {
         uid: u64,
         size: u32,
     ) {
+        // SAFETY: the caller hands a block of at least HDR_SIZE bytes that it
+        // owns exclusively (fresh allocation or recovery quarantine).
         unsafe {
             pool.write::<u32>(blk, &MAGIC_LIVE);
             pool.write::<u8>(blk.add(4), &(kind as u8));
@@ -110,16 +112,21 @@ impl Header {
 
     #[inline]
     pub fn magic(pool: &PmemPool, blk: POff) -> u32 {
+        // SAFETY: `blk` heads an in-bounds payload block; header words are
+        // plain data, readable even when never initialized.
         unsafe { pool.read(blk) }
     }
 
     #[inline]
     pub fn kind(pool: &PmemPool, blk: POff) -> Option<PayloadKind> {
+        // SAFETY: see `magic`; the byte is validated by from_u8.
         PayloadKind::from_u8(unsafe { pool.read::<u8>(blk.add(4)) })
     }
 
     #[inline]
     pub fn set_kind(pool: &PmemPool, blk: POff, kind: PayloadKind) {
+        // SAFETY: kind transitions happen inside the owning operation (or
+        // single-threaded recovery), so the header words cannot race.
         unsafe {
             pool.write::<u8>(blk.add(4), &(kind as u8));
             let sum = hdr_sum(
@@ -135,21 +142,25 @@ impl Header {
 
     #[inline]
     pub fn tag(pool: &PmemPool, blk: POff) -> u16 {
+        // SAFETY: see `magic`.
         unsafe { pool.read(blk.add(6)) }
     }
 
     #[inline]
     pub fn epoch(pool: &PmemPool, blk: POff) -> u64 {
+        // SAFETY: see `magic`.
         unsafe { pool.read(blk.add(8)) }
     }
 
     #[inline]
     pub fn uid(pool: &PmemPool, blk: POff) -> u64 {
+        // SAFETY: see `magic`.
         unsafe { pool.read(blk.add(16)) }
     }
 
     #[inline]
     pub fn size(pool: &PmemPool, blk: POff) -> u32 {
+        // SAFETY: see `magic`.
         unsafe { pool.read(blk.add(24)) }
     }
 
@@ -158,6 +169,7 @@ impl Header {
     /// block must be quarantined, not trusted.
     #[inline]
     pub fn checksum_ok(pool: &PmemPool, blk: POff) -> bool {
+        // SAFETY: see `magic` — in-bounds header words, any bit pattern ok.
         let kind = unsafe { pool.read::<u8>(blk.add(4)) };
         let stored = unsafe { pool.read::<u32>(blk.add(28)) };
         stored
@@ -174,6 +186,8 @@ impl Header {
     /// write-back with the surrounding epoch boundary's flush batch.
     #[inline]
     pub fn tombstone(pool: &PmemPool, blk: POff) {
+        // SAFETY: only the retiring operation tombstones a block, so the
+        // in-bounds magic word has a single writer.
         unsafe { pool.write::<u32>(blk, &MAGIC_TOMBSTONE) }
     }
 
@@ -283,6 +297,7 @@ mod tests {
         assert!(Header::checksum_ok(&pool, blk), "set_kind keeps the sum");
         // A tear that kept the first 16 bytes but lost uid/size/sum reads as
         // corrupt (the stale checksum word no longer matches).
+        // SAFETY: in-bounds test scratch words; this thread owns the pool.
         unsafe {
             pool.write::<u64>(blk.add(16), &0u64);
             pool.write::<u32>(blk.add(24), &0u32);

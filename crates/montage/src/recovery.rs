@@ -88,11 +88,15 @@ impl RecoveredState {
     /// Reads a survivor's user data by value.
     pub fn read<T: Copy>(&self, item: &RecoveredItem) -> T {
         debug_assert_eq!(std::mem::size_of::<T>() as u32, item.size);
+        // SAFETY: the sweep checksummed this survivor, so its data bytes are
+        // in bounds and intact; the caller picks a T matching the payload.
         unsafe { self.esys.pool().read(Header::data(item.blk)) }
     }
 
     /// Runs `f` on a survivor's raw bytes.
     pub fn with_bytes<R>(&self, item: &RecoveredItem, f: impl FnOnce(&[u8]) -> R) -> R {
+        // SAFETY: (both lines) the sweep validated this survivor's header,
+        // so `data..data+size` is in bounds and initialized.
         let ptr = unsafe { self.esys.pool().at::<u8>(Header::data(item.blk)) };
         f(unsafe { std::slice::from_raw_parts(ptr, item.size as usize) })
     }
@@ -129,8 +133,16 @@ pub fn try_recover(
     if !EpochSys::is_formatted(&pool) || !Ralloc::is_formatted(&pool) {
         return Err(RecoveryError::UnformattedPool);
     }
+    // Everything from here to the return consumes post-crash state: open the
+    // persist-san recovery window so a read of a line whose content never
+    // became durable is caught at the reading site (no-op without the
+    // feature). Validating probes opt out individually via `san_probe`.
+    pool.san_begin_recovery();
+    // SAFETY: the clock root slot is an in-bounds metadata word; any bit
+    // pattern is a valid u64 and is range-checked just below.
     let durable_epoch = unsafe { pool.read::<u64>(POff::root_slot(CLOCK_SLOT)) };
     if durable_epoch < FIRST_EPOCH {
+        pool.san_end_recovery();
         return Err(RecoveryError::CorruptClock {
             found: durable_epoch,
         });
@@ -149,25 +161,30 @@ pub fn try_recover(
         let quarantined = &quarantined;
         let discarded_recent = &discarded_recent;
         Ralloc::recover_parallel(pool.clone(), k, move |blk, usable| {
-            if Header::magic(&sweep_pool, blk) != MAGIC_LIVE {
-                return false; // free slot or tombstone: not a payload
-            }
-            let reason = validate_header(&sweep_pool, blk, usable, durable_epoch);
-            if let Some(reason) = reason {
-                quarantined
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .push(QuarantinedPayload { blk, reason });
-                return false;
-            }
-            let epoch = Header::epoch(&sweep_pool, blk);
-            if epoch > cutoff {
-                // Valid, but from the at-risk window buffered durability
-                // gives up on: normal frontier loss, not corruption.
-                discarded_recent.fetch_add(1, Ordering::Relaxed);
-                return false;
-            }
-            true
+            // The whole filter is a validating probe: it reads arbitrary
+            // swept blocks precisely in order to decide whether to trust
+            // them, so its reads are exempt from the dirty-read check.
+            sweep_pool.san_probe(|| {
+                if Header::magic(&sweep_pool, blk) != MAGIC_LIVE {
+                    return false; // free slot or tombstone: not a payload
+                }
+                let reason = validate_header(&sweep_pool, blk, usable, durable_epoch);
+                if let Some(reason) = reason {
+                    quarantined
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push(QuarantinedPayload { blk, reason });
+                    return false;
+                }
+                let epoch = Header::epoch(&sweep_pool, blk);
+                if epoch > cutoff {
+                    // Valid, but from the at-risk window buffered durability
+                    // gives up on: normal frontier loss, not corruption.
+                    discarded_recent.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                true
+            })
         })
     };
     let quarantined = quarantined.into_inner().unwrap_or_else(|p| p.into_inner());
@@ -198,8 +215,10 @@ pub fn try_recover(
     // Phase 3: restart the clock two epochs past the crash point so every
     // survivor is strictly older than any new work, and persist it.
     let new_epoch = durable_epoch + 2;
+    // SAFETY: in-bounds root-slot word; recovery is single-threaded.
     unsafe { pool.write(POff::root_slot(CLOCK_SLOT), &new_epoch) };
     pool.persist_range(POff::root_slot(CLOCK_SLOT), 8);
+    pool.san_end_recovery();
 
     pool.stats().on_quarantine(quarantined.len() as u64);
     let report = RecoveryReport {

@@ -46,10 +46,14 @@ mod config;
 mod fault;
 mod layout;
 mod pool;
+#[cfg(feature = "persist-san")]
+pub mod san;
 mod stats;
 
 pub use config::{ChaosConfig, LatencyModel, PmemConfig, PmemMode};
 pub use fault::PmemFault;
 pub use layout::{line_of, lines_spanned, POff, CACHE_LINE, ROOT_AREA_SIZE, ROOT_SLOTS};
 pub use pool::PmemPool;
+#[cfg(feature = "persist-san")]
+pub use san::{SanClass, SanReport, SanSite, SanViolation, MAX_VIOLATIONS};
 pub use stats::{PmemStats, StatsSnapshot};

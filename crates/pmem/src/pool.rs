@@ -14,6 +14,8 @@ use rand::{Rng, SeedableRng};
 use crate::config::{PmemConfig, PmemMode};
 use crate::fault::PmemFault;
 use crate::layout::{line_of, lines_spanned, POff, CACHE_LINE};
+#[cfg(feature = "persist-san")]
+use crate::san::{ProbeGuard, SanReport, SanState};
 use crate::stats::PmemStats;
 
 /// Unique id per pool instance, used to key thread-local write-back queues.
@@ -46,6 +48,9 @@ struct Working {
 
 impl Drop for Working {
     fn drop(&mut self) {
+        // SAFETY: `ptr` came from `alloc_zeroed(self.layout)` in
+        // `PmemPool::new` and is freed exactly once (Working is owned by the
+        // pool's Arc'd Inner).
         unsafe { dealloc(self.ptr, self.layout) };
     }
 }
@@ -99,6 +104,10 @@ struct Inner {
     /// on one pool queue behind each other, while fences on different pools
     /// overlap freely.
     device_busy: AtomicU64,
+    /// Per-cache-line shadow persistency state (the `persist-san`
+    /// sanitizer); see the [`crate::san`] module docs.
+    #[cfg(feature = "persist-san")]
+    san: SanState,
 }
 
 /// A simulated persistent-memory pool. Cheap to clone (it is an `Arc`).
@@ -122,6 +131,8 @@ impl PmemPool {
             "pool size must be line-aligned"
         );
         let layout = Layout::from_size_align(config.size, 4096).expect("pool layout");
+        // SAFETY: the layout has non-zero size (asserted >= ROOT_AREA_SIZE
+        // above).
         let ptr = unsafe { alloc_zeroed(layout) };
         assert!(!ptr.is_null(), "pool allocation failed");
         let durable = match config.mode {
@@ -140,6 +151,8 @@ impl PmemPool {
                 poisoned: AtomicBool::new(false),
                 origin: Instant::now(),
                 device_busy: AtomicU64::new(0),
+                #[cfg(feature = "persist-san")]
+                san: SanState::new(config.size),
             }),
         }
     }
@@ -264,7 +277,14 @@ impl PmemPool {
     /// # Safety
     /// As for [`PmemPool::at`]; additionally the bytes must be a valid `T`.
     #[inline]
+    #[track_caller]
     pub unsafe fn read<T: Copy>(&self, off: POff) -> T {
+        #[cfg(feature = "persist-san")]
+        self.inner.san.on_read(
+            off.raw(),
+            std::mem::size_of::<T>(),
+            std::panic::Location::caller(),
+        );
         self.at::<T>(off).read()
     }
 
@@ -281,16 +301,50 @@ impl PmemPool {
     /// # Safety
     /// As for [`PmemPool::at`].
     #[inline]
+    #[track_caller]
     pub unsafe fn write<T: Copy>(&self, off: POff, val: &T) {
         self.charge_events(1);
+        #[cfg(feature = "persist-san")]
+        self.inner.san.on_write(
+            off.raw(),
+            std::mem::size_of::<T>(),
+            std::panic::Location::caller(),
+        );
+        self.at::<T>(off).write(*val);
+    }
+
+    /// Like [`PmemPool::write`], but declares the store *transient by
+    /// design*: never flushed, reconstructed from scratch on recovery
+    /// (allocator free-list links are the canonical case). Charges the same
+    /// single persistence event as `write`, so fault-plan sweep points are
+    /// identical whichever of the two a call site uses; under `persist-san`
+    /// the line is exempt from the epoch-boundary check (unless it also
+    /// holds an unflushed tracked store).
+    ///
+    /// # Safety
+    /// As for [`PmemPool::at`].
+    #[inline]
+    pub unsafe fn write_transient<T: Copy>(&self, off: POff, val: &T) {
+        self.charge_events(1);
+        #[cfg(feature = "persist-san")]
+        self.inner
+            .san
+            .on_write_transient(off.raw(), std::mem::size_of::<T>());
         self.at::<T>(off).write(*val);
     }
 
     /// Copies `src` into the pool at `off`. Like [`PmemPool::write`], the
     /// store lands in the working image even on a poisoned pool.
+    #[track_caller]
     pub fn write_bytes(&self, off: POff, src: &[u8]) {
         self.charge_events(1);
         self.check(off, src.len());
+        #[cfg(feature = "persist-san")]
+        self.inner
+            .san
+            .on_write(off.raw(), src.len(), std::panic::Location::caller());
+        // SAFETY: `check` verified `[off, off+len)` is in bounds; `src` is a
+        // borrowed slice, so it cannot alias the working image.
         unsafe {
             std::ptr::copy_nonoverlapping(
                 src.as_ptr(),
@@ -301,8 +355,15 @@ impl PmemPool {
     }
 
     /// Copies `dst.len()` bytes out of the pool at `off`.
+    #[track_caller]
     pub fn read_bytes(&self, off: POff, dst: &mut [u8]) {
         self.check(off, dst.len());
+        #[cfg(feature = "persist-san")]
+        self.inner
+            .san
+            .on_read(off.raw(), dst.len(), std::panic::Location::caller());
+        // SAFETY: `check` verified `[off, off+len)` is in bounds; `dst` is an
+        // exclusive borrow, so it cannot alias the working image.
         unsafe {
             std::ptr::copy_nonoverlapping(
                 self.inner.working.ptr.add(off.raw() as usize),
@@ -350,6 +411,7 @@ impl PmemPool {
     /// Durability is guaranteed only after a subsequent [`PmemPool::sfence`]
     /// from the same thread.
     #[inline]
+    #[track_caller]
     pub fn clwb(&self, off: POff) {
         self.check(off, 1);
         self.inner.stats.on_clwb();
@@ -357,6 +419,10 @@ impl PmemPool {
         if self.charge_events(1) == 0 {
             return; // cut off by the fault plan: the write-back never starts
         }
+        #[cfg(feature = "persist-san")]
+        self.inner
+            .san
+            .on_clwb(line_of(off.raw()), 1, 1, std::panic::Location::caller());
         if self.inner.durable.is_some() {
             self.inner.pending.lock().insert(line_of(off.raw()));
         } else {
@@ -367,6 +433,7 @@ impl PmemPool {
     /// `CLWB` every cache line in `[off, off+len)`. The issue latency for
     /// the whole range is charged in one spin (per-line spins would be
     /// dominated by timer overhead at nanosecond scales).
+    #[track_caller]
     pub fn clwb_range(&self, off: POff, len: usize) {
         if len == 0 {
             return;
@@ -377,6 +444,10 @@ impl PmemPool {
         // One event per line, so a crash point can land *inside* the range:
         // the first `eff` lines get their write-back, the rest never start.
         let eff = self.charge_events(n);
+        #[cfg(feature = "persist-san")]
+        self.inner
+            .san
+            .on_clwb(first, n, eff, std::panic::Location::caller());
         if self.inner.durable.is_some() {
             let mut p = self.inner.pending.lock();
             for i in 0..eff {
@@ -392,6 +463,7 @@ impl PmemPool {
     }
 
     /// `SFENCE`: drain this thread's pending write-backs to durable media.
+    #[track_caller]
     pub fn sfence(&self) {
         let lat = &self.inner.config.latency;
         // A fence is a single event: either the whole drain happens before
@@ -400,6 +472,8 @@ impl PmemPool {
             self.inner.stats.on_sfence(0);
             return;
         }
+        #[cfg(feature = "persist-san")]
+        self.inner.san.on_sfence(std::panic::Location::caller());
         let drained = if let Some(durable) = &self.inner.durable {
             let lines = std::mem::take(&mut *self.inner.pending.lock());
             let mut dur = durable.lock();
@@ -456,6 +530,7 @@ impl PmemPool {
     }
 
     /// Convenience: `clwb_range` + `sfence`.
+    #[track_caller]
     pub fn persist_range(&self, off: POff, len: usize) {
         self.clwb_range(off, len);
         self.sfence();
@@ -470,6 +545,7 @@ impl PmemPool {
     // are exactly the plain primitives.
 
     /// Checked [`PmemPool::clwb`].
+    #[track_caller]
     pub fn try_clwb(&self, off: POff) -> Result<(), PmemFault> {
         self.check_fault()?;
         self.clwb(off);
@@ -477,6 +553,7 @@ impl PmemPool {
     }
 
     /// Checked [`PmemPool::clwb_range`].
+    #[track_caller]
     pub fn try_clwb_range(&self, off: POff, len: usize) -> Result<(), PmemFault> {
         self.check_fault()?;
         self.clwb_range(off, len);
@@ -484,6 +561,7 @@ impl PmemPool {
     }
 
     /// Checked [`PmemPool::sfence`].
+    #[track_caller]
     pub fn try_sfence(&self) -> Result<(), PmemFault> {
         self.check_fault()?;
         self.sfence();
@@ -491,6 +569,7 @@ impl PmemPool {
     }
 
     /// Checked [`PmemPool::persist_range`].
+    #[track_caller]
     pub fn try_persist_range(&self, off: POff, len: usize) -> Result<(), PmemFault> {
         self.check_fault()?;
         self.persist_range(off, len);
@@ -498,6 +577,7 @@ impl PmemPool {
     }
 
     /// Checked [`PmemPool::write_bytes`].
+    #[track_caller]
     pub fn try_write_bytes(&self, off: POff, src: &[u8]) -> Result<(), PmemFault> {
         self.check_fault()?;
         self.write_bytes(off, src);
@@ -514,6 +594,8 @@ impl PmemPool {
     fn drain_line_prefix(&self, durable: &mut [u8], line: u64, bytes: usize) {
         let start = (line as usize) * CACHE_LINE;
         let end = (start + bytes.min(CACHE_LINE)).min(self.inner.config.size);
+        // SAFETY: `start..end` is clamped to the pool size; `durable` is a
+        // separate heap allocation of the same size.
         unsafe {
             std::ptr::copy_nonoverlapping(
                 self.inner.working.ptr.add(start),
@@ -583,11 +665,21 @@ impl PmemPool {
         let mut cfg = self.inner.config;
         cfg.chaos.crash_at_event = None;
         let new = PmemPool::new(cfg);
-        new.write_bytes(POff::new(0), &dur);
+        // Raw image copy: machine-internal, not a program store — it must
+        // not charge persistence events or perturb sanitizer shadow state.
+        // SAFETY: both images are `config.size` bytes (same config) and live
+        // in distinct allocations.
+        unsafe {
+            std::ptr::copy_nonoverlapping(dur.as_ptr(), new.inner.working.ptr, dur.len());
+        }
         {
             let new_durable = new.inner.durable.as_ref().unwrap();
             new_durable.lock().copy_from_slice(&dur);
         }
+        // Hand the restarted pool the crash cut's shadow knowledge: which
+        // lines' contents were never made durable before the power failed.
+        #[cfg(feature = "persist-san")]
+        self.inner.san.arm_restart(&new.inner.san);
         // Pending-but-unfenced flushes die with the machine.
         self.inner.pending.lock().clear();
         new
@@ -640,11 +732,112 @@ impl PmemPool {
         let mut image = vec![0u8; size];
         f.read_exact(&mut image)?;
         let pool = PmemPool::new(config);
-        pool.write_bytes(POff::new(0), &image);
+        // Raw image copy, as in `crash()`: not a program store.
+        // SAFETY: `image.len() == size == config.size` was checked above;
+        // the snapshot buffer and the working image are distinct allocations.
+        unsafe {
+            std::ptr::copy_nonoverlapping(image.as_ptr(), pool.inner.working.ptr, image.len());
+        }
         if let Some(durable) = &pool.inner.durable {
             durable.lock().copy_from_slice(&image);
         }
+        // Everything in a snapshot is by definition the durable image, so a
+        // recovery-time read of any of it is legitimate prefix semantics.
+        #[cfg(feature = "persist-san")]
+        pool.inner.san.mark_all_durable();
         Ok(pool)
+    }
+
+    // ---- persistency sanitizer ----------------------------------------------
+    //
+    // The `san_*` methods below exist unconditionally so instrumentation
+    // points in higher crates (the epoch system, recovery, the allocator)
+    // need no feature gates of their own; without the `persist-san` feature
+    // they compile to nothing.
+
+    /// Asserts the epoch-boundary invariant: every tracked store from before
+    /// the *previous* boundary has been flushed by now. The epoch advancer
+    /// calls this right after its boundary fence, before bumping the clock.
+    /// No-op without the `persist-san` feature.
+    #[inline]
+    #[track_caller]
+    pub fn san_epoch_boundary(&self) {
+        #[cfg(feature = "persist-san")]
+        {
+            // Once the fault plan trips, flushes and fences are dropped —
+            // including the boundary fence this call follows — so the
+            // boundary never actually declared anything durable. Unflushed
+            // lines are not protocol violations then; they are the crash.
+            if self.is_poisoned() {
+                return;
+            }
+            self.inner
+                .san
+                .on_epoch_boundary(std::panic::Location::caller());
+        }
+    }
+
+    /// Declares `[off, off+len)` stored-to by an untracked mechanism (an
+    /// atomic store through [`PmemPool::atomic_u64`], a raw write through
+    /// [`PmemPool::at`], a pool-to-pool copy), so the sanitizer sees the
+    /// store that a following flush is for. No-op without the feature.
+    #[inline]
+    #[track_caller]
+    pub fn san_mark_dirty(&self, off: POff, len: usize) {
+        #[cfg(not(feature = "persist-san"))]
+        let _ = (off, len);
+        #[cfg(feature = "persist-san")]
+        self.inner
+            .san
+            .on_write(off.raw(), len, std::panic::Location::caller());
+    }
+
+    /// Runs `f` in a *probe scope*: recovery-time reads inside it are exempt
+    /// from the dirty-read check, for recovery code that validates before it
+    /// trusts (checksummed header probes over a block sweep). A transparent
+    /// wrapper without the feature.
+    #[inline]
+    pub fn san_probe<R>(&self, f: impl FnOnce() -> R) -> R {
+        #[cfg(feature = "persist-san")]
+        let _guard = ProbeGuard::enter();
+        f()
+    }
+
+    /// Opens the recovery window: until [`PmemPool::san_end_recovery`],
+    /// reads are checked against the set of lines whose pre-crash content
+    /// never became durable. No-op without the feature.
+    #[inline]
+    pub fn san_begin_recovery(&self) {
+        #[cfg(feature = "persist-san")]
+        self.inner.san.begin_recovery();
+    }
+
+    /// Closes the recovery window opened by [`PmemPool::san_begin_recovery`].
+    #[inline]
+    pub fn san_end_recovery(&self) {
+        #[cfg(feature = "persist-san")]
+        self.inner.san.end_recovery();
+    }
+
+    /// Snapshot of everything the sanitizer has recorded so far.
+    #[cfg(feature = "persist-san")]
+    pub fn san_report(&self) -> SanReport {
+        self.inner.san.report()
+    }
+
+    /// Enables or disables deny mode: panic at the violation site for the
+    /// correctness classes ([`crate::SanClass::is_correctness`]). On by
+    /// default.
+    #[cfg(feature = "persist-san")]
+    pub fn san_set_deny(&self, deny: bool) {
+        self.inner.san.set_deny(deny);
+    }
+
+    /// Clears recorded violations and counters; shadow line states are kept.
+    /// Audits use this to delimit a measurement window.
+    #[cfg(feature = "persist-san")]
+    pub fn san_reset_counts(&self) {
+        self.inner.san.reset_counts();
     }
 }
 
@@ -669,50 +862,58 @@ mod tests {
         PmemPool::new(PmemConfig::strict_for_test(1 << 20))
     }
 
+    /// Test-only safe store. Every offset used in this module is a
+    /// hardcoded, in-bounds, 8-aligned scratch slot — exactly the contract
+    /// the unsafe accessor asks the caller to uphold.
+    #[track_caller]
+    fn w(p: &PmemPool, off: POff, v: u64) {
+        // SAFETY: see the doc comment — in-bounds, aligned, plain data.
+        unsafe { p.write(off, &v) }
+    }
+
+    /// Test-only safe load; same contract as [`w`].
+    #[track_caller]
+    fn r(p: &PmemPool, off: POff) -> u64 {
+        // SAFETY: see `w`.
+        unsafe { p.read::<u64>(off) }
+    }
+
     #[test]
     fn write_read_roundtrip() {
         let p = strict_pool();
         let off = POff::new(8192);
-        unsafe { p.write(off, &0xDEADBEEFu64) };
-        assert_eq!(unsafe { p.read::<u64>(off) }, 0xDEADBEEF);
+        w(&p, off, 0xDEADBEEFu64);
+        assert_eq!(r(&p, off), 0xDEADBEEF);
     }
 
     #[test]
     fn unflushed_data_lost_on_crash() {
         let p = strict_pool();
         let off = POff::new(4096);
-        unsafe { p.write(off, &42u64) };
+        w(&p, off, 42u64);
         let p2 = p.crash();
-        assert_eq!(
-            unsafe { p2.read::<u64>(off) },
-            0,
-            "unflushed line must not survive"
-        );
+        assert_eq!(r(&p2, off), 0, "unflushed line must not survive");
     }
 
     #[test]
     fn flushed_but_unfenced_data_lost_on_crash() {
         let p = strict_pool();
         let off = POff::new(4096);
-        unsafe { p.write(off, &42u64) };
+        w(&p, off, 42u64);
         p.clwb(off);
         // No sfence.
         let p2 = p.crash();
-        assert_eq!(
-            unsafe { p2.read::<u64>(off) },
-            0,
-            "clwb without fence is not durable"
-        );
+        assert_eq!(r(&p2, off), 0, "clwb without fence is not durable");
     }
 
     #[test]
     fn flushed_and_fenced_data_survives() {
         let p = strict_pool();
         let off = POff::new(4096);
-        unsafe { p.write(off, &42u64) };
+        w(&p, off, 42u64);
         p.persist_range(off, 8);
         let p2 = p.crash();
-        assert_eq!(unsafe { p2.read::<u64>(off) }, 42);
+        assert_eq!(r(&p2, off), 42);
     }
 
     #[test]
@@ -720,37 +921,35 @@ mod tests {
         let p = strict_pool();
         let a = POff::new(4096); // same line
         let b = POff::new(4096 + 32);
-        unsafe {
-            p.write(a, &1u64);
-            p.write(b, &2u64);
-        }
+        w(&p, a, 1);
+        w(&p, b, 2);
         p.persist_range(a, 8); // flushing a's line also captures b
         let p2 = p.crash();
-        assert_eq!(unsafe { p2.read::<u64>(a) }, 1);
-        assert_eq!(unsafe { p2.read::<u64>(b) }, 2);
+        assert_eq!(r(&p2, a), 1);
+        assert_eq!(r(&p2, b), 2);
     }
 
     #[test]
     fn fence_captures_value_at_fence_time() {
         let p = strict_pool();
         let off = POff::new(4096);
-        unsafe { p.write(off, &1u64) };
+        w(&p, off, 1u64);
         p.clwb(off);
-        unsafe { p.write(off, &2u64) }; // re-dirty before the fence
+        w(&p, off, 2u64); // re-dirty before the fence
         p.sfence();
         let p2 = p.crash();
-        assert_eq!(unsafe { p2.read::<u64>(off) }, 2);
+        assert_eq!(r(&p2, off), 2);
     }
 
     #[test]
     fn crash_preserves_durable_across_two_crashes() {
         let p = strict_pool();
         let off = POff::new(4096);
-        unsafe { p.write(off, &7u64) };
+        w(&p, off, 7u64);
         p.persist_range(off, 8);
         let p2 = p.crash();
         let p3 = p2.crash();
-        assert_eq!(unsafe { p3.read::<u64>(off) }, 7);
+        assert_eq!(r(&p3, off), 7);
     }
 
     #[test]
@@ -759,32 +958,32 @@ mod tests {
         // covers them (the epoch advancer's boundary fence relies on this).
         let p = strict_pool();
         let off = POff::new(4096);
-        unsafe { p.write(off, &9u64) };
+        w(&p, off, 9u64);
         p.clwb(off);
         let p_clone = p.clone();
         std::thread::spawn(move || p_clone.sfence()).join().unwrap();
         let p2 = p.crash();
-        assert_eq!(unsafe { p2.read::<u64>(off) }, 9);
+        assert_eq!(r(&p2, off), 9);
     }
 
     #[test]
     fn clwb_never_fenced_is_lost() {
         let p = strict_pool();
         let off = POff::new(4096);
-        unsafe { p.write(off, &9u64) };
+        w(&p, off, 9u64);
         std::thread::scope(|s| {
             let p = p.clone();
             s.spawn(move || p.clwb(off)); // flushing thread exits, no fence anywhere
         });
         let p2 = p.crash();
-        assert_eq!(unsafe { p2.read::<u64>(off) }, 0);
+        assert_eq!(r(&p2, off), 0);
     }
 
     #[test]
     fn repeated_clwbs_of_one_line_drain_once() {
         let p = strict_pool();
         let off = POff::new(4096);
-        unsafe { p.write(off, &3u64) };
+        w(&p, off, 3u64);
         for _ in 0..5 {
             p.clwb(off);
         }
@@ -795,14 +994,14 @@ mod tests {
         assert_eq!(clwbs, 5, "every issued clwb is counted");
         assert_eq!(drained, 1, "the fence drains the dirty line once");
         let p2 = p.crash();
-        assert_eq!(unsafe { p2.read::<u64>(off) }, 3);
+        assert_eq!(r(&p2, off), 3);
     }
 
     #[test]
     fn stats_count_flushes_and_fences() {
         let p = strict_pool();
         let off = POff::new(4096);
-        unsafe { p.write(off, &1u64) };
+        w(&p, off, 1u64);
         p.clwb_range(off, 200); // 4 lines
         p.sfence();
         let snap = p.stats().snapshot();
@@ -827,20 +1026,16 @@ mod tests {
             },
         });
         let off = POff::new(4096);
-        unsafe { p.write(off, &5u64) };
+        w(&p, off, 5u64);
         let p2 = p.crash();
-        assert_eq!(
-            unsafe { p2.read::<u64>(off) },
-            5,
-            "100% eviction persists all lines"
-        );
+        assert_eq!(r(&p2, off), 5, "100% eviction persists all lines");
     }
 
     #[test]
     fn fast_mode_counts_but_does_not_shadow() {
         let p = PmemPool::new(PmemConfig::default());
         let off = POff::new(4096);
-        unsafe { p.write(off, &1u64) };
+        w(&p, off, 1u64);
         p.persist_range(off, 8);
         assert_eq!(p.stats().snapshot().clwbs, 1);
     }
@@ -849,9 +1044,11 @@ mod tests {
     fn atomic_view_is_shared_with_plain_writes() {
         let p = strict_pool();
         let off = POff::new(4096);
+        // SAFETY: `off` is 8-aligned and in bounds; the view is only used
+        // from this thread.
         let a = unsafe { p.atomic_u64(off) };
         a.store(11, Ordering::SeqCst);
-        assert_eq!(unsafe { p.read::<u64>(off) }, 11);
+        assert_eq!(r(&p, off), 11);
     }
 
     #[test]
@@ -862,22 +1059,18 @@ mod tests {
 
         let p = strict_pool();
         let off = POff::new(4096);
-        unsafe { p.write(off, &0xC0FFEEu64) };
+        w(&p, off, 0xC0FFEEu64);
         p.persist_range(off, 8);
-        unsafe { p.write(off.add(8), &1u64) }; // never persisted
+        w(&p, off.add(8), 1u64); // never persisted
         p.save_to_file(&path).unwrap();
 
         let p2 = PmemPool::load_from_file(&path, PmemConfig::strict_for_test(1 << 20)).unwrap();
-        assert_eq!(unsafe { p2.read::<u64>(off) }, 0xC0FFEE);
-        assert_eq!(
-            unsafe { p2.read::<u64>(off.add(8)) },
-            0,
-            "snapshot holds durable image only"
-        );
+        assert_eq!(r(&p2, off), 0xC0FFEE);
+        assert_eq!(r(&p2, off.add(8)), 0, "snapshot holds durable image only");
         // And the restored pool has normal crash semantics.
-        unsafe { p2.write(off, &7u64) };
+        w(&p2, off, 7u64);
         let p3 = p2.crash();
-        assert_eq!(unsafe { p3.read::<u64>(off) }, 0xC0FFEE);
+        assert_eq!(r(&p3, off), 0xC0FFEE);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -910,7 +1103,7 @@ mod tests {
     #[test]
     fn event_counting_is_free_until_armed() {
         let p = strict_pool();
-        unsafe { p.write(POff::new(4096), &1u64) };
+        w(&p, POff::new(4096), 1u64);
         p.persist_range(POff::new(4096), 8);
         assert_eq!(p.persistence_events(), 0, "no plan, no accounting");
         assert!(p.fault().is_none());
@@ -920,13 +1113,13 @@ mod tests {
     fn counting_pass_counts_without_crashing() {
         let p = faulted_pool(u64::MAX);
         let off = POff::new(4096);
-        unsafe { p.write(off, &1u64) }; // 1 event
+        w(&p, off, 1u64); // 1 event
         p.clwb_range(off, 200); // 4 lines = 4 events
         p.sfence(); // 1 event
         assert_eq!(p.persistence_events(), 6);
         assert!(!p.is_poisoned());
         let p2 = p.crash();
-        assert_eq!(unsafe { p2.read::<u64>(off) }, 1);
+        assert_eq!(r(&p2, off), 1);
     }
 
     #[test]
@@ -936,16 +1129,16 @@ mod tests {
         let p = faulted_pool(3);
         let a = POff::new(4096);
         let b = POff::new(8192);
-        unsafe { p.write(a, &7u64) };
+        w(&p, a, 7u64);
         p.clwb(a);
         p.sfence();
         assert!(p.is_poisoned(), "plan trips exactly at event N");
         assert_eq!(p.fault(), Some(PmemFault::Crashed { at_event: 3 }));
-        unsafe { p.write(b, &9u64) };
+        w(&p, b, 9u64);
         p.persist_range(b, 8); // dropped: pool already crashed
         let p2 = p.crash();
-        assert_eq!(unsafe { p2.read::<u64>(a) }, 7, "events 1..=3 took effect");
-        assert_eq!(unsafe { p2.read::<u64>(b) }, 0, "post-crash events dropped");
+        assert_eq!(r(&p2, a), 7, "events 1..=3 took effect");
+        assert_eq!(r(&p2, b), 0, "post-crash events dropped");
         assert!(p2.fault().is_none(), "restarted pool has a clean plan");
         assert_eq!(p2.stats().snapshot().injected_crashes, 0);
     }
@@ -957,31 +1150,25 @@ mod tests {
         let p = faulted_pool(3);
         let a = POff::new(4096);
         let b = POff::new(4096 + 64);
-        unsafe {
-            p.write(a, &1u64);
-            p.write(b, &2u64);
-        }
+        w(&p, a, 1);
+        w(&p, b, 2);
         p.clwb_range(a, 256); // 4 lines, only the first survives the plan
         p.sfence(); // dropped (pool poisoned)
         let p2 = p.crash();
-        assert_eq!(
-            unsafe { p2.read::<u64>(a) },
-            0,
-            "line flushed, never fenced"
-        );
-        assert_eq!(unsafe { p2.read::<u64>(b) }, 0);
+        assert_eq!(r(&p2, a), 0, "line flushed, never fenced");
+        assert_eq!(r(&p2, b), 0);
     }
 
     #[test]
     fn dropped_fence_leaves_lines_pending_not_durable() {
         let p = faulted_pool(2); // write + clwb allowed, fence dropped
         let a = POff::new(4096);
-        unsafe { p.write(a, &5u64) };
+        w(&p, a, 5u64);
         p.clwb(a);
         p.sfence();
         assert!(p.is_poisoned());
         let p2 = p.crash();
-        assert_eq!(unsafe { p2.read::<u64>(a) }, 0);
+        assert_eq!(r(&p2, a), 0);
     }
 
     #[test]
@@ -997,6 +1184,7 @@ mod tests {
         assert!(p.try_sfence().is_err());
         assert!(p.try_persist_range(a, 8).is_err());
         // The store itself still landed in the working image (caches).
+        // SAFETY: `a` is in bounds; u8 has no alignment requirement.
         assert_eq!(unsafe { p.read::<u8>(a) }, 1);
     }
 
@@ -1047,7 +1235,7 @@ mod tests {
             let p = faulted_pool(crash_at);
             for i in 0..8u64 {
                 let off = POff::new(4096 + i * 64);
-                unsafe { p.write(off, &(i + 1)) };
+                w(&p, off, i + 1);
                 p.clwb(off);
                 if i % 3 == 2 {
                     p.sfence();

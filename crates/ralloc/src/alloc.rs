@@ -68,6 +68,8 @@ impl Ralloc {
         let meta = Meta {
             base: ROOT_AREA_SIZE as u64,
         };
+        // SAFETY: the header words sit just past the root area, in bounds
+        // for any pool that passed `geometry`; formatting is single-threaded.
         unsafe {
             pool.write(meta.sb_count(), &(sb_count as u64));
             pool.write(meta.next_sb(), &0u64);
@@ -86,6 +88,7 @@ impl Ralloc {
         let meta = Meta {
             base: ROOT_AREA_SIZE as u64,
         };
+        // SAFETY: in-bounds header word; any bit pattern is a valid u64.
         unsafe { pool.read::<u64>(meta.magic()) == MAGIC }
     }
 
@@ -97,6 +100,7 @@ impl Ralloc {
         let meta = Meta {
             base: ROOT_AREA_SIZE as u64,
         };
+        // SAFETY: in-bounds header word; any bit pattern is a valid u64.
         let magic = unsafe { pool.read::<u64>(meta.magic()) };
         assert_eq!(magic, MAGIC, "pool is not ralloc-formatted");
         Arc::new(Self::build(pool, sb_count, heap_base))
@@ -176,6 +180,8 @@ impl Ralloc {
 
     #[inline]
     pub(crate) fn class_of_sb(&self, sb: u32) -> usize {
+        // SAFETY: `sb < sb_count`, so the descriptor word is in bounds; a
+        // carved descriptor is written once and then only read.
         let d = unsafe { self.pool.read::<u32>(self.meta.desc(sb)) };
         debug_assert!(d != 0, "superblock {sb} not carved");
         (d - 1) as usize
@@ -244,7 +250,11 @@ impl Ralloc {
         let mut head = st.remote_head.load(Ordering::Acquire);
         loop {
             let (tag, top) = unpack(head);
-            unsafe { self.pool.write::<u32>(off, &top) };
+            // Free-list links are transient by design: recovery rebuilds the
+            // free lists from the sweep, never from these words.
+            // SAFETY: `off` is a freed block this caller owns; the remote-head
+            // CAS below publishes the link before anyone follows it.
+            unsafe { self.pool.write_transient::<u32>(off, &top) };
             match st.remote_head.compare_exchange_weak(
                 head,
                 pack(tag.wrapping_add(1), slot),
@@ -288,6 +298,8 @@ impl Ralloc {
             while bin.len() < batch {
                 let head = st.free_head.load(Ordering::Relaxed);
                 if head != NO_SLOT {
+                    // SAFETY: the superblock was popped from the partial stack,
+                    // so this thread owns its local free list exclusively.
                     let next = unsafe { self.pool.read::<u32>(self.slot_off(sb, head, c)) };
                     st.free_head.store(next, Ordering::Relaxed);
                     st.local_free.fetch_sub(1, Ordering::Relaxed);
@@ -350,9 +362,16 @@ impl Ralloc {
         let mut slot = taken;
         let mut n = 0u32;
         while slot != NO_SLOT {
+            // SAFETY: the CAS above detached this list, so the walker owns
+            // every slot on it; links live in the blocks' first bytes.
             let next = unsafe { self.pool.read::<u32>(self.slot_off(sb, slot, c)) };
             let lf = st.free_head.load(Ordering::Relaxed);
-            unsafe { self.pool.write::<u32>(self.slot_off(sb, slot, c), &lf) };
+            // Transient by design, as in `remote_free`.
+            // SAFETY: see above — detached-list slots are owner-exclusive.
+            unsafe {
+                self.pool
+                    .write_transient::<u32>(self.slot_off(sb, slot, c), &lf)
+            };
             st.free_head.store(slot, Ordering::Relaxed);
             n += 1;
             slot = next;
@@ -364,6 +383,8 @@ impl Ralloc {
     /// path that issues persistence instructions (one flush+fence per 256 KB
     /// of heap growth — amortized to nothing).
     fn carve(&self, c: usize) -> u32 {
+        // SAFETY: the next_sb header word is reserved, 8-aligned, and only
+        // accessed through this atomic view after format.
         let next_sb = unsafe { self.pool.atomic_u64(self.meta.next_sb()) };
         let sb = next_sb.fetch_add(1, Ordering::AcqRel);
         assert!(
@@ -372,7 +393,12 @@ impl Ralloc {
             self.sb_count
         );
         let sb = sb as u32;
+        // SAFETY: the fetch_add above reserved descriptor `sb` for this
+        // thread exclusively; the word is in bounds (sb < sb_count).
         unsafe { self.pool.write::<u32>(self.meta.desc(sb), &(c as u32 + 1)) };
+        // The bump above went through an atomic the sanitizer cannot see.
+        self.pool
+            .san_mark_dirty(self.meta.next_sb(), std::mem::size_of::<u64>());
         self.pool.clwb(self.meta.desc(sb));
         self.pool.clwb(self.meta.next_sb());
         self.pool.sfence();
@@ -405,7 +431,13 @@ impl Ralloc {
         let mut free = 0u32;
         for slot in (0..cap).rev() {
             if !keep_mask[slot as usize] {
-                unsafe { self.pool.write::<u32>(self.slot_off(sb, slot, c), &head) };
+                // Transient by design, as in `remote_free`.
+                // SAFETY: recovery runs single-threaded, and the slot was not
+                // kept by the sweep, so nothing references it.
+                unsafe {
+                    self.pool
+                        .write_transient::<u32>(self.slot_off(sb, slot, c), &head)
+                };
                 head = slot;
                 free += 1;
             }

@@ -63,7 +63,13 @@ impl Ralloc {
         // until the next format — degraded, but no panic and no phantoms.
         let carved: Vec<(u32, usize)> = (0..self.sb_count)
             .filter_map(|sb| {
-                let d = unsafe { self.pool.read::<u32>(self.meta_desc(sb)) };
+                // A probe read: the descriptor is validated (range-checked)
+                // before anything trusts it, per the comment above.
+                // SAFETY: meta_desc(sb) is an in-bounds metadata word; any bit
+                // pattern is a valid u32 and is range-checked before use.
+                let d = self
+                    .pool
+                    .san_probe(|| unsafe { self.pool.read::<u32>(self.meta_desc(sb)) });
                 (d != 0 && ((d - 1) as usize) < crate::size_class::NUM_CLASSES)
                     .then(|| (sb, (d - 1) as usize))
             })
@@ -116,6 +122,8 @@ mod tests {
     const LIVE_MAGIC: u64 = 0xAB0BA;
 
     fn mark_live(pool: &PmemPool, off: POff, id: u64) {
+        // SAFETY: `off` came from alloc(64), so both words fit inside the
+        // block and u64 writes are plain data.
         unsafe {
             pool.write(off, &LIVE_MAGIC);
             pool.write(off.add(8), &id);
@@ -140,6 +148,8 @@ mod tests {
             }
         }
         let crashed = pool.crash();
+        // SAFETY: the sweep only hands the filter in-bounds block offsets,
+        // and any bit pattern is a valid u64.
         let (_r2, kept) = Ralloc::recover(crashed.clone(), |off, _| unsafe {
             crashed.read::<u64>(off) == LIVE_MAGIC
         });
@@ -154,6 +164,7 @@ mod tests {
         let off = r.alloc(64);
         mark_live(&pool, off, 1);
         let crashed = pool.crash();
+        // SAFETY: see `sweep_keeps_exactly_marked_blocks`.
         let (r2, kept) = Ralloc::recover(crashed.clone(), |o, _| unsafe {
             crashed.read::<u64>(o) == LIVE_MAGIC
         });
@@ -203,6 +214,7 @@ mod tests {
             }
         }
         let crashed = pool.crash();
+        // SAFETY: see `sweep_keeps_exactly_marked_blocks`.
         let (_r2, shards) = Ralloc::recover_parallel(crashed.clone(), 4, |off, _| unsafe {
             crashed.read::<u64>(off) == LIVE_MAGIC
         });
@@ -222,6 +234,7 @@ mod tests {
         let off = r.alloc(1000); // class 1024
         mark_live(&pool, off, 9);
         let crashed = pool.crash();
+        // SAFETY: see `sweep_keeps_exactly_marked_blocks`.
         let (_r2, kept) = Ralloc::recover(crashed.clone(), |o, _| unsafe {
             crashed.read::<u64>(o) == LIVE_MAGIC
         });

@@ -1,0 +1,699 @@
+//! Repo lint: the static companion to the `persist-san` runtime sanitizer.
+//!
+//! `cargo run -p xtask -- lint` walks every `.rs` file in the repo (vendored
+//! shims excluded) through a comment- and string-aware token scanner and
+//! enforces three rules:
+//!
+//! * **safety-comment** — every `unsafe` keyword (block, fn, impl) must have
+//!   a `// SAFETY:` comment (or a `# Safety` doc section) within the five
+//!   preceding lines.
+//! * **raw-write** — raw memory writes that can touch pool memory
+//!   (`ptr::write*`, `copy_nonoverlapping`, `write_volatile`) bypass the
+//!   sanitizer's tracked write path and are allowed only inside the module
+//!   allowlist below.
+//! * **flush-no-fence** — a function that issues `clwb`/`clwb_range` but
+//!   never reaches an `sfence` (or `persist_range`, which fences) leaves
+//!   lines parked in the flushed-unfenced state; legitimate deferrals (the
+//!   buffered-persistence drains whose fence is the epoch boundary) must say
+//!   so.
+//!
+//! Any finding can be waived in place with
+//! `// lint: allow(<rule>): <reason>` on the flagged line or up to two lines
+//! above — but the reason is mandatory; a bare allow is itself a violation,
+//! so the audit trail stays complete.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories never scanned: vendored dependency shims (external API
+/// subsets, not our persistence code) and build/VCS output.
+const SKIP_DIRS: &[&str] = &["shims", "target", ".git"];
+
+/// Modules allowed to issue raw writes, with the reason on record.
+/// Everything else must go through the tracked `PmemPool` write path (or
+/// carry a reasoned `lint: allow`).
+const RAW_WRITE_ALLOWLIST: &[(&str, &str)] = &[
+    (
+        "crates/pmem/src/",
+        "the pool implementation IS the tracked write path; its raw copies \
+         (crash images, snapshot load) deliberately bypass shadow tracking",
+    ),
+    (
+        "crates/ralloc/src/",
+        "allocator metadata initialization precedes any tracked content and \
+         is re-validated by the recovery sweep",
+    ),
+];
+
+/// Modules exempt from the flush-no-fence rule: the flush primitives
+/// themselves live here, so `clwb` without a local fence is their job.
+const FLUSH_RULE_EXEMPT: &[&str] = &["crates/pmem/src/"];
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Rule {
+    SafetyComment,
+    RawWrite,
+    FlushNoFence,
+}
+
+impl Rule {
+    fn name(self) -> &'static str {
+        match self {
+            Rule::SafetyComment => "safety-comment",
+            Rule::RawWrite => "raw-write",
+            Rule::FlushNoFence => "flush-no-fence",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Violation {
+    file: String,
+    /// 1-based.
+    line: usize,
+    rule: Rule,
+    msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.msg
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = repo_root();
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &mut files);
+    files.sort();
+
+    let mut violations = Vec::new();
+    for rel in &files {
+        let src = match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", rel.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        violations.extend(lint_source(&rel, &src));
+    }
+
+    for v in &violations {
+        println!("{v}");
+    }
+    let count = |r: Rule| violations.iter().filter(|v| v.rule == r).count();
+    println!(
+        "xtask lint: {} file(s), {} violation(s) \
+         (safety-comment {}, raw-write {}, flush-no-fence {})",
+        files.len(),
+        violations.len(),
+        count(Rule::SafetyComment),
+        count(Rule::RawWrite),
+        count(Rule::FlushNoFence),
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: `xtask` runs from anywhere inside the repo via
+/// `CARGO_MANIFEST_DIR` (two levels under the root).
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scanner: blank out comments and string/char literals, preserving the line
+// structure, so the rule checks below never match inside either.
+// ---------------------------------------------------------------------------
+
+fn strip_code(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+
+    // Pushes `c` as-is if it is a newline (line structure!), else a space.
+    fn blank(out: &mut String, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nesting per Rust).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1usize;
+            out.push_str("  ");
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"..." / r#"..."# / br#"..."#.
+        if c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r') {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                for _ in i..=j {
+                    out.push(' ');
+                }
+                i = j + 1;
+                // Scan to `"` followed by `hashes` hashes.
+                'raw: while i < n {
+                    if b[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                out.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Plain (byte) string.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            if c == 'b' {
+                out.push(' ');
+                i += 1;
+            }
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    blank(&mut out, b[i]);
+                    blank(&mut out, b[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                }
+                blank(&mut out, b[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime: a quote starts a char literal only when
+        // it closes as one (`'x'`, `'\n'`, `'\u{1F600}'`).
+        if c == '\'' {
+            if i + 1 < n && b[i + 1] == '\\' {
+                out.push(' ');
+                i += 1;
+                while i < n && b[i] != '\'' {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+                if i < n {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                out.push_str("   ");
+                i += 3;
+                continue;
+            }
+            // Lifetime: fall through verbatim.
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Whole-word occurrence of `word` in `line` (identifier-boundary on both
+/// sides).
+fn has_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let ok_before = start == 0 || !is_ident(bytes[start - 1]);
+        let ok_after = end >= bytes.len() || !is_ident(bytes[end]);
+        if ok_before && ok_after {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// `pattern(` preceded by a non-identifier char (so `on_clwb(` does not
+/// match `clwb(`).
+fn has_call(text: &str, callee: &str) -> bool {
+    let needle = format!("{callee}(");
+    let bytes = text.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(&needle) {
+        let start = from + pos;
+        if start == 0 || !is_ident(bytes[start - 1]) {
+            return true;
+        }
+        from = start + needle.len();
+    }
+    false
+}
+
+/// Outcome of looking for a `// lint: allow(rule): reason` waiver near
+/// `line_idx` (that raw line and up to two above).
+enum Waiver {
+    None,
+    Explained,
+    /// An allow without a reason — flagged itself.
+    Unexplained(usize),
+}
+
+fn waiver(raw_lines: &[&str], line_idx: usize, rule: Rule) -> Waiver {
+    let marker = format!("lint: allow({})", rule.name());
+    let lo = line_idx.saturating_sub(2);
+    for (i, raw) in raw_lines.iter().enumerate().take(line_idx + 1).skip(lo) {
+        let Some(pos) = raw.find(&marker) else {
+            continue;
+        };
+        let rest = raw[pos + marker.len()..].trim_start();
+        let reason = rest.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            return Waiver::Unexplained(i);
+        }
+        return Waiver::Explained;
+    }
+    Waiver::None
+}
+
+// ---------------------------------------------------------------------------
+// The rules.
+// ---------------------------------------------------------------------------
+
+fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    let code = strip_code(src);
+    let code_lines: Vec<&str> = code.lines().collect();
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+
+    check_safety_comments(rel_path, &code_lines, &raw_lines, &mut out);
+    check_raw_writes(rel_path, &code_lines, &raw_lines, &mut out);
+    check_flush_fences(rel_path, &code_lines, &raw_lines, &mut out);
+    out
+}
+
+fn push_checked(
+    out: &mut Vec<Violation>,
+    raw_lines: &[&str],
+    file: &str,
+    line_idx: usize,
+    rule: Rule,
+    msg: String,
+) {
+    match waiver(raw_lines, line_idx, rule) {
+        Waiver::Explained => {}
+        Waiver::None => out.push(Violation {
+            file: file.to_string(),
+            line: line_idx + 1,
+            rule,
+            msg,
+        }),
+        Waiver::Unexplained(i) => out.push(Violation {
+            file: file.to_string(),
+            line: i + 1,
+            rule,
+            msg: format!(
+                "`lint: allow({})` without a reason — write one after the colon",
+                rule.name()
+            ),
+        }),
+    }
+}
+
+/// Rule 1: `unsafe` needs a `SAFETY:` comment (or `# Safety` doc section)
+/// within the five preceding lines.
+fn check_safety_comments(
+    file: &str,
+    code_lines: &[&str],
+    raw_lines: &[&str],
+    out: &mut Vec<Violation>,
+) {
+    for (i, line) in code_lines.iter().enumerate() {
+        if !has_word(line, "unsafe") {
+            continue;
+        }
+        let lo = i.saturating_sub(5);
+        let covered = raw_lines[lo..=i.min(raw_lines.len() - 1)]
+            .iter()
+            .any(|r| r.contains("SAFETY:") || r.contains("# Safety"));
+        if covered {
+            continue;
+        }
+        push_checked(
+            out,
+            raw_lines,
+            file,
+            i,
+            Rule::SafetyComment,
+            "`unsafe` without a `// SAFETY:` comment within the 5 preceding lines".to_string(),
+        );
+    }
+}
+
+/// Rule 2: raw writes that bypass the tracked pool write path.
+fn check_raw_writes(file: &str, code_lines: &[&str], raw_lines: &[&str], out: &mut Vec<Violation>) {
+    if RAW_WRITE_ALLOWLIST
+        .iter()
+        .any(|(prefix, _reason)| file.starts_with(prefix))
+    {
+        return;
+    }
+    const PATTERNS: &[&str] = &["ptr::write", "copy_nonoverlapping", "write_volatile"];
+    for (i, line) in code_lines.iter().enumerate() {
+        let Some(pat) = PATTERNS.iter().find(|p| line.contains(*p)) else {
+            continue;
+        };
+        push_checked(
+            out,
+            raw_lines,
+            file,
+            i,
+            Rule::RawWrite,
+            format!(
+                "raw write (`{pat}`) outside the allowlisted pool/allocator \
+                 internals bypasses tracked persistence"
+            ),
+        );
+    }
+}
+
+/// Rule 3: a function body that flushes (`clwb`) but never fences.
+fn check_flush_fences(
+    file: &str,
+    code_lines: &[&str],
+    raw_lines: &[&str],
+    out: &mut Vec<Violation>,
+) {
+    if FLUSH_RULE_EXEMPT.iter().any(|p| file.starts_with(p)) {
+        return;
+    }
+    for func in function_bodies(code_lines) {
+        let body = func.body_text(code_lines);
+        let flushes = has_call(&body, "clwb") || has_call(&body, "clwb_range");
+        if !flushes {
+            continue;
+        }
+        let fences = has_call(&body, "sfence")
+            || has_call(&body, "persist_range")
+            || has_call(&body, "flush_era");
+        if fences {
+            continue;
+        }
+        // Anchor the finding on the first flushing line; accept a waiver
+        // there or at the function head.
+        let flush_line = (func.body_start..=func.body_end)
+            .find(|&i| has_call(code_lines[i], "clwb") || has_call(code_lines[i], "clwb_range"))
+            .unwrap_or(func.fn_line);
+        if matches!(
+            waiver(raw_lines, func.fn_line, Rule::FlushNoFence),
+            Waiver::Explained
+        ) {
+            continue;
+        }
+        push_checked(
+            out,
+            raw_lines,
+            file,
+            flush_line,
+            Rule::FlushNoFence,
+            "function issues clwb but never reaches an sfence; if the fence \
+             is deferred by design (epoch boundary), say so with \
+             `lint: allow(flush-no-fence): <reason>`"
+                .to_string(),
+        );
+    }
+}
+
+struct FnSpan {
+    /// Line of the `fn` keyword (0-based).
+    fn_line: usize,
+    /// First and last line of the `{}` body (0-based, inclusive).
+    body_start: usize,
+    body_end: usize,
+}
+
+impl FnSpan {
+    fn body_text(&self, code_lines: &[&str]) -> String {
+        code_lines[self.body_start..=self.body_end].join("\n")
+    }
+}
+
+/// Brace-matched `fn` bodies in the stripped source. Trait-method
+/// declarations (ending in `;` before any `{`) are skipped. Nested items
+/// are reported both on their own and as part of their enclosing function —
+/// good enough for a per-function flush/fence check.
+fn function_bodies(code_lines: &[&str]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let joined: Vec<(usize, char)> = code_lines
+        .iter()
+        .enumerate()
+        .flat_map(|(i, l)| l.chars().map(move |c| (i, c)).chain([(i, '\n')]))
+        .collect();
+    let text: String = joined.iter().map(|&(_, c)| c).collect();
+    let bytes = text.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+
+    let mut from = 0;
+    while let Some(pos) = text[from..].find("fn ") {
+        let start = from + pos;
+        from = start + 3;
+        if start > 0 && is_ident(bytes[start - 1]) {
+            continue;
+        }
+        let fn_line = joined[start].0;
+        // Find the body opener, giving up at a `;` (declaration).
+        let mut j = start + 3;
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = open else { continue };
+        let mut depth = 0usize;
+        let mut close = None;
+        for (k, &b) in bytes.iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { continue };
+        spans.push(FnSpan {
+            fn_line,
+            body_start: joined[open].0,
+            body_end: joined[close].0,
+        });
+    }
+    spans
+}
+
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Violation> {
+        lint_source(path, src)
+    }
+
+    #[test]
+    fn scanner_blanks_comments_and_strings() {
+        let src = "let a = \"unsafe {\"; // unsafe here too\nlet b = 'x';\n/* unsafe */ let c = r#\"clwb(\"#;\n";
+        let code = strip_code(src);
+        assert!(!code.contains("unsafe"));
+        assert!(!code.contains("clwb"));
+        assert_eq!(code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn scanner_keeps_lifetimes_and_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { unsafe { g(x) } }\n";
+        let code = strip_code(src);
+        assert!(code.contains("unsafe"));
+        assert!(code.contains("'a"));
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let v = lint(
+            "crates/demo/src/lib.rs",
+            "fn f() {\n    unsafe { g() }\n}\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::SafetyComment);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_within_five_lines_covers() {
+        let src = "fn f() {\n    // SAFETY: g is fine here\n    unsafe { g() }\n}\n";
+        assert!(lint("crates/demo/src/lib.rs", src).is_empty());
+        let doc = "/// # Safety\n/// Caller checks x.\nunsafe fn f(x: u8) {}\n";
+        assert!(lint("crates/demo/src/lib.rs", doc).is_empty());
+    }
+
+    #[test]
+    fn commented_out_unsafe_is_ignored() {
+        let src = "fn f() {\n    // unsafe { g() }\n    let s = \"unsafe\";\n}\n";
+        assert!(lint("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_write_outside_allowlist_is_flagged() {
+        let src = "// SAFETY: raw copy\nunsafe { std::ptr::copy_nonoverlapping(a, b, 8); }\n";
+        let v = lint("crates/demo/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::RawWrite);
+    }
+
+    #[test]
+    fn raw_write_in_pool_internals_is_allowed() {
+        let src = "// SAFETY: image copy\nunsafe { std::ptr::copy_nonoverlapping(a, b, 8); }\n";
+        assert!(lint("crates/pmem/src/pool.rs", src).is_empty());
+        assert!(lint("crates/ralloc/src/alloc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reasoned_allow_waives_and_bare_allow_is_flagged() {
+        let ok = "// lint: allow(raw-write): shadow-tracked via san_mark_dirty\n// SAFETY: x\nunsafe { std::ptr::copy_nonoverlapping(a, b, 8); }\n";
+        assert!(lint("crates/demo/src/lib.rs", ok).is_empty());
+        let bare = "// lint: allow(raw-write)\n// SAFETY: x\nunsafe { std::ptr::copy_nonoverlapping(a, b, 8); }\n";
+        let v = lint("crates/demo/src/lib.rs", bare);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("without a reason"));
+    }
+
+    #[test]
+    fn clwb_without_fence_is_flagged() {
+        let src = "fn f(p: &Pool) {\n    p.clwb(off);\n}\n";
+        let v = lint("crates/demo/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::FlushNoFence);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn clwb_reaching_a_fence_is_clean() {
+        for fence in ["p.sfence();", "p.persist_range(o, 8);"] {
+            let src = format!("fn f(p: &Pool) {{\n    p.clwb_range(o, 64);\n    {fence}\n}}\n");
+            assert!(lint("crates/demo/src/lib.rs", &src).is_empty(), "{fence}");
+        }
+    }
+
+    #[test]
+    fn deferred_fence_allow_waives_flush_rule() {
+        let src = "// lint: allow(flush-no-fence): fence happens at the epoch boundary\nfn f(p: &Pool) {\n    p.clwb(off);\n}\n";
+        assert!(lint("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn on_clwb_is_not_a_clwb_call() {
+        let src = "fn f(s: &San) {\n    s.on_clwb(1, 2, 3, loc);\n}\n";
+        assert!(lint("crates/demo/src/lib.rs", src).is_empty());
+    }
+}

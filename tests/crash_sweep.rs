@@ -228,6 +228,8 @@ fn corrupted_header_is_quarantined_not_fatal() {
     let victim = blks[2];
     // Corrupt the victim's header *durably*: invalid kind byte, which also
     // invalidates the header checksum.
+    // SAFETY: in-bounds header byte of a payload this test created; the
+    // test is single-threaded.
     unsafe { pool.write::<u8>(victim.add(4), &0xFF) };
     pool.persist_range(victim, 8);
 
@@ -274,6 +276,8 @@ fn torn_pending_header_is_quarantined() {
         // still-plausible epoch, then clwb WITHOUT a fence: the line is
         // pending at crash time, so the chaos config tears it — a strict
         // 1..=7-word prefix of the new line lands on the old durable words.
+        // SAFETY: all seven writes land inside the victim's 32-byte header,
+        // which this single-threaded test owns.
         unsafe {
             pool.write::<u32>(victim, &MAGIC_LIVE);
             pool.write::<u8>(victim.add(4), &1u8); // kind: Alloc
@@ -283,6 +287,7 @@ fn torn_pending_header_is_quarantined() {
             pool.write::<u32>(victim.add(24), &8u32);
             pool.write::<u32>(victim.add(28), &0xBAD_C0DE_u32); // bogus checksum
         }
+        // lint: allow(flush-no-fence): the fence is deliberately omitted so the line is pending at crash time and gets torn
         pool.clwb(victim);
 
         let rec = montage::try_recover(pool.crash(), small_esys_cfg(), 1)
