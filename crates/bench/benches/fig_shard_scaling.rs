@@ -97,7 +97,7 @@ fn run_once(n_shards: usize, k: &Knobs) -> RunResult {
 
     let handle = KvServer::start_sharded(
         ServerConfig {
-            max_sessions: k.clients + 2,
+            max_conns: k.clients + 2,
             sync_every: Some(k.sync_every),
             ..Default::default()
         },

@@ -1,0 +1,226 @@
+//! Epoch-aligned group commit: executing one worker sweep's request batch.
+//!
+//! A worker hands this module everything it framed in one sweep — requests
+//! from *all* of its readable connections. The batch executes inside one
+//! epoch window: the first mutation routed to a shard pins that shard's
+//! epoch ([`kvstore::StoreBatch`]), every later mutation in the batch rides
+//! the same pin, and only after the last request executes do the pins drop
+//! and — when the `sync_every` counter crossed a multiple of N — the touched
+//! shards get **one** epoch sync each for the whole batch.
+//!
+//! The ordering invariant that makes this group commit rather than ack
+//! batching: replies are only *queued* here, into each connection's output
+//! buffer; the worker flushes those buffers strictly after this function
+//! returns, i.e. after the shared fence. No client ever reads an ack whose
+//! durability point has not passed. (The pins must drop before the fence:
+//! an epoch advance waits out every registered thread, so fencing while the
+//! worker's own pin is registered would wait on itself.)
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kvstore::protocol::Session;
+use kvstore::{ShardedKvStore, StoreLease};
+
+use crate::frame::Request;
+use crate::server::Shared;
+use crate::worker::Conn;
+
+/// Batch-size histogram bucket floors (powers of two, last is open-ended):
+/// bucket `i` counts batches of size in `[HIST_BUCKETS[i], HIST_BUCKETS[i+1])`.
+pub(crate) const HIST_BUCKETS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// One worker's group-commit counters, written only by that worker and read
+/// by `stats` from any connection.
+#[derive(Default)]
+pub(crate) struct WorkerStats {
+    /// Sweeps that executed at least one request.
+    pub batches: AtomicU64,
+    /// Requests executed inside batches.
+    pub requests: AtomicU64,
+    /// Group fences issued (one per batch that crossed the sync threshold,
+    /// regardless of how many shards it touched).
+    pub fences: AtomicU64,
+    /// Replies queued behind those fences.
+    pub acks: AtomicU64,
+    /// Batch-size histogram over [`HIST_BUCKETS`].
+    pub hist: [AtomicU64; HIST_BUCKETS.len()],
+}
+
+pub(crate) struct ServerStats {
+    pub workers: Box<[WorkerStats]>,
+}
+
+impl ServerStats {
+    pub fn new(workers: usize) -> ServerStats {
+        ServerStats {
+            workers: (0..workers).map(|_| WorkerStats::default()).collect(),
+        }
+    }
+}
+
+/// Histogram bucket for a batch of `n` requests.
+pub(crate) fn bucket(n: usize) -> usize {
+    let n = n.max(1);
+    ((usize::BITS - 1 - n.leading_zeros()) as usize).min(HIST_BUCKETS.len() - 1)
+}
+
+/// Executes one sweep's batch and queues replies; see the module docs for
+/// the fence/ack ordering contract. `conns` indices in `batch` refer to the
+/// worker's connection table.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute(
+    widx: usize,
+    conns: &mut [Conn],
+    batch: Vec<(usize, Request)>,
+    session: &Session,
+    store: &Arc<ShardedKvStore>,
+    lease: &StoreLease,
+    shared: &Shared,
+) {
+    let ws = &shared.stats.workers[widx];
+    ws.batches.fetch_add(1, Ordering::Relaxed);
+    ws.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    ws.hist[bucket(batch.len())].fetch_add(1, Ordering::Relaxed);
+
+    let mut sb = store.batch(lease);
+    // Shards owed a fence this batch — tracked independently of the pins,
+    // because a pin is best-effort (a faulted or id-exhausted shard runs
+    // unpinned) while the periodic barrier is a promise.
+    let mut fence_shards: Vec<usize> = Vec::new();
+    let mut batch_muts: u64 = 0;
+    let mut acks: u64 = 0;
+
+    for (ci, req) in batch {
+        let c = &mut conns[ci];
+        if c.dead || c.closing {
+            continue; // a quit/fatal error already cut this conn's stream
+        }
+        match req {
+            Request::Cmd {
+                line,
+                data,
+                noreply,
+            } => {
+                let cmd = line.split_whitespace().next().unwrap_or("");
+                if cmd == "quit" {
+                    c.closing = true;
+                    continue;
+                }
+                if cmd == "stats" {
+                    if !noreply {
+                        c.out
+                            .extend_from_slice(crate::server::stats_reply(shared).as_bytes());
+                        acks += 1;
+                    }
+                    continue;
+                }
+                if cmd == "sync" {
+                    // An explicit barrier is a batch-cut point: drop our own
+                    // pins first (syncing a shard we pinned would wait on
+                    // ourselves), sync every shard, then let the rest of the
+                    // batch re-pin lazily.
+                    let _ = sb.finish();
+                    fence_shards.clear();
+                    let out = match store.sync() {
+                        Ok(()) => "SYNCED\r\n".into(),
+                        Err(e) => format!("SERVER_ERROR {e}\r\n"),
+                    };
+                    if !noreply {
+                        c.out.extend_from_slice(out.as_bytes());
+                        acks += 1;
+                    }
+                    continue;
+                }
+                let is_mutation = matches!(cmd, "set" | "add" | "replace" | "delete" | "touch");
+                if is_mutation {
+                    if let Some(shard) = line
+                        .split_whitespace()
+                        .nth(1)
+                        .and_then(|k| store.shard_of_bytes(k.as_bytes()))
+                    {
+                        let _ = sb.pin_shard(shard);
+                        if !fence_shards.contains(&shard) {
+                            fence_shards.push(shard);
+                        }
+                    }
+                }
+                let out = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    if shared.cfg.panic_on_cmd.as_deref() == Some(cmd) {
+                        panic!("injected handler panic on '{cmd}'");
+                    }
+                    session.execute(&line, &data)
+                })) {
+                    Ok(out) => out,
+                    Err(_) => {
+                        // The handler died mid-command; its state may be
+                        // inconsistent, so answer, then drop only this
+                        // connection. The unwind stops here — the worker and
+                        // its other connections never notice.
+                        c.out.extend_from_slice(b"SERVER_ERROR internal error\r\n");
+                        acks += 1;
+                        c.closing = true;
+                        continue;
+                    }
+                };
+                if is_mutation {
+                    batch_muts += 1;
+                }
+                if !noreply {
+                    c.out.extend_from_slice(out.as_bytes());
+                    c.out.extend_from_slice(b"\r\n");
+                    acks += 1;
+                }
+            }
+            Request::BadDataChunk => {
+                c.out.extend_from_slice(b"CLIENT_ERROR bad data chunk\r\n");
+                acks += 1;
+            }
+            Request::TooLarge => {
+                c.out
+                    .extend_from_slice(b"SERVER_ERROR object too large for cache\r\n");
+                acks += 1;
+            }
+            Request::LineTooLong => {
+                c.out.extend_from_slice(b"CLIENT_ERROR line too long\r\n");
+                acks += 1;
+                c.closing = true;
+            }
+        }
+    }
+
+    // Group commit: pins drop first (see module docs), then the periodic
+    // barrier — one sync per touched shard for the *whole* batch, where the
+    // thread-per-connection server paid one per mutation.
+    drop(sb);
+    if batch_muts > 0 {
+        let before = shared.mutations.fetch_add(batch_muts, Ordering::AcqRel);
+        if let Some(n) = shared.cfg.sync_every {
+            if (before + batch_muts) / n > before / n {
+                for shard in fence_shards {
+                    let _ = store.sync_shard(shard);
+                }
+                ws.fences.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    ws.acks.fetch_add(acks, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket(1), 0);
+        assert_eq!(bucket(2), 1);
+        assert_eq!(bucket(3), 1);
+        assert_eq!(bucket(4), 2);
+        assert_eq!(bucket(7), 2);
+        assert_eq!(bucket(63), 5);
+        assert_eq!(bucket(64), 6);
+        assert_eq!(bucket(100_000), 6);
+    }
+}

@@ -1,0 +1,67 @@
+//! Connection-scale load generator for the wire tests.
+//!
+//! Opens N concurrent connections to a kvserver, then drives one
+//! set/get round-trip over every one of them. Runs as a *subprocess* of
+//! `tests/wire_scale.rs` because holding ten thousand sockets on each side
+//! of loopback needs two processes' worth of file descriptors — a single
+//! test process would hit the default rlimit with the server's half alone.
+//!
+//! Protocol on stdio (driven by the parent test):
+//!
+//! ```text
+//! wire_blast <addr> <conns>
+//!   -> "READY <n>"     all n connections are open and idle
+//!   <- "GO"            parent has verified the server sees them
+//!   -> "DONE <ok>"     every connection did set+get; ok = successes
+//! ```
+
+use std::io::{BufRead, Write};
+
+use kvserver::WireClient;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr: std::net::SocketAddr = args
+        .next()
+        .expect("usage: wire_blast <addr> <conns>")
+        .parse()
+        .expect("addr");
+    let conns: usize = args
+        .next()
+        .expect("usage: wire_blast <addr> <conns>")
+        .parse()
+        .expect("conns");
+
+    let mut clients = Vec::with_capacity(conns);
+    for i in 0..conns {
+        match WireClient::connect(addr) {
+            Ok(c) => clients.push(c),
+            Err(e) => {
+                eprintln!("connect {i}/{conns} failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("READY {}", clients.len());
+    std::io::stdout().flush().unwrap();
+
+    let mut line = String::new();
+    std::io::stdin().lock().read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "GO", "parent protocol violation");
+
+    let mut ok = 0usize;
+    for (i, c) in clients.iter_mut().enumerate() {
+        let key = format!("blast{i}");
+        let val = format!("v{i}").into_bytes();
+        if c.set(&key, 0, &val).is_ok()
+            && c.get(&key).ok().flatten().map(|(_, v)| v).as_deref() == Some(&val[..])
+        {
+            ok += 1;
+        }
+    }
+    println!("DONE {ok}");
+    std::io::stdout().flush().unwrap();
+    for c in clients {
+        let _ = c.quit();
+    }
+}

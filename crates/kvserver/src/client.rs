@@ -7,9 +7,17 @@ use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// One socket, one fd: reads go through the buffer, writes through
+/// [`BufReader::get_mut`]. The connection-scale test holds ten thousand of
+/// these in one process, so a cloned-fd reader would double the bill.
 pub struct WireClient {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    stream: BufReader<TcpStream>,
+}
+
+/// One request in a pipelined [`WireClient::round`].
+pub enum PipeOp<'a> {
+    Get(&'a str),
+    Set(&'a str, &'a [u8]),
 }
 
 fn bad_reply(context: &str, got: &str) -> std::io::Error {
@@ -25,30 +33,28 @@ impl WireClient {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
         stream.set_write_timeout(Some(Duration::from_secs(10)))?;
-        let reader = BufReader::new(stream.try_clone()?);
         Ok(WireClient {
-            writer: stream,
-            reader,
+            stream: BufReader::new(stream),
         })
     }
 
     /// Sends raw bytes verbatim — the escape hatch the framing tests use to
     /// split requests at hostile offsets.
     pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
-        self.writer.write_all(bytes)
+        self.stream.get_mut().write_all(bytes)
     }
 
     /// Reads whatever reply bytes are available into `buf`, returning the
     /// count (0 = peer closed). Load generators use this to drain pipelined
     /// replies in bulk instead of line-by-line.
     pub fn read_some(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        self.reader.read(buf)
+        self.stream.read(buf)
     }
 
     /// Reads one CRLF-terminated reply line (terminator stripped).
     pub fn read_line(&mut self) -> std::io::Result<String> {
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        let n = self.stream.read_line(&mut line)?;
         if n == 0 {
             return Err(ErrorKind::UnexpectedEof.into());
         }
@@ -89,13 +95,64 @@ impl WireClient {
         let flags: u32 = flags.parse().map_err(|_| bad_reply("get flags", &head))?;
         let len: usize = len.parse().map_err(|_| bad_reply("get len", &head))?;
         let mut data = vec![0u8; len + 2]; // value + CRLF
-        self.reader.read_exact(&mut data)?;
+        self.stream.read_exact(&mut data)?;
         data.truncate(len);
         let tail = self.read_line()?;
         if tail != "END" {
             return Err(bad_reply("get tail", &tail));
         }
         Ok(Some((flags, data)))
+    }
+
+    /// One pipelined round: writes every request in a single burst, then
+    /// reads every reply in order. This is the shape under which a server's
+    /// request batching (and group commit) can actually form batches — the
+    /// one-op-per-RTT methods above never leave two requests in flight.
+    pub fn round(&mut self, ops: &[PipeOp<'_>]) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(ops.len() * 32);
+        for op in ops {
+            match op {
+                PipeOp::Get(k) => {
+                    buf.extend_from_slice(b"get ");
+                    buf.extend_from_slice(k.as_bytes());
+                    buf.extend_from_slice(b"\r\n");
+                }
+                PipeOp::Set(k, v) => {
+                    buf.extend_from_slice(format!("set {k} 0 0 {}\r\n", v.len()).as_bytes());
+                    buf.extend_from_slice(v);
+                    buf.extend_from_slice(b"\r\n");
+                }
+            }
+        }
+        self.stream.get_mut().write_all(&buf)?;
+        for op in ops {
+            match op {
+                PipeOp::Set(..) => {
+                    let line = self.read_line()?;
+                    if line != "STORED" {
+                        return Err(bad_reply("pipelined set", &line));
+                    }
+                }
+                PipeOp::Get(..) => {
+                    let head = self.read_line()?;
+                    if head == "END" {
+                        continue;
+                    }
+                    let len: usize = head
+                        .split_whitespace()
+                        .nth(3)
+                        .and_then(|l| l.parse().ok())
+                        .ok_or_else(|| bad_reply("pipelined get", &head))?;
+                    let mut data = vec![0u8; len + 2];
+                    self.stream.read_exact(&mut data)?;
+                    let tail = self.read_line()?;
+                    if tail != "END" {
+                        return Err(bad_reply("pipelined get tail", &tail));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// `delete`, returning the reply line (`DELETED` / `NOT_FOUND`).

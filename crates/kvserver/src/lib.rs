@@ -4,35 +4,47 @@
 //! driving it with YCSB (Sec. 6.2 / Fig. 10); [`kvstore`] reproduces that
 //! cache as an in-process library. This crate puts a socket in front of it:
 //! a TCP server speaking the memcached **text protocol** (`std::net` +
-//! threads, no async runtime) that delegates command execution to
-//! [`kvstore::protocol::Session`], plus a closed-loop wire client used by
-//! tests and benches.
+//! nonblocking sockets, no async runtime) that delegates command execution
+//! to [`kvstore::protocol::Session`], plus a closed-loop wire client (with
+//! a pipelined mode) used by tests and benches.
 //!
-//! Three things distinguish a server from a library and shape this crate:
+//! The core is **event-driven**: an accept thread sheds over-capacity
+//! connects (`SERVER_ERROR busy`) and round-robins admitted sockets onto a
+//! small pool of workers, each multiplexing its connections with a
+//! nonblocking sweep loop. Everything a worker frames in one sweep executes
+//! as one batch inside a shared epoch window, and the batch ends with
+//! **epoch-aligned group commit**: one epoch sync per touched shard covers
+//! every mutation in the batch, and replies flush only after that fence.
 //!
-//! * **Session registry** ([`registry`]) — Montage hands out `ThreadId`s
-//!   from a fixed `max_threads` table. Connections churn, so the registry
-//!   leases ids per connection and returns them on disconnect; an
-//!   over-capacity connect is answered with `SERVER_ERROR` instead of a
-//!   panic.
+//! The pieces:
+//!
+//! * **Connection registry** ([`registry`]) — admission control. Montage
+//!   `ThreadId`s are a per-*worker* resource here (each worker owns one
+//!   lazily filled [`kvstore::StoreLease`]); connections only count against
+//!   `max_conns`, so ten thousand sockets need four ids, not ten thousand.
 //! * **Request framing** ([`frame`]) — pipelined commands, command lines and
 //!   data blocks split across packets, bare-`\n` line endings, length
 //!   mismatches, and oversized values (discarded in a streaming fashion, so
 //!   a hostile length field cannot balloon memory) are all handled before a
 //!   command reaches the session.
-//! * **The durability boundary** ([`server`]) — a reply must not promise
-//!   more durability than the epoch system has provided. Ordinary replies
-//!   promise buffered durability only (a crash may lose the last two
-//!   epochs); the `sync` admin command replies `SYNCED` only after
-//!   `EpochSys::sync` returns, and the sync-every-N-ops mode (mirroring
-//!   Fig. 9) inserts that same barrier every N mutations.
+//! * **The durability boundary** ([`server`], [`batch`](crate::server)) — a
+//!   reply must not promise more durability than the epoch system has
+//!   provided. Ordinary replies promise buffered durability only (a crash
+//!   may lose the last two epochs); the `sync` admin command replies
+//!   `SYNCED` only after `EpochSys::sync` returns, and the
+//!   sync-every-N-ops mode (mirroring Fig. 9) fences each batch that
+//!   crosses a multiple of N — before any of that batch's acks reach a
+//!   socket.
 
+mod batch;
 pub mod client;
+mod event_loop;
 pub mod frame;
 pub mod registry;
 pub mod server;
+mod worker;
 
-pub use client::WireClient;
+pub use client::{PipeOp, WireClient};
 pub use frame::{Request, RequestReader};
-pub use registry::{SessionLease, SessionRegistry};
+pub use registry::SessionRegistry;
 pub use server::{KvServer, ServerConfig, ServerHandle};

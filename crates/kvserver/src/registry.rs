@@ -1,46 +1,42 @@
-//! Session registry: leases Montage thread ids to connections.
+//! Connection admission and the shared store handle.
 //!
 //! Montage sizes its per-thread state (write-back buffers, epoch tracker
-//! slots) to a fixed `max_threads` at pool creation — per shard. A server
-//! accepts and drops connections indefinitely, so it cannot burn one id per
-//! connection lifetime; and on a sharded store it cannot even afford one id
-//! per shard per connection up front (N shards would exhaust the tables N
-//! times sooner). So leasing is two-level and lazy: the registry enforces
-//! its own `max_sessions` cap at connect (an over-capacity connect is
-//! refused with a protocol error), and the connection's [`StoreLease`]
-//! registers on a shard's epoch system only when an operation first routes
-//! there. Every leased id returns to its shard's free list on disconnect;
-//! if a shard's table is momentarily exhausted, operations routed there get
-//! `SERVER_ERROR out of worker ids` until a peer disconnects — the
-//! connection itself survives.
+//! slots) to a fixed `max_threads` at pool creation — per shard. The old
+//! thread-per-connection server leased one Montage id per live connection;
+//! the event-driven core needs far fewer: each *worker* owns one lazily
+//! filled [`kvstore::StoreLease`] for its whole lifetime, and every
+//! connection multiplexed onto that worker rides it. What remains per
+//! connection is pure admission control: the registry counts live sockets
+//! against `max_conns`, and an over-capacity connect is shed at accept with
+//! `SERVER_ERROR busy` instead of queueing unboundedly.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use kvstore::{KvStore, ShardedKvStore, StoreLease};
+use kvstore::{KvStore, ShardedKvStore};
 
-/// Hands out per-connection [`SessionLease`]s, bounded by `max_sessions`.
+/// Counts live connections against `max_conns` and hands workers the store.
 pub struct SessionRegistry {
     store: Arc<ShardedKvStore>,
-    max_sessions: usize,
+    max_conns: usize,
     active: AtomicUsize,
 }
 
 impl SessionRegistry {
-    pub fn new(store: Arc<ShardedKvStore>, max_sessions: usize) -> Arc<Self> {
+    pub fn new(store: Arc<ShardedKvStore>, max_conns: usize) -> Arc<Self> {
         Arc::new(SessionRegistry {
             store,
-            max_sessions,
+            max_conns,
             active: AtomicUsize::new(0),
         })
     }
 
     /// Registry over a single-pool store (the unsharded server surface).
-    pub fn single(store: Arc<KvStore>, max_sessions: usize) -> Arc<Self> {
-        Self::new(ShardedKvStore::single(store), max_sessions)
+    pub fn single(store: Arc<KvStore>, max_conns: usize) -> Arc<Self> {
+        Self::new(ShardedKvStore::single(store), max_conns)
     }
 
-    /// Number of live leases.
+    /// Number of live connections.
     pub fn active(&self) -> usize {
         self.active.load(Ordering::Acquire)
     }
@@ -49,14 +45,14 @@ impl SessionRegistry {
         &self.store
     }
 
-    /// Leases a session slot for one connection, or `None` when the server
-    /// is at its session cap. Worker ids are *not* acquired here — the
-    /// returned lease picks them up shard-by-shard as operations route.
-    pub fn lease(self: &Arc<Self>) -> Option<SessionLease> {
+    /// Claims a connection slot; `false` means the server is at capacity and
+    /// the connect must be shed. Pair every successful admit with exactly
+    /// one [`SessionRegistry::release`].
+    pub fn try_admit(&self) -> bool {
         let mut cur = self.active.load(Ordering::Acquire);
         loop {
-            if cur >= self.max_sessions {
-                return None;
+            if cur >= self.max_conns {
+                return false;
             }
             match self.active.compare_exchange_weak(
                 cur,
@@ -64,36 +60,15 @@ impl SessionRegistry {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => break,
+                Ok(_) => return true,
                 Err(seen) => cur = seen,
             }
         }
-        Some(SessionLease {
-            registry: Arc::clone(self),
-            lease: Arc::new(self.store.lease()),
-        })
     }
-}
 
-/// A leased session slot plus its lazily-filled per-shard worker ids; both
-/// are returned on drop, so disconnect-heavy workloads never leak either.
-pub struct SessionLease {
-    registry: Arc<SessionRegistry>,
-    lease: Arc<StoreLease>,
-}
-
-impl SessionLease {
-    /// The per-shard worker-id lease, shared with the connection's session.
-    pub fn store_lease(&self) -> &Arc<StoreLease> {
-        &self.lease
-    }
-}
-
-impl Drop for SessionLease {
-    fn drop(&mut self) {
-        // The StoreLease itself unregisters ids when its last Arc drops
-        // (the session holds the other clone, dropped alongside this).
-        self.registry.active.fetch_sub(1, Ordering::AcqRel);
+    /// Returns a slot claimed by [`SessionRegistry::try_admit`].
+    pub fn release(&self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -109,17 +84,17 @@ mod tests {
     #[test]
     fn cap_is_enforced_and_slots_recycle() {
         let reg = SessionRegistry::single(dram_store(), 2);
-        let a = reg.lease().expect("first lease");
-        let _b = reg.lease().expect("second lease");
-        assert!(reg.lease().is_none(), "third lease must be refused");
+        assert!(reg.try_admit(), "first admit");
+        assert!(reg.try_admit(), "second admit");
+        assert!(!reg.try_admit(), "third connect must be shed");
         assert_eq!(reg.active(), 2);
-        drop(a);
+        reg.release();
         assert_eq!(reg.active(), 1);
-        let _c = reg.lease().expect("slot freed by drop");
+        assert!(reg.try_admit(), "slot freed by release");
     }
 
     #[test]
-    fn montage_ids_are_leased_lazily_and_returned_on_drop() {
+    fn montage_ids_bind_to_workers_not_connections() {
         let pool = pmem::PmemPool::new(pmem::PmemConfig::strict_for_test(1 << 20));
         let esys = montage::EpochSys::format(
             pool,
@@ -130,29 +105,30 @@ mod tests {
         );
         let store =
             ShardedKvStore::single(Arc::new(KvStore::new(KvBackend::Montage(esys), 4, 1024)));
-        // Session cap above the id-table size: connects beyond the table
-        // are *accepted*; the table binds at first operation, and churn
-        // must still never exhaust it.
-        let reg = SessionRegistry::new(store.clone(), 8);
+        // The connection cap is far above the id-table size: ids are a
+        // per-*worker* resource, acquired lazily at a worker's first op on a
+        // shard and held for the worker's lifetime, so admission never
+        // consumes them.
+        let reg = SessionRegistry::new(store.clone(), 64);
+        for _ in 0..32 {
+            assert!(reg.try_admit(), "connects are cheap now");
+        }
         let key = make_key(1);
-        for _ in 0..100 {
-            let a = reg.lease().expect("lease a");
-            let b = reg.lease().expect("lease b");
-            let c = reg.lease().expect("connects are cheap now");
-            store.set(a.store_lease(), key, b"1").expect("a gets an id");
-            store.set(b.store_lease(), key, b"2").expect("b gets an id");
-            // Both ids are held; the third session's first op is refused.
-            assert!(
-                store.set(c.store_lease(), key, b"3").is_err(),
-                "id table exhausted, op must be refused"
-            );
-            drop(a);
-            // a's id returned: c can now operate.
-            store
-                .set(c.store_lease(), key, b"3")
-                .expect("freed id reused");
-            drop(b);
-            drop(c);
+        let a = store.lease();
+        let b = store.lease();
+        store.set(&a, key, b"1").expect("worker a gets an id");
+        store.set(&b, key, b"2").expect("worker b gets an id");
+        // Both ids are held by live workers; a third worker's first op is
+        // refused until one of them retires.
+        let c = store.lease();
+        assert!(
+            store.set(&c, key, b"3").is_err(),
+            "id table exhausted, op must be refused"
+        );
+        drop(a);
+        store.set(&c, key, b"3").expect("freed id reused");
+        for _ in 0..32 {
+            reg.release();
         }
         assert_eq!(reg.active(), 0);
     }

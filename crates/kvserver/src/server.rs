@@ -1,5 +1,11 @@
-//! The TCP server: accept loop, per-connection workers, and the durability
-//! boundary between socket replies and the epoch system.
+//! Server configuration, lifecycle, and the durability boundary.
+//!
+//! Serving itself is event-driven: an accept thread ([`crate::event_loop`])
+//! feeds a small pool of workers, each multiplexing many nonblocking
+//! sockets and executing each sweep's harvest as one batch under a shared
+//! epoch window ([`crate::worker`], [`crate::batch`]). This module owns
+//! what surrounds that core: the config, the shared state, the `stats`
+//! reply, and the start/shutdown/crash lifecycle.
 //!
 //! ## Where durability lives on the reply path
 //!
@@ -8,52 +14,50 @@
 //! that contract visible in the protocol:
 //!
 //! * ordinary replies (`STORED`, `DELETED`, …) promise buffered durability
-//!   only — they are written as soon as the session executes the command;
+//!   only — they are queued as soon as the session executes the command;
 //! * the `sync` admin command replies `SYNCED` only **after**
 //!   [`montage::EpochSys::sync`] has returned, i.e. after every mutation
 //!   acked before it has reached the persistence domain;
-//! * with [`ServerConfig::sync_every`] = N, the worker inserts that same
-//!   barrier before the reply of every Nth mutation (the paper's Fig. 9
-//!   "sync per K ops" sweep, moved to the server edge);
+//! * with [`ServerConfig::sync_every`] = N, each batch whose mutations carry
+//!   the server-wide counter across a multiple of N ends with one epoch
+//!   sync per touched shard — the group-commit fence — and **no reply from
+//!   that batch is flushed before the fence** (the paper's Fig. 9 "sync per
+//!   K ops" sweep, amortized across the batch instead of paid per
+//!   mutation);
 //! * [`ServerHandle::shutdown`] ends with a final sync, so a clean shutdown
 //!   loses nothing; [`ServerHandle::crash`] deliberately skips it.
 
-use std::collections::HashMap;
-use std::io::{ErrorKind, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::panic::AssertUnwindSafe;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use parking_lot::Mutex;
-
-use kvstore::protocol::Session;
 use kvstore::{KvStore, ShardedKvStore};
 
-use crate::frame::{Request, RequestReader};
+use crate::batch::{ServerStats, HIST_BUCKETS};
 use crate::registry::SessionRegistry;
-
-/// How often a blocked read wakes up to check the shutdown flag and the
-/// idle deadline.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Connection cap; the N+1th concurrent connect is answered with
-    /// `SERVER_ERROR` and closed.
-    pub max_sessions: usize,
+    /// Worker threads multiplexing connections; 0 = auto (half the
+    /// available cores, clamped to [1, 4] — batching thrives on fewer,
+    /// busier workers).
+    pub workers: usize,
+    /// Connection cap; the N+1th concurrent connect is shed at accept with
+    /// `SERVER_ERROR busy` and a clean close.
+    pub max_conns: usize,
     /// Values above this are refused with `SERVER_ERROR object too large`.
     pub max_value_bytes: usize,
     /// Idle connections are dropped after this long without a byte.
     pub read_timeout: Duration,
-    /// Socket write timeout.
+    /// A connection whose peer accepts no output for this long is dropped.
     pub write_timeout: Duration,
-    /// `Some(n)`: run a full epoch sync before the reply of every nth
-    /// mutation, server-wide (Fig. 9's periodic-sync mode).
+    /// `Some(n)`: fence each batch that carries the server-wide mutation
+    /// counter across a multiple of n (Fig. 9's periodic-sync mode, group
+    /// committed).
     pub sync_every: Option<u64>,
     /// Test-only fault injection: panic inside the command handler whenever
     /// this command name arrives. Exercises the server's panic isolation —
@@ -65,7 +69,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
-            max_sessions: 64,
+            workers: 0,
+            max_conns: 64,
             max_value_bytes: 1 << 20,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
@@ -75,29 +80,47 @@ impl Default for ServerConfig {
     }
 }
 
-struct Shared {
-    registry: Arc<SessionRegistry>,
-    cfg: ServerConfig,
-    shutdown: AtomicBool,
-    /// Socket clones of live connections, keyed by connection id, so
-    /// `crash()` can sever them mid-request.
-    conns: Mutex<HashMap<u64, TcpStream>>,
+impl ServerConfig {
+    /// The worker count `start` will actually use.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get() / 2)
+            .unwrap_or(1)
+            .clamp(1, 4)
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) registry: Arc<SessionRegistry>,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
+    /// Crash-style stop: workers tear connections down without draining
+    /// queued replies. Workers never block (nonblocking sweeps), so a flag
+    /// severs everything within one sweep — no per-connection socket clones
+    /// needed, which halves the server's fd footprint at 10k connections.
+    pub(crate) crashed: AtomicBool,
     /// Mutations since start, for the sync-every-N barrier (server-wide,
     /// like a log sequence number).
-    mutations: AtomicU64,
+    pub(crate) mutations: AtomicU64,
+    /// Per-worker group-commit counters.
+    pub(crate) stats: ServerStats,
 }
 
 pub struct KvServer;
 
 impl KvServer {
-    /// Binds, spawns the accept loop, and returns a handle. Serving happens
-    /// on background threads; the caller keeps the handle to stop it.
+    /// Binds, spawns the accept loop and workers, and returns a handle.
+    /// Serving happens on background threads; the caller keeps the handle
+    /// to stop it.
     pub fn start(cfg: ServerConfig, store: Arc<KvStore>) -> std::io::Result<ServerHandle> {
         Self::start_sharded(cfg, ShardedKvStore::single(store))
     }
 
-    /// [`KvServer::start`] over a sharded store. Connections route each key
-    /// to its owning shard and lease per-shard worker ids lazily; `sync`,
+    /// [`KvServer::start`] over a sharded store. Workers route each key to
+    /// its owning shard and lease per-shard worker ids lazily; `sync`,
     /// `stats`, and shutdown fan out across every shard, and a faulted
     /// shard degrades only the keys it owns.
     pub fn start_sharded(
@@ -107,15 +130,24 @@ impl KvServer {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        // Each worker's lease can hold one Montage id per shard for the
+        // worker's lifetime; more workers than the tightest shard's id table
+        // would leave some of them permanently unable to operate.
+        let workers = cfg
+            .resolved_workers()
+            .min(store.min_id_capacity().unwrap_or(usize::MAX))
+            .max(1);
+        let max_conns = cfg.max_conns;
         let shared = Arc::new(Shared {
-            registry: SessionRegistry::new(store, cfg.max_sessions),
+            registry: SessionRegistry::new(store, max_conns),
             cfg,
             shutdown: AtomicBool::new(false),
-            conns: Mutex::new(HashMap::new()),
+            crashed: AtomicBool::new(false),
             mutations: AtomicU64::new(0),
+            stats: ServerStats::new(workers),
         });
         let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        let accept = std::thread::spawn(move || crate::event_loop::run(listener, accept_shared));
         Ok(ServerHandle {
             addr,
             shared,
@@ -124,183 +156,13 @@ impl KvServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut workers: Vec<JoinHandle<()>> = Vec::new();
-    let mut next_id: u64 = 0;
-    while !shared.shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let id = next_id;
-                next_id += 1;
-                if let Ok(clone) = stream.try_clone() {
-                    shared.conns.lock().insert(id, clone);
-                }
-                let conn_shared = Arc::clone(&shared);
-                workers.push(std::thread::spawn(move || {
-                    // A panicking handler must only cost its own connection:
-                    // contain the unwind so the bookkeeping below always runs
-                    // and the accept loop's join never propagates a panic.
-                    let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        serve_connection(stream, &conn_shared);
-                    }));
-                    conn_shared.conns.lock().remove(&id);
-                }));
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-                // Opportunistically reap finished workers so a long-lived
-                // server doesn't accumulate join handles under churn.
-                workers.retain(|h| !h.is_finished());
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
-        }
-    }
-    for h in workers {
-        let _ = h.join();
-    }
-}
-
-/// One connection: lease a thread id, frame requests, execute, reply.
-fn serve_connection(mut stream: TcpStream, shared: &Shared) {
-    let Some(lease) = shared.registry.lease() else {
-        let _ = stream.write_all(b"SERVER_ERROR too many connections\r\n");
-        let _ = stream.shutdown(Shutdown::Both);
-        return;
-    };
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
-
-    let store = Arc::clone(shared.registry.store());
-    let session = Session::sharded(Arc::clone(&store), Arc::clone(lease.store_lease()));
-    let mut reader = RequestReader::new(shared.cfg.max_value_bytes);
-    let mut buf = [0u8; 4096];
-    let mut last_activity = Instant::now();
-
-    'conn: loop {
-        if shared.shutdown.load(Ordering::Acquire) {
-            break;
-        }
-        match stream.read(&mut buf) {
-            Ok(0) => break, // peer closed
-            Ok(n) => {
-                last_activity = Instant::now();
-                reader.feed(&buf[..n]);
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if last_activity.elapsed() > shared.cfg.read_timeout {
-                    break;
-                }
-                continue;
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(_) => break,
-        }
-
-        // Batch replies for everything framed so far: one write per read
-        // keeps pipelined clients fast.
-        let mut reply = Vec::new();
-        while let Some(req) = reader.next_request() {
-            match req {
-                Request::Cmd {
-                    line,
-                    data,
-                    noreply,
-                } => {
-                    let cmd = line.split_whitespace().next().unwrap_or("");
-                    if cmd == "quit" {
-                        let _ = stream.write_all(&reply);
-                        break 'conn;
-                    }
-                    if cmd == "stats" {
-                        if !noreply {
-                            reply.extend_from_slice(stats_reply(shared).as_bytes());
-                        }
-                        continue;
-                    }
-                    if cmd == "sync" {
-                        // Reply only after every shard's epoch system reports
-                        // all previously-acked mutations persistent. A
-                        // faulted shard can never make that promise again, so
-                        // the barrier reports it; healthy shards still sync.
-                        let out = match store.sync() {
-                            Ok(()) => "SYNCED\r\n".into(),
-                            Err(e) => format!("SERVER_ERROR {e}\r\n"),
-                        };
-                        if !noreply {
-                            reply.extend_from_slice(out.as_bytes());
-                        }
-                        continue;
-                    }
-                    let is_mutation = matches!(cmd, "set" | "add" | "replace" | "delete" | "touch");
-                    let out = match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        if shared.cfg.panic_on_cmd.as_deref() == Some(cmd) {
-                            panic!("injected handler panic on '{cmd}'");
-                        }
-                        session.execute(&line, &data)
-                    })) {
-                        Ok(out) => out,
-                        Err(_) => {
-                            // The handler died mid-command; its state may be
-                            // inconsistent, so answer, then drop only this
-                            // connection. The unwind stops here — other
-                            // sessions never notice.
-                            reply.extend_from_slice(b"SERVER_ERROR internal error\r\n");
-                            let _ = stream.write_all(&reply);
-                            break 'conn;
-                        }
-                    };
-                    if is_mutation {
-                        if let Some(n) = shared.cfg.sync_every {
-                            let seq = shared.mutations.fetch_add(1, Ordering::AcqRel) + 1;
-                            if seq.is_multiple_of(n) {
-                                // The periodic barrier syncs only the shard
-                                // this mutation routed to — barriers on shard
-                                // A must never wait out shard B's epochs;
-                                // that independence is the scaling lever.
-                                let shard = line
-                                    .split_whitespace()
-                                    .nth(1)
-                                    .and_then(|k| store.shard_of_bytes(k.as_bytes()));
-                                let _ = match shard {
-                                    Some(i) => store.sync_shard(i),
-                                    None => store.sync(),
-                                };
-                            }
-                        }
-                    }
-                    if !noreply {
-                        reply.extend_from_slice(out.as_bytes());
-                        reply.extend_from_slice(b"\r\n");
-                    }
-                }
-                Request::BadDataChunk => {
-                    reply.extend_from_slice(b"CLIENT_ERROR bad data chunk\r\n");
-                }
-                Request::TooLarge => {
-                    reply.extend_from_slice(b"SERVER_ERROR object too large for cache\r\n");
-                }
-                Request::LineTooLong => {
-                    reply.extend_from_slice(b"CLIENT_ERROR line too long\r\n");
-                    let _ = stream.write_all(&reply);
-                    break 'conn;
-                }
-            }
-        }
-        if !reply.is_empty() && stream.write_all(&reply).is_err() {
-            break;
-        }
-    }
-    let _ = stream.shutdown(Shutdown::Both);
-    drop(lease); // returns the thread id for the next connection
-}
-
 /// The `stats` admin command, memcached-style: `STAT <name> <value>` lines
 /// then `END`. Alongside cache occupancy it surfaces the pool's persistence
-/// and fault-injection counters, so operators (and crash-sweep tests) can
-/// observe injected crashes, torn lines, and quarantined payloads over the
-/// wire.
-fn stats_reply(shared: &Shared) -> String {
+/// and fault-injection counters (so crash-sweep tests can observe injected
+/// crashes, torn lines, and quarantined payloads over the wire) and the
+/// group-commit counters: per-worker batch-size histograms, fence counts,
+/// and the acks-per-fence amortization ratio.
+pub(crate) fn stats_reply(shared: &Shared) -> String {
     let store = shared.registry.store();
     let mut out = String::new();
     let mut stat = |name: &str, value: u64| {
@@ -326,6 +188,52 @@ fn stats_reply(shared: &Shared) -> String {
         stat("montage_epoch", e);
     }
     stat("pool_faulted", u64::from(store.fault_any().is_some()));
+    // Group-commit observability: totals, the amortization ratio the whole
+    // design exists to raise, and per-worker batch-size histograms.
+    let workers = &shared.stats.workers;
+    stat("gc_workers", workers.len() as u64);
+    let mut totals = (0u64, 0u64, 0u64, 0u64);
+    let mut hist = [0u64; HIST_BUCKETS.len()];
+    for w in workers.iter() {
+        totals.0 += w.batches.load(Ordering::Relaxed);
+        totals.1 += w.requests.load(Ordering::Relaxed);
+        totals.2 += w.fences.load(Ordering::Relaxed);
+        totals.3 += w.acks.load(Ordering::Relaxed);
+        for (slot, bucket) in hist.iter_mut().zip(w.hist.iter()) {
+            *slot += bucket.load(Ordering::Relaxed);
+        }
+    }
+    stat("gc_batches", totals.0);
+    stat("gc_batched_requests", totals.1);
+    stat("gc_fences", totals.2);
+    stat("gc_acks", totals.3);
+    stat(
+        "gc_acks_per_fence_x1000",
+        (totals.3 * 1000).checked_div(totals.2).unwrap_or(0),
+    );
+    for (floor, count) in HIST_BUCKETS.iter().zip(hist.iter()) {
+        stat(&format!("gc_batch_hist_{floor}"), *count);
+    }
+    for (widx, w) in workers.iter().enumerate() {
+        stat(
+            &format!("worker{widx}_batches"),
+            w.batches.load(Ordering::Relaxed),
+        );
+        stat(
+            &format!("worker{widx}_requests"),
+            w.requests.load(Ordering::Relaxed),
+        );
+        stat(
+            &format!("worker{widx}_fences"),
+            w.fences.load(Ordering::Relaxed),
+        );
+        for (floor, bucket) in HIST_BUCKETS.iter().zip(w.hist.iter()) {
+            stat(
+                &format!("worker{widx}_batch_hist_{floor}"),
+                bucket.load(Ordering::Relaxed),
+            );
+        }
+    }
     // Per-shard breakdown: quarantine and fault containment are per-shard
     // facts, and operators need to see *which* shard is degraded.
     if store.n_shards() > 1 {
@@ -374,9 +282,9 @@ impl ServerHandle {
         self.shared.registry.active()
     }
 
-    /// Graceful stop: refuse new connections, let workers finish their
-    /// in-flight request batch and exit, then run a final epoch sync so
-    /// every acked mutation is persistent.
+    /// Graceful stop: refuse new connections, let every worker finish its
+    /// in-flight sweep (batch, fence, flush) and exit, then run a final
+    /// epoch sync so every acked mutation is persistent.
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::Release);
         let _ = self.accept.join(); // joins workers too
@@ -385,15 +293,14 @@ impl ServerHandle {
         let _ = self.shared.registry.store().sync();
     }
 
-    /// Simulated server crash: sever every connection mid-stream and stop
-    /// all threads **without** the final sync, leaving the pool exactly as
-    /// buffered durability left it. Pair with [`pmem::PmemPool::crash`] and
+    /// Simulated server crash: sever every connection mid-stream (queued
+    /// replies are discarded, not drained) and stop all threads **without**
+    /// the final sync, leaving the pool exactly as buffered durability left
+    /// it. Pair with [`pmem::PmemPool::crash`] and
     /// [`montage::recovery::recover`] to exercise crash-restart.
     pub fn crash(self) {
+        self.shared.crashed.store(true, Ordering::Release);
         self.shared.shutdown.store(true, Ordering::Release);
-        for (_, conn) in self.shared.conns.lock().drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
         let _ = self.accept.join();
     }
 }

@@ -157,7 +157,7 @@ fn over_capacity_connect_is_refused_then_recovers() {
     let (_esys, store) = montage_store(2);
     let h = KvServer::start(
         ServerConfig {
-            max_sessions: 2,
+            max_conns: 2,
             ..Default::default()
         },
         store,
@@ -171,7 +171,7 @@ fn over_capacity_connect_is_refused_then_recovers() {
 
     // Third concurrent connection: polite refusal, no panic, no leaked id.
     let mut c = WireClient::connect(h.addr()).unwrap();
-    assert_eq!(c.read_line().unwrap(), "SERVER_ERROR too many connections");
+    assert_eq!(c.read_line().unwrap(), "SERVER_ERROR busy");
 
     // Freeing one slot lets a new connection in.
     a.quit().unwrap();
@@ -442,4 +442,43 @@ fn crash_restart_recovers_consistent_prefix() {
     // No phantom keys: the store holds exactly the writers' keys we found.
     assert_eq!(recovered_len, found, "phantom items survived the crash");
     h2.shutdown();
+}
+
+#[test]
+fn slow_loris_partial_frame_does_not_block_neighbours() {
+    use std::io::{Read as _, Write as _};
+
+    // One worker on purpose: the stalled connection and the live one share a
+    // thread, so only nonblocking sweeps keep B responsive.
+    let h = dram_server(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+
+    // A sends a set header and two bytes of a five-byte value, then stalls.
+    let mut loris = std::net::TcpStream::connect(h.addr()).unwrap();
+    loris.write_all(b"set half 0 0 5\r\nab").unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // B gets full service while A's frame dangles.
+    let mut c = WireClient::connect(h.addr()).unwrap();
+    let t0 = std::time::Instant::now();
+    assert_eq!(c.set("live", 0, b"x").unwrap(), "STORED");
+    assert_eq!(c.get("live").unwrap(), Some((0, b"x".to_vec())));
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "neighbour served only after {}ms",
+        t0.elapsed().as_millis()
+    );
+
+    // A completes the frame and still gets its ack — a slow client is slow,
+    // not broken.
+    loris.write_all(b"cde\r\n").unwrap();
+    let mut reply = [0u8; 8];
+    loris.read_exact(&mut reply).unwrap();
+    assert_eq!(&reply, b"STORED\r\n");
+    assert_eq!(c.get("half").unwrap(), Some((0, b"abcde".to_vec())));
+
+    c.quit().unwrap();
+    h.shutdown();
 }

@@ -19,7 +19,9 @@ pub mod router;
 pub mod sharded;
 
 pub use router::ShardRouter;
-pub use sharded::{ShardRecovery, ShardedKvStore, StoreError, StoreLease, StoreRecoveryReport};
+pub use sharded::{
+    ShardRecovery, ShardedKvStore, StoreBatch, StoreError, StoreLease, StoreRecoveryReport,
+};
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};

@@ -411,6 +411,17 @@ impl ShardedKvStore {
         }
     }
 
+    /// The tightest per-shard thread-id budget: the smallest `max_threads`
+    /// across Montage shards, or `None` if every shard is transient. A
+    /// server sizing a long-lived worker pool must stay at or under this —
+    /// each worker's lease can pin one id per shard for its lifetime.
+    pub fn min_id_capacity(&self) -> Option<usize> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.esys().map(|e| e.max_threads()))
+            .min()
+    }
+
     /// Per-shard epoch-clock values (`None` for transient shards).
     pub fn epochs(&self) -> Vec<Option<u64>> {
         self.shards
@@ -465,6 +476,86 @@ impl Drop for StoreLease {
                 self.store.shard(shard).unregister_thread(tid);
             }
         }
+    }
+}
+
+/// A group-commit scope: epoch pins on the shards a batch of operations is
+/// about to touch, so all of the batch's ops on one shard share a single
+/// `BEGIN_OP`/`END_OP` window (see [`montage::EpochSys::pin_epoch`]).
+///
+/// Usage contract (the event-driven server's batch loop):
+/// 1. `pin_key` each mutation's shard before executing it — best-effort; a
+///    shard that cannot be pinned (faulted, out of ids, transient backend)
+///    simply runs its ops unpinned and unamortized.
+/// 2. Execute the batch's operations **on the same thread** that holds the
+///    batch (the pins announce this thread's lease ids).
+/// 3. `finish` to drop every pin, then issue the shared durability barrier
+///    (`sync_shard` on the returned shards). Never sync a shard while its
+///    pin is held — the pinning thread would wait on its own announcement.
+pub struct StoreBatch<'a> {
+    store: &'a ShardedKvStore,
+    lease: &'a StoreLease,
+    pins: Box<[Option<montage::EpochPin<'a>>]>,
+}
+
+impl ShardedKvStore {
+    /// Opens a group-commit scope over this store with `lease`'s worker ids.
+    pub fn batch<'a>(&'a self, lease: &'a StoreLease) -> StoreBatch<'a> {
+        StoreBatch {
+            pins: (0..self.shards.len()).map(|_| None).collect(),
+            store: self,
+            lease,
+        }
+    }
+}
+
+impl<'a> StoreBatch<'a> {
+    /// Pins the shard owning a raw protocol key. Keys the protocol would
+    /// reject route nowhere and are a no-op (the op itself will produce the
+    /// protocol error).
+    pub fn pin_key(&mut self, key: &[u8]) -> Result<(), StoreError> {
+        match self.store.shard_of_bytes(key) {
+            Some(shard) => self.pin_shard(shard),
+            None => Ok(()),
+        }
+    }
+
+    /// Pins `shard`'s epoch system (idempotent; transient shards no-op).
+    pub fn pin_shard(&mut self, shard: usize) -> Result<(), StoreError> {
+        if self.pins[shard].is_some() {
+            return Ok(());
+        }
+        self.store.check_shard(shard)?;
+        let tid = self.lease.tid(shard)?;
+        let Some(esys) = self.store.shards[shard].esys() else {
+            return Ok(()); // transient backend: no epochs to pin
+        };
+        let pin = esys
+            .try_pin_epoch(montage::ThreadId(tid))
+            .map_err(|fault| StoreError::Faulted { shard, fault })?;
+        self.pins[shard] = Some(pin);
+        Ok(())
+    }
+
+    /// Shards currently pinned, in shard order.
+    pub fn pinned(&self) -> Vec<usize> {
+        self.pins
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Drops every pin and returns the shards that were pinned — the set the
+    /// caller's group fence must `sync_shard`.
+    pub fn finish(&mut self) -> Vec<usize> {
+        let mut touched = Vec::new();
+        for (shard, slot) in self.pins.iter_mut().enumerate() {
+            if slot.take().is_some() {
+                touched.push(shard);
+            }
+        }
+        touched
     }
 }
 
@@ -594,6 +685,68 @@ mod tests {
             store2.set(&lease2, make_key(i), b"w").unwrap();
         }
         assert_eq!(store2.len(), 100);
+    }
+
+    #[test]
+    fn batch_pins_once_per_shard_and_survives_a_group_fence() {
+        let store = small_store(4);
+        let lease = store.lease();
+        let epochs_before = store.epochs();
+        let mut batch = store.batch(&lease);
+        // A burst of sets spanning several shards, all under one batch.
+        for i in 0..40 {
+            let k = make_key(i);
+            batch.pin_shard(store.shard_of(&k)).unwrap();
+            store.set(&lease, k, format!("b{i}").as_bytes()).unwrap();
+        }
+        let pinned = batch.pinned();
+        assert!(pinned.len() >= 2, "40 keys should pin several shards");
+        // Pins are idempotent: re-pinning the same shards changed nothing.
+        assert_eq!(batch.finish(), pinned);
+        assert_eq!(batch.finish(), Vec::<usize>::new(), "finish is terminal");
+        // The shared fence after dropping the pins: one sync per touched
+        // shard instead of one per mutation.
+        for &s in &pinned {
+            store.sync_shard(s).unwrap();
+        }
+        for (s, (before, after)) in epochs_before.iter().zip(store.epochs()).enumerate() {
+            if pinned.contains(&s) {
+                assert!(
+                    after.unwrap() >= before.unwrap() + 2,
+                    "shard {s} never fenced"
+                );
+            }
+        }
+        // Everything written under the pins recovered after a crash.
+        let pools = store.crash_pools();
+        let (store2, report) = ShardedKvStore::recover(pools, EsysConfig::default(), 4, 10_000, 2);
+        assert!(report.is_clean(), "{report:?}");
+        for i in 0..40 {
+            assert_eq!(
+                store2.get(&make_key(i), |v| v.to_vec()).unwrap(),
+                format!("b{i}").as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_pin_refuses_faulted_shard_but_ops_degrade_unpinned() {
+        let healthy = PmemConfig::strict_for_test(8 << 20);
+        let mut armed = healthy;
+        armed.chaos.crash_at_event = Some(1);
+        let pools = vec![PmemPool::new(armed), PmemPool::new(healthy)];
+        let store = ShardedKvStore::format_pools(pools, EsysConfig::default(), 4, 10_000);
+        // Trip shard 0's plan.
+        let _ = store.sync_shard(0);
+        assert!(store.shard_fault(0).is_some());
+        let lease = store.lease();
+        let mut batch = store.batch(&lease);
+        assert!(matches!(
+            batch.pin_shard(0),
+            Err(StoreError::Faulted { shard: 0, .. })
+        ));
+        batch.pin_shard(1).unwrap();
+        assert_eq!(batch.finish(), vec![1]);
     }
 
     #[test]

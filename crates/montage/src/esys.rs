@@ -11,7 +11,7 @@
 //!    supported by `CHECK_EPOCH`, the `OldSeeNewException`, and the
 //!    [`crate::dcss`] primitives.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
@@ -90,6 +90,10 @@ pub struct EpochSys {
     uid_block: AtomicU64,
     uids: Box<[CachePadded<PerThreadUid>]>,
     last_epoch: Box<[CachePadded<AtomicU64>]>,
+    /// Set while thread `tid` holds an [`EpochPin`]. Only the owning thread
+    /// reads or writes its slot (Relaxed); the flag routes that thread's
+    /// `begin_op` onto the nested (non-owning) path.
+    pinned: Box<[CachePadded<AtomicBool>]>,
     stats: EsysStats,
 }
 
@@ -139,6 +143,9 @@ impl EpochSys {
             last_epoch: (0..cfg.max_threads)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
+            pinned: (0..cfg.max_threads)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
             stats: EsysStats::default(),
             pool,
             ralloc,
@@ -185,6 +192,11 @@ impl EpochSys {
     #[inline]
     pub fn curr_epoch(&self) -> u64 {
         self.clock().load(Ordering::Acquire)
+    }
+
+    /// Size of the thread-id table this system was formatted with.
+    pub fn max_threads(&self) -> usize {
+        self.cfg.max_threads
     }
 
     /// Registers the calling thread, returning its id. Panics when
@@ -256,6 +268,30 @@ impl EpochSys {
     /// Lock freedom: the announce/validate loop only retries when the epoch
     /// clock advanced, which implies system-wide progress (paper Thm. 4.4).
     pub fn begin_op(&self, tid: ThreadId) -> OpGuard<'_> {
+        if self.pinned[tid.0].load(Ordering::Relaxed) {
+            // Nested under an EpochPin: the pin's tracker registration is
+            // live, so the op only needs to move it *forward* to the current
+            // clock (the same announce/validate loop; the slot moves
+            // monotonically up and is never IDLE in between, so an advancer's
+            // `wait_all` can neither miss the thread nor deadlock on it).
+            // The guard does not own the registration — drop is a no-op.
+            let epoch = loop {
+                let e = self.clock().load(Ordering::SeqCst);
+                if self.tracker.load(tid.0) == e {
+                    break e;
+                }
+                self.tracker.register(tid.0, e);
+                if self.clock().load(Ordering::SeqCst) == e {
+                    break e;
+                }
+            };
+            return OpGuard {
+                esys: self,
+                tid,
+                epoch,
+                owns: false,
+            };
+        }
         debug_assert_eq!(
             self.tracker.load(tid.0),
             IDLE,
@@ -301,6 +337,7 @@ impl EpochSys {
             esys: self,
             tid,
             epoch,
+            owns: true,
         }
     }
 
@@ -316,6 +353,86 @@ impl EpochSys {
     #[inline]
     pub fn fault(&self) -> Option<PmemFault> {
         self.pool.fault()
+    }
+
+    /// Pins the calling thread into the epoch system so that a whole *batch*
+    /// of operations shares one announce/validate window: while the pin is
+    /// held, `begin_op(tid)` takes a cheap nested path (no tracker
+    /// register/unregister churn, no per-op `DirWB` fence) and `end_op` is
+    /// deferred to the pin's drop. This is the group-commit primitive: N
+    /// front-end requests ride one epoch window and the caller issues one
+    /// shared `sync` after dropping the pin.
+    ///
+    /// Semantics:
+    /// - Nested ops re-register **forward** to the current clock, so payload
+    ///   epochs stay current and the advancer is never blocked on a stale
+    ///   epoch longer than one tick: a pinned thread bounds the clock to at
+    ///   most two adjacent epochs between nested ops, which is exactly the
+    ///   consistent-prefix window group commit promises.
+    /// - `sync`/`try_sync`/`advance_epoch` **must not** be called by the
+    ///   pinning thread while the pin is held and no nested op has moved the
+    ///   registration forward — the second advance would wait on the pin's
+    ///   own slot. Drop the pin first (the server's batch loop treats every
+    ///   explicit `sync` as a batch-cut point for this reason).
+    /// - Dropping the pin issues the deferred `DirWB` fence (if configured)
+    ///   and unregisters the thread; it does **not** sync. Buffered payloads
+    ///   drain at the next boundary exactly as for unpinned ops.
+    pub fn pin_epoch(&self, tid: ThreadId) -> EpochPin<'_> {
+        debug_assert_eq!(
+            self.tracker.load(tid.0),
+            IDLE,
+            "pin_epoch inside an operation"
+        );
+        debug_assert!(
+            !self.pinned[tid.0].load(Ordering::Relaxed),
+            "pin_epoch while already pinned"
+        );
+        let epoch = loop {
+            let e = self.clock().load(Ordering::SeqCst);
+            self.tracker.register(tid.0, e);
+            if self.clock().load(Ordering::SeqCst) == e {
+                break e;
+            }
+        };
+
+        // Same cooperative duties as BEGIN_OP, hoisted to once per batch:
+        // help a waiting sync persist our older buffered payloads, and run
+        // worker-local reclamation.
+        if matches!(self.cfg.persist, PersistStrategy::Buffered(_)) {
+            let want = self.sync_requested.load(Ordering::Relaxed);
+            if want != 0 && self.buffers.min_pending(tid.0) < epoch {
+                let min = self
+                    .buffers
+                    .drain_persist_upto(&self.pool, tid.0, epoch - 1);
+                self.mind.publish(tid.0, min);
+            }
+        }
+        if self.cfg.free == FreeStrategy::WorkerLocal {
+            let last = self.last_epoch[tid.0].swap(epoch, Ordering::Relaxed);
+            if epoch > last {
+                let blocks = self.buffers.take_free_upto(&self.pool, tid.0, epoch - 2);
+                if !blocks.is_empty() {
+                    self.pool.sfence();
+                    for b in blocks {
+                        self.ralloc.dealloc(b);
+                    }
+                }
+            }
+        }
+
+        self.pinned[tid.0].store(true, Ordering::Relaxed);
+        EpochPin {
+            esys: self,
+            tid,
+            epoch,
+        }
+    }
+
+    /// Checked [`EpochSys::pin_epoch`]: refuses to pin on a pool whose fault
+    /// plan has tripped (mirrors [`EpochSys::try_begin_op`]).
+    pub fn try_pin_epoch(&self, tid: ThreadId) -> Result<EpochPin<'_>, PmemFault> {
+        self.pool.check_fault()?;
+        Ok(self.pin_epoch(tid))
     }
 
     fn end_op(&self, tid: ThreadId) {
@@ -786,6 +903,9 @@ pub struct OpGuard<'a> {
     esys: &'a EpochSys,
     tid: ThreadId,
     epoch: u64,
+    /// Whether this guard owns the tracker registration. Nested guards
+    /// created under an [`EpochPin`] do not — END_OP belongs to the pin.
+    owns: bool,
 }
 
 impl OpGuard<'_> {
@@ -804,6 +924,39 @@ impl OpGuard<'_> {
 
 impl Drop for OpGuard<'_> {
     fn drop(&mut self) {
+        if self.owns {
+            self.esys.end_op(self.tid);
+        }
+    }
+}
+
+/// RAII epoch pin: created by [`EpochSys::pin_epoch`]; while held, the
+/// thread's `begin_op`s are nested (non-owning) and END_OP is deferred to
+/// this pin's drop. See `pin_epoch` for the full contract.
+pub struct EpochPin<'a> {
+    esys: &'a EpochSys,
+    tid: ThreadId,
+    epoch: u64,
+}
+
+impl EpochPin<'_> {
+    /// The epoch the pin was taken in. Nested ops may run in later epochs
+    /// (they re-register forward); this is the *floor* of the batch window.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The pinned thread id.
+    #[inline]
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+}
+
+impl Drop for EpochPin<'_> {
+    fn drop(&mut self) {
+        self.esys.pinned[self.tid.0].store(false, Ordering::Relaxed);
         self.esys.end_op(self.tid);
     }
 }
@@ -1210,6 +1363,87 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn pinned_ops_share_one_window_and_stay_durable() {
+        let s = sys(EsysConfig::default());
+        let tid = s.register_thread();
+        let (h1, h2) = {
+            let pin = s.pin_epoch(tid);
+            // Two nested ops under one pin — without the pin the second
+            // begin_op would trip the "nested operations" debug assert.
+            let h1 = {
+                let g = s.begin_op(tid);
+                assert_eq!(g.epoch(), pin.epoch());
+                s.pnew(&g, 0, &11u64)
+            };
+            let h2 = {
+                let g = s.begin_op(tid);
+                s.pnew(&g, 0, &22u64)
+            };
+            (h1, h2)
+        };
+        s.sync();
+        let g = s.begin_op(tid);
+        assert_eq!(s.read(&g, h1).unwrap(), 11);
+        assert_eq!(s.read(&g, h2).unwrap(), 22);
+        drop(g);
+        let rec = crate::recovery::recover(s.pool().crash(), EsysConfig::default(), 1);
+        assert_eq!(rec.len(), 2, "both pinned-batch payloads recovered");
+    }
+
+    #[test]
+    fn nested_op_reregisters_forward_after_advance() {
+        let s = sys(EsysConfig::default());
+        let tid = s.register_thread();
+        let pin = s.pin_epoch(tid);
+        let e0 = pin.epoch();
+        assert_eq!(s.tracker.load(tid.0), e0);
+        // One advance is legal under a pin (it waits only for e0-1).
+        s.advance_epoch();
+        assert_eq!(s.curr_epoch(), e0 + 1);
+        // The next nested op moves the registration to the new clock, so
+        // payloads stay current-epoch and the advancer is unblocked again.
+        {
+            let g = s.begin_op(tid);
+            assert_eq!(g.epoch(), e0 + 1);
+        }
+        assert_eq!(s.tracker.load(tid.0), e0 + 1);
+        drop(pin);
+        assert_eq!(s.tracker.load(tid.0), IDLE, "pin drop is END_OP");
+    }
+
+    #[test]
+    fn pin_blocks_second_advance_until_dropped() {
+        let s = sys(EsysConfig::default());
+        let tid = s.register_thread();
+        let pin = s.pin_epoch(tid);
+        s.advance_epoch(); // waits for e-1 only: passes
+        let s2 = s.clone();
+        let blocked = std::thread::spawn(move || s2.advance_epoch());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(
+            !blocked.is_finished(),
+            "second advance must wait on the pinned slot"
+        );
+        drop(pin);
+        blocked.join().unwrap();
+    }
+
+    #[test]
+    fn guard_outside_pin_still_owns_end_op() {
+        let s = sys(EsysConfig::default());
+        let tid = s.register_thread();
+        {
+            let pin = s.pin_epoch(tid);
+            drop(pin);
+        }
+        // After the pin is gone, begin_op owns its registration again.
+        let g = s.begin_op(tid);
+        assert_ne!(s.tracker.load(tid.0), IDLE);
+        drop(g);
+        assert_eq!(s.tracker.load(tid.0), IDLE);
     }
 
     #[test]

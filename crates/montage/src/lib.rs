@@ -64,7 +64,7 @@ pub use advancer::Advancer;
 pub use config::{EsysConfig, FreeStrategy, PersistStrategy};
 pub use dcss::VerifyCell;
 pub use errors::{EpochChanged, OldSeeNewException, RecoveryError};
-pub use esys::{EpochSys, OpGuard, ThreadId};
+pub use esys::{EpochPin, EpochSys, OpGuard, ThreadId};
 pub use payload::{PHandle, PayloadKind, HDR_SIZE};
 pub use recovery::{
     try_recover, QuarantinedPayload, RecoveredItem, RecoveredState, RecoveryReport,

@@ -512,17 +512,20 @@ impl PmemPool {
             .expect("device reservation always succeeds")
             .max(now)
             + media_ns;
+        // OS sleeps overshoot by tens of microseconds (timer slack), so a
+        // `sleep(remaining)` would charge a 6µs drain ~70µs of real blocking —
+        // a 10x penalty that lands precisely on callers who batch their drain
+        // work into one fence. Sleep only the stretch the OS can deliver
+        // without running past the deadline, then spin the accurate tail.
+        const SLEEP_SLACK_NS: u64 = 200_000;
         loop {
             let now = self.inner.origin.elapsed().as_nanos() as u64;
             if now >= done {
                 return;
             }
-            // Sleep when the remainder is worth a syscall; a slight oversleep
-            // only makes the modeled device marginally slower, while a spin
-            // tail would burn CPU other threads could use.
             let remaining = done - now;
-            if remaining > 3_000 {
-                std::thread::sleep(std::time::Duration::from_nanos(remaining));
+            if remaining > SLEEP_SLACK_NS {
+                std::thread::sleep(std::time::Duration::from_nanos(remaining - SLEEP_SLACK_NS));
             } else {
                 std::hint::spin_loop();
             }

@@ -92,8 +92,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
+        Some("bench-diff") => bench_diff::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint | bench-diff>");
             ExitCode::from(2)
         }
     }
@@ -695,5 +696,199 @@ mod tests {
     fn on_clwb_is_not_a_clwb_call() {
         let src = "fn f(s: &San) {\n    s.on_clwb(1, 2, 3, loc);\n}\n";
         assert!(lint("crates/demo/src/lib.rs", src).is_empty());
+    }
+}
+
+/// `bench-diff`: the benchmark regression gate.
+///
+/// Compares a fresh `BENCH_<figure>.json` (written by the bench binaries;
+/// see `montage_bench::report::JsonReport`) against the checked-in baseline
+/// under `benches/baselines/`, and fails when the run's **headline** metric
+/// regressed by more than the threshold. Non-headline metrics are reported
+/// but never gate — on a noisy shared box only the metric a change is
+/// *about* is stable enough to block on.
+///
+/// The parser below handles exactly the subset of JSON that
+/// `JsonReport::render` emits (string fields, a flat `"metrics"` object of
+/// slug → number) — hand-rolled because the workspace builds offline with
+/// no JSON dependency.
+mod bench_diff {
+    use std::path::PathBuf;
+    use std::process::ExitCode;
+
+    pub fn run(args: &[String]) -> ExitCode {
+        let mut new_path: Option<PathBuf> = None;
+        let mut baseline_path: Option<PathBuf> = None;
+        let mut threshold_pct: f64 = 15.0;
+        let mut report_only = false;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--baseline" => match it.next() {
+                    Some(p) => baseline_path = Some(p.into()),
+                    None => return usage("--baseline needs a path"),
+                },
+                "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => threshold_pct = v,
+                    None => return usage("--threshold needs a percentage"),
+                },
+                "--report-only" => report_only = true,
+                p if new_path.is_none() && !p.starts_with('-') => new_path = Some(p.into()),
+                other => return usage(&format!("unknown argument {other:?}")),
+            }
+        }
+        let Some(new_path) = new_path else {
+            return usage("missing the new results file");
+        };
+
+        let new = match Report::load(&new_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench-diff: cannot read {}: {e}", new_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline_path = baseline_path.unwrap_or_else(|| {
+            super::repo_root()
+                .join("benches/baselines")
+                .join(format!("BENCH_{}.json", new.figure))
+        });
+        let base = match Report::load(&baseline_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!(
+                    "bench-diff: no baseline at {} ({e}); nothing to gate against",
+                    baseline_path.display()
+                );
+                return ExitCode::SUCCESS;
+            }
+        };
+
+        println!(
+            "bench-diff: {} vs baseline {}",
+            new_path.display(),
+            baseline_path.display()
+        );
+        let mut regressed_headline = false;
+        let mut compared = 0usize;
+        for (slug, new_v) in &new.metrics {
+            let Some(base_v) = base.metrics.get(slug) else {
+                continue;
+            };
+            compared += 1;
+            // All gated slugs are throughput-or-latency; higher is better
+            // for *_ops_per_sec, lower for *_us. Express both as "regression
+            // percent" so one threshold covers them.
+            let higher_better = slug.ends_with("_ops_per_sec");
+            let delta_pct = if higher_better {
+                (base_v - new_v) / base_v * 100.0
+            } else {
+                (new_v - base_v) / base_v * 100.0
+            };
+            let is_headline = *slug == new.headline;
+            let flag = if delta_pct > threshold_pct {
+                if is_headline {
+                    regressed_headline = true;
+                }
+                " REGRESSED"
+            } else {
+                ""
+            };
+            if is_headline || flag == " REGRESSED" {
+                println!(
+                    "  {}{}: {:.1} -> {:.1} ({:+.1}%){flag}",
+                    if is_headline { "[headline] " } else { "" },
+                    slug,
+                    base_v,
+                    new_v,
+                    -delta_pct * if higher_better { 1.0 } else { -1.0 },
+                );
+            }
+        }
+        println!("  {compared} metrics compared, threshold {threshold_pct}%");
+        if regressed_headline {
+            eprintln!(
+                "bench-diff: headline metric {:?} regressed past {threshold_pct}%",
+                new.headline
+            );
+            if report_only {
+                eprintln!("bench-diff: --report-only, not failing the build");
+                return ExitCode::SUCCESS;
+            }
+            return ExitCode::FAILURE;
+        }
+        ExitCode::SUCCESS
+    }
+
+    fn usage(msg: &str) -> ExitCode {
+        eprintln!("bench-diff: {msg}");
+        eprintln!(
+            "usage: cargo run -p xtask -- bench-diff <new.json> \
+             [--baseline <path>] [--threshold <pct>] [--report-only]"
+        );
+        ExitCode::from(2)
+    }
+
+    pub struct Report {
+        pub figure: String,
+        pub headline: String,
+        pub metrics: Vec<(String, f64)>,
+    }
+
+    impl Report {
+        pub fn load(path: &std::path::Path) -> Result<Report, String> {
+            let src = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            Ok(Report {
+                figure: string_field(&src, "figure").ok_or("missing \"figure\"")?,
+                headline: string_field(&src, "headline").ok_or("missing \"headline\"")?,
+                metrics: metrics_object(&src)?,
+            })
+        }
+    }
+
+    trait Lookup {
+        fn get(&self, key: &str) -> Option<&f64>;
+    }
+    impl Lookup for Vec<(String, f64)> {
+        fn get(&self, key: &str) -> Option<&f64> {
+            self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+    }
+
+    /// Finds the top-level `"name": "value"` string field.
+    fn string_field(src: &str, name: &str) -> Option<String> {
+        let at = src.find(&format!("\"{name}\":"))?;
+        let rest = &src[at..];
+        let open = rest.find(": \"")? + 3;
+        let close = rest[open..].find('"')? + open;
+        Some(rest[open..close].to_string())
+    }
+
+    /// Parses the flat `"metrics": { "slug": number, ... }` object.
+    fn metrics_object(src: &str) -> Result<Vec<(String, f64)>, String> {
+        let at = src.find("\"metrics\":").ok_or("missing \"metrics\"")?;
+        let body = &src[at..];
+        let open = body.find('{').ok_or("metrics: no object")?;
+        let close = body[open..]
+            .find('}')
+            .ok_or("metrics: unterminated object")?
+            + open;
+        let mut out = Vec::new();
+        for pair in body[open + 1..close].split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("metrics: malformed pair {pair:?}"))?;
+            let key = key.trim().trim_matches('"').to_string();
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("metrics: non-numeric value in {pair:?}"))?;
+            out.push((key, value));
+        }
+        Ok(out)
     }
 }
