@@ -14,10 +14,18 @@
 //! exactly as the real single-pool Montage server is; each extra shard adds
 //! an independent device.
 //!
+//! Alongside the CSV, the run writes `BENCH_fig_shard_scaling.json` (or
+//! `$BENCH_JSON_PATH`) for `xtask bench-diff`: the manifest gates both the
+//! 4-shard throughput headline and its tail latency, so the detectable-ops
+//! descriptor write on the mutation path is regression-gated here.
+//!
 //! Knobs: `MONTAGE_BENCH_CLIENTS` (default 8), `MONTAGE_BENCH_SYNC_EVERY`
 //! (default 1, i.e. every acked mutation is durable before its reply — the
 //! strongest service level, and the one where the sync path is the
-//! bottleneck under test),
+//! bottleneck under test), `MONTAGE_BENCH_SESSIONS` (default 1 — every
+//! client attaches a durable session and stamps mutations with request
+//! ids, so each update also writes its 96-byte descriptor; set 0 for the
+//! pre-dedupe wire protocol),
 //! `MONTAGE_BENCH_VALUE` (bytes per value, default 4096 — large enough
 //! that media drain, not the wire, dominates), `MONTAGE_BENCH_REPEATS`
 //! (default 3 — each row reports the median-throughput repetition),
@@ -32,7 +40,7 @@ use kvserver::{KvServer, ServerConfig, WireClient};
 use kvstore::ShardedKvStore;
 use montage::{Advancer, EsysConfig};
 use montage_bench::harness::env_scale;
-use montage_bench::report::{self, PersistCost};
+use montage_bench::report::{self, JsonReport, PersistCost};
 use pmem::{LatencyModel, PmemConfig, PmemMode};
 use workloads::ycsb::{YcsbOp, YcsbWorkload};
 
@@ -56,6 +64,7 @@ struct Knobs {
     total_ops: u64,
     clients: usize,
     sync_every: u64,
+    sessions: bool,
     value: Vec<u8>,
     lat_model: LatencyModel,
 }
@@ -128,8 +137,14 @@ fn run_once(n_shards: usize, k: &Knobs) -> RunResult {
             let value = &k.value;
             let lat_all = &lat_all;
             let records = k.records;
+            let sessions = k.sessions;
             s.spawn(move || {
                 let mut c = WireClient::connect(addr).expect("connect");
+                if sessions {
+                    // Durable client identity: every update below carries a
+                    // request id and writes a descriptor on its key's shard.
+                    c.session(t as u64 + 1).expect("session");
+                }
                 let ops: Vec<YcsbOp> =
                     YcsbWorkload::with_mix(records, per_thread, 0x5CA1E + t as u64, 500).collect();
                 // Serialize every request packet before the clock starts
@@ -139,6 +154,7 @@ fn run_once(n_shards: usize, k: &Knobs) -> RunResult {
                 // terminators: gets end in "END\r\n" and sets answer
                 // "STORED\r\n" — both end with "D\r\n", which appears
                 // nowhere else in our replies (values are all 'a's).
+                let mut rid = 0u64;
                 let batches: Vec<(Vec<u8>, usize)> = ops
                     .chunks(PIPELINE)
                     .map(|batch| {
@@ -149,8 +165,19 @@ fn run_once(n_shards: usize, k: &Knobs) -> RunResult {
                                     packet.extend_from_slice(format!("get k{k}\r\n").as_bytes());
                                 }
                                 YcsbOp::Update(k) => {
+                                    // rids are client-global and strictly
+                                    // increasing, so each shard sees a
+                                    // strictly increasing subsequence —
+                                    // always the apply-fresh path.
+                                    let trailer = if sessions {
+                                        rid += 1;
+                                        format!(" rid={rid}")
+                                    } else {
+                                        String::new()
+                                    };
                                     packet.extend_from_slice(
-                                        format!("set k{k} 0 0 {}\r\n", value.len()).as_bytes(),
+                                        format!("set k{k} 0 0 {}{trailer}\r\n", value.len())
+                                            .as_bytes(),
                                     );
                                     packet.extend_from_slice(value);
                                     packet.extend_from_slice(b"\r\n");
@@ -218,6 +245,7 @@ fn main() {
         total_ops: ((YcsbWorkload::OPS as f64 * scale) as u64).max(5_000),
         clients: env_usize("MONTAGE_BENCH_CLIENTS", 8),
         sync_every: env_usize("MONTAGE_BENCH_SYNC_EVERY", 1) as u64,
+        sessions: env_usize("MONTAGE_BENCH_SESSIONS", 1) != 0,
         value: vec![b'a'; env_usize("MONTAGE_BENCH_VALUE", 4096)],
         lat_model: if std::env::var("MONTAGE_BENCH_DRAM").is_ok() {
             LatencyModel::DRAM
@@ -231,12 +259,13 @@ fn main() {
         "fig-shard-scaling",
         &format!(
             "sharded kvserver, YCSB-A over loopback, {} records, {} ops, {} clients, \
-             {}B values, sync every {} mutations, median of {repeats} runs",
+             {}B values, sync every {} mutations, sessions={}, median of {repeats} runs",
             knobs.records,
             knobs.total_ops,
             knobs.clients,
             knobs.value.len(),
-            knobs.sync_every
+            knobs.sync_every,
+            knobs.sessions
         ),
         &[
             "shards",
@@ -249,6 +278,13 @@ fn main() {
         ],
     );
 
+    let mut json = JsonReport::new("fig_shard_scaling");
+    json.field("clients", knobs.clients as u64);
+    json.field("sync_every", knobs.sync_every);
+    json.field("sessions", if knobs.sessions { 1u64 } else { 0 });
+    json.field("value_bytes", knobs.value.len() as u64);
+    json.headline(&JsonReport::slug(&["shards", "4", "ops_per_sec"]));
+
     let mut base_tput = None::<f64>;
     for n_shards in [1usize, 2, 4, 8] {
         // Scheduler noise on a shared box swings single runs by ±15%; the
@@ -258,15 +294,39 @@ fn main() {
         let run = runs.swap_remove(runs.len() / 2);
 
         let speedup = run.tput / *base_tput.get_or_insert(run.tput);
+        let p50 = percentile(&run.lats, 0.50);
+        let p99 = percentile(&run.lats, 0.99);
         let [flushes, fences] = run.cost.fields();
         report::row(&[
             n_shards.to_string(),
             report::raw(run.tput),
             format!("{speedup:.2}"),
-            percentile(&run.lats, 0.50).to_string(),
-            percentile(&run.lats, 0.99).to_string(),
-            flushes,
-            fences,
+            p50.to_string(),
+            p99.to_string(),
+            flushes.clone(),
+            fences.clone(),
         ]);
+        json.row(vec![
+            ("shards".to_string(), (n_shards as u64).into()),
+            ("ops_per_sec".to_string(), run.tput.into()),
+            ("speedup".to_string(), speedup.into()),
+            ("batch_p50_us".to_string(), p50.into()),
+            ("batch_p99_us".to_string(), p99.into()),
+            ("flushes_per_op".to_string(), run.cost.flushes_per_op.into()),
+            ("fences_per_op".to_string(), run.cost.fences_per_op.into()),
+        ]);
+        let shards = n_shards.to_string();
+        json.metric(
+            &JsonReport::slug(&["shards", &shards, "ops_per_sec"]),
+            run.tput,
+        );
+        json.metric(
+            &JsonReport::slug(&["shards", &shards, "p99_us"]),
+            p99 as f64,
+        );
+    }
+    match json.write() {
+        Ok(path) => println!("# json: {}", path.display()),
+        Err(e) => eprintln!("# json write failed: {e}"),
     }
 }

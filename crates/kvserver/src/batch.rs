@@ -89,6 +89,9 @@ pub(crate) fn execute(
     // because a pin is best-effort (a faulted or id-exhausted shard runs
     // unpinned) while the periodic barrier is a promise.
     let mut fence_shards: Vec<usize> = Vec::new();
+    // Connections that queued replies this batch: if the group fence fails,
+    // these are the conns whose queued acks must never escape.
+    let mut batch_cis: Vec<usize> = Vec::new();
     let mut batch_muts: u64 = 0;
     let mut acks: u64 = 0;
 
@@ -96,6 +99,9 @@ pub(crate) fn execute(
         let c = &mut conns[ci];
         if c.dead || c.closing {
             continue; // a quit/fatal error already cut this conn's stream
+        }
+        if !batch_cis.contains(&ci) {
+            batch_cis.push(ci);
         }
         match req {
             Request::Cmd {
@@ -106,6 +112,24 @@ pub(crate) fn execute(
                 let cmd = line.split_whitespace().next().unwrap_or("");
                 if cmd == "quit" {
                     c.closing = true;
+                    continue;
+                }
+                if cmd == "session" {
+                    // Durable session attach: the client's exactly-once
+                    // identity, carried across reconnects. It lives on the
+                    // connection, not in the store — descriptors appear only
+                    // once a rid-carrying mutation lands in a shard.
+                    let out = match line.split_whitespace().nth(1).map(str::parse::<u64>) {
+                        Some(Ok(sid)) => {
+                            c.session = Some(sid);
+                            format!("SESSION {sid}\r\n")
+                        }
+                        _ => "CLIENT_ERROR bad session id\r\n".into(),
+                    };
+                    if !noreply {
+                        c.out.extend_from_slice(out.as_bytes());
+                        acks += 1;
+                    }
                     continue;
                 }
                 if cmd == "stats" {
@@ -133,7 +157,10 @@ pub(crate) fn execute(
                     }
                     continue;
                 }
-                let is_mutation = matches!(cmd, "set" | "add" | "replace" | "delete" | "touch");
+                let is_mutation = matches!(
+                    cmd,
+                    "set" | "add" | "replace" | "cas" | "delete" | "touch" | "incr" | "decr"
+                );
                 if is_mutation {
                     if let Some(shard) = line
                         .split_whitespace()
@@ -146,11 +173,12 @@ pub(crate) fn execute(
                         }
                     }
                 }
+                let conn_session = c.session;
                 let out = match std::panic::catch_unwind(AssertUnwindSafe(|| {
                     if shared.cfg.panic_on_cmd.as_deref() == Some(cmd) {
                         panic!("injected handler panic on '{cmd}'");
                     }
-                    session.execute(&line, &data)
+                    session.execute_with(&line, &data, conn_session)
                 })) {
                     Ok(out) => out,
                     Err(_) => {
@@ -198,10 +226,26 @@ pub(crate) fn execute(
         let before = shared.mutations.fetch_add(batch_muts, Ordering::AcqRel);
         if let Some(n) = shared.cfg.sync_every {
             if (before + batch_muts) / n > before / n {
+                let mut fence_failed = false;
                 for shard in fence_shards {
-                    let _ = store.sync_shard(shard);
+                    if store.sync_shard(shard).is_err() {
+                        fence_failed = true;
+                    }
                 }
                 ws.fences.fetch_add(1, Ordering::Relaxed);
+                if fence_failed {
+                    // The fence is the batch's durability point; if it
+                    // failed, the queued acks would promise durability the
+                    // pool can no longer deliver. Discard the batch's
+                    // unflushed output and sever its connections — to the
+                    // clients it looks like a crash, and their retry path
+                    // (session + rid replay) gives the truthful answer.
+                    for &ci in &batch_cis {
+                        let c = &mut conns[ci];
+                        c.out.truncate(c.sent);
+                        c.dead = true;
+                    }
+                }
             }
         }
     }

@@ -161,6 +161,118 @@ impl WireClient {
         self.read_line()
     }
 
+    // ---- detectable operations (exactly-once retries) -------------------
+
+    /// Attaches a durable session id: subsequent mutations sent with a
+    /// `rid=<n>` token dedupe against the server's descriptor table. Call
+    /// again after reconnecting to resume the same identity.
+    pub fn session(&mut self, sid: u64) -> std::io::Result<()> {
+        self.send_raw(format!("session {sid}\r\n").as_bytes())?;
+        let line = self.read_line()?;
+        if line == format!("SESSION {sid}") {
+            Ok(())
+        } else {
+            Err(bad_reply("session", &line))
+        }
+    }
+
+    /// `set` carrying a request id; safe to blindly resend after a crash.
+    pub fn set_rid(
+        &mut self,
+        key: &str,
+        flags: u32,
+        value: &[u8],
+        rid: u64,
+    ) -> std::io::Result<String> {
+        self.send_raw(format!("set {key} {flags} 0 {} rid={rid}\r\n", value.len()).as_bytes())?;
+        self.send_raw(value)?;
+        self.send_raw(b"\r\n")?;
+        self.read_line()
+    }
+
+    /// `cas` (compare-and-swap on the id from [`WireClient::gets`]),
+    /// returning the reply line (`STORED` / `EXISTS` / `NOT_FOUND`).
+    /// `rid` tags the request for exactly-once retry.
+    pub fn cas(
+        &mut self,
+        key: &str,
+        flags: u32,
+        value: &[u8],
+        casid: u64,
+        rid: Option<u64>,
+    ) -> std::io::Result<String> {
+        let tag = rid.map(|r| format!(" rid={r}")).unwrap_or_default();
+        self.send_raw(format!("cas {key} {flags} 0 {} {casid}{tag}\r\n", value.len()).as_bytes())?;
+        self.send_raw(value)?;
+        self.send_raw(b"\r\n")?;
+        self.read_line()
+    }
+
+    /// `gets`: like [`WireClient::get`] but returns `(flags, cas, value)`.
+    pub fn gets(&mut self, key: &str) -> std::io::Result<Option<(u32, u64, Vec<u8>)>> {
+        self.send_raw(format!("gets {key}\r\n").as_bytes())?;
+        let head = self.read_line()?;
+        if head == "END" {
+            return Ok(None);
+        }
+        let mut parts = head.split_whitespace();
+        let (Some("VALUE"), Some(_k), Some(flags), Some(len), Some(cas)) = (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+        ) else {
+            return Err(bad_reply("gets", &head));
+        };
+        let flags: u32 = flags.parse().map_err(|_| bad_reply("gets flags", &head))?;
+        let cas: u64 = cas.parse().map_err(|_| bad_reply("gets cas", &head))?;
+        let len: usize = len.parse().map_err(|_| bad_reply("gets len", &head))?;
+        let mut data = vec![0u8; len + 2]; // value + CRLF
+        self.stream.read_exact(&mut data)?;
+        data.truncate(len);
+        let tail = self.read_line()?;
+        if tail != "END" {
+            return Err(bad_reply("gets tail", &tail));
+        }
+        Ok(Some((flags, cas, data)))
+    }
+
+    /// `incr`/`decr` by `delta`, optionally carrying a request id. Returns
+    /// the reply line: the new value in decimal, or `NOT_FOUND` / an error.
+    pub fn arith(
+        &mut self,
+        incr: bool,
+        key: &str,
+        delta: u64,
+        rid: Option<u64>,
+    ) -> std::io::Result<String> {
+        let verb = if incr { "incr" } else { "decr" };
+        let tag = rid.map(|r| format!(" rid={r}")).unwrap_or_default();
+        self.send_raw(format!("{verb} {key} {delta}{tag}\r\n").as_bytes())?;
+        self.read_line()
+    }
+
+    /// `stats`, parsed into `(name, value)` pairs.
+    pub fn stats(&mut self) -> std::io::Result<Vec<(String, u64)>> {
+        self.send_raw(b"stats\r\n")?;
+        let mut out = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line == "END" {
+                return Ok(out);
+            }
+            let mut parts = line.split_whitespace();
+            let (Some("STAT"), Some(name), Some(value)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(bad_reply("stats", &line));
+            };
+            let value: u64 = value.parse().map_err(|_| bad_reply("stats value", &line))?;
+            out.push((name.to_string(), value));
+        }
+    }
+
     /// Epoch-sync barrier: when this returns `Ok`, every mutation this
     /// server acked before the call is persistent.
     pub fn sync(&mut self) -> std::io::Result<()> {

@@ -10,7 +10,7 @@
 //! the value never accumulates in memory).
 
 /// Commands that carry a data block after the command line.
-const STORAGE_CMDS: [&str; 3] = ["set", "add", "replace"];
+const STORAGE_CMDS: [&str; 4] = ["set", "add", "replace", "cas"];
 
 /// Command lines longer than this are rejected (memcached caps at 1024 too;
 /// keys are ≤ 32 bytes here, so this is generous).

@@ -188,6 +188,13 @@ pub(crate) fn stats_reply(shared: &Shared) -> String {
         stat("montage_epoch", e);
     }
     stat("pool_faulted", u64::from(store.fault_any().is_some()));
+    // Exactly-once counters: how often the descriptor table answered for a
+    // retried request, and what the table costs in pool bytes.
+    let ds = store.detect_stats_merged();
+    stat("dedupe_hits", ds.dedupe_hits);
+    stat("replayed_acks", ds.replayed_acks);
+    stat("session_descriptors", ds.descriptors);
+    stat("session_table_bytes", ds.table_bytes);
     // Group-commit observability: totals, the amortization ratio the whole
     // design exists to raise, and per-worker batch-size histograms.
     let workers = &shared.stats.workers;
@@ -258,6 +265,9 @@ pub(crate) fn stats_reply(shared: &Shared) -> String {
                 &format!("shard{i}_pool_faulted"),
                 u64::from(store.shard_fault(i).is_some()),
             );
+        }
+        for (i, d) in store.detect_stats_per_shard().into_iter().enumerate() {
+            stat(&format!("shard{i}_descriptors"), d.descriptors);
         }
     }
     out.push_str("END\r\n");

@@ -54,6 +54,11 @@ pub(crate) struct Conn {
     pub closing: bool,
     /// Tear down now, without draining.
     pub dead: bool,
+    /// Durable session id attached via the `session` command — the client's
+    /// exactly-once identity. Deliberately *not* tied to the connection's
+    /// lifetime: a reconnecting client re-attaches the same id and replays
+    /// its last request id against the store's descriptor table.
+    pub session: Option<u64>,
 }
 
 pub(crate) fn run(widx: usize, inbox: Arc<Inbox>, shared: Arc<Shared>) {
@@ -78,6 +83,7 @@ pub(crate) fn run(widx: usize, inbox: Arc<Inbox>, shared: Arc<Shared>) {
                 last_write: now,
                 closing: false,
                 dead: false,
+                session: None,
             });
         }
         if shared.shutdown.load(Ordering::Acquire) {

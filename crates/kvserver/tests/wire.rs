@@ -445,6 +445,140 @@ fn crash_restart_recovers_consistent_prefix() {
 }
 
 #[test]
+fn cas_over_the_wire() {
+    let h = dram_server(ServerConfig::default());
+    let mut c = WireClient::connect(h.addr()).unwrap();
+
+    assert_eq!(c.set("k", 3, b"one").unwrap(), "STORED");
+    let (flags, casid, data) = c.gets("k").unwrap().expect("hit");
+    assert_eq!((flags, data.as_slice()), (3, &b"one"[..]));
+
+    // Matching cas id wins; the stored value and cas both move.
+    assert_eq!(c.cas("k", 3, b"two", casid, None).unwrap(), "STORED");
+    let (_, casid2, data2) = c.gets("k").unwrap().expect("hit");
+    assert_eq!(data2, b"two");
+    assert_ne!(casid2, casid, "every store mints a fresh cas id");
+
+    // The old id now loses; the value is untouched.
+    assert_eq!(c.cas("k", 3, b"stale", casid, None).unwrap(), "EXISTS");
+    assert_eq!(c.get("k").unwrap(), Some((3, b"two".to_vec())));
+
+    // cas on a missing key.
+    assert_eq!(c.cas("nope", 0, b"x", 1, None).unwrap(), "NOT_FOUND");
+
+    // add / replace conditional semantics ride the same path.
+    c.send_raw(b"add k 0 0 1\r\nz\r\n").unwrap();
+    assert_eq!(c.read_line().unwrap(), "NOT_STORED");
+    c.send_raw(b"replace missing 0 0 1\r\nz\r\n").unwrap();
+    assert_eq!(c.read_line().unwrap(), "NOT_STORED");
+
+    c.quit().unwrap();
+    h.shutdown();
+}
+
+#[test]
+fn incr_decr_over_the_wire() {
+    let h = dram_server(ServerConfig::default());
+    let mut c = WireClient::connect(h.addr()).unwrap();
+
+    assert_eq!(c.set("n", 0, b"5").unwrap(), "STORED");
+    assert_eq!(c.arith(true, "n", 3, None).unwrap(), "8");
+    assert_eq!(c.arith(false, "n", 100, None).unwrap(), "0"); // floors at 0
+    assert_eq!(c.get("n").unwrap(), Some((0, b"0".to_vec())));
+    assert_eq!(c.arith(true, "missing", 1, None).unwrap(), "NOT_FOUND");
+
+    assert_eq!(c.set("s", 0, b"abc").unwrap(), "STORED");
+    assert_eq!(
+        c.arith(true, "s", 1, None).unwrap(),
+        "CLIENT_ERROR cannot increment or decrement non-numeric value"
+    );
+
+    c.quit().unwrap();
+    h.shutdown();
+}
+
+#[test]
+fn session_rid_dedupes_and_shows_in_stats() {
+    let h = dram_server(ServerConfig::default());
+    let mut c = WireClient::connect(h.addr()).unwrap();
+
+    // rid without a session is refused — dedupe identity cannot be
+    // per-connection, or it would not survive a reconnect.
+    c.send_raw(b"incr n 1 rid=1\r\n").unwrap();
+    assert_eq!(
+        c.read_line().unwrap(),
+        "CLIENT_ERROR rid requires a session"
+    );
+
+    c.session(99).unwrap();
+    assert_eq!(c.set_rid("n", 0, b"10", 1).unwrap(), "STORED");
+    assert_eq!(c.arith(true, "n", 5, Some(2)).unwrap(), "15");
+    // Blind retries of rid 2: answered from the descriptor, not re-applied.
+    assert_eq!(c.arith(true, "n", 5, Some(2)).unwrap(), "15");
+    assert_eq!(c.arith(true, "n", 5, Some(2)).unwrap(), "15");
+    assert_eq!(c.get("n").unwrap(), Some((0, b"15".to_vec())));
+    // A rid below the session's high-water mark is refused, not re-applied.
+    c.send_raw(b"incr n 5 rid=1\r\n").unwrap();
+    assert_eq!(
+        c.read_line().unwrap(),
+        "SERVER_ERROR stale request id (last acked 2)"
+    );
+
+    // A reconnect re-attaches the same durable identity and still dedupes.
+    let mut c2 = WireClient::connect(h.addr()).unwrap();
+    c2.session(99).unwrap();
+    assert_eq!(c2.arith(true, "n", 5, Some(2)).unwrap(), "15");
+    assert_eq!(c2.get("n").unwrap(), Some((0, b"15".to_vec())));
+
+    let stats = read_stats(&mut c);
+    assert_eq!(stats["dedupe_hits"], 3, "three duplicate rid-2 attempts");
+    assert_eq!(stats["session_descriptors"], 1);
+    assert!(stats["session_table_bytes"] > 0);
+    assert_eq!(
+        stats["replayed_acks"], 0,
+        "replayed_acks counts only post-recovery replays"
+    );
+
+    c.quit().unwrap();
+    c2.quit().unwrap();
+    h.shutdown();
+}
+
+#[test]
+fn session_replay_survives_crash_restart() {
+    let (esys, store) = montage_store(4);
+    let h = KvServer::start(ServerConfig::default(), store).expect("bind");
+    let mut c = WireClient::connect(h.addr()).unwrap();
+    c.session(4242).unwrap();
+    assert_eq!(c.set_rid("ctr", 0, b"0", 1).unwrap(), "STORED");
+    assert_eq!(c.arith(true, "ctr", 1, Some(2)).unwrap(), "1");
+    assert_eq!(c.arith(true, "ctr", 1, Some(3)).unwrap(), "2");
+    c.sync().unwrap();
+    h.crash(); // the ack for rid 3 may or may not have reached the client
+
+    let rec = montage::recovery::recover(esys.pool().crash(), EsysConfig::default(), 2);
+    let kv2 = Arc::new(KvStore::recover(rec.esys.clone(), 8, 100_000, &rec));
+    let h2 = KvServer::start(ServerConfig::default(), kv2).expect("bind");
+    let mut c2 = WireClient::connect(h2.addr()).unwrap();
+    c2.session(4242).unwrap();
+
+    // Blind retry of the last request: the recovered descriptor answers it
+    // with the original reply; the counter does not move.
+    assert_eq!(c2.arith(true, "ctr", 1, Some(3)).unwrap(), "2");
+    assert_eq!(c2.get("ctr").unwrap(), Some((0, b"2".to_vec())));
+    // The session continues where it left off.
+    assert_eq!(c2.arith(true, "ctr", 1, Some(4)).unwrap(), "3");
+
+    let stats = read_stats(&mut c2);
+    assert_eq!(stats["replayed_acks"], 1, "one recovered-descriptor replay");
+    assert!(stats["dedupe_hits"] >= 1);
+    assert_eq!(stats["session_descriptors"], 1);
+
+    c2.quit().unwrap();
+    h2.shutdown();
+}
+
+#[test]
 fn slow_loris_partial_frame_does_not_block_neighbours() {
     use std::io::{Read as _, Write as _};
 

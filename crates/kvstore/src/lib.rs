@@ -16,19 +16,25 @@
 
 pub mod protocol;
 pub mod router;
+pub mod session_table;
 pub mod sharded;
 
 pub use router::ShardRouter;
+pub use session_table::{
+    DetectOutcome, DetectStats, DetectedWrite, DESC_BYTES, RESULT_MAX, SESSION_TAG,
+};
 pub use sharded::{
     ShardRecovery, ShardedKvStore, StoreBatch, StoreError, StoreLease, StoreRecoveryReport,
 };
+
+use session_table::{SessionEntry, SessionTable};
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use montage::{EpochSys, PHandle, RecoveredState, ThreadId};
+use montage::{EpochSys, OpGuard, PHandle, RecoveredState, ThreadId};
 use parking_lot::Mutex;
 use pmem::POff;
 use ralloc::Ralloc;
@@ -87,6 +93,11 @@ pub struct KvStore {
     capacity_per_shard: usize,
     len: AtomicUsize,
     evictions: AtomicUsize,
+    /// Detectable-operations state: one durable descriptor per session (see
+    /// [`session_table`]). Descriptors live in this store's pool, so in a
+    /// sharded deployment each session's descriptor sits in the shard of the
+    /// key it last mutated there — fault containment matches the data's.
+    sessions: SessionTable,
 }
 
 /// Montage item layout: key bytes then value bytes.
@@ -101,10 +112,14 @@ impl KvStore {
             shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
             len: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            sessions: SessionTable::default(),
         }
     }
 
-    /// Rebuilds a Montage-backed cache after a crash.
+    /// Rebuilds a Montage-backed cache after a crash. KV payloads rebuild
+    /// the index; session descriptors rebuild the detectable-operations
+    /// table, marked `recovered` so replays from them count as acks carried
+    /// across the crash.
     pub fn recover(
         esys: Arc<EpochSys>,
         shards: usize,
@@ -112,16 +127,38 @@ impl KvStore {
         rec: &RecoveredState,
     ) -> Self {
         let store = Self::new(KvBackend::Montage(esys), shards, capacity);
-        for item in rec.shards.iter().flatten().filter(|it| it.tag == KV_TAG) {
-            let key: Key = rec.with_bytes(item, |b| b[..KEY_BYTES].try_into().unwrap());
-            let mut shard = store.shards[store.index(&key)].lock();
-            let stamp = shard.next_stamp;
-            shard.next_stamp += 1;
-            shard
-                .map
-                .insert(key, (ItemRef::Montage(item.handle()), stamp));
-            shard.lru.insert(stamp, key);
-            store.len.fetch_add(1, Ordering::Relaxed);
+        for item in rec.shards.iter().flatten() {
+            match item.tag {
+                KV_TAG => {
+                    let key: Key = rec.with_bytes(item, |b| b[..KEY_BYTES].try_into().unwrap());
+                    let mut shard = store.shards[store.index(&key)].lock();
+                    let stamp = shard.next_stamp;
+                    shard.next_stamp += 1;
+                    shard
+                        .map
+                        .insert(key, (ItemRef::Montage(item.handle()), stamp));
+                    shard.lru.insert(stamp, key);
+                    store.len.fetch_add(1, Ordering::Relaxed);
+                }
+                SESSION_TAG => {
+                    let Some((sid, rid, op_kind, result)) =
+                        rec.with_bytes(item, session_table::decode_descriptor)
+                    else {
+                        continue; // malformed descriptors are dropped, not trusted
+                    };
+                    store.sessions.entries.lock().insert(
+                        sid,
+                        SessionEntry {
+                            rid,
+                            op_kind,
+                            result,
+                            handle: Some(item.handle()),
+                            recovered: true,
+                        },
+                    );
+                }
+                _ => {}
+            }
         }
         store
     }
@@ -327,6 +364,190 @@ impl KvStore {
         self.free_item(tid, item);
         self.len.fetch_sub(1, Ordering::Relaxed);
         true
+    }
+
+    // ---- detectable operations ------------------------------------------
+
+    /// A detectable mutation: routes `(sid, rid)` through the session table,
+    /// and if the request id is new, runs `decide` on the key's current
+    /// value and applies its verdict **and** the session's descriptor update
+    /// inside a single `BEGIN_OP` window.
+    ///
+    /// That single window is the whole correctness argument: the epoch clock
+    /// cannot advance past an open operation, so the mutation and the
+    /// descriptor recording its result are labelled with the same epoch and
+    /// reach the persistence domain under the same boundary fence — a
+    /// recovered image either has both (replay answers from the descriptor)
+    /// or neither (the retry re-applies). No extra fence is issued: the
+    /// descriptor rides whatever sync policy the caller already runs.
+    ///
+    /// If `rid` matches the session's last recorded request, `decide` is
+    /// **not** run; the recorded result is returned as
+    /// [`DetectOutcome::Replayed`]. A `rid` below the recorded one is
+    /// refused as [`DetectOutcome::Stale`] — its result was already
+    /// consumed and then overwritten.
+    ///
+    /// Transient backends (DRAM/NVM) run the same dedupe protocol in DRAM
+    /// only: there is no crash to survive, so nothing is persisted.
+    pub fn detected_update(
+        &self,
+        tid: usize,
+        sid: u64,
+        rid: u64,
+        op_kind: u8,
+        key: &Key,
+        decide: impl FnOnce(Option<&[u8]>) -> (DetectedWrite, Vec<u8>),
+    ) -> DetectOutcome {
+        // Held for the whole op: two racing retries of the same request must
+        // serialize, with the loser answered from the winner's descriptor.
+        let mut sessions = self.sessions.entries.lock();
+        if let Some(e) = sessions.get(&sid) {
+            if rid == e.rid {
+                self.sessions.dedupe_hits.fetch_add(1, Ordering::Relaxed);
+                if e.recovered {
+                    self.sessions.replayed_acks.fetch_add(1, Ordering::Relaxed);
+                }
+                return DetectOutcome::Replayed(e.result.clone());
+            }
+            if rid < e.rid {
+                return DetectOutcome::Stale { last_rid: e.rid };
+            }
+        }
+        let (result, handle) = match &self.backend {
+            KvBackend::Montage(esys) => {
+                let mut shard = self.shards[self.index(key)].lock();
+                let g = esys.begin_op(ThreadId(tid));
+                let current: Option<Vec<u8>> = shard.map.get(key).map(|(item, _)| match item {
+                    ItemRef::Montage(h) => esys.peek_bytes_unsafe(*h, |b| {
+                        esys.pool().media_read(b.len());
+                        b[KEY_BYTES..].to_vec()
+                    }),
+                    _ => unreachable!("item/backend mismatch"),
+                });
+                let (write, result) = decide(current.as_deref());
+                self.apply_montage_write(esys, &g, &mut shard, key, write);
+                let desc = session_table::encode_descriptor(sid, rid, op_kind, &result);
+                let handle = match sessions.get(&sid).and_then(|e| e.handle) {
+                    // Fixed-size descriptor: always a same-length overwrite,
+                    // so uid cancellation keeps exactly one durable version.
+                    Some(h) => esys
+                        .set_bytes(&g, h, |b| b.copy_from_slice(&desc))
+                        .expect("session table lock orders epochs"),
+                    None => esys.pnew_bytes(&g, SESSION_TAG, &desc),
+                };
+                (result, Some(handle))
+            }
+            _ => {
+                let current = self.get(tid, key, |b| b.to_vec());
+                let (write, result) = decide(current.as_deref());
+                match write {
+                    DetectedWrite::Upsert(v) => self.set(tid, *key, &v),
+                    DetectedWrite::Delete => {
+                        self.delete(tid, key);
+                    }
+                    DetectedWrite::Keep => {}
+                }
+                (result, None)
+            }
+        };
+        sessions.insert(
+            sid,
+            SessionEntry {
+                rid,
+                op_kind,
+                result: result.clone(),
+                handle,
+                recovered: false,
+            },
+        );
+        DetectOutcome::Applied(result)
+    }
+
+    /// Applies a [`DetectedWrite`] to a Montage shard under the caller's
+    /// already-open operation guard (same index/LRU bookkeeping as
+    /// [`KvStore::set`]/[`KvStore::delete`], but no nested `begin_op`).
+    fn apply_montage_write(
+        &self,
+        esys: &Arc<EpochSys>,
+        g: &OpGuard<'_>,
+        shard: &mut Shard,
+        key: &Key,
+        write: DetectedWrite,
+    ) {
+        let pdelete_item = |item: ItemRef| match item {
+            ItemRef::Montage(h) => {
+                let _ = esys.pdelete(g, h);
+            }
+            _ => unreachable!("item/backend mismatch"),
+        };
+        match write {
+            DetectedWrite::Keep => {}
+            DetectedWrite::Delete => {
+                if let Some((item, stamp)) = shard.map.remove(key) {
+                    shard.lru.remove(&stamp);
+                    pdelete_item(item);
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            DetectedWrite::Upsert(value) => {
+                if let Some((item, _)) = shard.map.get_mut(key) {
+                    let ItemRef::Montage(h) = item else {
+                        unreachable!("item/backend mismatch")
+                    };
+                    let same_len =
+                        esys.peek_bytes_unsafe(*h, |b| b.len() == KEY_BYTES + value.len());
+                    if same_len {
+                        *h = esys
+                            .set_bytes(g, *h, |b| b[KEY_BYTES..].copy_from_slice(&value))
+                            .expect("shard lock orders epochs");
+                    } else {
+                        let mut bytes = Vec::with_capacity(KEY_BYTES + value.len());
+                        bytes.extend_from_slice(key);
+                        bytes.extend_from_slice(&value);
+                        let nh = esys.pnew_bytes(g, KV_TAG, &bytes);
+                        let _ = esys.pdelete(g, *h);
+                        *h = nh;
+                    }
+                    shard.touch(key);
+                    return;
+                }
+                if shard.map.len() >= self.capacity_per_shard {
+                    if let Some((&oldest, &victim)) = shard.lru.iter().next() {
+                        shard.lru.remove(&oldest);
+                        if let Some((item, _)) = shard.map.remove(&victim) {
+                            pdelete_item(item);
+                            self.len.fetch_sub(1, Ordering::Relaxed);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                let mut bytes = Vec::with_capacity(KEY_BYTES + value.len());
+                bytes.extend_from_slice(key);
+                bytes.extend_from_slice(&value);
+                let item = ItemRef::Montage(esys.pnew_bytes(g, KV_TAG, &bytes));
+                let stamp = shard.next_stamp;
+                shard.next_stamp += 1;
+                shard.map.insert(*key, (item, stamp));
+                shard.lru.insert(stamp, *key);
+                self.len.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Exactly-once counters and table occupancy for this store.
+    pub fn detect_stats(&self) -> DetectStats {
+        self.sessions.stats()
+    }
+
+    /// The session's recorded `(rid, op_kind, result)`, if it has a
+    /// descriptor here — what a recovery test compares against the
+    /// recovered key state.
+    pub fn session_descriptor(&self, sid: u64) -> Option<(u64, u8, Vec<u8>)> {
+        self.sessions
+            .entries
+            .lock()
+            .get(&sid)
+            .map(|e| (e.rid, e.op_kind, e.result.clone()))
     }
 }
 

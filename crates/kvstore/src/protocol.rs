@@ -4,19 +4,46 @@
 //! directly against the cache, dispensing with sockets — so this module
 //! exposes the protocol as a function call: one command line (+ optional
 //! data block) in, one response string out. Implements the core command set
-//! (`get`/`gets`, `set`/`add`/`replace`, `delete`, `touch`) with memcached
-//! item semantics: 32-bit client flags and lazy expiration.
+//! (`get`/`gets`, `set`/`add`/`replace`/`cas`, `delete`, `touch`,
+//! `incr`/`decr`) with memcached item semantics: 32-bit client flags, lazy
+//! expiration, and 64-bit cas ids.
 //!
 //! Items are encoded inside the store's value bytes as
-//! `flags: u32 | expires_at_ms: u64 | data`, so every backend (DRAM, NVM,
-//! Montage) — and Montage crash recovery — carries the metadata for free.
+//! `flags: u32 | expires_at_ms: u64 | cas: u64 | data`, so every backend
+//! (DRAM, NVM, Montage) — and Montage crash recovery — carries the metadata
+//! for free.
+//!
+//! ## Detectable mutations (exactly-once retries)
+//!
+//! A mutating command may carry a trailing `rid=<n>` token. When the caller
+//! also supplies a session id ([`Session::execute_with`] — the server binds
+//! one per connection via its `session <id>` command), the mutation routes
+//! through the store's detectable-operations path
+//! ([`crate::ShardedKvStore::detected`]): the command's *decision* — what to
+//! write and what to reply — runs against the key's current value inside
+//! one epoch window together with the session-descriptor update, and a
+//! retried `rid` is answered from the descriptor instead of re-applying.
+//! Reads never carry rids; they are idempotent. A `rid` without a session
+//! is a client error: dedupe identity cannot be per-connection, or it would
+//! not survive a reconnect.
 
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use crate::session_table::{DetectOutcome, DetectedWrite};
 use crate::{Key, KvStore, ShardedKvStore, StoreError, StoreLease};
 
-const META: usize = 12; // flags u32 + expires_at_ms u64
+const META: usize = 20; // flags u32 + expires_at_ms u64 + cas u64
+
+// Descriptor op kinds (recorded for observability; replay keys on rid).
+const OP_SET: u8 = 1;
+const OP_ADD: u8 = 2;
+const OP_REPLACE: u8 = 3;
+const OP_CAS: u8 = 4;
+const OP_DELETE: u8 = 5;
+const OP_TOUCH: u8 = 6;
+const OP_INCR: u8 = 7;
+const OP_DECR: u8 = 8;
 
 /// Source of "now" (ms since the Unix epoch) for item expiry. Injectable so
 /// expiry is deterministic under test; the default is the wall clock.
@@ -45,23 +72,38 @@ pub struct Session {
     clock: Arc<dyn Clock>,
 }
 
-fn make_item(flags: u32, exptime_s: u64, data: &[u8], now_ms: u64) -> Vec<u8> {
-    let expires_at = if exptime_s == 0 {
-        0
-    } else {
-        now_ms + exptime_s * 1000
-    };
+/// A decoded item: the protocol metadata plus the client's data bytes.
+struct Item {
+    flags: u32,
+    expires_at: u64,
+    cas: u64,
+    data: Vec<u8>,
+}
+
+fn make_item_at(flags: u32, expires_at: u64, cas: u64, data: &[u8]) -> Vec<u8> {
     let mut v = Vec::with_capacity(META + data.len());
     v.extend_from_slice(&flags.to_le_bytes());
     v.extend_from_slice(&expires_at.to_le_bytes());
+    v.extend_from_slice(&cas.to_le_bytes());
     v.extend_from_slice(data);
     v
 }
 
-fn parse_item(bytes: &[u8]) -> (u32, u64, Vec<u8>) {
-    let flags = u32::from_le_bytes(bytes[..4].try_into().unwrap());
-    let expires_at = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
-    (flags, expires_at, bytes[META..].to_vec())
+fn expires_at(exptime_s: u64, now_ms: u64) -> u64 {
+    if exptime_s == 0 {
+        0
+    } else {
+        now_ms + exptime_s * 1000
+    }
+}
+
+fn parse_item(bytes: &[u8]) -> Item {
+    Item {
+        flags: u32::from_le_bytes(bytes[..4].try_into().unwrap()),
+        expires_at: u64::from_le_bytes(bytes[4..12].try_into().unwrap()),
+        cas: u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
+        data: bytes[META..].to_vec(),
+    }
 }
 
 fn key_of(s: &str) -> Result<Key, String> {
@@ -72,6 +114,106 @@ fn key_of(s: &str) -> Result<Key, String> {
     let mut k = [0u8; 32];
     k[..b.len()].copy_from_slice(b);
     Ok(k)
+}
+
+/// One mutating command, parsed down to what its decision needs.
+enum MutOp<'a> {
+    Store {
+        verb: &'a str,
+        flags: u32,
+        exptime_s: u64,
+        data: &'a [u8],
+        casid: u64,
+    },
+    Delete,
+    Touch {
+        exptime_s: u64,
+    },
+    Arith {
+        incr: bool,
+        delta: u64,
+    },
+}
+
+impl MutOp<'_> {
+    fn kind(&self) -> u8 {
+        match self {
+            MutOp::Store { verb, .. } => match *verb {
+                "add" => OP_ADD,
+                "replace" => OP_REPLACE,
+                "cas" => OP_CAS,
+                _ => OP_SET,
+            },
+            MutOp::Delete => OP_DELETE,
+            MutOp::Touch { .. } => OP_TOUCH,
+            MutOp::Arith { incr: true, .. } => OP_INCR,
+            MutOp::Arith { incr: false, .. } => OP_DECR,
+        }
+    }
+
+    /// The command's semantics as a pure decision over the key's current
+    /// live item: what to write, and what to reply. Shared verbatim by the
+    /// plain path and the detected (exactly-once) path, so retries replay
+    /// exactly what a first execution would have said.
+    fn decide(&self, cur: Option<&Item>, now_ms: u64, new_cas: u64) -> (DetectedWrite, String) {
+        match self {
+            MutOp::Store {
+                verb,
+                flags,
+                exptime_s,
+                data,
+                casid,
+            } => {
+                match (*verb, cur) {
+                    ("add", Some(_)) | ("replace", None) => {
+                        return (DetectedWrite::Keep, "NOT_STORED".into())
+                    }
+                    ("cas", None) => return (DetectedWrite::Keep, "NOT_FOUND".into()),
+                    ("cas", Some(it)) if it.cas != *casid => {
+                        return (DetectedWrite::Keep, "EXISTS".into())
+                    }
+                    _ => {}
+                }
+                let bytes = make_item_at(*flags, expires_at(*exptime_s, now_ms), new_cas, data);
+                (DetectedWrite::Upsert(bytes), "STORED".into())
+            }
+            MutOp::Delete => match cur {
+                Some(_) => (DetectedWrite::Delete, "DELETED".into()),
+                None => (DetectedWrite::Keep, "NOT_FOUND".into()),
+            },
+            MutOp::Touch { exptime_s } => match cur {
+                Some(it) => {
+                    let bytes =
+                        make_item_at(it.flags, expires_at(*exptime_s, now_ms), new_cas, &it.data);
+                    (DetectedWrite::Upsert(bytes), "TOUCHED".into())
+                }
+                None => (DetectedWrite::Keep, "NOT_FOUND".into()),
+            },
+            MutOp::Arith { incr, delta } => {
+                let Some(it) = cur else {
+                    return (DetectedWrite::Keep, "NOT_FOUND".into());
+                };
+                let Some(v) = std::str::from_utf8(&it.data)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u64>().ok())
+                else {
+                    return (
+                        DetectedWrite::Keep,
+                        "CLIENT_ERROR cannot increment or decrement non-numeric value".into(),
+                    );
+                };
+                // memcached semantics: incr wraps at 2^64, decr floors at 0.
+                let next = if *incr {
+                    v.wrapping_add(*delta)
+                } else {
+                    v.saturating_sub(*delta)
+                };
+                let text = next.to_string();
+                let bytes = make_item_at(it.flags, it.expires_at, new_cas, text.as_bytes());
+                (DetectedWrite::Upsert(bytes), text)
+            }
+        }
+    }
 }
 
 impl Session {
@@ -106,48 +248,134 @@ impl Session {
         self
     }
 
-    /// Executes one command line. Storage commands (`set`/`add`/`replace`)
-    /// take their data block in `data`; others ignore it. Returns the
-    /// protocol response (without trailing CRLF).
+    /// Executes one command line with no session identity: `rid=` tokens
+    /// are refused. Storage commands (`set`/`add`/`replace`/`cas`) take
+    /// their data block in `data`; others ignore it. Returns the protocol
+    /// response (without trailing CRLF).
     pub fn execute(&self, line: &str, data: &[u8]) -> String {
+        self.execute_with(line, data, None)
+    }
+
+    /// [`Session::execute`] with an attached durable session id: mutating
+    /// commands carrying `rid=<n>` run exactly-once through the store's
+    /// descriptor table.
+    pub fn execute_with(&self, line: &str, data: &[u8], session_id: Option<u64>) -> String {
         let mut parts = line.split_whitespace();
         let Some(cmd) = parts.next() else {
             return "ERROR".into();
         };
-        let args: Vec<&str> = parts.collect();
+        let mut args: Vec<&str> = parts.collect();
+        // A request id rides as the line's last token.
+        let rid = match args.last().and_then(|t| t.strip_prefix("rid=")) {
+            Some(t) => match t.parse::<u64>() {
+                Ok(r) => {
+                    args.pop();
+                    Some(r)
+                }
+                Err(_) => return "CLIENT_ERROR bad request id".into(),
+            },
+            None => None,
+        };
+        let ctx = match (session_id, rid) {
+            (Some(sid), Some(rid)) => Some((sid, rid)),
+            (None, Some(_)) => return "CLIENT_ERROR rid requires a session".into(),
+            _ => None,
+        };
         match cmd {
-            "get" | "gets" => self.do_get(&args),
-            "set" | "add" | "replace" => self.do_store(cmd, &args, data),
-            "delete" => self.do_delete(&args),
-            "touch" => self.do_touch(&args),
+            "get" => self.do_get(&args, false),
+            "gets" => self.do_get(&args, true),
+            "set" | "add" | "replace" | "cas" => self.do_store(cmd, &args, data, ctx),
+            "delete" => self.do_delete(&args, ctx),
+            "touch" => self.do_touch(&args, ctx),
+            "incr" | "decr" => self.do_arith(cmd == "incr", &args, ctx),
             _ => "ERROR".into(),
         }
     }
 
-    /// Fetches live (unexpired) item data + flags, lazily deleting expired
-    /// items like memcached does.
-    fn fetch(&self, key: &Key) -> Option<(u32, Vec<u8>)> {
+    /// Runs one mutating command: the op's decision against the key's
+    /// current live item, then the write. With a `(sid, rid)` context the
+    /// whole thing — read, decision, write, descriptor — runs inside the
+    /// store's detected path; without one it runs as a plain (at-most-once
+    /// acked, at-least-once retried) mutation.
+    fn mutate(&self, ctx: Option<(u64, u64)>, key: Key, op: MutOp<'_>) -> String {
+        let now_ms = self.clock.now_ms();
+        let new_cas = self.store.next_cas();
+        let decide = |raw: Option<&[u8]>| -> (DetectedWrite, Vec<u8>) {
+            let parsed = raw.map(parse_item);
+            let expired = parsed
+                .as_ref()
+                .is_some_and(|it| it.expires_at != 0 && it.expires_at <= now_ms);
+            let cur = if expired { None } else { parsed.as_ref() };
+            let (mut write, reply) = op.decide(cur, now_ms, new_cas);
+            if expired && matches!(write, DetectedWrite::Keep) {
+                // Lazy expiry: reap the dead item while we hold the key.
+                write = DetectedWrite::Delete;
+            }
+            (write, reply.into_bytes())
+        };
+        match ctx {
+            Some((sid, rid)) => {
+                match self
+                    .store
+                    .detected(&self.lease, sid, rid, op.kind(), &key, decide)
+                {
+                    Ok(DetectOutcome::Applied(r)) | Ok(DetectOutcome::Replayed(r)) => {
+                        String::from_utf8_lossy(&r).into_owned()
+                    }
+                    Ok(DetectOutcome::Stale { last_rid }) => {
+                        format!("SERVER_ERROR stale request id (last acked {last_rid})")
+                    }
+                    Err(e) => server_error(&e),
+                }
+            }
+            None => {
+                let raw = self.store.get(&key, |b| b.to_vec());
+                let (write, reply) = decide(raw.as_deref());
+                let applied = match write {
+                    DetectedWrite::Upsert(v) => self.store.set(&self.lease, key, &v),
+                    DetectedWrite::Delete => self.store.delete(&self.lease, &key).map(|_| ()),
+                    DetectedWrite::Keep => Ok(()),
+                };
+                match applied {
+                    Ok(()) => String::from_utf8_lossy(&reply).into_owned(),
+                    Err(e) => server_error(&e),
+                }
+            }
+        }
+    }
+
+    /// Fetches live (unexpired) item data + flags (+ cas), lazily deleting
+    /// expired items like memcached does.
+    fn fetch(&self, key: &Key) -> Option<Item> {
         let item = self.store.get(key, parse_item)?;
-        let (flags, expires_at, data) = item;
-        if expires_at != 0 && expires_at <= self.clock.now_ms() {
+        if item.expires_at != 0 && item.expires_at <= self.clock.now_ms() {
             // Best-effort: on a faulted or id-starved shard the expired item
             // stays resident but is still filtered out of every reply.
             let _ = self.store.delete(&self.lease, key);
             return None;
         }
-        Some((flags, data))
+        Some(item)
     }
 
-    fn do_get(&self, args: &[&str]) -> String {
+    fn do_get(&self, args: &[&str], with_cas: bool) -> String {
         let mut out = String::new();
         for karg in args {
             let Ok(key) = key_of(karg) else { continue };
-            if let Some((flags, data)) = self.fetch(&key) {
+            if let Some(it) = self.fetch(&key) {
                 // Replies travel as UTF-8; announce the length of the bytes
                 // actually emitted so non-UTF-8 values (lossily transcoded)
                 // cannot desync a wire client's framing.
-                let text = String::from_utf8_lossy(&data);
-                out.push_str(&format!("VALUE {karg} {flags} {}\r\n", text.len()));
+                let text = String::from_utf8_lossy(&it.data);
+                let flags = it.flags;
+                if with_cas {
+                    out.push_str(&format!(
+                        "VALUE {karg} {flags} {} {}\r\n",
+                        text.len(),
+                        it.cas
+                    ));
+                } else {
+                    out.push_str(&format!("VALUE {karg} {flags} {}\r\n", text.len()));
+                }
                 out.push_str(&text);
                 out.push_str("\r\n");
             }
@@ -156,55 +384,57 @@ impl Session {
         out
     }
 
-    fn do_store(&self, cmd: &str, args: &[&str], data: &[u8]) -> String {
-        if args.len() < 4 {
+    fn do_store(&self, cmd: &str, args: &[&str], data: &[u8], ctx: Option<(u64, u64)>) -> String {
+        let min_args = if cmd == "cas" { 5 } else { 4 };
+        if args.len() < min_args {
             return "CLIENT_ERROR bad command line format".into();
         }
         let key = match key_of(args[0]) {
             Ok(k) => k,
             Err(e) => return e,
         };
-        let (Ok(flags), Ok(exptime), Ok(nbytes)) = (
+        let (Ok(flags), Ok(exptime_s), Ok(nbytes)) = (
             args[1].parse::<u32>(),
             args[2].parse::<u64>(),
             args[3].parse::<usize>(),
         ) else {
             return "CLIENT_ERROR bad command line format".into();
         };
+        let casid = if cmd == "cas" {
+            match args[4].parse::<u64>() {
+                Ok(c) => c,
+                Err(_) => return "CLIENT_ERROR bad command line format".into(),
+            }
+        } else {
+            0
+        };
         if nbytes != data.len() {
             return "CLIENT_ERROR bad data chunk".into();
         }
-        let exists = self.fetch(&key).is_some();
-        match cmd {
-            "add" if exists => return "NOT_STORED".into(),
-            "replace" if !exists => return "NOT_STORED".into(),
-            _ => {}
-        }
-        match self.store.set(
-            &self.lease,
+        self.mutate(
+            ctx,
             key,
-            &make_item(flags, exptime, data, self.clock.now_ms()),
-        ) {
-            Ok(()) => "STORED".into(),
-            Err(e) => server_error(&e),
-        }
+            MutOp::Store {
+                verb: cmd,
+                flags,
+                exptime_s,
+                data,
+                casid,
+            },
+        )
     }
 
-    fn do_delete(&self, args: &[&str]) -> String {
+    fn do_delete(&self, args: &[&str], ctx: Option<(u64, u64)>) -> String {
         let Some(karg) = args.first() else {
             return "CLIENT_ERROR bad command line format".into();
         };
         match key_of(karg) {
-            Ok(key) => match self.store.delete(&self.lease, &key) {
-                Ok(true) => "DELETED".into(),
-                Ok(false) => "NOT_FOUND".into(),
-                Err(e) => server_error(&e),
-            },
+            Ok(key) => self.mutate(ctx, key, MutOp::Delete),
             Err(e) => e,
         }
     }
 
-    fn do_touch(&self, args: &[&str]) -> String {
+    fn do_touch(&self, args: &[&str], ctx: Option<(u64, u64)>) -> String {
         if args.len() < 2 {
             return "CLIENT_ERROR bad command line format".into();
         }
@@ -212,20 +442,24 @@ impl Session {
             Ok(k) => k,
             Err(e) => return e,
         };
-        let Ok(exptime) = args[1].parse::<u64>() else {
+        let Ok(exptime_s) = args[1].parse::<u64>() else {
             return "CLIENT_ERROR bad command line format".into();
         };
-        match self.fetch(&key) {
-            Some((flags, data)) => match self.store.set(
-                &self.lease,
-                key,
-                &make_item(flags, exptime, &data, self.clock.now_ms()),
-            ) {
-                Ok(()) => "TOUCHED".into(),
-                Err(e) => server_error(&e),
-            },
-            None => "NOT_FOUND".into(),
+        self.mutate(ctx, key, MutOp::Touch { exptime_s })
+    }
+
+    fn do_arith(&self, incr: bool, args: &[&str], ctx: Option<(u64, u64)>) -> String {
+        if args.len() < 2 {
+            return "CLIENT_ERROR bad command line format".into();
         }
+        let key = match key_of(args[0]) {
+            Ok(k) => k,
+            Err(e) => return e,
+        };
+        let Ok(delta) = args[1].parse::<u64>() else {
+            return "CLIENT_ERROR invalid numeric delta argument".into();
+        };
+        self.mutate(ctx, key, MutOp::Arith { incr, delta })
     }
 }
 
@@ -292,6 +526,51 @@ mod tests {
     }
 
     #[test]
+    fn cas_compare_and_swap_semantics() {
+        let s = session(KvBackend::Dram);
+        assert_eq!(s.execute("cas k 0 0 1 99", b"x"), "NOT_FOUND");
+        assert_eq!(s.execute("set k 0 0 1", b"x"), "STORED");
+        let r = s.execute("gets k", b"");
+        // VALUE k <flags> <len> <cas>
+        let casid: u64 = r
+            .lines()
+            .next()
+            .unwrap()
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(
+            s.execute(&format!("cas k 0 0 1 {}", casid + 1), b"y"),
+            "EXISTS"
+        );
+        assert_eq!(s.execute(&format!("cas k 0 0 1 {casid}"), b"y"), "STORED");
+        assert!(s.execute("get k", b"").contains('y'));
+        // The stored cas id changed: the old id no longer matches.
+        assert_eq!(s.execute(&format!("cas k 0 0 1 {casid}"), b"z"), "EXISTS");
+    }
+
+    #[test]
+    fn incr_decr_semantics() {
+        let s = session(KvBackend::Dram);
+        assert_eq!(s.execute("incr n 1", b""), "NOT_FOUND");
+        assert_eq!(s.execute("set n 0 0 1", b"7"), "STORED");
+        assert_eq!(s.execute("incr n 5", b""), "12");
+        assert_eq!(s.execute("decr n 2", b""), "10");
+        assert_eq!(s.execute("decr n 100", b""), "0", "decr floors at 0");
+        assert_eq!(s.execute("set t 0 0 3", b"abc"), "STORED");
+        assert_eq!(
+            s.execute("incr t 1", b""),
+            "CLIENT_ERROR cannot increment or decrement non-numeric value"
+        );
+        assert_eq!(
+            s.execute("incr n bogus", b""),
+            "CLIENT_ERROR invalid numeric delta argument"
+        );
+    }
+
+    #[test]
     fn delete_and_errors() {
         let s = session(KvBackend::Dram);
         assert_eq!(s.execute("delete nope", b""), "NOT_FOUND");
@@ -306,6 +585,36 @@ mod tests {
             s.execute("set k nope 0 1", b"x"),
             "CLIENT_ERROR bad command line format"
         );
+        assert_eq!(
+            s.execute("cas k 0 0 1", b"x"),
+            "CLIENT_ERROR bad command line format",
+            "cas requires a cas id"
+        );
+    }
+
+    #[test]
+    fn rid_requires_session_and_dedupes_with_one() {
+        let s = session(KvBackend::Dram);
+        assert_eq!(
+            s.execute("set k 0 0 1 rid=1", b"x"),
+            "CLIENT_ERROR rid requires a session"
+        );
+        assert_eq!(
+            s.execute("set k 0 0 1 rid=zzz", b"x"),
+            "CLIENT_ERROR bad request id"
+        );
+        // First execution applies; a blind retry of the same rid replays the
+        // recorded reply without re-applying.
+        assert_eq!(s.execute_with("set n 0 0 1 rid=1", b"0", Some(9)), "STORED");
+        assert_eq!(s.execute_with("incr n 1 rid=2", b"", Some(9)), "1");
+        assert_eq!(s.execute_with("incr n 1 rid=2", b"", Some(9)), "1");
+        assert_eq!(s.execute_with("incr n 1 rid=2", b"", Some(9)), "1");
+        assert_eq!(s.execute_with("incr n 1 rid=3", b"", Some(9)), "2");
+        // Distinct sessions do not share request-id spaces.
+        assert_eq!(s.execute_with("incr n 1 rid=2", b"", Some(10)), "3");
+        // Going backwards is refused, not re-applied.
+        let r = s.execute_with("incr n 1 rid=1", b"", Some(9));
+        assert!(r.starts_with("SERVER_ERROR stale request id"), "{r}");
     }
 
     #[test]
@@ -313,10 +622,7 @@ mod tests {
         let s = session(KvBackend::Dram);
         // Directly store an already-expired item (bypassing the 1s protocol
         // granularity) to avoid sleeping in tests.
-        let mut v = Vec::new();
-        v.extend_from_slice(&7u32.to_le_bytes());
-        v.extend_from_slice(&1u64.to_le_bytes()); // expired long ago
-        v.extend_from_slice(b"stale");
+        let v = make_item_at(7, 1, 0, b"stale"); // expired long ago
         let key = key_of("old").unwrap();
         s.store.set(&s.lease, key, &v).unwrap();
         assert_eq!(s.execute("get old", b""), "END");
@@ -378,6 +684,37 @@ mod tests {
     }
 
     #[test]
+    fn detected_ops_replay_across_crash() {
+        let esys = EpochSys::format(
+            PmemPool::new(PmemConfig::strict_for_test(32 << 20)),
+            EsysConfig::default(),
+        );
+        let store = Arc::new(KvStore::new(KvBackend::Montage(esys.clone()), 8, 10_000));
+        let s = Session::new(store.clone());
+        let sid = Some(4242);
+        assert_eq!(s.execute_with("set ctr 0 0 1 rid=1", b"0", sid), "STORED");
+        assert_eq!(s.execute_with("incr ctr 1 rid=2", b"", sid), "1");
+        assert_eq!(s.execute_with("incr ctr 1 rid=3", b"", sid), "2");
+        esys.sync();
+        assert_eq!(store.detect_stats().descriptors, 1);
+        let rec = montage::recovery::recover(esys.pool().crash(), EsysConfig::default(), 1);
+        let store2 = Arc::new(KvStore::recover(rec.esys.clone(), 8, 10_000, &rec));
+        // The descriptor survived with its rid and recorded reply.
+        assert_eq!(
+            store2.session_descriptor(4242),
+            Some((3, 7, b"2".to_vec())) // rid 3, OP_INCR, reply "2"
+        );
+        let s2 = Session::new(store2.clone());
+        // A blind retry of the in-flight rid replays; the next rid applies.
+        assert_eq!(s2.execute_with("incr ctr 1 rid=3", b"", sid), "2");
+        assert_eq!(s2.execute_with("incr ctr 1 rid=4", b"", sid), "3");
+        let stats = store2.detect_stats();
+        assert_eq!(stats.dedupe_hits, 1);
+        assert_eq!(stats.replayed_acks, 1, "the replay crossed the crash");
+        assert!(stats.table_bytes > 0);
+    }
+
+    #[test]
     fn sharded_session_spans_shards() {
         let store = crate::ShardedKvStore::format(
             4,
@@ -398,5 +735,34 @@ mod tests {
         assert!(store.len() == 50);
         let touched = s.lease.held().iter().filter(|t| t.is_some()).count();
         assert!(touched >= 2, "50 keys should lease ids on several shards");
+    }
+
+    #[test]
+    fn sharded_detected_descriptors_live_in_the_keys_shard() {
+        let store = crate::ShardedKvStore::format(
+            4,
+            PmemConfig::strict_for_test(8 << 20),
+            EsysConfig::default(),
+            4,
+            10_000,
+        );
+        let lease = Arc::new(store.lease());
+        let s = Session::sharded(store.clone(), lease);
+        let sid = Some(1);
+        for i in 0..20 {
+            assert_eq!(
+                s.execute_with(&format!("set k{i} 0 0 1 rid={}", i + 1), b"v", sid),
+                "STORED"
+            );
+        }
+        let per_shard = store.detect_stats_per_shard();
+        let populated = per_shard.iter().filter(|d| d.descriptors > 0).count();
+        assert!(
+            populated >= 2,
+            "descriptors should follow keys: {per_shard:?}"
+        );
+        // Each shard holds at most one descriptor per session.
+        assert!(per_shard.iter().all(|d| d.descriptors <= 1));
+        assert_eq!(store.detect_stats_merged().descriptors, populated as u64);
     }
 }

@@ -1,0 +1,209 @@
+//! Detectable operations: the durable per-session request-id descriptor
+//! table (memento-style, after "A General Framework for Detectable,
+//! Persistent, Lock-Free Data Structures").
+//!
+//! Every detected mutation records `(session_id, request_id, op_kind,
+//! result)` in a fixed-size **descriptor payload** allocated from the same
+//! Montage pool — and, crucially, the same *shard* — as the key it mutates.
+//! The descriptor write happens inside the same `BEGIN_OP` window as the
+//! mutation, so both ride the same epoch's write-back buffers and become
+//! durable atomically at the epoch boundary: a recovered image can never
+//! show a descriptor claiming a result whose mutation was lost, nor a
+//! mutation whose descriptor (and therefore ack identity) vanished.
+//!
+//! On recovery the descriptors are swept back like any other payload (uid
+//! cancellation keeps exactly the newest version per session), and a
+//! reconnecting client that blindly replays its last request-id is answered
+//! from the table instead of re-applying — exactly-once across crashes.
+//!
+//! The DRAM side ([`SessionTable`]) is a cache of the durable table plus
+//! the exactly-once counters the server's `stats` command reports.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use montage::{PHandle, HDR_SIZE};
+use parking_lot::Mutex;
+
+/// Payload tag for session descriptors (KV items use [`crate::KV_TAG`]).
+pub const SESSION_TAG: u16 = 7;
+
+/// Fixed descriptor payload size. Fixed so every update is a same-length
+/// `set_bytes` — in place when the descriptor is already in the current
+/// epoch, copy-on-write with the same uid otherwise — and recovery's uid
+/// cancellation always keeps exactly one version per session.
+pub const DESC_BYTES: usize = 96;
+
+/// Descriptor header: sid u64 | rid u64 | op_kind u8 | result_len u8 |
+/// pad u16 — the rest is the recorded result.
+const DESC_HEADER: usize = 20;
+
+/// Longest recordable result. Every replayable wire reply (`STORED`,
+/// `NOT_STORED`, `EXISTS`, `NOT_FOUND`, `DELETED`, `TOUCHED`, a decimal
+/// counter value, and the deterministic `CLIENT_ERROR` strings) fits.
+pub const RESULT_MAX: usize = DESC_BYTES - DESC_HEADER;
+
+/// Encodes one descriptor. Results longer than [`RESULT_MAX`] are refused
+/// by the caller (`debug_assert`) and truncated defensively in release.
+pub fn encode_descriptor(sid: u64, rid: u64, op_kind: u8, result: &[u8]) -> [u8; DESC_BYTES] {
+    debug_assert!(
+        result.len() <= RESULT_MAX,
+        "descriptor result {} bytes > {RESULT_MAX}",
+        result.len()
+    );
+    let n = result.len().min(RESULT_MAX);
+    let mut d = [0u8; DESC_BYTES];
+    d[..8].copy_from_slice(&sid.to_le_bytes());
+    d[8..16].copy_from_slice(&rid.to_le_bytes());
+    d[16] = op_kind;
+    d[17] = n as u8;
+    d[DESC_HEADER..DESC_HEADER + n].copy_from_slice(&result[..n]);
+    d
+}
+
+/// Decodes a recovered descriptor payload; `None` if it is malformed
+/// (wrong size or an out-of-range result length).
+pub fn decode_descriptor(bytes: &[u8]) -> Option<(u64, u64, u8, Vec<u8>)> {
+    if bytes.len() != DESC_BYTES {
+        return None;
+    }
+    let sid = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+    let rid = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let op_kind = bytes[16];
+    let n = bytes[17] as usize;
+    if n > RESULT_MAX {
+        return None;
+    }
+    Some((
+        sid,
+        rid,
+        op_kind,
+        bytes[DESC_HEADER..DESC_HEADER + n].to_vec(),
+    ))
+}
+
+/// What a detected mutation decided to do to the key, computed from the
+/// current value inside the operation's epoch window.
+pub enum DetectedWrite {
+    /// Insert or overwrite the item bytes.
+    Upsert(Vec<u8>),
+    /// Remove the item (also used to lazily reap an expired item whose
+    /// conditional op replied `NOT_FOUND`).
+    Delete,
+    /// Leave the item untouched (failed conditionals: `NOT_STORED`,
+    /// `EXISTS`, …). The descriptor still records the reply.
+    Keep,
+}
+
+/// Outcome of routing a request-id through the descriptor table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DetectOutcome {
+    /// The request-id was new: the mutation ran and this is its reply.
+    Applied(Vec<u8>),
+    /// The request-id matched the session's descriptor: the recorded reply,
+    /// answered **without re-applying**.
+    Replayed(Vec<u8>),
+    /// The request-id is older than the session's descriptor — the client
+    /// already consumed this ack and moved on; refuse rather than guess.
+    Stale { last_rid: u64 },
+}
+
+/// Exactly-once counters, merged across shards by the `stats` command.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DetectStats {
+    /// Requests answered from the descriptor table instead of re-applying.
+    pub dedupe_hits: u64,
+    /// The subset of `dedupe_hits` answered from a descriptor that was
+    /// rebuilt from the pool — an ack recovered across a crash.
+    pub replayed_acks: u64,
+    /// Live descriptors (one per session per shard it has mutated).
+    pub descriptors: u64,
+    /// Pool bytes held by descriptor payloads (header + data).
+    pub table_bytes: u64,
+}
+
+impl std::ops::Add for DetectStats {
+    type Output = DetectStats;
+    fn add(self, o: DetectStats) -> DetectStats {
+        DetectStats {
+            dedupe_hits: self.dedupe_hits + o.dedupe_hits,
+            replayed_acks: self.replayed_acks + o.replayed_acks,
+            descriptors: self.descriptors + o.descriptors,
+            table_bytes: self.table_bytes + o.table_bytes,
+        }
+    }
+}
+
+/// DRAM cache of one shard-store's durable descriptor table.
+pub(crate) struct SessionEntry {
+    pub rid: u64,
+    pub op_kind: u8,
+    pub result: Vec<u8>,
+    /// The durable descriptor payload; `None` on transient backends (DRAM/
+    /// NVM stores dedupe in DRAM only — nothing survives a crash there
+    /// anyway).
+    pub handle: Option<PHandle<[u8]>>,
+    /// Entry came out of recovery and has not been overwritten since: a hit
+    /// on it is an ack replayed across a crash.
+    pub recovered: bool,
+}
+
+/// Per-shard-store session table: the dedupe/replay decision point.
+#[derive(Default)]
+pub(crate) struct SessionTable {
+    pub entries: Mutex<HashMap<u64, SessionEntry>>,
+    pub dedupe_hits: AtomicU64,
+    pub replayed_acks: AtomicU64,
+}
+
+impl SessionTable {
+    pub fn stats(&self) -> DetectStats {
+        let descriptors = self.entries.lock().len() as u64;
+        DetectStats {
+            dedupe_hits: self.dedupe_hits.load(Ordering::Relaxed),
+            replayed_acks: self.replayed_acks.load(Ordering::Relaxed),
+            descriptors,
+            table_bytes: descriptors * (HDR_SIZE as u64 + DESC_BYTES as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_roundtrip() {
+        let d = encode_descriptor(42, 7, 3, b"STORED");
+        assert_eq!(d.len(), DESC_BYTES);
+        let (sid, rid, kind, result) = decode_descriptor(&d).unwrap();
+        assert_eq!((sid, rid, kind), (42, 7, 3));
+        assert_eq!(result, b"STORED");
+    }
+
+    #[test]
+    fn descriptor_rejects_malformed() {
+        assert!(decode_descriptor(&[0u8; DESC_BYTES - 1]).is_none());
+        let mut d = encode_descriptor(1, 1, 1, b"x");
+        d[17] = (RESULT_MAX + 1) as u8; // out-of-range result length
+        assert!(decode_descriptor(&d).is_none());
+    }
+
+    #[test]
+    fn every_replayable_reply_fits() {
+        for reply in [
+            "STORED",
+            "NOT_STORED",
+            "EXISTS",
+            "NOT_FOUND",
+            "DELETED",
+            "TOUCHED",
+            &u64::MAX.to_string(),
+            "CLIENT_ERROR cannot increment or decrement non-numeric value",
+        ] {
+            assert!(reply.len() <= RESULT_MAX, "{reply:?} too long to record");
+            let d = encode_descriptor(1, 2, 3, reply.as_bytes());
+            assert_eq!(decode_descriptor(&d).unwrap().3, reply.as_bytes());
+        }
+    }
+}

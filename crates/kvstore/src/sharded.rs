@@ -10,6 +10,7 @@
 //! and recovery runs one thread per shard with the per-shard
 //! [`montage::RecoveryReport`]s merged into a single store-level report.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use montage::{EpochSys, EsysConfig, RecoveryError};
@@ -17,6 +18,7 @@ use parking_lot::Mutex;
 use pmem::{PmemConfig, PmemFault, PmemPool, StatsSnapshot};
 
 use crate::router::ShardRouter;
+use crate::session_table::{DetectOutcome, DetectStats, DetectedWrite};
 use crate::{Key, KvBackend, KvStore};
 
 /// Why a sharded-store mutation was refused. `Display` output is what the
@@ -92,6 +94,10 @@ impl StoreRecoveryReport {
 pub struct ShardedKvStore {
     shards: Box<[Arc<KvStore>]>,
     router: ShardRouter,
+    /// memcached cas-id allocator; 0 = not yet seeded. Seeded lazily from
+    /// the store's epoch clocks (see [`ShardedKvStore::next_cas`]) so ids
+    /// stay unique across crash/recovery without any dedicated pool state.
+    cas_counter: AtomicU64,
 }
 
 impl ShardedKvStore {
@@ -103,6 +109,7 @@ impl ShardedKvStore {
         Arc::new(ShardedKvStore {
             shards: shards.into(),
             router,
+            cas_counter: AtomicU64::new(0),
         })
     }
 
@@ -314,6 +321,78 @@ impl ShardedKvStore {
         self.check_shard(shard)?;
         let tid = lease.tid(shard)?;
         Ok(self.shards[shard].delete(tid, key))
+    }
+
+    /// A detectable mutation (see [`KvStore::detected_update`]): routes to
+    /// the shard owning `key`, so the session's descriptor is co-located —
+    /// and co-crashes — with the data it describes, and a deterministic
+    /// retry of the same command finds the descriptor on the same shard.
+    pub fn detected(
+        &self,
+        lease: &StoreLease,
+        sid: u64,
+        rid: u64,
+        op_kind: u8,
+        key: &Key,
+        decide: impl FnOnce(Option<&[u8]>) -> (DetectedWrite, Vec<u8>),
+    ) -> Result<DetectOutcome, StoreError> {
+        let shard = self.shard_of(key);
+        self.check_shard(shard)?;
+        let tid = lease.tid(shard)?;
+        Ok(self.shards[shard].detected_update(tid, sid, rid, op_kind, key, decide))
+    }
+
+    /// Allocates a fresh memcached cas id, unique across the store's whole
+    /// lifetime *including crash/recovery*. The counter seeds lazily from
+    /// `(max epoch clock + 1) << 20`: epoch clocks only grow — recovery
+    /// restarts them above the durable epoch — so as long as one epoch
+    /// never spans 2^20 cas allocations, every post-recovery id is above
+    /// every id a client saw before the crash.
+    pub fn next_cas(&self) -> u64 {
+        loop {
+            let cur = self.cas_counter.load(Ordering::Acquire);
+            if cur == 0 {
+                let max_epoch = self.epochs().into_iter().flatten().max().unwrap_or(0);
+                let seed = (max_epoch + 1) << 20;
+                if self
+                    .cas_counter
+                    .compare_exchange(0, seed + 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return seed;
+                }
+                continue;
+            }
+            if self
+                .cas_counter
+                .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return cur;
+            }
+        }
+    }
+
+    /// The session descriptor a given shard holds for `sid`, as
+    /// `(rid, op_kind, result)`. Descriptors are per-(session, shard) —
+    /// a session that mutated keys on two shards has one on each — so
+    /// crash tests interrogate the shard that owns the mutated key.
+    pub fn shard_session_descriptor(&self, shard: usize, sid: u64) -> Option<(u64, u8, Vec<u8>)> {
+        self.shards[shard].session_descriptor(sid)
+    }
+
+    /// Exactly-once counters merged across shards.
+    pub fn detect_stats_merged(&self) -> DetectStats {
+        self.shards
+            .iter()
+            .map(|s| s.detect_stats())
+            .fold(DetectStats::default(), |a, b| a + b)
+    }
+
+    /// Per-shard exactly-once counters (descriptor placement is a per-shard
+    /// fact the `stats` command surfaces).
+    pub fn detect_stats_per_shard(&self) -> Vec<DetectStats> {
+        self.shards.iter().map(|s| s.detect_stats()).collect()
     }
 
     fn check_shard(&self, shard: usize) -> Result<(), StoreError> {

@@ -894,7 +894,12 @@ impl EpochSys {
         let _ =
             self.sync_requested
                 .compare_exchange(target, 0, Ordering::Relaxed, Ordering::Relaxed);
-        Ok(())
+        // A plan tripping *inside* the last advance drops its flushes while
+        // the clock store still lands in the working image — so the loop
+        // above exits even though the write-backs it was waiting for are
+        // gone. Durability can only be claimed on a pool that is still
+        // healthy now.
+        self.pool.check_fault()
     }
 }
 

@@ -703,10 +703,13 @@ mod tests {
 ///
 /// Compares a fresh `BENCH_<figure>.json` (written by the bench binaries;
 /// see `montage_bench::report::JsonReport`) against the checked-in baseline
-/// under `benches/baselines/`, and fails when the run's **headline** metric
-/// regressed by more than the threshold. Non-headline metrics are reported
-/// but never gate — on a noisy shared box only the metric a change is
-/// *about* is stable enough to block on.
+/// under `benches/baselines/`, and fails when a **gated** metric regressed
+/// by more than its threshold. Gated metrics are the run's headline plus
+/// any listed for the figure in `benches/baselines/manifest.txt` — lines of
+/// `<figure> <slug> [threshold_pct]`, `#` comments. Other metrics are
+/// reported but never gate — on a noisy shared box only the metrics a
+/// change is *about* are stable enough to block on, and the manifest is
+/// where a figure declares which those are (ops/s *and* tail latency).
 ///
 /// The parser below handles exactly the subset of JSON that
 /// `JsonReport::render` emits (string fields, a flat `"metrics"` object of
@@ -719,6 +722,7 @@ mod bench_diff {
     pub fn run(args: &[String]) -> ExitCode {
         let mut new_path: Option<PathBuf> = None;
         let mut baseline_path: Option<PathBuf> = None;
+        let mut manifest_path: Option<PathBuf> = None;
         let mut threshold_pct: f64 = 15.0;
         let mut report_only = false;
         let mut it = args.iter();
@@ -727,6 +731,10 @@ mod bench_diff {
                 "--baseline" => match it.next() {
                     Some(p) => baseline_path = Some(p.into()),
                     None => return usage("--baseline needs a path"),
+                },
+                "--manifest" => match it.next() {
+                    Some(p) => manifest_path = Some(p.into()),
+                    None => return usage("--manifest needs a path"),
                 },
                 "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
                     Some(v) => threshold_pct = v,
@@ -764,15 +772,37 @@ mod bench_diff {
             }
         };
 
+        let manifest_path = manifest_path
+            .unwrap_or_else(|| super::repo_root().join("benches/baselines/manifest.txt"));
+        let gates = match std::fs::read_to_string(&manifest_path) {
+            Ok(src) => match parse_manifest(&src) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("bench-diff: {}: {e}", manifest_path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            // No manifest is fine: the headline still gates.
+            Err(_) => Vec::new(),
+        };
+        let figure_gates: Vec<&Gate> = gates.iter().filter(|g| g.figure == new.figure).collect();
+
         println!(
             "bench-diff: {} vs baseline {}",
             new_path.display(),
             baseline_path.display()
         );
-        let mut regressed_headline = false;
+        let mut regressions: Vec<String> = Vec::new();
         let mut compared = 0usize;
         for (slug, new_v) in &new.metrics {
+            let manifest_gate = figure_gates.iter().find(|g| &g.slug == slug);
+            let is_headline = *slug == new.headline;
             let Some(base_v) = base.metrics.get(slug) else {
+                if is_headline || manifest_gate.is_some() {
+                    // A gate with no baseline can't block, but say so out
+                    // loud — a silently un-gated metric looks gated.
+                    println!("  {slug}: gated but absent from baseline, skipping");
+                }
                 continue;
             };
             compared += 1;
@@ -785,18 +815,19 @@ mod bench_diff {
             } else {
                 (new_v - base_v) / base_v * 100.0
             };
-            let is_headline = *slug == new.headline;
-            let flag = if delta_pct > threshold_pct {
-                if is_headline {
-                    regressed_headline = true;
-                }
+            let gate_pct = manifest_gate
+                .and_then(|g| g.threshold_pct)
+                .unwrap_or(threshold_pct);
+            let gated = is_headline || manifest_gate.is_some();
+            let flag = if gated && delta_pct > gate_pct {
+                regressions.push(format!("{slug} ({delta_pct:+.1}% past {gate_pct}%)"));
                 " REGRESSED"
             } else {
                 ""
             };
-            if is_headline || flag == " REGRESSED" {
+            if gated || flag == " REGRESSED" {
                 println!(
-                    "  {}{}: {:.1} -> {:.1} ({:+.1}%){flag}",
+                    "  {}{}: {:.1} -> {:.1} ({:+.1}%, gate {gate_pct}%){flag}",
                     if is_headline { "[headline] " } else { "" },
                     slug,
                     base_v,
@@ -805,12 +836,23 @@ mod bench_diff {
                 );
             }
         }
-        println!("  {compared} metrics compared, threshold {threshold_pct}%");
-        if regressed_headline {
-            eprintln!(
-                "bench-diff: headline metric {:?} regressed past {threshold_pct}%",
-                new.headline
-            );
+        // A manifest entry naming a slug the run no longer emits is a gate
+        // that quietly stopped existing — fail it like a regression.
+        for g in &figure_gates {
+            if new.metrics.get(&g.slug).is_none() {
+                regressions.push(format!("{} (missing from the run)", g.slug));
+            }
+        }
+        let headline_in_manifest = figure_gates.iter().any(|g| g.slug == new.headline);
+        println!(
+            "  {compared} metrics compared, {} gated, default threshold {threshold_pct}%",
+            figure_gates.len() + usize::from(!headline_in_manifest)
+        );
+        if !regressions.is_empty() {
+            eprintln!("bench-diff: gated metrics regressed:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
             if report_only {
                 eprintln!("bench-diff: --report-only, not failing the build");
                 return ExitCode::SUCCESS;
@@ -818,6 +860,44 @@ mod bench_diff {
             return ExitCode::FAILURE;
         }
         ExitCode::SUCCESS
+    }
+
+    /// One `<figure> <slug> [threshold_pct]` line of the manifest.
+    struct Gate {
+        figure: String,
+        slug: String,
+        threshold_pct: Option<f64>,
+    }
+
+    fn parse_manifest(src: &str) -> Result<Vec<Gate>, String> {
+        let mut out = Vec::new();
+        for (lineno, line) in src.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (figure, slug) = match (parts.next(), parts.next()) {
+                (Some(f), Some(s)) => (f.to_string(), s.to_string()),
+                _ => return Err(format!("line {}: want <figure> <slug>", lineno + 1)),
+            };
+            let threshold_pct = match parts.next() {
+                Some(t) => Some(
+                    t.parse::<f64>()
+                        .map_err(|_| format!("line {}: bad threshold {t:?}", lineno + 1))?,
+                ),
+                None => None,
+            };
+            if parts.next().is_some() {
+                return Err(format!("line {}: trailing tokens", lineno + 1));
+            }
+            out.push(Gate {
+                figure,
+                slug,
+                threshold_pct,
+            });
+        }
+        Ok(out)
     }
 
     fn usage(msg: &str) -> ExitCode {
@@ -890,5 +970,33 @@ mod bench_diff {
             out.push((key, value));
         }
         Ok(out)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::parse_manifest;
+
+        #[test]
+        fn manifest_parses_gates_comments_and_thresholds() {
+            let src = "\
+# figure        slug                          threshold_pct (default if absent)
+fig10_wire_ycsb ycsb_a_montage_sync1_p99_us   20
+fig_shard_scaling shards_4_ops_per_sec  # inline comment, default threshold
+";
+            let gates = parse_manifest(src).unwrap();
+            assert_eq!(gates.len(), 2);
+            assert_eq!(gates[0].figure, "fig10_wire_ycsb");
+            assert_eq!(gates[0].slug, "ycsb_a_montage_sync1_p99_us");
+            assert_eq!(gates[0].threshold_pct, Some(20.0));
+            assert_eq!(gates[1].figure, "fig_shard_scaling");
+            assert_eq!(gates[1].threshold_pct, None);
+        }
+
+        #[test]
+        fn manifest_rejects_malformed_lines() {
+            assert!(parse_manifest("just_a_figure\n").is_err());
+            assert!(parse_manifest("fig slug not_a_number\n").is_err());
+            assert!(parse_manifest("fig slug 10 extra\n").is_err());
+        }
     }
 }

@@ -302,6 +302,59 @@ impl Model for FifoQueue {
     }
 }
 
+/// A single named counter, as the detectable-operation wire tests see it:
+/// `set` creates it at an explicit value, `incr` bumps it and returns the
+/// new value. Blind retries of one request id collapse to **one** op in the
+/// history — exactly-once semantics means the duplicates are not ops at
+/// all, and feeding a retry-collapsed history through the checker is what
+/// proves the dedupe worked (a double-applied incr makes the recovered
+/// value unexplainable by any legal cut).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Counter {
+    pub value: Option<u64>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtrOp {
+    /// `set` to an explicit value (unconditional store).
+    Create(u64),
+    Incr,
+    Get,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtrRet {
+    Stored,
+    NotFound,
+    Value(u64),
+}
+
+impl Model for Counter {
+    type Op = CtrOp;
+    type Ret = CtrRet;
+
+    fn apply(&mut self, op: &CtrOp) -> CtrRet {
+        match op {
+            CtrOp::Create(v) => {
+                self.value = Some(*v);
+                CtrRet::Stored
+            }
+            CtrOp::Incr => match self.value {
+                Some(v) => {
+                    let nv = v.wrapping_add(1);
+                    self.value = Some(nv);
+                    CtrRet::Value(nv)
+                }
+                None => CtrRet::NotFound,
+            },
+            CtrOp::Get => match self.value {
+                Some(v) => CtrRet::Value(v),
+                None => CtrRet::NotFound,
+            },
+        }
+    }
+}
+
 /// Builder for hand-written and recorded histories: timestamps come from a
 /// shared atomic counter so concurrent recorders can interleave safely.
 pub struct Recorder<O, R> {

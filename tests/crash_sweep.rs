@@ -513,6 +513,173 @@ fn verify_sharded_prefix(
     ))
 }
 
+// ---- descriptor/payload atomicity under a shard crash -----------------------
+
+/// Sessions and request ids for the detected-operation sweep: session `s`
+/// mutates only key `1000 + s`, so its descriptor and payload live — and
+/// co-crash — on that key's shard.
+const D_SIDS: u64 = 8;
+const D_RIDS: u64 = 4;
+const D_OP_KIND: u8 = 7;
+
+/// Runs `D_RIDS` rounds of detected upserts: in round `r`, session `s`
+/// writes value `r` (8-byte LE) under rid `r` and records result `r`.
+/// Per-shard syncs between rounds give the sweep epoch boundaries to cut
+/// at; ops and syncs on the victim degrade to errors once its plan trips.
+fn run_detected_sharded(pools: &[pmem::PmemPool]) {
+    use kvstore::{DetectedWrite, ShardedKvStore};
+    let store = ShardedKvStore::format_pools(pools.to_vec(), small_esys_cfg(), S_STRIPES, S_CAP);
+    let lease = store.lease();
+    for rid in 1..=D_RIDS {
+        for sid in 0..D_SIDS {
+            let key = kvstore::make_key(1000 + sid);
+            let _ = store.detected(&lease, sid, rid, D_OP_KIND, &key, |_cur| {
+                (
+                    DetectedWrite::Upsert(rid.to_le_bytes().to_vec()),
+                    rid.to_le_bytes().to_vec(),
+                )
+            });
+        }
+        for s in 0..S_SHARDS {
+            let _ = store.sync_shard(s);
+        }
+    }
+    for s in 0..S_SHARDS {
+        if s != S_VICTIM {
+            store
+                .sync_shard(s)
+                .expect("non-victim shards must stay healthy through the sweep");
+        }
+    }
+}
+
+/// The atomicity contract, checked per session on the recovered store:
+/// a session's descriptor and its payload ride one epoch window, so the
+/// victim shard holds an *exact prefix* — descriptor at rid `r` with value
+/// `r`, or neither — never a descriptor without its mutation or a mutation
+/// without its descriptor. Healthy shards hold the full final state.
+fn verify_detected_sharded(pools: Vec<pmem::PmemPool>, crash_at: u64) -> Result<(), String> {
+    use kvstore::ShardedKvStore;
+
+    let (store, report) =
+        ShardedKvStore::recover(pools, small_esys_cfg(), S_STRIPES, S_CAP, S_SHARDS);
+    for sr in &report.shards {
+        if let Some(err) = &sr.fatal {
+            if sr.shard != S_VICTIM || !matches!(err, RecoveryError::UnformattedPool) {
+                return Err(format!(
+                    "crash_at={crash_at}: shard {} fatal: {err}",
+                    sr.shard
+                ));
+            }
+        }
+        if sr.quarantined != 0 {
+            return Err(format!(
+                "crash_at={crash_at}: clean crash quarantined payloads on shard {}",
+                sr.shard
+            ));
+        }
+    }
+
+    let mut survivors_per_shard = [0u64; S_SHARDS];
+    for sid in 0..D_SIDS {
+        let key = kvstore::make_key(1000 + sid);
+        let shard = store.shard_of(&key);
+        let desc = store.shard_session_descriptor(shard, sid);
+        let value = store.get(&key, |b| {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&b[..8]);
+            u64::from_le_bytes(w)
+        });
+        match (&desc, value) {
+            (None, None) => {
+                // Pre-history cut: legal only on the crashed shard.
+                if shard != S_VICTIM {
+                    return Err(format!(
+                        "crash_at={crash_at}: healthy shard {shard} lost session {sid} entirely"
+                    ));
+                }
+            }
+            (Some((rid, kind, result)), Some(v)) => {
+                survivors_per_shard[shard] += 1;
+                let want_result = rid.to_le_bytes().to_vec();
+                if *kind != D_OP_KIND || *result != want_result || v != *rid {
+                    return Err(format!(
+                        "crash_at={crash_at}: session {sid} on shard {shard} is torn: \
+                         descriptor (rid {rid}, kind {kind}, result {result:?}) vs value {v}"
+                    ));
+                }
+                if *rid > D_RIDS || *rid == 0 {
+                    return Err(format!(
+                        "crash_at={crash_at}: session {sid} descriptor rid {rid} out of range"
+                    ));
+                }
+                if shard != S_VICTIM && *rid != D_RIDS {
+                    return Err(format!(
+                        "crash_at={crash_at}: healthy shard {shard} lost acked rounds of \
+                         session {sid}: stuck at rid {rid}"
+                    ));
+                }
+            }
+            (desc, value) => {
+                // One side without the other is exactly the half-applied
+                // state the single-epoch-window design forbids — on any
+                // shard, victim included.
+                return Err(format!(
+                    "crash_at={crash_at}: session {sid} on shard {shard} half-applied: \
+                     descriptor {desc:?} vs value {value:?}"
+                ));
+            }
+        }
+    }
+
+    // The per-shard descriptor counters the `stats` command surfaces must
+    // agree with what actually survived on each shard.
+    let per_shard = store.detect_stats_per_shard();
+    for (shard, stats) in per_shard.iter().enumerate() {
+        if stats.descriptors != survivors_per_shard[shard] {
+            return Err(format!(
+                "crash_at={crash_at}: shard {shard} reports {} descriptors, \
+                 recovery found {}",
+                stats.descriptors, survivors_per_shard[shard]
+            ));
+        }
+    }
+    let merged = store.detect_stats_merged();
+    if merged.descriptors != per_shard.iter().map(|s| s.descriptors).sum::<u64>() {
+        return Err(format!(
+            "crash_at={crash_at}: merged descriptor count disagrees with per-shard sum"
+        ));
+    }
+    Ok(())
+}
+
+/// Acceptance criterion: at every one of the victim shard's persistence
+/// events, each session's descriptor and payload survive or vanish
+/// *together* — the mutation is half-applied at no crash point — and the
+/// healthy shards keep every synced round.
+#[test]
+fn detected_descriptor_and_payload_are_atomic_per_shard() {
+    let cfg = SweepConfig {
+        exhaustive_limit: 768,
+        samples: 96,
+        seed: 0x0DE7EC,
+    };
+    let report = pmem_chaos::shard_crash_sweep(
+        &cfg,
+        PmemConfig::strict_for_test(4 << 20),
+        S_SHARDS,
+        S_VICTIM,
+        run_detected_sharded,
+        verify_detected_sharded,
+    );
+    assert!(
+        report.total_events >= 64,
+        "victim shard saw too few events for a meaningful sweep: {}",
+        report.total_events
+    );
+    report.assert_ok();
+}
+
 /// Acceptance criterion: an exhaustive crash sweep over a 4-shard store,
 /// crashing shard 1 at every one of its persistence events, always recovers
 /// a consistent prefix on the victim while the untouched shards lose

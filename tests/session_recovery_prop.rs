@@ -1,0 +1,213 @@
+//! Property-based acceptance test for session-table recovery (the
+//! "detectable operations" subsystem): random interleavings of detected
+//! mutations across several sessions × sampled crash points.
+//!
+//! The invariant under test is the exactly-once foundation: at *any* crash
+//! cut, each session is either
+//!
+//!   * completed-with-result — its durable descriptor `(rid, kind, result)`
+//!     and the payload state that rid produced are both present and agree, or
+//!   * never-happened — neither the descriptor nor the payload survived.
+//!
+//! A descriptor without its payload (a reply we could replay for a mutation
+//! that never landed) or a payload without its descriptor (a mutation a
+//! blind retry would re-apply) is half-applied and fails the test. Both are
+//! written under one `begin_op`, so one epoch window covers them both.
+
+use kvstore::{DetectedWrite, ShardedKvStore};
+use montage::{EsysConfig, RecoveryError};
+use pmem::{PmemConfig, PmemPool};
+use pmem_chaos::{crash_sweep, SweepConfig};
+use proptest::prelude::*;
+
+const N_SESSIONS: u64 = 3;
+const STRIPES: usize = 4;
+const CAP: usize = 1024;
+const UPSERT_KIND: u8 = 1;
+const DELETE_KIND: u8 = 4;
+
+fn esys_cfg() -> EsysConfig {
+    EsysConfig {
+        max_threads: 2,
+        ..Default::default()
+    }
+}
+
+/// One step of the workload. Request ids are not part of the script: the
+/// rid of a mutation is its 1-based position within its session, assigned
+/// identically by the runner and the verifier.
+#[derive(Clone, Copy, Debug)]
+enum POp {
+    /// A detected mutation for session `sid`; `delete` picks the op kind.
+    Mutate { sid: u64, delete: bool },
+    /// A durability barrier, so crash points also land on synced prefixes.
+    Sync,
+}
+
+fn pop_strategy() -> impl Strategy<Value = POp> {
+    prop_oneof![
+        5 => (0..N_SESSIONS, any::<bool>())
+            .prop_map(|(sid, delete)| POp::Mutate { sid, delete }),
+        1 => Just(POp::Sync),
+    ]
+}
+
+fn session_key(sid: u64) -> kvstore::Key {
+    kvstore::make_key(5000 + sid)
+}
+
+/// Replays the script on a fresh store over the caller's chaos-armed pool.
+/// Once the plan trips, ops degrade to errors; that is fine — the sweep
+/// verifies the durable image, not the in-DRAM replies.
+fn run_script(pool: &PmemPool, script: &[POp]) {
+    let store = ShardedKvStore::format_pools(vec![pool.clone()], esys_cfg(), STRIPES, CAP);
+    let lease = store.lease();
+    let mut next_rid = [0u64; N_SESSIONS as usize];
+    for op in script {
+        match *op {
+            POp::Mutate { sid, delete } => {
+                next_rid[sid as usize] += 1;
+                let rid = next_rid[sid as usize];
+                let (kind, write) = if delete {
+                    (DELETE_KIND, DetectedWrite::Delete)
+                } else {
+                    (
+                        UPSERT_KIND,
+                        DetectedWrite::Upsert(rid.to_le_bytes().to_vec()),
+                    )
+                };
+                let _ = store.detected(&lease, sid, rid, kind, &session_key(sid), |_cur| {
+                    (write, rid.to_le_bytes().to_vec())
+                });
+            }
+            POp::Sync => {
+                let _ = store.sync_shard(0);
+            }
+        }
+    }
+    let _ = store.sync_shard(0);
+}
+
+/// Per-session kinds in script order: `kinds[sid][rid - 1]` is the op kind
+/// the rid-th mutation of `sid` must have recorded.
+fn kinds_by_session(script: &[POp]) -> Vec<Vec<u8>> {
+    let mut kinds = vec![Vec::new(); N_SESSIONS as usize];
+    for op in script {
+        if let POp::Mutate { sid, delete } = *op {
+            kinds[sid as usize].push(if delete { DELETE_KIND } else { UPSERT_KIND });
+        }
+    }
+    kinds
+}
+
+fn verify_cut(pool: PmemPool, crash_at: u64, script: &[POp]) -> Result<(), String> {
+    let (store, report) = ShardedKvStore::recover(vec![pool], esys_cfg(), STRIPES, CAP, 1);
+    let sr = &report.shards[0];
+    if let Some(err) = &sr.fatal {
+        return if matches!(err, RecoveryError::UnformattedPool) {
+            Ok(()) // crashed before the pool header landed: never-happened
+        } else {
+            Err(format!("crash_at={crash_at}: fatal recovery error: {err}"))
+        };
+    }
+    if sr.quarantined != 0 {
+        return Err(format!(
+            "crash_at={crash_at}: clean crash quarantined {} payloads",
+            sr.quarantined
+        ));
+    }
+
+    let kinds = kinds_by_session(script);
+    let mut descriptors = 0u64;
+    for sid in 0..N_SESSIONS {
+        let desc = store.shard_session_descriptor(0, sid);
+        let value = store.get(&session_key(sid), |b| {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&b[..8]);
+            u64::from_le_bytes(w)
+        });
+        match (&desc, value) {
+            (None, None) => {} // never-happened: legal at any cut
+            (None, Some(v)) => {
+                return Err(format!(
+                    "crash_at={crash_at}: session {sid} payload {v} survived without \
+                     its descriptor — a blind retry would re-apply it"
+                ));
+            }
+            (Some((rid, kind, result)), value) => {
+                descriptors += 1;
+                let issued = kinds[sid as usize].len() as u64;
+                if *rid == 0 || *rid > issued {
+                    return Err(format!(
+                        "crash_at={crash_at}: session {sid} descriptor rid {rid} \
+                         out of range (issued {issued})"
+                    ));
+                }
+                let want_kind = kinds[sid as usize][*rid as usize - 1];
+                if *kind != want_kind {
+                    return Err(format!(
+                        "crash_at={crash_at}: session {sid} rid {rid} recorded kind \
+                         {kind}, script says {want_kind}"
+                    ));
+                }
+                if *result != rid.to_le_bytes().to_vec() {
+                    return Err(format!(
+                        "crash_at={crash_at}: session {sid} rid {rid} result bytes \
+                         {result:?} do not match the reply the client was sent"
+                    ));
+                }
+                let want_value = if want_kind == UPSERT_KIND {
+                    Some(*rid)
+                } else {
+                    None
+                };
+                if value != want_value {
+                    return Err(format!(
+                        "crash_at={crash_at}: session {sid} half-applied: descriptor \
+                         says rid {rid} kind {kind}, payload is {value:?} \
+                         (want {want_value:?})"
+                    ));
+                }
+            }
+        }
+    }
+
+    // The stats the server reports must be computed from the same recovered
+    // table the verifier just walked.
+    let stats = store.detect_stats_merged();
+    if stats.descriptors != descriptors {
+        return Err(format!(
+            "crash_at={crash_at}: detect_stats reports {} descriptors, \
+             recovery shows {descriptors}",
+            stats.descriptors
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Random detected-op interleavings × sampled crash points: every
+    /// session must recover completed-with-result or never-happened,
+    /// never half-applied. Bounded (8 scripts × ~12 points) for CI; the
+    /// exhaustive wire sweep in `blind_retry_wire.rs` covers depth.
+    #[test]
+    fn sessions_recover_whole_or_not_at_all(
+        script in proptest::collection::vec(pop_strategy(), 8..28),
+        seed in any::<u64>(),
+    ) {
+        let cfg = SweepConfig { exhaustive_limit: 0, samples: 12, seed };
+        let report = crash_sweep(
+            &cfg,
+            PmemConfig::strict_for_test(4 << 20),
+            |pool| run_script(pool, &script),
+            |durable, crash_at| verify_cut(durable, crash_at, &script),
+        );
+        prop_assert!(
+            report.total_events > 0 && !report.crash_points.is_empty(),
+            "sweep exercised nothing: {} events", report.total_events
+        );
+        prop_assert!(report.is_ok(), "{:?}", report.failures);
+    }
+}
