@@ -162,6 +162,14 @@ impl WireClient {
     }
 
     // ---- detectable operations (exactly-once retries) -------------------
+    //
+    // Wire contract: at most ONE outstanding rid-carrying mutation per
+    // session — wait for rid n's reply before sending rid n+1. The server
+    // durably retains only the newest rid per (session, shard); pipelining
+    // two rid mutations and crashing before either ack loses the earlier
+    // reply, and its replay gets `SERVER_ERROR stale request id` instead.
+    // This client is synchronous (every rid method reads its reply before
+    // returning), so it satisfies the contract by construction.
 
     /// Attaches a durable session id: subsequent mutations sent with a
     /// `rid=<n>` token dedupe against the server's descriptor table. Call

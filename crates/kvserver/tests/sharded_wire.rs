@@ -206,3 +206,58 @@ fn stats_reports_per_shard_quarantine_counters() {
     c2.quit().unwrap();
     h2.shutdown();
 }
+
+/// Sessionless conditional ops must be atomic across connections: the
+/// accept loop round-robins connections onto different workers, so racing
+/// `incr`s on one key interleave read-decide-write unless the store holds
+/// the shard lock across the whole decision. 4 connections × 250 blind
+/// increments must land on exactly 1000, and concurrent `add`s of a fresh
+/// key must elect exactly one winner.
+#[test]
+fn sessionless_mutations_are_atomic_across_workers() {
+    let cfg = ServerConfig {
+        workers: 4, // force real cross-worker interleaving
+        ..Default::default()
+    };
+    let handle = KvServer::start_sharded(cfg, sharded_store()).expect("bind");
+    let addr = handle.addr();
+
+    let mut c = WireClient::connect(addr).unwrap();
+    assert_eq!(c.set("ctr", 0, b"0").unwrap(), "STORED");
+
+    let racers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = WireClient::connect(addr).unwrap();
+                for _ in 0..250 {
+                    let r = c.arith(true, "ctr", 1, None).unwrap();
+                    assert!(r.parse::<u64>().is_ok(), "bad incr reply: {r}");
+                }
+                let mut stored = 0;
+                for round in 0..20 {
+                    c.send_raw(format!("add race{round} 0 0 1\r\nx\r\n").as_bytes())
+                        .unwrap();
+                    match c.read_line().unwrap().as_str() {
+                        "STORED" => stored += 1,
+                        "NOT_STORED" => {}
+                        other => panic!("bad add reply: {other}"),
+                    }
+                }
+                stored
+            })
+        })
+        .collect();
+    let stored_total: usize = racers.into_iter().map(|h| h.join().unwrap()).sum();
+
+    assert_eq!(
+        c.get("ctr").unwrap(),
+        Some((0, b"1000".to_vec())),
+        "racing sessionless incrs lost updates"
+    );
+    assert_eq!(
+        stored_total, 20,
+        "each contested add key must elect exactly one STORED winner"
+    );
+    c.quit().unwrap();
+    handle.shutdown();
+}

@@ -27,7 +27,7 @@ pub use sharded::{
     ShardRecovery, ShardedKvStore, StoreBatch, StoreError, StoreLease, StoreRecoveryReport,
 };
 
-use session_table::{SessionEntry, SessionTable};
+use session_table::{SessionRecord, SessionTable};
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
@@ -146,16 +146,13 @@ impl KvStore {
                     else {
                         continue; // malformed descriptors are dropped, not trusted
                     };
-                    store.sessions.entries.lock().insert(
-                        sid,
-                        SessionEntry {
-                            rid,
-                            op_kind,
-                            result,
-                            handle: Some(item.handle()),
-                            recovered: true,
-                        },
-                    );
+                    *store.sessions.slot(sid).lock() = Some(SessionRecord {
+                        rid,
+                        op_kind,
+                        result,
+                        handle: Some(item.handle()),
+                        recovered: true,
+                    });
                 }
                 _ => {}
             }
@@ -293,8 +290,13 @@ impl KvStore {
 
     /// memcached `set`: insert or overwrite.
     pub fn set(&self, tid: usize, key: Key, value: &[u8]) {
-        let idx = self.index(&key);
-        let mut shard = self.shards[idx].lock();
+        let mut shard = self.shards[self.index(&key)].lock();
+        self.set_locked(tid, &mut shard, key, value);
+    }
+
+    /// [`KvStore::set`] under an already-held shard lock (the locked
+    /// read-modify-write path applies its verdict without releasing).
+    fn set_locked(&self, tid: usize, shard: &mut Shard, key: Key, value: &[u8]) {
         if let Some((item, _)) = shard.map.get_mut(&key) {
             // Update in place where the backend supports it.
             match (&self.backend, &mut *item) {
@@ -356,14 +358,73 @@ impl KvStore {
     /// memcached `delete`.
     pub fn delete(&self, tid: usize, key: &Key) -> bool {
         let mut shard = self.shards[self.index(key)].lock();
+        self.delete_locked(tid, &mut shard, key)
+    }
+
+    /// [`KvStore::delete`] under an already-held shard lock.
+    fn delete_locked(&self, tid: usize, shard: &mut Shard, key: &Key) -> bool {
         let Some((item, stamp)) = shard.map.remove(key) else {
             return false;
         };
         shard.lru.remove(&stamp);
-        drop(shard);
         self.free_item(tid, item);
         self.len.fetch_sub(1, Ordering::Relaxed);
         true
+    }
+
+    /// The key's current value bytes under an already-held shard lock —
+    /// the read half of every locked read-modify-write.
+    fn read_value_locked(&self, shard: &Shard, key: &Key) -> Option<Vec<u8>> {
+        let (item, _) = shard.map.get(key)?;
+        Some(match (&self.backend, item) {
+            (_, ItemRef::Dram(b)) => b.to_vec(),
+            (KvBackend::Nvm(r), ItemRef::Nvm(off, len)) => {
+                r.pool().media_read(*len as usize);
+                // SAFETY: (both lines) the ItemRef was produced by this
+                // arena's own append, so `off..off+len` is in bounds and the
+                // bytes are initialized.
+                let ptr = unsafe { r.pool().at::<u8>(*off) };
+                unsafe { std::slice::from_raw_parts(ptr, *len as usize) }.to_vec()
+            }
+            (KvBackend::Montage(esys), ItemRef::Montage(h)) => esys.peek_bytes_unsafe(*h, |b| {
+                esys.pool().media_read(b.len());
+                b[KEY_BYTES..].to_vec()
+            }),
+            _ => unreachable!("item/backend mismatch"),
+        })
+    }
+
+    /// An atomic read-modify-write: runs `decide` on the key's current
+    /// value and applies its verdict while **holding the shard lock across
+    /// both**, so two racing mutations of one key serialize — the second
+    /// decides against the first's result. This is what makes the
+    /// sessionless protocol path's conditional ops (`cas`/`add`/`incr`)
+    /// atomic: without the held lock, two connections on different workers
+    /// interleave get→decide→set and lose updates. Returns `decide`'s
+    /// reply bytes.
+    pub fn update(
+        &self,
+        tid: usize,
+        key: &Key,
+        decide: impl FnOnce(Option<&[u8]>) -> (DetectedWrite, Vec<u8>),
+    ) -> Vec<u8> {
+        let mut shard = self.shards[self.index(key)].lock();
+        let current = self.read_value_locked(&shard, key);
+        let (write, reply) = decide(current.as_deref());
+        match &self.backend {
+            KvBackend::Montage(esys) => {
+                let g = esys.begin_op(ThreadId(tid));
+                self.apply_montage_write(esys, &g, &mut shard, key, write);
+            }
+            _ => match write {
+                DetectedWrite::Keep => {}
+                DetectedWrite::Delete => {
+                    self.delete_locked(tid, &mut shard, key);
+                }
+                DetectedWrite::Upsert(v) => self.set_locked(tid, &mut shard, *key, &v),
+            },
+        }
+        reply
     }
 
     // ---- detectable operations ------------------------------------------
@@ -398,68 +459,55 @@ impl KvStore {
         key: &Key,
         decide: impl FnOnce(Option<&[u8]>) -> (DetectedWrite, Vec<u8>),
     ) -> DetectOutcome {
-        // Held for the whole op: two racing retries of the same request must
-        // serialize, with the loser answered from the winner's descriptor.
-        let mut sessions = self.sessions.entries.lock();
-        if let Some(e) = sessions.get(&sid) {
-            if rid == e.rid {
+        // Serialization is per session, not per store: the table-wide lock
+        // is held only long enough to fetch the session's slot, then two
+        // racing retries of the same request serialize on the slot (the
+        // loser answered from the winner's descriptor) while unrelated
+        // sessions run concurrently — contending, at most, on the mutated
+        // key's shard lock like any other mutation.
+        let slot = self.sessions.slot(sid);
+        let mut entry = slot.lock();
+        if let Some(rec) = entry.as_ref() {
+            if rid == rec.rid {
                 self.sessions.dedupe_hits.fetch_add(1, Ordering::Relaxed);
-                if e.recovered {
+                if rec.recovered {
                     self.sessions.replayed_acks.fetch_add(1, Ordering::Relaxed);
                 }
-                return DetectOutcome::Replayed(e.result.clone());
+                return DetectOutcome::Replayed(rec.result.clone());
             }
-            if rid < e.rid {
-                return DetectOutcome::Stale { last_rid: e.rid };
+            if rid < rec.rid {
+                return DetectOutcome::Stale { last_rid: rec.rid };
             }
         }
         let (result, handle) = match &self.backend {
             KvBackend::Montage(esys) => {
                 let mut shard = self.shards[self.index(key)].lock();
                 let g = esys.begin_op(ThreadId(tid));
-                let current: Option<Vec<u8>> = shard.map.get(key).map(|(item, _)| match item {
-                    ItemRef::Montage(h) => esys.peek_bytes_unsafe(*h, |b| {
-                        esys.pool().media_read(b.len());
-                        b[KEY_BYTES..].to_vec()
-                    }),
-                    _ => unreachable!("item/backend mismatch"),
-                });
+                let current = self.read_value_locked(&shard, key);
                 let (write, result) = decide(current.as_deref());
                 self.apply_montage_write(esys, &g, &mut shard, key, write);
                 let desc = session_table::encode_descriptor(sid, rid, op_kind, &result);
-                let handle = match sessions.get(&sid).and_then(|e| e.handle) {
+                let handle = match entry.as_ref().and_then(|r| r.handle) {
                     // Fixed-size descriptor: always a same-length overwrite,
                     // so uid cancellation keeps exactly one durable version.
                     Some(h) => esys
                         .set_bytes(&g, h, |b| b.copy_from_slice(&desc))
-                        .expect("session table lock orders epochs"),
+                        .expect("session slot lock orders epochs"),
                     None => esys.pnew_bytes(&g, SESSION_TAG, &desc),
                 };
                 (result, Some(handle))
             }
-            _ => {
-                let current = self.get(tid, key, |b| b.to_vec());
-                let (write, result) = decide(current.as_deref());
-                match write {
-                    DetectedWrite::Upsert(v) => self.set(tid, *key, &v),
-                    DetectedWrite::Delete => {
-                        self.delete(tid, key);
-                    }
-                    DetectedWrite::Keep => {}
-                }
-                (result, None)
-            }
+            // Transient backends dedupe in DRAM only; the mutation itself
+            // runs the same locked read-modify-write as the plain path.
+            _ => (self.update(tid, key, decide), None),
         };
-        sessions.insert(
-            sid,
-            SessionEntry {
-                rid,
-                op_kind,
-                result: result.clone(),
-                handle,
-                recovered: false,
-            },
-        );
+        *entry = Some(SessionRecord {
+            rid,
+            op_kind,
+            result: result.clone(),
+            handle,
+            recovered: false,
+        });
         DetectOutcome::Applied(result)
     }
 
@@ -543,11 +591,9 @@ impl KvStore {
     /// descriptor here — what a recovery test compares against the
     /// recovered key state.
     pub fn session_descriptor(&self, sid: u64) -> Option<(u64, u8, Vec<u8>)> {
-        self.sessions
-            .entries
-            .lock()
-            .get(&sid)
-            .map(|e| (e.rid, e.op_kind, e.result.clone()))
+        let slot = self.sessions.entries.lock().get(&sid).cloned()?;
+        let entry = slot.lock();
+        entry.as_ref().map(|r| (r.rid, r.op_kind, r.result.clone()))
     }
 }
 
@@ -619,6 +665,100 @@ mod tests {
             "LRU victim is 2"
         );
         assert!(kv.get(tid, &make_key(1), |_| ()).is_some());
+    }
+
+    #[test]
+    fn update_applies_decision_atomically_all_backends() {
+        for backend in backends() {
+            let kv = Arc::new(KvStore::new(backend, 4, 1000));
+            let tid = kv.register_thread();
+            kv.set(tid, make_key(1), b"0");
+            let mut handles = vec![];
+            for _ in 0..4 {
+                let kv = kv.clone();
+                handles.push(std::thread::spawn(move || {
+                    let tid = kv.register_thread();
+                    for _ in 0..100 {
+                        let reply = kv.update(tid, &make_key(1), |cur| {
+                            let v: u64 =
+                                std::str::from_utf8(cur.unwrap()).unwrap().parse().unwrap();
+                            let next = (v + 1).to_string();
+                            (
+                                DetectedWrite::Upsert(next.clone().into_bytes()),
+                                next.into_bytes(),
+                            )
+                        });
+                        assert!(!reply.is_empty());
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(
+                kv.get(tid, &make_key(1), |v| v.to_vec()).unwrap(),
+                b"400",
+                "racing read-modify-writes must not lose updates"
+            );
+            // Keep leaves the value alone, Delete removes it.
+            let r = kv.update(tid, &make_key(1), |_| {
+                (DetectedWrite::Keep, b"kept".to_vec())
+            });
+            assert_eq!(r, b"kept");
+            kv.update(tid, &make_key(1), |_| (DetectedWrite::Delete, vec![]));
+            assert!(kv.get(tid, &make_key(1), |_| ()).is_none());
+        }
+    }
+
+    #[test]
+    fn detected_sessions_race_without_store_wide_serialization() {
+        // Distinct sessions mutating distinct keys only contend on shard
+        // locks; racing them end-to-end still yields per-session exactly-once
+        // counts and one descriptor each.
+        let esys = EpochSys::format(
+            PmemPool::new(PmemConfig::strict_for_test(64 << 20)),
+            EsysConfig::default(),
+        );
+        let kv = Arc::new(KvStore::new(KvBackend::Montage(esys), 4, 1000));
+        let mut handles = vec![];
+        for sid in 0..4u64 {
+            let kv = kv.clone();
+            handles.push(std::thread::spawn(move || {
+                let tid = kv.register_thread();
+                let key = make_key(sid);
+                for rid in 1..=50u64 {
+                    let out = kv.detected_update(tid, sid, rid, 7, &key, |cur| {
+                        let v: u64 = cur
+                            .map(|b| std::str::from_utf8(b).unwrap().parse().unwrap())
+                            .unwrap_or(0);
+                        let next = (v + 1).to_string().into_bytes();
+                        (DetectedWrite::Upsert(next.clone()), next)
+                    });
+                    // A fresh rid always applies; a blind retry replays.
+                    assert!(matches!(out, DetectOutcome::Applied(_)));
+                    let retry = kv.detected_update(tid, sid, rid, 7, &key, |_| {
+                        panic!("retry must not re-run the decision")
+                    });
+                    assert!(matches!(retry, DetectOutcome::Replayed(_)));
+                }
+                kv.unregister_thread(tid);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let tid = kv.register_thread();
+        for sid in 0..4u64 {
+            assert_eq!(
+                kv.get(tid, &make_key(sid), |v| v.to_vec()).unwrap(),
+                b"50",
+                "session {sid} lost updates"
+            );
+            assert_eq!(kv.session_descriptor(sid).unwrap().0, 50);
+        }
+        let stats = kv.detect_stats();
+        assert_eq!(stats.descriptors, 4);
+        assert_eq!(stats.dedupe_hits, 200);
     }
 
     #[test]

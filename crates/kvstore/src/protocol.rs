@@ -26,6 +26,15 @@
 //! Reads never carry rids; they are idempotent. A `rid` without a session
 //! is a client error: dedupe identity cannot be per-connection, or it would
 //! not survive a reconnect.
+//!
+//! **Wire contract: one outstanding rid per session.** A session must wait
+//! for rid *n*'s reply before sending rid *n+1*. Only the newest rid per
+//! (session, shard) is durably retained, so a client that pipelines two
+//! rid mutations and crashes before either ack can replay only the later
+//! one — the earlier rid is answered `SERVER_ERROR stale request id`, its
+//! recorded reply already overwritten. (The rids themselves need not be
+//! dense: a session spanning shards leaves gaps in each shard's sequence,
+//! which is why the server cannot detect pipelining by rejecting skips.)
 
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -295,8 +304,11 @@ impl Session {
     /// Runs one mutating command: the op's decision against the key's
     /// current live item, then the write. With a `(sid, rid)` context the
     /// whole thing — read, decision, write, descriptor — runs inside the
-    /// store's detected path; without one it runs as a plain (at-most-once
-    /// acked, at-least-once retried) mutation.
+    /// store's detected path; without one it runs the same locked
+    /// read-decide-write minus the descriptor (at-most-once acked,
+    /// at-least-once retried — but still atomic: both paths hold the key's
+    /// shard lock across the decision, so racing `incr`s never lose
+    /// updates and racing `add`s never both reply `STORED`).
     fn mutate(&self, ctx: Option<(u64, u64)>, key: Key, op: MutOp<'_>) -> String {
         let now_ms = self.clock.now_ms();
         let new_cas = self.store.next_cas();
@@ -328,19 +340,10 @@ impl Session {
                     Err(e) => server_error(&e),
                 }
             }
-            None => {
-                let raw = self.store.get(&key, |b| b.to_vec());
-                let (write, reply) = decide(raw.as_deref());
-                let applied = match write {
-                    DetectedWrite::Upsert(v) => self.store.set(&self.lease, key, &v),
-                    DetectedWrite::Delete => self.store.delete(&self.lease, &key).map(|_| ()),
-                    DetectedWrite::Keep => Ok(()),
-                };
-                match applied {
-                    Ok(()) => String::from_utf8_lossy(&reply).into_owned(),
-                    Err(e) => server_error(&e),
-                }
-            }
+            None => match self.store.update(&self.lease, &key, decide) {
+                Ok(reply) => String::from_utf8_lossy(&reply).into_owned(),
+                Err(e) => server_error(&e),
+            },
         }
     }
 
@@ -615,6 +618,54 @@ mod tests {
         // Going backwards is refused, not re-applied.
         let r = s.execute_with("incr n 1 rid=1", b"", Some(9));
         assert!(r.starts_with("SERVER_ERROR stale request id"), "{r}");
+    }
+
+    #[test]
+    fn sessionless_incr_is_atomic_across_racing_sessions() {
+        // Two connections land on different workers; without the shard lock
+        // held across read-decide-write, racing `incr`s interleave and lose
+        // updates. 4 racers × 250 increments must land on exactly 1000.
+        let store = Arc::new(KvStore::new(KvBackend::Dram, 8, 10_000));
+        Session::new(store.clone()).execute("set ctr 0 0 1", b"0");
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                let s = Session::new(store);
+                for _ in 0..250 {
+                    let r = s.execute("incr ctr 1", b"");
+                    assert!(r.parse::<u64>().is_ok(), "{r}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = Session::new(store);
+        let r = s.execute("get ctr", b"");
+        assert!(r.contains("1000"), "lost updates: {r}");
+    }
+
+    #[test]
+    fn sessionless_add_stores_exactly_once_under_races() {
+        // `add` is check-then-act: two racers must never both see "absent"
+        // and both reply STORED.
+        let store = Arc::new(KvStore::new(KvBackend::Dram, 8, 10_000));
+        for round in 0..50 {
+            let mut handles = vec![];
+            for _ in 0..4 {
+                let store = store.clone();
+                handles.push(std::thread::spawn(move || {
+                    Session::new(store).execute(&format!("add k{round} 0 0 1"), b"x")
+                }));
+            }
+            let stored = handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|r| r == "STORED")
+                .count();
+            assert_eq!(stored, 1, "round {round}: {stored} winners");
+        }
     }
 
     #[test]

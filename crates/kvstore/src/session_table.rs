@@ -16,11 +16,25 @@
 //! reconnecting client that blindly replays its last request-id is answered
 //! from the table instead of re-applying — exactly-once across crashes.
 //!
+//! Each (session, shard) pair retains **only its newest** request-id: the
+//! descriptor is overwritten in place by the next mutation. Exactly-once
+//! replay therefore requires at most one outstanding rid-carrying mutation
+//! per session — a client that pipelines two and crashes before either ack
+//! finds only the later descriptor, and replaying the earlier rid is
+//! answered [`DetectOutcome::Stale`] rather than with its lost reply. The
+//! synchronous wire client satisfies this by construction; the constraint
+//! is documented at the wire-protocol level (README, `kvserver::client`).
+//!
 //! The DRAM side ([`SessionTable`]) is a cache of the durable table plus
-//! the exactly-once counters the server's `stats` command reports.
+//! the exactly-once counters the server's `stats` command reports. The
+//! table-wide lock is held only to look up a session's slot; the dedupe/
+//! apply critical section runs under the per-session slot lock (plus the
+//! mutated key's shard lock), so sessions working different keys never
+//! contend on a store-wide point.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use montage::{PHandle, HDR_SIZE};
 use parking_lot::Mutex;
@@ -105,6 +119,10 @@ pub enum DetectOutcome {
     Replayed(Vec<u8>),
     /// The request-id is older than the session's descriptor — the client
     /// already consumed this ack and moved on; refuse rather than guess.
+    /// Also what a client that pipelined two rid mutations to one shard
+    /// sees when replaying the earlier one after a crash: only the newest
+    /// rid per (session, shard) is retained (see module docs), which is
+    /// why the wire contract demands one outstanding rid at a time.
     Stale { last_rid: u64 },
 }
 
@@ -134,8 +152,8 @@ impl std::ops::Add for DetectStats {
     }
 }
 
-/// DRAM cache of one shard-store's durable descriptor table.
-pub(crate) struct SessionEntry {
+/// DRAM cache of one session's durable descriptor on one shard-store.
+pub(crate) struct SessionRecord {
     pub rid: u64,
     pub op_kind: u8,
     pub result: Vec<u8>,
@@ -148,16 +166,31 @@ pub(crate) struct SessionEntry {
     pub recovered: bool,
 }
 
+/// One session's serialization point: racing retries of the same request
+/// lock here — not the whole table — so the loser replays the winner's
+/// descriptor while unrelated sessions proceed. `None` until the session's
+/// first mutation on this store completes.
+pub(crate) type SessionSlot = Arc<Mutex<Option<SessionRecord>>>;
+
 /// Per-shard-store session table: the dedupe/replay decision point.
 #[derive(Default)]
 pub(crate) struct SessionTable {
-    pub entries: Mutex<HashMap<u64, SessionEntry>>,
+    pub entries: Mutex<HashMap<u64, SessionSlot>>,
     pub dedupe_hits: AtomicU64,
     pub replayed_acks: AtomicU64,
 }
 
 impl SessionTable {
+    /// The session's slot, created on first touch. Holds the table lock
+    /// only for the lookup/insert; callers serialize on the slot.
+    pub fn slot(&self, sid: u64) -> SessionSlot {
+        self.entries.lock().entry(sid).or_default().clone()
+    }
+
     pub fn stats(&self) -> DetectStats {
+        // Slot count, not record count: a session whose first mutation is
+        // still in flight is counted one op early, which keeps `stats`
+        // from blocking behind every in-flight slot lock.
         let descriptors = self.entries.lock().len() as u64;
         DetectStats {
             dedupe_hits: self.dedupe_hits.load(Ordering::Relaxed),

@@ -323,6 +323,25 @@ impl ShardedKvStore {
         Ok(self.shards[shard].delete(tid, key))
     }
 
+    /// A plain (sessionless) atomic read-modify-write (see
+    /// [`KvStore::update`]): routes to the owning shard, which holds its
+    /// shard lock across read+decide+write — the protocol's conditional
+    /// ops (`cas`/`add`/`incr`/…) stay atomic even without a session,
+    /// matching the detected path's serialization. Same fault policy as
+    /// [`ShardedKvStore::set`]; on a healthy shard the decision's reply
+    /// bytes come back.
+    pub fn update(
+        &self,
+        lease: &StoreLease,
+        key: &Key,
+        decide: impl FnOnce(Option<&[u8]>) -> (DetectedWrite, Vec<u8>),
+    ) -> Result<Vec<u8>, StoreError> {
+        let shard = self.shard_of(key);
+        self.check_shard(shard)?;
+        let tid = lease.tid(shard)?;
+        Ok(self.shards[shard].update(tid, key, decide))
+    }
+
     /// A detectable mutation (see [`KvStore::detected_update`]): routes to
     /// the shard owning `key`, so the session's descriptor is co-located —
     /// and co-crashes — with the data it describes, and a deterministic
