@@ -5,9 +5,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use montage::{EpochSys, EsysConfig, VerifyCell};
-use pmem::{POff, PmemConfig, PmemPool};
+use montage_bench::report::JsonReport;
+use montage_ds::{tags, MontageHashMap};
+use pmem::{ChaosConfig, POff, PmemConfig, PmemPool};
 use ralloc::Ralloc;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn bench_ralloc(c: &mut Criterion) {
     let r = Ralloc::format(PmemPool::new(PmemConfig {
@@ -134,6 +137,148 @@ fn bench_coalescing(c: &mut Criterion) {
         clwbs + saved,
         stats1.sfences - stats0.sfences
     );
+    COALESCING.with(|cell| *cell.borrow_mut() = Some((clwbs, saved)));
+}
+
+thread_local! {
+    /// Counted coalescing result handed from `bench_coalescing` to the
+    /// report writer (criterion shim targets run in order on one thread).
+    static COALESCING: std::cell::RefCell<Option<(u64, u64)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Mirrors `MontageHashMap::index` so peer keys steer clear of the parked
+/// victim's locked bucket.
+fn bucket_of(key: &[u8; 32], nbuckets: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % nbuckets
+}
+
+/// Sync latencies (µs) from one thread while a victim stays parked mid-put
+/// on the same map: the stall-injection figure. `grace` is the advance's
+/// per-slot grace window — 64 is the helping path; a multi-million spin
+/// window emulates the old blocking advancer (it waits the full window out
+/// on the victim's slot at *every* epoch boundary).
+fn stalled_sync_lats(grace: usize, syncs: usize) -> Vec<u64> {
+    const NBUCKETS: usize = 64;
+    let mut vk = [0u8; 32];
+    vk[0] = 0xAA;
+    let setup = |chaos: ChaosConfig| {
+        let mut cfg = PmemConfig::strict_for_test(64 << 20);
+        cfg.chaos = chaos;
+        let s = EpochSys::format(
+            PmemPool::new(cfg),
+            EsysConfig {
+                advance_grace_spins: grace,
+                ..Default::default()
+            },
+        );
+        let map = Arc::new(MontageHashMap::<[u8; 32]>::new(
+            s.clone(),
+            tags::HASHMAP,
+            NBUCKETS,
+        ));
+        (s, map)
+    };
+
+    // Counting pass: measure the victim put's persistence-event span so the
+    // live pass can park it mid-operation.
+    let (e_setup, e_put) = {
+        let (s, map) = setup(ChaosConfig {
+            crash_at_event: Some(u64::MAX),
+            ..Default::default()
+        });
+        let tid = s.register_thread();
+        let e_setup = s.pool().persistence_events();
+        map.put(tid, vk, b"victim-value");
+        (e_setup, s.pool().persistence_events())
+    };
+    assert!(e_put > e_setup, "a put must charge persistence events");
+    let stall_at = e_setup + (e_put - e_setup).div_ceil(2);
+
+    let (s, map) = setup(ChaosConfig {
+        stall_at_event: Some(stall_at),
+        ..Default::default()
+    });
+    let victim = {
+        let (s, map) = (s.clone(), map.clone());
+        std::thread::spawn(move || {
+            let tid = s.register_thread();
+            map.put(tid, vk, b"victim-value");
+        })
+    };
+    assert!(
+        s.pool().await_stalled(Duration::from_secs(30)),
+        "victim never parked"
+    );
+
+    let tid = s.register_thread();
+    let vb = bucket_of(&vk, NBUCKETS);
+    let mut lats = Vec::with_capacity(syncs);
+    for i in 0..syncs {
+        let mut k = [0u8; 32];
+        k[0] = 1;
+        k[1] = (i & 0xff) as u8;
+        k[2] = (i >> 8) as u8;
+        while bucket_of(&k, NBUCKETS) == vb {
+            k[3] += 1;
+        }
+        map.put(tid, k, b"peer-value");
+        let t0 = Instant::now();
+        s.sync();
+        lats.push(t0.elapsed().as_micros() as u64);
+    }
+    s.pool().release_stalled();
+    victim.join().unwrap();
+    lats.sort_unstable();
+    lats
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Emits `BENCH_core_primitives.json`: the coalescing counts (PR 1's flush
+/// elimination, gated via the bench-diff manifest) plus the stall-injection
+/// sync tail — p50/p99 of `sync` while one thread is parked mid-op, under
+/// the helping advance vs. a blocking-advancer emulation.
+fn report_core_primitives(_c: &mut Criterion) {
+    let helping = stalled_sync_lats(64, 300);
+    let blocking = stalled_sync_lats(2_000_000, 40);
+    let (h_p50, h_p99) = (percentile(&helping, 0.50), percentile(&helping, 0.99));
+    let (b_p50, b_p99) = (percentile(&blocking, 0.50), percentile(&blocking, 0.99));
+    println!(
+        "stalled_sync helping   p50: {h_p50}us  p99: {h_p99}us   ({} syncs, victim parked)",
+        helping.len()
+    );
+    println!(
+        "stalled_sync blocking  p50: {b_p50}us  p99: {b_p99}us   ({} syncs, victim parked)",
+        blocking.len()
+    );
+
+    let mut json = JsonReport::new("core_primitives");
+    json.headline("coalescing_clwbs_per_100_epochs");
+    if let Some((clwbs, saved)) = COALESCING.with(|cell| *cell.borrow()) {
+        json.metric("coalescing_clwbs_per_100_epochs", clwbs as f64);
+        json.metric(
+            "coalescing_elimination_pct",
+            100.0 * saved as f64 / (clwbs + saved).max(1) as f64,
+        );
+    }
+    json.metric("stalled_sync_helping_p50_us", h_p50 as f64);
+    json.metric("stalled_sync_helping_p99_us", h_p99 as f64);
+    json.metric("stalled_sync_blocking_p50_us", b_p50 as f64);
+    json.metric("stalled_sync_blocking_p99_us", b_p99 as f64);
+    match json.write() {
+        Ok(path) => println!("# json: {}", path.display()),
+        Err(e) => eprintln!("# json write failed: {e}"),
+    }
 }
 
 criterion_group! {
@@ -142,6 +287,6 @@ criterion_group! {
         .sample_size(20)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(500));
-    targets = bench_ralloc, bench_pmem, bench_esys, bench_coalescing
+    targets = bench_ralloc, bench_pmem, bench_esys, bench_coalescing, report_core_primitives
 }
 criterion_main!(benches);

@@ -273,6 +273,7 @@ fn main() {
             "speedup",
             "batch_p50_us",
             "batch_p99_us",
+            "batch_p999_us",
             "flushes_per_op",
             "fences_per_op",
         ],
@@ -296,6 +297,7 @@ fn main() {
         let speedup = run.tput / *base_tput.get_or_insert(run.tput);
         let p50 = percentile(&run.lats, 0.50);
         let p99 = percentile(&run.lats, 0.99);
+        let p999 = percentile(&run.lats, 0.999);
         let [flushes, fences] = run.cost.fields();
         report::row(&[
             n_shards.to_string(),
@@ -303,6 +305,7 @@ fn main() {
             format!("{speedup:.2}"),
             p50.to_string(),
             p99.to_string(),
+            p999.to_string(),
             flushes.clone(),
             fences.clone(),
         ]);
@@ -312,6 +315,7 @@ fn main() {
             ("speedup".to_string(), speedup.into()),
             ("batch_p50_us".to_string(), p50.into()),
             ("batch_p99_us".to_string(), p99.into()),
+            ("batch_p999_us".to_string(), p999.into()),
             ("flushes_per_op".to_string(), run.cost.flushes_per_op.into()),
             ("fences_per_op".to_string(), run.cost.fences_per_op.into()),
         ]);
@@ -323,6 +327,12 @@ fn main() {
         json.metric(
             &JsonReport::slug(&["shards", &shards, "p99_us"]),
             p99 as f64,
+        );
+        // The p999 panel is the nonblocking-advance story: the tail a
+        // single straggling thread used to put on *everyone's* sync.
+        json.metric(
+            &JsonReport::slug(&["shards", &shards, "p999_us"]),
+            p999 as f64,
         );
     }
     match json.write() {

@@ -42,6 +42,9 @@ pub(crate) struct WorkerStats {
     /// Group fences issued (one per batch that crossed the sync threshold,
     /// regardless of how many shards it touched).
     pub fences: AtomicU64,
+    /// Per-shard fence attempts that blew the `fence_deadline` budget —
+    /// each one severed the straggling shard's connections for the batch.
+    pub fence_timeouts: AtomicU64,
     /// Replies queued behind those fences.
     pub acks: AtomicU64,
     /// Batch-size histogram over [`HIST_BUCKETS`].
@@ -92,6 +95,11 @@ pub(crate) fn execute(
     // Connections that queued replies this batch: if the group fence fails,
     // these are the conns whose queued acks must never escape.
     let mut batch_cis: Vec<usize> = Vec::new();
+    // (connection, shard) pairs for this batch's mutations: when one
+    // shard's fence blows its deadline, only the connections that routed
+    // mutations to *that* shard are severed — the rest of the group commit
+    // proceeds.
+    let mut conn_shards: Vec<(usize, usize)> = Vec::new();
     let mut batch_muts: u64 = 0;
     let mut acks: u64 = 0;
 
@@ -119,12 +127,31 @@ pub(crate) fn execute(
                     // identity, carried across reconnects. It lives on the
                     // connection, not in the store — descriptors appear only
                     // once a rid-carrying mutation lands in a shard.
-                    let out = match line.split_whitespace().nth(1).map(str::parse::<u64>) {
-                        Some(Ok(sid)) => {
-                            c.session = Some(sid);
-                            format!("SESSION {sid}\r\n")
+                    // `session close` detaches; attaches are counted against
+                    // `max_sessions` (one slot per attached connection, held
+                    // until detach or disconnect) so an adversarial client
+                    // mix cannot grow the descriptor tables without bound.
+                    let out = match line.split_whitespace().nth(1) {
+                        Some("close") => {
+                            if c.session.take().is_some() {
+                                shared.detach_session();
+                            }
+                            "CLOSED\r\n".to_string()
                         }
-                        _ => "CLIENT_ERROR bad session id\r\n".into(),
+                        Some(arg) => match arg.parse::<u64>() {
+                            // Re-attaching rides the slot the connection
+                            // already holds; only a fresh attach claims one.
+                            Ok(sid) if c.session.is_some() || shared.try_attach_session() => {
+                                c.session = Some(sid);
+                                format!("SESSION {sid}\r\n")
+                            }
+                            Ok(_) => {
+                                c.closing = true;
+                                "SERVER_ERROR too many sessions\r\n".to_string()
+                            }
+                            Err(_) => "CLIENT_ERROR bad session id\r\n".into(),
+                        },
+                        None => "CLIENT_ERROR bad session id\r\n".into(),
                     };
                     if !noreply {
                         c.out.extend_from_slice(out.as_bytes());
@@ -147,6 +174,7 @@ pub(crate) fn execute(
                     // batch re-pin lazily.
                     let _ = sb.finish();
                     fence_shards.clear();
+                    conn_shards.clear();
                     let out = match store.sync() {
                         Ok(()) => "SYNCED\r\n".into(),
                         Err(e) => format!("SERVER_ERROR {e}\r\n"),
@@ -170,6 +198,9 @@ pub(crate) fn execute(
                         let _ = sb.pin_shard(shard);
                         if !fence_shards.contains(&shard) {
                             fence_shards.push(shard);
+                        }
+                        if !conn_shards.contains(&(ci, shard)) {
+                            conn_shards.push((ci, shard));
                         }
                     }
                 }
@@ -227,9 +258,24 @@ pub(crate) fn execute(
         if let Some(n) = shared.cfg.sync_every {
             if (before + batch_muts) / n > before / n {
                 let mut fence_failed = false;
+                let mut timed_out: Vec<usize> = Vec::new();
                 for shard in fence_shards {
-                    if store.sync_shard(shard).is_err() {
-                        fence_failed = true;
+                    match shared.cfg.fence_deadline {
+                        // The epoch-window deadline: a shard that cannot
+                        // certify durability inside the budget is a
+                        // straggler, and the group commit proceeds without
+                        // its unfenced ops rather than holding every other
+                        // shard's acks hostage.
+                        Some(budget) => match store.sync_shard_deadline(shard, budget) {
+                            Ok(true) => {}
+                            Ok(false) => timed_out.push(shard),
+                            Err(_) => fence_failed = true,
+                        },
+                        None => {
+                            if store.sync_shard(shard).is_err() {
+                                fence_failed = true;
+                            }
+                        }
                     }
                 }
                 ws.fences.fetch_add(1, Ordering::Relaxed);
@@ -244,6 +290,26 @@ pub(crate) fn execute(
                         let c = &mut conns[ci];
                         c.out.truncate(c.sent);
                         c.dead = true;
+                    }
+                } else if !timed_out.is_empty() {
+                    // Straggler degradation: withhold the acks that were
+                    // promised behind the late fence (they would claim a
+                    // durability point that never arrived) and sever those
+                    // connections with an explicit error — the retry path
+                    // (session + rid replay) then tells each client the
+                    // truth. Connections whose mutations all landed on
+                    // healthy shards keep their acks.
+                    ws.fence_timeouts
+                        .fetch_add(timed_out.len() as u64, Ordering::Relaxed);
+                    let mut severed: Vec<usize> = Vec::new();
+                    for &(ci, shard) in &conn_shards {
+                        if timed_out.contains(&shard) && !severed.contains(&ci) {
+                            severed.push(ci);
+                            let c = &mut conns[ci];
+                            c.out.truncate(c.sent);
+                            c.out.extend_from_slice(b"SERVER_ERROR timeout\r\n");
+                            c.closing = true;
+                        }
                     }
                 }
             }

@@ -44,6 +44,12 @@ impl WireClient {
         self.stream.get_mut().write_all(bytes)
     }
 
+    /// Overrides the socket read timeout (`None` blocks forever). The
+    /// robustness tests poll with short timeouts while dripping bytes.
+    pub fn set_read_timeout(&mut self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.stream.get_ref().set_read_timeout(dur)
+    }
+
     /// Reads whatever reply bytes are available into `buf`, returning the
     /// count (0 = peer closed). Load generators use this to drain pipelined
     /// replies in bulk instead of line-by-line.
@@ -181,6 +187,19 @@ impl WireClient {
             Ok(())
         } else {
             Err(bad_reply("session", &line))
+        }
+    }
+
+    /// Detaches the durable session id attached by [`WireClient::session`],
+    /// releasing its slot against the server's session cap. Subsequent
+    /// mutations are sessionless until a new attach.
+    pub fn session_close(&mut self) -> std::io::Result<()> {
+        self.send_raw(b"session close\r\n")?;
+        let line = self.read_line()?;
+        if line == "CLOSED" {
+            Ok(())
+        } else {
+            Err(bad_reply("session close", &line))
         }
     }
 

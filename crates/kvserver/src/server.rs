@@ -28,7 +28,7 @@
 //!   loses nothing; [`ServerHandle::crash`] deliberately skips it.
 
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -55,6 +55,26 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// A connection whose peer accepts no output for this long is dropped.
     pub write_timeout: Duration,
+    /// A connection with a *partially* framed request (a command line or
+    /// data block it started but never finished) is dropped once the
+    /// fragment is this old. This is the slow-loris reap: trickling one
+    /// byte per second resets `read_timeout` forever but never completes a
+    /// frame, so the frame — not the byte — carries the deadline.
+    pub idle_timeout: Duration,
+    /// Wall-clock budget for the periodic group fence, per shard. When a
+    /// shard cannot certify durability in time (injected straggler delays,
+    /// a wedged medium), the batch's connections that routed mutations to
+    /// it have their unflushed acks withheld and are severed with
+    /// `SERVER_ERROR timeout`; connections on healthy shards commit
+    /// normally. `None` waits out the fence unconditionally.
+    pub fence_deadline: Option<Duration>,
+    /// Cap on concurrently *attached* durable sessions (the `session <id>`
+    /// verb). Each attached connection holds one slot until it detaches
+    /// (`session close`) or disconnects; an attach beyond the cap is shed
+    /// with `SERVER_ERROR too many sessions`. Bounds the worst-case growth
+    /// of the per-shard descriptor tables an adversarial client mix can
+    /// provoke.
+    pub max_sessions: usize,
     /// `Some(n)`: fence each batch that carries the server-wide mutation
     /// counter across a multiple of n (Fig. 9's periodic-sync mode, group
     /// committed).
@@ -74,6 +94,9 @@ impl Default for ServerConfig {
             max_value_bytes: 1 << 20,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(5),
+            fence_deadline: None,
+            max_sessions: 256,
             sync_every: None,
             panic_on_cmd: None,
         }
@@ -105,8 +128,37 @@ pub(crate) struct Shared {
     /// Mutations since start, for the sync-every-N barrier (server-wide,
     /// like a log sequence number).
     pub(crate) mutations: AtomicU64,
+    /// Durable sessions currently attached (each `session <id>` attach
+    /// holds one slot against `max_sessions` until detach or disconnect).
+    pub(crate) sessions: AtomicUsize,
     /// Per-worker group-commit counters.
     pub(crate) stats: ServerStats,
+}
+
+impl Shared {
+    /// Claims a session slot; `false` sheds the attach.
+    pub(crate) fn try_attach_session(&self) -> bool {
+        let mut cur = self.sessions.load(Ordering::Acquire);
+        loop {
+            if cur >= self.cfg.max_sessions {
+                return false;
+            }
+            match self.sessions.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Returns a slot claimed by [`Shared::try_attach_session`].
+    pub(crate) fn detach_session(&self) {
+        self.sessions.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 pub struct KvServer;
@@ -144,6 +196,7 @@ impl KvServer {
             shutdown: AtomicBool::new(false),
             crashed: AtomicBool::new(false),
             mutations: AtomicU64::new(0),
+            sessions: AtomicUsize::new(0),
             stats: ServerStats::new(workers),
         });
         let accept_shared = Arc::clone(&shared);
@@ -171,6 +224,10 @@ pub(crate) fn stats_reply(shared: &Shared) -> String {
     stat("curr_items", store.len() as u64);
     stat("evictions", store.evictions() as u64);
     stat("curr_connections", shared.registry.active() as u64);
+    stat(
+        "curr_sessions",
+        shared.sessions.load(Ordering::Acquire) as u64,
+    );
     stat("total_mutations", shared.mutations.load(Ordering::Acquire));
     stat("shards", store.n_shards() as u64);
     // Store-wide aggregates keep the single-pool stat names so existing
@@ -200,12 +257,14 @@ pub(crate) fn stats_reply(shared: &Shared) -> String {
     let workers = &shared.stats.workers;
     stat("gc_workers", workers.len() as u64);
     let mut totals = (0u64, 0u64, 0u64, 0u64);
+    let mut timeouts = 0u64;
     let mut hist = [0u64; HIST_BUCKETS.len()];
     for w in workers.iter() {
         totals.0 += w.batches.load(Ordering::Relaxed);
         totals.1 += w.requests.load(Ordering::Relaxed);
         totals.2 += w.fences.load(Ordering::Relaxed);
         totals.3 += w.acks.load(Ordering::Relaxed);
+        timeouts += w.fence_timeouts.load(Ordering::Relaxed);
         for (slot, bucket) in hist.iter_mut().zip(w.hist.iter()) {
             *slot += bucket.load(Ordering::Relaxed);
         }
@@ -214,6 +273,7 @@ pub(crate) fn stats_reply(shared: &Shared) -> String {
     stat("gc_batched_requests", totals.1);
     stat("gc_fences", totals.2);
     stat("gc_acks", totals.3);
+    stat("gc_fence_timeouts", timeouts);
     stat(
         "gc_acks_per_fence_x1000",
         (totals.3 * 1000).checked_div(totals.2).unwrap_or(0),

@@ -49,6 +49,11 @@ pub(crate) struct Conn {
     pub last_activity: Instant,
     /// Last time a flush made progress, for the write-stall timeout.
     pub last_write: Instant,
+    /// When the reader first held an *incomplete* frame with no complete
+    /// request to show for it. A slow-loris trickle resets `last_activity`
+    /// on every byte but can never clear this until it finishes the frame,
+    /// so `idle_timeout` measures from here.
+    pub partial_since: Option<Instant>,
     /// Reply queued, connection closes once `out` drains (quit, fatal
     /// protocol error, handler panic).
     pub closing: bool,
@@ -81,6 +86,7 @@ pub(crate) fn run(widx: usize, inbox: Arc<Inbox>, shared: Arc<Shared>) {
                 sent: 0,
                 last_activity: now,
                 last_write: now,
+                partial_since: None,
                 closing: false,
                 dead: false,
                 session: None,
@@ -142,6 +148,19 @@ pub(crate) fn run(widx: usize, inbox: Arc<Inbox>, shared: Arc<Shared>) {
                     None => break,
                 }
             }
+            // Slow-loris reap: a frame the peer started must be finished
+            // within `idle_timeout`. Completing any request (or draining
+            // the buffer) resets the clock; trickling bytes does not.
+            if framed > 0 || c.reader.buffered() == 0 {
+                c.partial_since = None;
+            } else if c.partial_since.is_none() {
+                c.partial_since = Some(now);
+            }
+            if c.partial_since
+                .is_some_and(|t| now.duration_since(t) > shared.cfg.idle_timeout)
+            {
+                c.dead = true;
+            }
         }
 
         if !batch.is_empty() {
@@ -199,6 +218,9 @@ pub(crate) fn run(widx: usize, inbox: Arc<Inbox>, shared: Arc<Shared>) {
 
 fn retire(c: &mut Conn, shared: &Shared) {
     let _ = c.stream.shutdown(Shutdown::Both);
+    if c.session.take().is_some() {
+        shared.detach_session(); // disconnect releases the session slot
+    }
     shared.registry.release();
 }
 

@@ -466,6 +466,24 @@ impl ShardedKvStore {
         }
     }
 
+    /// [`ShardedKvStore::sync_shard`] with a wall-clock budget: `Ok(false)`
+    /// means the shard's epoch system could not certify durability within
+    /// `timeout` (a straggling shard — injected delays, a wedged medium).
+    /// The caller decides what degrades: the server severs the connections
+    /// whose acks were promised behind this fence.
+    pub fn sync_shard_deadline(
+        &self,
+        shard: usize,
+        timeout: std::time::Duration,
+    ) -> Result<bool, StoreError> {
+        match self.shards[shard].esys() {
+            Some(esys) => esys
+                .try_sync_deadline(Some(std::time::Instant::now() + timeout))
+                .map_err(|fault| StoreError::Faulted { shard, fault }),
+            None => Ok(true),
+        }
+    }
+
     /// Freezes and returns every shard's durable image (simulated
     /// whole-machine crash). Panics on non-Montage shards.
     pub fn crash_pools(&self) -> Vec<PmemPool> {

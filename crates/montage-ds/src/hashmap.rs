@@ -148,14 +148,14 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
                     .set_bytes(&g, e.payload, |b| b[ksize..].copy_from_slice(value))
                     .expect("bucket lock orders epochs");
             } else {
-                // Size changed: new payload + anti-payload for the old one.
-                let h = self
+                // Size changed: same-uid replacement — the new payload takes
+                // over the old one's identity, so a crash cut anywhere in the
+                // op recovers exactly one version of the key (see
+                // `EpochSys::replace_bytes` for the ordering argument).
+                e.payload = self
                     .esys
-                    .pnew_bytes(&g, self.tag, &self.encode(&key, value));
-                self.esys
-                    .pdelete(&g, e.payload)
+                    .replace_bytes(&g, e.payload, &self.encode(&key, value))
                     .expect("bucket lock orders epochs");
-                e.payload = h;
             }
             true
         } else {

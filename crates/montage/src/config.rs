@@ -49,6 +49,13 @@ pub struct EsysConfig {
     pub free: FreeStrategy,
     /// Target epoch length for the background advancer (paper default 10 ms).
     pub epoch_length: Duration,
+    /// Grace window (in spin steps per tracker slot) an epoch advance gives
+    /// in-flight operations to retire before bypassing them as stragglers
+    /// (nbMontage-style helping; see `EpochSys::advance_epoch`). An op
+    /// normally retires within a few hundred instructions, so the default
+    /// keeps quiescent boundaries on the fast path while bounding how long
+    /// one parked thread can delay everyone else's `sync`.
+    pub advance_grace_spins: usize,
 }
 
 impl Default for EsysConfig {
@@ -58,6 +65,7 @@ impl Default for EsysConfig {
             persist: PersistStrategy::Buffered(64),
             free: FreeStrategy::Background,
             epoch_length: Duration::from_millis(10),
+            advance_grace_spins: 4096,
         }
     }
 }

@@ -78,7 +78,12 @@ pub struct EpochSys {
     tracker: Tracker,
     buffers: Buffers,
     mind: Mindicator,
-    advance_lock: Mutex<()>,
+    /// Highest clock value known to be *flushed* (clwb + fence issued on a
+    /// healthy pool). The transient clock may run ahead of this when an
+    /// advance's winner is preempted between its clock store and its clwb;
+    /// `sync` waits on this mirror, not the clock, because durability can
+    /// only be claimed for epochs whose closing tick reached the media.
+    durable_clock: AtomicU64,
     /// Highest epoch some in-flight `sync` wants persisted (0 = none); a
     /// hint that makes workers help with write-back in `BEGIN_OP`.
     sync_requested: AtomicU64,
@@ -123,11 +128,16 @@ impl EpochSys {
             PersistStrategy::Buffered(n) => n,
             _ => 1,
         };
+        // SAFETY: the clock slot is a reserved in-bounds word, written before
+        // from_parts both at format and at recovery. Its current value is
+        // durable by construction (format fences it; recovery read it from
+        // the durable image), so it seeds the durable-clock mirror.
+        let clock_now = unsafe { pool.read::<u64>(POff::root_slot(CLOCK_SLOT)) };
         EpochSys {
             tracker: Tracker::new(cfg.max_threads),
             buffers: Buffers::new(cfg.max_threads, cap),
             mind: Mindicator::new(cfg.max_threads),
-            advance_lock: Mutex::new(()),
+            durable_clock: AtomicU64::new(clock_now),
             sync_requested: AtomicU64::new(0),
             next_tid: AtomicUsize::new(0),
             free_tids: Mutex::new(Vec::new()),
@@ -323,7 +333,13 @@ impl EpochSys {
         if self.cfg.free == FreeStrategy::WorkerLocal {
             let last = self.last_epoch[tid.0].swap(epoch, Ordering::Relaxed);
             if epoch > last {
-                let blocks = self.buffers.take_free_upto(&self.pool, tid.0, epoch - 2);
+                // The frontier scan runs *after* the announce/validate loop
+                // confirmed clock == epoch, so every thread still registered
+                // in an older epoch is visible to it (see `reclaim_limit`);
+                // a bypassed straggler pins the frontier instead of being
+                // freed out from under.
+                let limit = Self::reclaim_limit(epoch, self.tracker.oldest_active());
+                let blocks = self.buffers.take_free_upto(&self.pool, tid.0, limit);
                 if !blocks.is_empty() {
                     self.pool.sfence();
                     for b in blocks {
@@ -369,11 +385,12 @@ impl EpochSys {
     ///   epoch longer than one tick: a pinned thread bounds the clock to at
     ///   most two adjacent epochs between nested ops, which is exactly the
     ///   consistent-prefix window group commit promises.
-    /// - `sync`/`try_sync`/`advance_epoch` **must not** be called by the
-    ///   pinning thread while the pin is held and no nested op has moved the
-    ///   registration forward — the second advance would wait on the pin's
-    ///   own slot. Drop the pin first (the server's batch loop treats every
-    ///   explicit `sync` as a batch-cut point for this reason).
+    /// - `sync`/`try_sync`/`advance_epoch` **should not** be called by the
+    ///   pinning thread while the pin is held: they complete (the bounded
+    ///   advance bypasses the pin's own slot after the grace window) but
+    ///   every boundary they drive pays the full grace spin on it. Drop the
+    ///   pin first (the server's batch loop treats every explicit `sync` as
+    ///   a batch-cut point for this reason).
     /// - Dropping the pin issues the deferred `DirWB` fence (if configured)
     ///   and unregisters the thread; it does **not** sync. Buffered payloads
     ///   drain at the next boundary exactly as for unpinned ops.
@@ -410,7 +427,13 @@ impl EpochSys {
         if self.cfg.free == FreeStrategy::WorkerLocal {
             let last = self.last_epoch[tid.0].swap(epoch, Ordering::Relaxed);
             if epoch > last {
-                let blocks = self.buffers.take_free_upto(&self.pool, tid.0, epoch - 2);
+                // The frontier scan runs *after* the announce/validate loop
+                // confirmed clock == epoch, so every thread still registered
+                // in an older epoch is visible to it (see `reclaim_limit`);
+                // a bypassed straggler pins the frontier instead of being
+                // freed out from under.
+                let limit = Self::reclaim_limit(epoch, self.tracker.oldest_active());
+                let blocks = self.buffers.take_free_upto(&self.pool, tid.0, limit);
                 if !blocks.is_empty() {
                     self.pool.sfence();
                     for b in blocks {
@@ -491,7 +514,20 @@ impl EpochSys {
         match self.cfg.persist {
             PersistStrategy::Buffered(_) => {
                 let before = self.buffers.coalesced_lines(tid);
-                let min = self.buffers.push_persist(&self.pool, tid, epoch, blk, len);
+                // The revalidation closure defeats coalescing against an
+                // entry whose boundary already ran: if the clock has moved
+                // past this op's epoch, the covering entry may have drained
+                // (its lines flushed with *older* bytes), so suppressing the
+                // push would leave the bytes just written never flushed —
+                // lost at the next crash even though a later `sync` acked
+                // them. A SeqCst clock read is exact: while it still returns
+                // `epoch`, no boundary for `epoch` has published, so a
+                // dedup-hit entry is still resident and will flush our bytes.
+                let min = self
+                    .buffers
+                    .push_persist(&self.pool, tid, epoch, blk, len, || {
+                        self.clock().load(Ordering::SeqCst) == epoch
+                    });
                 // Owner-read delta, so the count is exact per push.
                 let saved = self.buffers.coalesced_lines(tid) - before;
                 if saved > 0 {
@@ -516,16 +552,24 @@ impl EpochSys {
             std::mem::align_of::<T>() <= 16,
             "payload alignment > 16 unsupported"
         );
-        let blk = self.alloc_payload(
-            g,
-            tag,
-            PayloadKind::Alloc,
-            size as u32,
-            self.next_uid(g.tid.0),
-        );
+        let blk = self.ralloc.alloc(HDR_SIZE + size);
         // SAFETY: `blk` was sized HDR_SIZE + size above and is still
         // thread-private; T: Copy rules out drop obligations.
         unsafe { self.pool.write(Header::data(blk), val) };
+        // The header seals *after* the data lands: its checksum covers the
+        // data bytes as stored (read back from the pool, so `T`'s padding
+        // bytes checksum exactly as written), which lets recovery quarantine
+        // a torn payload whose header line persisted but data lines did not.
+        Header::write_new(
+            &self.pool,
+            blk,
+            PayloadKind::Alloc,
+            tag,
+            g.epoch,
+            self.next_uid(g.tid.0),
+            size as u32,
+            Header::data_sum_pooled(&self.pool, blk, size as u32),
+        );
         self.record_persist(g.tid.0, g.epoch, blk, (HDR_SIZE + size) as u32);
         self.stats.pnews.fetch_add(1, Ordering::Relaxed);
         PHandle::from_raw(blk)
@@ -533,30 +577,21 @@ impl EpochSys {
 
     /// `PNEW` for runtime-sized byte payloads.
     pub fn pnew_bytes(&self, g: &OpGuard<'_>, tag: u16, bytes: &[u8]) -> PHandle<[u8]> {
-        let blk = self.alloc_payload(
-            g,
-            tag,
-            PayloadKind::Alloc,
-            bytes.len() as u32,
-            self.next_uid(g.tid.0),
-        );
+        let blk = self.ralloc.alloc(HDR_SIZE + bytes.len());
         self.pool.write_bytes(Header::data(blk), bytes);
+        Header::write_new(
+            &self.pool,
+            blk,
+            PayloadKind::Alloc,
+            tag,
+            g.epoch,
+            self.next_uid(g.tid.0),
+            bytes.len() as u32,
+            Header::data_sum(bytes),
+        );
         self.record_persist(g.tid.0, g.epoch, blk, (HDR_SIZE + bytes.len()) as u32);
         self.stats.pnews.fetch_add(1, Ordering::Relaxed);
         PHandle::from_raw(blk)
-    }
-
-    fn alloc_payload(
-        &self,
-        g: &OpGuard<'_>,
-        tag: u16,
-        kind: PayloadKind,
-        size: u32,
-        uid: u64,
-    ) -> POff {
-        let blk = self.ralloc.alloc(HDR_SIZE + size as usize);
-        Header::write_new(&self.pool, blk, kind, tag, g.epoch, uid, size);
-        blk
     }
 
     /// `get`: reads the payload by value (old-see-new alert enabled).
@@ -671,6 +706,11 @@ impl EpochSys {
             // `apply` stores through a raw pointer the sanitizer cannot see;
             // declare the whole data extent dirty before queueing its flush.
             self.pool.san_mark_dirty(Header::data(blk), size as usize);
+            // Re-derive the header checksum over the bytes `apply` just
+            // stored, so a crash that persists this set's data lines only
+            // partially is caught at recovery (the extent rides the same
+            // boundary flush as the header line).
+            Header::reseal(&self.pool, blk);
             self.record_persist(g.tid.0, g.epoch, blk, total);
             self.stats.sets_in_place.fetch_add(1, Ordering::Relaxed);
             Ok(blk)
@@ -689,6 +729,10 @@ impl EpochSys {
             }
             // The pool-to-pool copy is invisible to the sanitizer.
             self.pool.san_mark_dirty(nblk, total as usize);
+            // Mutate the clone first, then seal the header over the final
+            // bytes: the checksum must cover what this epoch will persist,
+            // not the pre-`apply` copy.
+            apply(&self.pool, Header::data(nblk));
             Header::write_new(
                 &self.pool,
                 nblk,
@@ -697,13 +741,87 @@ impl EpochSys {
                 g.epoch,
                 Header::uid(&self.pool, blk),
                 size,
+                Header::data_sum_pooled(&self.pool, nblk, size),
             );
-            apply(&self.pool, Header::data(nblk));
             self.record_persist(g.tid.0, g.epoch, nblk, total);
             self.retire(g, blk, g.epoch);
             self.stats.sets_copied.fetch_add(1, Ordering::Relaxed);
             Ok(nblk)
         }
+    }
+
+    /// `set` with a size change: replaces a byte payload's contents with
+    /// `bytes` (whose length may differ), keeping the payload's **uid** so
+    /// the old and new versions cancel correctly at recovery — the newest
+    /// epoch's record for a uid wins. This is the resize primitive a map's
+    /// value update uses in place of a `pnew` + `pdelete` pair, which left
+    /// two unrelated uids and with them a crash cut that recovers both the
+    /// old and the new value of one key.
+    #[must_use = "replace returns a new handle that must replace the old one"]
+    pub fn replace_bytes(
+        &self,
+        g: &OpGuard<'_>,
+        h: PHandle<[u8]>,
+        bytes: &[u8],
+    ) -> Result<PHandle<[u8]>, OldSeeNewException> {
+        self.osn_check(g, h.blk)?;
+        let blk = h.blk;
+        let pe = Header::epoch(&self.pool, blk);
+        let tag = Header::tag(&self.pool, blk);
+        let uid = Header::uid(&self.pool, blk);
+        let old_kind = Header::kind(&self.pool, blk).expect("replace of non-payload");
+        debug_assert_ne!(
+            old_kind,
+            PayloadKind::Delete,
+            "replace_bytes of an anti-payload"
+        );
+        let nblk = self.ralloc.alloc(HDR_SIZE + bytes.len());
+        self.pool.write_bytes(Header::data(nblk), bytes);
+        if pe == g.epoch || self.cfg.persist == PersistStrategy::None {
+            // Same-epoch resize: the new block simply supersedes the old.
+            // Create-then-tombstone, so no crash cut sees the uid vanish:
+            // before the new block's lines land, the old version recovers;
+            // in the window where both are flushed, recovery's cancel pass
+            // keeps exactly one (same uid, same epoch — either content is a
+            // consistent prefix of this still-unacked op); once the
+            // tombstone lands, only the new one.
+            Header::write_new(
+                &self.pool,
+                nblk,
+                old_kind,
+                tag,
+                g.epoch,
+                uid,
+                bytes.len() as u32,
+                Header::data_sum(bytes),
+            );
+            self.record_persist(g.tid.0, g.epoch, nblk, (HDR_SIZE + bytes.len()) as u32);
+            // The old block may already have drained to the media earlier
+            // this epoch; re-queue its tombstoned header so the invalidation
+            // rides the same boundary flush.
+            Header::tombstone(&self.pool, blk);
+            self.record_persist(g.tid.0, g.epoch, blk, HDR_SIZE as u32);
+            self.ralloc.dealloc(blk);
+        } else {
+            // Cross-epoch resize: an `Update` payload with the same uid in
+            // the current epoch strictly supersedes the old version at
+            // recovery (newest epoch wins); the old block retires on the
+            // usual two-epoch schedule.
+            Header::write_new(
+                &self.pool,
+                nblk,
+                PayloadKind::Update,
+                tag,
+                g.epoch,
+                uid,
+                bytes.len() as u32,
+                Header::data_sum(bytes),
+            );
+            self.record_persist(g.tid.0, g.epoch, nblk, (HDR_SIZE + bytes.len()) as u32);
+            self.retire(g, blk, g.epoch);
+        }
+        self.stats.sets_copied.fetch_add(1, Ordering::Relaxed);
+        Ok(PHandle::from_raw(nblk))
     }
 
     /// `PDELETE`: logically deletes a payload. The block is reclaimed only
@@ -752,21 +870,27 @@ impl EpochSys {
                     // outlives the data it cancels.
                     Header::set_kind(&self.pool, blk, PayloadKind::Delete);
                     self.record_persist(g.tid.0, g.epoch, blk, HDR_SIZE as u32);
-                    self.buffers.push_free(g.tid.0, g.epoch + 1, blk);
+                    self.buffers
+                        .push_free(&self.pool, g.tid.0, g.epoch + 1, blk);
                 }
                 PayloadKind::Delete => unreachable!("double pdelete of an anti-payload"),
             }
         } else {
             // Old payload: allocate an anti-payload with the same uid.
-            let anti = self.alloc_payload(
-                g,
-                Header::tag(&self.pool, blk),
+            let anti = self.ralloc.alloc(HDR_SIZE);
+            Header::write_new(
+                &self.pool,
+                anti,
                 PayloadKind::Delete,
-                0,
+                Header::tag(&self.pool, blk),
+                g.epoch,
                 Header::uid(&self.pool, blk),
+                0,
+                Header::data_sum(&[]),
             );
             self.record_persist(g.tid.0, g.epoch, anti, HDR_SIZE as u32);
-            self.buffers.push_free(g.tid.0, g.epoch + 1, anti);
+            self.buffers
+                .push_free(&self.pool, g.tid.0, g.epoch + 1, anti);
             self.retire(g, blk, g.epoch);
         }
         Ok(())
@@ -778,24 +902,64 @@ impl EpochSys {
             Header::tombstone(&self.pool, blk);
             self.ralloc.dealloc(blk);
         } else {
-            self.buffers.push_free(g.tid.0, epoch, blk);
+            self.buffers.push_free(&self.pool, g.tid.0, epoch, blk);
         }
     }
 
     // ---- epoch advance and sync ------------------------------------------------
 
+    /// Epochs ≤ this value are safe to reclaim given the current clock
+    /// `epoch` and the frontier `oldest` ([`Tracker::oldest_active`]): the
+    /// paper's two-epoch schedule (`epoch - 2`), further capped so that no
+    /// thread still registered in epoch *o* — a bypassed straggler — can
+    /// hold a reference to a freed block. A thread registered in *o* saw
+    /// post-swap pointers for every retirement of epoch ≤ *o−2* (the clock
+    /// could only reach *o* after those retiring ops ended), so it can hold
+    /// references retired in ≥ *o−1* — which must therefore stay allocated:
+    /// free only retirements ≤ *o−2*.
+    ///
+    /// The scan feeding `oldest` must run **after** the caller observed the
+    /// clock at `epoch`: any thread registered in an older epoch announced
+    /// (SeqCst) before validating that older clock value, which precedes the
+    /// tick to `epoch` and hence the caller's clock read — so the scan
+    /// cannot miss it. Threads registering concurrently validate at ≥
+    /// `epoch` and only ever hold references retired in ≥ `epoch - 1`,
+    /// which this limit never frees.
+    #[inline]
+    fn reclaim_limit(epoch: u64, oldest: u64) -> u64 {
+        (epoch - 2).min(oldest.saturating_sub(2))
+    }
+
     /// Advances the epoch clock by one (paper Fig. 3 `advance_epoch` plus the
-    /// reclamation schedule of Sec. 3.2): waits until epoch *e−1* is
-    /// quiescent, writes back its payloads, reclaims retirements of *e−2*
-    /// (which includes anti-payloads created in *e−3*), fences, then bumps
-    /// and persists the clock.
+    /// reclamation schedule of Sec. 3.2), **without blocking on any other
+    /// thread** (nbMontage's liveness property): gives epoch *e−1* a bounded
+    /// grace window to quiesce, writes back its payloads — *helping* any
+    /// claimed-but-unflushed ring entry of a stalled drainer to completion
+    /// instead of waiting for it — reclaims retirements behind the
+    /// oldest-active frontier, fences, then bumps the clock with a CAS (so
+    /// concurrent advancers race for the same tick rather than serializing
+    /// behind a lock) and persists it.
+    ///
+    /// Bypassing a straggler is safe on every axis:
+    /// - *durability of acked work*: completed ops pushed their payloads to
+    ///   the rings before returning, and every pushed entry is either popped
+    ///   (flushed inside the claim window) or helped here — the boundary
+    ///   fence covers them all. Only the straggler's *unfinished* op can
+    ///   have unflushed bytes, and unfinished ops are never acked.
+    /// - *reclamation*: the straggler pins [`Tracker::oldest_active`], so
+    ///   blocks it may still reference are not freed (they age in the free
+    ///   buckets until it moves on).
+    /// - *its own later pushes*: a bypassed op that resumes and pushes more
+    ///   entries labelled *e−1* after the boundary just rides a later
+    ///   boundary; its `sync` (and hence any ack) waits for that one.
     pub fn advance_epoch(&self) {
         if self.cfg.persist == PersistStrategy::None {
             return; // Montage(T): no epochs, no persistence
         }
-        let _g = self.advance_lock.lock();
         let e = self.clock().load(Ordering::Acquire);
-        self.tracker.wait_all(e - 1);
+        let stragglers = self
+            .tracker
+            .wait_all_bounded(e - 1, self.cfg.advance_grace_spins);
 
         let n = self.registered();
         // Write back all payloads of epoch e-1. The mindicator (a monotone,
@@ -813,43 +977,77 @@ impl EpochSys {
             }
         }
 
-        // Reclaim retirements of epoch e-2 (tombstones join this boundary's
-        // flush batch; deallocation happens after the fence).
+        // Reclaim retirements behind the frontier (tombstones join this
+        // boundary's flush batch; deallocation happens after the fence).
+        // The frontier scan is exact for epochs < e because we read the
+        // clock at e above (see `reclaim_limit`).
         let mut reclaimed = Vec::new();
         if self.cfg.free == FreeStrategy::Background {
+            let limit = Self::reclaim_limit(e, self.tracker.oldest_active());
             for t in 0..n {
-                reclaimed.extend(self.buffers.take_free(&self.pool, t, e - 2));
+                reclaimed.extend(self.buffers.take_free_upto(&self.pool, t, limit));
             }
         }
 
-        // Rendezvous with in-flight drainers before fencing: a BEGIN_OP
-        // helper (esys `begin_op`) drains outside the advance lock, and its
-        // pops make entries invisible *before* their clwbs are issued — so
-        // the empty rings observed above do not yet prove the write-backs
-        // happened. Waiting the per-thread drainer counters to zero does
-        // (see the drain-rendezvous section of the buffers module docs).
-        for t in 0..n {
-            self.buffers.wait_drainers(t);
+        // Help any claimed-but-unreleased ring entry to completion before
+        // fencing: a consumer (BEGIN_OP helper, concurrent advancer, or
+        // overflow pop) flushes *inside* its claim window, so an entry still
+        // claimed may not have been written back yet. Rather than waiting
+        // for the claimant — it may be parked mid-pop forever — re-issue its
+        // clwb from the published (off, len) and CAS the slot released.
+        // Duplicate clwbs are idempotent; the CAS makes the release exact.
+        // The claim census makes the common case one atomic load: it reads
+        // zero only when no pop pass can be parked inside a claim window
+        // (see the soundness note in `buffers.rs`), which is every boundary
+        // of a healthy run — the full slot scan is reserved for boundaries
+        // that actually have a straggling drainer to help.
+        if self.buffers.claims_open() {
+            for t in 0..n {
+                self.buffers.help_drainers(&self.pool, t);
+            }
         }
 
         self.pool.sfence();
         // This fence is the boundary that declares epoch e-1 durable; under
         // `persist-san`, assert that no tracked store from before the
-        // previous boundary is still unflushed (no-op otherwise).
-        self.pool.san_epoch_boundary();
+        // previous boundary is still unflushed (no-op otherwise). A bypassed
+        // straggler parked mid-op may legitimately hold dirty lines it has
+        // not pushed yet (they belong to an unfinished, unacked op), so the
+        // assertion only runs on quiescent boundaries.
+        if stragglers == 0 {
+            self.pool.san_epoch_boundary();
+        }
 
-        // Now everything labelled <= e-1 is durable: publish epoch e+1.
-        self.clock().store(e + 1, Ordering::SeqCst);
-        // The clock store is an atomic the sanitizer cannot see.
-        self.pool
-            .san_mark_dirty(POff::root_slot(CLOCK_SLOT), std::mem::size_of::<u64>());
-        self.pool.clwb(POff::root_slot(CLOCK_SLOT));
-        self.pool.sfence();
+        // Now everything labelled <= e-1 is durable: publish epoch e+1. The
+        // CAS admits exactly one winner per tick; a loser raced another
+        // advancer over the same boundary, whose winner does the publishing
+        // (both performed the same drains, so the boundary's guarantees hold
+        // either way).
+        if self
+            .clock()
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            // The clock store is an atomic the sanitizer cannot see.
+            self.pool
+                .san_mark_dirty(POff::root_slot(CLOCK_SLOT), std::mem::size_of::<u64>());
+            self.pool.clwb(POff::root_slot(CLOCK_SLOT));
+            self.pool.sfence();
+            // Publish the durable frontier — but only on a healthy pool: a
+            // tripped fault plan dropped the clwb above, so claiming e+1
+            // durable would let a `sync` ack work the media never saw. The
+            // clwb flushes the clock line's *current* value (≥ e+1), so a
+            // winner parked between its CAS and its clwb is covered by the
+            // next winner's flush; fetch_max keeps the mirror monotone.
+            if self.pool.check_fault().is_ok() {
+                self.durable_clock.fetch_max(e + 1, Ordering::AcqRel);
+            }
+            self.stats.advances.fetch_add(1, Ordering::Relaxed);
+        }
 
         for blk in reclaimed {
             self.ralloc.dealloc(blk);
         }
-        self.stats.advances.fetch_add(1, Ordering::Relaxed);
     }
 
     /// `sync`: returns once every operation that completed before the call
@@ -857,9 +1055,20 @@ impl EpochSys {
     /// helps perform the write-backs itself (it drives `advance_epoch`), so
     /// sync latency does not depend on the background advancer's period.
     ///
+    /// **Bounded** (nbMontage's sync property): each `advance_epoch` this
+    /// loop drives completes in a bounded number of steps no matter what any
+    /// other thread does — a stalled peer is helped and bypassed, never
+    /// waited on — and each iteration either wins the tick (raising the
+    /// durable clock) or loses it to a concurrent advancer (the clock grew;
+    /// at most `max_threads` winners can park pre-publish before a win is
+    /// ours). One session's parked or dead thread therefore cannot stall
+    /// another session's `sync`.
+    ///
     /// Must be called **outside** any operation (as with `fsync`, you sync
-    /// after the operation returns); calling it inside an op would deadlock
-    /// on the op's own epoch.
+    /// after the operation returns); a sync *inside* an op completes — the
+    /// bounded advance bypasses the caller's own registration after the
+    /// grace window — but each boundary it drives pays the full grace spin,
+    /// so keep it off hot paths and prefer ending the op first.
     pub fn sync(&self) {
         // On a poisoned pool "persistent" is unachievable; degrading to a
         // no-op (rather than panicking or spinning) matches what the caller
@@ -872,13 +1081,33 @@ impl EpochSys {
     /// pool can never make the remaining buffered work durable. The fault is
     /// re-checked every advance so a plan tripping *mid-sync* also unwinds.
     pub fn try_sync(&self) -> Result<(), PmemFault> {
+        self.try_sync_deadline(None).map(|done| {
+            debug_assert!(done, "unbounded sync cannot time out");
+        })
+    }
+
+    /// [`EpochSys::try_sync`] with a wall-clock deadline: returns
+    /// `Ok(false)` if the durable clock has not crossed the target by
+    /// `deadline` (checked between advances, so the overshoot is bounded by
+    /// one advance). The sync makes real progress up to the deadline —
+    /// advances it drove stay driven — it just stops *waiting*; the caller
+    /// keeps no durability claim for operations acked before the call.
+    /// `None` waits forever (the plain `try_sync` contract).
+    pub fn try_sync_deadline(
+        &self,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<bool, PmemFault> {
         if self.cfg.persist == PersistStrategy::None {
-            return Ok(());
+            return Ok(true);
         }
         self.stats.syncs.fetch_add(1, Ordering::Relaxed);
         let target = self.clock().load(Ordering::SeqCst);
         self.sync_requested.fetch_max(target, Ordering::Relaxed);
-        while self.clock().load(Ordering::Acquire) < target + 2 {
+        // Wait on the *durable* clock, not the transient one: the clock can
+        // run ahead of the media when an advance winner parks between its
+        // clock store and its clwb, and "durable" must mean the closing
+        // tick actually reached the durable image.
+        while self.durable_clock.load(Ordering::Acquire) < target + 2 {
             if let Err(f) = self.pool.check_fault() {
                 let _ = self.sync_requested.compare_exchange(
                     target,
@@ -888,18 +1117,26 @@ impl EpochSys {
                 );
                 return Err(f);
             }
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                let _ = self.sync_requested.compare_exchange(
+                    target,
+                    0,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                return Ok(false);
+            }
             self.advance_epoch();
         }
         // Clear the helping hint if we were the outermost sync.
         let _ =
             self.sync_requested
                 .compare_exchange(target, 0, Ordering::Relaxed, Ordering::Relaxed);
-        // A plan tripping *inside* the last advance drops its flushes while
-        // the clock store still lands in the working image — so the loop
-        // above exits even though the write-backs it was waiting for are
-        // gone. Durability can only be claimed on a pool that is still
-        // healthy now.
-        self.pool.check_fault()
+        // A plan tripping *at the very end* of the last advance (after its
+        // durable-clock publish) can still have dropped flushes the caller
+        // cares about. Durability can only be claimed on a pool that is
+        // still healthy now.
+        self.pool.check_fault().map(|()| true)
     }
 }
 
@@ -1420,20 +1657,82 @@ mod tests {
     }
 
     #[test]
-    fn pin_blocks_second_advance_until_dropped() {
-        let s = sys(EsysConfig::default());
-        let tid = s.register_thread();
-        let pin = s.pin_epoch(tid);
-        s.advance_epoch(); // waits for e-1 only: passes
-        let s2 = s.clone();
-        let blocked = std::thread::spawn(move || s2.advance_epoch());
-        std::thread::sleep(std::time::Duration::from_millis(30));
+    fn pin_does_not_block_advances_but_pins_reclamation() {
+        let s = sys(EsysConfig {
+            advance_grace_spins: 64,
+            ..Default::default()
+        });
+        let t0 = s.register_thread();
+        let t1 = s.register_thread();
+        // t1 retires a payload, so there is something to reclaim.
+        let h = {
+            let g = s.begin_op(t1);
+            s.pnew(&g, 0, &1u64)
+        };
+        s.advance_epoch();
+        let e_del = {
+            let g = s.begin_op(t1);
+            s.pdelete(&g, h).unwrap();
+            g.epoch()
+        };
+        // t0 pins and stays pinned: the old advance would spin forever on
+        // its slot from the second tick on; the bounded advance bypasses it.
+        let pin = s.pin_epoch(t0);
+        let e_pin = pin.epoch();
+        let d0 = s.allocator().stats().deallocs.load(Ordering::Relaxed);
+        for _ in 0..6 {
+            s.advance_epoch();
+        }
         assert!(
-            !blocked.is_finished(),
-            "second advance must wait on the pinned slot"
+            s.curr_epoch() >= e_pin + 6,
+            "advances must complete while the pin is parked in its epoch"
+        );
+        // ...but the pinned thread pins the reclamation frontier: the block
+        // retired at e_del (> e_pin) must not have been freed under it.
+        assert_eq!(
+            s.allocator().stats().deallocs.load(Ordering::Relaxed),
+            d0,
+            "reclamation must wait for the straggler's epoch to move"
         );
         drop(pin);
-        blocked.join().unwrap();
+        while s.curr_epoch() <= e_del + 2 {
+            s.advance_epoch();
+        }
+        s.advance_epoch(); // one more boundary after the frontier moved
+        assert!(
+            s.allocator().stats().deallocs.load(Ordering::Relaxed) > d0,
+            "retirements resume reclamation once the pin drops"
+        );
+    }
+
+    #[test]
+    fn sync_is_not_blocked_by_a_parked_operation() {
+        let s = sys(EsysConfig {
+            advance_grace_spins: 64,
+            ..Default::default()
+        });
+        let t0 = s.register_thread();
+        // The victim starts an op, buffers a payload, and "parks" (the guard
+        // simply stays alive while another thread syncs).
+        let g = s.begin_op(t0);
+        let _h = s.pnew(&g, 7, &41u64);
+        let e0 = g.epoch();
+        let s2 = s.clone();
+        let peer = std::thread::spawn(move || s2.try_sync());
+        peer.join().unwrap().unwrap();
+        assert!(
+            s.curr_epoch() >= e0 + 2,
+            "peer sync must advance past the parked op's epoch"
+        );
+        // The victim's buffered write-back was helped to the media: the
+        // payload (epoch e0, clock >= e0+2) survives a crash taken now.
+        let rec = crate::recovery::recover(s.pool().crash(), EsysConfig::default(), 1);
+        assert_eq!(
+            rec.len(),
+            1,
+            "parked op's pushed payload was helped durable"
+        );
+        drop(g);
     }
 
     #[test]

@@ -153,11 +153,14 @@ pub fn try_recover(
     // payload from a fully persisted epoch. Blocks with live magic but an
     // invalid header (failed checksum, bad kind, an epoch the pool never
     // durably reached, or a size overflowing the block) are quarantined:
-    // recorded, refused, and freed below like any other loser.
+    // recorded, *kept out of the free lists for now* (a rejected block gets
+    // a free-list link written into its first bytes, which the tombstone
+    // pass below would clobber — see the dealloc at the end of phase 2),
+    // and freed below like any other loser.
     let quarantined: Mutex<Vec<QuarantinedPayload>> = Mutex::new(Vec::new());
     let discarded_recent = AtomicUsize::new(0);
     let sweep_pool = pool.clone();
-    let (ralloc, shards) = {
+    let (ralloc, mut shards) = {
         let quarantined = &quarantined;
         let discarded_recent = &discarded_recent;
         Ralloc::recover_parallel(pool.clone(), k, move |blk, usable| {
@@ -174,7 +177,7 @@ pub fn try_recover(
                         .lock()
                         .unwrap_or_else(|p| p.into_inner())
                         .push(QuarantinedPayload { blk, reason });
-                    return false;
+                    return true; // keep allocated; tombstoned + freed below
                 }
                 let epoch = Header::epoch(&sweep_pool, blk);
                 if epoch > cutoff {
@@ -189,6 +192,17 @@ pub fn try_recover(
     };
     let quarantined = quarantined.into_inner().unwrap_or_else(|p| p.into_inner());
 
+    // The quarantined blocks rode the sweep's kept set (so the allocator
+    // treats them as allocated until the explicit dealloc below); they must
+    // not reach cancellation — their headers are exactly what recovery
+    // refused to trust.
+    if !quarantined.is_empty() {
+        let qset: std::collections::HashSet<POff> = quarantined.iter().map(|q| q.blk).collect();
+        for shard in &mut shards {
+            shard.kept.retain(|(blk, _)| !qset.contains(blk));
+        }
+    }
+
     // Phase 2: uid cancellation. Group by uid; a DELETE anti-payload kills
     // its whole group; otherwise keep the newest version. Parallel over k
     // workers: uid-hash partitioning makes groups worker-local.
@@ -196,7 +210,10 @@ pub fn try_recover(
 
     // Durably tombstone and free the losers — and overwrite the quarantined
     // headers too, so their live-looking magic can never be swept up again
-    // after a second crash (one batched flush + fence).
+    // after a second crash (one batched flush + fence). Ordering matters:
+    // the tombstone must land *before* the dealloc, because freeing writes a
+    // transient free-list link into the block's first bytes — the reverse
+    // order would clobber the link and corrupt the free list.
     for &blk in &discards {
         Header::tombstone(&pool, blk);
         pool.clwb(blk);
@@ -210,6 +227,9 @@ pub fn try_recover(
     }
     for blk in &discards {
         ralloc.dealloc(*blk);
+    }
+    for q in &quarantined {
+        ralloc.dealloc(q.blk);
     }
 
     // Phase 3: restart the clock two epochs past the crash point so every

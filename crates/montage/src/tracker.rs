@@ -46,8 +46,9 @@ impl Tracker {
     /// (the advance step `operation_tracker.wait_all(curr_epoch - 1)`).
     ///
     /// A stalled thread can delay this arbitrarily — that is the paper's
-    /// documented liveness caveat: Montage is lock-free during crash-free
-    /// operation, but a preempted thread stalls the *persistence frontier*.
+    /// documented liveness caveat for blocking advances. The nonblocking
+    /// advance uses [`Tracker::wait_all_bounded`] instead and helps the
+    /// straggler's write-backs to completion rather than waiting.
     pub fn wait_all(&self, epoch: u64) {
         for slot in self.slots.iter() {
             let mut spins = 0u32;
@@ -60,6 +61,52 @@ impl Tracker {
                 }
             }
         }
+    }
+
+    /// Bounded [`Tracker::wait_all`]: gives each slot at most `spins`
+    /// spin/yield steps to leave epochs `<= epoch`, then moves on. Returns
+    /// the number of slots still registered at `<= epoch` when the grace
+    /// window ran out — the stragglers the caller is about to bypass.
+    ///
+    /// The grace window keeps the quiescent fast path identical to the
+    /// blocking advance (an in-flight op normally retires within a few
+    /// hundred instructions); the bound is what makes `advance_epoch` — and
+    /// therefore `sync` — complete in a bounded number of steps no matter
+    /// what any one thread does (nbMontage's liveness property).
+    pub fn wait_all_bounded(&self, epoch: u64, spins: usize) -> usize {
+        let mut stragglers = 0usize;
+        for slot in self.slots.iter() {
+            let mut tries = 0usize;
+            loop {
+                if slot.load(Ordering::Acquire) > epoch {
+                    break;
+                }
+                tries += 1;
+                if tries > spins {
+                    stragglers += 1;
+                    break;
+                }
+                if tries.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        stragglers
+    }
+
+    /// Smallest epoch any thread is currently registered in ([`IDLE`] =
+    /// `u64::MAX` if none). Reclamation uses this as its safety frontier:
+    /// blocks retired in epoch `r` may be freed only once every active
+    /// thread's epoch exceeds `r`, which a bypassed (parked) straggler keeps
+    /// pinned down without blocking the clock.
+    pub fn oldest_active(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(IDLE)
     }
 
     /// True iff some thread is currently registered in `epoch`.

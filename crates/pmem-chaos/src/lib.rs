@@ -1,4 +1,4 @@
-//! # pmem-chaos — exhaustive crash-point sweep testing
+//! # pmem-chaos — exhaustive crash- and stall-point sweep testing
 //!
 //! The pool's fault plan ([`pmem::ChaosConfig::crash_at_event`]) can freeze
 //! the durable image at any single persistence event. This crate turns that
@@ -6,6 +6,13 @@
 //! run it again with a crash injected at every event boundary (or a seeded
 //! sample of them, for long workloads), recover each durable image, and
 //! check a caller-supplied invariant.
+//!
+//! The same machinery drives *stall* sweeps ([`stall_sweep`], built on
+//! [`pmem::ChaosConfig::stall_at_event`]): instead of killing the machine at
+//! event `n`, park one thread there mid-instruction and prove that (a) a
+//! concurrent workload still completes — liveness under a straggler — and
+//! (b) a crash taken while the victim is parked, after helpers completed its
+//! write-backs, still recovers a consistent prefix.
 //!
 //! The point of sweeping *every* event is that crash-consistency bugs live
 //! at specific instruction boundaries — between a payload flush and its
@@ -41,10 +48,20 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use pmem::{PmemConfig, PmemPool};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Extracts a printable message from a captured panic payload.
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
 
 /// How a sweep chooses its crash points.
 #[derive(Clone, Copy, Debug)]
@@ -172,14 +189,9 @@ pub fn crash_sweep(
             Ok(Ok(())) => {}
             Ok(Err(message)) => failures.push(SweepFailure { crash_at, message }),
             Err(panic) => {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".into());
                 failures.push(SweepFailure {
                     crash_at,
-                    message: format!("panicked instead of degrading: {msg}"),
+                    message: format!("panicked instead of degrading: {}", panic_message(panic)),
                 });
             }
         }
@@ -254,14 +266,9 @@ pub fn shard_crash_sweep(
             Ok(Ok(())) => {}
             Ok(Err(message)) => failures.push(SweepFailure { crash_at, message }),
             Err(panic) => {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".into());
                 failures.push(SweepFailure {
                     crash_at,
-                    message: format!("panicked instead of degrading: {msg}"),
+                    message: format!("panicked instead of degrading: {}", panic_message(panic)),
                 });
             }
         }
@@ -269,6 +276,151 @@ pub fn shard_crash_sweep(
     SweepReport {
         total_events,
         crash_points: points,
+        failures,
+    }
+}
+
+/// One stall point that violated liveness, panicked, or whose mid-helping
+/// crash cut failed verification.
+#[derive(Clone, Debug)]
+pub struct StallSweepFailure {
+    /// The armed `stall_at_event`.
+    pub stall_at: u64,
+    pub message: String,
+}
+
+/// Outcome of a [`stall_sweep`].
+#[derive(Clone, Debug)]
+pub struct StallSweepReport {
+    /// Persistence events the victim workload performs when run alone.
+    pub total_events: u64,
+    /// Every stall point that was actually swept, in order.
+    pub stall_points: Vec<u64>,
+    /// How many points actually parked the victim (point 0 — and any point
+    /// past the victim's own event count — cannot).
+    pub parked_points: usize,
+    pub failures: Vec<StallSweepFailure>,
+}
+
+impl StallSweepReport {
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Panics with every failing stall point if the sweep found violations.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.is_ok(),
+            "stall sweep failed at {}/{} points (of {} events, {} parked):\n{}",
+            self.failures.len(),
+            self.stall_points.len(),
+            self.total_events,
+            self.parked_points,
+            self.failures
+                .iter()
+                .map(|f| format!("  stall_at={}: {}", f.stall_at, f.message))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// Sweeps a two-thread schedule over *stall* points: at every persistence
+/// event of the `victim` workload, park the victim mid-instruction and prove
+/// two properties at once.
+///
+/// 1. **Liveness** — `concurrent` (run on a second thread while the victim
+///    is parked) completes within `liveness_deadline`. With nonblocking
+///    epoch advance this holds even when the victim is parked inside an
+///    open operation with unwritten buffered lines: helpers complete its
+///    write-backs instead of waiting. A deadline miss is recorded as a
+///    failure and the victim is released so the sweep itself can continue.
+/// 2. **Crash consistency under helping** — the pool is then crashed *while
+///    the victim is still parked* (releasing it), and `verify` checks the
+///    recovered durable image. This is precisely the "cut during helping"
+///    schedule: whatever peers flushed on the victim's behalf must recover
+///    as a consistent prefix, never a torn mix.
+///
+/// Stall points are chosen like [`crash_points`]: exhaustive up to the
+/// config's limit, seeded samples beyond it. The counting pass runs the
+/// victim alone, so every point in `1..=total` deterministically parks the
+/// victim (the live pass also starts `concurrent` only after the victim has
+/// parked or finished).
+pub fn stall_sweep<V, C, F>(
+    cfg: &SweepConfig,
+    base: PmemConfig,
+    liveness_deadline: Duration,
+    victim: V,
+    concurrent: C,
+    mut verify: F,
+) -> StallSweepReport
+where
+    V: Fn(&PmemPool) + Send + Sync,
+    C: Fn(&PmemPool) + Send + Sync,
+    F: FnMut(PmemPool, u64) -> Result<(), String>,
+{
+    let total_events = count_events(base, |p| victim(p));
+    let points = crash_points(total_events, cfg);
+    let mut failures = Vec::new();
+    let mut parked_points = 0;
+    for &stall_at in &points {
+        let mut armed = base;
+        armed.chaos.stall_at_event = Some(stall_at);
+        let pool = PmemPool::new(armed);
+        let mut point_failures: Vec<String> = Vec::new();
+        let durable = std::thread::scope(|s| {
+            let vt = s.spawn(|| catch_unwind(AssertUnwindSafe(|| victim(&pool))));
+            // Wait until the victim either parks at the stall point or runs
+            // to completion (point 0 never parks: no event precedes it).
+            while !vt.is_finished() && !pool.await_stalled(Duration::from_millis(20)) {}
+            let parked = pool.stalled_count() == 1;
+
+            let ct = s.spawn(|| catch_unwind(AssertUnwindSafe(|| concurrent(&pool))));
+            let deadline = Instant::now() + liveness_deadline;
+            while !ct.is_finished() {
+                if Instant::now() >= deadline {
+                    point_failures.push(format!(
+                        "liveness: concurrent workload still blocked after \
+                         {liveness_deadline:?} (victim parked={parked})"
+                    ));
+                    // Unwedge so the sweep (and this point's join) terminates.
+                    pool.release_stalled();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if let Err(p) = ct.join().expect("scoped join") {
+                point_failures.push(format!("concurrent panicked: {}", panic_message(p)));
+            }
+
+            // Cut the power while the victim is still parked mid-operation;
+            // `crash` releases it, and its post-release activity only lands
+            // in the dead pool's images.
+            let durable = pool.crash();
+            if let Err(p) = vt.join().expect("scoped join") {
+                point_failures.push(format!("victim panicked: {}", panic_message(p)));
+            }
+            (durable, parked)
+        });
+        let (durable, parked) = durable;
+        parked_points += usize::from(parked);
+        if point_failures.is_empty() {
+            match catch_unwind(AssertUnwindSafe(|| verify(durable, stall_at))) {
+                Ok(Ok(())) => {}
+                Ok(Err(message)) => point_failures.push(message),
+                Err(p) => point_failures.push(format!("verify panicked: {}", panic_message(p))),
+            }
+        }
+        failures.extend(
+            point_failures
+                .into_iter()
+                .map(|message| StallSweepFailure { stall_at, message }),
+        );
+    }
+    StallSweepReport {
+        total_events,
+        stall_points: points,
+        parked_points,
         failures,
     }
 }
@@ -404,6 +556,82 @@ mod tests {
             let n = shard_count_events(base, 3, victim, shard_workload);
             assert_eq!(n, single, "each shard sees the same per-shard events");
         }
+    }
+
+    #[test]
+    fn stall_sweep_parks_every_interior_point_and_passes() {
+        use std::time::Duration;
+
+        let c_off = POff::new(64 * 1024);
+        let report = stall_sweep(
+            &SweepConfig::default(),
+            PmemConfig::strict_for_test(1 << 20),
+            Duration::from_secs(30),
+            workload, // victim: write 128 B, flush, fence
+            move |pool| {
+                // Raw-pool peers never wait on anyone: a parked victim must
+                // not stop this from persisting.
+                let _ = pool.try_write_bytes(c_off, &[9u8; 64]);
+                let _ = pool.try_persist_range(c_off, 64);
+            },
+            |durable, _| {
+                // Per-line all-or-nothing for the victim's value, exactly as
+                // in the crash sweep: a park is never an excuse to tear.
+                let mut buf = [0u8; 128];
+                durable.read_bytes(OFF, &mut buf);
+                for line in buf.chunks(64) {
+                    if !(line.iter().all(|&b| b == 7) || line.iter().all(|&b| b == 0)) {
+                        return Err(format!("torn line: {line:?}"));
+                    }
+                }
+                Ok(())
+            },
+        );
+        assert_eq!(
+            report.stall_points.len() as u64,
+            report.total_events + 1,
+            "small workload must sweep exhaustively"
+        );
+        assert_eq!(
+            report.parked_points as u64, report.total_events,
+            "every interior point (1..=total) must actually park the victim"
+        );
+        report.assert_ok();
+    }
+
+    #[test]
+    fn stall_sweep_reports_liveness_violations_without_hanging() {
+        use std::sync::Mutex;
+        use std::time::Duration;
+
+        // An artificial blocking dependency: the victim parks while holding
+        // a lock the concurrent workload needs. Every parked point must be
+        // flagged as a liveness failure — and the sweep must terminate (the
+        // deadline path releases the victim).
+        let lock = Mutex::new(());
+        let report = stall_sweep(
+            &SweepConfig::default(),
+            PmemConfig::strict_for_test(1 << 20),
+            Duration::from_millis(100),
+            |pool| {
+                let _held = lock.lock().unwrap();
+                workload(pool); // parks here, lock held
+            },
+            |_pool| {
+                let _blocked = lock.lock().unwrap();
+            },
+            |_, _| Ok(()),
+        );
+        assert!(!report.is_ok());
+        let liveness = report
+            .failures
+            .iter()
+            .filter(|f| f.message.contains("liveness"))
+            .count();
+        assert_eq!(
+            liveness, report.parked_points,
+            "each parked point blocks the peer and must be flagged"
+        );
     }
 
     #[test]

@@ -125,8 +125,28 @@ pub struct ChaosConfig {
     /// `try_*` pool operations return [`crate::PmemFault::Crashed`].
     /// `Some(u64::MAX)` counts events without ever crashing (used by sweep
     /// harnesses for their counting pass). Event accounting is skipped
-    /// entirely when `None`, keeping the hot path free of the counter.
+    /// entirely when neither this nor [`ChaosConfig::stall_at_event`] is
+    /// armed, keeping the hot path free of the counter.
     pub crash_at_event: Option<u64>,
+    /// Stall plan: `Some(n)` parks the thread whose persistence-event charge
+    /// crosses `n` — it blocks *inside* the flush/fence/store that crossed
+    /// the threshold, mid-operation, until [`crate::PmemPool::release_stalled`]
+    /// is called or the pool is poisoned by [`crate::PmemPool::crash`] / the
+    /// crash plan tripping. Models a thread descheduled (page fault, signal,
+    /// preemption) at the worst possible moment; liveness tests use it to
+    /// prove other threads' `sync` completes while the victim is parked.
+    /// Exactly one thread parks per pool (the first to cross).
+    pub stall_at_event: Option<u64>,
+    /// Straggler mode: per-event probability (in 1/1000) that the charging
+    /// thread sleeps [`ChaosConfig::straggler_delay_us`] before proceeding.
+    /// A randomized, milder cousin of [`ChaosConfig::stall_at_event`]: ops
+    /// become slow rather than stuck, exercising the grace-window bypass in
+    /// the epoch advance without ever requiring an external release. Rolls
+    /// are seeded by [`ChaosConfig::seed`] and the event index, so a given
+    /// (seed, workload) pair delays the same events on every run.
+    pub straggler_permille: u16,
+    /// Sleep duration, in microseconds, for each straggler roll that hits.
+    pub straggler_delay_us: u32,
 }
 
 /// Full pool configuration.

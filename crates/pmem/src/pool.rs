@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,6 +61,26 @@ impl Drop for Working {
 unsafe impl Send for Working {}
 unsafe impl Sync for Working {}
 
+/// Parking state for the stall fault plan
+/// ([`crate::ChaosConfig::stall_at_event`]).
+#[derive(Default)]
+struct StallState {
+    /// Set (once) by the thread whose event charge crossed the threshold;
+    /// guarantees exactly one victim parks per pool.
+    claimed: AtomicBool,
+    flags: Mutex<StallFlags>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct StallFlags {
+    /// A victim is currently parked inside `charge_events`.
+    parked: bool,
+    /// [`PmemPool::release_stalled`] was called (sticky; a victim arriving
+    /// after the release never parks).
+    released: bool,
+}
+
 struct Inner {
     id: u64,
     config: PmemConfig,
@@ -91,6 +111,9 @@ struct Inner {
     /// then on flushes and fences are dropped (the durable image is frozen)
     /// and the checked operations report [`PmemFault::Crashed`].
     poisoned: AtomicBool,
+    /// Parking state for the stall fault plan; see
+    /// [`crate::ChaosConfig::stall_at_event`].
+    stall: StallState,
     /// Timebase for the simulated device drain queue below.
     origin: Instant,
     /// Nanosecond (since `origin`) at which this pool's simulated NVM
@@ -149,6 +172,7 @@ impl PmemPool {
                 pending: Mutex::new(HashSet::new()),
                 events: AtomicU64::new(0),
                 poisoned: AtomicBool::new(false),
+                stall: StallState::default(),
                 origin: Instant::now(),
                 device_busy: AtomicU64::new(0),
                 #[cfg(feature = "persist-san")]
@@ -184,40 +208,138 @@ impl PmemPool {
 
     // ---- fault plan ---------------------------------------------------------
 
-    /// Charges `n` persistence events against the fault plan and returns how
-    /// many of them take effect. With no plan armed, accounting is skipped
-    /// and all `n` take effect. Once the running count reaches the plan's
-    /// crash point the pool is poisoned and every later event is dropped —
-    /// a partial charge models a crash landing *inside* a multi-line flush.
+    /// Charges `n` persistence events against the fault plans and returns
+    /// how many of them take effect. With no plan armed, accounting is
+    /// skipped and all `n` take effect. Once the running count reaches the
+    /// crash plan's point the pool is poisoned and every later event is
+    /// dropped — a partial charge models a crash landing *inside* a
+    /// multi-line flush. The stall plan parks the thread whose charge
+    /// crossed its threshold (after the crash-plan check, so a charge that
+    /// crosses both poisons first and the park becomes a no-op); straggler
+    /// mode injects a seeded per-event delay.
     #[inline]
     fn charge_events(&self, n: u64) -> u64 {
-        let Some(plan) = self.inner.config.chaos.crash_at_event else {
+        let chaos = &self.inner.config.chaos;
+        if chaos.crash_at_event.is_none()
+            && chaos.stall_at_event.is_none()
+            && chaos.straggler_permille == 0
+        {
             return n;
-        };
+        }
         if n == 0 {
             return 0;
         }
         let before = self.inner.events.fetch_add(n, Ordering::Relaxed);
-        if before.saturating_add(n) >= plan
-            && self
-                .inner
-                .poisoned
-                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
+        if chaos.straggler_permille > 0
+            && event_roll(chaos.seed, before) < chaos.straggler_permille as u64
         {
-            self.inner.stats.on_injected_crash();
+            std::thread::sleep(std::time::Duration::from_micros(
+                chaos.straggler_delay_us as u64,
+            ));
         }
-        if before >= plan {
-            0
-        } else {
-            (plan - before).min(n)
+        let eff = match chaos.crash_at_event {
+            None => n,
+            Some(plan) => {
+                if before.saturating_add(n) >= plan
+                    && self
+                        .inner
+                        .poisoned
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    self.inner.stats.on_injected_crash();
+                    // A parked victim belongs to the execution that just
+                    // died; wake it so its thread can observe the fault and
+                    // unwind instead of hanging past the crash.
+                    self.wake_stalled();
+                }
+                if before >= plan {
+                    0
+                } else {
+                    (plan - before).min(n)
+                }
+            }
+        };
+        if let Some(stall) = chaos.stall_at_event {
+            if before < stall && before.saturating_add(n) >= stall {
+                self.park_at_stall_point();
+            }
         }
+        eff
+    }
+
+    /// Parks the calling thread — the stall fault plan tripped on its event
+    /// charge — until [`PmemPool::release_stalled`] or pool poisoning. Cold
+    /// and outlined: fires at most once per pool. The park happens *inside*
+    /// the flush/fence/store that crossed the threshold, before any pool
+    /// lock is taken, so peers' persistence primitives keep working; any
+    /// locks the victim holds in the layers above (a bucket mutex, an open
+    /// operation's epoch reservation) stay held, which is exactly the
+    /// adversarial schedule liveness tests need.
+    #[cold]
+    fn park_at_stall_point(&self) {
+        let st = &self.inner.stall;
+        if st
+            .claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        self.inner.stats.on_stall();
+        let mut flags = st.flags.lock();
+        flags.parked = true;
+        st.cv.notify_all(); // wake `await_stalled` watchers
+        while !flags.released && !self.is_poisoned() {
+            st.cv.wait(&mut flags);
+        }
+        flags.parked = false;
+        st.cv.notify_all();
+    }
+
+    /// Wakes a parked stall victim so it can re-check its wait condition
+    /// (used by the poisoning paths; does not itself release the stall).
+    fn wake_stalled(&self) {
+        let st = &self.inner.stall;
+        let _flags = st.flags.lock();
+        st.cv.notify_all();
+    }
+
+    /// Blocks until the stall fault plan has parked its victim or `timeout`
+    /// elapses; returns whether a thread is parked. Harness entry point:
+    /// arm [`crate::ChaosConfig::stall_at_event`], start the workload, and
+    /// `await_stalled` before exercising the peers.
+    pub fn await_stalled(&self, timeout: std::time::Duration) -> bool {
+        let st = &self.inner.stall;
+        let deadline = Instant::now() + timeout;
+        let mut flags = st.flags.lock();
+        while !flags.parked {
+            if st.cv.wait_until(&mut flags, deadline).timed_out() {
+                return flags.parked;
+            }
+        }
+        true
+    }
+
+    /// Number of threads currently parked by the stall plan (0 or 1).
+    pub fn stalled_count(&self) -> usize {
+        usize::from(self.inner.stall.flags.lock().parked)
+    }
+
+    /// Releases a thread parked by the stall fault plan. Idempotent, and
+    /// safe to call before the victim parks — the release is sticky, so a
+    /// victim arriving later passes straight through.
+    pub fn release_stalled(&self) {
+        let st = &self.inner.stall;
+        let mut flags = st.flags.lock();
+        flags.released = true;
+        st.cv.notify_all();
     }
 
     /// Persistence events charged so far. Counting happens only while a
-    /// fault plan is armed (`chaos.crash_at_event` is `Some`); a sweep
-    /// harness's counting pass arms `Some(u64::MAX)` to count without ever
-    /// crashing.
+    /// fault plan is armed (`chaos.crash_at_event` / `chaos.stall_at_event`
+    /// is `Some`, or straggler mode is on); a sweep harness's counting pass
+    /// arms `Some(u64::MAX)` to count without ever crashing.
     #[inline]
     pub fn persistence_events(&self) -> u64 {
         self.inner.events.load(Ordering::Relaxed)
@@ -667,6 +789,7 @@ impl PmemPool {
         // after the reboot (which would otherwise re-poison at event N).
         let mut cfg = self.inner.config;
         cfg.chaos.crash_at_event = None;
+        cfg.chaos.stall_at_event = None;
         let new = PmemPool::new(cfg);
         // Raw image copy: machine-internal, not a program store — it must
         // not charge persistence events or perturb sanitizer shadow state.
@@ -685,6 +808,10 @@ impl PmemPool {
         self.inner.san.arm_restart(&new.inner.san);
         // Pending-but-unfenced flushes die with the machine.
         self.inner.pending.lock().clear();
+        // A thread parked by the stall plan belongs to the execution that
+        // just died; release it so its (joinable) OS thread can unwind. Its
+        // post-release activity lands only in the dead pool's images.
+        self.release_stalled();
         new
     }
 
@@ -842,6 +969,17 @@ impl PmemPool {
     pub fn san_reset_counts(&self) {
         self.inner.san.reset_counts();
     }
+}
+
+/// Deterministic per-event roll in `0..1000` for straggler injection
+/// (splitmix64 finalizer over `seed ^ event`): a given (seed, workload)
+/// pair delays the same events on every run.
+#[inline]
+fn event_roll(seed: u64, event: u64) -> u64 {
+    let mut z = seed ^ event.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % 1000
 }
 
 /// Busy-wait for approximately `ns` nanoseconds (0 = free).
@@ -1253,5 +1391,100 @@ mod tests {
         for point in [0, 1, 5, 9, 13, 20] {
             assert_eq!(run(point), run(point), "crash point {point} not replayable");
         }
+    }
+
+    #[test]
+    fn stall_parks_exactly_one_thread_and_releases() {
+        let mut cfg = PmemConfig::strict_for_test(1 << 20);
+        cfg.chaos.stall_at_event = Some(3);
+        let p = PmemPool::new(cfg);
+        let p2 = p.clone();
+        let victim = std::thread::spawn(move || {
+            let off = POff::new(4096);
+            w(&p2, off, 1); // event 1
+            p2.clwb(off); // event 2
+            p2.sfence(); // event 3: parks inside the fence
+            7u64
+        });
+        assert!(p.await_stalled(std::time::Duration::from_secs(10)));
+        assert_eq!(p.stalled_count(), 1);
+        // Peers keep full use of the pool while the victim is parked —
+        // including the fence path the victim is parked inside of.
+        let off2 = POff::new(8192);
+        w(&p, off2, 9);
+        p.persist_range(off2, 8);
+        assert_eq!(p.stalled_count(), 1, "peer traffic must not unpark");
+        p.release_stalled();
+        assert_eq!(victim.join().unwrap(), 7);
+        assert_eq!(p.stalled_count(), 0);
+        assert_eq!(p.stats().snapshot().stalls_injected, 1);
+        // Once released, the victim's fence completed normally: its line is
+        // durable alongside the peer's.
+        let crashed = p.crash();
+        assert_eq!(r(&crashed, POff::new(4096)), 1);
+        assert_eq!(r(&crashed, off2), 9);
+    }
+
+    #[test]
+    fn poisoning_releases_a_parked_victim() {
+        let mut cfg = PmemConfig::strict_for_test(1 << 20);
+        cfg.chaos.stall_at_event = Some(2);
+        cfg.chaos.crash_at_event = Some(5);
+        let p = PmemPool::new(cfg);
+        let p2 = p.clone();
+        let victim = std::thread::spawn(move || {
+            let off = POff::new(4096);
+            w(&p2, off, 1);
+            p2.clwb(off); // crosses event 2: parks
+        });
+        assert!(p.await_stalled(std::time::Duration::from_secs(10)));
+        // Peer activity trips the crash plan; the victim must come back on
+        // its own (a dead execution's threads cannot stay parked forever).
+        for i in 0..4u64 {
+            w(&p, POff::new(8192 + i * 8), i);
+        }
+        assert!(p.is_poisoned());
+        victim.join().unwrap();
+        assert_eq!(p.stalled_count(), 0);
+    }
+
+    #[test]
+    fn explicit_crash_releases_a_parked_victim() {
+        let mut cfg = PmemConfig::strict_for_test(1 << 20);
+        cfg.chaos.stall_at_event = Some(1);
+        let p = PmemPool::new(cfg);
+        let p2 = p.clone();
+        let victim = std::thread::spawn(move || w(&p2, POff::new(4096), 1));
+        assert!(p.await_stalled(std::time::Duration::from_secs(10)));
+        let crashed = p.crash();
+        victim.join().unwrap();
+        assert!(
+            crashed.config().chaos.stall_at_event.is_none(),
+            "the restarted machine must not inherit the stall plan"
+        );
+    }
+
+    #[test]
+    fn straggler_rolls_are_deterministic_and_calibrated() {
+        assert_eq!(event_roll(42, 7), event_roll(42, 7));
+        let hits = (0..10_000u64).filter(|&e| event_roll(42, e) < 100).count();
+        assert!(
+            (700..1300).contains(&hits),
+            "a 100-permille plan should hit ~10% of events (got {hits}/10000)"
+        );
+    }
+
+    #[test]
+    fn straggler_mode_counts_events_and_stays_functional() {
+        let mut cfg = PmemConfig::strict_for_test(1 << 20);
+        cfg.chaos.straggler_permille = 1000;
+        cfg.chaos.straggler_delay_us = 0;
+        let p = PmemPool::new(cfg);
+        let off = POff::new(4096);
+        w(&p, off, 5);
+        p.persist_range(off, 8);
+        assert!(p.persistence_events() >= 3, "straggler mode arms counting");
+        let p2 = p.crash();
+        assert_eq!(r(&p2, off), 5);
     }
 }

@@ -23,6 +23,9 @@ pub struct PmemStats {
     /// Pending lines torn (partially persisted) at crash time by
     /// [`crate::ChaosConfig::torn_line_permille`].
     pub torn_lines: AtomicU64,
+    /// Threads parked by the stall fault plan
+    /// ([`crate::ChaosConfig::stall_at_event`]).
+    pub stalls_injected: AtomicU64,
     /// Payloads quarantined by recovery code running on top of the pool
     /// (reported via [`PmemStats::on_quarantine`]).
     pub quarantined_payloads: AtomicU64,
@@ -50,6 +53,10 @@ impl PmemStats {
         self.torn_lines.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_stall(&self) {
+        self.stalls_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records `n` payloads quarantined by a recovery pass. Public because
     /// the quarantining happens in the layers above the pool (Montage
     /// recovery), but the counter lives here so every consumer of pool
@@ -67,6 +74,7 @@ impl PmemStats {
             crashes: self.crashes.load(Ordering::Relaxed),
             injected_crashes: self.injected_crashes.load(Ordering::Relaxed),
             torn_lines: self.torn_lines.load(Ordering::Relaxed),
+            stalls_injected: self.stalls_injected.load(Ordering::Relaxed),
             quarantined_payloads: self.quarantined_payloads.load(Ordering::Relaxed),
         }
     }
@@ -82,6 +90,7 @@ pub struct StatsSnapshot {
     pub crashes: u64,
     pub injected_crashes: u64,
     pub torn_lines: u64,
+    pub stalls_injected: u64,
     pub quarantined_payloads: u64,
 }
 
@@ -96,6 +105,7 @@ impl std::ops::Add for StatsSnapshot {
             crashes: self.crashes + rhs.crashes,
             injected_crashes: self.injected_crashes + rhs.injected_crashes,
             torn_lines: self.torn_lines + rhs.torn_lines,
+            stalls_injected: self.stalls_injected + rhs.stalls_injected,
             quarantined_payloads: self.quarantined_payloads + rhs.quarantined_payloads,
         }
     }
@@ -122,6 +132,7 @@ mod tests {
         s.on_crash();
         s.on_injected_crash();
         s.on_torn_line();
+        s.on_stall();
         s.on_quarantine(3);
         assert_eq!(
             s.snapshot(),
@@ -132,6 +143,7 @@ mod tests {
                 crashes: 1,
                 injected_crashes: 1,
                 torn_lines: 1,
+                stalls_injected: 1,
                 quarantined_payloads: 3,
             }
         );

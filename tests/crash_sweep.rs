@@ -12,6 +12,13 @@
 //! 3. A torn pending header (the `torn_line_permille` chaos knob): the
 //!    header checksum must catch the tear and recovery must quarantine it.
 //! 4. Property-based: random op sequences × sampled crash points.
+//! 5. A *stall* sweep: at every persistence event of a single-threaded
+//!    hashmap workload, park that thread mid-instruction, require a peer's
+//!    puts + `sync`s to complete anyway (nonblocking advance), then cut the
+//!    power with the victim still parked and require (a) the victim's ops
+//!    recover as a consistent prefix and (b) nothing the peer synced is
+//!    lost — the helpers' write-backs on the victim's behalf must never
+//!    corrupt, and the bypassing fence must still cover acked work.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -313,6 +320,171 @@ fn torn_pending_header_is_quarantined() {
         quarantined_seen > 0,
         "no seed produced a quarantined torn header"
     );
+}
+
+// ---- stall-point sweep: liveness + crash cuts during helping ----------------
+
+/// Mirrors `MontageHashMap::index` (DefaultHasher is deterministic), so the
+/// stall sweep can pick peer keys that avoid every bucket the parked victim
+/// might be holding locked.
+fn bucket_of(k: &Key) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    k.hash(&mut h);
+    (h.finish() as usize) % NBUCKETS
+}
+
+const STALL_VICTIM_PUTS: u64 = 6;
+const STALL_PEER_PUTS: u64 = 3;
+
+fn stall_victim_key(i: u64) -> Key {
+    key(1000 + i)
+}
+
+/// Peer keys: the first `STALL_PEER_PUTS` candidates whose bucket collides
+/// with no victim key's bucket (the victim parks holding one of those locks).
+fn stall_peer_keys() -> Vec<Key> {
+    let victim_buckets: std::collections::HashSet<usize> = (0..STALL_VICTIM_PUTS)
+        .map(|i| bucket_of(&stall_victim_key(i)))
+        .collect();
+    (0..)
+        .map(|j| key(2000 + j))
+        .filter(|k| !victim_buckets.contains(&bucket_of(k)))
+        .take(STALL_PEER_PUTS as usize)
+        .collect()
+}
+
+/// Acceptance criterion for the nonblocking advance: at *every* persistence
+/// event of the victim's workload, parking it there must neither block a
+/// peer's puts and syncs (liveness) nor corrupt the durable image cut while
+/// helpers have written back the victim's lines (consistency). Peer-synced
+/// data additionally must survive the cut outright — the bypassing epoch
+/// fence acked it.
+#[test]
+fn montage_workload_is_consistent_and_live_at_every_stall_point() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    type Shared = (Arc<EpochSys>, Arc<MontageHashMap<Key>>);
+    // Victim → peer handoff. The victim clears the slot *before* its first
+    // persistence event, so a park during `format` leaves `None` and the
+    // peer (correctly) skips montage work for that point.
+    let slot: Mutex<Option<Shared>> = Mutex::new(None);
+    let peer_synced = AtomicU64::new(0);
+    let peer_keys = stall_peer_keys();
+
+    let report = pmem_chaos::stall_sweep(
+        &SweepConfig {
+            exhaustive_limit: 4096,
+            samples: 64,
+            seed: 0x57A11,
+        },
+        PmemConfig::strict_for_test(8 << 20),
+        Duration::from_secs(60),
+        |pool| {
+            *slot.lock().unwrap() = None;
+            let esys = EpochSys::format(pool.clone(), small_esys_cfg());
+            let map = Arc::new(MontageHashMap::<Key>::new(esys.clone(), MTAG, NBUCKETS));
+            *slot.lock().unwrap() = Some((esys.clone(), map.clone()));
+            let tid = esys.register_thread();
+            for i in 0..STALL_VICTIM_PUTS {
+                let _ = map.try_put(tid, stall_victim_key(i), &i.to_le_bytes());
+            }
+        },
+        |_pool| {
+            peer_synced.store(0, Ordering::SeqCst);
+            let Some((esys, map)) = slot.lock().unwrap().clone() else {
+                return; // victim parked inside setup: nothing to drive yet
+            };
+            let tid = esys.register_thread();
+            for (j, k) in peer_keys.iter().enumerate() {
+                if map.try_put(tid, *k, &(j as u64).to_le_bytes()).is_err() {
+                    return;
+                }
+                if esys.try_sync().is_err() {
+                    return;
+                }
+                peer_synced.fetch_add(1, Ordering::SeqCst);
+            }
+        },
+        |durable, stall_at| {
+            let synced = peer_synced.load(Ordering::SeqCst);
+            let rec = match montage::try_recover(durable, small_esys_cfg(), 1) {
+                Err(RecoveryError::UnformattedPool) => {
+                    // Cut before the pool header became durable: only legal
+                    // when the peer never completed a sync on this pool.
+                    return if synced == 0 {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "stall_at={stall_at}: {synced} peer syncs acked on an \
+                             unformatted pool"
+                        ))
+                    };
+                }
+                Err(e) => return Err(format!("stall_at={stall_at}: recovery failed: {e}")),
+                Ok(rec) => rec,
+            };
+            if !rec.report.quarantined.is_empty() {
+                return Err(format!(
+                    "stall_at={stall_at}: helping corrupted payloads: {:?}",
+                    rec.report.quarantined
+                ));
+            }
+            let m = MontageHashMap::<Key>::recover(rec.esys.clone(), MTAG, NBUCKETS, &rec);
+            let tid = rec.esys.register_thread();
+
+            // Victim puts recover as a consistent prefix of v0..v5.
+            let mut seen_gap = false;
+            for i in 0..STALL_VICTIM_PUTS {
+                match m.get_owned(tid, &stall_victim_key(i)) {
+                    Some(v) => {
+                        if seen_gap {
+                            return Err(format!(
+                                "stall_at={stall_at}: victim put {i} survived after a gap \
+                                 — not a prefix"
+                            ));
+                        }
+                        if v != i.to_le_bytes() {
+                            return Err(format!("stall_at={stall_at}: victim put {i} torn: {v:?}"));
+                        }
+                    }
+                    None => seen_gap = true,
+                }
+            }
+
+            // Everything the peer synced before the cut is acked: it must
+            // survive even though the epoch fence bypassed a parked thread.
+            for (j, k) in peer_keys.iter().enumerate().take(synced as usize) {
+                match m.get_owned(tid, k) {
+                    Some(v) if v == (j as u64).to_le_bytes() => {}
+                    other => {
+                        return Err(format!(
+                            "stall_at={stall_at}: peer put {j} was synced but recovered \
+                             as {other:?}"
+                        ))
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+    assert!(
+        report.total_events >= 64,
+        "victim workload too small for a meaningful stall sweep: {} events",
+        report.total_events
+    );
+    assert_eq!(
+        report.stall_points.len() as u64,
+        report.total_events + 1,
+        "stall sweep must be exhaustive"
+    );
+    assert_eq!(
+        report.parked_points as u64, report.total_events,
+        "every interior stall point must park the victim"
+    );
+    report.assert_ok();
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

@@ -1,24 +1,47 @@
-//! Liveness properties (paper Sec. 4.3): Montage is lock-free during
-//! crash-free operation, but a stalled thread delays the *persistence
-//! frontier* (epoch advance) — it must never block other threads' progress.
+//! Liveness properties (paper Sec. 4.3, upgraded to nbMontage-style
+//! nonblocking advance): Montage is lock-free during crash-free operation,
+//! and with helper-completed write-backs a stalled thread no longer delays
+//! the *persistence frontier* either — epoch advances, peers' operations,
+//! and peers' `sync` all complete while the victim is stuck. What a live
+//! straggler pins is *reclamation* (its epoch's retirements stay deferred),
+//! covered by the unit tests in `montage::esys`.
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use montage::{EpochSys, EsysConfig};
 use montage_ds::{tags, MontageHashMap};
-use pmem::{PmemConfig, PmemPool};
+use pmem::{ChaosConfig, PmemConfig, PmemPool};
+
+/// A short grace window so bypass (not quiescence) is the path under test.
+fn esys_cfg() -> EsysConfig {
+    EsysConfig {
+        advance_grace_spins: 64,
+        ..Default::default()
+    }
+}
+
+fn sys_with(cfg: PmemConfig) -> Arc<EpochSys> {
+    EpochSys::format(PmemPool::new(cfg), esys_cfg())
+}
 
 fn sys() -> Arc<EpochSys> {
-    EpochSys::format(
-        PmemPool::new(PmemConfig::strict_for_test(32 << 20)),
-        EsysConfig::default(),
-    )
+    sys_with(PmemConfig::strict_for_test(32 << 20))
+}
+
+/// Mirrors `MontageHashMap::index` (DefaultHasher is deterministic), so the
+/// stall tests can steer peer keys away from the victim's locked bucket.
+fn bucket_of(key: &[u8; 32], nbuckets: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % nbuckets
 }
 
 #[test]
-fn stalled_op_blocks_advance_but_not_other_ops() {
+fn stalled_op_does_not_block_advance_or_other_ops() {
     let s = sys();
     let t_stall = s.register_thread();
     let t_work = s.register_thread();
@@ -27,65 +50,165 @@ fn stalled_op_blocks_advance_but_not_other_ops() {
     // A stalled operation in the current epoch.
     let stalled_guard = s.begin_op(t_stall);
 
-    // One advance succeeds (it waits only on epoch e0-1, which is empty).
-    s.advance_epoch();
-    assert_eq!(s.curr_epoch(), e0 + 1);
-
-    // A second advance would wait for e0's quiescence — it must block while
-    // the stalled op lives. Run it in a helper thread.
-    let advanced = Arc::new(AtomicBool::new(false));
-    let s2 = s.clone();
-    let advanced2 = advanced.clone();
-    let advancer = std::thread::spawn(move || {
-        s2.advance_epoch();
-        advanced2.store(true, Ordering::SeqCst);
-    });
-
-    std::thread::sleep(Duration::from_millis(50));
+    // Every advance completes despite the in-flight op: once the grace
+    // window expires the straggler is bypassed (whoever advances helps its
+    // buffered lines out and fences without it).
+    for _ in 0..4 {
+        s.advance_epoch();
+    }
     assert!(
-        !advanced.load(Ordering::SeqCst),
-        "advance must wait for the straggler"
+        s.curr_epoch() >= e0 + 4,
+        "advance must not wait for the straggler"
     );
 
     // Meanwhile other threads keep doing operations (lock freedom).
-    let ops_done = AtomicU64::new(0);
     {
         let g = s.begin_op(t_work);
         let h = s.pnew(&g, 0, &1u64);
         let _ = s.set(&g, h, |v| *v = 2).unwrap();
-        ops_done.fetch_add(1, Ordering::SeqCst);
     }
-    assert_eq!(
-        ops_done.load(Ordering::SeqCst),
-        1,
-        "ops proceed during the stall"
-    );
 
-    // Release the straggler; the frontier moves again.
     drop(stalled_guard);
-    advancer.join().unwrap();
-    assert!(advanced.load(Ordering::SeqCst));
-    assert_eq!(s.curr_epoch(), e0 + 2);
+    s.advance_epoch();
+    assert!(s.curr_epoch() >= e0 + 5);
 }
 
 #[test]
-fn sync_completes_once_stragglers_finish() {
+fn sync_completes_while_a_straggler_is_live() {
     let s = sys();
     let t_stall = s.register_thread();
     let stalled_guard = s.begin_op(t_stall);
 
+    // `sync` from another thread completes *while* the straggler is still
+    // holding its operation open: the advance bypasses it after the grace
+    // window instead of rendezvousing with it.
     let s2 = s.clone();
-    let syncer = std::thread::spawn(move || {
-        let start = Instant::now();
-        s2.sync();
-        start.elapsed()
+    let syncer = std::thread::spawn(move || s2.sync());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !syncer.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "sync blocked behind a live straggler"
+        );
+        std::thread::yield_now();
+    }
+    syncer.join().unwrap();
+
+    // The straggler itself finishes normally afterwards.
+    drop(stalled_guard);
+    s.sync();
+}
+
+/// The headline adversarial schedule: a victim thread is parked *mid-put*
+/// by the pmem stall fault plan — holding its bucket lock and an open
+/// operation, with buffered lines not yet written back — and 8 peers must
+/// still complete bounded batches of puts and `sync`s. On release the
+/// victim's operation completes and its value is durable.
+#[test]
+fn parked_victim_mid_op_does_not_block_peer_syncs() {
+    const NBUCKETS: usize = 64;
+    const PEERS: usize = 8;
+    const SYNCS_PER_PEER: usize = 4;
+
+    let mut vk = [0u8; 32];
+    vk[0] = 0xAA;
+
+    let setup = |chaos: ChaosConfig| {
+        let mut cfg = PmemConfig::strict_for_test(32 << 20);
+        cfg.chaos = chaos;
+        let s = sys_with(cfg);
+        let map = Arc::new(MontageHashMap::<[u8; 32]>::new(
+            s.clone(),
+            tags::HASHMAP,
+            NBUCKETS,
+        ));
+        (s, map)
+    };
+
+    // Counting pass: identical single-threaded setup charges identical
+    // persistence events, so the victim put's event span can be measured
+    // once and replayed — the stall lands mid-operation by construction.
+    let (e_setup, e_put) = {
+        let (s, map) = setup(ChaosConfig {
+            crash_at_event: Some(u64::MAX),
+            ..Default::default()
+        });
+        let tid = s.register_thread();
+        let e_setup = s.pool().persistence_events();
+        map.put(tid, vk, b"victim-value");
+        (e_setup, s.pool().persistence_events())
+    };
+    assert!(e_put > e_setup, "a put must charge persistence events");
+    let stall_at = e_setup + (e_put - e_setup).div_ceil(2);
+
+    // Live pass: park the victim inside its put.
+    let (s, map) = setup(ChaosConfig {
+        stall_at_event: Some(stall_at),
+        ..Default::default()
     });
-    std::thread::sleep(Duration::from_millis(40));
-    drop(stalled_guard); // release
-    let waited = syncer.join().unwrap();
+    let victim = {
+        let (s, map) = (s.clone(), map.clone());
+        std::thread::spawn(move || {
+            let tid = s.register_thread();
+            map.put(tid, vk, b"victim-value")
+        })
+    };
     assert!(
-        waited >= Duration::from_millis(20),
-        "sync should have been delayed by the straggler"
+        s.pool().await_stalled(Duration::from_secs(30)),
+        "victim never parked (stall point {stall_at} missed?)"
+    );
+
+    let vb = bucket_of(&vk, NBUCKETS);
+    let done = Arc::new(AtomicU64::new(0));
+    let mut peers = vec![];
+    for p in 0..PEERS {
+        let (s, map, done) = (s.clone(), map.clone(), done.clone());
+        peers.push(std::thread::spawn(move || {
+            let tid = s.register_thread();
+            for i in 0..SYNCS_PER_PEER {
+                let mut k = [0u8; 32];
+                k[0] = p as u8 + 1;
+                k[1] = i as u8;
+                while bucket_of(&k, NBUCKETS) == vb {
+                    k[2] += 1; // steer clear of the victim's locked bucket
+                }
+                map.put(tid, k, b"peer-value");
+                s.sync();
+                done.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    // Bounded completion: every peer sync finishes within the deadline
+    // while the victim stays parked the whole time.
+    let target = (PEERS * SYNCS_PER_PEER) as u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while done.load(Ordering::Relaxed) < target {
+        assert!(
+            Instant::now() < deadline,
+            "peer syncs blocked by the parked victim ({}/{} done)",
+            done.load(Ordering::Relaxed),
+            target
+        );
+        assert_eq!(s.pool().stalled_count(), 1, "victim unparked prematurely");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for h in peers {
+        h.join().unwrap();
+    }
+    assert_eq!(s.pool().stalled_count(), 1, "victim must still be parked");
+
+    // Release: the victim's operation completes and becomes durable.
+    s.pool().release_stalled();
+    assert!(
+        !victim.join().unwrap(),
+        "victim's put completes (as a fresh insert) after release"
+    );
+    s.sync();
+    let t_check = s.register_thread();
+    assert_eq!(
+        map.get_owned(t_check, &vk).as_deref(),
+        Some(b"victim-value".as_slice())
     );
 }
 
