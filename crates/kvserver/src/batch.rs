@@ -47,6 +47,8 @@ pub(crate) struct WorkerStats {
     pub fence_timeouts: AtomicU64,
     /// Replies queued behind those fences.
     pub acks: AtomicU64,
+    /// Range scans served (`scan` verb) — the only multi-record read.
+    pub scans: AtomicU64,
     /// Batch-size histogram over [`HIST_BUCKETS`].
     pub hist: [AtomicU64; HIST_BUCKETS.len()],
 }
@@ -184,6 +186,9 @@ pub(crate) fn execute(
                         acks += 1;
                     }
                     continue;
+                }
+                if cmd == "scan" {
+                    ws.scans.fetch_add(1, Ordering::Relaxed);
                 }
                 let is_mutation = matches!(
                     cmd,

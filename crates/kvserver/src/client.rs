@@ -18,6 +18,9 @@ pub struct WireClient {
 pub enum PipeOp<'a> {
     Get(&'a str),
     Set(&'a str, &'a [u8]),
+    /// `scan <lo> <hi>` — the multi-record reply is drained and discarded
+    /// (framing-checked) so scans can interleave with gets/sets in flight.
+    Scan(&'a str, &'a str),
 }
 
 fn bad_reply(context: &str, got: &str) -> std::io::Error {
@@ -128,6 +131,9 @@ impl WireClient {
                     buf.extend_from_slice(v);
                     buf.extend_from_slice(b"\r\n");
                 }
+                PipeOp::Scan(lo, hi) => {
+                    buf.extend_from_slice(format!("scan {lo} {hi}\r\n").as_bytes());
+                }
             }
         }
         self.stream.get_mut().write_all(&buf)?;
@@ -156,9 +162,55 @@ impl WireClient {
                         return Err(bad_reply("pipelined get tail", &tail));
                     }
                 }
+                PipeOp::Scan(..) => {
+                    self.read_scan_records()?;
+                }
             }
         }
         Ok(())
+    }
+
+    /// `scan <lo> <hi> [<limit>]`: collects the `(key, flags, value)`
+    /// records of the reply, in server (key) order.
+    pub fn scan(
+        &mut self,
+        lo: &str,
+        hi: &str,
+        limit: Option<usize>,
+    ) -> std::io::Result<Vec<(String, u32, Vec<u8>)>> {
+        let line = match limit {
+            Some(n) => format!("scan {lo} {hi} {n}\r\n"),
+            None => format!("scan {lo} {hi}\r\n"),
+        };
+        self.send_raw(line.as_bytes())?;
+        self.read_scan_records()
+    }
+
+    /// Drains one scan reply (`VALUE` records up to `END`), validating the
+    /// announced lengths against the stream.
+    fn read_scan_records(&mut self) -> std::io::Result<Vec<(String, u32, Vec<u8>)>> {
+        let mut out = Vec::new();
+        loop {
+            let head = self.read_line()?;
+            if head == "END" {
+                return Ok(out);
+            }
+            let mut parts = head.split_whitespace();
+            let (Some("VALUE"), Some(key), Some(flags), Some(len)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(bad_reply("scan", &head));
+            };
+            let flags: u32 = flags.parse().map_err(|_| bad_reply("scan flags", &head))?;
+            let len: usize = len.parse().map_err(|_| bad_reply("scan len", &head))?;
+            let mut data = vec![0u8; len + 2]; // value + CRLF
+            self.stream.read_exact(&mut data)?;
+            if &data[len..] != b"\r\n" {
+                return Err(bad_reply("scan record tail", &head));
+            }
+            data.truncate(len);
+            out.push((key.to_string(), flags, data));
+        }
     }
 
     /// `delete`, returning the reply line (`DELETED` / `NOT_FOUND`).

@@ -258,6 +258,7 @@ pub(crate) fn stats_reply(shared: &Shared) -> String {
     stat("gc_workers", workers.len() as u64);
     let mut totals = (0u64, 0u64, 0u64, 0u64);
     let mut timeouts = 0u64;
+    let mut scans = 0u64;
     let mut hist = [0u64; HIST_BUCKETS.len()];
     for w in workers.iter() {
         totals.0 += w.batches.load(Ordering::Relaxed);
@@ -265,10 +266,12 @@ pub(crate) fn stats_reply(shared: &Shared) -> String {
         totals.2 += w.fences.load(Ordering::Relaxed);
         totals.3 += w.acks.load(Ordering::Relaxed);
         timeouts += w.fence_timeouts.load(Ordering::Relaxed);
+        scans += w.scans.load(Ordering::Relaxed);
         for (slot, bucket) in hist.iter_mut().zip(w.hist.iter()) {
             *slot += bucket.load(Ordering::Relaxed);
         }
     }
+    stat("scan_requests", scans);
     stat("gc_batches", totals.0);
     stat("gc_batched_requests", totals.1);
     stat("gc_fences", totals.2);

@@ -29,7 +29,7 @@ pub use sharded::{
 
 use session_table::{SessionRecord, SessionTable};
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -62,6 +62,10 @@ enum ItemRef {
 struct Shard {
     map: HashMap<Key, (ItemRef, u64)>,
     lru: BTreeMap<u64, Key>,
+    /// Key-ordered mirror of `map`'s key set, maintained at every insert
+    /// and removal — what gives `scan` its per-stripe ordered walk without
+    /// sorting under the lock.
+    ordered: BTreeSet<Key>,
     next_stamp: u64,
 }
 
@@ -70,6 +74,7 @@ impl Shard {
         Shard {
             map: HashMap::new(),
             lru: BTreeMap::new(),
+            ordered: BTreeSet::new(),
             next_stamp: 0,
         }
     }
@@ -138,6 +143,7 @@ impl KvStore {
                         .map
                         .insert(key, (ItemRef::Montage(item.handle()), stamp));
                     shard.lru.insert(stamp, key);
+                    shard.ordered.insert(key);
                     store.len.fetch_add(1, Ordering::Relaxed);
                 }
                 SESSION_TAG => {
@@ -341,6 +347,7 @@ impl KvStore {
             if let Some((&oldest, &victim)) = shard.lru.iter().next() {
                 shard.lru.remove(&oldest);
                 if let Some((item, _)) = shard.map.remove(&victim) {
+                    shard.ordered.remove(&victim);
                     self.free_item(tid, item);
                     self.len.fetch_sub(1, Ordering::Relaxed);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -352,6 +359,7 @@ impl KvStore {
         shard.next_stamp += 1;
         shard.map.insert(key, (item, stamp));
         shard.lru.insert(stamp, key);
+        shard.ordered.insert(key);
         self.len.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -367,9 +375,34 @@ impl KvStore {
             return false;
         };
         shard.lru.remove(&stamp);
+        shard.ordered.remove(key);
         self.free_item(tid, item);
         self.len.fetch_sub(1, Ordering::Relaxed);
         true
+    }
+
+    /// Ordered inclusive range scan: every stripe is walked under its lock
+    /// (a per-stripe atomic snapshot — no torn view of any single stripe),
+    /// then the per-stripe runs are merged into one sorted result capped at
+    /// `limit`. Scans are reads: they do not touch the LRU and never
+    /// persist anything.
+    pub fn scan(&self, lo: &Key, hi: &Key, limit: usize) -> Vec<(Key, Vec<u8>)> {
+        if lo > hi || limit == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<(Key, Vec<u8>)> = Vec::new();
+        for stripe in self.shards.iter() {
+            let shard = stripe.lock();
+            for key in shard.ordered.range(*lo..=*hi) {
+                let value = self
+                    .read_value_locked(&shard, key)
+                    .expect("ordered mirrors map");
+                out.push((*key, value));
+            }
+        }
+        out.sort_by_key(|e| e.0);
+        out.truncate(limit);
+        out
     }
 
     /// The key's current value bytes under an already-held shard lock —
@@ -533,6 +566,7 @@ impl KvStore {
             DetectedWrite::Delete => {
                 if let Some((item, stamp)) = shard.map.remove(key) {
                     shard.lru.remove(&stamp);
+                    shard.ordered.remove(key);
                     pdelete_item(item);
                     self.len.fetch_sub(1, Ordering::Relaxed);
                 }
@@ -563,6 +597,7 @@ impl KvStore {
                     if let Some((&oldest, &victim)) = shard.lru.iter().next() {
                         shard.lru.remove(&oldest);
                         if let Some((item, _)) = shard.map.remove(&victim) {
+                            shard.ordered.remove(&victim);
                             pdelete_item(item);
                             self.len.fetch_sub(1, Ordering::Relaxed);
                             self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -577,6 +612,7 @@ impl KvStore {
                 shard.next_stamp += 1;
                 shard.map.insert(*key, (item, stamp));
                 shard.lru.insert(stamp, *key);
+                shard.ordered.insert(*key);
                 self.len.fetch_add(1, Ordering::Relaxed);
             }
         }

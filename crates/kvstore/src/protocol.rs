@@ -115,6 +115,19 @@ fn parse_item(bytes: &[u8]) -> Item {
     }
 }
 
+/// Scan reply cap when the client names no limit.
+pub const SCAN_DEFAULT_LIMIT: usize = 256;
+/// Hard scan reply cap — larger client limits are clamped, bounding any
+/// single reply (the "oversized reply" wire case).
+pub const SCAN_MAX_LIMIT: usize = 4096;
+
+/// The client-visible text of a padded key (strips the zero padding
+/// [`key_of`] added; lossy for keys that were never valid UTF-8).
+fn key_text(key: &Key) -> String {
+    let end = key.iter().position(|&b| b == 0).unwrap_or(key.len());
+    String::from_utf8_lossy(&key[..end]).into_owned()
+}
+
 fn key_of(s: &str) -> Result<Key, String> {
     let b = s.as_bytes();
     if b.is_empty() || b.len() > 32 {
@@ -293,6 +306,7 @@ impl Session {
         match cmd {
             "get" => self.do_get(&args, false),
             "gets" => self.do_get(&args, true),
+            "scan" => self.do_scan(&args),
             "set" | "add" | "replace" | "cas" => self.do_store(cmd, &args, data, ctx),
             "delete" => self.do_delete(&args, ctx),
             "touch" => self.do_touch(&args, ctx),
@@ -382,6 +396,47 @@ impl Session {
                 out.push_str(&text);
                 out.push_str("\r\n");
             }
+        }
+        out.push_str("END");
+        out
+    }
+
+    /// `scan <lo> <hi> [<limit>]` — ordered inclusive range scan. Keys are
+    /// compared as their padded 32-byte images (zero padding preserves the
+    /// natural order of equal-prefix keys). Replies use `get` framing:
+    /// `VALUE <key> <flags> <len>` lines in key order, closed by `END`.
+    /// Expired items are filtered (scans are pure reads — no lazy reaping)
+    /// but still count against the limit. An inverted range is simply
+    /// empty, not an error.
+    fn do_scan(&self, args: &[&str]) -> String {
+        let (Some(lo_arg), Some(hi_arg)) = (args.first(), args.get(1)) else {
+            return "CLIENT_ERROR bad scan line".into();
+        };
+        let (lo, hi) = match (key_of(lo_arg), key_of(hi_arg)) {
+            (Ok(lo), Ok(hi)) => (lo, hi),
+            (Err(e), _) | (_, Err(e)) => return e,
+        };
+        let limit = match args.get(2) {
+            None => SCAN_DEFAULT_LIMIT,
+            Some(t) => match t.parse::<usize>() {
+                Ok(n) => n.min(SCAN_MAX_LIMIT),
+                Err(_) => return "CLIENT_ERROR bad scan limit".into(),
+            },
+        };
+        let now_ms = self.clock.now_ms();
+        let mut out = String::new();
+        for (key, raw) in self.store.scan(&lo, &hi, limit) {
+            let it = parse_item(&raw);
+            if it.expires_at != 0 && it.expires_at <= now_ms {
+                continue;
+            }
+            let name = key_text(&key);
+            let text = String::from_utf8_lossy(&it.data);
+            // As in `do_get`: announce the length of the bytes actually
+            // emitted so lossy transcoding cannot desync client framing.
+            out.push_str(&format!("VALUE {name} {} {}\r\n", it.flags, text.len()));
+            out.push_str(&text);
+            out.push_str("\r\n");
         }
         out.push_str("END");
         out
@@ -815,5 +870,97 @@ mod tests {
         // Each shard holds at most one descriptor per session.
         assert!(per_shard.iter().all(|d| d.descriptors <= 1));
         assert_eq!(store.detect_stats_merged().descriptors, populated as u64);
+    }
+
+    #[test]
+    fn scan_returns_sorted_inclusive_range() {
+        let s = session(KvBackend::Dram);
+        for name in ["pear", "apple", "mango", "banana", "cherry"] {
+            assert_eq!(
+                s.execute(&format!("set {name} 7 0 {}", name.len()), name.as_bytes()),
+                "STORED"
+            );
+        }
+        let r = s.execute("scan apple cherry", b"");
+        assert_eq!(
+            r,
+            "VALUE apple 7 5\r\napple\r\nVALUE banana 7 6\r\nbanana\r\nVALUE cherry 7 6\r\ncherry\r\nEND"
+        );
+        // Bounds need not be present keys.
+        let r = s.execute("scan a z", b"");
+        assert!(r.matches("VALUE ").count() == 5, "{r}");
+    }
+
+    #[test]
+    fn scan_empty_and_inverted_ranges() {
+        let s = session(KvBackend::Dram);
+        s.execute("set mango 0 0 1", b"m");
+        assert_eq!(s.execute("scan x z", b""), "END");
+        assert_eq!(s.execute("scan z a", b""), "END", "inverted range is empty");
+        assert_eq!(s.execute("scan", b""), "CLIENT_ERROR bad scan line");
+        assert_eq!(s.execute("scan a", b""), "CLIENT_ERROR bad scan line");
+        assert_eq!(
+            s.execute("scan a z bogus", b""),
+            "CLIENT_ERROR bad scan limit"
+        );
+    }
+
+    #[test]
+    fn scan_respects_and_clamps_limit() {
+        let s = session(KvBackend::Dram);
+        for i in 0..20 {
+            s.execute(&format!("set k{i:02} 0 0 1"), b"v");
+        }
+        let r = s.execute("scan k00 k99 5", b"");
+        assert_eq!(r.matches("VALUE ").count(), 5);
+        assert!(r.starts_with("VALUE k00 "), "lowest keys win: {r}");
+        // A huge limit is clamped, not an error.
+        let r = s.execute(&format!("scan k00 k99 {}", usize::MAX), b"");
+        assert_eq!(r.matches("VALUE ").count(), 20);
+    }
+
+    #[test]
+    fn scan_filters_expired_items_without_reaping() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct MockClock(AtomicU64);
+        impl Clock for MockClock {
+            fn now_ms(&self) -> u64 {
+                self.0.load(Ordering::Relaxed)
+            }
+        }
+        let clock = Arc::new(MockClock(AtomicU64::new(1_000_000)));
+        let s = session(KvBackend::Dram).with_clock(clock.clone());
+        s.execute("set dies 0 5 1", b"x");
+        s.execute("set lives 0 0 1", b"y");
+        clock.0.store(1_000_000 + 6_000, Ordering::Relaxed);
+        let r = s.execute("scan a z", b"");
+        assert!(!r.contains("VALUE dies"), "{r}");
+        assert!(r.contains("VALUE lives"), "{r}");
+    }
+
+    #[test]
+    fn scan_works_across_shards_on_a_sharded_store() {
+        let store = crate::ShardedKvStore::format(
+            4,
+            PmemConfig::strict_for_test(8 << 20),
+            EsysConfig::default(),
+            4,
+            10_000,
+        );
+        let lease = Arc::new(store.lease());
+        let s = Session::sharded(store, lease);
+        for i in 0..64 {
+            assert_eq!(s.execute(&format!("set key{i:03} 0 0 1"), b"v"), "STORED");
+        }
+        let r = s.execute("scan key000 key999", b"");
+        assert_eq!(r.matches("VALUE ").count(), 64);
+        let keys: Vec<&str> = r
+            .lines()
+            .filter(|l| l.starts_with("VALUE "))
+            .map(|l| l.split_whitespace().nth(1).unwrap())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "cross-shard merge must stay key-ordered");
     }
 }

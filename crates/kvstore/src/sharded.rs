@@ -305,6 +305,24 @@ impl ShardedKvStore {
         self.shards[self.shard_of(key)].get(0, key, f)
     }
 
+    /// Ordered inclusive range scan across **every** shard: keys hash
+    /// across shards, so a range touches all of them. Each shard produces a
+    /// per-stripe-consistent snapshot of its slice (see [`KvStore::scan`]);
+    /// the slices are merged, sorted, and capped at `limit`. Like `get`,
+    /// scans are pure reads — no worker id, served even on a faulted shard.
+    pub fn scan(&self, lo: &Key, hi: &Key, limit: usize) -> Vec<(Key, Vec<u8>)> {
+        if lo > hi || limit == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<(Key, Vec<u8>)> = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.scan(lo, hi, limit));
+        }
+        out.sort_by_key(|e| e.0);
+        out.truncate(limit);
+        out
+    }
+
     /// `set` routes to the owning shard, refusing mutations on a faulted
     /// one (its durable image is frozen; accepting would lie).
     pub fn set(&self, lease: &StoreLease, key: Key, value: &[u8]) -> Result<(), StoreError> {

@@ -27,6 +27,7 @@ pub mod nbqueue;
 pub mod nbstack;
 pub mod queue;
 pub mod skiplist;
+pub mod sortedlist;
 
 pub use graph::MontageGraph;
 pub use hashmap::MontageHashMap;
@@ -35,6 +36,7 @@ pub use nbqueue::MontageNbQueue;
 pub use nbstack::MontageStack;
 pub use queue::MontageQueue;
 pub use skiplist::MontageSkipListMap;
+pub use sortedlist::MontageSortedList;
 
 /// Payload type tags used by the bundled structures (pass your own when
 /// instantiating several structures of the same kind in one pool).
@@ -48,4 +50,5 @@ pub mod tags {
     pub const GRAPH_VERTEX: u16 = 4;
     pub const GRAPH_EDGE: u16 = 5;
     pub const KVSTORE: u16 = 6;
+    pub const SORTED_LIST: u16 = 10;
 }

@@ -315,6 +315,29 @@ pub mod epoch {
         pub fn store(&self, new: Shared<'_, T>, ord: Ordering) {
             self.data.store(new.data, ord);
         }
+
+        /// CAS on the tagged pointer word (subset of
+        /// `crossbeam_epoch::Atomic::compare_exchange`; the failure arm
+        /// returns the observed value instead of crossbeam's error struct).
+        pub fn compare_exchange<'g>(
+            &self,
+            current: Shared<'_, T>,
+            new: Shared<'g, T>,
+            success: Ordering,
+            failure: Ordering,
+            _guard: &'g Guard,
+        ) -> Result<Shared<'g, T>, Shared<'g, T>> {
+            match self
+                .data
+                .compare_exchange(current.data, new.data, success, failure)
+            {
+                Ok(_) => Ok(new),
+                Err(observed) => Err(Shared {
+                    data: observed,
+                    _marker: PhantomData,
+                }),
+            }
+        }
     }
 
     impl<T> Drop for Atomic<T> {

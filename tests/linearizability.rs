@@ -28,10 +28,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use montage::{EpochSys, EsysConfig};
-use montage_ds::{MontageHashMap, MontageQueue};
+use montage_ds::{MontageHashMap, MontageQueue, MontageSortedList};
 use montage_suite::history::{
-    check_durable_prefix, check_linearizable, classify_by_epoch, Durability, FifoQueue, OpRecord,
-    QueueOp, Recorder, RegOp, RegRet, Register,
+    check_durable_prefix, check_linearizable, classify_by_epoch, Durability, FifoQueue, MapOp,
+    MapRet, OpRecord, OrderedMap, QueueOp, Recorder, RegOp, RegRet, Register,
 };
 use pmem::{PmemConfig, PmemPool};
 use rand::rngs::SmallRng;
@@ -330,6 +330,293 @@ fn crashed_map_runs_linearize_to_an_epoch_cut_prefix() {
         must_exclude_total > 0,
         "no op ever classified must-exclude: crash snapshots fired too late"
     );
+}
+
+// ---- resize + scan layers (ISSUE 9) ------------------------------------
+//
+// Layer 4: live map runs that cross ≥1 online resize mid-history — the
+// resize must be invisible to linearizability (25 runs × per-key checks).
+// Layer 5: sorted-list runs where threads interleave put/remove/get with
+// consistent range scans, checked as WHOLE histories against the
+// OrderedMap model (scans couple keys, so no per-key decomposition).
+// Layer 6: buffered crash cuts of both — resize in flight at the snapshot,
+// and scan histories cut at an epoch boundary.
+// 25 + 20 + 15 + 10 = 70 recorded resize/scan histories (≥ 50 required).
+
+/// Layer 4: histories recorded *across* online resizes still linearize
+/// per key. Tiny initial table + max_load 1 forces several resizes inside
+/// every run; writers migrate buckets mid-op (help-on-lookup), readers
+/// race the directory swap.
+#[test]
+fn map_histories_across_online_resizes_linearize() {
+    let mut checked = 0usize;
+    let mut resized_runs = 0usize;
+    for seed in 0..25u64 {
+        let esys = fresh_esys();
+        let map = MontageHashMap::<Key>::with_max_load(esys.clone(), MTAG, 2, 1);
+        let history = record_map_run(&esys, &map, 0x5E12E ^ seed, 3, 24, false, None);
+        assert_eq!(history.len(), 3 * 24);
+        if map.resizes_completed() >= 1 || map.resizing() {
+            resized_runs += 1;
+        }
+        for k in 0..KEY_SPACE {
+            let proj = project(&history, k);
+            if proj.is_empty() {
+                continue;
+            }
+            check_linearizable::<Register>(&proj).unwrap_or_else(|e| {
+                panic!("seed {seed}, key {k} (mid-resize): {e}\nhistory: {proj:#?}")
+            });
+            checked += 1;
+        }
+    }
+    assert!(
+        resized_runs >= 20,
+        "resize trigger too lazy: only {resized_runs}/25 runs resized"
+    );
+    assert!(checked >= 100, "checked only {checked} projections");
+}
+
+/// Records one concurrent sorted-list run mixing mutations with consistent
+/// range scans; returns the merged whole-history record.
+fn record_scan_run(
+    esys: &Arc<EpochSys>,
+    list: &MontageSortedList<u64>,
+    seed: u64,
+    threads: usize,
+    ops: usize,
+    track_epochs: bool,
+) -> Vec<OpRecord<MapOp, MapRet>> {
+    const SCAN_KEYS: u64 = 6;
+    let clock = Recorder::<MapOp, MapRet>::shared_clock();
+    let mut merged = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let clock = Arc::clone(&clock);
+                let esys = Arc::clone(esys);
+                s.spawn(move || {
+                    let tid = esys.register_thread();
+                    let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x51AB));
+                    let mut rec = Recorder::new(clock, t);
+                    let epoch = |esys: &Arc<EpochSys>| {
+                        let esys = Arc::clone(esys);
+                        move || if track_epochs { esys.curr_epoch() } else { 0 }
+                    };
+                    for i in 0..ops {
+                        let k = rng.gen_range(0..SCAN_KEYS);
+                        let v = (t * ops + i) as u64 + 1;
+                        match rng.gen_range(0u32..10) {
+                            0..=3 => rec.record(MapOp::Put(k, v), epoch(&esys), || {
+                                MapRet::Existed(list.put(tid, k, &v.to_le_bytes()))
+                            }),
+                            4..=5 => rec.record(MapOp::Del(k), epoch(&esys), || {
+                                MapRet::Existed(list.remove(tid, &k))
+                            }),
+                            6..=7 => rec.record(MapOp::Get(k), epoch(&esys), || {
+                                MapRet::Value(list.get_owned(tid, &k).map(|b| parse_u64(&b)))
+                            }),
+                            _ => {
+                                let lo = rng.gen_range(0..SCAN_KEYS);
+                                let hi = rng.gen_range(lo..SCAN_KEYS);
+                                rec.record(MapOp::Scan(lo, hi), epoch(&esys), || {
+                                    MapRet::Snapshot(
+                                        list.range(tid, &lo, &hi)
+                                            .into_iter()
+                                            .map(|(k, v)| (k, parse_u64(&v)))
+                                            .collect(),
+                                    )
+                                })
+                            }
+                        }
+                    }
+                    esys.unregister_thread(tid);
+                    rec.ops
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.extend(h.join().expect("worker panicked"));
+        }
+    });
+    merged
+}
+
+/// Layer 5: concurrent sorted-list histories with range scans linearize as
+/// whole histories — every scan return must be a consistent cut. 20 seeded
+/// runs, 3 threads each, every run containing at least one scan.
+#[test]
+fn live_scan_histories_are_consistent_cuts() {
+    let mut scans_total = 0usize;
+    for seed in 0..20u64 {
+        let esys = fresh_esys();
+        let list = MontageSortedList::<u64>::new(esys.clone(), montage_ds::tags::SORTED_LIST);
+        let history = record_scan_run(&esys, &list, 0x5CA0 ^ seed, 3, 8, false);
+        assert_eq!(history.len(), 3 * 8);
+        scans_total += history
+            .iter()
+            .filter(|r| matches!(r.op, MapOp::Scan(..)))
+            .count();
+        check_linearizable::<OrderedMap>(&history)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\nhistory: {history:#?}"));
+    }
+    assert!(
+        scans_total >= 20,
+        "scan mix too thin: {scans_total} scans across 20 runs"
+    );
+}
+
+/// Layer 6a: crash cuts taken **while a resize is in flight**. The
+/// workload drives a tiny map through repeated growth; the coordinator
+/// snapshots mid-run. Per-key recovered state must be a legal epoch-cut
+/// prefix — resize metadata must never bleed into key visibility.
+#[test]
+fn crashed_mid_resize_runs_linearize_to_an_epoch_cut_prefix() {
+    let mut crash_histories = 0usize;
+    let mut resizing_at_crash = 0usize;
+    for seed in 0..15u64 {
+        let esys = fresh_esys();
+        let map = MontageHashMap::<Key>::with_max_load(esys.clone(), MTAG, 2, 1);
+        let snapshot: Mutex<Option<PmemPool>> = Mutex::new(None);
+        let crash_tick = 3 + seed % 8;
+        let mut history = Vec::new();
+        std::thread::scope(|s| {
+            let esys2 = Arc::clone(&esys);
+            let snapshot = &snapshot;
+            s.spawn(move || {
+                for tick in 0..16u64 {
+                    std::thread::sleep(Duration::from_micros(300));
+                    esys2.advance_epoch();
+                    if tick == crash_tick {
+                        *snapshot.lock().unwrap() = Some(esys2.pool().crash());
+                    }
+                }
+            });
+            history = record_map_run(
+                &esys,
+                &map,
+                0x2E512E ^ seed,
+                2,
+                24,
+                true,
+                Some(Duration::from_micros(150)),
+            );
+        });
+        let crashed = snapshot.lock().unwrap().take().expect("snapshot taken");
+
+        let rec = montage::try_recover(crashed, EsysConfig::default(), 1)
+            .unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e}"));
+        assert!(
+            rec.report.quarantined.is_empty(),
+            "seed {seed}: clean crash quarantined payloads"
+        );
+        let rmap = MontageHashMap::<Key>::recover(rec.esys.clone(), MTAG, 2, &rec);
+        assert!(!rmap.resizing(), "recovery left a resize in flight");
+        if rmap.capacity() > 2 {
+            resizing_at_crash += 1; // a durable descriptor rolled us forward
+        }
+        let rtid = rec.esys.register_thread();
+        let cutoff = rec.esys.curr_epoch() - 4;
+        let durability = classify_by_epoch(&history, cutoff);
+        for k in 0..KEY_SPACE {
+            let proj = project(&history, k);
+            if proj.is_empty() {
+                continue;
+            }
+            let dproj: Vec<Durability> = history
+                .iter()
+                .zip(&durability)
+                .filter(|(r, _)| r.op.0 == k)
+                .map(|(_, d)| *d)
+                .collect();
+            let target = Register {
+                value: rmap.get_owned(rtid, &key(k)).map(|b| parse_u64(&b)),
+            };
+            check_durable_prefix(&proj, &dproj, &target).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed}, key {k}, cutoff {cutoff} (mid-resize cut): {e}\n\
+                     recovered {target:?}\nhistory: {proj:#?}\nclasses: {dproj:?}"
+                )
+            });
+        }
+        crash_histories += 1;
+    }
+    assert_eq!(crash_histories, 15);
+    // The sweep must actually catch durable resize descriptors sometimes,
+    // or the "mid-resize" label is vacuous.
+    assert!(
+        resizing_at_crash >= 3,
+        "only {resizing_at_crash}/15 cuts caught a rolled-forward geometry"
+    );
+}
+
+/// Layer 6b: buffered crash cuts of scan histories. Single recording
+/// thread (whole-history durable checks stay tractable), epoch advances
+/// interleaved; the recovered list's full contents must be a legal
+/// epoch-cut prefix of a history that *includes* `Scan` ops.
+#[test]
+fn crashed_scan_runs_linearize_to_an_epoch_cut_prefix() {
+    for seed in 0..10u64 {
+        let esys = fresh_esys();
+        let list = MontageSortedList::<u64>::new(esys.clone(), montage_ds::tags::SORTED_LIST);
+        let tid = esys.register_thread();
+        let clock = Recorder::<MapOp, MapRet>::shared_clock();
+        let mut rec = Recorder::new(Arc::clone(&clock), 0);
+        let mut rng = SmallRng::seed_from_u64(0x5CACC ^ seed);
+        let crash_at = 8 + (seed as usize % 8) * 2;
+        let mut crashed: Option<PmemPool> = None;
+        for i in 0..26usize {
+            if i % 3 == 0 {
+                esys.advance_epoch();
+            }
+            if i == crash_at {
+                crashed = Some(esys.pool().crash());
+            }
+            let e = || esys.curr_epoch();
+            let k = rng.gen_range(0..5u64);
+            let v = i as u64 + 1;
+            match rng.gen_range(0u32..10) {
+                0..=4 => rec.record(MapOp::Put(k, v), e, || {
+                    MapRet::Existed(list.put(tid, k, &v.to_le_bytes()))
+                }),
+                5..=6 => rec.record(MapOp::Del(k), e, || MapRet::Existed(list.remove(tid, &k))),
+                _ => rec.record(MapOp::Scan(0, 9), e, || {
+                    MapRet::Snapshot(
+                        list.range(tid, &0, &9)
+                            .into_iter()
+                            .map(|(k, v)| (k, parse_u64(&v)))
+                            .collect(),
+                    )
+                }),
+            }
+        }
+        let crashed = crashed.expect("snapshot taken");
+        let history = rec.ops;
+
+        let recd = montage::try_recover(crashed, EsysConfig::default(), 1)
+            .unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e}"));
+        let rlist = MontageSortedList::<u64>::recover(
+            recd.esys.clone(),
+            montage_ds::tags::SORTED_LIST,
+            &recd,
+        );
+        let rtid = recd.esys.register_thread();
+        let cutoff = recd.esys.curr_epoch() - 4;
+        let target = OrderedMap {
+            entries: rlist
+                .range(rtid, &0, &u64::MAX)
+                .into_iter()
+                .map(|(k, v)| (k, parse_u64(&v)))
+                .collect(),
+        };
+        let durability = classify_by_epoch(&history, cutoff);
+        check_durable_prefix(&history, &durability, &target).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}, cutoff {cutoff}: {e}\nrecovered {target:?}\n\
+                 history: {history:#?}\nclasses: {durability:?}"
+            )
+        });
+    }
 }
 
 /// Queue flavour of the durable check: single recording thread (queues need

@@ -1,0 +1,243 @@
+//! Property-based range-scan correctness: random put / remove / scan
+//! scripts replayed against a `BTreeMap` model.
+//!
+//! Two layers (same shape as `session_recovery_prop.rs`):
+//!
+//! 1. **Live, all three item backends** — the identical script runs on a
+//!    DRAM, an NVM (Ralloc) and a Montage-backed [`KvStore`]; after every
+//!    step each scan's reply must equal the model's `range(lo..=hi)`
+//!    (truncated to the requested limit). Scans are pure reads, so the
+//!    backends may not diverge from the model or from each other.
+//! 2. **Montage × sampled crash points** — the script runs on a
+//!    single-shard Montage store under `crash_sweep`; at each sampled cut
+//!    the recovered store's full-range scan must equal the model after
+//!    **some prefix** of the script (buffered durable linearizability,
+//!    observed through the scan path instead of point reads).
+//!
+//! Keys use `make_key`'s decimal padding, so *byte-wise* ordering — what
+//! the scan contract promises — differs from numeric ordering ("10" < "2");
+//! the model is keyed by the padded `Key` to pin exactly that contract.
+
+use std::collections::BTreeMap;
+
+use kvstore::{make_key, Key, KvBackend, KvStore, ShardedKvStore};
+use montage::{EpochSys, EsysConfig, RecoveryError};
+use pmem::{PmemConfig, PmemPool};
+use pmem_chaos::{crash_sweep, SweepConfig};
+use proptest::prelude::*;
+use ralloc::Ralloc;
+
+const KEYS: u64 = 30;
+const STRIPES: usize = 4;
+const CAP: usize = 4096; // far above KEYS: the LRU must never evict mid-test
+
+fn esys_cfg() -> EsysConfig {
+    EsysConfig {
+        max_threads: 2,
+        ..Default::default()
+    }
+}
+
+/// One step of the workload. `limit == 0` means "no limit".
+#[derive(Clone, Copy, Debug)]
+enum SOp {
+    Put(u64, u64),
+    Del(u64),
+    Scan { lo: u64, hi: u64, limit: u8 },
+    Sync,
+}
+
+fn sop_strategy() -> impl Strategy<Value = SOp> {
+    prop_oneof![
+        4 => (0..KEYS, any::<u64>()).prop_map(|(k, v)| SOp::Put(k, v)),
+        2 => (0..KEYS).prop_map(SOp::Del),
+        3 => (0..KEYS, 0..KEYS, any::<u8>())
+            .prop_map(|(lo, hi, limit)| SOp::Scan { lo, hi, limit: limit % 8 }),
+        1 => Just(SOp::Sync),
+    ]
+}
+
+/// What the model says a scan must return.
+fn model_scan(
+    model: &BTreeMap<Key, Vec<u8>>,
+    lo: &Key,
+    hi: &Key,
+    limit: usize,
+) -> Vec<(Key, Vec<u8>)> {
+    if lo > hi || limit == 0 {
+        return Vec::new();
+    }
+    model
+        .range(*lo..=*hi)
+        .take(limit)
+        .map(|(k, v)| (*k, v.clone()))
+        .collect()
+}
+
+/// Layer 1: one script, three backends, every scan checked against the
+/// model at its exact instant. Panics on divergence (the proptest harness
+/// reports the failing script).
+fn check_live_backends(script: &[SOp]) {
+    let nvm_pool = PmemPool::new(PmemConfig::strict_for_test(16 << 20));
+    let montage_esys = EpochSys::format(
+        PmemPool::new(PmemConfig::strict_for_test(16 << 20)),
+        esys_cfg(),
+    );
+    let backends = [
+        ("dram", KvBackend::Dram),
+        ("nvm", KvBackend::Nvm(Ralloc::format(nvm_pool))),
+        ("montage", KvBackend::Montage(montage_esys)),
+    ];
+    for (name, backend) in backends {
+        let kv = KvStore::new(backend, STRIPES, CAP);
+        let tid = kv.register_thread();
+        let mut model: BTreeMap<Key, Vec<u8>> = BTreeMap::new();
+        for (step, op) in script.iter().enumerate() {
+            match *op {
+                SOp::Put(k, v) => {
+                    kv.set(tid, make_key(k), &v.to_le_bytes());
+                    model.insert(make_key(k), v.to_le_bytes().to_vec());
+                }
+                SOp::Del(k) => {
+                    let existed = kv.delete(tid, &make_key(k));
+                    let modeled = model.remove(&make_key(k)).is_some();
+                    assert_eq!(
+                        existed, modeled,
+                        "{name} step {step}: delete disagrees with model"
+                    );
+                }
+                SOp::Scan { lo, hi, limit } => {
+                    let limit = if limit == 0 {
+                        usize::MAX
+                    } else {
+                        limit as usize
+                    };
+                    let (lo, hi) = (make_key(lo), make_key(hi));
+                    let got = kv.scan(&lo, &hi, limit);
+                    let want = model_scan(&model, &lo, &hi, limit);
+                    assert_eq!(
+                        got, want,
+                        "{name} step {step}: scan diverged from the BTreeMap model"
+                    );
+                }
+                SOp::Sync => {
+                    if let Some(esys) = kv.esys() {
+                        esys.sync();
+                    }
+                }
+            }
+        }
+        // Terminal full-range sweep: the whole map, in byte order.
+        let got = kv.scan(&[0u8; 32], &[0xFFu8; 32], usize::MAX);
+        let want = model_scan(&model, &[0u8; 32], &[0xFFu8; 32], usize::MAX);
+        assert_eq!(got, want, "{name}: terminal full-range scan diverged");
+    }
+}
+
+/// Replays the script on a single-shard Montage store over the caller's
+/// chaos-armed pool. Ops degrade to errors once the plan trips.
+fn run_script(pool: &PmemPool, script: &[SOp]) {
+    let store = ShardedKvStore::format_pools(vec![pool.clone()], esys_cfg(), STRIPES, CAP);
+    let lease = store.lease();
+    for op in script {
+        match *op {
+            SOp::Put(k, v) => {
+                let _ = store.set(&lease, make_key(k), &v.to_le_bytes());
+            }
+            SOp::Del(k) => {
+                let _ = store.delete(&lease, &make_key(k));
+            }
+            SOp::Scan { lo, hi, limit } => {
+                // Scans are pure reads: they may not disturb the durable
+                // image, whatever the crash plan does around them.
+                let limit = if limit == 0 {
+                    usize::MAX
+                } else {
+                    limit as usize
+                };
+                let _ = store.scan(&make_key(lo), &make_key(hi), limit);
+            }
+            SOp::Sync => {
+                let _ = store.sync_shard(0);
+            }
+        }
+    }
+    let _ = store.sync_shard(0);
+}
+
+/// Layer 2 verifier: the recovered store's full-range scan equals the model
+/// after some prefix of the script.
+fn verify_cut(pool: PmemPool, crash_at: u64, script: &[SOp]) -> Result<(), String> {
+    let (store, report) = ShardedKvStore::recover(vec![pool], esys_cfg(), STRIPES, CAP, 1);
+    let sr = &report.shards[0];
+    if let Some(err) = &sr.fatal {
+        return if matches!(err, RecoveryError::UnformattedPool) {
+            Ok(()) // crashed before the pool header landed: empty prefix
+        } else {
+            Err(format!("crash_at={crash_at}: fatal recovery error: {err}"))
+        };
+    }
+    if sr.quarantined != 0 {
+        return Err(format!(
+            "crash_at={crash_at}: clean crash quarantined {} payloads",
+            sr.quarantined
+        ));
+    }
+
+    let recovered = store.scan(&[0u8; 32], &[0xFFu8; 32], usize::MAX);
+    let mut model: BTreeMap<Key, Vec<u8>> = BTreeMap::new();
+    let as_scan =
+        |m: &BTreeMap<Key, Vec<u8>>| m.iter().map(|(k, v)| (*k, v.clone())).collect::<Vec<_>>();
+    if recovered == as_scan(&model) {
+        return Ok(());
+    }
+    for op in script {
+        match *op {
+            SOp::Put(k, v) => {
+                model.insert(make_key(k), v.to_le_bytes().to_vec());
+            }
+            SOp::Del(k) => {
+                model.remove(&make_key(k));
+            }
+            SOp::Scan { .. } | SOp::Sync => {}
+        }
+        if recovered == as_scan(&model) {
+            return Ok(());
+        }
+    }
+    Err(format!(
+        "crash_at={crash_at}: recovered scan matches no prefix of the history: \
+         {} entries",
+        recovered.len()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Random put/remove/scan scripts: live equivalence with the `BTreeMap`
+    /// model on all three backends, then sampled crash points on the
+    /// Montage-backed store where the recovered *scan* must read as a
+    /// consistent prefix. Bounded (8 scripts × ~12 points) for CI; the
+    /// exhaustive sweeps in `crash_sweep.rs` cover depth.
+    #[test]
+    fn scans_match_the_model_live_and_across_crash_cuts(
+        script in proptest::collection::vec(sop_strategy(), 12..40),
+        seed in any::<u64>(),
+    ) {
+        check_live_backends(&script);
+
+        let cfg = SweepConfig { exhaustive_limit: 0, samples: 12, seed };
+        let report = crash_sweep(
+            &cfg,
+            PmemConfig::strict_for_test(8 << 20),
+            |pool| run_script(pool, &script),
+            |durable, crash_at| verify_cut(durable, crash_at, &script),
+        );
+        prop_assert!(
+            report.total_events > 0 && !report.crash_points.is_empty(),
+            "sweep exercised nothing: {} events", report.total_events
+        );
+        prop_assert!(report.is_ok(), "{:?}", report.failures);
+    }
+}
