@@ -1,0 +1,150 @@
+//! Model-check harness 4: the epoch-verified DCSS (`montage::VerifyCell`)
+//! — descriptor publish, install, decide, detach, and helper completion.
+//!
+//! The code under test is the real `cas_verify`/`cas_plain`/`load`
+//! implementation, descriptor arena included. The explored contracts:
+//!
+//! * two racing `cas_verify`s from the same expected value admit exactly
+//!   one winner, and the cell ends at the winner's value;
+//! * a reader that observes an in-flight descriptor helps it to a decided,
+//!   detached state — `load` never returns a marked word and never parks
+//!   behind the installer;
+//! * a `cas_plain` racing a `cas_verify` serializes: both can succeed only
+//!   in the order their expected values chain.
+//!
+//! No seeded-weakening fixture lives here: every DCSS edge is either
+//! SeqCst (install/decide/detach, whose global-order smuggling masks a
+//! single-site weakening by construction) or the descriptor seqlock
+//! publish, which the SeqCst install covers — the maskability analysis is
+//! written up in DESIGN.md §7.
+
+use std::sync::Arc;
+
+use interleave::{check, Config};
+use montage::dcss::CasVerifyError;
+use montage::sync::{spin_loop, thread};
+use montage::{EpochSys, EsysConfig, FreeStrategy, PersistStrategy, VerifyCell};
+use pmem::{PmemConfig, PmemPool};
+
+fn tiny_esys() -> Arc<EpochSys> {
+    let cfg = EsysConfig {
+        max_threads: 2,
+        persist: PersistStrategy::Buffered(2),
+        free: FreeStrategy::Background,
+        epoch_length: std::time::Duration::from_secs(3600),
+        advance_grace_spins: 1,
+    };
+    EpochSys::format(PmemPool::new(PmemConfig::strict_for_test(8 << 20)), cfg)
+}
+
+/// Exactly one of two racing `cas_verify`s from the same expected value
+/// wins, and the cell holds the winner's value afterwards.
+#[test]
+fn cas_verify_race_has_exactly_one_winner() {
+    let r = check(Config::from_env(), || {
+        let sys = tiny_esys();
+        let cell = Arc::new(VerifyCell::new(5));
+        let t0 = sys.register_thread();
+        let t1 = sys.register_thread();
+
+        let (s2, c2) = (sys.clone(), cell.clone());
+        let rival = thread::spawn(move || {
+            let g = s2.begin_op(t1);
+            c2.cas_verify(&s2, &g, 5, 7).is_ok()
+        });
+
+        let won = {
+            let g = sys.begin_op(t0);
+            cell.cas_verify(&sys, &g, 5, 6).is_ok()
+        };
+        let rival_won = rival.join().unwrap();
+
+        assert!(
+            won ^ rival_won,
+            "exactly one racing cas_verify must win (won={won}, rival={rival_won})"
+        );
+        let v = cell.load(&sys);
+        assert_eq!(
+            v,
+            if won { 6 } else { 7 },
+            "cell must hold the winner's value"
+        );
+    });
+    assert!(!r.truncated, "exploration must finish: {r:?}");
+}
+
+/// A reader racing the installer: `load` helps any in-flight descriptor
+/// and only ever returns unmarked, fully-decided values — here, the old or
+/// the new value, never a torn or marked word.
+#[test]
+fn load_helps_in_flight_dcss_to_completion() {
+    let r = check(Config::from_env(), || {
+        let sys = tiny_esys();
+        let cell = Arc::new(VerifyCell::new(5));
+        let t0 = sys.register_thread();
+        let t1 = sys.register_thread();
+
+        let (s2, c2) = (sys.clone(), cell.clone());
+        let installer = thread::spawn(move || {
+            let g = s2.begin_op(t1);
+            c2.cas_verify(&s2, &g, 5, 6)
+                .expect("no epoch change, no rival: the DCSS must succeed");
+        });
+
+        // Reader: every intermediate observation is 5 or 6; the loop exits
+        // once the new value lands (the installer cannot be outwaited — if
+        // the reader meets the marked word it completes the DCSS itself).
+        let _g0 = sys.begin_op(t0);
+        loop {
+            let v = cell.load(&sys);
+            assert!(v == 5 || v == 6, "load returned a torn value {v}");
+            if v == 6 {
+                break;
+            }
+            spin_loop();
+        }
+
+        installer.join().unwrap();
+    });
+    assert!(!r.truncated, "exploration must finish: {r:?}");
+}
+
+/// `cas_plain` and `cas_verify` racing from the same expected value
+/// serialize like two CASes: one wins from 5, and the loser can only win
+/// afterwards from the winner's value.
+#[test]
+fn cas_plain_serializes_against_cas_verify() {
+    let r = check(Config::from_env(), || {
+        let sys = tiny_esys();
+        let cell = Arc::new(VerifyCell::new(5));
+        let t0 = sys.register_thread();
+        let t1 = sys.register_thread();
+
+        let (s2, c2) = (sys.clone(), cell.clone());
+        let verifier = thread::spawn(move || {
+            let g = s2.begin_op(t1);
+            c2.cas_verify(&s2, &g, 5, 6)
+        });
+
+        let plain_won = cell.cas_plain(&sys, 5, 8);
+        let verify_res = verifier.join().unwrap();
+
+        let v = cell.load(&sys);
+        match (plain_won, &verify_res) {
+            (true, Err(CasVerifyError::Conflict(seen))) => {
+                assert_eq!(*seen, 8, "loser must have observed the winner's value");
+                assert_eq!(v, 8);
+            }
+            (false, Ok(())) => assert_eq!(v, 6),
+            (true, Ok(())) => {
+                unreachable!("both won from the same expected value 5")
+            }
+            (false, Err(e)) => unreachable!("both lost: plain failed and {e:?}"),
+            (true, Err(CasVerifyError::Epoch(e))) => {
+                unreachable!("nobody advances the clock here: {e:?}")
+            }
+        }
+        let _ = t0;
+    });
+    assert!(!r.truncated, "exploration must finish: {r:?}");
+}

@@ -1,0 +1,86 @@
+//! Model-check harness 3: the hashmap's online resize — seal / drain /
+//! retire racing lock-free lookups (`montage_ds::MontageHashMap`).
+//!
+//! The code under test is the real map. A one-bucket level with
+//! `max_load = 1` makes the second insert install a resize, all in the
+//! deterministic single-threaded prefix; the explored race is then a
+//! reader walking the old-level/new-level protocol (seal check, chain
+//! lock, re-check) against a migrator sealing and draining the only old
+//! bucket. The contract: no schedule may lose a key — a reader always
+//! finds both keys with their exact bytes, mid-migration or after.
+//!
+//! (The directory pointer itself is a crossbeam-epoch atomic the checker
+//! cannot instrument; its loads run serialized between facade points. The
+//! seal flags, chain locks, and migration cursor — the parts the resize
+//! protocol's correctness argument leans on — are all instrumented. See
+//! DESIGN.md §7 for the fidelity notes.)
+
+use std::sync::Arc;
+
+use interleave::{check, Config};
+use montage::sync::thread;
+use montage::{EpochSys, EsysConfig, FreeStrategy, PersistStrategy};
+use montage_ds::MontageHashMap;
+use pmem::{PmemConfig, PmemPool};
+
+fn tiny_esys() -> Arc<EpochSys> {
+    let cfg = EsysConfig {
+        max_threads: 2,
+        persist: PersistStrategy::Buffered(2),
+        free: FreeStrategy::Background,
+        epoch_length: std::time::Duration::from_secs(3600),
+        advance_grace_spins: 1,
+    };
+    EpochSys::format(PmemPool::new(PmemConfig::strict_for_test(8 << 20)), cfg)
+}
+
+/// A racing reader never loses a key to the migration, and the completed
+/// resize leaves both keys in the grown level.
+#[test]
+fn resize_never_loses_a_key_from_racing_lookups() {
+    let r = check(Config::from_env(), || {
+        let sys = tiny_esys();
+        let map = Arc::new(MontageHashMap::with_max_load(sys.clone(), 7, 1, 1));
+        let t0 = sys.register_thread();
+        let t1 = sys.register_thread();
+
+        // Deterministic prefix: two inserts overload the single bucket and
+        // install the resize before any racing thread exists.
+        map.put(t0, 1u64, b"a");
+        map.put(t0, 2u64, b"b");
+        assert!(map.resizing(), "max_load=1 must install a resize");
+
+        let m2 = map.clone();
+        let reader = thread::spawn(move || {
+            assert_eq!(
+                m2.get_owned(t1, &1u64).as_deref(),
+                Some(&b"a"[..]),
+                "key 1 lost mid-migration"
+            );
+            assert_eq!(
+                m2.get_owned(t1, &2u64).as_deref(),
+                Some(&b"b"[..]),
+                "key 2 lost mid-migration"
+            );
+        });
+
+        map.finish_resize(t0);
+        reader.join().unwrap();
+
+        assert!(!map.resizing(), "finish_resize must retire the old level");
+        assert_eq!(map.capacity(), 2, "the level must have grown");
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get_owned(t0, &1u64).as_deref(), Some(&b"a"[..]));
+        assert_eq!(map.get_owned(t0, &2u64).as_deref(), Some(&b"b"[..]));
+
+        // Post-resize update through the grown level: exactly one copy of
+        // the key, holding the new bytes. (A *racing* writer during the
+        // drain multiplies the explored space past the CI budget — the
+        // migrate-then-mutate writer path is covered by `montage-ds`'s own
+        // stress tests; the model checker owns the lookup race above.)
+        assert!(map.put(t0, 1u64, b"A"), "update must find the migrated key");
+        assert_eq!(map.len(), 2, "an update must not duplicate the key");
+        assert_eq!(map.get_owned(t0, &1u64).as_deref(), Some(&b"A"[..]));
+    });
+    assert!(!r.truncated, "exploration must finish: {r:?}");
+}

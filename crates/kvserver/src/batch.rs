@@ -16,8 +16,8 @@
 //! an epoch advance waits out every registered thread, so fencing while the
 //! worker's own pin is registered would wait on itself.)
 
+use montage::sync::uninstrumented::{AtomicU64, Ordering};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use kvstore::protocol::Session;
@@ -53,14 +53,62 @@ pub(crate) struct WorkerStats {
     pub hist: [AtomicU64; HIST_BUCKETS.len()],
 }
 
+/// Fence-latency histogram resolution: bucket `i` counts per-shard fences
+/// whose wall time fell in `[2^i, 2^(i+1))` microseconds; the last bucket
+/// is open-ended (≈ half a second and beyond).
+pub(crate) const FENCE_HIST_BUCKETS: usize = 20;
+
+/// One shard's fence-latency histogram, fed by every worker that fences
+/// the shard (so the counters are shared, unlike [`WorkerStats`]). This is
+/// the data behind the `stats` p50/p99 lines operators use to pick a
+/// `fence_deadline` from evidence instead of folklore.
+#[derive(Default)]
+pub(crate) struct ShardFenceStats {
+    pub hist: [AtomicU64; FENCE_HIST_BUCKETS],
+}
+
+impl ShardFenceStats {
+    pub fn record_us(&self, us: u64) {
+        self.hist[fence_bucket(us)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Histogram bucket for a fence that took `us` microseconds.
+pub(crate) fn fence_bucket(us: u64) -> usize {
+    ((63 - us.max(1).leading_zeros()) as usize).min(FENCE_HIST_BUCKETS - 1)
+}
+
+/// The `q`th percentile of a fence-latency histogram, reported as the
+/// floor of the bucket holding that rank — quantiles never overstate.
+/// `None` when no fence has been recorded.
+pub(crate) fn fence_quantile_us(hist: &[u64], q: u64) -> Option<u64> {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = (total * q).div_ceil(100).max(1);
+    let mut seen = 0u64;
+    for (i, count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return Some(1u64 << i);
+        }
+    }
+    None
+}
+
 pub(crate) struct ServerStats {
     pub workers: Box<[WorkerStats]>,
+    /// Indexed by shard, not worker: fence latency is a property of the
+    /// shard's medium and epoch system, whichever worker pays it.
+    pub shard_fences: Box<[ShardFenceStats]>,
 }
 
 impl ServerStats {
-    pub fn new(workers: usize) -> ServerStats {
+    pub fn new(workers: usize, shards: usize) -> ServerStats {
         ServerStats {
             workers: (0..workers).map(|_| WorkerStats::default()).collect(),
+            shard_fences: (0..shards).map(|_| ShardFenceStats::default()).collect(),
         }
     }
 }
@@ -265,6 +313,7 @@ pub(crate) fn execute(
                 let mut fence_failed = false;
                 let mut timed_out: Vec<usize> = Vec::new();
                 for shard in fence_shards {
+                    let fence_start = std::time::Instant::now();
                     match shared.cfg.fence_deadline {
                         // The epoch-window deadline: a shard that cannot
                         // certify durability inside the budget is a
@@ -282,6 +331,10 @@ pub(crate) fn execute(
                             }
                         }
                     }
+                    // Timeouts and faults count too: a deadline that fires
+                    // is exactly the tail the p99 line is for.
+                    shared.stats.shard_fences[shard]
+                        .record_us(fence_start.elapsed().as_micros() as u64);
                 }
                 ws.fences.fetch_add(1, Ordering::Relaxed);
                 if fence_failed {
@@ -326,6 +379,25 @@ pub(crate) fn execute(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fence_buckets_and_quantiles() {
+        assert_eq!(fence_bucket(0), 0);
+        assert_eq!(fence_bucket(1), 0);
+        assert_eq!(fence_bucket(2), 1);
+        assert_eq!(fence_bucket(1023), 9);
+        assert_eq!(fence_bucket(u64::MAX), FENCE_HIST_BUCKETS - 1);
+
+        let mut hist = [0u64; FENCE_HIST_BUCKETS];
+        assert_eq!(fence_quantile_us(&hist, 50), None);
+        // 98 fences in [4, 8) us, 2 in [1024, 2048) us.
+        hist[2] = 98;
+        hist[10] = 2;
+        assert_eq!(fence_quantile_us(&hist, 50), Some(4));
+        assert_eq!(fence_quantile_us(&hist, 98), Some(4));
+        assert_eq!(fence_quantile_us(&hist, 99), Some(1024));
+        assert_eq!(fence_quantile_us(&hist, 100), Some(1024));
+    }
 
     #[test]
     fn histogram_buckets_are_log2() {

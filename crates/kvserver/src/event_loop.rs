@@ -8,10 +8,10 @@
 //! inbox at the top of every sweep; the inbox mutex is the only lock a
 //! connection ever crosses, once, at birth.
 
+use montage::sync::uninstrumented::Ordering;
 use std::io::{ErrorKind, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -10,7 +10,7 @@
 //! against `max_conns`, and an over-capacity connect is shed at accept with
 //! `SERVER_ERROR busy` instead of queueing unboundedly.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use montage::sync::uninstrumented::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use kvstore::{KvStore, ShardedKvStore};

@@ -27,15 +27,15 @@
 //! * [`ServerHandle::shutdown`] ends with a final sync, so a clean shutdown
 //!   loses nothing; [`ServerHandle::crash`] deliberately skips it.
 
+use montage::sync::uninstrumented::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use kvstore::{KvStore, ShardedKvStore};
 
-use crate::batch::{ServerStats, HIST_BUCKETS};
+use crate::batch::{fence_quantile_us, ServerStats, FENCE_HIST_BUCKETS, HIST_BUCKETS};
 use crate::registry::SessionRegistry;
 
 #[derive(Clone, Debug)]
@@ -190,6 +190,7 @@ impl KvServer {
             .min(store.min_id_capacity().unwrap_or(usize::MAX))
             .max(1);
         let max_conns = cfg.max_conns;
+        let n_shards = store.n_shards();
         let shared = Arc::new(Shared {
             registry: SessionRegistry::new(store, max_conns),
             cfg,
@@ -197,7 +198,7 @@ impl KvServer {
             crashed: AtomicBool::new(false),
             mutations: AtomicU64::new(0),
             sessions: AtomicUsize::new(0),
-            stats: ServerStats::new(workers),
+            stats: ServerStats::new(workers, n_shards),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::spawn(move || crate::event_loop::run(listener, accept_shared));
@@ -223,6 +224,9 @@ pub(crate) fn stats_reply(shared: &Shared) -> String {
     };
     stat("curr_items", store.len() as u64);
     stat("evictions", store.evictions() as u64);
+    // DRAM the scan index costs (ROADMAP item 3): the per-stripe ordered
+    // mirrors, reported like memcached's hash-table overhead lines.
+    stat("ordered_mirror_bytes", store.ordered_mirror_bytes() as u64);
     stat("curr_connections", shared.registry.active() as u64);
     stat(
         "curr_sessions",
@@ -281,6 +285,36 @@ pub(crate) fn stats_reply(shared: &Shared) -> String {
         "gc_acks_per_fence_x1000",
         (totals.3 * 1000).checked_div(totals.2).unwrap_or(0),
     );
+    // Fence latency (ROADMAP item 2): the distribution an operator reads
+    // before picking a `fence_deadline`. Quantiles are log2-bucket floors —
+    // they never overstate — and the merged lines aggregate every shard's
+    // histogram so the single-shard case still reports.
+    let fence_hists: Vec<[u64; FENCE_HIST_BUCKETS]> = shared
+        .stats
+        .shard_fences
+        .iter()
+        .map(|s| {
+            let mut h = [0u64; FENCE_HIST_BUCKETS];
+            for (slot, bucket) in h.iter_mut().zip(s.hist.iter()) {
+                *slot = bucket.load(Ordering::Relaxed);
+            }
+            h
+        })
+        .collect();
+    let mut merged_hist = [0u64; FENCE_HIST_BUCKETS];
+    for h in &fence_hists {
+        for (m, v) in merged_hist.iter_mut().zip(h.iter()) {
+            *m += v;
+        }
+    }
+    stat("fence_samples", merged_hist.iter().sum());
+    if let (Some(p50), Some(p99)) = (
+        fence_quantile_us(&merged_hist, 50),
+        fence_quantile_us(&merged_hist, 99),
+    ) {
+        stat("fence_p50_us", p50);
+        stat("fence_p99_us", p99);
+    }
     for (floor, count) in HIST_BUCKETS.iter().zip(hist.iter()) {
         stat(&format!("gc_batch_hist_{floor}"), *count);
     }
@@ -328,6 +362,20 @@ pub(crate) fn stats_reply(shared: &Shared) -> String {
                 &format!("shard{i}_pool_faulted"),
                 u64::from(store.shard_fault(i).is_some()),
             );
+            if let (Some(p50), Some(p99)) = (
+                fence_quantile_us(&fence_hists[i], 50),
+                fence_quantile_us(&fence_hists[i], 99),
+            ) {
+                stat(&format!("shard{i}_fence_p50_us"), p50);
+                stat(&format!("shard{i}_fence_p99_us"), p99);
+            }
+        }
+        for (i, bytes) in store
+            .ordered_mirror_bytes_per_shard()
+            .into_iter()
+            .enumerate()
+        {
+            stat(&format!("shard{i}_ordered_mirror_bytes"), bytes as u64);
         }
         for (i, d) in store.detect_stats_per_shard().into_iter().enumerate() {
             stat(&format!("shard{i}_descriptors"), d.descriptors);

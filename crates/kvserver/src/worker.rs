@@ -14,9 +14,9 @@
 //! half-written frame (slow-loris) costs only its own connection's state —
 //! the sweep moves on past a `WouldBlock` immediately.
 
+use montage::sync::uninstrumented::Ordering;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

@@ -29,9 +29,9 @@ pub use sharded::{
 
 use session_table::{SessionRecord, SessionTable};
 
+use montage::sync::uninstrumented::{AtomicUsize, Ordering};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use montage::{EpochSys, OpGuard, PHandle, RecoveredState, ThreadId};
@@ -239,6 +239,21 @@ impl KvStore {
 
     pub fn evictions(&self) -> usize {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// DRAM held by the per-stripe ordered mirrors (ROADMAP item 3's
+    /// accounting fragment): every key the `BTreeSet`s index, costed at the
+    /// key bytes plus two words of amortized B-tree node bookkeeping
+    /// (leaves hold 5..=11 keys, so edge pointers and lengths stay under
+    /// 16 bytes per key even at worst-case fill). An estimate by design —
+    /// the 32-byte keys dominate — but it moves with occupancy, which is
+    /// what capacity planning needs.
+    pub fn ordered_mirror_bytes(&self) -> usize {
+        const PER_KEY: usize = std::mem::size_of::<Key>() + 2 * std::mem::size_of::<usize>();
+        self.shards
+            .iter()
+            .map(|s| s.lock().ordered.len() * PER_KEY)
+            .sum()
     }
 
     fn make_item(&self, tid: usize, key: &Key, value: &[u8]) -> ItemRef {

@@ -32,8 +32,8 @@
 //! mutated key's shard lock), so sessions working different keys never
 //! contend on a store-wide point.
 
+use montage::sync::uninstrumented::{AtomicU64, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use montage::{PHandle, HDR_SIZE};

@@ -10,7 +10,7 @@
 //! and recovery runs one thread per shard with the per-shard
 //! [`montage::RecoveryReport`]s merged into a single store-level report.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use montage::sync::uninstrumented::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use montage::{EpochSys, EsysConfig, RecoveryError};
@@ -528,6 +528,20 @@ impl ShardedKvStore {
 
     pub fn evictions(&self) -> usize {
         self.shards.iter().map(|s| s.evictions()).sum()
+    }
+
+    /// Per-shard ordered-mirror DRAM footprint
+    /// ([`KvStore::ordered_mirror_bytes`]).
+    pub fn ordered_mirror_bytes_per_shard(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.ordered_mirror_bytes())
+            .collect()
+    }
+
+    /// Ordered-mirror DRAM footprint summed across shards.
+    pub fn ordered_mirror_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.ordered_mirror_bytes()).sum()
     }
 
     /// Per-shard pool counters (`None` for transient shards).

@@ -15,12 +15,12 @@
 //! neighbours so the vertex and its incident edges die in one operation
 //! (hence one epoch — recovery can never see a half-removed vertex).
 
+use montage::sync::uninstrumented::{AtomicUsize, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use montage::sync::{Mutex, MutexGuard};
 use montage::{EpochSys, PHandle, RecoveredState, ThreadId};
-use parking_lot::{Mutex, MutexGuard};
 
 struct Slot {
     /// Vertex payload; null when the vertex does not exist.
@@ -87,6 +87,7 @@ impl MontageGraph {
                         let mut slot = g.slots[vid as usize].lock();
                         slot.payload = item.handle();
                         slot.exists = true;
+                        // ord(counter): size estimate only.
                         g.vertices.fetch_add(1, Ordering::Relaxed);
                     }
                 });
@@ -122,6 +123,7 @@ impl MontageGraph {
                                     bs.adj
                                         .insert(if hi == src { dst } else { src }, item.handle());
                                 }
+                                // ord(counter): size estimate only.
                                 g.edges.fetch_add(1, Ordering::Relaxed);
                             } else {
                                 orphaned.push(item.handle());
@@ -154,10 +156,12 @@ impl MontageGraph {
     }
 
     pub fn vertex_count(&self) -> usize {
+        // ord(counter): advisory size; no payload is published through it.
         self.vertices.load(Ordering::Relaxed)
     }
 
     pub fn edge_count(&self) -> usize {
+        // ord(counter): advisory size; no payload is published through it.
         self.edges.load(Ordering::Relaxed)
     }
 
@@ -187,6 +191,7 @@ impl MontageGraph {
             .esys
             .pnew_bytes(&g, self.vtag, &Self::encode_vertex(vid, attr));
         slot.exists = true;
+        // ord(counter): size estimate only.
         self.vertices.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -242,6 +247,7 @@ impl MontageGraph {
             .pnew_bytes(&g, self.etag, &Self::encode_edge(src, dst, attr));
         s_src.adj.insert(dst, h);
         s_dst.adj.insert(src, h);
+        // ord(counter): size estimate only.
         self.edges.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -264,6 +270,7 @@ impl MontageGraph {
         s_dst.adj.remove(&src);
         let g = self.esys.begin_op(tid);
         self.esys.pdelete(&g, h).expect("vertex locks order epochs");
+        // ord(counter): size estimate only.
         self.edges.fetch_sub(1, Ordering::Relaxed);
         true
     }
@@ -317,6 +324,7 @@ impl MontageGraph {
                 self.esys.pdelete(&g, h).expect("locks order epochs");
                 let n = guards.iter_mut().find(|(id, _)| *id == nid).unwrap();
                 n.1.adj.remove(&vid);
+                // ord(counter): size estimate only.
                 self.edges.fetch_sub(1, Ordering::Relaxed);
             }
             let vslot = &mut guards[vslot_idx].1;

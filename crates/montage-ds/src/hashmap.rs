@@ -45,12 +45,11 @@
 //! collide with data payloads of the same map.
 
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::epoch::{self, Atomic, Owned};
+use montage::sync::{uninstrumented as raw, AtomicBool, AtomicUsize, Mutex, Ordering};
 use montage::{EpochSys, PHandle, RecoveredState, ThreadId};
-use parking_lot::Mutex;
 use pmem::PmemFault;
 
 /// Metadata payloads (resize descriptors, migration marks) are tagged
@@ -208,13 +207,13 @@ pub struct MontageHashMap<K> {
     tag: u16,
     meta_tag: u16,
     dir: Atomic<Dir<K>>,
-    len: AtomicUsize,
+    len: raw::AtomicUsize,
     /// Average chain length that triggers a resize.
     max_load: usize,
     /// Monotone resize sequence (also seeds recovery's rewritten geometry).
-    next_seq: AtomicU64,
+    next_seq: raw::AtomicU64,
     /// Completed (retired) resizes since construction/recovery.
-    resizes: AtomicUsize,
+    resizes: raw::AtomicUsize,
     /// The durable `DONE` geometry descriptor for the current capacity,
     /// pdeleted when the next resize retires. `None` until the first
     /// resize completes (a never-resized map needs no geometry record).
@@ -233,6 +232,8 @@ impl<K> Drop for MontageHashMap<K> {
         // map; the single published Dir box is exclusively ours to free.
         unsafe {
             let g = epoch::unprotected();
+            // ord(acquire): the directory pointer publishes the level arrays it
+            // points at; pairs with the Release side of the install CASes.
             let d = self.dir.load(Ordering::Acquire, g);
             if !d.is_null() {
                 drop(d.into_owned());
@@ -264,10 +265,10 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
                 curr: Table::new(nbuckets),
                 resize: None,
             }),
-            len: AtomicUsize::new(0),
+            len: raw::AtomicUsize::new(0),
             max_load,
-            next_seq: AtomicU64::new(1),
-            resizes: AtomicUsize::new(0),
+            next_seq: raw::AtomicU64::new(1),
+            resizes: raw::AtomicUsize::new(0),
             geometry: Mutex::new(None),
         }
     }
@@ -307,12 +308,15 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
         let next_seq = best.map(|d| d.seq + 1).unwrap_or(1);
 
         let map = Self::new(esys, tag, cap);
+        // ord(counter): recovery-time only; no concurrent readers yet.
         map.next_seq.store(next_seq, Ordering::Relaxed);
 
         // Pass 2: rebuild the data index at the rolled-forward capacity.
         {
             let g = epoch::pin();
             // SAFETY: the directory pointer is never null after new().
+            // ord(acquire): the directory pointer publishes the level arrays it
+            // points at; pairs with the Release side of the install CASes.
             let dir = unsafe { map.dir.load(Ordering::Acquire, &g).deref() };
             std::thread::scope(|s| {
                 for shard in &rec.shards {
@@ -342,6 +346,7 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
                                 key,
                                 payload: item.handle(),
                             });
+                            // ord(counter): size estimate only.
                             map.len.fetch_add(1, Ordering::Relaxed);
                         }
                     });
@@ -367,6 +372,7 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
                 let gh = map.esys.pnew_bytes(&g, meta_tag, &fresh);
                 *map.geometry.lock() = Some(gh);
             }
+            // ord(counter): recovery-time only; no concurrent readers yet.
             map.next_seq.store(next_seq + 1, Ordering::Relaxed);
             map.esys.unregister_thread(tid);
         }
@@ -403,11 +409,14 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
     /// the last bucket, retires the level.
     fn migrate_bucket(&self, tid: ThreadId, rs: &ResizeState<K>, oi: usize) {
         let bucket = &rs.prev.buckets[oi];
+        // ord(acquire): pairs with the seal publish in `migrate_bucket`; a
+        // sealed bucket's entries are reached via the target chain locks.
         if bucket.sealed.load(Ordering::Acquire) {
             return;
         }
         {
             let mut chain = bucket.chain.lock();
+            // ord(relaxed): re-check under the chain lock; the lock orders it.
             if bucket.sealed.load(Ordering::Relaxed) {
                 return; // lost the race while waiting for the lock
             }
@@ -415,6 +424,8 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
                 let ni = Self::index_in(&e.key, rs.next.buckets.len());
                 rs.next.buckets[ni].chain.lock().push(e);
             }
+            // ord(publish): seals the drained bucket; racers that observe it go
+            // to the next level instead of the emptied chain.
             bucket.sealed.store(true, Ordering::Release);
         }
         // The durable migration mark: an ordinary buffered payload. Crash
@@ -427,6 +438,9 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
                 .pnew_bytes(&g, self.meta_tag, &encode_mark(rs.seq, oi as u64));
             rs.marks.lock().push(mh);
         }
+        // ord(acqrel): the last decrementer must observe every other
+        // migrator's seal before retiring the level; the release side
+        // publishes our own bucket's drain.
         if rs.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.retire_level(tid, rs);
         }
@@ -435,6 +449,8 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
     /// Drains up to `n` not-yet-migrated old buckets off the shared cursor.
     fn drain_some(&self, tid: ThreadId, rs: &ResizeState<K>, n: usize) {
         for _ in 0..n {
+            // ord(relaxed): a work-claim ticket; duplicate claims are benign
+            // because `migrate_bucket` is idempotent under the seal.
             let oi = rs.cursor.fetch_add(1, Ordering::Relaxed);
             if oi >= rs.prev.buckets.len() {
                 return;
@@ -464,6 +480,8 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
         *self.geometry.lock() = Some(new_geom);
 
         let guard = epoch::pin();
+        // ord(acquire): the directory pointer publishes the level arrays it
+        // points at; pairs with the Release side of the install CASes.
         let cur = self.dir.load(Ordering::Acquire, &guard);
         // SAFETY: directory pointers are never null and the guard pins them.
         let cur_ref = unsafe { cur.deref() };
@@ -478,6 +496,8 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
         .into_shared(&guard);
         match self
             .dir
+            // ord(acqrel): installing the post-resize directory publishes the
+            // merged level; the acquire side orders it after the losing racers.
             .compare_exchange(cur, stable, Ordering::AcqRel, Ordering::Acquire, &guard)
         {
             Ok(_) => {
@@ -490,6 +510,7 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
                 unreachable!("directory changed under an active resize");
             }
         }
+        // ord(counter): stats tally.
         self.resizes.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -499,6 +520,8 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
     /// recovery is indifferent to which survives a crash between the two).
     fn try_install_resize(&self, tid: ThreadId) {
         let guard = epoch::pin();
+        // ord(acquire): the directory pointer publishes the level arrays it
+        // points at; pairs with the Release side of the install CASes.
         let cur = self.dir.load(Ordering::Acquire, &guard);
         // SAFETY: directory pointers are never null and the guard pins them.
         let cur_ref = unsafe { cur.deref() };
@@ -507,6 +530,7 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
         }
         let old_cap = cur_ref.curr.buckets.len();
         let new_cap = old_cap * 2;
+        // ord(counter): resize sequence handout; uniqueness, not ordering.
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let desc = {
             let g = self.esys.begin_op(tid);
@@ -537,6 +561,8 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
         .into_shared(&guard);
         match self
             .dir
+            // ord(acqrel): installing the two-level directory publishes the fresh
+            // next level and the resize descriptor to every racing op.
             .compare_exchange(cur, two_level, Ordering::AcqRel, Ordering::Acquire, &guard)
         {
             Ok(_) => {
@@ -561,6 +587,8 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
     /// holds every entry of this key's chain.
     fn writer_dir<'g>(&self, tid: ThreadId, key: &K, guard: &'g epoch::Guard) -> &'g Dir<K> {
         // SAFETY: directory pointers are never null and the guard pins them.
+        // ord(acquire): the directory pointer publishes the level arrays it
+        // points at; pairs with the Release side of the install CASes.
         let dir = unsafe { self.dir.load(Ordering::Acquire, guard).deref() };
         if let Some(rs) = &dir.resize {
             let oi = Self::index_in(key, rs.prev.buckets.len());
@@ -584,6 +612,7 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
             let idx = Self::index_in(key, dir.curr.buckets.len());
             let bucket = &dir.curr.buckets[idx];
             let mut chain = bucket.chain.lock();
+            // ord(relaxed): re-check under the chain lock; the lock orders it.
             if bucket.sealed.load(Ordering::Relaxed) {
                 continue; // a newer level drained this bucket; reload
             }
@@ -597,6 +626,8 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
         loop {
             let guard = epoch::pin();
             // SAFETY: directory pointers are never null; the guard pins them.
+            // ord(acquire): the directory pointer publishes the level arrays it
+            // points at; pairs with the Release side of the install CASes.
             let dir = unsafe { self.dir.load(Ordering::Acquire, &guard).deref() };
             let Some(rs) = &dir.resize else { return };
             for oi in 0..rs.prev.buckets.len() {
@@ -609,6 +640,8 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
     pub fn capacity(&self) -> usize {
         let guard = epoch::pin();
         // SAFETY: directory pointers are never null; the guard pins them.
+        // ord(acquire): the directory pointer publishes the level arrays it
+        // points at; pairs with the Release side of the install CASes.
         unsafe { self.dir.load(Ordering::Acquire, &guard).deref() }
             .curr
             .buckets
@@ -617,6 +650,7 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
 
     /// Completed (retired) resizes since construction or recovery.
     pub fn resizes_completed(&self) -> usize {
+        // ord(counter): stats tally.
         self.resizes.load(Ordering::Relaxed)
     }
 
@@ -624,6 +658,8 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
     pub fn resizing(&self) -> bool {
         let guard = epoch::pin();
         // SAFETY: directory pointers are never null; the guard pins them.
+        // ord(acquire): the directory pointer publishes the level arrays it
+        // points at; pairs with the Release side of the install CASes.
         unsafe { self.dir.load(Ordering::Acquire, &guard).deref() }
             .resize
             .is_some()
@@ -633,6 +669,8 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
     fn maybe_resize(&self, tid: ThreadId) {
         let guard = epoch::pin();
         // SAFETY: directory pointers are never null; the guard pins them.
+        // ord(acquire): the directory pointer publishes the level arrays it
+        // points at; pairs with the Release side of the install CASes.
         let dir = unsafe { self.dir.load(Ordering::Acquire, &guard).deref() };
         if dir.resize.is_none()
             && self.len.load(Ordering::Relaxed) > self.max_load * dir.curr.buckets.len()
@@ -676,6 +714,7 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
                     .esys
                     .pnew_bytes(&g, self.tag, &self.encode(&key, value));
                 chain.push(Entry { key, payload: h });
+                // ord(counter): size estimate only.
                 self.len.fetch_add(1, Ordering::Relaxed);
                 false
             }
@@ -713,6 +752,7 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
                 .esys
                 .pnew_bytes(&g, self.tag, &self.encode(&key, value));
             chain.push(Entry { key, payload: h });
+            // ord(counter): size estimate only.
             self.len.fetch_add(1, Ordering::Relaxed);
             true
         });
@@ -733,9 +773,13 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
         loop {
             let guard = epoch::pin();
             // SAFETY: directory pointers are never null; the guard pins them.
+            // ord(acquire): the directory pointer publishes the level arrays it
+            // points at; pairs with the Release side of the install CASes.
             let dir = unsafe { self.dir.load(Ordering::Acquire, &guard).deref() };
             if let Some(rs) = &dir.resize {
                 let ob = &rs.prev.buckets[Self::index_in(key, rs.prev.buckets.len())];
+                // ord(acquire): pairs with the seal publish in `migrate_bucket`; a
+                // sealed bucket's entries are reached via the target chain locks.
                 if !ob.sealed.load(Ordering::Acquire) {
                     let chain = ob.chain.lock();
                     if !ob.sealed.load(Ordering::Relaxed) {
@@ -751,6 +795,7 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
             }
             let bucket = &dir.curr.buckets[Self::index_in(key, dir.curr.buckets.len())];
             let chain = bucket.chain.lock();
+            // ord(relaxed): re-check under the chain lock; the lock orders it.
             if bucket.sealed.load(Ordering::Relaxed) {
                 continue; // stale snapshot: a newer level owns this key now
             }
@@ -778,12 +823,14 @@ impl<K: Copy + Eq + Hash + Send + Sync> MontageHashMap<K> {
             self.esys
                 .pdelete(&g, e.payload)
                 .expect("bucket lock orders epochs");
+            // ord(counter): size estimate only.
             self.len.fetch_sub(1, Ordering::Relaxed);
             true
         })
     }
 
     pub fn len(&self) -> usize {
+        // ord(counter): size estimate only.
         self.len.load(Ordering::Relaxed)
     }
 

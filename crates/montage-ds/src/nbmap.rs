@@ -20,8 +20,8 @@
 //! Transient nodes are reclaimed with crossbeam's epoch GC; persistent state
 //! and recovery are identical to [`crate::MontageHashMap`]'s.
 
+use montage::sync::uninstrumented::{AtomicUsize, Ordering};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::epoch::{self, Guard};
@@ -209,6 +209,7 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
             }));
             match pred_cell.cas_verify(&self.esys, &g, curr, ptr_of(node)) {
                 Ok(()) => {
+                    // ord(counter): size estimate only.
                     self.len.fetch_add(1, Ordering::Relaxed);
                     return true;
                 }
@@ -241,6 +242,7 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
             }));
             match pred_cell.cas_verify(&self.esys, &g, curr, ptr_of(node)) {
                 Ok(()) => {
+                    // ord(counter): size estimate only.
                     self.len.fetch_add(1, Ordering::Relaxed);
                     return true;
                 }
@@ -274,6 +276,7 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
                 Ok(()) => {
                     // Same operation: persistently delete the payload.
                     let _ = self.esys.pdelete(&g, node.payload);
+                    // ord(counter): size estimate only.
                     self.len.fetch_sub(1, Ordering::Relaxed);
                     // Physical unlink is opportunistic; seek() helps later.
                     drop(g);
@@ -286,6 +289,7 @@ impl<K: Copy + Ord + Hash + Send + Sync> MontageNbMap<K> {
     }
 
     pub fn len(&self) -> usize {
+        // ord(counter): size estimate only.
         self.len.load(Ordering::Relaxed)
     }
 

@@ -5,7 +5,7 @@
 //! of payloads labelled with push sequence numbers, whose sorted order
 //! reconstructs bottom-to-top.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use montage::sync::uninstrumented::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::epoch::{self, Guard};
@@ -71,6 +71,8 @@ impl MontageStack {
         }
         s.top.store_unsync(top);
         s.next_seq
+            // ord(relaxed): pre-publication or single-threaded write; the
+            // publishing store/CAS provides the ordering.
             .store(items.last().map_or(1, |&(q, _)| q + 1), Ordering::Relaxed);
         s
     }
@@ -84,6 +86,8 @@ impl MontageStack {
         loop {
             let g = self.esys.begin_op(tid);
             let _eg = epoch::pin();
+            // ord(acqrel): sequence handout must not reorder with the payload
+            // writes it stamps.
             let seq = self.next_seq.fetch_add(1, Ordering::AcqRel);
             let mut buf = Vec::with_capacity(SEQ_BYTES + value.len());
             buf.extend_from_slice(&seq.to_le_bytes());

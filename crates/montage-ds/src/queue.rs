@@ -10,8 +10,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use montage::sync::Mutex;
 use montage::{EpochSys, PHandle, RecoveredState, ThreadId};
-use parking_lot::Mutex;
 use pmem::PmemFault;
 
 /// Persistent layout of one item: `seq: u64` then the value bytes.

@@ -12,11 +12,10 @@
 //! operation together with `PDELETE`) before unlinking; lookups are
 //! lock-free over the transient towers.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use montage::sync::{spin_loop, uninstrumented as raw, AtomicBool, Mutex, Ordering};
 use std::sync::Arc;
 
 use montage::{EpochSys, PHandle, RecoveredState, ThreadId};
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -24,7 +23,7 @@ const MAX_LEVEL: usize = 16;
 
 struct Node<K> {
     key: Option<K>, // None for the head sentinel
-    payload: parking_lot::Mutex<PHandle<[u8]>>,
+    payload: Mutex<PHandle<[u8]>>,
     /// next[level] — raw pointers, managed by crossbeam-epoch.
     next: Vec<crossbeam::epoch::Atomic<Node<K>>>,
     marked: AtomicBool,
@@ -36,7 +35,7 @@ impl<K> Node<K> {
     fn new(key: Option<K>, payload: PHandle<[u8]>, height: usize) -> Self {
         Node {
             key,
-            payload: parking_lot::Mutex::new(payload),
+            payload: Mutex::new(payload),
             next: (0..height)
                 .map(|_| crossbeam::epoch::Atomic::null())
                 .collect(),
@@ -56,7 +55,7 @@ pub struct MontageSkipListMap<K> {
     esys: Arc<EpochSys>,
     tag: u16,
     head: crossbeam::epoch::Atomic<Node<K>>,
-    len: AtomicUsize,
+    len: raw::AtomicUsize,
 }
 
 // SAFETY: the tower is only touched under crossbeam-epoch guards and all
@@ -72,7 +71,7 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
             esys,
             tag,
             head,
-            len: AtomicUsize::new(0),
+            len: raw::AtomicUsize::new(0),
         }
     }
 
@@ -123,6 +122,8 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
         Vec<crossbeam::epoch::Shared<'g, Node<K>>>,
         Option<usize>,
     ) {
+        // ord(acquire): traversals must see the node fields published by the
+        // linking store/CAS.
         let head = self.head.load(Ordering::Acquire, guard);
         let mut preds = vec![head; MAX_LEVEL];
         let mut succs = vec![crossbeam::epoch::Shared::null(); MAX_LEVEL];
@@ -132,14 +133,19 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
             // SAFETY: every node reachable from `head` is retired only via
             // `defer_destroy` under this same epoch `guard`, so the Shared
             // pointers we traverse stay valid for the whole call.
+            // ord(acquire): traversals must see the node fields published by the
+            // linking store/CAS.
             let mut curr = unsafe { pred.deref() }.next[level].load(Ordering::Acquire, guard);
             loop {
+                // SAFETY: same reachability argument as the `deref` above.
                 let Some(curr_ref) = (unsafe { curr.as_ref() }) else {
                     break;
                 };
                 match curr_ref.key.as_ref().unwrap().cmp(key) {
                     std::cmp::Ordering::Less => {
                         pred = curr;
+                        // ord(acquire): traversals must see the node fields published by the
+                        // linking store/CAS.
                         curr = curr_ref.next[level].load(Ordering::Acquire, guard);
                     }
                     std::cmp::Ordering::Equal => {
@@ -194,10 +200,11 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
                 // SAFETY: `found` nodes are protected by the pinned `guard`.
                 let node = unsafe { succs[lf].deref() };
                 // Wait until it is fully linked or marked, then report.
+                // ord(acquire): pairs with the corresponding Release publish.
                 while !node.fully_linked.load(Ordering::Acquire)
                     && !node.marked.load(Ordering::Acquire)
                 {
-                    std::hint::spin_loop();
+                    spin_loop();
                 }
                 if !node.marked.load(Ordering::Acquire) {
                     return false;
@@ -217,6 +224,8 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
                     locks.push(pred.lock.lock());
                     locked_ptrs.push(pred as *const _);
                 }
+                // ord(acquire): traversals must see the node fields published by the
+                // linking store/CAS.
                 let succ = pred.next[level].load(Ordering::Acquire, &guard);
                 if pred.marked.load(Ordering::Acquire) || succ != succs[level] {
                     valid = false;
@@ -233,17 +242,23 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
             let payload = mk_payload(&self.esys, &g, self.tag);
             let node = crossbeam::epoch::Owned::new(Node::new(Some(key), payload, height));
             for (level, succ) in succs.iter().enumerate().take(height) {
+                // ord(relaxed): pre-publication or single-threaded write; the
+                // publishing store/CAS provides the ordering.
                 node.next[level].store(succ.with_tag(0), Ordering::Relaxed);
             }
             let node = node.into_shared(&guard);
             for (level, item) in preds.iter().enumerate().take(height) {
                 // SAFETY: predecessors are guard-protected and locked above.
+                // ord(publish): makes the node's prior initialization visible to
+                // traversals that follow this link.
                 unsafe { item.deref() }.next[level].store(node, Ordering::Release);
             }
             // SAFETY: `node` was allocated above and is still alive; it can
             // only be retired after `fully_linked` lets removers see it.
             unsafe { node.deref() }
                 .fully_linked
+                // ord(publish): makes the node's prior initialization visible to
+                // traversals that follow this link.
                 .store(true, Ordering::Release);
             self.len.fetch_add(1, Ordering::Relaxed);
             return true;
@@ -258,6 +273,7 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
         let lf = found?;
         // SAFETY: the pinned `guard` keeps the found node alive.
         let node = unsafe { succs[lf].deref() };
+        // ord(acquire): pairs with the corresponding Release publish.
         if !node.fully_linked.load(Ordering::Acquire) || node.marked.load(Ordering::Acquire) {
             return None;
         }
@@ -277,6 +293,7 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
         // SAFETY: the pinned `guard` keeps the found node alive.
         let node = unsafe { succs[lf].deref() };
         let _l = node.lock.lock();
+        // ord(acquire): pairs with the corresponding Release publish.
         if node.marked.load(Ordering::Acquire) || !node.fully_linked.load(Ordering::Acquire) {
             return false;
         }
@@ -312,6 +329,7 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
             // deferred destruction below runs.
             let victim = unsafe { victim_sh.deref() };
             if victim_height == 0 {
+                // ord(acquire): pairs with the corresponding Release publish.
                 if !victim.fully_linked.load(Ordering::Acquire)
                     || victim.marked.load(Ordering::Acquire)
                     || lf + 1 != victim.height()
@@ -327,6 +345,7 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
             // Lock the victim and mark it (logical delete + PDELETE = the
             // failure-atomic linearization).
             let _vl = victim.lock.lock();
+            // ord(acquire): pairs with the corresponding Release publish.
             if victim.marked.load(Ordering::Acquire) {
                 return false;
             }
@@ -342,6 +361,8 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
                     locks.push(pred.lock.lock());
                     locked_ptrs.push(pred as *const _);
                 }
+                // ord(acquire): traversals must see the node fields published by the
+                // linking store/CAS.
                 let succ = pred.next[level].load(Ordering::Acquire, &guard);
                 if pred.marked.load(Ordering::Acquire) || succ != victim_sh {
                     valid = false;
@@ -354,12 +375,16 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
             }
 
             let g = self.esys.begin_op(tid);
+            // ord(publish): makes the node's prior initialization visible to
+            // traversals that follow this link.
             victim.marked.store(true, Ordering::Release);
             let h = *victim.payload.lock();
             let _ = self.esys.pdelete(&g, h);
             for level in (0..victim_height).rev() {
                 let succ = victim.next[level].load(Ordering::Acquire, &guard);
                 // SAFETY: predecessors are guard-protected and locked above.
+                // ord(publish): makes the node's prior initialization visible to
+                // traversals that follow this link.
                 unsafe { preds[level].deref() }.next[level].store(succ, Ordering::Release);
             }
             self.len.fetch_sub(1, Ordering::Relaxed);
@@ -377,6 +402,8 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
     pub fn keys(&self) -> Vec<K> {
         let guard = crossbeam::epoch::pin();
         let mut out = Vec::new();
+        // ord(acquire): traversals must see the node fields published by the
+        // linking store/CAS.
         let head = self.head.load(Ordering::Acquire, &guard);
         // SAFETY: head and every reachable node are guard-protected.
         let mut cur = unsafe { head.deref() }.next[0].load(Ordering::Acquire, &guard);
@@ -384,12 +411,15 @@ impl<K: Copy + Ord + Send + Sync + 'static> MontageSkipListMap<K> {
             if !node.marked.load(Ordering::Acquire) {
                 out.push(*node.key.as_ref().unwrap());
             }
+            // ord(acquire): traversals must see the node fields published by the
+            // linking store/CAS.
             cur = node.next[0].load(Ordering::Acquire, &guard);
         }
         out
     }
 
     pub fn len(&self) -> usize {
+        // ord(counter): size estimate only.
         self.len.load(Ordering::Relaxed)
     }
 
@@ -404,9 +434,11 @@ impl<K> Drop for MontageSkipListMap<K> {
         // map, so the unprotected guard, the derefs, and reclaiming each node
         // exactly once via `into_owned` are all sound.
         let guard = unsafe { crossbeam::epoch::unprotected() };
+        // ord(relaxed): `&mut self` — single-threaded teardown, nothing races.
         let mut cur = self.head.load(Ordering::Relaxed, guard);
         while !cur.is_null() {
             // SAFETY: see above — exclusive access during drop.
+            // ord(relaxed): same exclusive-teardown argument as the head load.
             let next = unsafe { cur.deref() }.next[0].load(Ordering::Relaxed, guard);
             drop(unsafe { cur.into_owned() });
             cur = next;

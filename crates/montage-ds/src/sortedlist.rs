@@ -38,12 +38,11 @@
 //! Payload layout matches the hashmap: key bytes (fixed-size `K: Copy`)
 //! followed by the value bytes.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use montage::sync::{spin_loop, uninstrumented as raw, AtomicU64, AtomicUsize, Mutex, Ordering};
 use std::sync::Arc;
 
 use crossbeam::epoch::{self, Atomic, Owned, Shared};
 use montage::{EpochSys, PHandle, RecoveredState, ThreadId};
-use parking_lot::Mutex;
 
 /// Deleted-mark on a node's `next` pointer (Harris 2001).
 const MARK: usize = 1;
@@ -67,7 +66,7 @@ pub struct MontageSortedList<K> {
     esys: Arc<EpochSys>,
     tag: u16,
     head: Atomic<Node<K>>,
-    len: AtomicUsize,
+    len: raw::AtomicUsize,
     /// Mutations announced (monotone).
     started: AtomicU64,
     /// Mutations finished (monotone, `completed ≤ started`).
@@ -88,11 +87,15 @@ impl<K> Drop for MontageSortedList<K> {
         // SAFETY: `&mut self` — no concurrent guards; the chain is ours.
         unsafe {
             let g = epoch::unprotected();
+            // ord(acquire): traversals must see the node fields published by the
+            // linking store/CAS.
             let mut curr = self.head.load(Ordering::Acquire, g);
             // Detach so Atomic::drop doesn't double-free the first node.
             self.head.store(Shared::null(), Ordering::Relaxed);
             while !curr.is_null() {
                 let owned = curr.into_owned();
+                // ord(acquire): traversals must see the node fields published by the
+                // linking store/CAS.
                 let next = owned.next.load(Ordering::Acquire, g);
                 owned.next.store(Shared::null(), Ordering::Relaxed);
                 curr = next;
@@ -108,7 +111,7 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
             esys,
             tag,
             head: Atomic::null(),
-            len: AtomicUsize::new(0),
+            len: raw::AtomicUsize::new(0),
             started: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             scan_block: AtomicUsize::new(0),
@@ -148,6 +151,8 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
             items.windows(2).all(|w| w[0].0 < w[1].0),
             "duplicate key in recovered payload set"
         );
+        // ord(relaxed): pre-publication or single-threaded write; the
+        // publishing store/CAS provides the ordering.
         list.len.store(items.len(), Ordering::Relaxed);
         // SAFETY: the list is not yet shared; building back-to-front with
         // the unprotected guard touches only nodes we just allocated.
@@ -160,6 +165,8 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
                     payload: Mutex::new(handle),
                     next: Atomic::null(),
                 });
+                // ord(relaxed): pre-publication or single-threaded write; the
+                // publishing store/CAS provides the ordering.
                 node.next.store(next, Ordering::Relaxed);
                 next = node.into_shared(g);
             }
@@ -192,7 +199,7 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
     fn enter_mutation(&self) {
         loop {
             while self.scan_block.load(Ordering::SeqCst) > 0 {
-                std::hint::spin_loop();
+                spin_loop();
             }
             self.started.fetch_add(1, Ordering::SeqCst);
             if self.scan_block.load(Ordering::SeqCst) == 0 {
@@ -218,6 +225,8 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
     ) -> (&'g Atomic<Node<K>>, Shared<'g, Node<K>>, bool) {
         'retry: loop {
             let mut prev: &'g Atomic<Node<K>> = &self.head;
+            // ord(acquire): traversals must see the node fields published by the
+            // linking store/CAS.
             let mut curr = prev.load(Ordering::Acquire, guard);
             loop {
                 // SAFETY: nodes are retired only via defer_destroy under
@@ -225,12 +234,16 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
                 let Some(curr_ref) = (unsafe { curr.as_ref() }) else {
                     return (prev, Shared::null(), false);
                 };
+                // ord(acquire): traversals must see the node fields published by the
+                // linking store/CAS.
                 let succ = curr_ref.next.load(Ordering::Acquire, guard);
                 if succ.tag() == MARK {
                     // `curr` is logically deleted: help unlink it.
                     match prev.compare_exchange(
                         curr.with_tag(0),
                         succ.with_tag(0),
+                        // ord(acqrel): the CAS publishes the new link and orders it after the
+                        // snapshot it was validated against.
                         Ordering::AcqRel,
                         Ordering::Acquire,
                         guard,
@@ -275,6 +288,8 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
                 // SAFETY: `curr` is guard-protected (see `find`).
                 let node = unsafe { curr.deref() };
                 let mut payload = node.payload.lock();
+                // ord(acquire): traversals must see the node fields published by the
+                // linking store/CAS.
                 if node.next.load(Ordering::Acquire, &guard).tag() == MARK {
                     continue; // removed while we waited for the value lock
                 }
@@ -305,16 +320,21 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
                 payload: Mutex::new(h),
                 next: Atomic::null(),
             });
+            // ord(relaxed): pre-publication or single-threaded write; the
+            // publishing store/CAS provides the ordering.
             node.next.store(curr.with_tag(0), Ordering::Relaxed);
             let node = node.into_shared(&guard);
             match prev.compare_exchange(
                 curr.with_tag(0),
                 node,
+                // ord(acqrel): the CAS publishes the new link and orders it after the
+                // snapshot it was validated against.
                 Ordering::AcqRel,
                 Ordering::Acquire,
                 &guard,
             ) {
                 Ok(_) => {
+                    // ord(counter): size estimate only.
                     self.len.fetch_add(1, Ordering::Relaxed);
                     return false;
                 }
@@ -347,16 +367,21 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
                 payload: Mutex::new(h),
                 next: Atomic::null(),
             });
+            // ord(relaxed): pre-publication or single-threaded write; the
+            // publishing store/CAS provides the ordering.
             node.next.store(curr.with_tag(0), Ordering::Relaxed);
             let node = node.into_shared(&guard);
             match prev.compare_exchange(
                 curr.with_tag(0),
                 node,
+                // ord(acqrel): the CAS publishes the new link and orders it after the
+                // snapshot it was validated against.
                 Ordering::AcqRel,
                 Ordering::Acquire,
                 &guard,
             ) {
                 Ok(_) => {
+                    // ord(counter): size estimate only.
                     self.len.fetch_add(1, Ordering::Relaxed);
                     break true;
                 }
@@ -384,6 +409,8 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
             }
             // SAFETY: `curr` is guard-protected (see `find`).
             let node = unsafe { curr.deref() };
+            // ord(acquire): traversals must see the node fields published by the
+            // linking store/CAS.
             let succ = node.next.load(Ordering::Acquire, &guard);
             if succ.tag() == MARK {
                 continue; // someone else is removing it; re-find
@@ -394,6 +421,8 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
                 .compare_exchange(
                     succ,
                     succ.with_tag(MARK),
+                    // ord(acqrel): the CAS publishes the new link and orders it after the
+                    // snapshot it was validated against.
                     Ordering::AcqRel,
                     Ordering::Acquire,
                     &guard,
@@ -410,12 +439,15 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
                     .pdelete(&g, *payload)
                     .expect("mark won ⇒ sole deleter");
             }
+            // ord(counter): size estimate only.
             self.len.fetch_sub(1, Ordering::Relaxed);
             // Best-effort physical unlink; `find` helps if this loses.
             if prev
                 .compare_exchange(
                     curr.with_tag(0),
                     succ.with_tag(0),
+                    // ord(acqrel): the CAS publishes the new link and orders it after the
+                    // snapshot it was validated against.
                     Ordering::AcqRel,
                     Ordering::Acquire,
                     &guard,
@@ -442,6 +474,8 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
         // SAFETY: `curr` is guard-protected (see `find`).
         let node = unsafe { curr.deref() };
         let payload = node.payload.lock();
+        // ord(acquire): traversals must see the node fields published by the
+        // linking store/CAS.
         if node.next.load(Ordering::Acquire, &guard).tag() == MARK {
             return None; // removed between find and the value lock
         }
@@ -465,7 +499,7 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
             let c1 = self.completed.load(Ordering::SeqCst);
             let s1 = self.started.load(Ordering::SeqCst);
             if s1 != c1 {
-                std::hint::spin_loop();
+                spin_loop();
                 continue; // a mutation is in flight right now
             }
             let snap = self.collect(lo, hi);
@@ -478,7 +512,7 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
         // Contended: gate new mutations, wait out announced ones.
         self.scan_block.fetch_add(1, Ordering::SeqCst);
         while self.started.load(Ordering::SeqCst) != self.completed.load(Ordering::SeqCst) {
-            std::hint::spin_loop();
+            spin_loop();
         }
         let snap = self.collect(lo, hi);
         self.scan_block.fetch_sub(1, Ordering::SeqCst);
@@ -491,12 +525,16 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
         let ksize = std::mem::size_of::<K>();
         let mut out = Vec::new();
         let guard = epoch::pin();
+        // ord(acquire): traversals must see the node fields published by the
+        // linking store/CAS.
         let mut curr = self.head.load(Ordering::Acquire, &guard);
         // SAFETY: guard-protected traversal (both derefs below), as in `find`.
         while let Some(node) = unsafe { curr.as_ref() } {
             if node.key > *hi {
                 break;
             }
+            // ord(acquire): traversals must see the node fields published by the
+            // linking store/CAS.
             let succ = node.next.load(Ordering::Acquire, &guard);
             if succ.tag() != MARK && node.key >= *lo {
                 let payload = node.payload.lock();
@@ -512,6 +550,7 @@ impl<K: Copy + Ord + Send + Sync> MontageSortedList<K> {
     }
 
     pub fn len(&self) -> usize {
+        // ord(counter): size estimate only.
         self.len.load(Ordering::Relaxed)
     }
 

@@ -3,7 +3,7 @@
 //! remaining items in the per-worker-thread buffers at each epoch boundary,
 //! and performs all memory reclamation").
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -52,16 +52,19 @@ impl Advancer {
         let handle = std::thread::Builder::new()
             .name("montage-advancer".into())
             .spawn(move || {
+                // ord(relaxed): shutdown flag; no data rides this edge.
                 while !stop2.load(Ordering::Relaxed) {
                     // Sleep in small slices so shutdown is prompt even with
                     // second-scale epochs (Fig. 4/5 sweeps go up to 5 s).
                     let mut remaining = period;
                     let slice = Duration::from_millis(5);
+                    // ord(relaxed): shutdown flag.
                     while remaining > Duration::ZERO && !stop2.load(Ordering::Relaxed) {
                         let d = remaining.min(slice);
                         std::thread::sleep(d);
                         remaining = remaining.saturating_sub(d);
                     }
+                    // ord(relaxed): shutdown flag.
                     if stop2.load(Ordering::Relaxed) {
                         break;
                     }
@@ -83,6 +86,7 @@ impl Advancer {
     }
 
     fn shutdown(&mut self) {
+        // ord(relaxed): shutdown flag; the join below is the real barrier.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();

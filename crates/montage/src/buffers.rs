@@ -131,10 +131,9 @@
 //! until it resumes (bounded by one entry per parked thread) instead of
 //! risking a double-free or a premature reuse.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{weaken, AtomicU32, AtomicU64, AtomicUsize, Mutex, Ordering};
 
 use crossbeam::utils::CachePadded;
-use parking_lot::Mutex;
 use pmem::{line_of, POff, PmemPool};
 
 use crate::payload::Header;
@@ -158,14 +157,19 @@ struct Slot {
 
 /// Fixed-capacity single-producer / multi-consumer ring of `(off, len)`
 /// pairs. See the module docs for the sequence protocol.
-struct Ring {
+///
+/// Public (but hidden) so the `interleave` model-check harnesses can drive
+/// the claim/help/release protocol directly under the schedule explorer.
+#[doc(hidden)]
+pub struct Ring {
     head: CachePadded<AtomicUsize>,
     tail: CachePadded<AtomicUsize>,
     slots: Box<[Slot]>,
 }
 
 impl Ring {
-    fn new(capacity: usize) -> Ring {
+    #[doc(hidden)]
+    pub fn new(capacity: usize) -> Ring {
         // capacity ≥ 2 keeps the free form (seq ≡ p mod C) and the
         // published/claimed form (seq ≡ p + 1 mod C) distinguishable in
         // `help_claimed`'s slot scan.
@@ -184,15 +188,19 @@ impl Ring {
     }
 
     #[inline]
-    fn capacity(&self) -> usize {
+    #[doc(hidden)]
+    pub fn capacity(&self) -> usize {
         self.slots.len()
     }
 
     #[inline]
-    fn is_empty(&self) -> bool {
+    #[doc(hidden)]
+    pub fn is_empty(&self) -> bool {
         // tail is read first: seeing head ≥ tail with a stale tail can only
         // under-report emptiness transiently, never invent entries.
+        // ord(acquire): pairs with the tail publish in `push_with`.
         let t = self.tail.load(Ordering::Acquire);
+        // ord(acquire): pairs with the head-claim CAS in `pop_with`.
         self.head.load(Ordering::Acquire) >= t
     }
 
@@ -200,9 +208,13 @@ impl Ring {
     /// target slot's previous consumer is still inside its claim window, the
     /// owner finishes its write-back via `flush` and releases the slot
     /// itself instead of waiting (module docs).
-    fn push_with(&self, off: u64, len: u32, mut flush: impl FnMut(u64, u32)) -> Result<(), ()> {
+    #[doc(hidden)]
+    #[allow(clippy::result_unit_err)] // internal API, pub only for the interleave harness; Err(()) = full
+    pub fn push_with(&self, off: u64, len: u32, mut flush: impl FnMut(u64, u32)) -> Result<(), ()> {
         let cap = self.capacity();
+        // ord(relaxed): tail is owner-written; this is the owner.
         let t = self.tail.load(Ordering::Relaxed);
+        // ord(acquire): pairs with the head-claim CAS in `pop_with`.
         if t - self.head.load(Ordering::Acquire) >= cap {
             return Err(());
         }
@@ -214,6 +226,8 @@ impl Ring {
         // CASes write the same value (t = (t - cap) + cap), so whichever
         // side loses simply finds the slot already free.
         loop {
+            // ord(acquire): seeing the claimed form must also show us the
+            // claimant's entry fields so the help-flush reads cycle i's data.
             let s = slot.seq.load(Ordering::Acquire);
             if s == t {
                 break;
@@ -223,9 +237,14 @@ impl Ring {
                 "slot seq {s} is neither free ({t}) nor claimed ({})",
                 t.wrapping_add(1).wrapping_sub(cap)
             );
+            // ord(relaxed): ordered by the acquire on `seq` above; a racing
+            // recycle is tolerated (module docs, helper-flush soundness).
             let o = slot.off.load(Ordering::Relaxed);
+            // ord(relaxed): same argument as `off`.
             let l = slot.len.load(Ordering::Relaxed);
             flush(o, l);
+            // ord(acqrel): release our help-flush before freeing the slot;
+            // acquire so a lost race shows us the winner's release.
             if slot
                 .seq
                 .compare_exchange(s, t, Ordering::AcqRel, Ordering::Acquire)
@@ -234,10 +253,16 @@ impl Ring {
                 break;
             }
         }
+        // ord(relaxed): published by the `seq` store below.
         slot.off.store(off, Ordering::Relaxed);
+        // ord(relaxed): published by the `seq` store below.
         slot.len.store(len, Ordering::Relaxed);
-        slot.seq.store(t + 1, Ordering::Release);
-        self.tail.store(t + 1, Ordering::Release);
+        // ord(publish): consumers acquire `seq` and must see off/len.
+        slot.seq
+            .store(t + 1, weaken("ring.seq.publish", Ordering::Release));
+        // ord(publish): pop_with acquires tail before reading the slot.
+        self.tail
+            .store(t + 1, weaken("ring.tail.publish", Ordering::Release));
         Ok(())
     }
 
@@ -245,20 +270,29 @@ impl Ring {
     /// `flush` is invoked on the entry **inside the claim window**, before
     /// the slot is released, so a consumer parked mid-flush leaves the entry
     /// recoverable by [`Ring::help_claimed`].
-    fn pop_with(&self, mut flush: impl FnMut(u64, u32)) -> Option<(u64, u32)> {
+    #[doc(hidden)]
+    pub fn pop_with(&self, mut flush: impl FnMut(u64, u32)) -> Option<(u64, u32)> {
         loop {
+            // ord(acquire): pairs with claim CASes by racing consumers.
             let h = self.head.load(Ordering::Acquire);
+            // ord(acquire): pairs with the owner's tail publish.
             let t = self.tail.load(Ordering::Acquire);
             if h >= t {
                 return None;
             }
             let slot = &self.slots[h % self.capacity()];
+            // ord(acquire): pairs with the owner's `seq` publish so off/len
+            // below read cycle h's values.
             if slot.seq.load(Ordering::Acquire) != h + 1 {
                 // A racing consumer already claimed index h; re-read head.
                 continue;
             }
+            // ord(relaxed): ordered by the acquire on `seq` above.
             let off = slot.off.load(Ordering::Relaxed);
+            // ord(relaxed): ordered by the acquire on `seq` above.
             let len = slot.len.load(Ordering::Relaxed);
+            // ord(acqrel): the claim must not sink below the seq check
+            // (acquire) and publishes our intent to flush (release).
             if self
                 .head
                 .compare_exchange(h, h + 1, Ordering::AcqRel, Ordering::Relaxed)
@@ -272,6 +306,8 @@ impl Ring {
                 // The release is a CAS because a helper (or the owner's
                 // wrap-around push) may have completed it for us; a failure
                 // means the slot was already flushed and recycled.
+                // ord(acqrel): the flush above must not sink below the
+                // release; failure needs no edge (we discard the result).
                 let _ = slot.seq.compare_exchange(
                     h + 1,
                     h + self.capacity(),
@@ -288,27 +324,57 @@ impl Ring {
     /// the slots, a bounded number of atomic ops each, never spins on
     /// another thread. See the module docs for the soundness argument of
     /// flushing before the validating release CAS.
-    fn help_claimed(&self, mut flush: impl FnMut(u64, u32)) {
+    #[doc(hidden)]
+    pub fn help_claimed(&self, mut flush: impl FnMut(u64, u32)) {
         let cap = self.capacity();
         for (p, slot) in self.slots.iter().enumerate() {
+            // ord(acquire): pairs with the owner's publish; off/len below
+            // must be no older than the claimed cycle's.
             let s = slot.seq.load(Ordering::Acquire);
             if s == 0 || (s - 1) % cap != p {
                 // Free or released form; nothing pending here.
                 continue;
             }
             let i = s - 1;
+            // ord(acquire): pairs with the claimant's head CAS.
             if self.head.load(Ordering::Acquire) <= i {
                 // Published but unclaimed: a drain pass owns this one; it is
                 // still visible to `pop_with`, not stuck.
                 continue;
             }
+            // ord(relaxed): ordered by the acquire on `seq`; a racing
+            // recycle is tolerated (module docs, helper-flush soundness).
             let off = slot.off.load(Ordering::Relaxed);
+            // ord(relaxed): same argument as `off`.
             let len = slot.len.load(Ordering::Relaxed);
             flush(off, len);
+            // ord(acqrel): release our flush before freeing the slot.
             let _ = slot
                 .seq
                 .compare_exchange(s, i + cap, Ordering::AcqRel, Ordering::Relaxed);
         }
+    }
+
+    /// Model-check probe: number of slots currently in the claimed form
+    /// (claim CAS won, release CAS not yet performed). Read-only; exists so
+    /// the `interleave` harnesses can assert the boundary's census gate
+    /// never leaves a claimed entry unhelped at a fence.
+    #[doc(hidden)]
+    pub fn debug_claimed(&self) -> usize {
+        let cap = self.capacity();
+        let mut n = 0;
+        for (p, slot) in self.slots.iter().enumerate() {
+            // ord(acquire): same edge as `help_claimed`'s scan.
+            let s = slot.seq.load(Ordering::Acquire);
+            if s == 0 || (s - 1) % cap != p {
+                continue;
+            }
+            // ord(acquire): pairs with the claimant's head CAS.
+            if self.head.load(Ordering::Acquire) > s - 1 {
+                n += 1;
+            }
+        }
+        n
     }
 }
 
@@ -387,7 +453,7 @@ fn clwb_clamped(pool: &PmemPool, off: u64, len: u32) {
         return;
     }
     let len = u64::from(len.max(1)).min(size - off);
-    // lint: allow(flush-no-fence): drains only write back; the epoch-boundary sfence in advance_epoch makes them durable
+    // lint: allow(flush-no-fence): drains only write back; the epoch-boundary sfence in advance_epoch makes them durable (the claim/help/release ordering this rides on is model-checked by interleave's harness_ring)
     pool.clwb_range(POff::new(off), len as usize);
 }
 
@@ -396,7 +462,7 @@ fn clwb_clamped(pool: &PmemPool, off: u64, len: u32) {
 fn tombstone_flush(pool: &PmemPool, off: u64) {
     let blk = POff::new(off);
     Header::tombstone(pool, blk);
-    // lint: allow(flush-no-fence): tombstone write-backs ride the epoch-boundary sfence, like the persist drains
+    // lint: allow(flush-no-fence): tombstone write-backs ride the epoch-boundary sfence, like the persist drains (same harness_ring-checked claim protocol)
     pool.clwb(blk);
 }
 
@@ -437,7 +503,10 @@ impl Buffers {
     }
 
     fn claim_scope(&self) -> ClaimScope<'_> {
-        self.claims.fetch_add(1, Ordering::SeqCst);
+        // SeqCst: the census gate's soundness needs a total order between
+        // this increment and the boundary's one-shot read (module docs).
+        self.claims
+            .fetch_add(1, weaken("buffers.census", Ordering::SeqCst));
         ClaimScope(&self.claims)
     }
 
@@ -486,22 +555,28 @@ impl Buffers {
         // Coalescing: a same-epoch resident entry already covers this extent,
         // so its boundary clwb_range subsumes ours.
         let d = st.dedup_at(first);
+        // ord(relaxed): dedup table is owner-only (module docs).
         if d.epoch.load(Ordering::Relaxed) == epoch
+            // ord(relaxed): owner-only, as above.
             && d.first.load(Ordering::Relaxed) == first
+            // ord(relaxed): owner-only, as above.
             && d.last.load(Ordering::Relaxed) >= last
             && still_current()
         {
+            // ord(counter): stats tally, read by the owner.
             st.coalesced.fetch_add(last - first + 1, Ordering::Relaxed);
             return self.min_pending(tid);
         }
 
         let b = &st.persist[(epoch % 4) as usize];
         debug_assert!(
+            // ord(relaxed): owner-only invariant check.
             b.ring.is_empty() || b.epoch.load(Ordering::Relaxed) == epoch,
             "persist bucket reused before being drained (epoch {} vs {})",
             b.epoch.load(Ordering::Relaxed),
             epoch
         );
+        // ord(publish): drainers acquire the bucket epoch before popping.
         b.epoch.store(epoch, Ordering::Release);
         while b
             .ring
@@ -514,15 +589,21 @@ impl Buffers {
             let _census = self.claim_scope();
             if let Some((o, _)) = b.ring.pop_with(|o, l| clwb_clamped(pool, o, l)) {
                 let od = st.dedup_at(line_of(o));
+                // ord(relaxed): dedup table is owner-only.
                 if od.epoch.load(Ordering::Relaxed) == epoch
+                    // ord(relaxed): owner-only.
                     && od.first.load(Ordering::Relaxed) == line_of(o)
                 {
+                    // ord(relaxed): owner-only.
                     od.epoch.store(DEDUP_DEAD, Ordering::Relaxed);
                 }
             }
         }
+        // ord(relaxed): dedup table is owner-only.
         d.first.store(first, Ordering::Relaxed);
+        // ord(relaxed): owner-only.
         d.last.store(last, Ordering::Relaxed);
+        // ord(relaxed): owner-only.
         d.epoch.store(epoch, Ordering::Relaxed);
         self.min_pending(tid)
     }
@@ -530,6 +611,7 @@ impl Buffers {
     /// Line flushes thread `tid` has avoided through coalescing so far
     /// (monotonic; exact when read by the owner).
     pub fn coalesced_lines(&self, tid: usize) -> u64 {
+        // ord(counter): stats tally; no ordering contract.
         self.threads[tid].coalesced.load(Ordering::Relaxed)
     }
 
@@ -540,6 +622,7 @@ impl Buffers {
     pub fn drain_persist(&self, pool: &PmemPool, tid: usize, epoch: u64) -> u64 {
         let st = &self.threads[tid];
         let b = &st.persist[(epoch % 4) as usize];
+        // ord(acquire): pairs with the owner's bucket-epoch publish.
         if !b.ring.is_empty() && b.epoch.load(Ordering::Acquire) == epoch {
             let _census = self.claim_scope();
             while b.ring.pop_with(|o, l| clwb_clamped(pool, o, l)).is_some() {}
@@ -551,6 +634,7 @@ impl Buffers {
     pub fn drain_persist_upto(&self, pool: &PmemPool, tid: usize, epoch: u64) -> u64 {
         let st = &self.threads[tid];
         for b in st.persist.iter() {
+            // ord(acquire): pairs with the owner's bucket-epoch publish.
             if !b.ring.is_empty() && b.epoch.load(Ordering::Acquire) <= epoch {
                 let _census = self.claim_scope();
                 while b.ring.pop_with(|o, l| clwb_clamped(pool, o, l)).is_some() {}
@@ -577,6 +661,18 @@ impl Buffers {
         }
     }
 
+    /// Model-check probe: claimed-but-unreleased slots across all of
+    /// `tid`'s rings (see [`Ring::debug_claimed`]).
+    #[doc(hidden)]
+    pub fn debug_claimed(&self, tid: usize) -> usize {
+        let st = &self.threads[tid];
+        st.persist
+            .iter()
+            .map(|b| b.ring.debug_claimed())
+            .chain(st.free.iter().map(|b| b.ring.debug_claimed()))
+            .sum()
+    }
+
     /// Schedules block `blk` (retired in `epoch`) for reclamation two epochs
     /// later. Owner-only; allocation-free until the ring overflows.
     pub fn push_free(&self, pool: &PmemPool, tid: usize, epoch: u64, blk: POff) {
@@ -584,9 +680,11 @@ impl Buffers {
         let b = &st.free[(epoch % 4) as usize];
         debug_assert!(
             (b.ring.is_empty() && b.spill.lock().is_empty())
+                // ord(relaxed): owner-only invariant check.
                 || b.epoch.load(Ordering::Relaxed) == epoch,
             "free bucket reused before being drained"
         );
+        // ord(publish): reclaimers acquire the bucket epoch before popping.
         b.epoch.store(epoch, Ordering::Release);
         if b.ring
             .push_with(blk.raw(), 0, |o, _| tombstone_flush(pool, o))
@@ -603,6 +701,7 @@ impl Buffers {
     pub fn take_free(&self, pool: &PmemPool, tid: usize, epoch: u64) -> Vec<POff> {
         let st = &self.threads[tid];
         let b = &st.free[(epoch % 4) as usize];
+        // ord(acquire): pairs with the owner's bucket-epoch publish.
         if b.epoch.load(Ordering::Acquire) != epoch {
             return Vec::new();
         }
@@ -616,6 +715,7 @@ impl Buffers {
         let st = &self.threads[tid];
         let mut out = Vec::new();
         for b in st.free.iter() {
+            // ord(acquire): pairs with the owner's bucket-epoch publish.
             if b.epoch.load(Ordering::Acquire) <= epoch {
                 out.extend(self.drain_free_bucket(pool, b));
             }
@@ -658,6 +758,7 @@ impl Buffers {
             .persist
             .iter()
             .filter(|b| !b.ring.is_empty())
+            // ord(acquire): pairs with the owner's bucket-epoch publish.
             .map(|b| b.epoch.load(Ordering::Acquire))
             .min()
             .unwrap_or(u64::MAX)

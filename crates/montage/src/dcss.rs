@@ -18,7 +18,7 @@
 //! in-flight descriptor). That comfortably holds transient pointers and
 //! tagged indices, the paper's use cases.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{weaken, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use crate::errors::EpochChanged;
@@ -75,15 +75,33 @@ fn arena() -> &'static Arena {
 }
 
 fn my_desc_idx() -> usize {
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    // Allocation bookkeeping only — never part of a cross-thread handoff, so
+    // it stays on uninstrumented primitives (a model-check execution spawns
+    // fresh OS threads every run; instrumenting this would add schedule
+    // points and, without the free list, exhaust the arena).
+    use crate::sync::uninstrumented::AtomicUsize as PlainUsize;
+    static NEXT: PlainUsize = PlainUsize::new(0);
+    static FREE: std::sync::Mutex<Vec<usize>> = std::sync::Mutex::new(Vec::new());
+
+    /// Returns the slot to the free list when the owning thread exits, so
+    /// short-lived threads (tests, model-check executions) can't exhaust the
+    /// arena. The descriptor's `seq` versioning already makes reuse by a
+    /// different thread indistinguishable from reuse by the same thread.
+    struct Slot(usize);
+    impl Drop for Slot {
+        fn drop(&mut self) {
+            FREE.lock().unwrap().push(self.0);
+        }
+    }
     thread_local! {
-        static IDX: usize = {
+        static IDX: Slot = Slot(FREE.lock().unwrap().pop().unwrap_or_else(|| {
+            // ord(counter): one-time slot handout; no data published via it.
             let idx = NEXT.fetch_add(1, Ordering::Relaxed);
             assert!(idx < MAX_DESCRIPTORS, "too many DCSS threads");
             idx
-        };
+        }));
     }
-    IDX.with(|i| *i)
+    IDX.with(|s| s.0)
 }
 
 #[inline]
@@ -171,16 +189,26 @@ impl VerifyCell {
         let d = &arena().descs[idx];
 
         // Publish a fresh descriptor generation (seqlock-style).
+        // ord(relaxed): only this thread writes `seq`; helpers validate it.
         let s = d.seq.load(Ordering::Relaxed);
         debug_assert_eq!(s % 2, 0);
+        // ord(publish): odd marker must precede the field rewrites below.
         d.seq.store(s + 1, Ordering::Release);
+        // ord(relaxed): field writes are ordered by the final `seq` publish.
         d.cell.store(self as *const _ as usize, Ordering::Relaxed);
+        // ord(relaxed): ordered by the final `seq` publish.
         d.old.store(old << 1, Ordering::Relaxed);
+        // ord(relaxed): ordered by the final `seq` publish.
         d.new.store(new << 1, Ordering::Relaxed);
+        // ord(relaxed): ordered by the final `seq` publish.
         d.epoch.store(g.epoch(), Ordering::Relaxed);
         let s2 = s + 2;
+        // ord(relaxed): ordered by the final `seq` publish.
         d.decision.store((s2 << 2) | UNDECIDED, Ordering::Relaxed);
-        d.seq.store(s2, Ordering::Release);
+        // ord(publish): makes the descriptor fields visible to helpers that
+        // acquire-load `seq` after seeing the marked cell word.
+        d.seq
+            .store(s2, weaken("dcss.desc.publish", Ordering::Release));
 
         let marked = mark(idx, s2);
 
@@ -239,9 +267,15 @@ impl VerifyCell {
         let (idx, seq) = unmark(word);
         let d = &arena().descs[idx];
         // Seqlock read of the descriptor fields.
+        // ord(acquire): pairs with the owner's `seq` publish; the SeqCst
+        // install CAS on the cell already ordered the fields, but the seq
+        // validation below needs its own edge for the recycled case.
         let old = d.old.load(Ordering::Acquire);
+        // ord(acquire): see above.
         let new = d.new.load(Ordering::Acquire);
+        // ord(acquire): see above.
         let epoch = d.epoch.load(Ordering::Acquire);
+        // ord(acquire): pairs with the Release `seq` publish.
         if d.seq.load(Ordering::Acquire) != seq {
             // Owner finished and recycled; the mark will be gone on re-read.
             return;

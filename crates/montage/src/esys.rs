@@ -11,11 +11,12 @@
 //!    supported by `CHECK_EPOCH`, the `OldSeeNewException`, and the
 //!    [`crate::dcss`] primitives.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crate::sync::{
+    uninstrumented as raw, weaken, AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering,
+};
 use crossbeam::utils::CachePadded;
-use parking_lot::Mutex;
 use pmem::{POff, PmemFault, PmemPool};
 use ralloc::Ralloc;
 
@@ -47,26 +48,28 @@ const UID_BLOCK: u64 = 1 << 20;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ThreadId(pub usize);
 
+// uid handout is allocation bookkeeping, never a cross-thread protocol
+// handoff, so it stays on uninstrumented atomics (see `sync::uninstrumented`).
 struct PerThreadUid {
-    next: AtomicU64,
-    limit: AtomicU64,
+    next: raw::AtomicU64,
+    limit: raw::AtomicU64,
 }
 
 /// Operation counters (transient, relaxed).
 #[derive(Debug, Default)]
 pub struct EsysStats {
-    pub pnews: AtomicU64,
-    pub sets_in_place: AtomicU64,
-    pub sets_copied: AtomicU64,
-    pub pdeletes: AtomicU64,
-    pub advances: AtomicU64,
-    pub syncs: AtomicU64,
+    pub pnews: raw::AtomicU64,
+    pub sets_in_place: raw::AtomicU64,
+    pub sets_copied: raw::AtomicU64,
+    pub pdeletes: raw::AtomicU64,
+    pub advances: raw::AtomicU64,
+    pub syncs: raw::AtomicU64,
     /// Cache-line flushes avoided by write-back buffer coalescing: a `set`
     /// whose extent was already covered by a same-epoch buffered entry
     /// enqueues nothing, so the boundary issues one `clwb_range` for all of
     /// them. Counted in lines (what the skipped `clwb_range` would have
     /// flushed).
-    pub flushes_coalesced: AtomicU64,
+    pub flushes_coalesced: raw::AtomicU64,
 }
 
 /// The epoch system. Shared via `Arc`; one instance manages all Montage
@@ -92,7 +95,7 @@ pub struct EpochSys {
     /// for reuse. Lets connection-oriented front-ends lease ids per session
     /// without exhausting the `max_threads` table under churn.
     free_tids: Mutex<Vec<usize>>,
-    uid_block: AtomicU64,
+    uid_block: raw::AtomicU64,
     uids: Box<[CachePadded<PerThreadUid>]>,
     last_epoch: Box<[CachePadded<AtomicU64>]>,
     /// Set while thread `tid` holds an [`EpochPin`]. Only the owning thread
@@ -141,12 +144,12 @@ impl EpochSys {
             sync_requested: AtomicU64::new(0),
             next_tid: AtomicUsize::new(0),
             free_tids: Mutex::new(Vec::new()),
-            uid_block: AtomicU64::new(uid_base),
+            uid_block: raw::AtomicU64::new(uid_base),
             uids: (0..cfg.max_threads)
                 .map(|_| {
                     CachePadded::new(PerThreadUid {
-                        next: AtomicU64::new(0),
-                        limit: AtomicU64::new(0),
+                        next: raw::AtomicU64::new(0),
+                        limit: raw::AtomicU64::new(0),
                     })
                 })
                 .collect(),
@@ -195,13 +198,32 @@ impl EpochSys {
     fn clock(&self) -> &AtomicU64 {
         // SAFETY: the clock slot is a reserved, 8-aligned root word accessed
         // only through this atomic view after format.
-        unsafe { self.pool.atomic_u64(POff::root_slot(CLOCK_SLOT)) }
+        crate::sync::from_std(unsafe { self.pool.atomic_u64(POff::root_slot(CLOCK_SLOT)) })
     }
 
     /// Current epoch (transient read of the persistent clock).
     #[inline]
     pub fn curr_epoch(&self) -> u64 {
+        // ord(acquire): an epoch read implies visibility of the boundary
+        // drains that preceded the tick (pairs with the SeqCst clock CAS).
         self.clock().load(Ordering::Acquire)
+    }
+
+    /// Durable-frontier mirror: the highest clock value whose boundary clwb
+    /// is known to have reached the media. Exposed for the model-check
+    /// harnesses, which assert its ordering contract (observing `d` implies
+    /// every epoch `<= d - 2` write-back is visible).
+    #[doc(hidden)]
+    pub fn durable_epoch(&self) -> u64 {
+        // ord(acquire): pairs with the winner's durable-clock release.
+        self.durable_clock.load(Ordering::Acquire)
+    }
+
+    /// Oldest buffered (not yet written back) epoch of `tid`'s ring, or
+    /// `u64::MAX` when empty. A model-check probe, not an API.
+    #[doc(hidden)]
+    pub fn debug_min_pending(&self, tid: ThreadId) -> u64 {
+        self.buffers.min_pending(tid.0)
     }
 
     /// Size of the thread-id table this system was formatted with.
@@ -230,11 +252,14 @@ impl EpochSys {
         // CAS loop (rather than fetch_add) so repeated over-capacity attempts
         // never push next_tid past max_threads: the counter stays an exact
         // high-water mark and `registered()` an exact drain bound.
+        // ord(acquire): see the exact high-water-mark argument above.
         let mut cur = self.next_tid.load(Ordering::Acquire);
         loop {
             if cur >= self.cfg.max_threads {
                 return None;
             }
+            // ord(acqrel): the claimed id's slot state must be visible to
+            // whoever scans `registered()`; acquire on failure re-reads.
             match self.next_tid.compare_exchange_weak(
                 cur,
                 cur + 1,
@@ -266,6 +291,8 @@ impl EpochSys {
 
     fn registered(&self) -> usize {
         self.next_tid
+            // ord(acquire): pairs with the registration CAS; the drain scan
+            // must cover every handed-out id.
             .load(Ordering::Acquire)
             .min(self.cfg.max_threads)
     }
@@ -278,6 +305,7 @@ impl EpochSys {
     /// Lock freedom: the announce/validate loop only retries when the epoch
     /// clock advanced, which implies system-wide progress (paper Thm. 4.4).
     pub fn begin_op(&self, tid: ThreadId) -> OpGuard<'_> {
+        // ord(relaxed): pinned[tid] is owner-only (doc on the field).
         if self.pinned[tid.0].load(Ordering::Relaxed) {
             // Nested under an EpochPin: the pin's tracker registration is
             // live, so the op only needs to move it *forward* to the current
@@ -320,6 +348,8 @@ impl EpochSys {
         // persist its payloads from the previous epoch if they are needed by
         // any active sync").
         if matches!(self.cfg.persist, PersistStrategy::Buffered(_)) {
+            // ord(relaxed): a hint; a missed request is caught by the next
+            // boundary (sync never relies on this edge for durability).
             let want = self.sync_requested.load(Ordering::Relaxed);
             if want != 0 && self.buffers.min_pending(tid.0) < epoch {
                 let min = self
@@ -331,6 +361,7 @@ impl EpochSys {
 
         // Worker-local reclamation (the "+LocalFree" configuration).
         if self.cfg.free == FreeStrategy::WorkerLocal {
+            // ord(relaxed): last_epoch[tid] is owner-only.
             let last = self.last_epoch[tid.0].swap(epoch, Ordering::Relaxed);
             if epoch > last {
                 // The frontier scan runs *after* the announce/validate loop
@@ -401,6 +432,7 @@ impl EpochSys {
             "pin_epoch inside an operation"
         );
         debug_assert!(
+            // ord(relaxed): owner-only flag.
             !self.pinned[tid.0].load(Ordering::Relaxed),
             "pin_epoch while already pinned"
         );
@@ -416,6 +448,8 @@ impl EpochSys {
         // help a waiting sync persist our older buffered payloads, and run
         // worker-local reclamation.
         if matches!(self.cfg.persist, PersistStrategy::Buffered(_)) {
+            // ord(relaxed): a hint; a missed request is caught by the next
+            // boundary (sync never relies on this edge for durability).
             let want = self.sync_requested.load(Ordering::Relaxed);
             if want != 0 && self.buffers.min_pending(tid.0) < epoch {
                 let min = self
@@ -425,6 +459,7 @@ impl EpochSys {
             }
         }
         if self.cfg.free == FreeStrategy::WorkerLocal {
+            // ord(relaxed): last_epoch[tid] is owner-only.
             let last = self.last_epoch[tid.0].swap(epoch, Ordering::Relaxed);
             if epoch > last {
                 // The frontier scan runs *after* the announce/validate loop
@@ -443,6 +478,7 @@ impl EpochSys {
             }
         }
 
+        // ord(relaxed): owner-only flag.
         self.pinned[tid.0].store(true, Ordering::Relaxed);
         EpochPin {
             esys: self,
@@ -483,11 +519,13 @@ impl EpochSys {
 
     fn next_uid(&self, tid: usize) -> u64 {
         let slot = &self.uids[tid];
+        // ord(relaxed): per-thread slot, owner-only (uninstrumented atomics).
         let next = slot.next.load(Ordering::Relaxed);
         if next < slot.limit.load(Ordering::Relaxed) {
             slot.next.store(next + 1, Ordering::Relaxed);
             next
         } else {
+            // ord(counter): unique-block handout; no data published via it.
             let base = self.uid_block.fetch_add(UID_BLOCK, Ordering::Relaxed);
             slot.next.store(base + 1, Ordering::Relaxed);
             slot.limit.store(base + UID_BLOCK, Ordering::Relaxed);
@@ -531,13 +569,14 @@ impl EpochSys {
                 // Owner-read delta, so the count is exact per push.
                 let saved = self.buffers.coalesced_lines(tid) - before;
                 if saved > 0 {
+                    // ord(counter): stats tally.
                     self.stats
                         .flushes_coalesced
                         .fetch_add(saved, Ordering::Relaxed);
                 }
                 self.mind.publish(tid, min);
             }
-            // lint: allow(flush-no-fence): DirWB defers the fence to the epoch boundary, like the buffered path
+            // lint: allow(flush-no-fence): DirWB defers the fence to the epoch boundary, like the buffered path; the clock-CAS/mirror ordering at that boundary is model-checked by interleave's harness_epoch
             PersistStrategy::DirWB => self.pool.clwb_range(blk, len as usize),
             PersistStrategy::None => {}
         }
@@ -571,6 +610,7 @@ impl EpochSys {
             Header::data_sum_pooled(&self.pool, blk, size as u32),
         );
         self.record_persist(g.tid.0, g.epoch, blk, (HDR_SIZE + size) as u32);
+        // ord(counter): stats tally.
         self.stats.pnews.fetch_add(1, Ordering::Relaxed);
         PHandle::from_raw(blk)
     }
@@ -590,6 +630,7 @@ impl EpochSys {
             Header::data_sum(bytes),
         );
         self.record_persist(g.tid.0, g.epoch, blk, (HDR_SIZE + bytes.len()) as u32);
+        // ord(counter): stats tally.
         self.stats.pnews.fetch_add(1, Ordering::Relaxed);
         PHandle::from_raw(blk)
     }
@@ -712,6 +753,7 @@ impl EpochSys {
             // boundary flush as the header line).
             Header::reseal(&self.pool, blk);
             self.record_persist(g.tid.0, g.epoch, blk, total);
+            // ord(counter): stats tally.
             self.stats.sets_in_place.fetch_add(1, Ordering::Relaxed);
             Ok(blk)
         } else {
@@ -745,6 +787,7 @@ impl EpochSys {
             );
             self.record_persist(g.tid.0, g.epoch, nblk, total);
             self.retire(g, blk, g.epoch);
+            // ord(counter): stats tally.
             self.stats.sets_copied.fetch_add(1, Ordering::Relaxed);
             Ok(nblk)
         }
@@ -820,6 +863,7 @@ impl EpochSys {
             self.record_persist(g.tid.0, g.epoch, nblk, (HDR_SIZE + bytes.len()) as u32);
             self.retire(g, blk, g.epoch);
         }
+        // ord(counter): stats tally.
         self.stats.sets_copied.fetch_add(1, Ordering::Relaxed);
         Ok(PHandle::from_raw(nblk))
     }
@@ -838,6 +882,7 @@ impl EpochSys {
 
     fn pdelete_raw(&self, g: &OpGuard<'_>, blk: POff) -> Result<(), OldSeeNewException> {
         self.osn_check(g, blk)?;
+        // ord(counter): stats tally.
         self.stats.pdeletes.fetch_add(1, Ordering::Relaxed);
 
         if self.cfg.free == FreeStrategy::Direct {
@@ -956,6 +1001,8 @@ impl EpochSys {
         if self.cfg.persist == PersistStrategy::None {
             return; // Montage(T): no epochs, no persistence
         }
+        // ord(acquire): the boundary below must see state from the advance
+        // that published e (pairs with the SeqCst clock CAS).
         let e = self.clock().load(Ordering::Acquire);
         let stragglers = self
             .tracker
@@ -1040,8 +1087,13 @@ impl EpochSys {
             // winner parked between its CAS and its clwb is covered by the
             // next winner's flush; fetch_max keeps the mirror monotone.
             if self.pool.check_fault().is_ok() {
-                self.durable_clock.fetch_max(e + 1, Ordering::AcqRel);
+                // ord(acqrel): release — a syncer that acquires the mirror
+                // must see every drain and fence of this boundary; acquire —
+                // keep the monotone max exact against racing winners.
+                self.durable_clock
+                    .fetch_max(e + 1, weaken("esys.durable.mirror", Ordering::AcqRel));
             }
+            // ord(counter): stats tally.
             self.stats.advances.fetch_add(1, Ordering::Relaxed);
         }
 
@@ -1100,15 +1152,21 @@ impl EpochSys {
         if self.cfg.persist == PersistStrategy::None {
             return Ok(true);
         }
+        // ord(counter): stats tally.
         self.stats.syncs.fetch_add(1, Ordering::Relaxed);
         let target = self.clock().load(Ordering::SeqCst);
+        // ord(relaxed): helper hint only; durability rides the durable-clock
+        // acquire below, never this edge.
         self.sync_requested.fetch_max(target, Ordering::Relaxed);
         // Wait on the *durable* clock, not the transient one: the clock can
         // run ahead of the media when an advance winner parks between its
         // clock store and its clwb, and "durable" must mean the closing
         // tick actually reached the durable image.
+        // ord(acquire): pairs with the winner's durable-clock release; the
+        // caller's durability claim covers the boundary's write-backs.
         while self.durable_clock.load(Ordering::Acquire) < target + 2 {
             if let Err(f) = self.pool.check_fault() {
+                // ord(relaxed): hint cleanup; no data rides this edge.
                 let _ = self.sync_requested.compare_exchange(
                     target,
                     0,
@@ -1118,6 +1176,7 @@ impl EpochSys {
                 return Err(f);
             }
             if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                // ord(relaxed): hint cleanup; no data rides this edge.
                 let _ = self.sync_requested.compare_exchange(
                     target,
                     0,
@@ -1129,6 +1188,7 @@ impl EpochSys {
             self.advance_epoch();
         }
         // Clear the helping hint if we were the outermost sync.
+        // ord(relaxed): hint cleanup; no data rides this edge.
         let _ =
             self.sync_requested
                 .compare_exchange(target, 0, Ordering::Relaxed, Ordering::Relaxed);
@@ -1198,6 +1258,7 @@ impl EpochPin<'_> {
 
 impl Drop for EpochPin<'_> {
     fn drop(&mut self) {
+        // ord(relaxed): owner-only flag.
         self.esys.pinned[self.tid.0].store(false, Ordering::Relaxed);
         self.esys.end_op(self.tid);
     }

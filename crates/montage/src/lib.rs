@@ -57,6 +57,7 @@ pub mod esys;
 pub mod mindicator;
 pub mod payload;
 pub mod recovery;
+pub mod sync;
 pub mod tracker;
 pub mod verify1;
 

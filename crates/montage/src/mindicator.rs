@@ -22,7 +22,7 @@
 //! treats the mindicator as a monotone hint and confirms against the exact
 //! per-thread ring scan (`Buffers::min_pending`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{weaken, AtomicU64, Ordering};
 
 use crossbeam::utils::CachePadded;
 
@@ -45,13 +45,16 @@ impl Mindicator {
     /// Publishes thread `tid`'s oldest unpersisted epoch ([`EMPTY`] if none).
     #[inline]
     pub fn publish(&self, tid: usize, oldest: u64) {
-        self.slots[tid].store(oldest, Ordering::Release);
+        // ord(publish): the ring entries this slot summarizes must be visible
+        // to an advancer that trusts the published epoch.
+        self.slots[tid].store(oldest, weaken("mindicator.publish", Ordering::Release));
     }
 
     /// Oldest unpersisted epoch across all threads ([`EMPTY`] if none).
     pub fn min(&self) -> u64 {
         self.slots
             .iter()
+            // ord(acquire): pairs with the Release in `publish`.
             .map(|s| s.load(Ordering::Acquire))
             .min()
             .unwrap_or(EMPTY)

@@ -15,8 +15,8 @@
 //! [`RecoveryReport`] attached to the result accounts for every block the
 //! sweep saw.
 
+use crate::sync::{AtomicUsize, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -183,6 +183,7 @@ pub fn try_recover(
                 if epoch > cutoff {
                     // Valid, but from the at-risk window buffered durability
                     // gives up on: normal frontier loss, not corruption.
+                    // ord(counter): recovery-time tally across the sweep.
                     discarded_recent.fetch_add(1, Ordering::Relaxed);
                     return false;
                 }

@@ -1,0 +1,74 @@
+//! Synchronization facade for the lock-free protocol core.
+//!
+//! All protocol code in this crate (and in `montage-ds`) goes through these
+//! types instead of `std::sync::atomic` / `parking_lot` directly.  In normal
+//! builds everything here is a zero-cost re-export of the real primitives.
+//! With the `interleave-check` feature the same names resolve to the
+//! instrumented types from the `interleave` model checker, so the *actual*
+//! protocol code — not a hand-written model of it — runs under exhaustive
+//! bounded-preemption interleaving search.
+//!
+//! The `weaken(site, ord)` hook is an identity function in real builds.  Under
+//! the checker it downgrades the ordering to `Relaxed` when the execution was
+//! configured with a matching weakening site, which is how the CI fixtures
+//! prove the checker would catch an accidental ordering downgrade at each
+//! publication edge.
+//!
+//! Stats counters that are never part of a cross-thread protocol handoff
+//! (operation tallies, byte counts) stay on raw `std` atomics via
+//! [`uninstrumented`], keeping the model-checked state space focused on the
+//! synchronization that matters.
+
+#[cfg(feature = "interleave-check")]
+pub use interleave::sync::{
+    spin_loop, thread, weaken, yield_now, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize,
+    Mutex, MutexGuard,
+};
+
+#[cfg(feature = "interleave-check")]
+pub use interleave::sync::from_std;
+
+#[cfg(not(feature = "interleave-check"))]
+mod real {
+    pub use parking_lot::{Mutex, MutexGuard};
+    pub use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize};
+    pub use std::thread;
+
+    /// Identity in real builds; the checker build swaps in the fixture hook.
+    #[inline(always)]
+    pub fn weaken(_site: &str, ord: std::sync::atomic::Ordering) -> std::sync::atomic::Ordering {
+        ord
+    }
+
+    /// View a `std` atomic (e.g. one living in pmem pool metadata) as a
+    /// facade atomic. A no-op here; the checker build wraps it.
+    #[inline(always)]
+    pub fn from_std(a: &std::sync::atomic::AtomicU64) -> &AtomicU64 {
+        a
+    }
+
+    #[inline(always)]
+    pub fn spin_loop() {
+        std::hint::spin_loop();
+    }
+
+    #[inline(always)]
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(not(feature = "interleave-check"))]
+pub use real::*;
+
+// The `Ordering` enum is shared between both worlds: the facade types take the
+// real `std` orderings, and the checker maps them onto its memory model.
+pub use std::sync::atomic::Ordering;
+
+/// Raw `std` atomics for stats/counters that are not part of any cross-thread
+/// protocol handoff. Deliberately NOT instrumented: bumping an op tally must
+/// not become a schedule point, or the model-checked state space explodes on
+/// bookkeeping instead of synchronization.
+pub mod uninstrumented {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}

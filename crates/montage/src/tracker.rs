@@ -1,7 +1,7 @@
 //! The operation tracker: per-thread announcement of the epoch in which a
 //! thread's operation is active (paper Fig. 3, `Tracker operation_tracker`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{weaken, AtomicU64, Ordering};
 
 use crossbeam::utils::CachePadded;
 
@@ -33,13 +33,18 @@ impl Tracker {
     /// Clears thread `tid`'s announcement.
     #[inline]
     pub fn unregister(&self, tid: usize) {
-        self.slots[tid].store(IDLE, Ordering::Release);
+        // ord(publish): the op's payload writes (ring pushes, mindicator
+        // publish) must be visible to any advancer that observes this slot
+        // as idle — this edge is what keeps the advance's mindicator gate
+        // from reading a stale EMPTY and skipping a needed drain.
+        self.slots[tid].store(IDLE, weaken("tracker.unregister", Ordering::Release));
     }
 
     /// Epoch thread `tid` is registered in, or [`IDLE`].
     #[inline]
     pub fn load(&self, tid: usize) -> u64 {
-        self.slots[tid].load(Ordering::Acquire)
+        // ord(acquire): pairs with the Release in `unregister`.
+        self.slots[tid].load(weaken("tracker.idle.acquire", Ordering::Acquire))
     }
 
     /// Blocks until no thread is registered in any epoch `<= epoch`
@@ -52,12 +57,14 @@ impl Tracker {
     pub fn wait_all(&self, epoch: u64) {
         for slot in self.slots.iter() {
             let mut spins = 0u32;
-            while slot.load(Ordering::Acquire) <= epoch {
+            // ord(acquire): seeing the slot leave `epoch` must also show us
+            // the finished op's writes before we retire its blocks.
+            while slot.load(weaken("tracker.idle.acquire", Ordering::Acquire)) <= epoch {
                 spins += 1;
                 if spins.is_multiple_of(64) {
-                    std::thread::yield_now();
+                    crate::sync::yield_now();
                 } else {
-                    std::hint::spin_loop();
+                    crate::sync::spin_loop();
                 }
             }
         }
@@ -78,7 +85,9 @@ impl Tracker {
         for slot in self.slots.iter() {
             let mut tries = 0usize;
             loop {
-                if slot.load(Ordering::Acquire) > epoch {
+                // ord(acquire): same edge as `wait_all` — pairs with the
+                // Release in `unregister`.
+                if slot.load(weaken("tracker.idle.acquire", Ordering::Acquire)) > epoch {
                     break;
                 }
                 tries += 1;
@@ -87,9 +96,9 @@ impl Tracker {
                     break;
                 }
                 if tries.is_multiple_of(64) {
-                    std::thread::yield_now();
+                    crate::sync::yield_now();
                 } else {
-                    std::hint::spin_loop();
+                    crate::sync::spin_loop();
                 }
             }
         }
@@ -104,6 +113,8 @@ impl Tracker {
     pub fn oldest_active(&self) -> u64 {
         self.slots
             .iter()
+            // ord(acquire): the frontier gates reclamation; pairs with the
+            // Release in `unregister`.
             .map(|s| s.load(Ordering::Acquire))
             .min()
             .unwrap_or(IDLE)
@@ -113,6 +124,7 @@ impl Tracker {
     pub fn any_active_in(&self, epoch: u64) -> bool {
         self.slots
             .iter()
+            // ord(acquire): pairs with the Release in `unregister`.
             .any(|s| s.load(Ordering::Acquire) == epoch)
     }
 }

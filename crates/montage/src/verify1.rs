@@ -20,7 +20,7 @@
 //! wrapping is harmless because the counter only needs to differ across the
 //! window of one pending CAS.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 use crate::errors::EpochChanged;
 use crate::esys::{EpochSys, OpGuard};

@@ -16,6 +16,18 @@
 //!   lines parked in the flushed-unfenced state; legitimate deferrals (the
 //!   buffered-persistence drains whose fence is the epoch boundary) must say
 //!   so.
+//! * **ord-justify** — inside the model-checked protocol core
+//!   (`crates/montage`, `crates/montage-ds`), every non-SeqCst
+//!   `Ordering::{Relaxed, Acquire, Release, AcqRel}` must carry an
+//!   `// ord(<rule>): reason` comment within the six preceding lines, naming
+//!   the edge it implements. SeqCst needs no tag (it is the
+//!   strongest-by-default choice); test modules are skipped.
+//! * **atomic-import** — `std::sync::atomic` may not be named outside the
+//!   pool/allocator internals, the checker, and the `montage::sync` facade:
+//!   protocol atomics must come from `montage::sync` (so the `interleave`
+//!   checker can instrument them) and bookkeeping counters from
+//!   `montage::sync::uninstrumented` (so the exemption is explicit at the
+//!   import site).
 //!
 //! Any finding can be waived in place with
 //! `// lint: allow(<rule>): <reason>` on the flagged line or up to two lines
@@ -49,11 +61,61 @@ const RAW_WRITE_ALLOWLIST: &[(&str, &str)] = &[
 /// themselves live here, so `clwb` without a local fence is their job.
 const FLUSH_RULE_EXEMPT: &[&str] = &["crates/pmem/src/"];
 
+/// Files the ord-justify rule covers: the lock-free protocol core the
+/// `interleave` harnesses model-check. Everything above it (servers, kv
+/// engines) keeps its atomics behind `montage::sync::uninstrumented`, and
+/// everything below it (pool, allocator) has no cross-thread protocol to
+/// justify.
+const ORD_JUSTIFY_SCOPE: &[&str] = &["crates/montage/src/", "crates/montage-ds/src/"];
+
+/// The facade itself is exempt from ord-justify: its `Ordering` mentions
+/// map orderings between the real and checked worlds — plumbing, not
+/// protocol decisions.
+const ORD_JUSTIFY_EXEMPT: &[&str] = &["crates/montage/src/sync.rs"];
+
+/// Modules allowed to name `std::sync::atomic` directly, with the reason on
+/// record. Everything else routes protocol atomics through `montage::sync`
+/// (instrumentable by the `interleave` checker) and bookkeeping counters
+/// through `montage::sync::uninstrumented`.
+const ATOMIC_IMPORT_ALLOWLIST: &[(&str, &str)] = &[
+    (
+        "crates/pmem/src/",
+        "the pool sits below the facade; its atomics guard mapping metadata, \
+         not the model-checked protocol",
+    ),
+    (
+        "crates/ralloc/src/",
+        "the allocator sits below montage in the dependency graph and cannot \
+         import the facade without a cycle",
+    ),
+    (
+        "crates/interleave/",
+        "the checker implements the instrumented atomics — it wraps std, it \
+         cannot route through itself",
+    ),
+    (
+        "crates/montage/src/sync.rs",
+        "the facade is the sanctioned wrapper; this is where std atomics are \
+         adapted",
+    ),
+    (
+        "crates/baselines/",
+        "reference implementations we benchmark against, deliberately not \
+         threaded through the facade",
+    ),
+    (
+        "crates/bench/",
+        "measurement harness; its counters must never become schedule points",
+    ),
+];
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Rule {
     SafetyComment,
     RawWrite,
     FlushNoFence,
+    OrdJustify,
+    AtomicImport,
 }
 
 impl Rule {
@@ -62,6 +124,8 @@ impl Rule {
             Rule::SafetyComment => "safety-comment",
             Rule::RawWrite => "raw-write",
             Rule::FlushNoFence => "flush-no-fence",
+            Rule::OrdJustify => "ord-justify",
+            Rule::AtomicImport => "atomic-import",
         }
     }
 }
@@ -125,12 +189,15 @@ fn run_lint() -> ExitCode {
     let count = |r: Rule| violations.iter().filter(|v| v.rule == r).count();
     println!(
         "xtask lint: {} file(s), {} violation(s) \
-         (safety-comment {}, raw-write {}, flush-no-fence {})",
+         (safety-comment {}, raw-write {}, flush-no-fence {}, \
+         ord-justify {}, atomic-import {})",
         files.len(),
         violations.len(),
         count(Rule::SafetyComment),
         count(Rule::RawWrite),
         count(Rule::FlushNoFence),
+        count(Rule::OrdJustify),
+        count(Rule::AtomicImport),
     );
     if violations.is_empty() {
         ExitCode::SUCCESS
@@ -381,6 +448,8 @@ fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
     check_safety_comments(rel_path, &code_lines, &raw_lines, &mut out);
     check_raw_writes(rel_path, &code_lines, &raw_lines, &mut out);
     check_flush_fences(rel_path, &code_lines, &raw_lines, &mut out);
+    check_ord_justify(rel_path, &code_lines, &raw_lines, &mut out);
+    check_atomic_imports(rel_path, &code_lines, &raw_lines, &mut out);
     out
 }
 
@@ -511,6 +580,108 @@ fn check_flush_fences(
             "function issues clwb but never reaches an sfence; if the fence \
              is deferred by design (epoch boundary), say so with \
              `lint: allow(flush-no-fence): <reason>`"
+                .to_string(),
+        );
+    }
+}
+
+/// Line index of the file's first `#[cfg(test)]` attribute (in stripped
+/// code, so a mention inside a comment or string does not count), or the
+/// line count if there is none. By repo convention the test module is the
+/// file's tail; the ordering rules stop there — a test's atomics are
+/// scaffolding, not protocol edges.
+fn cfg_test_tail(code_lines: &[&str]) -> usize {
+    code_lines
+        .iter()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap_or(code_lines.len())
+}
+
+/// True when the path has a `tests/`, `benches/`, or `examples/` component —
+/// integration scaffolding the in-source ordering rules do not police.
+fn is_test_path(file: &str) -> bool {
+    file.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// Rule 4: a non-SeqCst ordering in the protocol core must say which edge it
+/// implements — `// ord(<rule>): reason` on the line or within the six
+/// above. SeqCst is exempt: it is the strongest-by-default choice, so only
+/// deliberate weakenings carry a justification burden.
+fn check_ord_justify(
+    file: &str,
+    code_lines: &[&str],
+    raw_lines: &[&str],
+    out: &mut Vec<Violation>,
+) {
+    if !ORD_JUSTIFY_SCOPE.iter().any(|p| file.starts_with(p))
+        || ORD_JUSTIFY_EXEMPT.iter().any(|p| file.starts_with(p))
+        || is_test_path(file)
+    {
+        return;
+    }
+    const WEAK: &[&str] = &[
+        "Ordering::Relaxed",
+        "Ordering::Acquire",
+        "Ordering::Release",
+        "Ordering::AcqRel",
+    ];
+    let tail = cfg_test_tail(code_lines);
+    for (i, line) in code_lines.iter().enumerate().take(tail) {
+        let Some(ord) = WEAK.iter().find(|o| has_word(line, o)) else {
+            continue;
+        };
+        let lo = i.saturating_sub(6);
+        let justified = raw_lines[lo..=i.min(raw_lines.len() - 1)]
+            .iter()
+            .any(|r| has_call(r, "ord"));
+        if justified {
+            continue;
+        }
+        push_checked(
+            out,
+            raw_lines,
+            file,
+            i,
+            Rule::OrdJustify,
+            format!(
+                "`{ord}` on a protocol atomic without an `// ord(<rule>): \
+                 reason` comment within the 6 preceding lines"
+            ),
+        );
+    }
+}
+
+/// Rule 5: `std::sync::atomic` named outside the allowlist. Any mention
+/// counts, not just `use` lines, so an inline
+/// `std::sync::atomic::AtomicU64::new(0)` cannot dodge the rule.
+fn check_atomic_imports(
+    file: &str,
+    code_lines: &[&str],
+    raw_lines: &[&str],
+    out: &mut Vec<Violation>,
+) {
+    if ATOMIC_IMPORT_ALLOWLIST
+        .iter()
+        .any(|(prefix, _reason)| file.starts_with(prefix))
+        || is_test_path(file)
+    {
+        return;
+    }
+    let tail = cfg_test_tail(code_lines);
+    for (i, line) in code_lines.iter().enumerate().take(tail) {
+        if !line.contains("std::sync::atomic") {
+            continue;
+        }
+        push_checked(
+            out,
+            raw_lines,
+            file,
+            i,
+            Rule::AtomicImport,
+            "`std::sync::atomic` outside the facade: protocol atomics come \
+             from `montage::sync` (checker-instrumentable), bookkeeping \
+             counters from `montage::sync::uninstrumented`"
                 .to_string(),
         );
     }
@@ -696,6 +867,83 @@ mod tests {
     fn on_clwb_is_not_a_clwb_call() {
         let src = "fn f(s: &San) {\n    s.on_clwb(1, 2, 3, loc);\n}\n";
         assert!(lint("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn weak_ordering_without_ord_comment_is_flagged() {
+        let src = "fn f(a: &AtomicU64) -> u64 {\n    a.load(Ordering::Acquire)\n}\n";
+        let v = lint("crates/montage/src/demo.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::OrdJustify);
+        assert_eq!(v[0].line, 2);
+        // Outside the protocol core the same code is fine.
+        assert!(lint("crates/kvstore/src/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ord_comment_within_six_lines_justifies() {
+        let src = "fn f(a: &AtomicU64) -> u64 {\n    // ord(acquire): pairs with the publish in g\n    a.load(Ordering::Acquire)\n}\n";
+        assert!(lint("crates/montage/src/demo.rs", src).is_empty());
+        // `word(` is not an `ord(` tag.
+        let sly = "fn f(a: &AtomicU64) -> u64 {\n    // keyword(acquire) chatter\n    a.load(Ordering::Acquire)\n}\n";
+        assert_eq!(lint("crates/montage/src/demo.rs", sly).len(), 1);
+    }
+
+    #[test]
+    fn seqcst_and_test_modules_need_no_ord_comment() {
+        let src = "fn f(a: &AtomicU64) {\n    a.store(1, Ordering::SeqCst);\n}\n#[cfg(test)]\nmod tests {\n    fn g(a: &AtomicU64) -> u64 {\n        a.load(Ordering::Relaxed)\n    }\n}\n";
+        assert!(lint("crates/montage/src/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn facade_is_exempt_from_ord_justify() {
+        let src = "fn f(a: &AtomicU64) -> u64 {\n    a.load(Ordering::Acquire)\n}\n";
+        assert!(lint("crates/montage/src/sync.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::OrdJustify));
+    }
+
+    #[test]
+    fn std_atomic_outside_facade_is_flagged() {
+        let import = "use std::sync::atomic::{AtomicU64, Ordering};\n";
+        let v = lint("crates/kvstore/src/demo.rs", import);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::AtomicImport);
+        // Inline qualified paths cannot dodge the rule.
+        let inline = "fn f() { let _ = std::sync::atomic::AtomicU64::new(0); }\n";
+        assert_eq!(lint("crates/kvserver/src/demo.rs", inline).len(), 1);
+    }
+
+    #[test]
+    fn std_atomic_allowlist_and_test_tails_pass() {
+        let import = "use std::sync::atomic::{AtomicU64, Ordering};\n";
+        for ok in [
+            "crates/pmem/src/pool.rs",
+            "crates/ralloc/src/alloc.rs",
+            "crates/interleave/src/sync.rs",
+            "crates/montage/src/sync.rs",
+            "crates/baselines/src/lib.rs",
+            "crates/kvserver/tests/wire.rs",
+            "tests/liveness.rs",
+        ] {
+            assert!(lint(ok, import).is_empty(), "{ok}");
+        }
+        let tail =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicU64;\n}\n";
+        assert!(lint("crates/kvstore/src/demo.rs", tail).is_empty());
+        // A comment mentioning the path is not an import.
+        let comment = "// std::sync::atomic is banned here\nfn f() {}\n";
+        assert!(lint("crates/kvstore/src/demo.rs", comment).is_empty());
+    }
+
+    #[test]
+    fn atomic_import_waiver_needs_a_reason() {
+        let ok = "// lint: allow(atomic-import): FFI type layout requires the std atomic\nuse std::sync::atomic::AtomicU64;\n";
+        assert!(lint("crates/kvstore/src/demo.rs", ok).is_empty());
+        let bare = "// lint: allow(atomic-import)\nuse std::sync::atomic::AtomicU64;\n";
+        let v = lint("crates/kvstore/src/demo.rs", bare);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("without a reason"));
     }
 }
 

@@ -414,17 +414,20 @@ impl Model for OrderedMap {
 /// Builder for hand-written and recorded histories: timestamps come from a
 /// shared atomic counter so concurrent recorders can interleave safely.
 pub struct Recorder<O, R> {
-    clock: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    clock: std::sync::Arc<montage::sync::uninstrumented::AtomicU64>,
     thread: usize,
     pub ops: Vec<OpRecord<O, R>>,
 }
 
 impl<O, R> Recorder<O, R> {
-    pub fn shared_clock() -> std::sync::Arc<std::sync::atomic::AtomicU64> {
-        std::sync::Arc::new(std::sync::atomic::AtomicU64::new(1))
+    pub fn shared_clock() -> std::sync::Arc<montage::sync::uninstrumented::AtomicU64> {
+        std::sync::Arc::new(montage::sync::uninstrumented::AtomicU64::new(1))
     }
 
-    pub fn new(clock: std::sync::Arc<std::sync::atomic::AtomicU64>, thread: usize) -> Self {
+    pub fn new(
+        clock: std::sync::Arc<montage::sync::uninstrumented::AtomicU64>,
+        thread: usize,
+    ) -> Self {
         Recorder {
             clock,
             thread,
@@ -435,7 +438,7 @@ impl<O, R> Recorder<O, R> {
     /// Runs `f`, recording invoke/response stamps around it and the epoch
     /// interval reported by `epoch()` (pass `|| 0` when untracked).
     pub fn record(&mut self, op: O, epoch: impl Fn() -> u64, f: impl FnOnce() -> R) {
-        use std::sync::atomic::Ordering;
+        use montage::sync::uninstrumented::Ordering;
         let epoch_lo = epoch();
         let invoke = self.clock.fetch_add(1, Ordering::SeqCst);
         let ret = f();
